@@ -1,0 +1,172 @@
+// Command mopview inspects the compiler side of the flow: it prints the
+// lowered µ-operation (MOP) program, the 8-field µ-word packing, the
+// control/data-flow graph of a function, and its parallel-code analysis.
+//
+// Usage:
+//
+//	mopview -src app.c [-fn encoder] [-asm] [-words] [-cdfg] [-pc]
+//
+// Without -src the bundled GSM encoder demo is shown. Without selection
+// flags everything is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"partita/internal/apps"
+	"partita/internal/cdfg"
+	"partita/internal/cinstr"
+	"partita/internal/cprog"
+	"partita/internal/encode"
+	"partita/internal/lower"
+	"partita/internal/mop"
+	"partita/internal/opt"
+	"partita/internal/report"
+)
+
+func main() {
+	src := flag.String("src", "", "mini-C source file (default: bundled GSM encoder demo)")
+	fn := flag.String("fn", "", "function to analyze (default: all for -asm, first for -cdfg)")
+	asm := flag.Bool("asm", false, "print MOP assembly")
+	words := flag.Bool("words", false, "print µ-word packing statistics")
+	graph := flag.Bool("cdfg", false, "print the control/data-flow region graph")
+	pc := flag.Bool("pc", false, "print parallel-code analysis per call")
+	cgen := flag.Bool("cinstr", false, "mine C-instructions and show the encoded image")
+	optimize := flag.Bool("opt", false, "run the MOP peephole optimizer before analysis")
+	flag.Parse()
+
+	all := !*asm && !*words && !*graph && !*pc && !*cgen
+
+	source := ""
+	if *src == "" {
+		w, err := apps.GSMEncoderWorkload()
+		if err != nil {
+			fatal(err)
+		}
+		source = w.Source
+		if *fn == "" {
+			*fn = w.Root
+		}
+	} else {
+		data, err := os.ReadFile(*src)
+		if err != nil {
+			fatal(err)
+		}
+		source = string(data)
+	}
+
+	// .mop files are hand-written µ-operation assembly; everything else
+	// is mini-C. CDFG/PC analysis needs the C front end, so those views
+	// are unavailable for raw assembly.
+	var prog *mop.Program
+	var lay *lower.Layout
+	var info *cprog.Info
+	if strings.HasSuffix(*src, ".mop") {
+		p, err := mop.ParseAsm(source)
+		if err != nil {
+			fatal(err)
+		}
+		prog = p
+		lay = &lower.Layout{Globals: map[string]lower.Loc{}, Funcs: map[string]*lower.FuncLayout{}}
+		if *graph || *pc {
+			fatal(fmt.Errorf("-cdfg/-pc need mini-C input, not .mop assembly"))
+		}
+	} else {
+		file, err := cprog.Parse(source)
+		if err != nil {
+			fatal(err)
+		}
+		info, err = cprog.Analyze(file)
+		if err != nil {
+			fatal(err)
+		}
+		prog, lay, err = lower.Compile(info)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *optimize {
+		st := opt.Optimize(prog)
+		fmt.Printf("optimizer: fused %d MACs, elided %d AGU / %d LDI, forwarded %d loads, removed %d dead ops\n\n",
+			st.MACFused, st.AGUElided, st.LDIElided, st.LoadsForwarded, st.DeadRemoved)
+	}
+
+	if *asm || all {
+		fmt.Println("== MOP assembly ==")
+		if *fn != "" && prog.Function(*fn) != nil {
+			sub := mop.NewProgram("")
+			sub.Add(prog.Function(*fn))
+			fmt.Print(sub)
+		} else {
+			fmt.Print(prog)
+		}
+		fmt.Printf("total µ-ROM: %d words; X memory: %d words; Y memory: %d words\n\n",
+			prog.CodeWords(), lay.XWords, lay.YWords)
+	}
+
+	if *words || all {
+		fmt.Println("== µ-word packing ==")
+		t := report.New("function", "block", "MOPs", "words", "fill")
+		for _, f := range prog.SortedFuncs() {
+			for _, b := range f.Blocks {
+				ws := mop.PackBlock(b.Ops)
+				if len(b.Ops) == 0 {
+					continue
+				}
+				used := 0
+				for i := range ws {
+					used += ws[i].Used()
+				}
+				fill := 0.0
+				if len(ws) > 0 {
+					fill = float64(used) / float64(len(ws)*int(mop.NumFields))
+				}
+				t.Row(f.Name, b.Label, len(b.Ops), len(ws), fmt.Sprintf("%.0f%%", fill*100))
+			}
+		}
+		t.Fprint(os.Stdout)
+		fmt.Println()
+	}
+
+	if *cgen || all {
+		fmt.Println("== C-instruction generation & instruction encoding ==")
+		res := cinstr.Mine(prog, nil, cinstr.Config{})
+		fmt.Print(res)
+		im, err := encode.Build(prog, res.Chosen, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("encoded image: %d instruction words (%d bits); µ-ROM %d unique of %d words (compression %.2f)\n\n",
+			len(im.Stream), im.InstrMemoryBits, im.UniqueWords, im.TotalWords, im.Compression())
+	}
+
+	if (*graph || *pc || all) && *fn != "" && info != nil {
+		g, err := cdfg.Build(info, *fn, cdfg.DefaultOptions())
+		if err != nil {
+			fatal(err)
+		}
+		if *graph || all {
+			fmt.Println("== CDFG region graph ==")
+			fmt.Print(g)
+			fmt.Println()
+		}
+		if *pc || all {
+			fmt.Println("== parallel-code analysis (Definitions 3-5) ==")
+			t := report.New("call", "site", "freq", "T_SW", "PC (Problem 1)", "PC (Problem 2)")
+			for _, c := range g.Calls {
+				p1 := cdfg.ParallelCode(g, c, cdfg.PCOptions{})
+				p2 := cdfg.ParallelCode(g, c, cdfg.PCOptions{AllowSCalls: true})
+				t.Row(c.Name, c.Site, c.Freq, c.Cost, p1.Cost, p2.Cost)
+			}
+			t.Fprint(os.Stdout)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mopview:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,190 @@
+// Command partita runs the full IP/interface selection flow on a mini-C
+// program: compile → profile → IMP database → ILP selection → report,
+// optionally validating the chosen configuration on the cycle-level
+// system simulator.
+//
+// Usage:
+//
+//	partita -src app.c -root encoder -rg 50000 [-catalog lib.json]
+//	        [-problem2] [-simulate] [-greedy] [-entry main]
+//
+// Without -src it runs the bundled GSM-style encoder demo. The catalog
+// file is a JSON array of IP descriptors; without -catalog the demo
+// library is used.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"partita/internal/apps"
+	"partita/internal/ilp"
+	"partita/internal/ip"
+	"partita/internal/report"
+
+	"partita"
+)
+
+func main() {
+	src := flag.String("src", "", "mini-C source file (default: bundled GSM encoder demo)")
+	root := flag.String("root", "", "function whose s-calls are optimized")
+	entry := flag.String("entry", "main", "entry function for profiling")
+	rg := flag.Int64("rg", 0, "required performance gain (cycles); 0 = sweep 10..90% of reachable")
+	catalogPath := flag.String("catalog", "", "JSON IP catalog file")
+	problem2 := flag.Bool("problem2", false, "enable Problem-2 generality (per-site methods, software-PC)")
+	simulate := flag.Bool("simulate", false, "validate the selection on the cycle-level simulator")
+	greedy := flag.Bool("greedy", false, "also run the greedy prior-art baseline")
+	schedule := flag.Bool("schedule", false, "print the post-selection kernel schedule (parallel-code motion)")
+	rtl := flag.String("rtl", "", "write generated Verilog (interfaces + decoder) to this file")
+	flag.Parse()
+
+	source, rootFn, cat, dataCount, err := loadInputs(*src, *root, *catalogPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	design, err := partita.Analyze(source, rootFn, cat, partita.Options{
+		Problem2:  *problem2,
+		DataCount: dataCount,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	stats, ret, err := design.Profile(*entry)
+	if err != nil {
+		fatal(fmt.Errorf("profiling failed: %w", err))
+	}
+	fmt.Printf("profiled %s(): returned %d after %d cycles, %d MOPs\n",
+		*entry, ret, stats.Cycles, stats.Ops)
+	fmt.Printf("s-call candidates: %d, implementation methods: %d, execution paths: %d\n\n",
+		len(design.DB.SCalls), len(design.DB.IMPs), len(design.DB.Paths))
+
+	scT := report.New("s-call", "function", "sites", "freq", "T_SW", "PC (P1)")
+	for _, sc := range design.DB.SCalls {
+		scT.Row(sc.Name(), sc.Func, len(sc.Sites), sc.TotalFreq, sc.TSW, sc.PC1.Cost)
+	}
+	scT.Fprint(os.Stdout)
+	fmt.Println()
+
+	targets := []int64{*rg}
+	if *rg == 0 {
+		var total int64
+		best := map[string]int64{}
+		for _, m := range design.DB.IMPs {
+			if m.TotalGain > best[m.SC.Name()] {
+				best[m.SC.Name()] = m.TotalGain
+			}
+		}
+		for _, g := range best {
+			total += g
+		}
+		targets = []int64{total / 10, total * 3 / 10, total / 2, total * 7 / 10, total * 9 / 10}
+	}
+
+	selT := report.New("RG", "status", "G", "A", "S", "O", "selected")
+	for _, target := range targets {
+		sel, err := design.Select(target)
+		if err != nil {
+			fatal(err)
+		}
+		if sel.Status != ilp.Optimal {
+			selT.Row(target, sel.Status.String(), "-", "-", "-", "-", "")
+			continue
+		}
+		var ids string
+		for i, m := range sel.Chosen {
+			if i > 0 {
+				ids += " "
+			}
+			ids += m.ID
+		}
+		selT.Row(target, "optimal", sel.Gain, sel.Area, sel.SInstructions, sel.SCallsImplemented, ids)
+
+		if *greedy {
+			g := design.GreedySelect(target)
+			if g.Status == ilp.Optimal {
+				selT.Row(target, "greedy", g.Gain, g.Area, g.SInstructions, g.SCallsImplemented, "")
+			} else {
+				selT.Row(target, "greedy:"+g.Status.String(), "-", "-", "-", "-", "")
+			}
+		}
+		if *simulate {
+			res, err := design.Simulate(sel, 0)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("RG=%d simulation: software %d → accelerated %d cycles (speedup %.2fx)\n",
+				target, res.SoftwareCycles, res.AcceleratedCycles, res.Speedup())
+		}
+		if *schedule {
+			entries, err := design.Schedule(sel, 0)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("-- schedule at RG=%d --\n%s", target, partita.RenderSchedule(entries))
+		}
+		if *rtl != "" {
+			cres := design.GenerateCInstructions(stats)
+			im, err := design.Encode(cres, sel)
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*rtl, []byte(design.GenerateRTL(sel, im)), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote RTL for RG=%d to %s\n", target, *rtl)
+			*rtl = "" // only for the first target
+		}
+	}
+	selT.Fprint(os.Stdout)
+}
+
+func loadInputs(srcPath, root, catalogPath string) (string, string, *partita.Catalog, func(string) (int, int), error) {
+	if srcPath == "" {
+		w, err := apps.GSMEncoderWorkload()
+		if err != nil {
+			return "", "", nil, nil, err
+		}
+		if root == "" {
+			root = w.Root
+		}
+		return w.Source, root, w.Catalog, w.DataCount, nil
+	}
+	data, err := os.ReadFile(srcPath)
+	if err != nil {
+		return "", "", nil, nil, err
+	}
+	if root == "" {
+		return "", "", nil, nil, fmt.Errorf("-root is required with -src")
+	}
+	var cat *partita.Catalog
+	if catalogPath == "" {
+		w, err := apps.GSMEncoderWorkload()
+		if err != nil {
+			return "", "", nil, nil, err
+		}
+		cat = w.Catalog
+	} else {
+		raw, err := os.ReadFile(catalogPath)
+		if err != nil {
+			return "", "", nil, nil, err
+		}
+		var blocks []*ip.IP
+		if err := json.Unmarshal(raw, &blocks); err != nil {
+			return "", "", nil, nil, fmt.Errorf("catalog %s: %w", catalogPath, err)
+		}
+		cat, err = partita.NewCatalog(blocks...)
+		if err != nil {
+			return "", "", nil, nil, err
+		}
+	}
+	return string(data), root, cat, nil, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "partita:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,472 @@
+// Command reproduce regenerates every table and figure of Choi et al.
+// (DAC 1999) and prints paper-reported versus measured values.
+//
+// Usage:
+//
+//	reproduce                 # everything
+//	reproduce -table 1        # Table 1 only (GSM encoder)
+//	reproduce -fig 9          # Fig. 9 only (Problem-2 motivation)
+//	reproduce -ablation       # ablations A1-A3
+//	reproduce -validate       # V1: analytical model vs cycle simulator
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"partita/internal/apps"
+	"partita/internal/cdfg"
+	"partita/internal/cprog"
+	"partita/internal/iface"
+	"partita/internal/ilp"
+	"partita/internal/imp"
+	"partita/internal/ip"
+	"partita/internal/report"
+	"partita/internal/selector"
+	"partita/internal/sim"
+)
+
+func main() {
+	table := flag.Int("table", 0, "reproduce one table (1-3); 0 = per other flags")
+	fig := flag.Int("fig", 0, "reproduce one figure (2, 4, 6, 8, 9, 10)")
+	ablation := flag.Bool("ablation", false, "run ablations A1-A3")
+	validate := flag.Bool("validate", false, "run V1 model-vs-simulation validation")
+	e2e := flag.Bool("e2e", false, "run the live end-to-end workload sweeps (E1)")
+	flag.Parse()
+
+	runAll := *table == 0 && *fig == 0 && !*ablation && !*validate && !*e2e
+
+	if *table == 1 || *table > 3 || runAll {
+		mustTable("Table 1: GSM encoder", apps.GSMEncoderTable)
+	}
+	if *table == 2 || runAll {
+		mustTable("Table 2: GSM decoder", apps.GSMDecoderTable)
+	}
+	if *table == 3 || runAll {
+		mustTable("Table 3: JPEG encoder", apps.JPEGEncoderTable)
+	}
+	if *fig == 2 || runAll {
+		fig2()
+	}
+	if *fig == 4 || runAll {
+		fig4Templates()
+	}
+	if *fig == 6 || runAll {
+		fig6FSMs()
+	}
+	if *fig == 8 || runAll {
+		fig8()
+	}
+	if *fig == 9 || runAll {
+		fig9()
+	}
+	if *fig == 10 || runAll {
+		fig10()
+	}
+	if *ablation || runAll {
+		ablations()
+	}
+	if *validate || runAll {
+		validateV1()
+	}
+	if *e2e || runAll {
+		endToEnd()
+	}
+}
+
+// endToEnd sweeps all four live workloads through the full pipeline —
+// the encoder/decoder pairs the paper evaluated, at reduced frame sizes.
+func endToEnd() {
+	fmt.Println("== E1: live end-to-end workloads (compile → profile → select → simulate) ==")
+	gens := []func() (apps.Workload, error){
+		apps.GSMEncoderWorkload, apps.GSMDecoderWorkload,
+		apps.JPEGEncoderWorkload, apps.JPEGDecoderWorkload,
+	}
+	t := report.New("workload", "s-calls", "IMPs", "SW cycles", "RG (50%)", "area", "speedup")
+	for _, gen := range gens {
+		w, err := gen()
+		if err != nil {
+			fatal(err)
+		}
+		b, err := w.Build(false)
+		if err != nil {
+			fatal(err)
+		}
+		stats, _, err := b.Profile()
+		if err != nil {
+			fatal(err)
+		}
+		max := selector.MaxReachableGain(b.DB)
+		for _, pp := range selector.MaxReachablePerPath(b.DB) {
+			if pp < max {
+				max = pp
+			}
+		}
+		rg := max / 2
+		sel, err := selector.Solve(selector.Problem{DB: b.DB, Required: rg})
+		if err != nil {
+			fatal(err)
+		}
+		if sel.Status != ilp.Optimal {
+			t.Row(w.Name, len(b.DB.SCalls), len(b.DB.IMPs), stats.Cycles, rg, sel.Status.String(), "-")
+			continue
+		}
+		res, err := sim.RunSelection(b.DB, sel.Chosen, 0)
+		if err != nil {
+			fatal(err)
+		}
+		t.Row(w.Name, len(b.DB.SCalls), len(b.DB.IMPs), stats.Cycles, rg,
+			sel.Area, fmt.Sprintf("%.2fx", res.Speedup()))
+	}
+	t.Fprint(os.Stdout)
+	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "reproduce:", err)
+	os.Exit(1)
+}
+
+func mustTable(title string, gen func() (*imp.DB, []apps.TableRow, error)) {
+	db, rows, err := gen()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("== %s (paper-calibrated IMP database: %d s-calls, %d IMPs) ==\n",
+		title, len(db.SCalls), len(db.IMPs))
+	t := report.New("RG", "selected implementations", "G", "A", "S", "O", "paper G", "paper A")
+	for _, row := range rows {
+		sel, err := selector.Solve(selector.Problem{DB: db, Required: row.RG})
+		if err != nil {
+			fatal(err)
+		}
+		if sel.Status != ilp.Optimal {
+			t.Row(row.RG, "(infeasible)", "-", "-", "-", "-", row.PaperGain, row.PaperArea)
+			continue
+		}
+		var impls []string
+		for _, m := range sel.Chosen {
+			impls = append(impls, m.ID)
+		}
+		t.Row(row.RG, strings.Join(impls, " "), sel.Gain, sel.Area,
+			sel.SInstructions, sel.SCallsImplemented, row.PaperGain, row.PaperArea)
+	}
+	t.Fprint(os.Stdout)
+	fmt.Println()
+}
+
+// fig2 renders the parallel-execution timeline of Fig. 2: a buffered
+// interface overlapping kernel code with the IP run, against the serial
+// unbuffered schedule.
+func fig2() {
+	fmt.Println("== Fig. 2: concurrent execution of kernel and IP ==")
+	b := &ip.IP{ID: "FIR", Name: "FIR engine", Funcs: []string{"fir"},
+		InPorts: 2, OutPorts: 2, InRate: 4, OutRate: 4,
+		Latency: 16, Pipelined: true, Area: 5}
+	s := iface.Shape{NIn: 64, NOut: 64, TSW: 4000, TC: 150}
+
+	for _, ty := range []iface.Type{iface.Type2, iface.Type3} {
+		r, err := sim.RunSCall(sim.Config{IP: b, Type: ty, Shape: s})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("-- %v: %d cycles (overlap %d) --\n", ty, r.Cycles, r.Overlap)
+		printTimeline(r.Trace)
+	}
+
+	// Application-scale view: the selected GSM encoder configuration.
+	w, err := apps.GSMEncoderWorkload()
+	if err != nil {
+		fatal(err)
+	}
+	built, err := w.Build(false)
+	if err != nil {
+		fatal(err)
+	}
+	sel, err := selector.Solve(selector.Problem{DB: built.DB, Required: selector.MaxReachableGain(built.DB) / 2})
+	if err != nil {
+		fatal(err)
+	}
+	spans, err := sim.TraceSelection(built.DB, sel.Chosen, 0)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("-- application timeline (GSM encoder, RG = 50% of reachable) --")
+	printTimeline(spans)
+	fmt.Println()
+}
+
+func printTimeline(spans []sim.Span) {
+	var end int64
+	for _, sp := range spans {
+		if sp.To > end {
+			end = sp.To
+		}
+	}
+	if end == 0 {
+		return
+	}
+	const width = 60
+	for _, sp := range spans {
+		from := int(sp.From * width / end)
+		to := int(sp.To * width / end)
+		if to <= from {
+			to = from + 1
+		}
+		bar := strings.Repeat(" ", from) + strings.Repeat("#", to-from)
+		fmt.Printf("  %-7s |%-*s| %s [%d, %d)\n", sp.Unit, width, bar, sp.Label, sp.From, sp.To)
+	}
+}
+
+// fig4Templates prints the generated software interface µ-code of
+// Figs. 4-5.
+func fig4Templates() {
+	fmt.Println("== Figs. 4-5: generated software interface templates ==")
+	b := &ip.IP{ID: "IPX", Name: "pipelined filter", Funcs: []string{"fir"},
+		InPorts: 2, OutPorts: 2, InRate: 4, OutRate: 4,
+		Latency: 8, Pipelined: true, Area: 3}
+	s := iface.Shape{NIn: 16, NOut: 16, TSW: 1000}
+	for _, ty := range []iface.Type{iface.Type0, iface.Type1} {
+		tmpl := iface.SoftwareTemplate(ty, b, s)
+		fmt.Printf("-- %v template (%d µ-words", ty, tmpl.Words)
+		if ty == iface.Type0 {
+			fmt.Printf(", T_IF=%d cycles for 16 in/16 out)\n", tmpl.TransferCycles)
+		} else {
+			fmt.Printf(", fill=%d drain=%d cycles)\n", tmpl.FillCycles, tmpl.DrainCycles)
+		}
+		for _, blk := range tmpl.Fn.Blocks {
+			fmt.Printf("%s:\n", blk.Label)
+			for _, op := range blk.Ops {
+				fmt.Printf("\t%s\n", op)
+			}
+		}
+	}
+	fmt.Println()
+}
+
+// fig6FSMs prints the generated hardware controller FSMs of Figs. 6-7.
+func fig6FSMs() {
+	fmt.Println("== Figs. 6-7: generated hardware interface FSMs ==")
+	b := &ip.IP{ID: "IPX", Name: "pipelined filter", Funcs: []string{"fir"},
+		InPorts: 2, OutPorts: 2, InRate: 4, OutRate: 4,
+		Latency: 8, Pipelined: true, Area: 3}
+	s := iface.Shape{NIn: 16, NOut: 16, TSW: 1000}
+	for _, ty := range []iface.Type{iface.Type2, iface.Type3} {
+		fmt.Print(iface.ControllerFSM(ty, b, s))
+	}
+	fmt.Println()
+}
+
+// fig8 demonstrates parallel-code extraction over multiple execution
+// paths (Fig. 8): the guaranteed PC is the shortest across paths.
+func fig8() {
+	fmt.Println("== Fig. 8: parallel code over multiple execution paths ==")
+	src := `
+xmem int xin[16];
+ymem int h[8];
+xmem int yout[16];
+int u; int v;
+int fir(xmem int a[], ymem int c[], xmem int o[]) {
+	int i; int acc;
+	acc = 0;
+	for (i = 0; i < 8; i = i + 1) { acc = acc + a[i] * c[i]; o[i] = acc; }
+	return acc;
+}
+int top(int mode1, int mode2) {
+	int r;
+	r = fir(xin, h, yout);
+	u = v * 3 + 7;
+	if (mode1 > 0) {
+		if (mode2 > 0) { u = u + 1; } else { u = u * u + v; }
+	} else {
+		u = u * u * u + v * v + 5;
+	}
+	return r + u;
+}
+`
+	f, err := cprog.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	info, err := cprog.Analyze(f)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := cdfg.Build(info, "top", cdfg.DefaultOptions())
+	if err != nil {
+		fatal(err)
+	}
+	res := cdfg.ParallelCode(g, g.Calls[0], cdfg.PCOptions{})
+	fmt.Printf("execution paths containing fir(): %d\n", len(res.PerPath))
+	for i, c := range res.PerPath {
+		fmt.Printf("  path %d: PC time %d cycles\n", i, c)
+	}
+	fmt.Printf("guaranteed PC (minimum across paths): %d cycles, %d nodes\n\n", res.Cost, len(res.Nodes))
+}
+
+func fig9() {
+	fmt.Println("== Fig. 9: Problem 2 runs one fir in the kernel while the IP runs another ==")
+	p1, p2, rg, err := apps.Fig9Problem()
+	if err != nil {
+		fatal(err)
+	}
+	s1, err := selector.Solve(selector.Problem{DB: p1, Required: rg})
+	if err != nil {
+		fatal(err)
+	}
+	s2, err := selector.Solve(selector.Problem{DB: p2, Required: rg})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("required gain %d: Problem 1 → %v; Problem 2 → %v", rg, s1.Status, s2.Status)
+	if s2.Status == ilp.Optimal {
+		var ids []string
+		for _, m := range s2.Chosen {
+			ids = append(ids, m.ID)
+		}
+		fmt.Printf(" (gain %d, area %.1f: %s)", s2.Gain, s2.Area, strings.Join(ids, " "))
+	}
+	fmt.Println()
+	fmt.Println()
+}
+
+func fig10() {
+	fmt.Println("== Fig. 10: common s-call kept in software as another's parallel code ==")
+	db, perPath, err := apps.Fig10Problem()
+	if err != nil {
+		fatal(err)
+	}
+	p1db := db.Filter(func(m *imp.IMP) bool { return len(m.PCSCalls) == 0 })
+	s1, err := selector.Solve(selector.Problem{DB: p1db, PerPath: perPath})
+	if err != nil {
+		fatal(err)
+	}
+	s2, err := selector.Solve(selector.Problem{DB: db, PerPath: perPath})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("per-path requirements %v: Problem 1 → %v; Problem 2 → %v", perPath, s1.Status, s2.Status)
+	if s2.Status == ilp.Optimal {
+		fmt.Printf(" (path gains %v)", s2.PathGains)
+	}
+	fmt.Println()
+	fmt.Println()
+}
+
+// ablations runs A1 (ILP vs greedy), A2 (parallel code on/off) and A3
+// (interface-aware vs type-0-only) on the calibrated encoder database.
+func ablations() {
+	db, rows, err := apps.GSMEncoderTable()
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Println("== A1: exact ILP vs greedy baseline (GSM encoder) ==")
+	t := report.New("RG", "ILP area", "greedy area", "greedy/ILP")
+	for _, row := range rows {
+		opt, err := selector.Solve(selector.Problem{DB: db, Required: row.RG})
+		if err != nil {
+			fatal(err)
+		}
+		grd := selector.GreedyBaseline(selector.Problem{DB: db, Required: row.RG})
+		if opt.Status != ilp.Optimal || grd.Status != ilp.Optimal {
+			t.Row(row.RG, statusStr(opt.Status), statusStr(grd.Status), "-")
+			continue
+		}
+		t.Row(row.RG, opt.Area, grd.Area, fmt.Sprintf("%.2f", grd.Area/opt.Area))
+	}
+	t.Fprint(os.Stdout)
+
+	fmt.Println("\n== A2: parallel-code methods on/off (GSM encoder) ==")
+	noPC := db.Filter(func(m *imp.IMP) bool { return !m.UsesPC })
+	t2 := report.New("RG", "with PC", "without PC")
+	for _, row := range rows {
+		a, err := selector.Solve(selector.Problem{DB: db, Required: row.RG})
+		if err != nil {
+			fatal(err)
+		}
+		b, err := selector.Solve(selector.Problem{DB: noPC, Required: row.RG})
+		if err != nil {
+			fatal(err)
+		}
+		t2.Row(row.RG, areaOr(a), areaOr(b))
+	}
+	t2.Fprint(os.Stdout)
+
+	fmt.Println("\n== A3: interface-aware vs type-0-only selection (GSM encoder) ==")
+	onlyT0 := db.Filter(func(m *imp.IMP) bool { return m.Cand.Type == iface.Type0 })
+	t3 := report.New("RG", "all interfaces", "type 0 only")
+	for _, row := range rows {
+		a, err := selector.Solve(selector.Problem{DB: db, Required: row.RG})
+		if err != nil {
+			fatal(err)
+		}
+		b, err := selector.Solve(selector.Problem{DB: onlyT0, Required: row.RG})
+		if err != nil {
+			fatal(err)
+		}
+		t3.Row(row.RG, areaOr(a), areaOr(b))
+	}
+	t3.Fprint(os.Stdout)
+	fmt.Println()
+}
+
+func statusStr(s ilp.Status) string { return s.String() }
+
+func areaOr(sel *selector.Selection) string {
+	if sel.Status != ilp.Optimal {
+		return statusStr(sel.Status)
+	}
+	return fmt.Sprintf("%.1f", sel.Area)
+}
+
+// validateV1 compares the analytical gain model against the cycle-level
+// simulator on the end-to-end GSM encoder workload.
+func validateV1() {
+	fmt.Println("== V1: analytical model vs cycle-level simulation (end-to-end GSM encoder) ==")
+	w, err := apps.GSMEncoderWorkload()
+	if err != nil {
+		fatal(err)
+	}
+	b, err := w.Build(false)
+	if err != nil {
+		fatal(err)
+	}
+	var total int64
+	perSC := map[string]int64{}
+	for _, m := range b.DB.IMPs {
+		if m.TotalGain > perSC[m.SC.Name()] {
+			perSC[m.SC.Name()] = m.TotalGain
+		}
+	}
+	keys := make([]string, 0, len(perSC))
+	for k := range perSC {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		total += perSC[k]
+	}
+	sel, err := selector.Solve(selector.Problem{DB: b.DB, Required: total / 2})
+	if err != nil {
+		fatal(err)
+	}
+	res, err := sim.RunSelection(b.DB, sel.Chosen, 0)
+	if err != nil {
+		fatal(err)
+	}
+	t := report.New("s-call", "implementation", "predicted", "simulated", "error")
+	for _, r := range res.Reports {
+		e := 0.0
+		if r.Predicted != 0 {
+			e = 100 * float64(r.Simulated-r.Predicted) / float64(r.Predicted)
+		}
+		t.Row(r.SCall, r.IMP, r.Predicted, r.Simulated, fmt.Sprintf("%+.1f%%", e))
+	}
+	t.Fprint(os.Stdout)
+	fmt.Printf("path cycles: software %d → accelerated %d (speedup %.2fx; model predicted %d)\n\n",
+		res.SoftwareCycles, res.AcceleratedCycles, res.Speedup(), res.PredictedCycles)
+}

@@ -1,0 +1,98 @@
+// Custom-IP exploration: the interface trade-off space of Section 3.
+//
+// Given one IP block and an invocation shape, this example enumerates
+// every feasible interface type with its execution time, gain, and area
+// breakdown, then shows the three effects the paper calls out:
+//
+//  1. an IP faster than the type-0 software template must be
+//     slow-clocked (ClockDiv > 1);
+//  2. IPs with more than two ports or differing in/out rates lose the
+//     unbuffered interface types;
+//  3. parallel code makes a buffered interface on a *slower* IP beat an
+//     unbuffered interface on a faster one.
+//
+// Run with: go run ./examples/custom_ip
+package main
+
+import (
+	"fmt"
+
+	"partita"
+)
+
+func describe(title string, block *partita.IP, shape partita.Shape) {
+	fmt.Printf("== %s ==\n", title)
+	fmt.Printf("%-5s %-9s %-9s %-9s %-8s %-8s %s\n",
+		"type", "exec", "gain", "if-area", "bufwords", "clockdiv", "parallel")
+	for _, c := range partita.InterfaceCandidates(block, shape) {
+		fmt.Printf("%-5v %-9d %-9d %-9.2f %-8d %-8d %v\n",
+			c.Type, c.Exec, c.Gain, c.IfaceArea, c.BufWords, c.ClockDiv, c.TCUsed > 0)
+	}
+	fmt.Println()
+}
+
+func main() {
+	shape := partita.Shape{NIn: 128, NOut: 128, TSW: 40000}
+
+	// A well-matched pipelined filter: all four types are feasible.
+	filter := &partita.IP{
+		ID: "FIR16", Name: "16-tap FIR", Funcs: []string{"fir"},
+		InPorts: 2, OutPorts: 2, InRate: 4, OutRate: 4,
+		Latency: 16, Pipelined: true, Area: 6,
+	}
+	describe("pipelined FIR, rate 4 (template-matched)", filter, shape)
+
+	// A fast IP: the type-0 software interface must divide its clock.
+	fast := &partita.IP{
+		ID: "FFT1", Name: "streaming FFT", Funcs: []string{"fft"},
+		InPorts: 2, OutPorts: 2, InRate: 1, OutRate: 1,
+		Latency: 32, Pipelined: true, Area: 14,
+	}
+	describe("fast IP, rate 1 (slow-clocked on type 0)", fast, shape)
+
+	// An interpolator: output rate differs from input rate, so type 0 is
+	// impossible (Section 3, "Different input and output data rates").
+	interp := &partita.IP{
+		ID: "INTP", Name: "2x interpolator", Funcs: []string{"interp"},
+		InPorts: 1, OutPorts: 1, InRate: 8, OutRate: 4,
+		Latency: 12, Pipelined: true, Area: 4,
+	}
+	describe("interpolator, in-rate 8 / out-rate 4 (no type 0)", interp,
+		partita.Shape{NIn: 64, NOut: 128, TSW: 40000})
+
+	// A wide IP: four input ports exceed the two memory operands per
+	// cycle, so only the buffered types remain.
+	wide := &partita.IP{
+		ID: "MAT4", Name: "4-lane matrix unit", Funcs: []string{"mat"},
+		InPorts: 4, OutPorts: 4, InRate: 2, OutRate: 2,
+		Latency: 24, Pipelined: true, Area: 20,
+	}
+	describe("4-port IP (buffered types only)", wide, shape)
+
+	// The parallel-code effect: a slower IP with parallel code beats a
+	// faster IP without it.
+	slow := &partita.IP{
+		ID: "SLOW", Name: "compact slow engine", Funcs: []string{"f"},
+		InPorts: 2, OutPorts: 2, InRate: 4, OutRate: 4,
+		Latency: 16, Pipelined: true, Area: 3, PerfFactor: 2,
+	}
+	fastNoPC := partita.Shape{NIn: 128, NOut: 128, TSW: 40000}
+	slowPC := fastNoPC
+	slowPC.TC = 100000 // ample independent kernel work
+	var fastGain, slowGain int64
+	for _, c := range partita.InterfaceCandidates(filter, fastNoPC) {
+		if c.Type == partita.Type2 {
+			fastGain = c.Gain
+		}
+	}
+	for _, c := range partita.InterfaceCandidates(slow, slowPC) {
+		if c.Type == partita.Type3 {
+			slowGain = c.Gain
+		}
+	}
+	fmt.Printf("fast IP on IF2 without parallel code: gain %d\n", fastGain)
+	fmt.Printf("slow IP on IF3 with parallel code:    gain %d\n", slowGain)
+	if slowGain > fastGain {
+		fmt.Println("→ the slower IP wins, as the paper's gain equations predict.")
+	}
+}

@@ -1,0 +1,89 @@
+// GSM encoder walkthrough: the paper's primary evaluation application
+// (Table 1) run end-to-end — compile the encoder frame pipeline, profile
+// it on the kernel model, sweep the required gain, and validate the
+// selections on the cycle-level system simulator.
+//
+// Run with: go run ./examples/gsm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"partita"
+	"partita/internal/apps"
+)
+
+func main() {
+	w, err := apps.GSMEncoderWorkload()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	design, err := partita.Analyze(w.Source, w.Root, w.Catalog, partita.Options{
+		DataCount: w.DataCount,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	stats, _, err := design.Profile(w.Entry)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profiled two speech frames: %d cycles, %d MOPs\n", stats.Cycles, stats.Ops)
+	fmt.Printf("hot functions (inclusive cycles):\n")
+	for _, fn := range []string{"encoder", "ltp_search", "autocorr", "weight_fir"} {
+		fmt.Printf("  %-12s %d\n", fn, stats.FuncCycles[fn])
+	}
+
+	fmt.Printf("\ns-call candidates (%d) and their guaranteed parallel code:\n", len(design.DB.SCalls))
+	for _, sc := range design.DB.SCalls {
+		fmt.Printf("  %-4s %-13s T_SW=%-6d PC=%d cycles\n", sc.Name(), sc.Func, sc.TSW, sc.PC1.Cost)
+	}
+
+	var reachable int64
+	best := map[string]int64{}
+	for _, m := range design.DB.IMPs {
+		if m.TotalGain > best[m.SC.Name()] {
+			best[m.SC.Name()] = m.TotalGain
+		}
+	}
+	for _, g := range best {
+		reachable += g
+	}
+
+	fmt.Printf("\nrequired-gain sweep (reachable total: %d cycles):\n", reachable)
+	fmt.Printf("%-8s %-8s %-7s %-3s %-3s %s\n", "RG", "gain", "area", "S", "O", "speedup")
+	for _, pct := range []int64{20, 40, 60, 80} {
+		rg := reachable * pct / 100
+		sel, err := design.Select(rg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if sel.Status != partita.Optimal {
+			fmt.Printf("%-8d %v\n", rg, sel.Status)
+			continue
+		}
+		res, err := design.Simulate(sel, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8d %-8d %-7.1f %-3d %-3d %.2fx\n",
+			rg, sel.Gain, sel.Area, sel.SInstructions, sel.SCallsImplemented, res.Speedup())
+	}
+
+	// Compare against the greedy prior-art baseline at a demanding target.
+	rg := reachable * 8 / 10
+	opt, err := design.Select(rg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	grd := design.GreedySelect(rg)
+	fmt.Printf("\nat RG=%d: ILP area %.1f vs greedy baseline area ", rg, opt.Area)
+	if grd.Status == partita.Optimal {
+		fmt.Printf("%.1f (%.0f%% larger)\n", grd.Area, 100*(grd.Area-opt.Area)/opt.Area)
+	} else {
+		fmt.Printf("(%v)\n", grd.Status)
+	}
+}

@@ -1,0 +1,82 @@
+// JPEG hierarchy walkthrough: reproduces the *mechanism* behind the
+// paper's Table 3 on a live program. The 8×8 block pipeline nests
+// jpeg_block → dct2d → dct1d → cmul_re; IMP flattening lifts IPs from
+// every level into implementation methods of the top-level dct2d s-call,
+// and the selector's choice climbs the hierarchy as the required gain
+// grows: complex-multiplier IP → 1D-DCT IP → full 2D-DCT engine.
+//
+// Run with: go run ./examples/jpeg
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"partita"
+	"partita/internal/apps"
+)
+
+func main() {
+	w, err := apps.JPEGEncoderWorkload()
+	if err != nil {
+		log.Fatal(err)
+	}
+	design, err := partita.Analyze(w.Source, w.Root, w.Catalog, partita.Options{
+		DataCount: w.DataCount,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	stats, _, err := design.Profile(w.Entry)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one 8×8 block in software: %d cycles (%d dct1d calls, %d complex multiplies)\n\n",
+		stats.Cycles, stats.CallCount["dct1d"], stats.CallCount["cmul_re"])
+
+	// Show the hierarchy-flattened IMP database of the dct2d s-call.
+	fmt.Println("implementation methods of the dct2d s-call (IMP flattening):")
+	var dctImps []*partita.IMP
+	for _, m := range design.DB.IMPs {
+		if m.SC.Func == "dct2d" {
+			dctImps = append(dctImps, m)
+		}
+	}
+	sort.Slice(dctImps, func(i, j int) bool { return dctImps[i].TotalGain < dctImps[j].TotalGain })
+	for _, m := range dctImps {
+		level := "direct"
+		if m.Flattened != "" {
+			level = "via " + m.Flattened
+		}
+		fmt.Printf("  %-28s %-12s gain=%-7d IP area=%.1f\n", m.ID, level, m.TotalGain, m.IP.Area)
+	}
+
+	// Sweep: the selected IP climbs the hierarchy as RG grows.
+	var maxGain int64
+	for _, m := range dctImps {
+		if m.TotalGain > maxGain {
+			maxGain = m.TotalGain
+		}
+	}
+	fmt.Println("\nrequired-gain sweep (who implements dct2d?):")
+	for _, pct := range []int64{10, 40, 70, 95} {
+		rg := maxGain * pct / 100
+		sel, err := design.Select(rg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if sel.Status != partita.Optimal {
+			fmt.Printf("  RG=%-8d %v\n", rg, sel.Status)
+			continue
+		}
+		impl := "(software)"
+		for _, m := range sel.Chosen {
+			if m.SC.Func == "dct2d" {
+				impl = m.ID
+			}
+		}
+		fmt.Printf("  RG=%-8d area=%-6.1f dct2d ← %s\n", rg, sel.Area, impl)
+	}
+}

@@ -1,0 +1,3 @@
+module partita
+
+go 1.22

@@ -1,0 +1,315 @@
+// Package apps provides the paper's evaluation workloads in two forms:
+//
+//  1. *Paper-calibrated* IMP databases transcribed from Tables 1-3 of
+//     Choi et al. (DAC 1999) — GSM(TDMA) encoder and decoder and the
+//     JPEG encoder — so the selector regenerates the published rows;
+//  2. *end-to-end* mini-C workloads with synthetic IP catalogs that run
+//     through the full pipeline (compile → profile → CDFG → IMP →
+//     select → simulate).
+//
+// Calibration notes. The tables list, per selected s-call, the tuple
+// (IP, interface type, gain, area) where area covers the IP plus its
+// interface, counted once per distinct implementation (s-calls
+// implemented the same way merge into one S-instruction). We decompose
+// each listed area into a shared IP area plus a per-interface area, and
+// add dominated decoy methods (same s-call, lower gain, higher area) to
+// flesh the database out to the paper's IMP counts (42 encoder / 27
+// decoder / 7+2 JPEG) without disturbing the optima. Two published
+// quirks cannot be reproduced exactly and are documented in
+// EXPERIMENTS.md: the decoder row RG=22240 has several equal-area optima
+// (the paper reports G=28524; the lexicographic tie-break here finds
+// G=27474), and the encoder row RG=381923 lists SC15's implementation
+// with area 3.5 where every other row lists 3 (we keep 3, so A=40.5
+// versus the published 41).
+package apps
+
+import (
+	"partita/internal/iface"
+	"partita/internal/imp"
+	"partita/internal/ip"
+)
+
+// TableRow is one published row plus the checkable expectations.
+type TableRow struct {
+	// RG is the required gain (the paper's first column).
+	RG int64
+	// PaperGain, PaperArea, PaperS, PaperO are the published G/A/S/O.
+	PaperGain int64
+	PaperArea float64
+	PaperS    int
+	PaperO    int
+	// WantGain/WantArea are what the reproduction should produce; they
+	// equal the published values except on the documented quirk rows
+	// (WantGain < 0 means "any gain ≥ RG at the published area").
+	WantGain int64
+	WantArea float64
+	// WantS/WantO are the expected S-instruction and covered-s-call
+	// counts under the min-surplus tie-break (equal to PaperS/PaperO on
+	// rows where the optimum is unique).
+	WantS, WantO int
+	// WantImpl maps s-call names to "IPxx,IFy" strings for rows where
+	// the published selection is provably the unique optimum.
+	WantImpl map[string]string
+}
+
+// synthIP builds a synthetic descriptor for a calibrated block. Ports,
+// rates and latency are representative only — the calibrated databases
+// carry gains directly, so these fields only matter for Validate.
+func synthIP(id string, area float64, funcs ...string) *ip.IP {
+	return &ip.IP{
+		ID: id, Name: id, Funcs: funcs,
+		InPorts: 2, OutPorts: 2, InRate: 4, OutRate: 4,
+		Latency: 8, Pipelined: true, Area: area,
+	}
+}
+
+// GSMEncoderTable returns the calibrated database and expected rows of
+// Table 1 (GSM encoder: 18 s-calls, 23 IPs, 42 IMPs).
+func GSMEncoderTable() (*imp.DB, []TableRow, error) {
+	// Shared IP areas chosen so that IP area + interface area equals the
+	// listed per-implementation area.
+	ip3 := synthIP("IP03", 13.5, "lpc_analysis")
+	ip10 := synthIP("IP10", 1.7, "preemph")
+	ip12 := synthIP("IP12", 2.7, "weight_filter")
+	ip13 := synthIP("IP13", 14.7, "ltp_search")
+	ip16 := synthIP("IP16", 2.5, "rpe_grid")
+	ip17 := synthIP("IP17", 2.7, "quant_code")
+	ip15 := synthIP("IP15", 6.0, "weight_filter") // alternative S-IP, dominated
+	ip18 := synthIP("IP18", 18.0, "ltp_sub")      // hierarchy decoy target
+	ipd1 := synthIP("IPD1", 28.0, "misc_a", "misc_b", "misc_c")
+	ipd2 := synthIP("IPD2", 24.0, "misc_d", "misc_e")
+	ipd3 := synthIP("IPD3", 22.0, "misc_f", "misc_g")
+
+	// The 18 s-calls of the encoder. Names for the ones the table
+	// mentions reflect their role in a GSM 06.10-style coder.
+	funcs := []string{
+		"sc1_scale", "lpc_analysis", "sc3_reflect", "sc4_lar", "sc5_interp",
+		"preemph", "weight_filter_a", "sc8_autocorr", "weight_filter_b",
+		"preemph_b", "weight_filter_c", "preemph_c", "weight_filter_d",
+		"ltp_search", "rpe_grid", "quant_code", "sc17_pack", "sc18_crc",
+	}
+	sims := []imp.SynthIMP{
+		// --- methods appearing in published rows ---
+		{SC: 2, IP: ip3, Type: iface.Type1, Gain: 41670, IfaceArea: 0.5},
+		{SC: 6, IP: ip10, Type: iface.Type0, Gain: 978, IfaceArea: 0.3},
+		{SC: 7, IP: ip12, Type: iface.Type0, Gain: 12531, IfaceArea: 0.3},
+		{SC: 9, IP: ip12, Type: iface.Type0, Gain: 13489, IfaceArea: 0.3},
+		{SC: 10, IP: ip10, Type: iface.Type0, Gain: 978, IfaceArea: 0.3},
+		{SC: 11, IP: ip12, Type: iface.Type0, Gain: 12531, IfaceArea: 0.3},
+		{SC: 12, IP: ip10, Type: iface.Type0, Gain: 978, IfaceArea: 0.3},
+		{SC: 13, IP: ip12, Type: iface.Type0, Gain: 115037, IfaceArea: 0.3},
+		{SC: 14, IP: ip13, Type: iface.Type1, Gain: 162612, IfaceArea: 0.3},
+		{SC: 14, IP: ip13, Type: iface.Type3, Gain: 164532, IfaceArea: 0.8, UsesPC: true},
+		{SC: 15, IP: ip16, Type: iface.Type2, Gain: 8200, IfaceArea: 0.5},
+		{SC: 16, IP: ip17, Type: iface.Type0, Gain: 11576, IfaceArea: 0.3},
+
+		// --- dominated alternatives (same IP, worse interface) ---
+		{SC: 7, IP: ip12, Type: iface.Type2, Gain: 12400, IfaceArea: 0.8},
+		{SC: 9, IP: ip12, Type: iface.Type2, Gain: 13300, IfaceArea: 0.8},
+		{SC: 11, IP: ip12, Type: iface.Type2, Gain: 12400, IfaceArea: 0.8},
+		{SC: 13, IP: ip12, Type: iface.Type2, Gain: 114000, IfaceArea: 0.8},
+		{SC: 9, IP: ip12, Type: iface.Type1, Gain: 13000, IfaceArea: 0.9},
+		{SC: 11, IP: ip12, Type: iface.Type1, Gain: 12000, IfaceArea: 0.9},
+		{SC: 13, IP: ip12, Type: iface.Type1, Gain: 114500, IfaceArea: 0.9},
+		{SC: 6, IP: ip10, Type: iface.Type2, Gain: 950, IfaceArea: 0.8},
+		{SC: 10, IP: ip10, Type: iface.Type2, Gain: 950, IfaceArea: 0.8},
+		{SC: 12, IP: ip10, Type: iface.Type2, Gain: 950, IfaceArea: 0.8},
+		{SC: 2, IP: ip3, Type: iface.Type3, Gain: 41000, IfaceArea: 1.5},
+		// Parallel-code variant of SC2 (one of the paper's three
+		// PC-exploiting IMPs): more gain but a bigger buffer.
+		{SC: 2, IP: ip3, Type: iface.Type1, Gain: 41800, IfaceArea: 1.0, UsesPC: true},
+		{SC: 14, IP: ip13, Type: iface.Type2, Gain: 150000, IfaceArea: 1.0},
+		{SC: 16, IP: ip17, Type: iface.Type2, Gain: 11000, IfaceArea: 0.8},
+		{SC: 16, IP: ip17, Type: iface.Type1, Gain: 11300, IfaceArea: 0.9},
+		// Alternative S-IP for SC13 (the "two or three IPs per s-call").
+		{SC: 13, IP: ip15, Type: iface.Type0, Gain: 110000, IfaceArea: 0.3},
+		// Hierarchy-flattened decoy (the paper's one hierarchical IMP).
+		{SC: 14, IP: ip18, Type: iface.Type0, Gain: 90000, IfaceArea: 0.3, Flattened: "ltp_sub"},
+		// Software-PC method: uses the software body of SC17 as its
+		// parallel code → conflicts with any hardware method of SC17.
+		{SC: 15, IP: ip16, Type: iface.Type3, Gain: 8600, IfaceArea: 3.0, UsesPC: true, PCOf: []int{17}},
+
+		// --- methods of the seven s-calls the tables never select ---
+		{SC: 1, IP: ipd1, Type: iface.Type0, Gain: 900, IfaceArea: 0.3},
+		{SC: 3, IP: ipd1, Type: iface.Type0, Gain: 850, IfaceArea: 0.3},
+		{SC: 4, IP: ipd1, Type: iface.Type0, Gain: 800, IfaceArea: 0.3},
+		{SC: 5, IP: ipd2, Type: iface.Type0, Gain: 700, IfaceArea: 0.3},
+		{SC: 8, IP: ipd2, Type: iface.Type0, Gain: 650, IfaceArea: 0.3},
+		{SC: 17, IP: ipd3, Type: iface.Type0, Gain: 600, IfaceArea: 0.3},
+		{SC: 18, IP: ipd3, Type: iface.Type0, Gain: 550, IfaceArea: 0.3},
+		{SC: 1, IP: ipd2, Type: iface.Type2, Gain: 880, IfaceArea: 0.8},
+		{SC: 3, IP: ipd2, Type: iface.Type2, Gain: 840, IfaceArea: 0.8},
+		{SC: 4, IP: ipd3, Type: iface.Type2, Gain: 790, IfaceArea: 0.8},
+		{SC: 5, IP: ipd3, Type: iface.Type2, Gain: 690, IfaceArea: 0.8},
+		{SC: 8, IP: ipd1, Type: iface.Type2, Gain: 640, IfaceArea: 0.8},
+	}
+
+	db, err := imp.NewSyntheticDB(funcs, sims)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows := []TableRow{
+		{RG: 47740, PaperGain: 115037, PaperArea: 3, PaperS: 1, PaperO: 1,
+			WantGain: 115037, WantArea: 3, WantS: 1, WantO: 1,
+			WantImpl: map[string]string{"SC13": "IP12,IF0"}},
+		{RG: 95480, PaperGain: 115037, PaperArea: 3, PaperS: 1, PaperO: 1,
+			WantGain: 115037, WantArea: 3, WantS: 1, WantO: 1,
+			WantImpl: map[string]string{"SC13": "IP12,IF0"}},
+		{RG: 143221, PaperGain: 153588, PaperArea: 3, PaperS: 1, PaperO: 4,
+			WantGain: 153588, WantArea: 3, WantS: 1, WantO: 4,
+			WantImpl: map[string]string{"SC7": "IP12,IF0", "SC9": "IP12,IF0", "SC11": "IP12,IF0", "SC13": "IP12,IF0"}},
+		{RG: 190961, PaperGain: 195258, PaperArea: 17, PaperS: 2, PaperO: 5,
+			WantGain: 195258, WantArea: 17, WantS: 2, WantO: 5,
+			WantImpl: map[string]string{"SC2": "IP03,IF1", "SC13": "IP12,IF0"}},
+		// Equal-area tie: the paper's solver also included SC7/SC9/SC11
+		// on the shared IP12 (zero marginal area, G=316200, O=5); the
+		// min-surplus tie-break selects only SC13+SC14 (G=277649).
+		{RG: 238702, PaperGain: 316200, PaperArea: 18, PaperS: 2, PaperO: 5,
+			WantGain: 277649, WantArea: 18, WantS: 2, WantO: 2,
+			WantImpl: map[string]string{"SC14": "IP13,IF1", "SC13": "IP12,IF0"}},
+		// Same tie one step later: min surplus adds only SC7.
+		{RG: 286442, PaperGain: 316200, PaperArea: 18, PaperS: 2, PaperO: 5,
+			WantGain: 290180, WantArea: 18, WantS: 2, WantO: 3,
+			WantImpl: map[string]string{"SC14": "IP13,IF1"}},
+		{RG: 334182, PaperGain: 335976, PaperArea: 24, PaperS: 4, PaperO: 7,
+			WantGain: 335976, WantArea: 24, WantS: 4, WantO: 7,
+			WantImpl: map[string]string{"SC14": "IP13,IF1", "SC15": "IP16,IF2", "SC16": "IP17,IF0"}},
+		// Published area is 41 because SC15 is listed with area 3.5 in
+		// this row only; with the consistent 3.0 the optimum is 40.5.
+		{RG: 381923, PaperGain: 382500, PaperArea: 41, PaperS: 6, PaperO: 11,
+			WantGain: 382500, WantArea: 40.5, WantS: 6, WantO: 11,
+			WantImpl: map[string]string{"SC14": "IP13,IF3", "SC2": "IP03,IF1", "SC15": "IP16,IF2"}},
+	}
+	return db, rows, nil
+}
+
+// GSMDecoderTable returns the calibrated database and expected rows of
+// Table 2 (GSM decoder: 11 s-calls, 10 IPs, 27 IMPs).
+func GSMDecoderTable() (*imp.DB, []TableRow, error) {
+	ip2 := synthIP("IP02", 1.8, "postproc")
+	ip4 := synthIP("IP04", 31.6, "synth_filter_fast")
+	ip5 := synthIP("IP05", 3.7, "synth_filter")
+	ip6 := synthIP("IP06", 2.6, "deemph")
+	ip8 := synthIP("IP08", 4.6, "ltp_synth")
+	ip9 := synthIP("IP09", 12.0, "ltp_synth") // dominated alternative
+	ip10 := synthIP("IP10", 2.7, "rpe_decode")
+
+	funcs := []string{
+		"postproc_a", "synth_a", "postproc_b", "synth_b",
+		"postproc_c", "synth_c", "postproc_d", "synth_d",
+		"ltp_synth", "deemph", "rpe_decode",
+	}
+	// The fast M-IP (IP4) implements all four synthesis-filter s-calls
+	// with larger gains; the compact S-IP (IP5) is the cheap option.
+	sims := []imp.SynthIMP{
+		{SC: 1, IP: ip2, Type: iface.Type0, Gain: 978, IfaceArea: 0.2},
+		{SC: 3, IP: ip2, Type: iface.Type0, Gain: 978, IfaceArea: 0.2},
+		{SC: 5, IP: ip2, Type: iface.Type0, Gain: 978, IfaceArea: 0.2},
+		{SC: 7, IP: ip2, Type: iface.Type0, Gain: 978, IfaceArea: 0.2},
+		{SC: 2, IP: ip5, Type: iface.Type0, Gain: 13737, IfaceArea: 0.3},
+		{SC: 4, IP: ip5, Type: iface.Type0, Gain: 14787, IfaceArea: 0.3},
+		{SC: 6, IP: ip5, Type: iface.Type0, Gain: 13737, IfaceArea: 0.3},
+		{SC: 8, IP: ip5, Type: iface.Type0, Gain: 126087, IfaceArea: 0.3},
+		{SC: 2, IP: ip4, Type: iface.Type0, Gain: 14235, IfaceArea: 0.4},
+		{SC: 4, IP: ip4, Type: iface.Type0, Gain: 15327, IfaceArea: 0.4},
+		{SC: 6, IP: ip4, Type: iface.Type0, Gain: 14235, IfaceArea: 0.4},
+		{SC: 8, IP: ip4, Type: iface.Type0, Gain: 131079, IfaceArea: 0.4},
+		{SC: 9, IP: ip8, Type: iface.Type0, Gain: 8568, IfaceArea: 0.4},
+		{SC: 10, IP: ip6, Type: iface.Type0, Gain: 14544, IfaceArea: 0.4},
+		{SC: 10, IP: ip6, Type: iface.Type2, Gain: 15048, IfaceArea: 0.4},
+		{SC: 11, IP: ip10, Type: iface.Type0, Gain: 9028, IfaceArea: 0.3},
+
+		// Dominated decoys.
+		{SC: 2, IP: ip5, Type: iface.Type2, Gain: 13500, IfaceArea: 0.8},
+		{SC: 4, IP: ip5, Type: iface.Type2, Gain: 14500, IfaceArea: 0.8},
+		{SC: 6, IP: ip5, Type: iface.Type2, Gain: 13500, IfaceArea: 0.8},
+		{SC: 8, IP: ip5, Type: iface.Type2, Gain: 125000, IfaceArea: 0.8},
+		{SC: 9, IP: ip8, Type: iface.Type2, Gain: 8400, IfaceArea: 0.9},
+		{SC: 9, IP: ip9, Type: iface.Type0, Gain: 8500, IfaceArea: 0.4},
+		{SC: 10, IP: ip6, Type: iface.Type1, Gain: 14800, IfaceArea: 1.4},
+		{SC: 11, IP: ip10, Type: iface.Type2, Gain: 8900, IfaceArea: 0.8},
+		{SC: 1, IP: ip2, Type: iface.Type2, Gain: 950, IfaceArea: 0.7},
+		{SC: 3, IP: ip2, Type: iface.Type2, Gain: 950, IfaceArea: 0.7},
+		{SC: 5, IP: ip2, Type: iface.Type2, Gain: 950, IfaceArea: 0.7},
+	}
+	db, err := imp.NewSyntheticDB(funcs, sims)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows := []TableRow{
+		// Published selection {SC4, SC6} (G=28524) is one of several
+		// equal-area optima; {SC2, SC6} reaches the target with less
+		// surplus, so the lexicographic reproduction reports G=27474.
+		{RG: 22240, PaperGain: 28524, PaperArea: 4, PaperS: 1, PaperO: 2,
+			WantGain: 27474, WantArea: 4, WantS: 1, WantO: 2},
+		{RG: 44481, PaperGain: 126087, PaperArea: 4, PaperS: 1, PaperO: 1,
+			WantGain: 126087, WantArea: 4, WantS: 1, WantO: 1,
+			WantImpl: map[string]string{"SC8": "IP05,IF0"}},
+		{RG: 111203, PaperGain: 126087, PaperArea: 4, PaperS: 1, PaperO: 1,
+			WantGain: 126087, WantArea: 4, WantS: 1, WantO: 1,
+			WantImpl: map[string]string{"SC8": "IP05,IF0"}},
+		{RG: 133444, PaperGain: 139824, PaperArea: 4, PaperS: 1, PaperO: 2,
+			WantGain: 139824, WantArea: 4, WantS: 1, WantO: 2},
+		{RG: 155684, PaperGain: 168348, PaperArea: 4, PaperS: 1, PaperO: 4,
+			WantGain: 168348, WantArea: 4, WantS: 1, WantO: 4,
+			WantImpl: map[string]string{"SC2": "IP05,IF0", "SC4": "IP05,IF0", "SC6": "IP05,IF0", "SC8": "IP05,IF0"}},
+		{RG: 177925, PaperGain: 182892, PaperArea: 7, PaperS: 2, PaperO: 5,
+			WantGain: 182892, WantArea: 7, WantS: 2, WantO: 5,
+			WantImpl: map[string]string{"SC10": "IP06,IF0"}},
+		{RG: 200166, PaperGain: 200488, PaperArea: 15, PaperS: 4, PaperO: 7,
+			WantGain: 200488, WantArea: 15, WantS: 4, WantO: 7,
+			WantImpl: map[string]string{"SC9": "IP08,IF0", "SC11": "IP10,IF0", "SC10": "IP06,IF0"}},
+		{RG: 211286, PaperGain: 211432, PaperArea: 45, PaperS: 5, PaperO: 11,
+			WantGain: 211432, WantArea: 45, WantS: 5, WantO: 11,
+			WantImpl: map[string]string{"SC8": "IP04,IF0", "SC10": "IP06,IF2", "SC9": "IP08,IF0"}},
+	}
+	return db, rows, nil
+}
+
+// JPEGEncoderTable returns the calibrated database and expected rows of
+// Table 3 (JPEG encoder: 2D-DCT with hierarchy down to complex multiply,
+// plus zig-zag; IP1=2D-DCT, IP2=1D-DCT, IP3=FFT, IP4=C-MUL, IP5=ZIGZAG).
+func JPEGEncoderTable() (*imp.DB, []TableRow, error) {
+	ip1 := synthIP("IP1", 26.5, "dct2d")
+	ip2 := synthIP("IP2", 10.5, "dct1d")
+	ip3 := synthIP("IP3", 8.5, "fft")
+	ip4 := synthIP("IP4", 3.8, "cmul")
+	ip5 := synthIP("IP5", 4.8, "zigzag")
+
+	funcs := []string{"dct2d", "zigzag"}
+	sims := []imp.SynthIMP{
+		// The seven hierarchy-aware methods of the 2D-DCT s-call.
+		{SC: 1, IP: ip4, Type: iface.Type0, Gain: 15040512, IfaceArea: 0.2, Flattened: "cmul"},
+		{SC: 1, IP: ip4, Type: iface.Type2, Gain: 15100000, IfaceArea: 0.7, Flattened: "cmul"},
+		{SC: 1, IP: ip3, Type: iface.Type1, Gain: 19500000, IfaceArea: 0.5, Flattened: "fft"},
+		{SC: 1, IP: ip2, Type: iface.Type1, Gain: 37081088, IfaceArea: 0.5, Flattened: "dct1d"},
+		{SC: 1, IP: ip2, Type: iface.Type3, Gain: 37090000, IfaceArea: 1.0, Flattened: "dct1d"},
+		{SC: 1, IP: ip1, Type: iface.Type1, Gain: 37717440, IfaceArea: 0.5},
+		{SC: 1, IP: ip1, Type: iface.Type3, Gain: 37729728, IfaceArea: 1.0, UsesPC: true},
+		// The two zig-zag methods.
+		{SC: 2, IP: ip5, Type: iface.Type2, Gain: 113984, IfaceArea: 0.7},
+		{SC: 2, IP: ip5, Type: iface.Type3, Gain: 114200, IfaceArea: 1.7},
+	}
+	db, err := imp.NewSyntheticDB(funcs, sims)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows := []TableRow{
+		{RG: 12157384, PaperGain: 15040512, PaperArea: 4, PaperS: 1, PaperO: 1,
+			WantGain: 15040512, WantArea: 4, WantS: 1, WantO: 1,
+			WantImpl: map[string]string{"SC1": "IP4,IF0"}},
+		{RG: 20262307, PaperGain: 37081088, PaperArea: 11, PaperS: 1, PaperO: 1,
+			WantGain: 37081088, WantArea: 11, WantS: 1, WantO: 1,
+			WantImpl: map[string]string{"SC1": "IP2,IF1"}},
+		{RG: 37195000, PaperGain: 37195072, PaperArea: 16.5, PaperS: 2, PaperO: 2,
+			WantGain: 37195072, WantArea: 16.5, WantS: 2, WantO: 2,
+			WantImpl: map[string]string{"SC1": "IP2,IF1", "SC2": "IP5,IF2"}},
+		{RG: 37282645, PaperGain: 37717440, PaperArea: 27, PaperS: 1, PaperO: 1,
+			WantGain: 37717440, WantArea: 27, WantS: 1, WantO: 1,
+			WantImpl: map[string]string{"SC1": "IP1,IF1"}},
+		{RG: 37843700, PaperGain: 37843712, PaperArea: 33, PaperS: 2, PaperO: 2,
+			WantGain: 37843712, WantArea: 33, WantS: 2, WantO: 2,
+			WantImpl: map[string]string{"SC1": "IP1,IF3", "SC2": "IP5,IF2"}},
+	}
+	return db, rows, nil
+}

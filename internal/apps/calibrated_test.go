@@ -1,0 +1,142 @@
+package apps
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"partita/internal/ilp"
+	"partita/internal/imp"
+	"partita/internal/selector"
+)
+
+func checkTable(t *testing.T, name string, db *imp.DB, rows []TableRow) {
+	t.Helper()
+	for _, row := range rows {
+		sel, err := selector.Solve(selector.Problem{DB: db, Required: row.RG})
+		if err != nil {
+			t.Fatalf("%s RG=%d: %v", name, row.RG, err)
+		}
+		if sel.Status != ilp.Optimal {
+			t.Fatalf("%s RG=%d: status %v", name, row.RG, sel.Status)
+		}
+		if math.Abs(sel.Area-row.WantArea) > 1e-6 {
+			t.Errorf("%s RG=%d: area %.2f, want %.2f (paper %.2f)", name, row.RG, sel.Area, row.WantArea, row.PaperArea)
+			for _, m := range sel.Chosen {
+				t.Logf("  chose %s gain=%d", m.ID, m.TotalGain)
+			}
+			continue
+		}
+		if row.WantGain >= 0 && sel.Gain != row.WantGain {
+			t.Errorf("%s RG=%d: gain %d, want %d (paper %d)", name, row.RG, sel.Gain, row.WantGain, row.PaperGain)
+			for _, m := range sel.Chosen {
+				t.Logf("  chose %s gain=%d", m.ID, m.TotalGain)
+			}
+		}
+		if sel.Gain < row.RG {
+			t.Errorf("%s RG=%d: achieved gain %d misses the requirement", name, row.RG, sel.Gain)
+		}
+		// Check the provably unique implementation picks.
+		got := map[string]string{}
+		for _, m := range sel.Chosen {
+			// ID is "SCn:IPxx,IFy[+PC][(via f)]"; strip to IP,IF.
+			parts := strings.SplitN(m.ID, ":", 2)
+			impl := parts[1]
+			impl = strings.SplitN(impl, "+", 2)[0]
+			impl = strings.SplitN(impl, "(", 2)[0]
+			got[m.SC.Name()] = impl
+		}
+		for sc, want := range row.WantImpl {
+			if got[sc] != want {
+				t.Errorf("%s RG=%d: %s implemented as %q, want %q", name, row.RG, sc, got[sc], want)
+			}
+		}
+	}
+}
+
+func TestTable1GSMEncoder(t *testing.T) {
+	db, rows, err := GSMEncoderTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.SCalls) != 18 {
+		t.Errorf("encoder s-calls = %d, want 18", len(db.SCalls))
+	}
+	if len(db.IMPs) != 42 {
+		t.Errorf("encoder IMPs = %d, want 42", len(db.IMPs))
+	}
+	checkTable(t, "T1", db, rows)
+}
+
+func TestTable2GSMDecoder(t *testing.T) {
+	db, rows, err := GSMDecoderTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.SCalls) != 11 {
+		t.Errorf("decoder s-calls = %d, want 11", len(db.SCalls))
+	}
+	if len(db.IMPs) != 27 {
+		t.Errorf("decoder IMPs = %d, want 27", len(db.IMPs))
+	}
+	checkTable(t, "T2", db, rows)
+}
+
+func TestTable3JPEGEncoder(t *testing.T) {
+	db, rows, err := JPEGEncoderTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.IMPs) != 9 {
+		t.Errorf("JPEG IMPs = %d, want 9 (7 for 2D-DCT + 2 for zig-zag)", len(db.IMPs))
+	}
+	checkTable(t, "T3", db, rows)
+}
+
+func TestSOColumnsMatchPaper(t *testing.T) {
+	// Beyond area/gain, the S (S-instructions) and O (s-calls) columns
+	// must match wherever the selection is unique.
+	db, rows, err := GSMEncoderTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		sel, err := selector.Solve(selector.Problem{DB: db, Required: row.RG})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sel.SInstructions != row.WantS {
+			t.Errorf("T1 RG=%d: S=%d, want %d (paper %d)", row.RG, sel.SInstructions, row.WantS, row.PaperS)
+		}
+		if sel.SCallsImplemented != row.WantO {
+			t.Errorf("T1 RG=%d: O=%d, want %d (paper %d)", row.RG, sel.SCallsImplemented, row.WantO, row.PaperO)
+		}
+	}
+}
+
+func TestTablesMonotone(t *testing.T) {
+	// Area must be non-decreasing in RG for each table (the tables'
+	// macro shape: harder targets need more silicon).
+	for _, tc := range []struct {
+		name string
+		gen  func() (*imp.DB, []TableRow, error)
+	}{
+		{"T1", GSMEncoderTable}, {"T2", GSMDecoderTable}, {"T3", JPEGEncoderTable},
+	} {
+		db, rows, err := tc.gen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := -1.0
+		for _, row := range rows {
+			sel, err := selector.Solve(selector.Problem{DB: db, Required: row.RG})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sel.Area < prev-1e-9 {
+				t.Errorf("%s: area decreased from %.2f to %.2f at RG=%d", tc.name, prev, sel.Area, row.RG)
+			}
+			prev = sel.Area
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package apps
+
+import "partita/internal/ip"
+
+// GSMDecoderWorkload builds the end-to-end GSM(TDMA)-style decoder: the
+// received parameters flow through RPE decoding, long-term-prediction
+// synthesis, four short-term synthesis-filter stages with interleaved
+// post-processing (the paper's decoder has four synth/post pairs), and a
+// final de-emphasis — the s-call structure of Table 2 at reduced frame
+// size.
+func GSMDecoderWorkload() (Workload, error) {
+	src := `
+// --- GSM-style decoder frame pipeline (reduced size) ---
+xmem int bits[16] = {3, -2, 5, 1, -4, 2, 0, 6, 3, -2, 5, 1, -4, 2, 0, 6};
+xmem int residual[40];
+xmem int excitation[40];
+ymem int lpc[8] = {26214, -13107, 6553, -3276, 1638, -819, 409, -204};
+xmem int synth0[40];
+xmem int synth1[40];
+xmem int synth2[40];
+xmem int synth3[40];
+xmem int speech[40];
+xmem int prevFrame[40] = {` + speechInit(40) + `};
+int ltpLag;
+int ltpGain;
+int frameEnergy;
+
+// Expand the quantized RPE grid back to a full-rate residual.
+int rpe_decode(xmem int in[], xmem int out[], int n, int grid) {
+	int i;
+	for (i = 0; i < n; i = i + 1) { out[i] = 0; }
+	for (i = 0; i < 13; i = i + 1) {
+		out[grid + i * 3] = in[i] << 2;
+	}
+	return out[grid];
+}
+
+// Long-term prediction synthesis: add the scaled history at the lag.
+int ltp_synth(xmem int res[], xmem int hist[], xmem int out[], int n, int lag, int gain) {
+	int i;
+	for (i = 0; i < n; i = i + 1) {
+		int h;
+		if (i + lag < n) { h = hist[i + lag]; } else { h = 0; }
+		out[i] = res[i] + ((gain * h) >> 15);
+	}
+	return out[0];
+}
+
+// Short-term synthesis filter (lattice-free direct form).
+int synth_filter(xmem int in[], ymem int a[], xmem int out[], int n, int order) {
+	int i; int j; int acc;
+	for (i = 0; i < n; i = i + 1) {
+		acc = in[i] << 15;
+		for (j = 1; j <= order; j = j + 1) {
+			if (i - j >= 0) { acc = acc - a[j - 1] * out[i - j]; }
+		}
+		out[i] = acc >> 15;
+	}
+	return out[n - 1];
+}
+
+// Post-processing: scale and clamp one synthesis stage.
+int postproc(xmem int in[], xmem int out[], int n) {
+	int i; int v;
+	for (i = 0; i < n; i = i + 1) {
+		v = (in[i] * 31130) >> 15;
+		if (v > 32767) { v = 32767; }
+		if (v < -32768) { v = -32768; }
+		out[i] = v;
+	}
+	return out[0];
+}
+
+// De-emphasis: inverse of the encoder's pre-emphasis.
+int deemph(xmem int in[], xmem int out[], int n) {
+	int i;
+	out[0] = in[0];
+	for (i = 1; i < n; i = i + 1) {
+		out[i] = in[i] + ((28180 * out[i - 1]) >> 15);
+	}
+	return out[n - 1];
+}
+
+int decoder() {
+	int r; int l; int s0; int p0; int s1; int p1; int d;
+	r = rpe_decode(bits, residual, 40, 1);
+	l = ltp_synth(residual, prevFrame, excitation, 40, ltpLag, ltpGain);
+	s0 = synth_filter(excitation, lpc, synth0, 40, 8);
+	p0 = postproc(synth0, synth1, 40);
+	s1 = synth_filter(synth1, lpc, synth2, 40, 8);
+	p1 = postproc(synth2, synth3, 40);
+	// Frame-energy bookkeeping independent of the de-emphasis: parallel
+	// code for the deemph s-call.
+	frameEnergy = (frameEnergy * 7 + s0 + s1) >> 3;
+	d = deemph(synth3, speech, 40);
+	return r + l + p0 + p1 + d;
+}
+
+int main() {
+	int f; int total;
+	ltpLag = 3;
+	ltpGain = 18022;
+	total = 0;
+	for (f = 0; f < 2; f = f + 1) {
+		total = total + decoder();
+	}
+	return total;
+}
+`
+	mk := func(id, name string, area float64, rate, latency int, funcs ...string) *ip.IP {
+		return &ip.IP{ID: id, Name: name, Funcs: funcs, InPorts: 2, OutPorts: 2,
+			InRate: rate, OutRate: rate, Latency: latency, Pipelined: true, Area: area}
+	}
+	cat, err := ip.NewCatalog(
+		mk("IP02", "post-processor", 2.0, 4, 4, "postproc"),
+		mk("IP05", "synthesis filter (compact)", 3.7, 4, 12, "synth_filter"),
+		mk("IP04", "synthesis filter (fast)", 12.0, 1, 8, "synth_filter"),
+		mk("IP06", "de-emphasis filter", 2.6, 4, 4, "deemph"),
+		mk("IP08", "LTP synthesizer", 4.6, 2, 8, "ltp_synth"),
+		mk("IP10", "RPE decoder", 2.7, 4, 6, "rpe_decode"),
+	)
+	if err != nil {
+		return Workload{}, err
+	}
+	return Workload{
+		Name:    "gsm-decoder",
+		Source:  src,
+		Root:    "decoder",
+		Entry:   "main",
+		Catalog: cat,
+		DataCount: func(fn string) (int, int) {
+			switch fn {
+			case "rpe_decode":
+				return 13, 40
+			case "ltp_synth":
+				return 80, 40
+			case "synth_filter":
+				return 48, 40
+			case "postproc", "deemph":
+				return 40, 40
+			}
+			return 0, 0
+		},
+	}, nil
+}

@@ -1,0 +1,129 @@
+package apps
+
+import (
+	"testing"
+
+	"partita/internal/ilp"
+	"partita/internal/selector"
+	"partita/internal/sim"
+)
+
+func TestGSMDecoderWorkloadExecutes(t *testing.T) {
+	b := buildWorkload(t, GSMDecoderWorkload, false)
+	stats, _, err := b.Profile()
+	if err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	if stats.CallCount["decoder"] != 2 {
+		t.Errorf("decoder ran %d times, want 2", stats.CallCount["decoder"])
+	}
+	if stats.CallCount["synth_filter"] != 4 {
+		t.Errorf("synth_filter ran %d times, want 4 (2 stages × 2 frames)", stats.CallCount["synth_filter"])
+	}
+	if stats.CallCount["postproc"] != 4 {
+		t.Errorf("postproc ran %d times, want 4", stats.CallCount["postproc"])
+	}
+}
+
+func TestGSMDecoderGrouping(t *testing.T) {
+	// Problem 1 groups the two synth_filter sites into one s-call; under
+	// Problem 2 they are separate.
+	p1 := buildWorkload(t, GSMDecoderWorkload, false)
+	p2 := buildWorkload(t, GSMDecoderWorkload, true)
+	count := func(b *Built, fn string) (groups, sites int) {
+		for _, sc := range b.DB.SCalls {
+			if sc.Func == fn {
+				groups++
+				sites += len(sc.Sites)
+			}
+		}
+		return
+	}
+	g1, s1 := count(p1, "synth_filter")
+	if g1 != 1 || s1 != 2 {
+		t.Errorf("Problem 1: synth_filter groups=%d sites=%d, want 1/2", g1, s1)
+	}
+	g2, s2 := count(p2, "synth_filter")
+	if g2 != 2 || s2 != 2 {
+		t.Errorf("Problem 2: synth_filter groups=%d sites=%d, want 2/2", g2, s2)
+	}
+}
+
+func TestGSMDecoderIPMigration(t *testing.T) {
+	// Table 2's macro behaviour on the live workload: at low RG the
+	// compact synthesis filter (IP05) suffices; pushing RG toward the
+	// maximum forces the fast filter (IP04).
+	b := buildWorkload(t, GSMDecoderWorkload, false)
+	bestPerSC := map[string]int64{}
+	bestIP04 := int64(0)
+	for _, m := range b.DB.IMPs {
+		if m.TotalGain > bestPerSC[m.SC.Name()] {
+			bestPerSC[m.SC.Name()] = m.TotalGain
+		}
+		if m.SC.Func == "synth_filter" && m.IP.ID == "IP04" && m.TotalGain > bestIP04 {
+			bestIP04 = m.TotalGain
+		}
+	}
+	if bestIP04 == 0 {
+		t.Fatal("fast synthesis filter generated no methods")
+	}
+	var total int64
+	for _, g := range bestPerSC {
+		total += g
+	}
+	low, err := selector.Solve(selector.Problem{DB: b.DB, Required: total / 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Requiring the full reachable gain forces every s-call onto its
+	// best method, which for synth_filter is the fast IP04.
+	high, err := selector.Solve(selector.Problem{DB: b.DB, Required: total})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.Status != ilp.Optimal || high.Status != ilp.Optimal {
+		t.Fatalf("low=%v high=%v", low.Status, high.Status)
+	}
+	usesIP := func(sel *selector.Selection, id string) bool {
+		for _, m := range sel.Chosen {
+			if m.IP.ID == id {
+				return true
+			}
+		}
+		return false
+	}
+	if usesIP(low, "IP04") {
+		t.Errorf("low RG already uses the expensive fast filter")
+	}
+	if !usesIP(high, "IP04") {
+		t.Errorf("high RG did not migrate to the fast filter")
+	}
+	if low.Area >= high.Area {
+		t.Errorf("area should grow: %g vs %g", low.Area, high.Area)
+	}
+}
+
+func TestGSMDecoderSimulation(t *testing.T) {
+	b := buildWorkload(t, GSMDecoderWorkload, false)
+	var total int64
+	best := map[string]int64{}
+	for _, m := range b.DB.IMPs {
+		if m.TotalGain > best[m.SC.Name()] {
+			best[m.SC.Name()] = m.TotalGain
+		}
+	}
+	for _, g := range best {
+		total += g
+	}
+	sel, err := selector.Solve(selector.Problem{DB: b.DB, Required: total / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.RunSelection(b.DB, sel.Chosen, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup() <= 1 {
+		t.Errorf("speedup %.2f", res.Speedup())
+	}
+}

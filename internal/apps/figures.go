@@ -1,0 +1,98 @@
+package apps
+
+import (
+	"partita/internal/cdfg"
+	"partita/internal/iface"
+	"partita/internal/imp"
+	"partita/internal/ip"
+)
+
+// Fig9Problem reproduces the motivating example of the paper's Fig. 9:
+// three independent fir() calls whose software time is 100 cycles each,
+// accelerated by one shared FIR IP that is only slightly faster (90
+// cycles). Under Problem 1 the best the IP can do is run all three
+// serially (total gain 30); under Problem 2 the software body of one fir
+// can run in the kernel *while* the IP processes another, which is the
+// better schedule the paper illustrates.
+//
+// The returned databases share the s-call structure; rg is a required
+// gain that is infeasible under Problem 1 but feasible under Problem 2.
+func Fig9Problem() (p1, p2 *imp.DB, rg int64, err error) {
+	const (
+		tsw  = 100
+		tip  = 90
+		gain = tsw - tip // per fir, hardware only
+	)
+	firIP := &ip.IP{ID: "FIRIP", Name: "FIR engine", Funcs: []string{"fir"},
+		InPorts: 2, OutPorts: 2, InRate: 4, OutRate: 4,
+		Latency: tip, Pipelined: false, Area: 10}
+
+	funcs := []string{"fir", "fir", "fir"}
+	base := []imp.SynthIMP{
+		{SC: 1, IP: firIP, Type: iface.Type3, Gain: gain, IfaceArea: 1},
+		{SC: 2, IP: firIP, Type: iface.Type3, Gain: gain, IfaceArea: 1},
+		{SC: 3, IP: firIP, Type: iface.Type3, Gain: gain, IfaceArea: 1},
+	}
+	p1, err = imp.NewSyntheticDB(funcs, base)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	// Problem 2 adds the schedule of Fig. 9's right-hand side: fir #1 on
+	// the IP with the software body of fir #2 as its parallel code. The
+	// overlap hides (almost) the whole IP run: MIN(T_IP, T_C) = 90, so
+	// the method's gain is T_SW − (T_IP − 90) ≈ 98 (transfer residue 2).
+	p2Imps := append(append([]imp.SynthIMP{}, base...), imp.SynthIMP{
+		SC: 1, IP: firIP, Type: iface.Type3, Gain: 98, IfaceArea: 1,
+		UsesPC: true, PCOf: []int{2},
+	})
+	p2, err = imp.NewSyntheticDB(funcs, p2Imps)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	// gain 3×10 = 30 is the Problem-1 maximum; 98 + 10 = 108 is within
+	// Problem 2's reach (fir#2 must stay in software — the conflict
+	// forbids its hardware method).
+	return p1, p2, 100, nil
+}
+
+// Fig10Problem reproduces Fig. 10: two execution paths share a common
+// fir() s-call. Path P1 (three firs) has enough margin to leave one fir
+// in software; path P2 (dct + the common fir) can only meet its
+// constraint when the common fir's software body serves as the dct's
+// parallel code — a solution Problem 1 cannot express.
+//
+// Returned: the database (Problem-2 form), per-path requirements
+// aligned with db.Paths, and the path memberships.
+func Fig10Problem() (db *imp.DB, perPath []int64, err error) {
+	firIP := &ip.IP{ID: "FIRIP", Name: "FIR engine", Funcs: []string{"fir"},
+		InPorts: 2, OutPorts: 2, InRate: 4, OutRate: 4,
+		Latency: 8, Pipelined: true, Area: 8}
+	dctIP := &ip.IP{ID: "DCTIP", Name: "DCT engine", Funcs: []string{"dct"},
+		InPorts: 2, OutPorts: 2, InRate: 2, OutRate: 2,
+		Latency: 16, Pipelined: true, Area: 12}
+
+	// SC1 = common fir (on both paths), SC2, SC3 = P1-only firs,
+	// SC4 = P2-only dct.
+	funcs := []string{"fir_common", "fir_b", "fir_c", "dct"}
+	db, err = imp.NewSyntheticDB(funcs, []imp.SynthIMP{
+		{SC: 1, IP: firIP, Type: iface.Type0, Gain: 30, IfaceArea: 0.5},
+		{SC: 2, IP: firIP, Type: iface.Type0, Gain: 100, IfaceArea: 0.5},
+		{SC: 3, IP: firIP, Type: iface.Type0, Gain: 100, IfaceArea: 0.5},
+		{SC: 4, IP: dctIP, Type: iface.Type1, Gain: 80, IfaceArea: 1},
+		// The Problem-2 method: dct with the common fir's software body
+		// as parallel code.
+		{SC: 4, IP: dctIP, Type: iface.Type1, Gain: 160, IfaceArea: 1.5,
+			UsesPC: true, PCOf: []int{1}},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	// Two execution paths: P1 = {SC1, SC2, SC3}, P2 = {SC4, SC1}.
+	db.Paths = [][]*cdfg.Node{
+		{db.SCalls[0].Sites[0], db.SCalls[1].Sites[0], db.SCalls[2].Sites[0]},
+		{db.SCalls[3].Sites[0], db.SCalls[0].Sites[0]},
+	}
+	// P1 needs 200 (two firs), P2 needs 150 (only reachable through the
+	// PC method, since dct+fir hardware yields 80+30=110).
+	return db, []int64{200, 150}, nil
+}

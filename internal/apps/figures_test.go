@@ -1,0 +1,80 @@
+package apps
+
+import (
+	"testing"
+
+	"partita/internal/ilp"
+	"partita/internal/imp"
+	"partita/internal/selector"
+)
+
+func TestFig9Problem2Helps(t *testing.T) {
+	p1, p2, rg, err := Fig9Problem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := selector.Solve(selector.Problem{DB: p1, Required: rg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Status != ilp.Infeasible {
+		t.Errorf("Problem 1 status = %v, want infeasible (max gain 30 < %d)", s1.Status, rg)
+	}
+	s2, err := selector.Solve(selector.Problem{DB: p2, Required: rg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Status != ilp.Optimal {
+		t.Fatalf("Problem 2 status = %v, want optimal", s2.Status)
+	}
+	// The schedule must use the PC method and must NOT implement fir #2
+	// in hardware (its software body is the parallel code).
+	usedPC := false
+	for _, m := range s2.Chosen {
+		if m.UsesPC {
+			usedPC = true
+		}
+		if m.SC.Index == 2 {
+			t.Errorf("fir #2 implemented in hardware despite being the parallel code")
+		}
+	}
+	if !usedPC {
+		t.Error("Problem 2 solution does not use the parallel-code method")
+	}
+}
+
+func TestFig10CommonSCall(t *testing.T) {
+	db, perPath, err := Fig10Problem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Problem-1 form: without software-PC methods, path P2 cannot reach
+	// its requirement (dct+fir hardware give only 110 < 150).
+	p1db := db.Filter(func(m *imp.IMP) bool { return len(m.PCSCalls) == 0 })
+	s1, err := selector.Solve(selector.Problem{DB: p1db, PerPath: perPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Status != ilp.Infeasible {
+		t.Errorf("Problem 1 status = %v, want infeasible", s1.Status)
+	}
+
+	// Problem 2: the common fir stays in software as the dct's parallel
+	// code; the other two firs go to hardware.
+	s2, err := selector.Solve(selector.Problem{DB: db, PerPath: perPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Status != ilp.Optimal {
+		t.Fatalf("Problem 2 status = %v, want optimal", s2.Status)
+	}
+	common := db.SCalls[0]
+	for _, m := range s2.Chosen {
+		if m.SC == common {
+			t.Errorf("common fir implemented in hardware; it must stay in software as PC")
+		}
+	}
+	if len(s2.PathGains) != 2 || s2.PathGains[0] < perPath[0] || s2.PathGains[1] < perPath[1] {
+		t.Errorf("path gains %v below requirements %v", s2.PathGains, perPath)
+	}
+}

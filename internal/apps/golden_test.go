@@ -1,0 +1,142 @@
+package apps
+
+import (
+	"testing"
+
+	"partita/internal/dsp"
+	"partita/internal/kernel"
+	"partita/internal/mop"
+	"partita/internal/profile"
+)
+
+// TestMiniCFIRMatchesGoldenDSP runs the GSM encoder workload on the MOP
+// interpreter and cross-checks the weighting-filter output array against
+// the reference fixed-point implementation in internal/dsp — the two
+// independently written stacks must agree bit-exactly.
+func TestMiniCFIRMatchesGoldenDSP(t *testing.T) {
+	b := buildWorkload(t, GSMEncoderWorkload, false)
+	m := profile.New(b.Prog, b.Layout, kernel.DefaultCost())
+	if _, err := m.Run(b.Workload.Entry); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pull the machine's arrays out of data memory.
+	read := func(name string, n int) []int64 {
+		loc, ok := b.Layout.Loc("", name)
+		if !ok {
+			loc, ok = b.Layout.Globals[name], true
+		}
+		vals, err := m.ReadArray(loc.Bank, loc.Base, n)
+		if err != nil {
+			t.Fatalf("read %s: %v", name, err)
+		}
+		return vals
+	}
+	speech := read("speech", 40)
+	emph := read("emph", 40)
+	wcoef := read("wcoef", 8)
+	wout := read("wout", 40)
+
+	// Golden pre-emphasis: out[i] = in[i] − (28180·in[i−1])>>15.
+	goldEmph := make([]int64, 40)
+	goldEmph[0] = speech[0]
+	for i := 1; i < 40; i++ {
+		goldEmph[i] = speech[i] - (28180*speech[i-1])>>15
+	}
+	for i := range goldEmph {
+		if emph[i] != goldEmph[i] {
+			t.Fatalf("emph[%d]: interpreter %d vs golden %d", i, emph[i], goldEmph[i])
+		}
+	}
+
+	// Golden FIR from internal/dsp.
+	goldOut := make([]int64, 64)
+	n, err := dsp.FIR(goldEmph, wcoef, goldOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 33 { // 40 − 8 + 1
+		t.Fatalf("golden FIR produced %d samples, want 33", n)
+	}
+	for i := 0; i < n; i++ {
+		if wout[i] != goldOut[i] {
+			t.Fatalf("wout[%d]: interpreter %d vs dsp.FIR %d", i, wout[i], goldOut[i])
+		}
+	}
+}
+
+// TestAsmRoundTripOnWorkloads asserts the assembler round-trips the
+// compiled output of every workload: String → ParseAsm → String is a
+// fixed point and the re-parsed program executes identically.
+func TestAsmRoundTripOnWorkloads(t *testing.T) {
+	gens := []func() (Workload, error){
+		GSMEncoderWorkload, GSMDecoderWorkload, JPEGEncoderWorkload, JPEGDecoderWorkload,
+	}
+	for _, gen := range gens {
+		b := buildWorkloadFrom(t, gen)
+		text := b.Prog.String()
+		p2, err := mop.ParseAsm("entry " + b.Prog.Entry + "\n" + text)
+		if err != nil {
+			t.Fatalf("%s: re-parse: %v", b.Workload.Name, err)
+		}
+		if p2.String() != text {
+			t.Fatalf("%s: assembler round trip diverged", b.Workload.Name)
+		}
+		m1 := profile.New(b.Prog, b.Layout, kernel.DefaultCost())
+		r1, err := m1.Run(b.Workload.Entry)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2 := profile.New(p2, b.Layout, kernel.DefaultCost())
+		r2, err := m2.Run(b.Workload.Entry)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1 != r2 {
+			t.Fatalf("%s: reassembled program computes %d, original %d", b.Workload.Name, r2, r1)
+		}
+	}
+}
+
+func buildWorkloadFrom(t *testing.T, gen func() (Workload, error)) *Built {
+	t.Helper()
+	w, err := gen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.Build(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestMiniCZigZagMatchesGolden cross-checks the JPEG workload's zig-zag
+// scan against dsp.ZigZag.
+func TestMiniCZigZagMatchesGolden(t *testing.T) {
+	b := buildWorkload(t, JPEGEncoderWorkload, false)
+	m := profile.New(b.Prog, b.Layout, kernel.DefaultCost())
+	if _, err := m.Run(b.Workload.Entry); err != nil {
+		t.Fatal(err)
+	}
+	read := func(name string, n int) []int64 {
+		loc := b.Layout.Globals[name]
+		vals, err := m.ReadArray(loc.Bank, loc.Base, n)
+		if err != nil {
+			t.Fatalf("read %s: %v", name, err)
+		}
+		return vals
+	}
+	freq := read("freq", 64)
+	scan := read("scan", 64)
+
+	gold := make([]int64, 64)
+	if err := dsp.ZigZag(freq, 8, gold); err != nil {
+		t.Fatal(err)
+	}
+	for i := range gold {
+		if scan[i] != gold[i] {
+			t.Fatalf("scan[%d]: interpreter %d vs dsp.ZigZag %d", i, scan[i], gold[i])
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package apps
+
+import "partita/internal/ip"
+
+// JPEGDecoderWorkload builds the JPEG-style decoder pipeline ("similar
+// results were obtained for the decoder part", Section 5.2): coded
+// coefficients flow through dequantization, inverse zig-zag, and a
+// hierarchical 2-D inverse DCT (idct2d → idct1d → cmul_re).
+func JPEGDecoderWorkload() (Workload, error) {
+	src := `
+// --- JPEG-style 8×8 block decoder ---
+xmem int coded[64] = {` + speechInit(64) + `};
+ymem int cosq[64] = {` + cosTableInit(8) + `};
+xmem int dequant[64];
+ymem int deziz[64];
+xmem int rowbuf[8];
+ymem int rowout[8];
+xmem int stage[64];
+ymem int pixels[64];
+int dcAccum;
+int blockStatus;
+
+int cmul_re(int ar, int ai, int br, int bi) {
+	return ((ar * br) >> 8) - ((ai * bi) >> 8);
+}
+
+// Inverse 8-point DCT built on cmul_re.
+int idct1d(xmem int in[], ymem int out[], ymem int cq[]) {
+	int i; int k; int acc;
+	for (i = 0; i < 8; i = i + 1) {
+		acc = in[0] << 4;
+		for (k = 1; k < 8; k = k + 1) {
+			acc = acc + cmul_re(in[k], in[k] >> 4, cq[k * 8 + i], cq[i * 8 + k]);
+		}
+		out[i] = acc >> 5;
+	}
+	return out[0];
+}
+
+int idct2d(xmem int f[], xmem int st[], ymem int px[], ymem int cq[]) {
+	int r; int c; int v;
+	for (c = 0; c < 8; c = c + 1) {
+		for (r = 0; r < 8; r = r + 1) { rowbuf[r] = f[r * 8 + c]; }
+		v = idct1d(rowbuf, rowout, cq);
+		for (r = 0; r < 8; r = r + 1) { st[r * 8 + c] = rowout[r]; }
+	}
+	for (r = 0; r < 8; r = r + 1) {
+		int c2;
+		for (c2 = 0; c2 < 8; c2 = c2 + 1) { rowbuf[c2] = st[r * 8 + c2]; }
+		v = idct1d(rowbuf, rowout, cq);
+		for (c2 = 0; c2 < 8; c2 = c2 + 1) { px[r * 8 + c2] = rowout[c2]; }
+	}
+	return v;
+}
+
+int dequant_block(xmem int in[], xmem int out[], int step) {
+	int i;
+	for (i = 0; i < 64; i = i + 1) { out[i] = in[i] * step; }
+	return out[0];
+}
+
+// Inverse zig-zag: scatter the scanned order back to row-major.
+int dezigzag(xmem int in[], ymem int out[]) {
+	int s; int r; int c; int idx;
+	idx = 0;
+	for (s = 0; s < 15; s = s + 1) {
+		if (s % 2 == 0) {
+			r = s; if (r > 7) { r = 7; }
+			c = s - r;
+			while (r >= 0 && c < 8) {
+				out[r * 8 + c] = in[idx];
+				idx = idx + 1;
+				r = r - 1;
+				c = c + 1;
+			}
+		} else {
+			c = s; if (c > 7) { c = 7; }
+			r = s - c;
+			while (c >= 0 && r < 8) {
+				out[r * 8 + c] = in[idx];
+				idx = idx + 1;
+				c = c - 1;
+				r = r + 1;
+			}
+		}
+	}
+	return out[0];
+}
+
+// Copy the de-zig-zagged coefficients into X memory for the IDCT.
+int gather(ymem int in[], xmem int out[]) {
+	int i;
+	for (i = 0; i < 64; i = i + 1) { out[i] = in[i]; }
+	return out[0];
+}
+
+int jpeg_decode() {
+	int q; int z; int g; int d;
+	q = dequant_block(coded, dequant, 8);
+	z = dezigzag(dequant, deziz);
+	g = gather(deziz, stage);
+	// DC accumulation independent of the IDCT: parallel-code candidate.
+	dcAccum = (dcAccum * 7 + q) >> 3;
+	d = idct2d(stage, stage, pixels, cosq);
+	blockStatus = q + z + g + d;
+	return blockStatus;
+}
+
+int main() { return jpeg_decode(); }
+`
+	mk := func(id, name string, area float64, rate, latency int, funcs ...string) *ip.IP {
+		return &ip.IP{ID: id, Name: name, Funcs: funcs, InPorts: 2, OutPorts: 2,
+			InRate: rate, OutRate: rate, Latency: latency, Pipelined: true, Area: area}
+	}
+	cat, err := ip.NewCatalog(
+		mk("IP1", "2D-IDCT engine", 26.5, 1, 64, "idct2d"),
+		mk("IP2", "1D-IDCT engine", 10.5, 2, 16, "idct1d"),
+		mk("IP4", "complex multiplier", 3.8, 4, 4, "cmul_re"),
+		mk("IP5", "inverse zig-zag", 4.8, 2, 8, "dezigzag"),
+		mk("IP6", "dequantizer", 2.7, 4, 4, "dequant_block"),
+	)
+	if err != nil {
+		return Workload{}, err
+	}
+	return Workload{
+		Name:    "jpeg-decoder",
+		Source:  src,
+		Root:    "jpeg_decode",
+		Entry:   "main",
+		Catalog: cat,
+		DataCount: func(fn string) (int, int) {
+			switch fn {
+			case "idct2d", "dezigzag", "dequant_block", "gather":
+				return 64, 64
+			case "idct1d":
+				return 8, 8
+			case "cmul_re":
+				return 4, 1
+			}
+			return 0, 0
+		},
+	}, nil
+}

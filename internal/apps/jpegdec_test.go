@@ -1,0 +1,104 @@
+package apps
+
+import (
+	"testing"
+
+	"partita/internal/ilp"
+	"partita/internal/kernel"
+	"partita/internal/profile"
+	"partita/internal/selector"
+)
+
+func TestJPEGDecoderExecutesAndInvertsZigZag(t *testing.T) {
+	b := buildWorkload(t, JPEGDecoderWorkload, false)
+	m := profile.New(b.Prog, b.Layout, kernel.DefaultCost())
+	if _, err := m.Run(b.Workload.Entry); err != nil {
+		t.Fatal(err)
+	}
+	stats := m.Stats()
+	if stats.CallCount["idct1d"] != 16 {
+		t.Errorf("idct1d ran %d times, want 16", stats.CallCount["idct1d"])
+	}
+
+	// The encoder's zigzag followed by the decoder's dezigzag is the
+	// identity: check dezigzag really is the scatter inverse by reading
+	// memory: deziz[zigzagIndex[k]] == dequant[k].
+	read := func(name string, n int) []int64 {
+		loc := b.Layout.Globals[name]
+		vals, err := m.ReadArray(loc.Bank, loc.Base, n)
+		if err != nil {
+			t.Fatalf("read %s: %v", name, err)
+		}
+		return vals
+	}
+	dequant := read("dequant", 64)
+	deziz := read("deziz", 64)
+	// Reconstruct the zig-zag order (same walk as the mini-C).
+	idx := zigzagOrder()
+	for k, target := range idx {
+		if deziz[target] != dequant[k] {
+			t.Fatalf("dezigzag[%d→%d] = %d, want %d", k, target, deziz[target], dequant[k])
+		}
+	}
+}
+
+// zigzagOrder returns the row-major index written by the k'th scanned
+// element for an 8×8 block.
+func zigzagOrder() []int {
+	var order []int
+	for s := 0; s < 15; s++ {
+		if s%2 == 0 {
+			r := s
+			if r > 7 {
+				r = 7
+			}
+			c := s - r
+			for r >= 0 && c < 8 {
+				order = append(order, r*8+c)
+				r--
+				c++
+			}
+		} else {
+			c := s
+			if c > 7 {
+				c = 7
+			}
+			r := s - c
+			for c >= 0 && r < 8 {
+				order = append(order, r*8+c)
+				c--
+				r++
+			}
+		}
+	}
+	return order
+}
+
+func TestJPEGDecoderHierarchySelection(t *testing.T) {
+	b := buildWorkload(t, JPEGDecoderWorkload, false)
+	// The decoder's dct hierarchy must flatten like the encoder's.
+	var direct, viaIDCT1D, viaCMUL int
+	for _, m := range b.DB.IMPs {
+		if m.SC.Func != "idct2d" {
+			continue
+		}
+		switch m.Flattened {
+		case "":
+			direct++
+		case "idct1d":
+			viaIDCT1D++
+		case "cmul_re":
+			viaCMUL++
+		}
+	}
+	if direct == 0 || viaIDCT1D == 0 || viaCMUL == 0 {
+		t.Errorf("idct2d IMPs: direct=%d via1d=%d viaCMUL=%d", direct, viaIDCT1D, viaCMUL)
+	}
+	sel, err := selector.Solve(selector.Problem{DB: b.DB, Required: selector.MaxReachableGain(b.DB) / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Status != ilp.Optimal {
+		t.Fatalf("status %v", sel.Status)
+	}
+}

@@ -1,0 +1,138 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"partita/internal/ip"
+)
+
+// RandomWorkload generates a synthetic but well-formed DSP application:
+// a library of filter-like kernels over shared arrays, a top function
+// calling them (optionally under branches, with independent bookkeeping
+// between calls), and a random IP catalog covering a subset of them.
+// It is the stress-fuzz input for the whole pipeline: every generated
+// workload must compile, execute, and survive selection and simulation.
+func RandomWorkload(seed int64) (Workload, error) {
+	rng := rand.New(rand.NewSource(seed))
+	nKernels := 2 + rng.Intn(4)
+
+	var b strings.Builder
+	// Shared arrays: one X signal, one Y coefficient set per kernel, one
+	// X output per kernel.
+	fmt.Fprintf(&b, "xmem int sig[32] = {%s};\n", speechInit(32))
+	for k := 0; k < nKernels; k++ {
+		fmt.Fprintf(&b, "ymem int c%d[8] = {%s};\n", k, speechInit(8))
+		fmt.Fprintf(&b, "xmem int out%d[32];\n", k)
+	}
+	b.WriteString("int book;\n")
+
+	kinds := []string{"firlike", "scanlike", "scalelike"}
+	for k := 0; k < nKernels; k++ {
+		kind := kinds[rng.Intn(len(kinds))]
+		taps := 2 + rng.Intn(6)
+		switch kind {
+		case "firlike":
+			fmt.Fprintf(&b, `
+int kern%d(xmem int in[], ymem int c[], xmem int o[]) {
+	int i; int j; int acc;
+	for (i = 0; i + %d <= 32; i = i + 1) {
+		acc = 0;
+		for (j = 0; j < %d; j = j + 1) { acc = acc + in[i + j] * c[j]; }
+		o[i] = acc >> %d;
+	}
+	return o[0];
+}
+`, k, taps, taps, 4+rng.Intn(8))
+		case "scanlike":
+			fmt.Fprintf(&b, `
+int kern%d(xmem int in[], ymem int c[], xmem int o[]) {
+	int i; int run;
+	run = 0;
+	for (i = 0; i < 32; i = i + 1) {
+		run = run + in[i] - (c[i %% 8] >> 2);
+		if (run > 10000) { break; }
+		o[i] = run;
+	}
+	return run;
+}
+`, k)
+		default:
+			fmt.Fprintf(&b, `
+int kern%d(xmem int in[], ymem int c[], xmem int o[]) {
+	int i;
+	for (i = 0; i < 32; i = i + 1) {
+		if (in[i] < 0) { o[i] = -in[i] * c[0] >> 6; continue; }
+		o[i] = in[i] * c[1] >> 6;
+	}
+	return o[31];
+}
+`, k)
+		}
+	}
+
+	// Top function: sequential calls, independent bookkeeping, and an
+	// optional branch pair.
+	b.WriteString("\nint top(int mode) {\n\tint r; int acc;\n\tacc = 0;\n")
+	branchy := rng.Intn(2) == 1 && nKernels >= 3
+	for k := 0; k < nKernels; k++ {
+		call := fmt.Sprintf("kern%d(sig, c%d, out%d)", k, k, k)
+		if branchy && k == 1 {
+			fmt.Fprintf(&b, "\tif (mode > 0) { r = %s; acc = acc + r; } else { r = kern0(sig, c0, out0); acc = acc + r; }\n", call)
+			continue
+		}
+		fmt.Fprintf(&b, "\tr = %s;\n\tacc = acc + r;\n", call)
+		if rng.Intn(2) == 0 {
+			fmt.Fprintf(&b, "\tbook = (book * %d + %d) >> 1;\n", 3+rng.Intn(5), rng.Intn(100))
+		}
+	}
+	b.WriteString("\treturn acc;\n}\n\nint main() { return top(1); }\n")
+
+	// Random catalog over a subset of kernels, plus maybe an M-IP.
+	var blocks []*ip.IP
+	covered := 0
+	for k := 0; k < nKernels; k++ {
+		if rng.Intn(4) == 0 && covered > 0 {
+			continue // leave some kernels without IPs
+		}
+		covered++
+		rate := []int{1, 2, 4, 8}[rng.Intn(4)]
+		blocks = append(blocks, &ip.IP{
+			ID:      fmt.Sprintf("RIP%d", k),
+			Name:    fmt.Sprintf("engine for kern%d", k),
+			Funcs:   []string{fmt.Sprintf("kern%d", k)},
+			InPorts: 1 + rng.Intn(3), OutPorts: 1 + rng.Intn(2),
+			InRate: rate, OutRate: rate,
+			Latency: 2 + rng.Intn(30), Pipelined: rng.Intn(4) != 0,
+			Area:     1 + float64(rng.Intn(20)),
+			Protocol: ip.Protocol(rng.Intn(3)),
+		})
+	}
+	if nKernels >= 2 && rng.Intn(2) == 0 {
+		blocks = append(blocks, &ip.IP{
+			ID: "RMIP", Name: "multi-function engine",
+			Funcs:   []string{"kern0", "kern1"},
+			InPorts: 2, OutPorts: 2, InRate: 4, OutRate: 4,
+			Latency: 10 + rng.Intn(20), Pipelined: true,
+			Area: 10 + float64(rng.Intn(15)), PerfFactor: 1.3,
+		})
+	}
+	cat, err := ip.NewCatalog(blocks...)
+	if err != nil {
+		return Workload{}, err
+	}
+	return Workload{
+		Name:    fmt.Sprintf("random-%d", seed),
+		Source:  b.String(),
+		Root:    "top",
+		Entry:   "main",
+		Catalog: cat,
+		DataCount: func(fn string) (int, int) {
+			if strings.HasPrefix(fn, "kern") {
+				return 32, 32
+			}
+			return 0, 0
+		},
+	}, nil
+}

@@ -1,0 +1,138 @@
+package apps
+
+import (
+	"testing"
+
+	"partita/internal/cdfg"
+	"partita/internal/cprog"
+	"partita/internal/ilp"
+	"partita/internal/selector"
+	"partita/internal/sim"
+)
+
+// TestRandomWorkloadsEndToEnd is the whole-pipeline stress fuzz: random
+// applications and catalogs must compile, execute, select, and simulate
+// without errors, and every optimal selection must actually meet its
+// requirement while the greedy baseline never beats the ILP on area.
+func TestRandomWorkloadsEndToEnd(t *testing.T) {
+	for seed := int64(1); seed <= 30; seed++ {
+		w, err := RandomWorkload(seed)
+		if err != nil {
+			t.Fatalf("seed %d: generate: %v", seed, err)
+		}
+		b, err := w.Build(seed%3 == 0) // every third run in Problem-2 mode
+		if err != nil {
+			t.Fatalf("seed %d: build: %v\n%s", seed, err, w.Source)
+		}
+		if _, _, err := b.Profile(); err != nil {
+			t.Fatalf("seed %d: profile: %v\n%s", seed, err, w.Source)
+		}
+		// The uniform requirement is bounded by the weakest path.
+		max := selector.MaxReachableGain(b.DB)
+		for _, pp := range selector.MaxReachablePerPath(b.DB) {
+			if pp < max {
+				max = pp
+			}
+		}
+		if max <= 0 {
+			continue // catalog covered nothing gainful; still a valid run
+		}
+		for _, frac := range []int64{25, 75, 120} {
+			rg := max * frac / 100
+			sel, err := selector.Solve(selector.Problem{DB: b.DB, Required: rg})
+			if err != nil {
+				t.Fatalf("seed %d: solve: %v", seed, err)
+			}
+			if frac > 100 {
+				// Above the reachable bound the instance is infeasible
+				// (modulo Problem-2 conflict slack, which only lowers it).
+				if sel.Status == ilp.Optimal && sel.Gain < rg {
+					t.Fatalf("seed %d: optimal below requirement", seed)
+				}
+				continue
+			}
+			if sel.Status != ilp.Optimal {
+				t.Fatalf("seed %d frac %d: status %v (max %d)", seed, frac, sel.Status, max)
+			}
+			if sel.Gain < rg {
+				t.Fatalf("seed %d: gain %d < required %d", seed, sel.Gain, rg)
+			}
+			grd := selector.GreedyBaseline(selector.Problem{DB: b.DB, Required: rg})
+			if grd.Status == ilp.Optimal && grd.Area < sel.Area-1e-9 {
+				t.Fatalf("seed %d: greedy area %g beats ILP %g — optimality bug", seed, grd.Area, sel.Area)
+			}
+			res, err := sim.RunSelection(b.DB, sel.Chosen, 0)
+			if err != nil {
+				t.Fatalf("seed %d: simulate: %v", seed, err)
+			}
+			if len(sel.Chosen) > 0 && res.AcceleratedCycles > res.SoftwareCycles {
+				t.Fatalf("seed %d: acceleration slowed the program down (%d > %d)",
+					seed, res.AcceleratedCycles, res.SoftwareCycles)
+			}
+		}
+	}
+}
+
+// TestParallelCodeMonotoneOnRandomWorkloads: allowing software s-calls
+// inside the parallel code (Problem 2) can only lengthen it, never
+// shorten it, on any generated application.
+func TestParallelCodeMonotoneOnRandomWorkloads(t *testing.T) {
+	for seed := int64(100); seed < 120; seed++ {
+		w, err := RandomWorkload(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := cprog.Parse(w.Source)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		info, err := cprog.Analyze(f)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		g, err := cdfg.Build(info, w.Root, cdfg.DefaultOptions())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, c := range g.Calls {
+			p1 := cdfg.ParallelCode(g, c, cdfg.PCOptions{AllowSCalls: false})
+			p2 := cdfg.ParallelCode(g, c, cdfg.PCOptions{AllowSCalls: true})
+			if p2.Cost < p1.Cost {
+				t.Errorf("seed %d call %s: Problem-2 PC (%d) shorter than Problem-1 PC (%d)",
+					seed, c.Name, p2.Cost, p1.Cost)
+			}
+			if p1.Cost < 0 || p2.Cost < 0 {
+				t.Errorf("seed %d call %s: negative PC cost", seed, c.Name)
+			}
+			if len(p1.SCallNodes) != 0 {
+				t.Errorf("seed %d call %s: Problem-1 PC contains s-calls", seed, c.Name)
+			}
+		}
+	}
+}
+
+// TestRandomWorkloadDeterminism: same seed, same database shape.
+func TestRandomWorkloadDeterminism(t *testing.T) {
+	w1, err := RandomWorkload(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := RandomWorkload(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.Source != w2.Source {
+		t.Error("source differs across identical seeds")
+	}
+	b1, err := w1.Build(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := w2.Build(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b1.DB.IMPs) != len(b2.DB.IMPs) {
+		t.Errorf("IMP counts differ: %d vs %d", len(b1.DB.IMPs), len(b2.DB.IMPs))
+	}
+}

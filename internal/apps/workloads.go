@@ -1,0 +1,414 @@
+package apps
+
+import (
+	"fmt"
+	"strings"
+
+	"partita/internal/cdfg"
+	"partita/internal/cprog"
+	"partita/internal/imp"
+	"partita/internal/ip"
+	"partita/internal/kernel"
+	"partita/internal/lower"
+	"partita/internal/mop"
+	"partita/internal/profile"
+)
+
+// Workload bundles everything needed to push an application through the
+// full pipeline.
+type Workload struct {
+	Name string
+	// Source is the mini-C program.
+	Source string
+	// Root is the function whose s-calls are optimized.
+	Root string
+	// Entry is the executable entry point for profiling.
+	Entry string
+	// Catalog is the IP library available to the selector.
+	Catalog *ip.Catalog
+	// DataCount gives per-function accelerator data volumes.
+	DataCount func(fn string) (int, int)
+}
+
+// Built is a fully compiled and analyzed workload.
+type Built struct {
+	Workload Workload
+	Info     *cprog.Info
+	Prog     *mop.Program
+	Layout   *lower.Layout
+	DB       *imp.DB
+}
+
+// Build runs the front half of the Partita flow: parse → analyze →
+// lower → IMP database generation.
+func (w Workload) Build(problem2 bool) (*Built, error) {
+	f, err := cprog.Parse(w.Source)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	info, err := cprog.Analyze(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	prog, lay, err := lower.Compile(info)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	db, err := imp.Generate(info, w.Root, imp.Config{
+		Catalog:   w.Catalog,
+		Area:      kernel.DefaultArea(),
+		DataCount: w.DataCount,
+		Problem2:  problem2,
+		CDFG:      cdfg.DefaultOptions(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	return &Built{Workload: w, Info: info, Prog: prog, Layout: lay, DB: db}, nil
+}
+
+// Profile executes the workload's entry function on the kernel model and
+// returns the collected statistics.
+func (b *Built) Profile() (profile.Stats, int64, error) {
+	m := profile.New(b.Prog, b.Layout, kernel.DefaultCost())
+	ret, err := m.Run(b.Workload.Entry)
+	if err != nil {
+		return profile.Stats{}, 0, err
+	}
+	return m.Stats(), ret, nil
+}
+
+// speechInit generates a deterministic synthetic speech-like initializer
+// (a decaying pseudo-sinusoid) of n samples.
+func speechInit(n int) string {
+	vals := make([]string, n)
+	x := int64(1200)
+	for i := 0; i < n; i++ {
+		// Simple integer oscillator with drift: deterministic, bounded.
+		x = (x*13 + 7) % 2048
+		v := x - 1024
+		vals[i] = fmt.Sprintf("%d", v)
+	}
+	return strings.Join(vals, ", ")
+}
+
+// GSMEncoderWorkload builds the end-to-end GSM(TDMA)-style encoder: a
+// 40-sample speech frame flowing through pre-emphasis, autocorrelation
+// LPC analysis, a weighting FIR, long-term-prediction search, RPE grid
+// selection, and quantization — the s-call structure of Table 1's
+// application at reduced frame size.
+func GSMEncoderWorkload() (Workload, error) {
+	src := `
+// --- GSM-style encoder frame pipeline (reduced size) ---
+xmem int speech[40] = {` + speechInit(40) + `};
+xmem int emph[40];
+ymem int acf[8];
+ymem int wcoef[8] = {4096, 8192, 12288, 16384, 12288, 8192, 4096, 2048};
+xmem int wout[40];
+xmem int history[40] = {` + speechInit(40) + `};
+xmem int rpe[16];
+xmem int bits[16];
+int cfgGain;
+int cfgStep;
+int frameStatus;
+
+int preemph(xmem int in[], xmem int out[], int n) {
+	int i;
+	out[0] = in[0];
+	for (i = 1; i < n; i = i + 1) {
+		out[i] = in[i] - ((28180 * in[i - 1]) >> 15);
+	}
+	return out[n - 1];
+}
+
+int autocorr(xmem int in[], ymem int r[], int n, int lags) {
+	int k; int i; int acc;
+	for (k = 0; k < lags; k = k + 1) {
+		acc = 0;
+		for (i = 0; i + k < n; i = i + 1) {
+			acc = acc + ((in[i] * in[i + k]) >> 8);
+		}
+		r[k] = acc;
+	}
+	return r[0];
+}
+
+int weight_fir(xmem int in[], ymem int c[], xmem int out[], int n, int taps) {
+	int i; int j; int acc;
+	for (i = 0; i + taps <= n; i = i + 1) {
+		acc = 0;
+		for (j = 0; j < taps; j = j + 1) {
+			acc = acc + in[i + j] * c[j];
+		}
+		out[i] = acc >> 15;
+	}
+	return out[0];
+}
+
+int ltp_search(xmem int cur[], xmem int prev[], int n) {
+	int lag; int i; int acc; int best; int bestLag;
+	best = -2147483647;
+	bestLag = 0;
+	for (lag = 0; lag < 16; lag = lag + 1) {
+		acc = 0;
+		for (i = 0; i + lag < n; i = i + 1) {
+			acc = acc + ((cur[i] * prev[i + lag]) >> 8);
+		}
+		if (acc > best) { best = acc; bestLag = lag; }
+	}
+	return bestLag;
+}
+
+int rpe_select(xmem int in[], xmem int out[], int n) {
+	int grid; int g; int i; int e; int beste;
+	beste = -1;
+	grid = 0;
+	for (g = 0; g < 3; g = g + 1) {
+		e = 0;
+		for (i = g; i < n; i = i + 3) {
+			e = e + ((in[i] * in[i]) >> 10);
+		}
+		if (e > beste) { beste = e; grid = g; }
+	}
+	for (i = 0; i < 13; i = i + 1) {
+		out[i] = in[grid + i * 3];
+	}
+	return grid;
+}
+
+int quantize_arr(xmem int in[], xmem int out[], int n, int step) {
+	int i;
+	for (i = 0; i < n; i = i + 1) {
+		out[i] = in[i] / step;
+	}
+	return out[0];
+}
+
+int encoder() {
+	int e; int r; int w; int lag; int grid; int q;
+	e = preemph(speech, emph, 40);
+	r = autocorr(emph, acf, 40, 8);
+	w = weight_fir(emph, wcoef, wout, 40, 8);
+	lag = ltp_search(wout, history, 40);
+	// Frame bookkeeping independent of the LTP search: candidate
+	// parallel code for the ltp_search s-call.
+	cfgGain = (cfgStep * 3 + 11) >> 1;
+	cfgStep = cfgGain + 5;
+	grid = rpe_select(wout, rpe, 40);
+	q = quantize_arr(rpe, bits, 13, 4);
+	frameStatus = e + r + w + lag + grid + q;
+	return frameStatus;
+}
+
+int main() {
+	int f; int total;
+	total = 0;
+	for (f = 0; f < 2; f = f + 1) {
+		total = total + encoder();
+	}
+	return total;
+}
+`
+	mk := func(id, name string, area float64, rate, latency int, funcs ...string) *ip.IP {
+		return &ip.IP{ID: id, Name: name, Funcs: funcs, InPorts: 2, OutPorts: 2,
+			InRate: rate, OutRate: rate, Latency: latency, Pipelined: true, Area: area}
+	}
+	cat, err := ip.NewCatalog(
+		mk("IP10", "pre-emphasis filter", 2.0, 4, 4, "preemph"),
+		mk("IP03", "autocorrelator", 13.5, 2, 16, "autocorr"),
+		mk("IP12", "weighting FIR", 2.7, 4, 8, "weight_fir"),
+		mk("IP13", "LTP correlator", 14.7, 2, 24, "ltp_search"),
+		mk("IP16", "RPE grid selector", 2.5, 4, 12, "rpe_select"),
+		mk("IP17", "block quantizer", 2.7, 4, 4, "quantize_arr"),
+		mk("IP20", "filter/correlator M-IP", 16.0, 4, 20, "weight_fir", "autocorr", "ltp_search"),
+	)
+	if err != nil {
+		return Workload{}, err
+	}
+	cat.Get("IP20").PerfFactor = 1.6
+
+	return Workload{
+		Name:    "gsm-encoder",
+		Source:  src,
+		Root:    "encoder",
+		Entry:   "main",
+		Catalog: cat,
+		DataCount: func(fn string) (int, int) {
+			switch fn {
+			case "preemph", "weight_fir":
+				return 40, 40
+			case "autocorr":
+				return 40, 8
+			case "ltp_search":
+				return 80, 1
+			case "rpe_select":
+				return 40, 13
+			case "quantize_arr":
+				return 13, 13
+			}
+			return 0, 0
+		},
+	}, nil
+}
+
+// JPEGEncoderWorkload builds the end-to-end JPEG-style encoder whose
+// call hierarchy matches Table 3: jpeg_block → dct2d → dct1d → cmul_re,
+// plus zig-zag scanning and quantization on an 8×8 block.
+func JPEGEncoderWorkload() (Workload, error) {
+	src := `
+// --- JPEG-style 8×8 block pipeline ---
+xmem int block[64] = {` + speechInit(64) + `};
+ymem int cosq[64] = {` + cosTableInit(8) + `};
+xmem int rowbuf[8];
+ymem int rowout[8];
+xmem int stage[64];
+ymem int freq[64];
+xmem int scan[64];
+xmem int coded[64];
+int dcPred;
+int blockStatus;
+
+// Complex-multiply real part: the innermost s-call of the hierarchy.
+int cmul_re(int ar, int ai, int br, int bi) {
+	return ((ar * br) >> 8) - ((ai * bi) >> 8);
+}
+
+// 8-point DCT built on cmul_re (stands in for the FFT butterflies).
+int dct1d(xmem int in[], ymem int out[], ymem int cq[]) {
+	int k; int i; int acc;
+	for (k = 0; k < 8; k = k + 1) {
+		acc = 0;
+		for (i = 0; i < 8; i = i + 1) {
+			acc = acc + cmul_re(in[i], in[i] >> 4, cq[k * 8 + i], cq[i * 8 + k]);
+		}
+		out[k] = acc >> 4;
+	}
+	return out[0];
+}
+
+// 2-D DCT: row pass then column pass, each via dct1d.
+int dct2d(xmem int b[], xmem int st[], ymem int f[], ymem int cq[]) {
+	int r; int c; int v;
+	for (r = 0; r < 8; r = r + 1) {
+		for (c = 0; c < 8; c = c + 1) { rowbuf[c] = b[r * 8 + c]; }
+		v = dct1d(rowbuf, rowout, cq);
+		for (c = 0; c < 8; c = c + 1) { st[r * 8 + c] = rowout[c]; }
+	}
+	for (c = 0; c < 8; c = c + 1) {
+		int r2;
+		for (r2 = 0; r2 < 8; r2 = r2 + 1) { rowbuf[r2] = st[r2 * 8 + c]; }
+		v = dct1d(rowbuf, rowout, cq);
+		for (r2 = 0; r2 < 8; r2 = r2 + 1) { f[r2 * 8 + c] = rowout[r2]; }
+	}
+	return v;
+}
+
+int zigzag_scan(ymem int in[], xmem int out[]) {
+	int s; int r; int c; int idx;
+	idx = 0;
+	for (s = 0; s < 15; s = s + 1) {
+		if (s % 2 == 0) {
+			r = s; if (r > 7) { r = 7; }
+			c = s - r;
+			while (r >= 0 && c < 8) {
+				out[idx] = in[r * 8 + c];
+				idx = idx + 1;
+				r = r - 1;
+				c = c + 1;
+			}
+		} else {
+			c = s; if (c > 7) { c = 7; }
+			r = s - c;
+			while (c >= 0 && r < 8) {
+				out[idx] = in[r * 8 + c];
+				idx = idx + 1;
+				c = c - 1;
+				r = r + 1;
+			}
+		}
+	}
+	return out[0];
+}
+
+int quant_block(xmem int in[], xmem int out[], int step) {
+	int i;
+	for (i = 0; i < 64; i = i + 1) {
+		out[i] = in[i] / step;
+	}
+	return out[0];
+}
+
+int jpeg_block() {
+	int d; int z; int q;
+	d = dct2d(block, stage, freq, cosq);
+	// DC prediction update is independent of the zig-zag scan.
+	dcPred = (dcPred * 3 + d) >> 2;
+	z = zigzag_scan(freq, scan);
+	q = quant_block(scan, coded, 8);
+	blockStatus = d + z + q;
+	return blockStatus;
+}
+
+int main() {
+	return jpeg_block();
+}
+`
+	mk := func(id, name string, area float64, rate, latency int, funcs ...string) *ip.IP {
+		return &ip.IP{ID: id, Name: name, Funcs: funcs, InPorts: 2, OutPorts: 2,
+			InRate: rate, OutRate: rate, Latency: latency, Pipelined: true, Area: area}
+	}
+	cat, err := ip.NewCatalog(
+		mk("IP1", "2D-DCT engine", 26.5, 1, 64, "dct2d"),
+		mk("IP2", "1D-DCT engine", 10.5, 2, 16, "dct1d"),
+		mk("IP4", "complex multiplier", 3.8, 4, 4, "cmul_re"),
+		mk("IP5", "zig-zag scanner", 4.8, 2, 8, "zigzag_scan"),
+	)
+	if err != nil {
+		return Workload{}, err
+	}
+	return Workload{
+		Name:    "jpeg-encoder",
+		Source:  src,
+		Root:    "jpeg_block",
+		Entry:   "main",
+		Catalog: cat,
+		DataCount: func(fn string) (int, int) {
+			switch fn {
+			case "dct2d":
+				return 64, 64
+			case "dct1d":
+				return 8, 8
+			case "cmul_re":
+				return 4, 1
+			case "zigzag_scan":
+				return 64, 64
+			case "quant_block":
+				return 64, 64
+			}
+			return 0, 0
+		},
+	}, nil
+}
+
+// cosTableInit renders an integer cosine-like table for the mini-C DCT.
+func cosTableInit(n int) string {
+	vals := make([]string, n*n)
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			// Deterministic integer stand-in for cos(πk(2i+1)/2n) in Q8:
+			// a triangle wave keeps magnitudes bounded and varied.
+			phase := (k*(2*i+1) + n) % (4 * n)
+			var v int
+			switch {
+			case phase < n:
+				v = 256 * phase / n
+			case phase < 3*n:
+				v = 256 * (2*n - phase) / n
+			default:
+				v = 256 * (phase - 4*n) / n
+			}
+			vals[k*n+i] = fmt.Sprintf("%d", v)
+		}
+	}
+	return strings.Join(vals, ", ")
+}

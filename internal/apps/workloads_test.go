@@ -1,0 +1,250 @@
+package apps
+
+import (
+	"testing"
+
+	"partita/internal/ilp"
+	"partita/internal/selector"
+	"partita/internal/sim"
+)
+
+func buildWorkload(t *testing.T, gen func() (Workload, error), problem2 bool) *Built {
+	t.Helper()
+	w, err := gen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.Build(problem2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestGSMEncoderWorkloadExecutes(t *testing.T) {
+	b := buildWorkload(t, GSMEncoderWorkload, false)
+	stats, _, err := b.Profile()
+	if err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	if stats.CallCount["encoder"] != 2 {
+		t.Errorf("encoder ran %d times, want 2", stats.CallCount["encoder"])
+	}
+	for _, fn := range []string{"preemph", "autocorr", "weight_fir", "ltp_search", "rpe_select", "quantize_arr"} {
+		if stats.CallCount[fn] != 2 {
+			t.Errorf("%s ran %d times, want 2", fn, stats.CallCount[fn])
+		}
+	}
+	if stats.Cycles <= 0 {
+		t.Error("no cycles")
+	}
+}
+
+func TestGSMEncoderDBShape(t *testing.T) {
+	b := buildWorkload(t, GSMEncoderWorkload, false)
+	if len(b.DB.SCalls) != 6 {
+		t.Errorf("s-calls = %d, want 6", len(b.DB.SCalls))
+		for _, sc := range b.DB.SCalls {
+			t.Logf("  %s = %s", sc.Name(), sc.Func)
+		}
+	}
+	if len(b.DB.IMPs) < 20 {
+		t.Errorf("IMPs = %d, want a rich database (>= 20)", len(b.DB.IMPs))
+	}
+	// The M-IP must appear for several s-calls.
+	mip := 0
+	for _, m := range b.DB.IMPs {
+		if m.IP.ID == "IP20" {
+			mip++
+		}
+	}
+	if mip == 0 {
+		t.Error("M-IP IP20 generated no methods")
+	}
+	// ltp_search must have a parallel-code variant (the bookkeeping
+	// statements after it are independent).
+	foundPC := false
+	for _, m := range b.DB.IMPs {
+		if m.SC.Func == "ltp_search" && m.UsesPC {
+			foundPC = true
+		}
+	}
+	if !foundPC {
+		t.Error("no parallel-code IMP for ltp_search")
+	}
+}
+
+func TestGSMEncoderSelectionSweep(t *testing.T) {
+	b := buildWorkload(t, GSMEncoderWorkload, false)
+	// Find the reachable gain range, then sweep.
+	var total int64
+	perSC := map[string]int64{}
+	for _, m := range b.DB.IMPs {
+		if m.TotalGain > perSC[m.SC.Name()] {
+			perSC[m.SC.Name()] = m.TotalGain
+		}
+	}
+	for _, g := range perSC {
+		total += g
+	}
+	if total <= 0 {
+		t.Fatal("no achievable gain")
+	}
+	prevArea := -1.0
+	for _, frac := range []int64{10, 30, 50, 70, 90} {
+		rg := total * frac / 100
+		sel, err := selector.Solve(selector.Problem{DB: b.DB, Required: rg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sel.Status != ilp.Optimal {
+			t.Fatalf("frac %d%%: status %v", frac, sel.Status)
+		}
+		if sel.Gain < rg {
+			t.Errorf("frac %d%%: gain %d < required %d", frac, sel.Gain, rg)
+		}
+		if sel.Area < prevArea-1e-9 {
+			t.Errorf("area not monotone: %g after %g", sel.Area, prevArea)
+		}
+		prevArea = sel.Area
+	}
+}
+
+func TestGSMEncoderSimulationAgreesWithModel(t *testing.T) {
+	b := buildWorkload(t, GSMEncoderWorkload, false)
+	var total int64
+	perSC := map[string]int64{}
+	for _, m := range b.DB.IMPs {
+		if m.TotalGain > perSC[m.SC.Name()] {
+			perSC[m.SC.Name()] = m.TotalGain
+		}
+	}
+	for _, g := range perSC {
+		total += g
+	}
+	sel, err := selector.Solve(selector.Problem{DB: b.DB, Required: total / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.RunSelection(b.DB, sel.Chosen, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AcceleratedCycles >= res.SoftwareCycles {
+		t.Errorf("acceleration did not help: %d vs %d", res.AcceleratedCycles, res.SoftwareCycles)
+	}
+	for _, r := range res.Reports {
+		if r.Predicted <= 0 {
+			continue
+		}
+		rel := float64(r.Simulated-r.Predicted) / float64(r.Predicted)
+		if rel < -0.4 || rel > 0.4 {
+			t.Errorf("%s (%s): predicted %d vs simulated %d (%.0f%% off)",
+				r.SCall, r.IMP, r.Predicted, r.Simulated, rel*100)
+		}
+	}
+}
+
+func TestTraceSelectionSpans(t *testing.T) {
+	b := buildWorkload(t, GSMEncoderWorkload, false)
+	sel, err := selector.Solve(selector.Problem{DB: b.DB, Required: selector.MaxReachableGain(b.DB) / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans, err := sim.TraceSelection(b.DB, sel.Chosen, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) == 0 {
+		t.Fatal("empty trace")
+	}
+	var sawIP bool
+	var prevFrom int64 = -1
+	for _, sp := range spans {
+		if sp.From < 0 || sp.To < sp.From {
+			t.Errorf("bad span %+v", sp)
+		}
+		if sp.From < prevFrom {
+			t.Errorf("spans out of order: %d after %d", sp.From, prevFrom)
+		}
+		prevFrom = sp.From
+		if sp.Unit == sim.UnitIP {
+			sawIP = true
+		}
+	}
+	if !sawIP {
+		t.Error("no IP activity in an accelerated configuration")
+	}
+}
+
+func TestJPEGWorkloadExecutesAndFlattens(t *testing.T) {
+	b := buildWorkload(t, JPEGEncoderWorkload, false)
+	stats, _, err := b.Profile()
+	if err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	if stats.CallCount["dct1d"] != 16 {
+		t.Errorf("dct1d ran %d times, want 16 (8 rows + 8 cols)", stats.CallCount["dct1d"])
+	}
+	if stats.CallCount["cmul_re"] != 16*64 {
+		t.Errorf("cmul_re ran %d times, want 1024", stats.CallCount["cmul_re"])
+	}
+
+	// The hierarchy must produce flattened IMPs for dct2d via dct1d and
+	// via cmul_re.
+	var viaDCT1D, viaCMUL, direct int
+	for _, m := range b.DB.IMPs {
+		if m.SC.Func != "dct2d" {
+			continue
+		}
+		switch m.Flattened {
+		case "dct1d":
+			viaDCT1D++
+		case "cmul_re":
+			viaCMUL++
+		case "":
+			direct++
+		}
+	}
+	if direct == 0 || viaDCT1D == 0 || viaCMUL == 0 {
+		t.Errorf("dct2d IMPs: direct=%d viaDCT1D=%d viaCMUL=%d — hierarchy flattening incomplete",
+			direct, viaDCT1D, viaCMUL)
+	}
+}
+
+func TestJPEGSelectionPrefersDeeperIPAsRGGrows(t *testing.T) {
+	// Table 3's qualitative shape: small RG → cheap deep-hierarchy IP
+	// (C-MUL); large RG → the full 2D-DCT engine.
+	b := buildWorkload(t, JPEGEncoderWorkload, false)
+	var low, high *selector.Selection
+	var maxGain int64
+	for _, m := range b.DB.IMPs {
+		if m.SC.Func == "dct2d" && m.TotalGain > maxGain {
+			maxGain = m.TotalGain
+		}
+	}
+	var err error
+	low, err = selector.Solve(selector.Problem{DB: b.DB, Required: maxGain / 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err = selector.Solve(selector.Problem{DB: b.DB, Required: maxGain * 9 / 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.Status != ilp.Optimal || high.Status != ilp.Optimal {
+		t.Fatalf("low=%v high=%v", low.Status, high.Status)
+	}
+	if low.Area >= high.Area {
+		t.Errorf("area should grow with RG: %g vs %g", low.Area, high.Area)
+	}
+}
+
+func TestProblem2ProducesMoreMethods(t *testing.T) {
+	b1 := buildWorkload(t, GSMEncoderWorkload, false)
+	b2 := buildWorkload(t, GSMEncoderWorkload, true)
+	if len(b2.DB.SCalls) < len(b1.DB.SCalls) {
+		t.Errorf("Problem 2 should have at least as many s-call groups: %d vs %d",
+			len(b2.DB.SCalls), len(b1.DB.SCalls))
+	}
+}

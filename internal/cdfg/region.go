@@ -1,0 +1,425 @@
+package cdfg
+
+import (
+	"fmt"
+	"strings"
+
+	"partita/internal/cprog"
+)
+
+// containsCall reports whether any call appears in the statement.
+func containsCall(s cprog.Stmt) bool {
+	found := false
+	walkStmt(s, func(e cprog.Expr) {
+		if _, ok := e.(*cprog.CallExpr); ok {
+			found = true
+		}
+	})
+	return found
+}
+
+func exprHasCall(e cprog.Expr) bool {
+	found := false
+	walkExpr(e, func(x cprog.Expr) {
+		if _, ok := x.(*cprog.CallExpr); ok {
+			found = true
+		}
+	})
+	return found
+}
+
+func walkStmt(s cprog.Stmt, f func(cprog.Expr)) {
+	switch x := s.(type) {
+	case *cprog.BlockStmt:
+		for _, k := range x.Stmts {
+			walkStmt(k, f)
+		}
+	case *cprog.AssignStmt:
+		walkExpr(x.LHS, f)
+		walkExpr(x.RHS, f)
+	case *cprog.ExprStmt:
+		walkExpr(x.X, f)
+	case *cprog.IfStmt:
+		walkExpr(x.Cond, f)
+		walkStmt(x.Then, f)
+		if x.Else != nil {
+			walkStmt(x.Else, f)
+		}
+	case *cprog.WhileStmt:
+		walkExpr(x.Cond, f)
+		walkStmt(x.Body, f)
+	case *cprog.ForStmt:
+		if x.Init != nil {
+			walkStmt(x.Init, f)
+		}
+		if x.Cond != nil {
+			walkExpr(x.Cond, f)
+		}
+		if x.Post != nil {
+			walkStmt(x.Post, f)
+		}
+		walkStmt(x.Body, f)
+	case *cprog.ReturnStmt:
+		if x.Value != nil {
+			walkExpr(x.Value, f)
+		}
+	}
+}
+
+func walkExpr(e cprog.Expr, f func(cprog.Expr)) {
+	if e == nil {
+		return
+	}
+	f(e)
+	switch x := e.(type) {
+	case *cprog.IndexExpr:
+		walkExpr(x.Index, f)
+	case *cprog.CallExpr:
+		for _, a := range x.Args {
+			walkExpr(a, f)
+		}
+	case *cprog.BinaryExpr:
+		walkExpr(x.X, f)
+		walkExpr(x.Y, f)
+	case *cprog.UnaryExpr:
+		walkExpr(x.X, f)
+	}
+}
+
+// agg accumulates call-free code into one pending aggregate node.
+type agg struct {
+	cost   int64
+	reads  map[string]bool
+	writes map[string]bool
+	names  []string
+}
+
+func newAgg() *agg {
+	return &agg{reads: map[string]bool{}, writes: map[string]bool{}}
+}
+
+func (a *agg) empty() bool { return a.cost == 0 && len(a.reads) == 0 && len(a.writes) == 0 }
+
+// buildBlock converts a statement block into a region tree. Every
+// statement becomes its own node (or sub-region) so that dependence
+// analysis can separate call-independent statements from dependent ones —
+// the granularity Definitions 3-5 are stated at. Conditionals always
+// build alternative regions (even call-free ones) because they define the
+// execution paths over which PC_i takes its minimum; call-free loops
+// collapse into single aggregate nodes.
+func (b *builder) buildBlock(blk *cprog.BlockStmt, scope int, freq int64) *Region {
+	seq := &Region{Kind: RSeq}
+	emit := func(n *Node) {
+		seq.Kids = append(seq.Kids, &Region{Kind: RLeaf, Leaf: n})
+	}
+	single := func(s cprog.Stmt) {
+		a := newAgg()
+		b.aggregateStmt(s, a)
+		if a.empty() {
+			return
+		}
+		n := b.newNode(NodeStmt, describe(a.names), a.cost, freq, scope)
+		n.Reads = a.reads
+		n.Writes = a.writes
+		emit(n)
+	}
+
+	for _, s := range blk.Stmts {
+		if ifs, ok := s.(*cprog.IfStmt); ok {
+			// Conditionals always become Alt regions.
+			condReads, condCost := b.lowerExprCalls(ifs.Cond, scope, freq, emit)
+			cn := b.newNode(NodeStmt, "cond", condCost+b.opt.Cost.Branch, freq, scope)
+			cn.Reads = condReads
+			cn.Writes = map[string]bool{}
+			emit(cn)
+			alt := &Region{Kind: RAlt}
+			alt.Kids = append(alt.Kids, b.buildBlock(ifs.Then, b.newScope(), freq))
+			if ifs.Else != nil {
+				alt.Kids = append(alt.Kids, b.buildBlock(ifs.Else, b.newScope(), freq))
+			} else {
+				alt.Kids = append(alt.Kids, &Region{Kind: RSeq})
+			}
+			seq.Kids = append(seq.Kids, alt)
+			continue
+		}
+		if !containsCall(s) {
+			single(s)
+			continue
+		}
+		switch x := s.(type) {
+		case *cprog.BlockStmt:
+			seq.Kids = append(seq.Kids, b.buildBlock(x, scope, freq))
+		case *cprog.ExprStmt:
+			reads, cost := b.lowerExprCalls(x.X, scope, freq, emit)
+			// Residual evaluation of the expression around the calls.
+			if cost > 0 || len(reads) > 0 {
+				n := b.newNode(NodeStmt, "expr", cost, freq, scope)
+				n.Reads = reads
+				n.Writes = map[string]bool{}
+				emit(n)
+			}
+		case *cprog.AssignStmt:
+			reads, cost := b.lowerExprCalls(x.RHS, scope, freq, emit)
+			n := b.newNode(NodeStmt, "assign "+lhsName(x.LHS), cost+b.opt.Cost.Store, freq, scope)
+			n.Reads = reads
+			n.Writes = map[string]bool{}
+			switch l := x.LHS.(type) {
+			case *cprog.VarRef:
+				n.Writes[l.Name] = true
+			case *cprog.IndexExpr:
+				n.Writes[l.Array] = true
+				ir, ic := b.lowerExprCalls(l.Index, scope, freq, emit)
+				for v := range ir {
+					n.Reads[v] = true
+				}
+				n.Cost += ic + b.opt.Cost.IndexExtra
+			}
+			emit(n)
+		case *cprog.ReturnStmt:
+			reads, cost := b.lowerExprCalls(x.Value, scope, freq, emit)
+			n := b.newNode(NodeStmt, "return", cost, freq, scope)
+			n.Reads = reads
+			n.Writes = map[string]bool{}
+			emit(n)
+		case *cprog.WhileStmt:
+			trips := b.opt.DefaultTrips
+			bodyScope := b.newScope()
+			body := b.buildLoopBody(nil, x.Cond, nil, x.Body, bodyScope, freq*trips)
+			seq.Kids = append(seq.Kids, &Region{Kind: RLoop, Kids: []*Region{body}, Trips: trips})
+		case *cprog.ForStmt:
+			trips := b.tripCount(x)
+			if x.Init != nil {
+				single(x.Init)
+			}
+			bodyScope := b.newScope()
+			body := b.buildLoopBody(nil, x.Cond, x.Post, x.Body, bodyScope, freq*trips)
+			seq.Kids = append(seq.Kids, &Region{Kind: RLoop, Kids: []*Region{body}, Trips: trips})
+		default:
+			// DeclStmt never contains calls (initializers are literals).
+			single(s)
+		}
+	}
+	return seq
+}
+
+// buildLoopBody assembles the body region of a loop, folding the loop
+// condition's and post-statement's effects into bookkeeping nodes so that
+// dependence analysis sees them.
+func (b *builder) buildLoopBody(init *cprog.AssignStmt, cond cprog.Expr, post *cprog.AssignStmt, body *cprog.BlockStmt, scope int, freq int64) *Region {
+	seq := &Region{Kind: RSeq}
+	book := newAgg()
+	if cond != nil && !exprHasCall(cond) {
+		b.exprReads(cond, book.reads)
+		book.cost += b.exprCost(cond) + b.opt.Cost.LoopIter
+	} else {
+		book.cost += b.opt.Cost.LoopIter
+	}
+	if post != nil {
+		b.aggregateStmt(post, book)
+	}
+	if !book.empty() {
+		n := b.newNode(NodeStmt, "loop-ctl", book.cost, freq, scope)
+		n.Reads = book.reads
+		n.Writes = book.writes
+		seq.Kids = append(seq.Kids, &Region{Kind: RLeaf, Leaf: n})
+	}
+	seq.Kids = append(seq.Kids, b.buildBlock(body, scope, freq))
+	return seq
+}
+
+func lhsName(e cprog.Expr) string {
+	switch l := e.(type) {
+	case *cprog.VarRef:
+		return l.Name
+	case *cprog.IndexExpr:
+		return l.Array + "[]"
+	}
+	return "?"
+}
+
+func describe(names []string) string {
+	if len(names) == 0 {
+		return "code"
+	}
+	if len(names) > 3 {
+		names = names[:3]
+	}
+	return strings.Join(names, ",")
+}
+
+func (b *builder) newScope() int {
+	b.nextScope++
+	return b.nextScope
+}
+
+func (b *builder) newNode(kind NodeKind, name string, cost, freq int64, scope int) *Node {
+	n := &Node{
+		ID:    b.nextID,
+		Kind:  kind,
+		Name:  name,
+		Cost:  cost,
+		Freq:  freq,
+		Scope: scope,
+		Site:  -1,
+		Reads: map[string]bool{}, Writes: map[string]bool{},
+	}
+	b.nextID++
+	b.nodes = append(b.nodes, n)
+	return n
+}
+
+// lowerExprCalls emits one NodeCall per call in e (inner calls first, in
+// evaluation order) and returns the read set and residual cost of the
+// remaining expression. Call results appear as synthetic "$retN"
+// variables connecting the call node to its consumer.
+func (b *builder) lowerExprCalls(e cprog.Expr, scope int, freq int64, emit func(*Node)) (map[string]bool, int64) {
+	reads := map[string]bool{}
+	if e == nil {
+		return reads, 0
+	}
+	cost := b.lowerExprCallsInto(e, scope, freq, emit, reads)
+	return reads, cost
+}
+
+func (b *builder) lowerExprCallsInto(e cprog.Expr, scope int, freq int64, emit func(*Node), reads map[string]bool) int64 {
+	w := b.opt.Cost
+	switch x := e.(type) {
+	case *cprog.NumExpr:
+		return w.Const
+	case *cprog.VarRef:
+		reads[x.Name] = true
+		return w.Load
+	case *cprog.IndexExpr:
+		reads[x.Array] = true
+		return b.lowerExprCallsInto(x.Index, scope, freq, emit, reads) + w.Load + w.IndexExtra
+	case *cprog.UnaryExpr:
+		return b.lowerExprCallsInto(x.X, scope, freq, emit, reads) + w.Op
+	case *cprog.BinaryExpr:
+		c := b.lowerExprCallsInto(x.X, scope, freq, emit, reads)
+		c += b.lowerExprCallsInto(x.Y, scope, freq, emit, reads)
+		switch x.Op {
+		case "/", "%":
+			c += w.DivOp
+		case "<", "<=", ">", ">=", "==", "!=", "&&", "||":
+			c += w.Branch
+		default:
+			c += w.Op
+		}
+		return c
+	case *cprog.CallExpr:
+		n := b.makeCallNode(x, scope, freq, emit)
+		ret := fmt.Sprintf("$ret%d", n.Site)
+		reads[ret] = true
+		return w.Op
+	}
+	return 0
+}
+
+// makeCallNode builds the NodeCall for x, emitting nodes for nested calls
+// in its arguments first.
+func (b *builder) makeCallNode(x *cprog.CallExpr, scope int, freq int64, emit func(*Node)) *Node {
+	sum := b.summary(x.Callee)
+	reads := map[string]bool{}
+	writes := map[string]bool{}
+	for i, a := range x.Args {
+		if ref, ok := a.(*cprog.VarRef); ok && b.isArrayAt(x.Callee, i) {
+			if i < len(sum.ParamRead) && sum.ParamRead[i] {
+				reads[ref.Name] = true
+			}
+			if i < len(sum.ParamWrite) && sum.ParamWrite[i] {
+				writes[ref.Name] = true
+			}
+			continue
+		}
+		b.lowerExprCallsInto(a, scope, freq, emit, reads)
+	}
+	for g := range sum.ReadsGlobals {
+		reads[g] = true
+	}
+	for g := range sum.WritesGlobals {
+		writes[g] = true
+	}
+	n := b.newNode(NodeCall, x.Callee, b.funcCost(x.Callee), freq, scope)
+	n.Site = b.nextSite
+	b.nextSite++
+	writes[fmt.Sprintf("$ret%d", n.Site)] = true
+	n.Reads = reads
+	n.Writes = writes
+	b.calls = append(b.calls, n)
+	emit(n)
+	return n
+}
+
+// aggregateStmt folds a call-free statement into the pending aggregate.
+func (b *builder) aggregateStmt(s cprog.Stmt, a *agg) {
+	a.cost += b.stmtCost(s)
+	b.stmtEffects(s, a.reads, a.writes)
+	switch x := s.(type) {
+	case *cprog.AssignStmt:
+		a.names = append(a.names, lhsName(x.LHS))
+	case *cprog.ForStmt, *cprog.WhileStmt:
+		a.names = append(a.names, "loop")
+	case *cprog.IfStmt:
+		a.names = append(a.names, "if")
+	}
+}
+
+// stmtEffects accumulates variable reads/writes of a call-free statement.
+func (b *builder) stmtEffects(s cprog.Stmt, reads, writes map[string]bool) {
+	switch x := s.(type) {
+	case *cprog.BlockStmt:
+		for _, k := range x.Stmts {
+			b.stmtEffects(k, reads, writes)
+		}
+	case *cprog.DeclStmt:
+		if len(x.Decl.Init) > 0 {
+			writes[x.Decl.Name] = true
+		}
+	case *cprog.AssignStmt:
+		b.exprReads(x.RHS, reads)
+		switch l := x.LHS.(type) {
+		case *cprog.VarRef:
+			writes[l.Name] = true
+		case *cprog.IndexExpr:
+			writes[l.Array] = true
+			b.exprReads(l.Index, reads)
+		}
+	case *cprog.ExprStmt:
+		b.exprReads(x.X, reads)
+	case *cprog.IfStmt:
+		b.exprReads(x.Cond, reads)
+		b.stmtEffects(x.Then, reads, writes)
+		if x.Else != nil {
+			b.stmtEffects(x.Else, reads, writes)
+		}
+	case *cprog.WhileStmt:
+		b.exprReads(x.Cond, reads)
+		b.stmtEffects(x.Body, reads, writes)
+	case *cprog.ForStmt:
+		if x.Init != nil {
+			b.stmtEffects(x.Init, reads, writes)
+		}
+		if x.Cond != nil {
+			b.exprReads(x.Cond, reads)
+		}
+		if x.Post != nil {
+			b.stmtEffects(x.Post, reads, writes)
+		}
+		b.stmtEffects(x.Body, reads, writes)
+	case *cprog.ReturnStmt:
+		if x.Value != nil {
+			b.exprReads(x.Value, reads)
+		}
+	}
+}
+
+func (b *builder) exprReads(e cprog.Expr, reads map[string]bool) {
+	walkExpr(e, func(x cprog.Expr) {
+		switch v := x.(type) {
+		case *cprog.VarRef:
+			reads[v.Name] = true
+		case *cprog.IndexExpr:
+			reads[v.Array] = true
+		}
+	})
+}

@@ -1,0 +1,297 @@
+// Package cinstr implements the C-instruction generation step of the
+// Partita flow (Choi et al., DAC 1999, Section 2; algorithm lineage in
+// their ICCAD'98 reference [9]).
+//
+// C-class instructions are application-specific multi-cycle instructions
+// executed from µ-ROM: a repeated sequence of µ-code words is stored
+// once in the µ-ROM and invoked by a single instruction word, which
+// shrinks the code memory and cuts instruction fetches. This package
+// mines the packed µ-word program for profitable repeated sequences,
+// selects a non-overlapping subset under an opcode budget, and reports
+// the code-size and fetch savings.
+package cinstr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"partita/internal/mop"
+)
+
+// Site locates one occurrence of a pattern: function, block label, and
+// the word offset within the packed block.
+type Site struct {
+	Fn     string
+	Block  string
+	Offset int
+}
+
+// CInstr is one generated C-class instruction.
+type CInstr struct {
+	// ID is the assigned opcode name (C0, C1, ...).
+	ID string
+	// Pattern is the canonical rendering of the µ-word sequence.
+	Pattern []string
+	// Len is the number of µ-words the instruction replaces.
+	Len int
+	// Sites are the chosen (non-overlapping) occurrences.
+	Sites []Site
+	// CodeSaving is the code-memory words saved:
+	// occurrences·len − (occurrences·1 + len).
+	CodeSaving int
+	// FetchSaving is the dynamic instruction fetches saved,
+	// frequency-weighted: Σ_sites freq·(len−1).
+	FetchSaving int64
+}
+
+// Config bounds the generation.
+type Config struct {
+	// MaxLen is the longest candidate sequence in µ-words (default 6).
+	MaxLen int
+	// MinLen is the shortest (default 2).
+	MinLen int
+	// MaxInstrs is the C-class opcode budget (default 16).
+	MaxInstrs int
+	// MinOccurrences prunes candidates appearing fewer times (default 2).
+	MinOccurrences int
+}
+
+func (c *Config) defaults() {
+	if c.MaxLen <= 0 {
+		c.MaxLen = 6
+	}
+	if c.MinLen < 2 {
+		c.MinLen = 2
+	}
+	if c.MaxInstrs <= 0 {
+		c.MaxInstrs = 16
+	}
+	if c.MinOccurrences < 2 {
+		c.MinOccurrences = 2
+	}
+}
+
+// Result summarizes a generation run.
+type Result struct {
+	Chosen []*CInstr
+	// CodeWordsBefore/After count the program's code-memory footprint
+	// (instruction words; each C-instruction body lives in µ-ROM once).
+	CodeWordsBefore, CodeWordsAfter int
+	// MicroROMWords is the added µ-ROM space for C-instruction bodies.
+	MicroROMWords int
+	// FetchesBefore/After are frequency-weighted instruction fetches.
+	FetchesBefore, FetchesAfter int64
+}
+
+// Saving reports the net code-words saved.
+func (r *Result) Saving() int { return r.CodeWordsBefore - r.CodeWordsAfter }
+
+// String renders a summary.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "C-instructions: %d chosen; code %d → %d words (µ-ROM +%d); fetches %d → %d\n",
+		len(r.Chosen), r.CodeWordsBefore, r.CodeWordsAfter, r.MicroROMWords,
+		r.FetchesBefore, r.FetchesAfter)
+	for _, ci := range r.Chosen {
+		fmt.Fprintf(&b, "  %s: len %d × %d sites, saves %d words / %d fetches\n",
+			ci.ID, ci.Len, len(ci.Sites), ci.CodeSaving, ci.FetchSaving)
+	}
+	return b.String()
+}
+
+// packedBlock caches one block's packed words and canonical strings.
+type packedBlock struct {
+	fn    string
+	label string
+	words []mop.Word
+	keys  []string
+	freq  int64
+}
+
+// Mine finds and selects C-instructions for prog. freq gives per-block
+// execution counts (freq[fn][label]); nil treats every block as
+// executing once.
+func Mine(prog *mop.Program, freq map[string]map[string]int64, cfg Config) *Result {
+	cfg.defaults()
+
+	var blocks []*packedBlock
+	res := &Result{}
+	for _, f := range prog.SortedFuncs() {
+		for _, blk := range f.Blocks {
+			words := mop.PackBlock(blk.Ops)
+			if len(words) == 0 {
+				continue
+			}
+			pb := &packedBlock{fn: f.Name, label: blk.Label, words: words, freq: 1}
+			if freq != nil {
+				if bf, ok := freq[f.Name]; ok {
+					if n, ok := bf[blk.Label]; ok && n > 0 {
+						pb.freq = n
+					}
+				}
+			}
+			pb.keys = make([]string, len(words))
+			for i := range words {
+				pb.keys[i] = canonWord(&words[i])
+			}
+			blocks = append(blocks, pb)
+			res.CodeWordsBefore += len(words)
+			res.FetchesBefore += int64(len(words)) * pb.freq
+		}
+	}
+
+	// Collect candidate patterns: every subsequence of length MinLen..
+	// MaxLen, keyed by its canonical text. A sequence may not span a
+	// block boundary and may not contain a sequencer word (control
+	// transfer must stay a P-instruction).
+	type cand struct {
+		key   string
+		len   int
+		sites []Site
+		freqs []int64
+	}
+	cands := map[string]*cand{}
+	for _, pb := range blocks {
+		for l := cfg.MinLen; l <= cfg.MaxLen; l++ {
+			for off := 0; off+l <= len(pb.words); off++ {
+				if containsSeq(pb.words[off : off+l]) {
+					continue
+				}
+				key := strings.Join(pb.keys[off:off+l], " ; ")
+				c := cands[key]
+				if c == nil {
+					c = &cand{key: key, len: l}
+					cands[key] = c
+				}
+				c.sites = append(c.sites, Site{Fn: pb.fn, Block: pb.label, Offset: off})
+				c.freqs = append(c.freqs, pb.freq)
+			}
+		}
+	}
+
+	// Rank candidates by total benefit (code words saved weighted with
+	// fetch savings), then select greedily without overlap.
+	type scored struct {
+		*cand
+		benefit float64
+	}
+	var ranked []scored
+	for _, c := range cands {
+		if len(c.sites) < cfg.MinOccurrences {
+			continue
+		}
+		codeSave := len(c.sites)*c.len - (len(c.sites) + c.len)
+		if codeSave <= 0 {
+			continue
+		}
+		var fetchSave int64
+		for _, fr := range c.freqs {
+			fetchSave += fr * int64(c.len-1)
+		}
+		ranked = append(ranked, scored{c, float64(codeSave) + 0.001*float64(fetchSave)})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].benefit != ranked[j].benefit {
+			return ranked[i].benefit > ranked[j].benefit
+		}
+		return ranked[i].key < ranked[j].key // determinism
+	})
+
+	// taken[fn/block] marks word offsets already claimed.
+	taken := map[string][]bool{}
+	blockByKey := map[string]*packedBlock{}
+	for _, pb := range blocks {
+		k := pb.fn + "/" + pb.label
+		taken[k] = make([]bool, len(pb.words))
+		blockByKey[k] = pb
+	}
+	overlaps := func(s Site, l int) bool {
+		t := taken[s.Fn+"/"+s.Block]
+		for i := s.Offset; i < s.Offset+l; i++ {
+			if t[i] {
+				return true
+			}
+		}
+		return false
+	}
+	claim := func(s Site, l int) {
+		t := taken[s.Fn+"/"+s.Block]
+		for i := s.Offset; i < s.Offset+l; i++ {
+			t[i] = true
+		}
+	}
+
+	for _, sc := range ranked {
+		if len(res.Chosen) >= cfg.MaxInstrs {
+			break
+		}
+		var sites []Site
+		var fetchSave int64
+		for i, s := range sc.sites {
+			if overlaps(s, sc.len) {
+				continue
+			}
+			// Also avoid overlap among this candidate's own sites (they
+			// can overlap each other within a block).
+			claim(s, sc.len)
+			sites = append(sites, s)
+			fetchSave += sc.freqs[i] * int64(sc.len-1)
+		}
+		codeSave := len(sites)*sc.len - (len(sites) + sc.len)
+		if len(sites) < cfg.MinOccurrences || codeSave <= 0 {
+			// Give the claimed slots back.
+			for _, s := range sites {
+				t := taken[s.Fn+"/"+s.Block]
+				for i := s.Offset; i < s.Offset+sc.len; i++ {
+					t[i] = false
+				}
+			}
+			continue
+		}
+		ci := &CInstr{
+			ID:          fmt.Sprintf("C%d", len(res.Chosen)),
+			Pattern:     strings.Split(sc.key, " ; "),
+			Len:         sc.len,
+			Sites:       sites,
+			CodeSaving:  codeSave,
+			FetchSaving: fetchSave,
+		}
+		res.Chosen = append(res.Chosen, ci)
+	}
+
+	// Account the rewritten image.
+	res.CodeWordsAfter = res.CodeWordsBefore
+	res.FetchesAfter = res.FetchesBefore
+	for _, ci := range res.Chosen {
+		res.CodeWordsAfter -= len(ci.Sites)*ci.Len - len(ci.Sites)
+		res.MicroROMWords += ci.Len
+		res.FetchesAfter -= ci.FetchSaving
+	}
+	return res
+}
+
+// containsSeq reports whether any word carries a sequencer operation.
+func containsSeq(words []mop.Word) bool {
+	for i := range words {
+		if words[i].Ops[mop.FieldSeq] != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// canonWord renders a µ-word canonically for pattern matching: fields in
+// fixed order, exact operands (µ-code reuse requires identical words).
+func canonWord(w *mop.Word) string {
+	var parts []string
+	for f := mop.Field(0); f < mop.NumFields; f++ {
+		if w.Ops[f] != nil {
+			parts = append(parts, w.Ops[f].String())
+		}
+	}
+	if len(parts) == 0 {
+		return "nop"
+	}
+	return strings.Join(parts, "|")
+}

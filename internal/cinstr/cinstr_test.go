@@ -1,0 +1,189 @@
+package cinstr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"partita/internal/cprog"
+	"partita/internal/lower"
+	"partita/internal/mop"
+)
+
+// repeatedProgram builds a function whose blocks contain the same 3-word
+// sequence several times.
+func repeatedProgram(copies int) *mop.Program {
+	seq := func() []mop.MOP {
+		return []mop.MOP{
+			{Op: mop.AGUX, Dst: mop.AX(0), Imm: 100, Abs: true},
+			{Op: mop.LDX, Dst: mop.GPR(1), SrcA: mop.AX(0), Imm: 1},
+			{Op: mop.ADD, Dst: mop.GPR(2), SrcA: mop.GPR(1), SrcB: mop.GPR(1)},
+			{Op: mop.STX, SrcA: mop.GPR(2), SrcB: mop.AX(0), Imm: 1},
+		}
+	}
+	var ops []mop.MOP
+	for i := 0; i < copies; i++ {
+		ops = append(ops, seq()...)
+		// Separator that breaks the repetition.
+		ops = append(ops, mop.MOP{Op: mop.LDI, Dst: mop.GPR(int(3 + i%4)), Imm: int64(i)})
+	}
+	ops = append(ops, mop.MOP{Op: mop.RET})
+	p := mop.NewProgram("f")
+	p.Add(&mop.Function{Name: "f", Blocks: []*mop.Block{{Label: "entry", Ops: ops}}})
+	return p
+}
+
+func TestMineFindsRepeatedSequence(t *testing.T) {
+	p := repeatedProgram(4)
+	res := Mine(p, nil, Config{})
+	if len(res.Chosen) == 0 {
+		t.Fatalf("no C-instructions found:\n%s", res)
+	}
+	best := res.Chosen[0]
+	if len(best.Sites) < 2 {
+		t.Errorf("best pattern has %d sites, want >= 2", len(best.Sites))
+	}
+	if res.CodeWordsAfter >= res.CodeWordsBefore {
+		t.Errorf("code words %d → %d: no saving", res.CodeWordsBefore, res.CodeWordsAfter)
+	}
+	if res.FetchesAfter >= res.FetchesBefore {
+		t.Errorf("fetches %d → %d: no saving", res.FetchesBefore, res.FetchesAfter)
+	}
+}
+
+func TestMineRespectsOpcodeBudget(t *testing.T) {
+	p := repeatedProgram(6)
+	res := Mine(p, nil, Config{MaxInstrs: 1})
+	if len(res.Chosen) > 1 {
+		t.Errorf("chosen %d instructions, budget was 1", len(res.Chosen))
+	}
+}
+
+func TestMineNoRepetitionNoInstr(t *testing.T) {
+	// All-distinct words: nothing to share.
+	var ops []mop.MOP
+	for i := 0; i < 12; i++ {
+		ops = append(ops, mop.MOP{Op: mop.LDI, Dst: mop.GPR(i % 8), Imm: int64(i * 17)})
+	}
+	p := mop.NewProgram("f")
+	p.Add(&mop.Function{Name: "f", Blocks: []*mop.Block{{Label: "entry", Ops: ops}}})
+	res := Mine(p, nil, Config{})
+	if len(res.Chosen) != 0 {
+		t.Errorf("found %d C-instructions in repetition-free code", len(res.Chosen))
+	}
+	if res.CodeWordsAfter != res.CodeWordsBefore {
+		t.Errorf("code size changed without C-instructions")
+	}
+}
+
+func TestMineSkipsBranchWords(t *testing.T) {
+	// Repeated sequences that include a branch must not become
+	// C-instructions.
+	seq := []mop.MOP{
+		{Op: mop.LDI, Dst: mop.GPR(0), Imm: 1},
+		{Op: mop.CMP, SrcA: mop.GPR(0), SrcB: mop.GPR(0)},
+		{Op: mop.BEQ, Sym: "entry"},
+	}
+	p := mop.NewProgram("f")
+	p.Add(&mop.Function{Name: "f", Blocks: []*mop.Block{
+		{Label: "entry", Ops: seq},
+		{Label: "b2", Ops: append([]mop.MOP{}, seq...)},
+		{Label: "b3", Ops: append([]mop.MOP{}, seq...)},
+	}})
+	res := Mine(p, nil, Config{})
+	for _, ci := range res.Chosen {
+		for _, pat := range ci.Pattern {
+			if containsAny(pat, "beq", "bne", "br ", "ret", "call") {
+				t.Errorf("C-instruction %s contains a sequencer word: %v", ci.ID, ci.Pattern)
+			}
+		}
+	}
+}
+
+func containsAny(s string, subs ...string) bool {
+	for _, sub := range subs {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestMineFrequencyWeighting(t *testing.T) {
+	p := repeatedProgram(3)
+	freq := map[string]map[string]int64{"f": {"entry": 1000}}
+	res := Mine(p, freq, Config{})
+	if len(res.Chosen) == 0 {
+		t.Fatal("no instructions")
+	}
+	if res.Chosen[0].FetchSaving < 1000 {
+		t.Errorf("fetch saving %d not frequency-weighted", res.Chosen[0].FetchSaving)
+	}
+}
+
+func TestMineOnCompiledWorkload(t *testing.T) {
+	// Lowered loops produce repeated scalar-access idioms; mining a real
+	// compiled program should find at least one C-instruction.
+	src := `
+int a; int b; int c;
+int main() {
+	int i;
+	for (i = 0; i < 10; i = i + 1) { a = a + 1; }
+	for (i = 0; i < 10; i = i + 1) { b = b + 1; }
+	for (i = 0; i < 10; i = i + 1) { c = c + 1; }
+	return a + b + c;
+}`
+	f, err := cprog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := cprog.Analyze(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, _, err := lower.Compile(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Mine(prog, nil, Config{})
+	if res.CodeWordsBefore <= 0 {
+		t.Fatal("no code")
+	}
+	t.Logf("compiled workload: %s", res)
+}
+
+// TestMineInvariants checks structural invariants over random inputs:
+// savings are consistent, and chosen sites never overlap.
+func TestMineInvariants(t *testing.T) {
+	f := func(seed uint8, copies uint8) bool {
+		p := repeatedProgram(2 + int(copies%5))
+		res := Mine(p, nil, Config{MaxInstrs: int(seed%4) + 1})
+		if res.CodeWordsAfter > res.CodeWordsBefore {
+			return false
+		}
+		if res.FetchesAfter > res.FetchesBefore {
+			return false
+		}
+		// Overlap check.
+		used := map[string]map[int]bool{}
+		for _, ci := range res.Chosen {
+			for _, s := range ci.Sites {
+				key := s.Fn + "/" + s.Block
+				if used[key] == nil {
+					used[key] = map[int]bool{}
+				}
+				for i := s.Offset; i < s.Offset+ci.Len; i++ {
+					if used[key][i] {
+						return false
+					}
+					used[key][i] = true
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,248 @@
+package cprog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Bank selects which DSP data memory an array lives in.
+type Bank int
+
+const (
+	// BankAuto lets the lowering pass choose (it alternates X/Y so that
+	// dual-memory fetches can pair).
+	BankAuto Bank = iota
+	BankX
+	BankY
+)
+
+func (b Bank) String() string {
+	switch b {
+	case BankX:
+		return "xmem"
+	case BankY:
+		return "ymem"
+	}
+	return "auto"
+}
+
+// File is a parsed translation unit.
+type File struct {
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// Func returns the named function declaration, or nil.
+func (f *File) Func(name string) *FuncDecl {
+	for _, fn := range f.Funcs {
+		if fn.Name == name {
+			return fn
+		}
+	}
+	return nil
+}
+
+// Param is a function parameter: a scalar int or an int array (declared
+// with trailing []).
+type Param struct {
+	Name    string
+	IsArray bool
+	Bank    Bank // meaningful for array params
+	Pos     Pos
+}
+
+// FuncDecl is a function definition. Void reports a `void` return type;
+// otherwise the function returns int.
+type FuncDecl struct {
+	Name   string
+	Params []*Param
+	Void   bool
+	Body   *BlockStmt
+	Pos    Pos
+}
+
+// VarDecl declares a scalar (Size == 0) or array (Size > 0) variable.
+// Init holds the initializer values, if any (a single value for scalars).
+type VarDecl struct {
+	Name string
+	Size int
+	Bank Bank
+	Init []int64
+	Pos  Pos
+}
+
+// Stmt is implemented by every statement node.
+type Stmt interface {
+	stmtNode()
+	Position() Pos
+}
+
+// Expr is implemented by every expression node.
+type Expr interface {
+	exprNode()
+	Position() Pos
+}
+
+// BlockStmt is a braced statement list with its own declaration scope.
+type BlockStmt struct {
+	Stmts []Stmt
+	Pos_  Pos
+}
+
+// DeclStmt wraps a local variable declaration.
+type DeclStmt struct {
+	Decl *VarDecl
+}
+
+// AssignStmt stores RHS into LHS (a VarRef or IndexExpr).
+type AssignStmt struct {
+	LHS Expr
+	RHS Expr
+}
+
+// ExprStmt evaluates an expression for its side effects (calls).
+type ExprStmt struct {
+	X Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then *BlockStmt
+	Else *BlockStmt // may be nil
+	Pos_ Pos
+}
+
+// WhileStmt loops while Cond is nonzero.
+type WhileStmt struct {
+	Cond Expr
+	Body *BlockStmt
+	Pos_ Pos
+}
+
+// ForStmt is for(Init; Cond; Post) Body. Init and Post are optional
+// assignments; Cond is optional (nil means forever).
+type ForStmt struct {
+	Init *AssignStmt
+	Cond Expr
+	Post *AssignStmt
+	Body *BlockStmt
+	Pos_ Pos
+}
+
+// ReturnStmt returns Value (nil for void returns).
+type ReturnStmt struct {
+	Value Expr
+	Pos_  Pos
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct {
+	Pos_ Pos
+}
+
+// ContinueStmt jumps to the innermost loop's next iteration (running the
+// for-post statement first).
+type ContinueStmt struct {
+	Pos_ Pos
+}
+
+func (*BlockStmt) stmtNode()    {}
+func (*DeclStmt) stmtNode()     {}
+func (*AssignStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+
+func (s *BlockStmt) Position() Pos    { return s.Pos_ }
+func (s *DeclStmt) Position() Pos     { return s.Decl.Pos }
+func (s *AssignStmt) Position() Pos   { return s.LHS.Position() }
+func (s *ExprStmt) Position() Pos     { return s.X.Position() }
+func (s *IfStmt) Position() Pos       { return s.Pos_ }
+func (s *WhileStmt) Position() Pos    { return s.Pos_ }
+func (s *ForStmt) Position() Pos      { return s.Pos_ }
+func (s *ReturnStmt) Position() Pos   { return s.Pos_ }
+func (s *BreakStmt) Position() Pos    { return s.Pos_ }
+func (s *ContinueStmt) Position() Pos { return s.Pos_ }
+
+// NumExpr is an integer literal.
+type NumExpr struct {
+	Value int64
+	Pos_  Pos
+}
+
+// VarRef names a scalar variable or, in call arguments, a whole array.
+type VarRef struct {
+	Name string
+	Pos_ Pos
+}
+
+// IndexExpr is array[index].
+type IndexExpr struct {
+	Array string
+	Index Expr
+	Pos_  Pos
+}
+
+// CallExpr invokes a function.
+type CallExpr struct {
+	Callee string
+	Args   []Expr
+	Pos_   Pos
+}
+
+// BinaryExpr applies Op to X and Y. Op is one of
+// + - * / % << >> & | ^ < <= > >= == != && ||.
+type BinaryExpr struct {
+	Op   string
+	X, Y Expr
+}
+
+// UnaryExpr applies Op ("-", "!", "~") to X.
+type UnaryExpr struct {
+	Op   string
+	X    Expr
+	Pos_ Pos
+}
+
+func (*NumExpr) exprNode()    {}
+func (*VarRef) exprNode()     {}
+func (*IndexExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}
+func (*BinaryExpr) exprNode() {}
+func (*UnaryExpr) exprNode()  {}
+
+func (e *NumExpr) Position() Pos    { return e.Pos_ }
+func (e *VarRef) Position() Pos     { return e.Pos_ }
+func (e *IndexExpr) Position() Pos  { return e.Pos_ }
+func (e *CallExpr) Position() Pos   { return e.Pos_ }
+func (e *BinaryExpr) Position() Pos { return e.X.Position() }
+func (e *UnaryExpr) Position() Pos  { return e.Pos_ }
+
+// ExprString renders an expression as source-like text (for diagnostics
+// and tests).
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case *NumExpr:
+		return fmt.Sprintf("%d", x.Value)
+	case *VarRef:
+		return x.Name
+	case *IndexExpr:
+		return fmt.Sprintf("%s[%s]", x.Array, ExprString(x.Index))
+	case *CallExpr:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = ExprString(a)
+		}
+		return fmt.Sprintf("%s(%s)", x.Callee, strings.Join(args, ", "))
+	case *BinaryExpr:
+		return fmt.Sprintf("(%s %s %s)", ExprString(x.X), x.Op, ExprString(x.Y))
+	case *UnaryExpr:
+		return fmt.Sprintf("%s%s", x.Op, ExprString(x.X))
+	}
+	return "?"
+}

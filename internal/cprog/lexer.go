@@ -1,0 +1,178 @@
+// Package cprog implements a small C-like front-end for embedded DSP
+// kernels: a lexer, a recursive-descent parser producing an AST, and a
+// semantic analyzer. It covers the subset of C that the Partita flow of
+// Choi et al. (DAC 1999) consumes — integer scalars and arrays, the usual
+// expression operators, if/while/for control flow, and function calls —
+// plus `xmem`/`ymem` storage qualifiers to pin arrays to one of the two
+// DSP data memories.
+package cprog
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies a token.
+type TokKind int
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokPunct   // operators and delimiters
+	TokKeyword // int, if, else, while, for, return, void, xmem, ymem
+)
+
+var keywords = map[string]bool{
+	"int": true, "if": true, "else": true, "while": true, "for": true,
+	"return": true, "void": true, "xmem": true, "ymem": true,
+	"break": true, "continue": true,
+}
+
+// Token is one lexical unit with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Num  int64 // value when Kind == TokNumber
+	Pos  Pos
+}
+
+// Pos is a line/column source position (1-based).
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Error is a front-end diagnostic carrying a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...interface{}) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Lex splits src into tokens. Comments (// and /* */) are skipped. The
+// returned slice always ends with a TokEOF token.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	advance := func(k int) {
+		for j := 0; j < k; j++ {
+			if src[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			start := Pos{line, col}
+			advance(2)
+			closed := false
+			for i+1 < n {
+				if src[i] == '*' && src[i+1] == '/' {
+					advance(2)
+					closed = true
+					break
+				}
+				advance(1)
+			}
+			if !closed {
+				return nil, errf(start, "unterminated block comment")
+			}
+		case unicode.IsDigit(rune(c)):
+			pos := Pos{line, col}
+			j := i
+			base := int64(10)
+			if c == '0' && i+1 < n && (src[i+1] == 'x' || src[i+1] == 'X') {
+				base = 16
+				advance(2)
+				j = i
+				for i < n && isHexDigit(src[i]) {
+					advance(1)
+				}
+				if i == j {
+					return nil, errf(pos, "malformed hex literal")
+				}
+			} else {
+				for i < n && unicode.IsDigit(rune(src[i])) {
+					advance(1)
+				}
+			}
+			text := src[j:i]
+			var v int64
+			for _, ch := range text {
+				v = v*base + int64(hexVal(byte(ch)))
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: src[j:i], Num: v, Pos: pos})
+		case unicode.IsLetter(rune(c)) || c == '_':
+			pos := Pos{line, col}
+			j := i
+			for i < n && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				advance(1)
+			}
+			text := src[j:i]
+			kind := TokIdent
+			if keywords[text] {
+				kind = TokKeyword
+			}
+			toks = append(toks, Token{Kind: kind, Text: text, Pos: pos})
+		default:
+			pos := Pos{line, col}
+			// Longest-match punctuation.
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "<<", ">>", "<=", ">=", "==", "!=", "&&", "||":
+				advance(2)
+				toks = append(toks, Token{Kind: TokPunct, Text: two, Pos: pos})
+				continue
+			}
+			if strings.ContainsRune("+-*/%<>=!&|^~(){}[];,", rune(c)) {
+				advance(1)
+				toks = append(toks, Token{Kind: TokPunct, Text: string(c), Pos: pos})
+				continue
+			}
+			return nil, errf(pos, "unexpected character %q", string(c))
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: Pos{line, col}})
+	return toks, nil
+}
+
+func isHexDigit(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	}
+	return 0
+}

@@ -1,0 +1,535 @@
+package cprog
+
+// Parse lexes and parses src into a File. Errors carry line:col positions.
+func Parse(src string) (*File, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f, err := p.file()
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+type parser struct {
+	toks []Token
+	i    int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.i] }
+func (p *parser) next() Token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) at(text string) bool {
+	t := p.cur()
+	return (t.Kind == TokPunct || t.Kind == TokKeyword) && t.Text == text
+}
+
+func (p *parser) accept(text string) bool {
+	if p.at(text) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) (Token, error) {
+	if p.at(text) {
+		return p.next(), nil
+	}
+	t := p.cur()
+	return t, errf(t.Pos, "expected %q, found %q", text, tokenDesc(t))
+}
+
+func tokenDesc(t Token) string {
+	if t.Kind == TokEOF {
+		return "end of file"
+	}
+	return t.Text
+}
+
+func (p *parser) ident() (Token, error) {
+	t := p.cur()
+	if t.Kind != TokIdent {
+		return t, errf(t.Pos, "expected identifier, found %q", tokenDesc(t))
+	}
+	return p.next(), nil
+}
+
+// file = { globalDecl | funcDecl } EOF
+func (p *parser) file() (*File, error) {
+	f := &File{}
+	for p.cur().Kind != TokEOF {
+		bank := p.bankQualifier()
+		void := false
+		if p.accept("void") {
+			void = true
+		} else if _, err := p.expect("int"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if p.at("(") {
+			fn, err := p.funcRest(name, void)
+			if err != nil {
+				return nil, err
+			}
+			if bank != BankAuto {
+				return nil, errf(name.Pos, "memory qualifier not allowed on function %q", name.Text)
+			}
+			f.Funcs = append(f.Funcs, fn)
+			continue
+		}
+		if void {
+			return nil, errf(name.Pos, "void variable %q", name.Text)
+		}
+		g, err := p.varRest(name, bank)
+		if err != nil {
+			return nil, err
+		}
+		f.Globals = append(f.Globals, g)
+	}
+	return f, nil
+}
+
+func (p *parser) bankQualifier() Bank {
+	if p.accept("xmem") {
+		return BankX
+	}
+	if p.accept("ymem") {
+		return BankY
+	}
+	return BankAuto
+}
+
+// varRest parses the remainder of a variable declaration after `int name`.
+func (p *parser) varRest(name Token, bank Bank) (*VarDecl, error) {
+	d := &VarDecl{Name: name.Text, Bank: bank, Pos: name.Pos}
+	if p.accept("[") {
+		sz := p.cur()
+		if sz.Kind != TokNumber {
+			return nil, errf(sz.Pos, "array size must be a literal, found %q", tokenDesc(sz))
+		}
+		p.next()
+		if sz.Num <= 0 {
+			return nil, errf(sz.Pos, "array %q has non-positive size %d", name.Text, sz.Num)
+		}
+		d.Size = int(sz.Num)
+		if _, err := p.expect("]"); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept("=") {
+		if d.Size > 0 {
+			if _, err := p.expect("{"); err != nil {
+				return nil, err
+			}
+			for !p.at("}") {
+				v, err := p.literalValue()
+				if err != nil {
+					return nil, err
+				}
+				d.Init = append(d.Init, v)
+				if !p.accept(",") {
+					break
+				}
+			}
+			if _, err := p.expect("}"); err != nil {
+				return nil, err
+			}
+			if len(d.Init) > d.Size {
+				return nil, errf(name.Pos, "array %q has %d initializers for size %d", name.Text, len(d.Init), d.Size)
+			}
+		} else {
+			v, err := p.literalValue()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = []int64{v}
+		}
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// literalValue parses an optionally negated integer literal.
+func (p *parser) literalValue() (int64, error) {
+	neg := p.accept("-")
+	t := p.cur()
+	if t.Kind != TokNumber {
+		return 0, errf(t.Pos, "expected integer literal, found %q", tokenDesc(t))
+	}
+	p.next()
+	if neg {
+		return -t.Num, nil
+	}
+	return t.Num, nil
+}
+
+// funcRest parses params and body after `int|void name`.
+func (p *parser) funcRest(name Token, void bool) (*FuncDecl, error) {
+	fn := &FuncDecl{Name: name.Text, Void: void, Pos: name.Pos}
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if !p.at(")") {
+		if p.accept("void") {
+			// (void) parameter list
+		} else {
+			for {
+				bank := p.bankQualifier()
+				if _, err := p.expect("int"); err != nil {
+					return nil, err
+				}
+				pn, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				param := &Param{Name: pn.Text, Bank: bank, Pos: pn.Pos}
+				if p.accept("[") {
+					if _, err := p.expect("]"); err != nil {
+						return nil, err
+					}
+					param.IsArray = true
+				} else if bank != BankAuto {
+					return nil, errf(pn.Pos, "memory qualifier on scalar parameter %q", pn.Text)
+				}
+				fn.Params = append(fn.Params, param)
+				if !p.accept(",") {
+					break
+				}
+			}
+		}
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) block() (*BlockStmt, error) {
+	open, err := p.expect("{")
+	if err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Pos_: open.Pos}
+	for !p.at("}") {
+		if p.cur().Kind == TokEOF {
+			return nil, errf(open.Pos, "unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // consume }
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.at("{"):
+		return p.block()
+	case p.at("xmem") || p.at("ymem") || p.at("int"):
+		bank := p.bankQualifier()
+		if _, err := p.expect("int"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		d, err := p.varRest(name, bank)
+		if err != nil {
+			return nil, err
+		}
+		return &DeclStmt{Decl: d}, nil
+	case p.at("if"):
+		p.next()
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.blockOrSingle()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: then, Pos_: t.Pos}
+		if p.accept("else") {
+			els, err := p.blockOrSingle()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+		return st, nil
+	case p.at("while"):
+		p.next()
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.blockOrSingle()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Pos_: t.Pos}, nil
+	case p.at("for"):
+		p.next()
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		st := &ForStmt{Pos_: t.Pos}
+		if !p.at(";") {
+			a, err := p.assign()
+			if err != nil {
+				return nil, err
+			}
+			st.Init = a
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		if !p.at(";") {
+			cond, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.Cond = cond
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		if !p.at(")") {
+			a, err := p.assign()
+			if err != nil {
+				return nil, err
+			}
+			st.Post = a
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.blockOrSingle()
+		if err != nil {
+			return nil, err
+		}
+		st.Body = body
+		return st, nil
+	case p.at("break"):
+		p.next()
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos_: t.Pos}, nil
+	case p.at("continue"):
+		p.next()
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos_: t.Pos}, nil
+	case p.at("return"):
+		p.next()
+		st := &ReturnStmt{Pos_: t.Pos}
+		if !p.at(";") {
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.Value = v
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return st, nil
+	default:
+		// assignment or expression statement
+		start := p.i
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if p.at("=") {
+			p.i = start
+			a, err := p.assign()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			return a, nil
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: e}, nil
+	}
+}
+
+// blockOrSingle parses either a braced block or a single statement
+// wrapped in an implicit block.
+func (p *parser) blockOrSingle() (*BlockStmt, error) {
+	if p.at("{") {
+		return p.block()
+	}
+	t := p.cur()
+	s, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	return &BlockStmt{Stmts: []Stmt{s}, Pos_: t.Pos}, nil
+}
+
+// assign = lvalue '=' expr
+func (p *parser) assign() (*AssignStmt, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	switch lhs.(type) {
+	case *VarRef, *IndexExpr:
+	default:
+		return nil, errf(lhs.Position(), "invalid assignment target %s", ExprString(lhs))
+	}
+	if _, err := p.expect("="); err != nil {
+		return nil, err
+	}
+	rhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &AssignStmt{LHS: lhs, RHS: rhs}, nil
+}
+
+// Operator precedence, loosest first.
+var precedence = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) expr() (Expr, error) { return p.binary(1) }
+
+func (p *parser) binary(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != TokPunct {
+			return lhs, nil
+		}
+		prec, ok := precedence[t.Text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: t.Text, X: lhs, Y: rhs}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.cur()
+	if t.Kind == TokPunct && (t.Text == "-" || t.Text == "!" || t.Text == "~") {
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		if n, ok := x.(*NumExpr); ok && t.Text == "-" {
+			return &NumExpr{Value: -n.Value, Pos_: t.Pos}, nil
+		}
+		return &UnaryExpr{Op: t.Text, X: x, Pos_: t.Pos}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokNumber:
+		p.next()
+		return &NumExpr{Value: t.Num, Pos_: t.Pos}, nil
+	case t.Kind == TokIdent:
+		p.next()
+		if p.accept("(") {
+			call := &CallExpr{Callee: t.Text, Pos_: t.Pos}
+			if !p.at(")") {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(",") {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		if p.accept("[") {
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Array: t.Text, Index: idx, Pos_: t.Pos}, nil
+		}
+		return &VarRef{Name: t.Text, Pos_: t.Pos}, nil
+	case p.at("("):
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, errf(t.Pos, "unexpected %q in expression", tokenDesc(t))
+}

@@ -1,0 +1,66 @@
+package cprog
+
+import "testing"
+
+func TestPrintRoundTrip(t *testing.T) {
+	sources := []string{
+		firSrc,
+		`int g = -5;
+xmem int table[3] = {1, -2, 3};
+void clear(int n) { int i; for (i = 0; i < n; i = i + 1) { table[0] = 0; } }
+int f(int a, ymem int b[]) {
+	int x;
+	x = 0;
+	if (a > 0 && b[0] != 0) { x = a << 2; } else { x = ~a; }
+	while (x > 0) { x = x - 1; if (x == 2) { break; } }
+	for (x = 0; x < 9; x = x + 1) { if (x == 1) { continue; } }
+	return x % 3;
+}
+int main() { clear(2); return f(g, table); }
+`,
+	}
+	for i, src := range sources {
+		f1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("source %d: parse: %v", i, err)
+		}
+		printed := Print(f1)
+		f2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("source %d: re-parse failed: %v\nprinted:\n%s", i, err, printed)
+		}
+		// Printing the re-parsed AST must be a fixed point.
+		printed2 := Print(f2)
+		if printed != printed2 {
+			t.Errorf("source %d: printing not idempotent:\n--- first ---\n%s\n--- second ---\n%s",
+				i, printed, printed2)
+		}
+		// Both ASTs must pass semantic analysis identically.
+		if _, err := Analyze(f2); err != nil {
+			t.Errorf("source %d: printed program fails analysis: %v", i, err)
+		}
+	}
+}
+
+func TestPrintPreservesBanks(t *testing.T) {
+	src := `xmem int a[2];
+ymem int b[2];
+int f(xmem int p[], ymem int q[]) { return p[0] + q[0]; }
+int main() { return f(a, b); }
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := Print(f)
+	f2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, printed)
+	}
+	if f2.Globals[0].Bank != BankX || f2.Globals[1].Bank != BankY {
+		t.Errorf("banks lost in printing:\n%s", printed)
+	}
+	if f2.Funcs[0].Params[0].Bank != BankX || f2.Funcs[0].Params[1].Bank != BankY {
+		t.Errorf("param banks lost in printing:\n%s", printed)
+	}
+}

@@ -1,0 +1,187 @@
+// Package dsp provides reference fixed-point implementations of the DSP
+// kernels that appear in the paper's workloads (GSM speech coding, JPEG
+// image coding): FIR/IIR filtering, correlation, quantization,
+// interpolation, DCTs, FFT, complex multiplication, and zig-zag scanning.
+//
+// They serve three roles in the reproduction:
+//
+//  1. functional models of the IP blocks in the IP library,
+//  2. golden references for the MOP-level workload programs,
+//  3. data generators for the benchmark harness.
+//
+// Arithmetic is int64 with explicit scaling (Q15 where fractional
+// coefficients are involved) so results are deterministic across
+// platforms.
+package dsp
+
+import "fmt"
+
+// QShift is the fixed-point fractional precision used by filter
+// coefficients (Q15).
+const QShift = 15
+
+// FIR computes a direct-form FIR filter: out[i] = Σ_j in[i+j]*coef[j],
+// for i in [0, len(in)-len(coef)]. The result is scaled down by QShift.
+// It returns the number of output samples produced.
+func FIR(in, coef, out []int64) (int, error) {
+	if len(coef) == 0 {
+		return 0, fmt.Errorf("dsp: FIR with empty coefficient set")
+	}
+	n := len(in) - len(coef) + 1
+	if n <= 0 {
+		return 0, nil
+	}
+	if len(out) < n {
+		return 0, fmt.Errorf("dsp: FIR output needs %d samples, have %d", n, len(out))
+	}
+	for i := 0; i < n; i++ {
+		var acc int64
+		for j, c := range coef {
+			acc += in[i+j] * c
+		}
+		out[i] = acc >> QShift
+	}
+	return n, nil
+}
+
+// IIR applies a direct-form-I IIR filter with feed-forward coefficients b
+// and feedback coefficients a (a[0] is implicitly 1 and must not be
+// included). Coefficients are Q15.
+func IIR(in []int64, b, a []int64, out []int64) error {
+	if len(b) == 0 {
+		return fmt.Errorf("dsp: IIR needs at least one numerator coefficient")
+	}
+	if len(out) < len(in) {
+		return fmt.Errorf("dsp: IIR output needs %d samples, have %d", len(in), len(out))
+	}
+	for i := range in {
+		var acc int64
+		for j, c := range b {
+			if i-j >= 0 {
+				acc += in[i-j] * c
+			}
+		}
+		for j, c := range a {
+			if i-j-1 >= 0 {
+				acc -= out[i-j-1] * c
+			}
+		}
+		out[i] = acc >> QShift
+	}
+	return nil
+}
+
+// Correlate computes the cross-correlation r[k] = Σ_i x[i]*y[i+k] for
+// k in [0, len(y)-len(x)].
+func Correlate(x, y, r []int64) (int, error) {
+	n := len(y) - len(x) + 1
+	if n <= 0 {
+		return 0, nil
+	}
+	if len(r) < n {
+		return 0, fmt.Errorf("dsp: correlation output needs %d lags, have %d", n, len(r))
+	}
+	for k := 0; k < n; k++ {
+		var acc int64
+		for i := range x {
+			acc += x[i] * y[i+k]
+		}
+		r[k] = acc
+	}
+	return n, nil
+}
+
+// Quantize divides each sample by its step (rounding toward zero) —
+// the JPEG-style per-coefficient quantizer.
+func Quantize(in, steps, out []int64) error {
+	if len(steps) != len(in) || len(out) < len(in) {
+		return fmt.Errorf("dsp: quantize length mismatch (in=%d steps=%d out=%d)", len(in), len(steps), len(out))
+	}
+	for i, v := range in {
+		if steps[i] == 0 {
+			return fmt.Errorf("dsp: zero quantization step at %d", i)
+		}
+		out[i] = v / steps[i]
+	}
+	return nil
+}
+
+// Interpolate upsamples by factor and smooths with the given Q15 kernel:
+// the classic interpolation-filter IP whose input and output data rates
+// differ (Section 3 of the paper).
+func Interpolate(in []int64, factor int, kernel []int64, out []int64) (int, error) {
+	if factor <= 0 {
+		return 0, fmt.Errorf("dsp: interpolation factor %d", factor)
+	}
+	up := make([]int64, len(in)*factor)
+	for i, v := range in {
+		up[i*factor] = v * int64(factor)
+	}
+	if len(kernel) == 0 {
+		if len(out) < len(up) {
+			return 0, fmt.Errorf("dsp: interpolate output needs %d samples", len(up))
+		}
+		copy(out, up)
+		return len(up), nil
+	}
+	return FIR(up, kernel, out)
+}
+
+// CMul multiplies two complex numbers given as (re, im) int64 pairs.
+func CMul(ar, ai, br, bi int64) (int64, int64) {
+	return ar*br - ai*bi, ar*bi + ai*br
+}
+
+// ZigZag scans an n×n block in JPEG zig-zag order into out (length n*n).
+func ZigZag(block []int64, n int, out []int64) error {
+	if len(block) != n*n || len(out) < n*n {
+		return fmt.Errorf("dsp: zigzag needs %d values (have block=%d out=%d)", n*n, len(block), len(out))
+	}
+	idx := 0
+	for s := 0; s < 2*n-1; s++ {
+		if s%2 == 0 {
+			// Walk up-right.
+			r := s
+			if r > n-1 {
+				r = n - 1
+			}
+			c := s - r
+			for r >= 0 && c < n {
+				out[idx] = block[r*n+c]
+				idx++
+				r--
+				c++
+			}
+		} else {
+			c := s
+			if c > n-1 {
+				c = n - 1
+			}
+			r := s - c
+			for c >= 0 && r < n {
+				out[idx] = block[r*n+c]
+				idx++
+				c--
+				r++
+			}
+		}
+	}
+	return nil
+}
+
+// ZigZagIndex returns the zig-zag scan order of an n×n block as indices
+// into the row-major block (out[k] = source index of the k'th scanned
+// element).
+func ZigZagIndex(n int) []int {
+	block := make([]int64, n*n)
+	for i := range block {
+		block[i] = int64(i)
+	}
+	out := make([]int64, n*n)
+	_ = ZigZag(block, n, out)
+	idx := make([]int, n*n)
+	for i, v := range out {
+		idx[i] = int(v)
+	}
+	return idx
+}

@@ -1,0 +1,371 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFIRImpulse(t *testing.T) {
+	// Filtering an impulse reproduces the (shifted) kernel.
+	in := []int64{1 << QShift, 0, 0, 0, 0, 0}
+	coef := []int64{100, 200, 300}
+	out := make([]int64, 8)
+	n, err := FIR(in, coef, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("n = %d, want 4", n)
+	}
+	if out[0] != 100 {
+		t.Errorf("out[0] = %d, want 100", out[0])
+	}
+	if out[1] != 0 || out[2] != 0 {
+		t.Errorf("tail = %v, want zeros (impulse has passed)", out[1:4])
+	}
+}
+
+func TestFIRMovingAverage(t *testing.T) {
+	// 4-tap moving average of a constant signal is the constant.
+	c := int64(1) << (QShift - 2) // 0.25 in Q15
+	coef := []int64{c, c, c, c}
+	in := []int64{80, 80, 80, 80, 80, 80, 80, 80}
+	out := make([]int64, 8)
+	n, err := FIR(in, coef, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if out[i] != 80 {
+			t.Errorf("out[%d] = %d, want 80", i, out[i])
+		}
+	}
+}
+
+func TestFIRErrors(t *testing.T) {
+	if _, err := FIR([]int64{1, 2, 3}, nil, make([]int64, 3)); err == nil {
+		t.Error("empty kernel accepted")
+	}
+	if _, err := FIR(make([]int64, 10), make([]int64, 2), make([]int64, 1)); err == nil {
+		t.Error("short output accepted")
+	}
+	if n, err := FIR(make([]int64, 2), make([]int64, 5), nil); err != nil || n != 0 {
+		t.Error("input shorter than kernel should yield 0 samples, no error")
+	}
+}
+
+func TestIIRLeakyIntegrator(t *testing.T) {
+	// y[i] = x[i] + 0.5*y[i-1]: step input converges to 2× the step.
+	b := []int64{1 << QShift}
+	a := []int64{-(1 << (QShift - 1))} // -0.5 (note IIR subtracts a·y)
+	in := make([]int64, 32)
+	for i := range in {
+		in[i] = 1000
+	}
+	out := make([]int64, 32)
+	if err := IIR(in, b, a, out); err != nil {
+		t.Fatal(err)
+	}
+	if got := out[31]; got < 1990 || got > 2000 {
+		t.Errorf("steady state = %d, want ≈2000", got)
+	}
+}
+
+func TestCorrelateSelfPeak(t *testing.T) {
+	x := []int64{3, -1, 4, -1, 5}
+	y := make([]int64, 15)
+	copy(y[5:], x)
+	r := make([]int64, 11)
+	n, err := Correlate(x, y, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 11 {
+		t.Fatalf("lags = %d, want 11", n)
+	}
+	best := 0
+	for k := 1; k < n; k++ {
+		if r[k] > r[best] {
+			best = k
+		}
+	}
+	if best != 5 {
+		t.Errorf("correlation peak at lag %d, want 5 (r=%v)", best, r)
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	in := []int64{100, -100, 57, 3}
+	steps := []int64{10, 10, 8, 4}
+	out := make([]int64, 4)
+	if err := Quantize(in, steps, out); err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{10, -10, 7, 0}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+	if err := Quantize(in, []int64{1, 0, 1, 1}, out); err == nil {
+		t.Error("zero step accepted")
+	}
+}
+
+func TestInterpolateConstant(t *testing.T) {
+	// Upsampling a constant through an averaging kernel stays ≈constant.
+	in := []int64{64, 64, 64, 64, 64, 64}
+	q := int64(1) << (QShift - 1)
+	kernel := []int64{q, 1 << QShift, q} // triangle ≈ linear interpolation
+	out := make([]int64, 32)
+	n, err := Interpolate(in, 2, kernel, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 {
+		t.Fatal("no output")
+	}
+	for i := 2; i < n-2; i++ {
+		if out[i] < 120 || out[i] > 136 {
+			t.Errorf("out[%d] = %d, want ≈128 (2× constant of 64)", i, out[i])
+		}
+	}
+}
+
+func TestCMul(t *testing.T) {
+	// (1+2i)(3+4i) = -5 + 10i
+	re, im := CMul(1, 2, 3, 4)
+	if re != -5 || im != 10 {
+		t.Errorf("CMul = (%d, %d), want (-5, 10)", re, im)
+	}
+}
+
+func TestCMulProperties(t *testing.T) {
+	// |a·b|² = |a|²·|b|² for the exact integer product.
+	f := func(ar, ai, br, bi int16) bool {
+		r, i := CMul(int64(ar), int64(ai), int64(br), int64(bi))
+		lhs := r*r + i*i
+		rhs := (int64(ar)*int64(ar) + int64(ai)*int64(ai)) * (int64(br)*int64(br) + int64(bi)*int64(bi))
+		return lhs == rhs
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZigZag8x8(t *testing.T) {
+	n := 8
+	block := make([]int64, n*n)
+	for i := range block {
+		block[i] = int64(i)
+	}
+	out := make([]int64, n*n)
+	if err := ZigZag(block, n, out); err != nil {
+		t.Fatal(err)
+	}
+	// Canonical JPEG zig-zag prefix: 0 1 8 16 9 2 3 10 ...
+	wantPrefix := []int64{0, 1, 8, 16, 9, 2, 3, 10, 17, 24}
+	for i, w := range wantPrefix {
+		if out[i] != w {
+			t.Fatalf("zigzag[%d] = %d, want %d (full: %v)", i, out[i], w, out[:10])
+		}
+	}
+	// Permutation property: every index appears exactly once.
+	seen := map[int64]bool{}
+	for _, v := range out {
+		if seen[v] {
+			t.Fatalf("duplicate %d in zigzag output", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestZigZagIndexMatches(t *testing.T) {
+	idx := ZigZagIndex(4)
+	if len(idx) != 16 || idx[0] != 0 || idx[1] != 1 || idx[2] != 4 {
+		t.Errorf("ZigZagIndex(4) prefix = %v", idx[:3])
+	}
+}
+
+func TestDCT1DConstantSignal(t *testing.T) {
+	// DCT of a constant concentrates in coefficient 0: out[0] = n·c,
+	// all other coefficients ≈ 0.
+	in := []int64{100, 100, 100, 100, 100, 100, 100, 100}
+	out := make([]int64, 8)
+	if err := DCT1D(in, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 800 {
+		t.Errorf("DC = %d, want 800", out[0])
+	}
+	for k := 1; k < 8; k++ {
+		if out[k] < -2 || out[k] > 2 {
+			t.Errorf("AC[%d] = %d, want ≈0", k, out[k])
+		}
+	}
+}
+
+func TestDCT1DMatchesFloat(t *testing.T) {
+	in := []int64{12, -7, 300, 5, -100, 42, 9, -3}
+	out := make([]int64, 8)
+	if err := DCT1D(in, out); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 8; k++ {
+		var ref float64
+		for i, v := range in {
+			ref += float64(v) * math.Cos(math.Pi*float64(k)*(2*float64(i)+1)/16)
+		}
+		if math.Abs(float64(out[k])-ref) > 2 {
+			t.Errorf("DCT[%d] = %d, float reference %.1f", k, out[k], ref)
+		}
+	}
+}
+
+func TestDCT1DViaFFTMatchesDirect(t *testing.T) {
+	in := []int64{1000, -500, 250, 774, -333, 90, 1, -42}
+	direct := make([]int64, 8)
+	viafft := make([]int64, 8)
+	if err := DCT1D(in, direct); err != nil {
+		t.Fatal(err)
+	}
+	if err := DCT1DViaFFT(in, viafft); err != nil {
+		t.Fatal(err)
+	}
+	for k := range direct {
+		diff := direct[k] - viafft[k]
+		if diff < -8 || diff > 8 {
+			t.Errorf("k=%d: direct %d vs FFT-path %d", k, direct[k], viafft[k])
+		}
+	}
+}
+
+func TestDCT2DSeparable(t *testing.T) {
+	// A block constant along rows transforms to energy only in column 0
+	// after the row pass, and in coefficient (0,0) overall.
+	n := 4
+	block := make([]int64, n*n)
+	for i := range block {
+		block[i] = 50
+	}
+	out := make([]int64, n*n)
+	if err := DCT2D(block, n, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != int64(n*n)*50 {
+		t.Errorf("DC = %d, want %d", out[0], n*n*50)
+	}
+	for i := 1; i < n*n; i++ {
+		if out[i] < -4 || out[i] > 4 {
+			t.Errorf("AC[%d] = %d, want ≈0", i, out[i])
+		}
+	}
+}
+
+func TestIDCTInvertsDCT(t *testing.T) {
+	in := []int64{500, -200, 350, 125, -400, 90, 60, -10}
+	n := len(in)
+	fw := make([]int64, n)
+	bw := make([]int64, n)
+	if err := DCT1D(in, fw); err != nil {
+		t.Fatal(err)
+	}
+	if err := IDCT1D(fw, bw); err != nil {
+		t.Fatal(err)
+	}
+	// IDCT(DCT(x)) = x·n/2 up to fixed-point error.
+	for i := range in {
+		got := bw[i] / int64(n/2)
+		if diff := got - in[i]; diff < -4 || diff > 4 {
+			t.Errorf("roundtrip[%d] = %d, want ≈%d", i, got, in[i])
+		}
+	}
+}
+
+func TestIDCT2DInverts(t *testing.T) {
+	n := 4
+	in := []int64{100, -50, 25, 75, 0, 60, -80, 10, 33, -12, 99, -4, 7, 21, -65, 48}
+	fw := make([]int64, n*n)
+	bw := make([]int64, n*n)
+	if err := DCT2D(in, n, fw); err != nil {
+		t.Fatal(err)
+	}
+	if err := IDCT2D(fw, n, bw); err != nil {
+		t.Fatal(err)
+	}
+	scale := int64((n / 2) * (n / 2))
+	for i := range in {
+		got := bw[i] / scale
+		if diff := got - in[i]; diff < -6 || diff > 6 {
+			t.Errorf("roundtrip[%d] = %d, want ≈%d", i, got, in[i])
+		}
+	}
+}
+
+func TestDequantizeInvertsQuantize(t *testing.T) {
+	in := []int64{100, -100, 57, 3}
+	steps := []int64{10, 10, 8, 4}
+	q := make([]int64, 4)
+	dq := make([]int64, 4)
+	if err := Quantize(in, steps, q); err != nil {
+		t.Fatal(err)
+	}
+	if err := Dequantize(q, steps, dq); err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		diff := dq[i] - in[i]
+		if diff < -steps[i] || diff > steps[i] {
+			t.Errorf("dequant[%d] = %d, want within one step of %d", i, dq[i], in[i])
+		}
+	}
+	if err := Dequantize(q, steps[:2], dq); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	// Energy conservation (within fixed-point error): Σ|x|² ≈ Σ|X|²/n.
+	re := []int64{100, 20, -30, 44, -100, 9, 73, -12}
+	im := make([]int64, 8)
+	var inE float64
+	for i := range re {
+		inE += float64(re[i]*re[i] + im[i]*im[i])
+	}
+	if err := FFT(re, im); err != nil {
+		t.Fatal(err)
+	}
+	var outE float64
+	for i := range re {
+		outE += float64(re[i]*re[i] + im[i]*im[i])
+	}
+	outE /= 8
+	if math.Abs(outE-inE) > 0.02*inE+100 {
+		t.Errorf("Parseval: in %.0f vs out %.0f", inE, outE)
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// FFT of an impulse is flat.
+	re := make([]int64, 16)
+	im := make([]int64, 16)
+	re[0] = 1 << QShift
+	if err := FFT(re, im); err != nil {
+		t.Fatal(err)
+	}
+	for i := range re {
+		if re[i] != 1<<QShift || im[i] != 0 {
+			t.Errorf("bin %d = (%d, %d), want (32768, 0)", i, re[i], im[i])
+		}
+	}
+}
+
+func TestFFTErrors(t *testing.T) {
+	if err := FFT(make([]int64, 6), make([]int64, 6)); err == nil {
+		t.Error("non-power-of-two accepted")
+	}
+	if err := FFT(make([]int64, 8), make([]int64, 4)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}

@@ -1,0 +1,212 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// cosTableQ15 caches Q15 cosine tables for DCT sizes.
+var cosTableQ15 = map[int][]int64{}
+
+func dctTable(n int) []int64 {
+	if t, ok := cosTableQ15[n]; ok {
+		return t
+	}
+	t := make([]int64, n*n)
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			c := math.Cos(math.Pi * float64(k) * (2*float64(i) + 1) / (2 * float64(n)))
+			t[k*n+i] = int64(math.Round(c * float64(int64(1)<<QShift)))
+		}
+	}
+	cosTableQ15[n] = t
+	return t
+}
+
+// DCT1D computes the (unnormalized) DCT-II of in into out using Q15
+// cosine tables: out[k] = (Σ_i in[i]·cos(π·k·(2i+1)/2n)) >> QShift.
+func DCT1D(in, out []int64) error {
+	n := len(in)
+	if n == 0 || len(out) < n {
+		return fmt.Errorf("dsp: DCT1D needs %d outputs, have %d", n, len(out))
+	}
+	t := dctTable(n)
+	for k := 0; k < n; k++ {
+		var acc int64
+		row := t[k*n : k*n+n]
+		for i, v := range in {
+			acc += v * row[i]
+		}
+		out[k] = acc >> QShift
+	}
+	return nil
+}
+
+// DCT2D computes the 2-D DCT of an n×n row-major block by applying DCT1D
+// to every row and then every column — exactly the decomposition the
+// paper's JPEG hierarchy exploits (2D-DCT calls 1D-DCT).
+func DCT2D(block []int64, n int, out []int64) error {
+	if len(block) != n*n || len(out) < n*n {
+		return fmt.Errorf("dsp: DCT2D needs %d values", n*n)
+	}
+	tmp := make([]int64, n*n)
+	row := make([]int64, n)
+	// Rows.
+	for r := 0; r < n; r++ {
+		if err := DCT1D(block[r*n:r*n+n], row); err != nil {
+			return err
+		}
+		copy(tmp[r*n:], row)
+	}
+	// Columns.
+	col := make([]int64, n)
+	colOut := make([]int64, n)
+	for c := 0; c < n; c++ {
+		for r := 0; r < n; r++ {
+			col[r] = tmp[r*n+c]
+		}
+		if err := DCT1D(col, colOut); err != nil {
+			return err
+		}
+		for r := 0; r < n; r++ {
+			out[r*n+c] = colOut[r]
+		}
+	}
+	return nil
+}
+
+// IDCT1D computes the inverse of DCT1D (the unnormalized DCT-III with
+// the conventional ½-weighted DC term), scaled such that
+// IDCT1D(DCT1D(x)) ≈ x·n/2. Callers divide by n/2 to recover the signal.
+func IDCT1D(in, out []int64) error {
+	n := len(in)
+	if n == 0 || len(out) < n {
+		return fmt.Errorf("dsp: IDCT1D needs %d outputs, have %d", n, len(out))
+	}
+	t := dctTable(n)
+	for i := 0; i < n; i++ {
+		acc := in[0] << (QShift - 1) // ½·X0
+		for k := 1; k < n; k++ {
+			acc += in[k] * t[k*n+i]
+		}
+		out[i] = acc >> QShift
+	}
+	return nil
+}
+
+// IDCT2D inverts DCT2D on an n×n block (columns then rows), scaled by
+// (n/2)² like its 1-D counterpart.
+func IDCT2D(block []int64, n int, out []int64) error {
+	if len(block) != n*n || len(out) < n*n {
+		return fmt.Errorf("dsp: IDCT2D needs %d values", n*n)
+	}
+	tmp := make([]int64, n*n)
+	col := make([]int64, n)
+	colOut := make([]int64, n)
+	for c := 0; c < n; c++ {
+		for r := 0; r < n; r++ {
+			col[r] = block[r*n+c]
+		}
+		if err := IDCT1D(col, colOut); err != nil {
+			return err
+		}
+		for r := 0; r < n; r++ {
+			tmp[r*n+c] = colOut[r]
+		}
+	}
+	row := make([]int64, n)
+	for r := 0; r < n; r++ {
+		if err := IDCT1D(tmp[r*n:r*n+n], row); err != nil {
+			return err
+		}
+		copy(out[r*n:], row)
+	}
+	return nil
+}
+
+// Dequantize multiplies each sample by its step — the inverse of
+// Quantize up to the truncation loss.
+func Dequantize(in, steps, out []int64) error {
+	if len(steps) != len(in) || len(out) < len(in) {
+		return fmt.Errorf("dsp: dequantize length mismatch (in=%d steps=%d out=%d)", len(in), len(steps), len(out))
+	}
+	for i, v := range in {
+		out[i] = v * steps[i]
+	}
+	return nil
+}
+
+// FFT computes an in-place radix-2 decimation-in-time FFT over Q15
+// twiddles. re and im must have power-of-two length. The forward
+// transform is unscaled (values grow by up to n).
+func FFT(re, im []int64) error {
+	n := len(re)
+	if n == 0 || n&(n-1) != 0 {
+		return fmt.Errorf("dsp: FFT length %d is not a power of two", n)
+	}
+	if len(im) != n {
+		return fmt.Errorf("dsp: FFT re/im length mismatch %d vs %d", n, len(im))
+	}
+	// Bit reversal.
+	for i, j := 0, 0; i < n; i++ {
+		if i < j {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+		mask := n >> 1
+		for j&mask != 0 {
+			j &^= mask
+			mask >>= 1
+		}
+		j |= mask
+	}
+	one := int64(1) << QShift
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				ang := -math.Pi * float64(k) / float64(half)
+				wr := int64(math.Round(math.Cos(ang) * float64(one)))
+				wi := int64(math.Round(math.Sin(ang) * float64(one)))
+				i0, i1 := start+k, start+k+half
+				tr := (re[i1]*wr - im[i1]*wi) >> QShift
+				ti := (re[i1]*wi + im[i1]*wr) >> QShift
+				re[i1] = re[i0] - tr
+				im[i1] = im[i0] - ti
+				re[i0] += tr
+				im[i0] += ti
+			}
+		}
+	}
+	return nil
+}
+
+// DCT1DViaFFT computes the same unnormalized DCT-II as DCT1D but through
+// a 4n-point FFT — the decomposition the paper's JPEG hierarchy uses
+// (1D-DCT calls FFT, FFT performs complex multiplications). It exists to
+// demonstrate the hierarchy and to cross-check the direct form.
+func DCT1DViaFFT(in, out []int64) error {
+	n := len(in)
+	if n == 0 || n&(n-1) != 0 {
+		return fmt.Errorf("dsp: DCT1DViaFFT needs a power-of-two size, got %d", n)
+	}
+	if len(out) < n {
+		return fmt.Errorf("dsp: DCT1DViaFFT needs %d outputs", n)
+	}
+	// Embed into a 4n-point sequence with odd symmetry so the real part
+	// of the FFT yields the DCT-II: y[2i+1] = x[i], y[4n-2i-1] = x[i].
+	m := 4 * n
+	re := make([]int64, m)
+	im := make([]int64, m)
+	for i, v := range in {
+		re[2*i+1] = v
+		re[m-2*i-1] = v
+	}
+	if err := FFT(re, im); err != nil {
+		return err
+	}
+	for k := 0; k < n; k++ {
+		out[k] = re[k] / 2
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package hwgen
+
+import (
+	"strings"
+	"testing"
+
+	"partita/internal/cinstr"
+	"partita/internal/cprog"
+	"partita/internal/encode"
+	"partita/internal/iface"
+	"partita/internal/ip"
+	"partita/internal/lower"
+)
+
+func testIP(protocol ip.Protocol) *ip.IP {
+	return &ip.IP{ID: "FIR-8", Name: "fir engine", Funcs: []string{"fir"},
+		InPorts: 2, OutPorts: 2, InRate: 4, OutRate: 4,
+		Latency: 8, Pipelined: true, Area: 5, Protocol: protocol}
+}
+
+func TestFSMModuleStructure(t *testing.T) {
+	b := testIP(ip.Synchronous)
+	s := iface.Shape{NIn: 32, NOut: 32, TSW: 1000}
+	for _, ty := range []iface.Type{iface.Type2, iface.Type3} {
+		f := iface.ControllerFSM(ty, b, s)
+		v := FSMModule(f)
+		if !strings.Contains(v, "module hif") || !strings.Contains(v, "endmodule") {
+			t.Fatalf("%v: malformed module:\n%s", ty, v)
+		}
+		// Every state appears as a localparam and a case arm.
+		for _, st := range f.States {
+			if !strings.Contains(v, "S_"+sanitize(st.Name)) {
+				t.Errorf("%v: state %s missing from RTL", ty, st.Name)
+			}
+		}
+		if !strings.Contains(v, "posedge clk") {
+			t.Errorf("%v: no clocked process", ty)
+		}
+		if strings.Count(v, "endmodule") != 1 {
+			t.Errorf("%v: module nesting broken", ty)
+		}
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"hif2_FIR-8": "hif2_FIR_8",
+		"9lives":     "m_9lives",
+		"ok_name":    "ok_name",
+		"":           "m_",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTransformerVariants(t *testing.T) {
+	sync := TransformerModule(testIP(ip.Synchronous))
+	if strings.Contains(sync, "req") || strings.Contains(sync, "strobe") {
+		t.Error("synchronous transformer should have no handshake signals")
+	}
+	hs := TransformerModule(testIP(ip.Handshake))
+	if !strings.Contains(hs, "req") || !strings.Contains(hs, "ack") {
+		t.Error("handshake transformer missing req/ack")
+	}
+	st := TransformerModule(testIP(ip.Strobe))
+	if !strings.Contains(st, "strobe") {
+		t.Error("strobe transformer missing strobe")
+	}
+}
+
+func buildImage(t *testing.T) *encode.Image {
+	t.Helper()
+	src := `
+int a; int b;
+int main() {
+	int i;
+	for (i = 0; i < 10; i = i + 1) { a = a + 1; }
+	for (i = 0; i < 10; i = i + 1) { b = b + 1; }
+	return a + b;
+}`
+	f, err := cprog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := cprog.Analyze(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, _, err := lower.Compile(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := cinstr.Mine(prog, nil, cinstr.Config{}).Chosen
+	im, err := encode.Build(prog, cs, []string{"FIR-8/IF2", "DCT/IF3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func TestDecodeUnitCoversOpcodes(t *testing.T) {
+	im := buildImage(t)
+	v := DecodeUnit(im)
+	if !strings.Contains(v, "module decode_unit") {
+		t.Fatal("no decode module")
+	}
+	for i, r := range im.CRoutines {
+		if !strings.Contains(v, r.ID) {
+			t.Errorf("C routine %d (%s) missing from decode table", i, r.ID)
+		}
+	}
+	for _, r := range im.SRoutines {
+		if !strings.Contains(v, sanitize(r.Name)) {
+			t.Errorf("S routine %s missing from decode table", r.Name)
+		}
+	}
+	if strings.Count(v, "case (") < 3 {
+		t.Error("decode unit should have class + per-class cases")
+	}
+}
+
+func TestGenerateSystem(t *testing.T) {
+	im := buildImage(t)
+	atts := []Attachment{
+		{IP: testIP(ip.Handshake), Type: iface.Type2, Shape: iface.Shape{NIn: 16, NOut: 16}},
+		{IP: testIP(ip.Handshake), Type: iface.Type2, Shape: iface.Shape{NIn: 16, NOut: 16}}, // dup → emitted once
+	}
+	v := GenerateSystem(atts, im)
+	if strings.Count(v, "module hif2_FIR_8") != 1 {
+		t.Errorf("duplicate attachment not merged:\n%d modules", strings.Count(v, "module hif2_FIR_8"))
+	}
+	if !strings.Contains(v, "module pt_FIR_8") {
+		t.Error("protocol transformer missing")
+	}
+	if !strings.Contains(v, "module decode_unit") {
+		t.Error("decode unit missing")
+	}
+	// Balanced module/endmodule.
+	if strings.Count(v, "\nmodule ")+boolToInt(strings.HasPrefix(v, "module ")) != strings.Count(v, "endmodule") {
+		t.Errorf("unbalanced modules:\n%s", v)
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestSoftwareTypesEmitNoFSM(t *testing.T) {
+	atts := []Attachment{
+		{IP: testIP(ip.Synchronous), Type: iface.Type0, Shape: iface.Shape{NIn: 8, NOut: 8}},
+	}
+	v := GenerateSystem(atts, nil)
+	if strings.Contains(v, "module hif") {
+		t.Error("software interface type generated a hardware FSM")
+	}
+	if !strings.Contains(v, "module pt_") {
+		t.Error("transformer still required for software types")
+	}
+}

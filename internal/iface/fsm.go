@@ -1,0 +1,112 @@
+package iface
+
+import (
+	"fmt"
+	"strings"
+
+	"partita/internal/ip"
+)
+
+// FSMState is one state of a hardware in/out controller.
+type FSMState struct {
+	Name string
+	// Actions are the register-transfer operations performed while in
+	// the state (documentation-level RTL, matching Figs. 6-7).
+	Actions []string
+	// Next names the successor state; Cond guards the transition (empty
+	// means unconditional).
+	Next string
+	Cond string
+}
+
+// FSM is a generated hardware interface controller (type 2 or type 3).
+type FSM struct {
+	Name   string
+	Type   Type
+	States []FSMState
+}
+
+// ControllerFSM generates the DMA controller of Fig. 6 (type 2) or the
+// buffered controller of Fig. 7 (type 3). IPs with different input and
+// output data rates get split in/out controllers, adding states
+// (Section 3, "Different input and output data rates").
+func ControllerFSM(t Type, b *ip.IP, s Shape) *FSM {
+	switch t {
+	case Type2:
+		f := &FSM{Name: "hif2_" + b.ID, Type: Type2}
+		f.States = []FSMState{
+			{Name: "IDLE", Actions: []string{"wait S-instruction decode"}, Next: "CONNECT", Cond: "start"},
+			{Name: "CONNECT", Actions: []string{
+				"IP_in_x = data_x1; IP_in_y = data_y1",
+				"data_x2 = IP_out_x; data_y2 = IP_out_y",
+			}, Next: "FILL"},
+			{Name: "FILL", Actions: []string{
+				"addr_x1++; addr_y1++; rw_x1 = r; rw_y1 = r",
+				fmt.Sprintf("repeat cnt_in_only (%d)", s.NIn),
+			}, Next: "STREAM", Cond: "cnt_in_only == 0"},
+			{Name: "STREAM", Actions: []string{
+				"addr_x1++; addr_y1++; rw_x1 = r; rw_y1 = r",
+				"addr_x2++; addr_y2++; rw_x2 = w; rw_y2 = w",
+			}, Next: "DRAIN", Cond: "cnt_in_out == 0"},
+			{Name: "DRAIN", Actions: []string{
+				"addr_x2++; addr_y2++; rw_x2 = w; rw_y2 = w",
+				fmt.Sprintf("repeat cnt_out_only (%d)", s.NOut),
+			}, Next: "DONE", Cond: "cnt_out_only == 0"},
+			{Name: "DONE", Actions: []string{"raise S-instruction complete"}, Next: "IDLE"},
+		}
+		if b.InRate != b.OutRate {
+			// Split controllers: independent pacing of the two streams.
+			f.States = append(f.States,
+				FSMState{Name: "PACE_IN", Actions: []string{fmt.Sprintf("stall %d cycles between inputs", b.InRate)}, Next: "STREAM"},
+				FSMState{Name: "PACE_OUT", Actions: []string{fmt.Sprintf("stall %d cycles between outputs", b.OutRate)}, Next: "STREAM"},
+			)
+		}
+		return f
+	case Type3:
+		f := &FSM{Name: "hif3_" + b.ID, Type: Type3}
+		f.States = []FSMState{
+			{Name: "IDLE", Actions: []string{"wait S-instruction decode"}, Next: "CONNECT", Cond: "start"},
+			{Name: "CONNECT", Actions: []string{
+				"buff_in[][] = data_x; buff_in[][] = data_y",
+				"data_x = buff_out[][]; data_y = buff_out[][]",
+			}, Next: "FILLBUF"},
+			{Name: "FILLBUF", Actions: []string{
+				"addr_x++; addr_y++; rw_x = r; rw_y = r",
+				fmt.Sprintf("repeat cnt_in (%d)", s.NIn),
+			}, Next: "RUN", Cond: "cnt_in == 0"},
+			{Name: "RUN", Actions: []string{
+				"IP_start = 1",
+				"buffer controller feeds IP at native rate; kernel runs parallel code",
+			}, Next: "DRAINBUF", Cond: "IP done"},
+			{Name: "DRAINBUF", Actions: []string{
+				"addr_x++; addr_y++; rw_x = w; rw_y = w",
+				fmt.Sprintf("repeat cnt_out (%d)", s.NOut),
+			}, Next: "DONE", Cond: "cnt_out == 0"},
+			{Name: "DONE", Actions: []string{"raise S-instruction complete"}, Next: "IDLE"},
+			// Dedicated buffer-side controllers (always split for the
+			// buffered types so in/out rates are independent).
+			{Name: "BCTL_IN", Actions: []string{fmt.Sprintf("buff_in → IP every %d cycles", b.InRate)}, Next: "BCTL_IN"},
+			{Name: "BCTL_OUT", Actions: []string{fmt.Sprintf("IP → buff_out every %d cycles", b.OutRate)}, Next: "BCTL_OUT"},
+		}
+		return f
+	}
+	panic(fmt.Sprintf("iface: ControllerFSM called for software type %v", t))
+}
+
+// String renders the FSM as readable RTL documentation.
+func (f *FSM) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "fsm %s (%s, %d states)\n", f.Name, f.Type, len(f.States))
+	for _, st := range f.States {
+		fmt.Fprintf(&sb, "  %s:\n", st.Name)
+		for _, a := range st.Actions {
+			fmt.Fprintf(&sb, "    %s\n", a)
+		}
+		if st.Cond != "" {
+			fmt.Fprintf(&sb, "    → %s when %s\n", st.Next, st.Cond)
+		} else if st.Next != "" {
+			fmt.Fprintf(&sb, "    → %s\n", st.Next)
+		}
+	}
+	return sb.String()
+}

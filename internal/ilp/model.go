@@ -1,0 +1,284 @@
+// Package ilp provides a small, self-contained mixed 0-1 integer linear
+// programming toolkit: a dense two-phase primal simplex solver for linear
+// relaxations and a best-first branch-and-bound driver for binary decision
+// variables.
+//
+// It exists so that the S-instruction selection problem of Choi et al.
+// (DAC 1999) can be solved exactly without any external solver. Problem
+// instances in that domain are small (tens of binary variables, tens of
+// constraints), so a dense tableau and node-local re-solves are more than
+// fast enough.
+package ilp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Sense selects the optimization direction of a Model.
+type Sense int
+
+const (
+	// Minimize asks for the least objective value.
+	Minimize Sense = iota
+	// Maximize asks for the greatest objective value.
+	Maximize
+)
+
+// Rel is the relation of a linear constraint to its right-hand side.
+type Rel int
+
+const (
+	// LE constrains the row to be ≤ rhs.
+	LE Rel = iota
+	// GE constrains the row to be ≥ rhs.
+	GE
+	// EQ constrains the row to be = rhs.
+	EQ
+)
+
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return fmt.Sprintf("Rel(%d)", int(r))
+}
+
+// VarID names a variable within its Model. IDs are dense indices assigned
+// in AddVar order.
+type VarID int
+
+// Term is one coefficient·variable product of a linear expression.
+type Term struct {
+	Var  VarID
+	Coef float64
+}
+
+// variable is the internal record for one decision variable.
+type variable struct {
+	name    string
+	lo, hi  float64 // bounds; hi may be +Inf
+	obj     float64
+	integer bool // branch-and-bound treats integer vars as binaries in [lo,hi]
+}
+
+// constraint is one linear row of the model.
+type constraint struct {
+	name  string
+	terms []Term
+	rel   Rel
+	rhs   float64
+}
+
+// Model accumulates variables and constraints and can be solved either as
+// a pure LP (relaxation) or as a mixed 0-1 program.
+type Model struct {
+	sense Sense
+	vars  []variable
+	cons  []constraint
+}
+
+// NewModel returns an empty model with the given optimization sense.
+func NewModel(sense Sense) *Model {
+	return &Model{sense: sense}
+}
+
+// NumVars reports the number of variables added so far.
+func (m *Model) NumVars() int { return len(m.vars) }
+
+// NumConstraints reports the number of constraint rows added so far.
+func (m *Model) NumConstraints() int { return len(m.cons) }
+
+// AddVar adds a continuous variable with bounds [lo, hi] (hi may be
+// math.Inf(1)) and the given objective coefficient.
+func (m *Model) AddVar(name string, lo, hi, obj float64) VarID {
+	m.vars = append(m.vars, variable{name: name, lo: lo, hi: hi, obj: obj})
+	return VarID(len(m.vars) - 1)
+}
+
+// AddBinary adds a 0-1 decision variable with the given objective
+// coefficient.
+func (m *Model) AddBinary(name string, obj float64) VarID {
+	m.vars = append(m.vars, variable{name: name, lo: 0, hi: 1, obj: obj, integer: true})
+	return VarID(len(m.vars) - 1)
+}
+
+// AddConstraint appends the row Σ terms rel rhs. Terms may repeat a
+// variable; coefficients are accumulated.
+func (m *Model) AddConstraint(name string, terms []Term, rel Rel, rhs float64) {
+	own := make([]Term, len(terms))
+	copy(own, terms)
+	m.cons = append(m.cons, constraint{name: name, terms: own, rel: rel, rhs: rhs})
+}
+
+// VarName reports the name a variable was declared with.
+func (m *Model) VarName(v VarID) string { return m.vars[v].name }
+
+// Status describes the outcome of a solve.
+type Status int
+
+const (
+	// Optimal means a provably optimal solution was found.
+	Optimal Status = iota
+	// Infeasible means no assignment satisfies the constraints.
+	Infeasible
+	// Unbounded means the objective can be improved without limit.
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Solution is the result of solving a Model.
+type Solution struct {
+	Status    Status
+	Objective float64
+	// Values holds one entry per variable, indexed by VarID.
+	Values []float64
+	// Nodes is the number of branch-and-bound nodes explored (1 for a
+	// pure LP solve).
+	Nodes int
+}
+
+// Value returns the solved value of v.
+func (s *Solution) Value(v VarID) float64 { return s.Values[v] }
+
+// IsSet reports whether binary variable v is 1 in the solution (within
+// integer tolerance).
+func (s *Solution) IsSet(v VarID) bool { return s.Values[v] > 0.5 }
+
+// ErrNoVariables is returned when solving an empty model.
+var ErrNoVariables = errors.New("ilp: model has no variables")
+
+// Check verifies that a solution satisfies every constraint, bound, and
+// integrality requirement of the model within tol, and that the reported
+// objective matches the assignment. It returns nil for non-Optimal
+// solutions (there is nothing to check).
+func (m *Model) Check(s *Solution, tol float64) error {
+	if s == nil {
+		return errors.New("ilp: nil solution")
+	}
+	if s.Status != Optimal {
+		return nil
+	}
+	if len(s.Values) != len(m.vars) {
+		return fmt.Errorf("ilp: solution has %d values for %d variables", len(s.Values), len(m.vars))
+	}
+	obj := 0.0
+	for j, v := range m.vars {
+		x := s.Values[j]
+		if x < v.lo-tol || x > v.hi+tol {
+			return fmt.Errorf("ilp: %s = %g violates bounds [%g, %g]", v.name, x, v.lo, v.hi)
+		}
+		if v.integer && math.Abs(x-math.Round(x)) > tol {
+			return fmt.Errorf("ilp: %s = %g is not integral", v.name, x)
+		}
+		obj += v.obj * x
+	}
+	if math.Abs(obj-s.Objective) > tol*(1+math.Abs(obj)) {
+		return fmt.Errorf("ilp: reported objective %g differs from recomputed %g", s.Objective, obj)
+	}
+	for _, c := range m.cons {
+		sum := 0.0
+		for _, t := range c.terms {
+			sum += t.Coef * s.Values[t.Var]
+		}
+		scale := 1 + math.Abs(c.rhs)
+		switch c.rel {
+		case LE:
+			if sum > c.rhs+tol*scale {
+				return fmt.Errorf("ilp: constraint %q violated: %g > %g", c.name, sum, c.rhs)
+			}
+		case GE:
+			if sum < c.rhs-tol*scale {
+				return fmt.Errorf("ilp: constraint %q violated: %g < %g", c.name, sum, c.rhs)
+			}
+		case EQ:
+			if math.Abs(sum-c.rhs) > tol*scale {
+				return fmt.Errorf("ilp: constraint %q violated: %g != %g", c.name, sum, c.rhs)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the model in an LP-file-like format, for debugging and
+// golden tests.
+func (m *Model) String() string {
+	var b strings.Builder
+	if m.sense == Minimize {
+		b.WriteString("min ")
+	} else {
+		b.WriteString("max ")
+	}
+	for i, v := range m.vars {
+		if i > 0 {
+			b.WriteString(" + ")
+		}
+		fmt.Fprintf(&b, "%g %s", v.obj, v.name)
+	}
+	b.WriteString("\ns.t.\n")
+	for _, c := range m.cons {
+		fmt.Fprintf(&b, "  %s: ", c.name)
+		for i, t := range c.terms {
+			if i > 0 {
+				b.WriteString(" + ")
+			}
+			fmt.Fprintf(&b, "%g %s", t.Coef, m.vars[t.Var].name)
+		}
+		fmt.Fprintf(&b, " %s %g\n", c.rel, c.rhs)
+	}
+	for _, v := range m.vars {
+		kind := "cont"
+		if v.integer {
+			kind = "bin"
+		}
+		fmt.Fprintf(&b, "  %s in [%g, %g] (%s)\n", v.name, v.lo, v.hi, kind)
+	}
+	return b.String()
+}
+
+// validate checks structural sanity of the model before solving.
+func (m *Model) validate() error {
+	if len(m.vars) == 0 {
+		return ErrNoVariables
+	}
+	for _, c := range m.cons {
+		for _, t := range c.terms {
+			if t.Var < 0 || int(t.Var) >= len(m.vars) {
+				return fmt.Errorf("ilp: constraint %q references unknown variable %d", c.name, t.Var)
+			}
+			if math.IsNaN(t.Coef) || math.IsInf(t.Coef, 0) {
+				return fmt.Errorf("ilp: constraint %q has non-finite coefficient", c.name)
+			}
+		}
+		if math.IsNaN(c.rhs) || math.IsInf(c.rhs, 0) {
+			return fmt.Errorf("ilp: constraint %q has non-finite rhs", c.name)
+		}
+	}
+	for _, v := range m.vars {
+		if v.lo > v.hi {
+			return fmt.Errorf("ilp: variable %q has empty domain [%g, %g]", v.name, v.lo, v.hi)
+		}
+		if math.IsNaN(v.obj) || math.IsInf(v.obj, 0) {
+			return fmt.Errorf("ilp: variable %q has non-finite objective coefficient", v.name)
+		}
+	}
+	return nil
+}

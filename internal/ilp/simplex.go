@@ -1,0 +1,375 @@
+package ilp
+
+import (
+	"math"
+)
+
+// The simplex solver works on a standard-form tableau:
+//
+//	minimize c·x  subject to  A·x = b,  x ≥ 0,  b ≥ 0
+//
+// built from the model by shifting each variable to its lower bound,
+// turning finite upper bounds into explicit ≤ rows, and adding slack,
+// surplus, and artificial columns. Phase 1 minimizes the sum of
+// artificials; phase 2 minimizes the real cost. Bland's rule guarantees
+// termination on degenerate instances.
+
+const (
+	pivotEps   = 1e-9 // smallest acceptable pivot magnitude (after row scaling)
+	costEps    = 1e-9 // reduced-cost optimality tolerance
+	feasEps    = 1e-7 // phase-1 residual treated as feasible
+	intEps     = 1e-6 // integrality tolerance for branch and bound
+	maxSimplex = 200000
+)
+
+type tableau struct {
+	m, n  int
+	a     [][]float64
+	b     []float64
+	basis []int
+	// cost rows: index 0 = phase-1 (artificial) costs, 1 = real costs.
+	d   [2][]float64
+	obj [2]float64
+	// artificial[j] marks artificial columns, which may never re-enter
+	// the basis in phase 2.
+	artificial []bool
+}
+
+// lpResult is the outcome of one relaxation solve in model-variable space.
+type lpResult struct {
+	status Status
+	obj    float64   // objective in the model's own sense
+	x      []float64 // one value per model variable (fixed vars included)
+}
+
+// solveRelaxation solves the LP relaxation of m with the given variables
+// fixed to specific values (used by branch and bound; may be nil).
+func (m *Model) solveRelaxation(fixed map[VarID]float64) lpResult {
+	n := len(m.vars)
+	// Shift amounts and which variables are free.
+	shift := make([]float64, n)
+	free := make([]int, 0, n) // model index of each structural column
+	colOf := make([]int, n)
+	for j := range colOf {
+		colOf[j] = -1
+	}
+	for j, v := range m.vars {
+		if _, ok := fixed[VarID(j)]; ok {
+			continue
+		}
+		lo := v.lo
+		if math.IsInf(lo, -1) {
+			// The selection problems never use free variables; treat a
+			// -Inf lower bound as a large negative shift instead of
+			// splitting the column.
+			lo = -1e12
+		}
+		shift[j] = lo
+		colOf[j] = len(free)
+		free = append(free, j)
+	}
+
+	type row struct {
+		coef []float64 // over free columns
+		rel  Rel
+		rhs  float64
+	}
+	var rows []row
+	addRow := func(coef []float64, rel Rel, rhs float64) {
+		if rhs < 0 {
+			for i := range coef {
+				coef[i] = -coef[i]
+			}
+			rhs = -rhs
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		rows = append(rows, row{coef: coef, rel: rel, rhs: rhs})
+	}
+
+	for _, c := range m.cons {
+		coef := make([]float64, len(free))
+		rhs := c.rhs
+		for _, t := range c.terms {
+			if fv, ok := fixed[t.Var]; ok {
+				rhs -= t.Coef * fv
+				continue
+			}
+			rhs -= t.Coef * shift[t.Var]
+			coef[colOf[t.Var]] += t.Coef
+		}
+		addRow(coef, c.rel, rhs)
+	}
+	// Finite upper bounds become explicit rows in shifted space.
+	for col, j := range free {
+		hi := m.vars[j].hi
+		if math.IsInf(hi, 1) {
+			continue
+		}
+		coef := make([]float64, len(free))
+		coef[col] = 1
+		addRow(coef, LE, hi-shift[j])
+	}
+
+	// Row equilibration: scale each row so its largest magnitude is 1.
+	for i := range rows {
+		mx := math.Abs(rows[i].rhs)
+		for _, v := range rows[i].coef {
+			if a := math.Abs(v); a > mx {
+				mx = a
+			}
+		}
+		if mx > 1 {
+			inv := 1 / mx
+			for k := range rows[i].coef {
+				rows[i].coef[k] *= inv
+			}
+			rows[i].rhs *= inv
+		}
+	}
+
+	// Assemble the tableau: structural columns, then one slack/surplus
+	// per inequality, then one artificial per GE/EQ row.
+	nStruct := len(free)
+	nSlack := 0
+	nArt := 0
+	for _, r := range rows {
+		if r.rel != EQ {
+			nSlack++
+		}
+		if r.rel != LE {
+			nArt++
+		}
+	}
+	nTot := nStruct + nSlack + nArt
+	t := &tableau{
+		m:          len(rows),
+		n:          nTot,
+		a:          make([][]float64, len(rows)),
+		b:          make([]float64, len(rows)),
+		basis:      make([]int, len(rows)),
+		artificial: make([]bool, nTot),
+	}
+	t.d[0] = make([]float64, nTot)
+	t.d[1] = make([]float64, nTot)
+
+	// Real costs over structural columns (converted to minimization).
+	sgn := 1.0
+	if m.sense == Maximize {
+		sgn = -1
+	}
+	constObj := 0.0
+	for j, v := range m.vars {
+		if fv, ok := fixed[VarID(j)]; ok {
+			constObj += sgn * v.obj * fv
+		} else {
+			constObj += sgn * v.obj * shift[j]
+		}
+	}
+	for col, j := range free {
+		t.d[1][col] = sgn * m.vars[j].obj
+	}
+
+	slackAt := nStruct
+	artAt := nStruct + nSlack
+	for i, r := range rows {
+		t.a[i] = make([]float64, nTot)
+		copy(t.a[i], r.coef)
+		t.b[i] = r.rhs
+		switch r.rel {
+		case LE:
+			t.a[i][slackAt] = 1
+			t.basis[i] = slackAt
+			slackAt++
+		case GE:
+			t.a[i][slackAt] = -1
+			slackAt++
+			t.a[i][artAt] = 1
+			t.artificial[artAt] = true
+			t.basis[i] = artAt
+			artAt++
+		case EQ:
+			t.a[i][artAt] = 1
+			t.artificial[artAt] = true
+			t.basis[i] = artAt
+			artAt++
+		}
+	}
+	// Price out phase-1 costs for the artificial basis.
+	for i := range rows {
+		if t.artificial[t.basis[i]] {
+			for j := 0; j < nTot; j++ {
+				t.d[0][j] -= t.a[i][j]
+			}
+			t.obj[0] += t.b[i]
+		}
+	}
+	// Phase-1 cost of each artificial is 1; its reduced cost starts at 0
+	// because its own column was subtracted above (identity column).
+	for j := 0; j < nTot; j++ {
+		if t.artificial[j] {
+			t.d[0][j]++
+		}
+	}
+
+	// Phase 1.
+	if st := t.iterate(0, true); st == Unbounded {
+		// A phase-1 objective bounded below by zero can never be
+		// unbounded; treat as numerical failure → infeasible.
+		return lpResult{status: Infeasible}
+	}
+	if t.obj[0] > feasEps {
+		return lpResult{status: Infeasible}
+	}
+	t.driveOutArtificials()
+
+	// Phase 2.
+	if st := t.iterate(1, false); st == Unbounded {
+		return lpResult{status: Unbounded}
+	}
+
+	// Extract structural values and unshift.
+	x := make([]float64, n)
+	for j := range m.vars {
+		if fv, ok := fixed[VarID(j)]; ok {
+			x[j] = fv
+		} else {
+			x[j] = shift[j]
+		}
+	}
+	for i, bi := range t.basis {
+		if bi < nStruct {
+			x[free[bi]] += t.b[i]
+		}
+	}
+	obj := t.obj[1] + constObj
+	if m.sense == Maximize {
+		obj = -obj
+	}
+	return lpResult{status: Optimal, obj: obj, x: x}
+}
+
+// iterate runs simplex pivots on cost row k until optimal or unbounded.
+// When allowArt is false, artificial columns may not enter the basis.
+// Pivoting uses Dantzig's rule (most negative reduced cost) for speed,
+// falling back to Bland's rule after a burn-in to guarantee termination
+// on degenerate instances.
+func (t *tableau) iterate(k int, allowArt bool) Status {
+	const blandAfter = 2000
+	for iter := 0; iter < maxSimplex; iter++ {
+		enter := -1
+		if iter < blandAfter {
+			best := -costEps
+			for j := 0; j < t.n; j++ {
+				if !allowArt && t.artificial[j] {
+					continue
+				}
+				if t.d[k][j] < best {
+					best = t.d[k][j]
+					enter = j
+				}
+			}
+		} else {
+			for j := 0; j < t.n; j++ {
+				if !allowArt && t.artificial[j] {
+					continue
+				}
+				if t.d[k][j] < -costEps {
+					enter = j
+					break
+				}
+			}
+		}
+		if enter < 0 {
+			return Optimal
+		}
+		// Ratio test, Bland tiebreak on lowest basis index.
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			aij := t.a[i][enter]
+			if aij <= pivotEps {
+				continue
+			}
+			ratio := t.b[i] / aij
+			if ratio < best-1e-12 || (ratio < best+1e-12 && (leave < 0 || t.basis[i] < t.basis[leave])) {
+				best = ratio
+				leave = i
+			}
+		}
+		if leave < 0 {
+			return Unbounded
+		}
+		t.pivot(leave, enter)
+	}
+	// Iteration cap exceeded: report as optimal-so-far; callers treat the
+	// basic solution defensively. This should never trigger on the small
+	// instances this package is built for.
+	return Optimal
+}
+
+// pivot brings column q into the basis at row r.
+func (t *tableau) pivot(r, q int) {
+	piv := t.a[r][q]
+	inv := 1 / piv
+	row := t.a[r]
+	for j := range row {
+		row[j] *= inv
+	}
+	t.b[r] *= inv
+	for i := 0; i < t.m; i++ {
+		if i == r {
+			continue
+		}
+		f := t.a[i][q]
+		if f == 0 {
+			continue
+		}
+		ai := t.a[i]
+		for j := range ai {
+			ai[j] -= f * row[j]
+		}
+		t.b[i] -= f * t.b[r]
+		if t.b[i] < 0 && t.b[i] > -1e-11 {
+			t.b[i] = 0
+		}
+	}
+	for k := 0; k < 2; k++ {
+		f := t.d[k][q]
+		if f == 0 {
+			continue
+		}
+		dk := t.d[k]
+		for j := range dk {
+			dk[j] -= f * row[j]
+		}
+		t.obj[k] += f * t.b[r]
+	}
+	t.basis[r] = q
+}
+
+// driveOutArtificials pivots any artificial variable that is still basic
+// after phase 1 out of the basis when possible. Rows whose artificial
+// cannot be driven out are redundant (all structural coefficients zero)
+// and harmless because the artificial's value is zero and its column may
+// not re-enter.
+func (t *tableau) driveOutArtificials() {
+	for i := 0; i < t.m; i++ {
+		if !t.artificial[t.basis[i]] {
+			continue
+		}
+		for j := 0; j < t.n; j++ {
+			if t.artificial[j] {
+				continue
+			}
+			if math.Abs(t.a[i][j]) > 1e-7 {
+				t.pivot(i, j)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,309 @@
+package imp
+
+import (
+	"strings"
+	"testing"
+
+	"partita/internal/cdfg"
+	"partita/internal/cprog"
+	"partita/internal/iface"
+	"partita/internal/ip"
+	"partita/internal/kernel"
+)
+
+const workload = `
+xmem int xin[64];
+ymem int coef[16];
+xmem int fout[64];
+ymem int dout[64];
+xmem int qout[64];
+int u; int v;
+
+int fir(xmem int a[], ymem int c[], xmem int o[]) {
+	int i; int j; int acc;
+	for (i = 0; i < 48; i = i + 1) {
+		acc = 0;
+		for (j = 0; j < 16; j = j + 1) { acc = acc + a[i + j] * c[j]; }
+		o[i] = acc >> 15;
+	}
+	return o[0];
+}
+int dct(xmem int a[], ymem int o[]) {
+	int k; int i; int s;
+	for (k = 0; k < 8; k = k + 1) {
+		s = 0;
+		for (i = 0; i < 8; i = i + 1) { s = s + a[i] * (k + i); }
+		o[k] = s;
+	}
+	return o[0];
+}
+int quant(xmem int a[], xmem int o[]) {
+	int i;
+	for (i = 0; i < 64; i = i + 1) { o[i] = a[i] / 3; }
+	return o[0];
+}
+int codec(xmem int a[], ymem int o[]) {
+	int r1; int r2;
+	r1 = dct(a, o);        // hierarchy: codec calls dct
+	r2 = r1 + o[0];
+	return r2;
+}
+int top() {
+	int r; int d; int q;
+	r = fir(xin, coef, fout);
+	u = v * 13 + 7;              // independent of fir → PC candidate
+	d = codec(fout, dout);
+	q = quant(qout, qout);
+	return r + d + q + u;
+}
+`
+
+func catalog(t *testing.T) *ip.Catalog {
+	t.Helper()
+	mk := func(id string, area float64, rate int, funcs ...string) *ip.IP {
+		return &ip.IP{ID: id, Name: id, Funcs: funcs, InPorts: 2, OutPorts: 2,
+			InRate: rate, OutRate: rate, Latency: 8, Pipelined: true, Area: area}
+	}
+	c, err := ip.NewCatalog(
+		mk("IP1", 3, 4, "fir"),
+		mk("IP2", 5, 2, "dct"),
+		mk("IP3", 8, 2, "fir", "dct"), // M-IP
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Get("IP3").PerfFactor = 1.5
+	return c
+}
+
+func gen(t *testing.T, problem2 bool) (*DB, *cprog.Info) {
+	t.Helper()
+	f, err := cprog.Parse(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := cprog.Analyze(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Generate(info, "top", Config{
+		Catalog:  catalog(t),
+		Area:     kernel.DefaultArea(),
+		Problem2: problem2,
+		CDFG:     cdfg.DefaultOptions(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, info
+}
+
+func TestSCallDetection(t *testing.T) {
+	db, _ := gen(t, false)
+	names := map[string]bool{}
+	for _, sc := range db.SCalls {
+		names[sc.Func] = true
+	}
+	// s-calls are the calls of the root function: fir directly, codec
+	// through hierarchy. dct is not called from top.
+	if !names["fir"] {
+		t.Errorf("s-calls = %v, want fir", names)
+	}
+	// quant has no IP and contains no accelerable calls → not an s-call.
+	if names["quant"] {
+		t.Error("quant should not be an s-call candidate")
+	}
+	// codec has no direct IP but contains dct → s-call via flattening.
+	if !names["codec"] {
+		t.Error("codec should be an s-call candidate through hierarchy")
+	}
+}
+
+func TestDirectIMPEnumeration(t *testing.T) {
+	db, _ := gen(t, false)
+	var fir *SCall
+	for _, sc := range db.SCalls {
+		if sc.Func == "fir" {
+			fir = sc
+		}
+	}
+	if fir == nil {
+		t.Fatal("no fir s-call")
+	}
+	imps := db.IMPsFor(fir)
+	if len(imps) == 0 {
+		t.Fatal("no IMPs for fir")
+	}
+	// Both the S-IP (IP1) and the M-IP (IP3) must appear.
+	ips := map[string]bool{}
+	types := map[iface.Type]bool{}
+	for _, m := range imps {
+		ips[m.IP.ID] = true
+		types[m.Cand.Type] = true
+		if m.GainPerExec <= 0 {
+			t.Errorf("%s has non-positive gain", m.ID)
+		}
+		if m.TotalGain != m.GainPerExec*fir.TotalFreq {
+			t.Errorf("%s: TotalGain %d != GainPerExec %d × freq %d", m.ID, m.TotalGain, m.GainPerExec, fir.TotalFreq)
+		}
+	}
+	if !ips["IP1"] || !ips["IP3"] {
+		t.Errorf("fir IMP IPs = %v, want IP1 and IP3", ips)
+	}
+	if len(types) < 2 {
+		t.Errorf("interface types used = %v, want several", types)
+	}
+}
+
+func TestParallelCodeVariantExists(t *testing.T) {
+	db, _ := gen(t, false)
+	foundPC := false
+	for _, m := range db.IMPs {
+		if m.UsesPC {
+			foundPC = true
+			if !m.Cand.Type.SupportsParallel() {
+				t.Errorf("%s uses PC on non-parallel interface %v", m.ID, m.Cand.Type)
+			}
+			if len(m.PCSCalls) != 0 {
+				t.Errorf("Problem-1 method %s has software-s-call PC", m.ID)
+			}
+		}
+	}
+	if !foundPC {
+		t.Error("no parallel-code IMP generated; u=v*13+7 should be a PC for fir")
+	}
+}
+
+func TestFlattenedIMPs(t *testing.T) {
+	db, _ := gen(t, false)
+	var codec *SCall
+	for _, sc := range db.SCalls {
+		if sc.Func == "codec" {
+			codec = sc
+		}
+	}
+	if codec == nil {
+		t.Fatal("no codec s-call")
+	}
+	imps := db.IMPsFor(codec)
+	flattened := 0
+	for _, m := range imps {
+		if m.Flattened == "dct" {
+			flattened++
+			if !strings.Contains(m.ID, "via dct") {
+				t.Errorf("flattened IMP ID %q lacks marker", m.ID)
+			}
+			if m.GainPerExec >= codec.TSW {
+				t.Errorf("flattened gain %d must be below outer TSW %d", m.GainPerExec, codec.TSW)
+			}
+		}
+	}
+	if flattened == 0 {
+		t.Error("no hierarchy-flattened IMPs for codec (should lift dct IPs)")
+	}
+}
+
+func TestProblem2GeneratesConflicts(t *testing.T) {
+	db, _ := gen(t, true)
+	// Problem 2 splits sites and allows software-s-call PCs. The fir
+	// call and the codec call are independent (disjoint arrays? fout is
+	// shared — fir writes fout, codec reads it, so they conflict; quant
+	// uses qout only but is not an s-call). Whether a software-PC method
+	// arises depends on independence; conflicts must be consistent:
+	for _, c := range db.Conflicts {
+		a, b := db.IMPs[c[0]], db.IMPs[c[1]]
+		if len(a.PCSCalls) == 0 && len(b.PCSCalls) == 0 {
+			t.Errorf("conflict (%s, %s) without any software-PC method", a.ID, b.ID)
+		}
+	}
+	// Per-site grouping: every SCall must have exactly one site.
+	for _, sc := range db.SCalls {
+		if len(sc.Sites) != 1 {
+			t.Errorf("%s has %d sites under Problem 2", sc.Name(), len(sc.Sites))
+		}
+	}
+}
+
+func TestPathsCoverCalls(t *testing.T) {
+	db, _ := gen(t, false)
+	if len(db.Paths) == 0 {
+		t.Fatal("no paths")
+	}
+	// top is straight-line → one path with all three s-calls (fir,
+	// codec, quant-call is not an s-call but still a call node).
+	calls := db.Paths[0]
+	if len(calls) < 3 {
+		t.Errorf("path calls = %d, want >= 3", len(calls))
+	}
+}
+
+func TestDataCountHeuristic(t *testing.T) {
+	db, _ := gen(t, false)
+	for _, sc := range db.SCalls {
+		if sc.Func == "fir" {
+			// fir's deepest loop nest runs 48×16 = 768 iterations.
+			if sc.NIn < 48 {
+				t.Errorf("fir NIn = %d, want >= 48 (loop-derived)", sc.NIn)
+			}
+		}
+	}
+}
+
+func TestDataCountOverride(t *testing.T) {
+	f, _ := cprog.Parse(workload)
+	info, _ := cprog.Analyze(f)
+	db, err := Generate(info, "top", Config{
+		Catalog: catalog(t),
+		Area:    kernel.DefaultArea(),
+		DataCount: func(fn string) (int, int) {
+			if fn == "fir" {
+				return 160, 160
+			}
+			return 0, 0
+		},
+		CDFG: cdfg.DefaultOptions(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range db.SCalls {
+		if sc.Func == "fir" && (sc.NIn != 160 || sc.NOut != 160) {
+			t.Errorf("fir data count = (%d, %d), want (160, 160)", sc.NIn, sc.NOut)
+		}
+	}
+}
+
+func TestFilter(t *testing.T) {
+	db, _ := gen(t, true)
+	total := len(db.IMPs)
+	noPC := db.Filter(func(m *IMP) bool { return !m.UsesPC })
+	if len(noPC.IMPs) >= total {
+		t.Errorf("filter removed nothing (%d of %d)", len(noPC.IMPs), total)
+	}
+	for _, m := range noPC.IMPs {
+		if m.UsesPC {
+			t.Errorf("filtered DB still contains PC method %s", m.ID)
+		}
+	}
+	// Conflicts must be re-derived: a DB without software-PC methods has
+	// no SC-PC conflicts.
+	onlyPlain := db.Filter(func(m *IMP) bool { return len(m.PCSCalls) == 0 })
+	if len(onlyPlain.Conflicts) != 0 {
+		t.Errorf("conflicts survived filtering: %v", onlyPlain.Conflicts)
+	}
+	// Shared structures intact.
+	if onlyPlain.Graph != db.Graph || len(onlyPlain.SCalls) != len(db.SCalls) {
+		t.Error("filter must share s-calls and graph")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	f, _ := cprog.Parse(workload)
+	info, _ := cprog.Analyze(f)
+	if _, err := Generate(info, "nope", Config{Catalog: catalog(t)}); err == nil {
+		t.Error("unknown root accepted")
+	}
+	if _, err := Generate(info, "top", Config{}); err == nil {
+		t.Error("nil catalog accepted")
+	}
+}

@@ -1,0 +1,104 @@
+package imp
+
+import (
+	"fmt"
+
+	"partita/internal/cdfg"
+	"partita/internal/iface"
+	"partita/internal/ip"
+)
+
+// SynthIMP describes one implementation method for NewSyntheticDB.
+type SynthIMP struct {
+	// SC is the 1-based s-call index the method implements.
+	SC int
+	// IP is the block used (blocks may be shared across methods).
+	IP *ip.IP
+	// Type is the interface method.
+	Type iface.Type
+	// Gain is the total performance gain of selecting this method.
+	Gain int64
+	// IfaceArea is the interface's area (the IP's area is shared).
+	IfaceArea float64
+	// UsesPC marks parallel-code methods.
+	UsesPC bool
+	// Flattened names the inner function for hierarchy-lifted methods.
+	Flattened string
+	// PCOf lists 1-based s-call indices whose software implementations
+	// this method uses as parallel code (SC-PC conflict sources).
+	PCOf []int
+}
+
+// NewSyntheticDB builds an IMP database directly from descriptors. It is
+// used by the paper-calibrated experiments (Tables 1-3), where the IMP
+// gains and areas are transcribed from the publication rather than
+// derived from a compiled workload, and by tests that need precise
+// control over the search space.
+//
+// Each s-call gets one synthetic call-site node with frequency 1, and a
+// single execution path covers all s-calls (the paper's tables constrain
+// one required gain for the whole application).
+func NewSyntheticDB(scFuncs []string, imps []SynthIMP) (*DB, error) {
+	db := &DB{Root: "synthetic"}
+	var allSites []*cdfg.Node
+	for i, fn := range scFuncs {
+		node := &cdfg.Node{
+			ID:    i,
+			Kind:  cdfg.NodeCall,
+			Name:  fn,
+			Freq:  1,
+			Site:  i,
+			Reads: map[string]bool{}, Writes: map[string]bool{},
+		}
+		sc := &SCall{
+			Index:     i + 1,
+			Func:      fn,
+			Sites:     []*cdfg.Node{node},
+			TotalFreq: 1,
+		}
+		db.SCalls = append(db.SCalls, sc)
+		allSites = append(allSites, node)
+	}
+	db.Paths = [][]*cdfg.Node{allSites}
+
+	for _, s := range imps {
+		if s.SC < 1 || s.SC > len(db.SCalls) {
+			return nil, fmt.Errorf("imp: synthetic method references unknown s-call %d", s.SC)
+		}
+		if s.IP == nil {
+			return nil, fmt.Errorf("imp: synthetic method for SC%d has nil IP", s.SC)
+		}
+		sc := db.SCalls[s.SC-1]
+		id := fmt.Sprintf("%s:%s,%s", sc.Name(), s.IP.ID, s.Type)
+		if s.UsesPC {
+			id += "+PC"
+		}
+		if s.Flattened != "" {
+			id += "(via " + s.Flattened + ")"
+		}
+		m := &IMP{
+			ID: id,
+			SC: sc,
+			IP: s.IP,
+			Cand: iface.Candidate{
+				Type: s.Type,
+				IP:   s.IP,
+				Gain: s.Gain,
+			},
+			GainPerExec: s.Gain,
+			TotalGain:   s.Gain,
+			IfaceArea:   s.IfaceArea,
+			UsesPC:      s.UsesPC,
+			Flattened:   s.Flattened,
+		}
+		for _, pcSC := range s.PCOf {
+			if pcSC < 1 || pcSC > len(db.SCalls) {
+				return nil, fmt.Errorf("imp: synthetic method %s references unknown PC s-call %d", id, pcSC)
+			}
+			m.PCSCalls = append(m.PCSCalls, db.SCalls[pcSC-1].Sites[0])
+		}
+		db.IMPs = append(db.IMPs, m)
+	}
+	db.computeConflicts()
+	return db, nil
+}

@@ -1,0 +1,205 @@
+// Package ip models the Intellectual-Property (IP) block library of
+// Choi et al. (DAC 1999): hardware accelerators with input/output ports,
+// data rates, pipeline latency, an area cost, and the set of functions
+// they can perform. An IP performing a single function is an S-IP; one
+// performing several functions is an M-IP (Definition 2). M-IPs save
+// area by being shared across s-calls but are generally slower than an
+// S-IP optimized for one function.
+package ip
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Protocol is the native handshake of an IP block; the interface's
+// protocol transformer (Fig. 1) converts it to the standard synchronous
+// protocol. The flavor only affects the transformer's area.
+type Protocol int
+
+const (
+	// Synchronous IPs connect to the standard protocol directly.
+	Synchronous Protocol = iota
+	// Handshake IPs need a request/acknowledge adapter.
+	Handshake
+	// Strobe IPs need a data-valid strobe adapter.
+	Strobe
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case Synchronous:
+		return "sync"
+	case Handshake:
+		return "handshake"
+	case Strobe:
+		return "strobe"
+	}
+	return fmt.Sprintf("protocol(%d)", int(p))
+}
+
+// TransformerStates is the protocol-transformer FSM size per protocol.
+func (p Protocol) TransformerStates() int {
+	switch p {
+	case Handshake:
+		return 4
+	case Strobe:
+		return 2
+	}
+	return 0
+}
+
+// IP describes one library block.
+type IP struct {
+	// ID is the library identifier (the paper uses IP1, IP2, ...).
+	ID string
+	// Name is a human-readable description.
+	Name string
+	// Funcs lists the function names (s-call targets) the block can
+	// implement. One entry → S-IP; several → M-IP.
+	Funcs []string
+	// InPorts and OutPorts are the number of data ports on each side.
+	InPorts, OutPorts int
+	// InRate and OutRate are the kernel-clock cycles between consecutive
+	// data items on each port (1 = one item per cycle per port).
+	InRate, OutRate int
+	// Latency is the pipeline depth in cycles from first input to first
+	// output.
+	Latency int
+	// Pipelined marks blocks that accept new data every InRate cycles;
+	// non-pipelined blocks process one item set at a time.
+	Pipelined bool
+	// Area is A_IP in the paper's dimensionless units.
+	Area float64
+	// Protocol is the block's native port protocol.
+	Protocol Protocol
+	// PerfFactor scales execution time; M-IPs typically run >1.0 because
+	// generality costs speed. Zero means 1.0.
+	PerfFactor float64
+}
+
+// IsMulti reports whether the block is an M-IP.
+func (b *IP) IsMulti() bool { return len(b.Funcs) > 1 }
+
+// Supports reports whether the block can implement fn.
+func (b *IP) Supports(fn string) bool {
+	for _, f := range b.Funcs {
+		if f == fn {
+			return true
+		}
+	}
+	return false
+}
+
+// perf returns the performance scale factor (≥ 1 in practice).
+func (b *IP) perf() float64 {
+	if b.PerfFactor <= 0 {
+		return 1
+	}
+	return b.PerfFactor
+}
+
+// ExecCycles is T_IP: the time the block needs to process nIn input
+// items producing nOut outputs, at its native rates and clock.
+func (b *IP) ExecCycles(nIn, nOut int) int64 {
+	if nIn <= 0 && nOut <= 0 {
+		return 0
+	}
+	var t int64
+	if b.Pipelined {
+		in := int64(0)
+		if nIn > 0 {
+			in = int64(nIn-1) * int64(b.InRate)
+		}
+		out := int64(0)
+		if nOut > 0 {
+			out = int64(nOut-1) * int64(b.OutRate)
+		}
+		if out > in {
+			in = out
+		}
+		t = int64(b.Latency) + in
+	} else {
+		n := nIn
+		if nOut > n {
+			n = nOut
+		}
+		t = int64(n) * int64(b.Latency)
+	}
+	return int64(float64(t)*b.perf() + 0.5)
+}
+
+// Validate checks structural sanity.
+func (b *IP) Validate() error {
+	switch {
+	case b.ID == "":
+		return fmt.Errorf("ip: block with empty ID")
+	case len(b.Funcs) == 0:
+		return fmt.Errorf("ip %s: no functions", b.ID)
+	case b.InPorts <= 0 || b.OutPorts <= 0:
+		return fmt.Errorf("ip %s: ports must be positive (in=%d out=%d)", b.ID, b.InPorts, b.OutPorts)
+	case b.InRate <= 0 || b.OutRate <= 0:
+		return fmt.Errorf("ip %s: rates must be positive (in=%d out=%d)", b.ID, b.InRate, b.OutRate)
+	case b.Latency <= 0:
+		return fmt.Errorf("ip %s: latency must be positive", b.ID)
+	case b.Area <= 0:
+		return fmt.Errorf("ip %s: area must be positive", b.ID)
+	}
+	return nil
+}
+
+// Catalog is an IP library.
+type Catalog struct {
+	byID map[string]*IP
+}
+
+// NewCatalog builds a library from blocks, validating each.
+func NewCatalog(blocks ...*IP) (*Catalog, error) {
+	c := &Catalog{byID: map[string]*IP{}}
+	for _, b := range blocks {
+		if err := c.Add(b); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Add validates and registers a block.
+func (c *Catalog) Add(b *IP) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	if c.byID[b.ID] != nil {
+		return fmt.Errorf("ip: duplicate ID %s", b.ID)
+	}
+	c.byID[b.ID] = b
+	return nil
+}
+
+// Get returns the block with the given ID, or nil.
+func (c *Catalog) Get(id string) *IP { return c.byID[id] }
+
+// Len reports the number of blocks.
+func (c *Catalog) Len() int { return len(c.byID) }
+
+// All returns the blocks sorted by ID.
+func (c *Catalog) All() []*IP {
+	out := make([]*IP, 0, len(c.byID))
+	for _, b := range c.byID {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// For returns the blocks that can implement fn, sorted by ID.
+func (c *Catalog) For(fn string) []*IP {
+	var out []*IP
+	for _, b := range c.byID {
+		if b.Supports(fn) {
+			out = append(out, b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

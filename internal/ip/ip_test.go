@@ -1,0 +1,107 @@
+package ip
+
+import "testing"
+
+func TestExecCyclesPipelined(t *testing.T) {
+	b := &IP{
+		ID: "IP1", Funcs: []string{"fir"},
+		InPorts: 1, OutPorts: 1, InRate: 2, OutRate: 2,
+		Latency: 10, Pipelined: true, Area: 5,
+	}
+	// 16 items: latency + 15 × rate.
+	if got := b.ExecCycles(16, 16); got != 10+15*2 {
+		t.Errorf("ExecCycles = %d, want 40", got)
+	}
+	// Output stream dominates when slower.
+	b.OutRate = 4
+	if got := b.ExecCycles(16, 16); got != 10+15*4 {
+		t.Errorf("ExecCycles = %d, want 70", got)
+	}
+	if got := b.ExecCycles(0, 0); got != 0 {
+		t.Errorf("ExecCycles(0,0) = %d", got)
+	}
+}
+
+func TestExecCyclesNonPipelined(t *testing.T) {
+	b := &IP{
+		ID: "IP2", Funcs: []string{"dct"},
+		InPorts: 1, OutPorts: 1, InRate: 1, OutRate: 1,
+		Latency: 5, Pipelined: false, Area: 5,
+	}
+	if got := b.ExecCycles(8, 8); got != 40 {
+		t.Errorf("ExecCycles = %d, want 40 (8 × 5)", got)
+	}
+}
+
+func TestPerfFactor(t *testing.T) {
+	s := &IP{ID: "S", Funcs: []string{"fir"}, InPorts: 1, OutPorts: 1,
+		InRate: 1, OutRate: 1, Latency: 4, Pipelined: true, Area: 3}
+	m := &IP{ID: "M", Funcs: []string{"fir", "iir"}, InPorts: 1, OutPorts: 1,
+		InRate: 1, OutRate: 1, Latency: 4, Pipelined: true, Area: 5, PerfFactor: 1.5}
+	if !m.IsMulti() || s.IsMulti() {
+		t.Error("IsMulti misclassifies")
+	}
+	if m.ExecCycles(32, 32) <= s.ExecCycles(32, 32) {
+		t.Error("M-IP should be slower than S-IP")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []*IP{
+		{},
+		{ID: "a"},
+		{ID: "a", Funcs: []string{"f"}},
+		{ID: "a", Funcs: []string{"f"}, InPorts: 1, OutPorts: 1},
+		{ID: "a", Funcs: []string{"f"}, InPorts: 1, OutPorts: 1, InRate: 1, OutRate: 1},
+		{ID: "a", Funcs: []string{"f"}, InPorts: 1, OutPorts: 1, InRate: 1, OutRate: 1, Latency: 1},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, b)
+		}
+	}
+	good := &IP{ID: "a", Funcs: []string{"f"}, InPorts: 1, OutPorts: 1,
+		InRate: 1, OutRate: 1, Latency: 1, Area: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good IP rejected: %v", err)
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	mk := func(id string, funcs ...string) *IP {
+		return &IP{ID: id, Funcs: funcs, InPorts: 1, OutPorts: 1,
+			InRate: 1, OutRate: 1, Latency: 1, Area: 1}
+	}
+	c, err := NewCatalog(mk("IP2", "fir"), mk("IP1", "fir", "iir"), mk("IP3", "dct"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 3 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	if got := c.For("fir"); len(got) != 2 || got[0].ID != "IP1" || got[1].ID != "IP2" {
+		t.Errorf("For(fir) = %v", got)
+	}
+	if got := c.For("fft"); len(got) != 0 {
+		t.Errorf("For(fft) = %v, want empty", got)
+	}
+	if c.Get("IP3") == nil || c.Get("nope") != nil {
+		t.Error("Get broken")
+	}
+	if err := c.Add(mk("IP1", "x")); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+	all := c.All()
+	if len(all) != 3 || all[0].ID != "IP1" || all[2].ID != "IP3" {
+		t.Errorf("All() = %v", all)
+	}
+}
+
+func TestProtocolStates(t *testing.T) {
+	if Synchronous.TransformerStates() != 0 {
+		t.Error("sync should need no transformer states")
+	}
+	if Handshake.TransformerStates() <= Strobe.TransformerStates() {
+		t.Error("handshake should need more states than strobe")
+	}
+}

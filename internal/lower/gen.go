@@ -1,0 +1,702 @@
+package lower
+
+import (
+	"fmt"
+
+	"partita/internal/cprog"
+	"partita/internal/mop"
+)
+
+const (
+	// tempRegs is the depth of the expression register stack (r0..r7).
+	tempRegs = 8
+	// maxParams is the number of registers available for argument
+	// passing; it equals the temp stack so staged arguments always fit.
+	maxParams = tempRegs
+)
+
+// Compile lowers an analyzed program to MOPs and returns the program plus
+// its data-memory layout. The program entry is "main" when defined.
+func Compile(info *cprog.Info) (*mop.Program, *Layout, error) {
+	lay := &Layout{Globals: map[string]Loc{}, Funcs: map[string]*FuncLayout{}}
+	alloc := &allocator{}
+
+	for _, g := range info.File.Globals {
+		if g.Size > 0 {
+			loc := Loc{Bank: g.Bank, Base: alloc.take(g.Bank, g.Size), Words: g.Size}
+			lay.Globals[g.Name] = loc
+			for i, v := range g.Init {
+				if v != 0 {
+					lay.Init = append(lay.Init, MemInit{Bank: g.Bank, Addr: loc.Base + i, Val: v})
+				}
+			}
+		} else {
+			loc := Loc{Bank: cprog.BankX, Base: alloc.take(cprog.BankX, 1), Words: 1}
+			lay.Globals[g.Name] = loc
+			if len(g.Init) == 1 && g.Init[0] != 0 {
+				lay.Init = append(lay.Init, MemInit{Bank: cprog.BankX, Addr: loc.Base, Val: g.Init[0]})
+			}
+		}
+	}
+
+	entry := ""
+	if info.File.Func("main") != nil {
+		entry = "main"
+	}
+	prog := mop.NewProgram(entry)
+	for _, fn := range info.File.Funcs {
+		g := &gen{info: info, lay: lay, alloc: alloc, fnDecl: fn}
+		mf, err := g.function()
+		if err != nil {
+			return nil, nil, err
+		}
+		prog.Add(mf)
+	}
+	lay.XWords = alloc.nextX
+	lay.YWords = alloc.nextY
+	if err := prog.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("lower: internal error: %w", err)
+	}
+	return prog, lay, nil
+}
+
+// gen is the per-function code generator.
+type gen struct {
+	info   *cprog.Info
+	lay    *Layout
+	alloc  *allocator
+	fnDecl *cprog.FuncDecl
+	fl     *FuncLayout
+
+	scopes []map[string]Loc
+	blocks []*mop.Block
+	cur    *mop.Block
+	nlabel int
+	sp     int
+	// loops is the enclosing-loop stack for break/continue targets.
+	loops []loopCtx
+}
+
+// loopCtx holds the branch targets of one enclosing loop.
+type loopCtx struct {
+	continueLabel string // re-test (while) or post-statement (for)
+	breakLabel    string
+}
+
+func (g *gen) emit(m mop.MOP) { g.cur.Ops = append(g.cur.Ops, m) }
+
+func (g *gen) newLabel(hint string) string {
+	g.nlabel++
+	return fmt.Sprintf("%s%d", hint, g.nlabel)
+}
+
+func (g *gen) startBlock(label string) {
+	b := &mop.Block{Label: label}
+	g.blocks = append(g.blocks, b)
+	g.cur = b
+}
+
+func (g *gen) pushScope() { g.scopes = append(g.scopes, map[string]Loc{}) }
+func (g *gen) popScope()  { g.scopes = g.scopes[:len(g.scopes)-1] }
+
+func (g *gen) lookup(name string) (Loc, bool) {
+	for i := len(g.scopes) - 1; i >= 0; i-- {
+		if loc, ok := g.scopes[i][name]; ok {
+			return loc, true
+		}
+	}
+	loc, ok := g.lay.Globals[name]
+	return loc, ok
+}
+
+// declare allocates storage for d in the current scope.
+func (g *gen) declare(d *cprog.VarDecl) Loc {
+	var loc Loc
+	if d.Size > 0 {
+		loc = Loc{Bank: d.Bank, Base: g.alloc.take(d.Bank, d.Size), Words: d.Size}
+	} else {
+		loc = Loc{Bank: cprog.BankX, Base: g.alloc.take(cprog.BankX, 1), Words: 1}
+	}
+	g.scopes[len(g.scopes)-1][d.Name] = loc
+	g.fl.Vars[uniqueKey(g.fl.Vars, d.Name)] = loc
+	return loc
+}
+
+// temp returns the register at stack slot i.
+func temp(i int) mop.Reg { return mop.GPR(i) }
+
+// need checks that the expression stack can grow to depth want.
+func (g *gen) need(want int, pos cprog.Pos) error {
+	if want > tempRegs {
+		return errfPos(pos, "expression too deep for the %d-register evaluation stack", tempRegs)
+	}
+	return nil
+}
+
+func errfPos(pos cprog.Pos, format string, args ...interface{}) error {
+	return fmt.Errorf("lower: %s: %s", pos, fmt.Sprintf(format, args...))
+}
+
+// Address-register conventions: index 3 of each bank is used for absolute
+// (compile-time) addresses, index 2 for computed addresses.
+func absAddrReg(bank cprog.Bank) mop.Reg {
+	if bank == cprog.BankY {
+		return mop.AY(3)
+	}
+	return mop.AX(3)
+}
+
+func dynAddrReg(bank cprog.Bank) mop.Reg {
+	if bank == cprog.BankY {
+		return mop.AY(2)
+	}
+	return mop.AX(2)
+}
+
+func aguOp(bank cprog.Bank) mop.Opcode {
+	if bank == cprog.BankY {
+		return mop.AGUY
+	}
+	return mop.AGUX
+}
+
+func loadOp(bank cprog.Bank) mop.Opcode {
+	if bank == cprog.BankY {
+		return mop.LDY
+	}
+	return mop.LDX
+}
+
+func storeOp(bank cprog.Bank) mop.Opcode {
+	if bank == cprog.BankY {
+		return mop.STY
+	}
+	return mop.STX
+}
+
+// loadAbs emits a load of the word at (bank, addr) into dst.
+func (g *gen) loadAbs(bank cprog.Bank, addr int, dst mop.Reg) {
+	ar := absAddrReg(bank)
+	g.emit(mop.MOP{Op: aguOp(bank), Dst: ar, Imm: int64(addr), Abs: true})
+	g.emit(mop.MOP{Op: loadOp(bank), Dst: dst, SrcA: ar})
+}
+
+// storeAbs emits a store of src into the word at (bank, addr).
+func (g *gen) storeAbs(bank cprog.Bank, addr int, src mop.Reg) {
+	ar := absAddrReg(bank)
+	g.emit(mop.MOP{Op: aguOp(bank), Dst: ar, Imm: int64(addr), Abs: true})
+	g.emit(mop.MOP{Op: storeOp(bank), SrcA: src, SrcB: ar})
+}
+
+func (g *gen) function() (*mop.Function, error) {
+	fn := g.fnDecl
+	if len(fn.Params) > maxParams {
+		return nil, errfPos(fn.Pos, "function %q has %d parameters; at most %d are supported", fn.Name, len(fn.Params), maxParams)
+	}
+	g.fl = &FuncLayout{Vars: map[string]Loc{}}
+	g.lay.Funcs[fn.Name] = g.fl
+	g.pushScope()
+	defer g.popScope()
+
+	g.startBlock("entry")
+	// Prologue: home every parameter into its frame slot.
+	for i, p := range fn.Params {
+		loc := Loc{Bank: cprog.BankX, Base: g.alloc.take(cprog.BankX, 1), Words: 1}
+		if p.IsArray {
+			loc.Bank = p.Bank
+			loc.Dynamic = true
+		}
+		g.scopes[0][p.Name] = loc
+		g.fl.Vars[uniqueKey(g.fl.Vars, p.Name)] = loc
+		g.storeAbs(cprog.BankX, loc.Base, mop.GPR(i))
+	}
+	g.fl.Scratch = g.alloc.take(cprog.BankX, tempRegs)
+
+	if err := g.block(fn.Body); err != nil {
+		return nil, err
+	}
+	// Ensure every block has a terminator; unterminated blocks return.
+	for _, b := range g.blocks {
+		if _, ok := b.Terminator(); !ok {
+			b.Ops = append(b.Ops, mop.MOP{Op: mop.RET})
+		}
+	}
+	return &mop.Function{Name: fn.Name, Params: paramNames(fn), Blocks: g.blocks}, nil
+}
+
+func paramNames(fn *cprog.FuncDecl) []string {
+	out := make([]string, len(fn.Params))
+	for i, p := range fn.Params {
+		out[i] = p.Name
+	}
+	return out
+}
+
+func (g *gen) block(b *cprog.BlockStmt) error {
+	g.pushScope()
+	defer g.popScope()
+	for _, s := range b.Stmts {
+		if err := g.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *gen) stmt(s cprog.Stmt) error {
+	switch st := s.(type) {
+	case *cprog.BlockStmt:
+		return g.block(st)
+	case *cprog.DeclStmt:
+		loc := g.declare(st.Decl)
+		// Local initializers execute each time the declaration runs.
+		if st.Decl.Size > 0 {
+			for i, v := range st.Decl.Init {
+				if err := g.need(g.sp+1, st.Decl.Pos); err != nil {
+					return err
+				}
+				g.emit(mop.MOP{Op: mop.LDI, Dst: temp(g.sp), Imm: v})
+				g.storeAbs(loc.Bank, loc.Base+i, temp(g.sp))
+			}
+		} else if len(st.Decl.Init) == 1 {
+			if err := g.need(g.sp+1, st.Decl.Pos); err != nil {
+				return err
+			}
+			g.emit(mop.MOP{Op: mop.LDI, Dst: temp(g.sp), Imm: st.Decl.Init[0]})
+			g.storeAbs(cprog.BankX, loc.Base, temp(g.sp))
+		}
+		return nil
+	case *cprog.AssignStmt:
+		return g.assign(st)
+	case *cprog.ExprStmt:
+		if err := g.eval(st.X); err != nil {
+			return err
+		}
+		g.sp-- // discard
+		return nil
+	case *cprog.IfStmt:
+		lthen := g.newLabel("then")
+		lend := g.newLabel("endif")
+		lelse := lend
+		if st.Else != nil {
+			lelse = g.newLabel("else")
+		}
+		if err := g.branchCond(st.Cond, lthen, lelse); err != nil {
+			return err
+		}
+		g.startBlock(lthen)
+		if err := g.block(st.Then); err != nil {
+			return err
+		}
+		g.emit(mop.MOP{Op: mop.BR, Sym: lend})
+		if st.Else != nil {
+			g.startBlock(lelse)
+			if err := g.block(st.Else); err != nil {
+				return err
+			}
+			g.emit(mop.MOP{Op: mop.BR, Sym: lend})
+		}
+		g.startBlock(lend)
+		return nil
+	case *cprog.WhileStmt:
+		lcond := g.newLabel("while")
+		lbody := g.newLabel("body")
+		lend := g.newLabel("endwhile")
+		g.emit(mop.MOP{Op: mop.BR, Sym: lcond})
+		g.startBlock(lcond)
+		if err := g.branchCond(st.Cond, lbody, lend); err != nil {
+			return err
+		}
+		g.startBlock(lbody)
+		g.loops = append(g.loops, loopCtx{continueLabel: lcond, breakLabel: lend})
+		if err := g.block(st.Body); err != nil {
+			return err
+		}
+		g.loops = g.loops[:len(g.loops)-1]
+		g.emit(mop.MOP{Op: mop.BR, Sym: lcond})
+		g.startBlock(lend)
+		return nil
+	case *cprog.ForStmt:
+		if st.Init != nil {
+			if err := g.assign(st.Init); err != nil {
+				return err
+			}
+		}
+		lcond := g.newLabel("for")
+		lbody := g.newLabel("body")
+		lpost := g.newLabel("post")
+		lend := g.newLabel("endfor")
+		g.emit(mop.MOP{Op: mop.BR, Sym: lcond})
+		g.startBlock(lcond)
+		if st.Cond != nil {
+			if err := g.branchCond(st.Cond, lbody, lend); err != nil {
+				return err
+			}
+		} else {
+			g.emit(mop.MOP{Op: mop.BR, Sym: lbody})
+		}
+		g.startBlock(lbody)
+		g.loops = append(g.loops, loopCtx{continueLabel: lpost, breakLabel: lend})
+		if err := g.block(st.Body); err != nil {
+			return err
+		}
+		g.loops = g.loops[:len(g.loops)-1]
+		g.emit(mop.MOP{Op: mop.BR, Sym: lpost})
+		g.startBlock(lpost)
+		if st.Post != nil {
+			if err := g.assign(st.Post); err != nil {
+				return err
+			}
+		}
+		g.emit(mop.MOP{Op: mop.BR, Sym: lcond})
+		g.startBlock(lend)
+		return nil
+	case *cprog.BreakStmt:
+		if len(g.loops) == 0 {
+			return errfPos(st.Pos_, "break outside a loop")
+		}
+		g.emit(mop.MOP{Op: mop.BR, Sym: g.loops[len(g.loops)-1].breakLabel})
+		g.startBlock(g.newLabel("dead"))
+		return nil
+	case *cprog.ContinueStmt:
+		if len(g.loops) == 0 {
+			return errfPos(st.Pos_, "continue outside a loop")
+		}
+		g.emit(mop.MOP{Op: mop.BR, Sym: g.loops[len(g.loops)-1].continueLabel})
+		g.startBlock(g.newLabel("dead"))
+		return nil
+	case *cprog.ReturnStmt:
+		if st.Value != nil {
+			if err := g.eval(st.Value); err != nil {
+				return err
+			}
+			g.sp--
+			g.emit(mop.MOP{Op: mop.MOV, Dst: mop.RegRetVal, SrcA: temp(g.sp)})
+		}
+		g.emit(mop.MOP{Op: mop.RET})
+		g.startBlock(g.newLabel("dead"))
+		return nil
+	}
+	return fmt.Errorf("lower: unknown statement %T", s)
+}
+
+func (g *gen) assign(st *cprog.AssignStmt) error {
+	if err := g.eval(st.RHS); err != nil {
+		return err
+	}
+	val := temp(g.sp - 1)
+	switch lhs := st.LHS.(type) {
+	case *cprog.VarRef:
+		loc, ok := g.lookup(lhs.Name)
+		if !ok {
+			return errfPos(lhs.Pos_, "undefined variable %q", lhs.Name)
+		}
+		g.storeAbs(cprog.BankX, loc.Base, val)
+		g.sp--
+		return nil
+	case *cprog.IndexExpr:
+		loc, ok := g.lookup(lhs.Array)
+		if !ok {
+			return errfPos(lhs.Pos_, "undefined array %q", lhs.Array)
+		}
+		if err := g.elementAddr(loc, lhs.Index, lhs.Pos_); err != nil {
+			return err
+		}
+		addr := temp(g.sp - 1)
+		ar := dynAddrReg(loc.Bank)
+		g.emit(mop.MOP{Op: mop.MOV, Dst: ar, SrcA: addr})
+		g.emit(mop.MOP{Op: storeOp(loc.Bank), SrcA: val, SrcB: ar})
+		g.sp -= 2
+		return nil
+	}
+	return errfPos(st.LHS.Position(), "invalid assignment target")
+}
+
+// elementAddr evaluates the element address of loc[index] onto the temp
+// stack.
+func (g *gen) elementAddr(loc Loc, index cprog.Expr, pos cprog.Pos) error {
+	if err := g.eval(index); err != nil {
+		return err
+	}
+	idx := temp(g.sp - 1)
+	if err := g.need(g.sp+1, pos); err != nil {
+		return err
+	}
+	base := temp(g.sp)
+	if loc.Dynamic {
+		g.loadAbs(cprog.BankX, loc.Base, base)
+	} else {
+		g.emit(mop.MOP{Op: mop.LDI, Dst: base, Imm: int64(loc.Base)})
+	}
+	g.emit(mop.MOP{Op: mop.ADD, Dst: idx, SrcA: idx, SrcB: base})
+	return nil
+}
+
+// eval generates code computing e into the next temp-stack register.
+func (g *gen) eval(e cprog.Expr) error {
+	switch x := e.(type) {
+	case *cprog.NumExpr:
+		if err := g.need(g.sp+1, x.Pos_); err != nil {
+			return err
+		}
+		g.emit(mop.MOP{Op: mop.LDI, Dst: temp(g.sp), Imm: x.Value})
+		g.sp++
+		return nil
+	case *cprog.VarRef:
+		loc, ok := g.lookup(x.Name)
+		if !ok {
+			return errfPos(x.Pos_, "undefined variable %q", x.Name)
+		}
+		if err := g.need(g.sp+1, x.Pos_); err != nil {
+			return err
+		}
+		g.loadAbs(cprog.BankX, loc.Base, temp(g.sp))
+		g.sp++
+		return nil
+	case *cprog.IndexExpr:
+		loc, ok := g.lookup(x.Array)
+		if !ok {
+			return errfPos(x.Pos_, "undefined array %q", x.Array)
+		}
+		if err := g.elementAddr(loc, x.Index, x.Pos_); err != nil {
+			return err
+		}
+		addr := temp(g.sp - 1)
+		ar := dynAddrReg(loc.Bank)
+		g.emit(mop.MOP{Op: mop.MOV, Dst: ar, SrcA: addr})
+		g.emit(mop.MOP{Op: loadOp(loc.Bank), Dst: temp(g.sp - 1), SrcA: ar})
+		return nil
+	case *cprog.CallExpr:
+		return g.call(x)
+	case *cprog.UnaryExpr:
+		switch x.Op {
+		case "-":
+			if err := g.eval(x.X); err != nil {
+				return err
+			}
+			r := temp(g.sp - 1)
+			g.emit(mop.MOP{Op: mop.NEG, Dst: r, SrcA: r})
+			return nil
+		case "~":
+			if err := g.eval(x.X); err != nil {
+				return err
+			}
+			if err := g.need(g.sp+1, x.Pos_); err != nil {
+				return err
+			}
+			r := temp(g.sp - 1)
+			ones := temp(g.sp)
+			g.emit(mop.MOP{Op: mop.LDI, Dst: ones, Imm: -1})
+			g.emit(mop.MOP{Op: mop.XOR, Dst: r, SrcA: r, SrcB: ones})
+			return nil
+		case "!":
+			return g.evalBool(e)
+		}
+		return errfPos(x.Pos_, "unknown unary operator %q", x.Op)
+	case *cprog.BinaryExpr:
+		switch x.Op {
+		case "+", "-", "*", "/", "%", "&", "|", "^":
+			if err := g.eval(x.X); err != nil {
+				return err
+			}
+			if err := g.eval(x.Y); err != nil {
+				return err
+			}
+			ops := map[string]mop.Opcode{
+				"+": mop.ADD, "-": mop.SUB, "*": mop.MUL, "/": mop.DIV,
+				"%": mop.REM, "&": mop.AND, "|": mop.OR, "^": mop.XOR,
+			}
+			g.emit(mop.MOP{Op: ops[x.Op], Dst: temp(g.sp - 2), SrcA: temp(g.sp - 2), SrcB: temp(g.sp - 1)})
+			g.sp--
+			return nil
+		case "<<", ">>":
+			n, ok := x.Y.(*cprog.NumExpr)
+			if !ok {
+				return errfPos(x.Y.Position(), "shift amount must be a constant")
+			}
+			if err := g.eval(x.X); err != nil {
+				return err
+			}
+			op := mop.SHL
+			if x.Op == ">>" {
+				op = mop.SHR
+			}
+			r := temp(g.sp - 1)
+			g.emit(mop.MOP{Op: op, Dst: r, SrcA: r, Imm: n.Value})
+			return nil
+		case "<", "<=", ">", ">=", "==", "!=", "&&", "||":
+			return g.evalBool(e)
+		}
+		return errfPos(x.Position(), "unknown operator %q", x.Op)
+	}
+	return fmt.Errorf("lower: unknown expression %T", e)
+}
+
+// evalBool materializes a condition as 0/1 through a branch diamond.
+func (g *gen) evalBool(e cprog.Expr) error {
+	if err := g.need(g.sp+1, e.Position()); err != nil {
+		return err
+	}
+	r := temp(g.sp)
+	lt := g.newLabel("btrue")
+	lf := g.newLabel("bfalse")
+	le := g.newLabel("bend")
+	if err := g.branchCond(e, lt, lf); err != nil {
+		return err
+	}
+	g.startBlock(lt)
+	g.emit(mop.MOP{Op: mop.LDI, Dst: r, Imm: 1})
+	g.emit(mop.MOP{Op: mop.BR, Sym: le})
+	g.startBlock(lf)
+	g.emit(mop.MOP{Op: mop.LDI, Dst: r, Imm: 0})
+	g.emit(mop.MOP{Op: mop.BR, Sym: le})
+	g.startBlock(le)
+	g.sp++
+	return nil
+}
+
+// branchCond emits code that jumps to lt when e is true and lf otherwise,
+// terminating the current block. The temp stack is left unchanged.
+func (g *gen) branchCond(e cprog.Expr, lt, lf string) error {
+	switch x := e.(type) {
+	case *cprog.NumExpr:
+		if x.Value != 0 {
+			g.emit(mop.MOP{Op: mop.BR, Sym: lt})
+		} else {
+			g.emit(mop.MOP{Op: mop.BR, Sym: lf})
+		}
+		return nil
+	case *cprog.UnaryExpr:
+		if x.Op == "!" {
+			return g.branchCond(x.X, lf, lt)
+		}
+	case *cprog.BinaryExpr:
+		switch x.Op {
+		case "&&":
+			mid := g.newLabel("and")
+			if err := g.branchCond(x.X, mid, lf); err != nil {
+				return err
+			}
+			g.startBlock(mid)
+			return g.branchCond(x.Y, lt, lf)
+		case "||":
+			mid := g.newLabel("or")
+			if err := g.branchCond(x.X, lt, mid); err != nil {
+				return err
+			}
+			g.startBlock(mid)
+			return g.branchCond(x.Y, lt, lf)
+		case "<", "<=", ">", ">=", "==", "!=":
+			if err := g.eval(x.X); err != nil {
+				return err
+			}
+			if err := g.eval(x.Y); err != nil {
+				return err
+			}
+			a, b := temp(g.sp-2), temp(g.sp-1)
+			g.sp -= 2
+			var cmpA, cmpB mop.Reg
+			var bop mop.Opcode
+			switch x.Op {
+			case "<":
+				cmpA, cmpB, bop = a, b, mop.BLT
+			case ">=":
+				cmpA, cmpB, bop = a, b, mop.BGE
+			case ">":
+				cmpA, cmpB, bop = b, a, mop.BLT
+			case "<=":
+				cmpA, cmpB, bop = b, a, mop.BGE
+			case "==":
+				cmpA, cmpB, bop = a, b, mop.BEQ
+			case "!=":
+				cmpA, cmpB, bop = a, b, mop.BNE
+			}
+			g.emit(mop.MOP{Op: mop.CMP, SrcA: cmpA, SrcB: cmpB})
+			g.emit(mop.MOP{Op: bop, Sym: lt})
+			// The conditional branch must end the block; its false edge
+			// falls through to a trampoline that jumps to lf.
+			g.startBlock(g.newLabel("ff"))
+			g.emit(mop.MOP{Op: mop.BR, Sym: lf})
+			return nil
+		}
+	}
+	// Generic truthiness: e != 0.
+	if err := g.eval(e); err != nil {
+		return err
+	}
+	if err := g.need(g.sp+1, e.Position()); err != nil {
+		return err
+	}
+	zero := temp(g.sp)
+	g.emit(mop.MOP{Op: mop.LDI, Dst: zero, Imm: 0})
+	g.emit(mop.MOP{Op: mop.CMP, SrcA: temp(g.sp - 1), SrcB: zero})
+	g.sp--
+	g.emit(mop.MOP{Op: mop.BNE, Sym: lt})
+	g.startBlock(g.newLabel("ff"))
+	g.emit(mop.MOP{Op: mop.BR, Sym: lf})
+	return nil
+}
+
+func (g *gen) call(x *cprog.CallExpr) error {
+	fi := g.info.Funcs[x.Callee]
+	if fi == nil {
+		return errfPos(x.Pos_, "call to undefined function %q", x.Callee)
+	}
+	n := len(x.Args)
+	if n > maxParams {
+		return errfPos(x.Pos_, "call to %q with %d arguments; at most %d supported", x.Callee, n, maxParams)
+	}
+	outer := g.sp
+	if err := g.need(outer+n, x.Pos_); err != nil {
+		return err
+	}
+	for i, a := range x.Args {
+		p := fi.Decl.Params[i]
+		if p.IsArray {
+			ref := a.(*cprog.VarRef) // sema guarantees
+			loc, ok := g.lookup(ref.Name)
+			if !ok {
+				return errfPos(ref.Pos_, "undefined array %q", ref.Name)
+			}
+			if loc.Bank != p.Bank {
+				return errfPos(ref.Pos_, "array %q lives in %v but parameter %q of %q wants %v",
+					ref.Name, loc.Bank, p.Name, x.Callee, p.Bank)
+			}
+			if err := g.need(g.sp+1, ref.Pos_); err != nil {
+				return err
+			}
+			if loc.Dynamic {
+				g.loadAbs(cprog.BankX, loc.Base, temp(g.sp))
+			} else {
+				g.emit(mop.MOP{Op: mop.LDI, Dst: temp(g.sp), Imm: int64(loc.Base)})
+			}
+			g.sp++
+			continue
+		}
+		if err := g.eval(a); err != nil {
+			return err
+		}
+	}
+	// Spill live outer temps around the call.
+	for j := 0; j < outer; j++ {
+		g.storeAbs(cprog.BankX, g.fl.Scratch+j, temp(j))
+	}
+	// Shift staged arguments down into r0..r(n-1). Ascending order is
+	// safe: target index i is always below source index outer+i.
+	if outer > 0 {
+		for i := 0; i < n; i++ {
+			g.emit(mop.MOP{Op: mop.MOV, Dst: mop.GPR(i), SrcA: temp(outer + i)})
+		}
+	}
+	g.emit(mop.MOP{Op: mop.CALL, Sym: x.Callee})
+	for j := 0; j < outer; j++ {
+		g.loadAbs(cprog.BankX, g.fl.Scratch+j, temp(j))
+	}
+	g.sp = outer
+	if err := g.need(g.sp+1, x.Pos_); err != nil {
+		return err
+	}
+	g.emit(mop.MOP{Op: mop.MOV, Dst: temp(g.sp), SrcA: mop.RegRetVal})
+	g.sp++
+	return nil
+}

@@ -1,0 +1,98 @@
+// Package lower translates analyzed mini-C (package cprog) into the
+// ASIP's µ-operation list (package mop).
+//
+// The generated code follows the static-allocation discipline of 1990s
+// DSP compilers: because the front-end rejects recursion, every function
+// receives a fixed frame in data memory and there is no runtime stack.
+// Scalars live in X-memory slots, arrays in their declared (or
+// auto-assigned) bank, and expressions are evaluated on a small register
+// stack (r0..r7). Arguments are passed in r0..r(n-1); the return value
+// comes back in the rv register.
+package lower
+
+import (
+	"fmt"
+
+	"partita/internal/cprog"
+)
+
+// Loc is the resolved storage location of a variable.
+type Loc struct {
+	Bank cprog.Bank
+	// Base is the word address of the first element (static arrays and
+	// scalars) or of the pointer slot (array parameters).
+	Base int
+	// Dynamic marks array parameters, whose element base address is read
+	// from the pointer slot at Base (always in X memory) at runtime.
+	Dynamic bool
+	// Words is the allocated length (1 for scalars and pointer slots).
+	Words int
+}
+
+// MemInit is one word of initialized data memory.
+type MemInit struct {
+	Bank cprog.Bank
+	Addr int
+	Val  int64
+}
+
+// FuncLayout records the frame of one function.
+type FuncLayout struct {
+	// Vars maps each declared variable to its location. Shadowed inner
+	// declarations are stored under "name·N" keys.
+	Vars map[string]Loc
+	// Scratch is the X-memory base of the temp-spill region used around
+	// calls.
+	Scratch int
+}
+
+// Layout is the full data-memory map of a compiled program.
+type Layout struct {
+	Globals map[string]Loc
+	Funcs   map[string]*FuncLayout
+	// XWords and YWords are the sizes of the two data memories in words.
+	XWords, YWords int
+	// Init lists data-memory words with nonzero initial values.
+	Init []MemInit
+}
+
+// Loc resolves a variable as seen from fn: the function frame first,
+// then globals. ok is false when the (function, name) pair is unknown.
+func (l *Layout) Loc(fn, name string) (Loc, bool) {
+	if fl := l.Funcs[fn]; fl != nil {
+		if loc, ok := fl.Vars[name]; ok {
+			return loc, true
+		}
+	}
+	loc, ok := l.Globals[name]
+	return loc, ok
+}
+
+// allocator hands out static words of X/Y data memory.
+type allocator struct {
+	nextX, nextY int
+}
+
+func (a *allocator) take(bank cprog.Bank, words int) int {
+	if bank == cprog.BankY {
+		addr := a.nextY
+		a.nextY += words
+		return addr
+	}
+	addr := a.nextX
+	a.nextX += words
+	return addr
+}
+
+// uniqueKey returns a non-colliding key for vars (shadowed declarations).
+func uniqueKey(vars map[string]Loc, name string) string {
+	if _, ok := vars[name]; !ok {
+		return name
+	}
+	for i := 1; ; i++ {
+		k := fmt.Sprintf("%s·%d", name, i)
+		if _, ok := vars[k]; !ok {
+			return k
+		}
+	}
+}

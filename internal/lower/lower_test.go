@@ -1,0 +1,164 @@
+package lower
+
+import (
+	"strings"
+	"testing"
+
+	"partita/internal/cprog"
+	"partita/internal/mop"
+)
+
+func compile(t *testing.T, src string) (*mop.Program, *Layout) {
+	t.Helper()
+	f, err := cprog.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := cprog.Analyze(f)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	prog, lay, err := Compile(info)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog, lay
+}
+
+func TestLayoutBanksAndInit(t *testing.T) {
+	src := `
+xmem int a[3] = {1, 0, 3};
+ymem int b[2] = {7};
+int s = 42;
+int main() { return s + a[0] + b[0]; }`
+	_, lay := compile(t, src)
+	la, lb, ls := lay.Globals["a"], lay.Globals["b"], lay.Globals["s"]
+	if la.Bank != cprog.BankX || la.Words != 3 {
+		t.Errorf("a loc = %+v", la)
+	}
+	if lb.Bank != cprog.BankY || lb.Words != 2 {
+		t.Errorf("b loc = %+v", lb)
+	}
+	if ls.Bank != cprog.BankX || ls.Words != 1 {
+		t.Errorf("s loc = %+v", ls)
+	}
+	// Init: a[0]=1, a[2]=3, b[0]=7, s=42 — zeros omitted.
+	if len(lay.Init) != 4 {
+		t.Errorf("Init = %+v, want 4 entries", lay.Init)
+	}
+	if lay.XWords <= 0 || lay.YWords <= 0 {
+		t.Errorf("memory sizes: X=%d Y=%d", lay.XWords, lay.YWords)
+	}
+}
+
+func TestGeneratedProgramValidates(t *testing.T) {
+	src := `
+int helper(int v) { if (v > 3 && v < 10) { return v * 2; } return v; }
+int main() {
+	int i;
+	int acc;
+	acc = 0;
+	for (i = 0; i < 20; i = i + 1) {
+		acc = acc + helper(i);
+	}
+	return acc;
+}`
+	prog, _ := compile(t, src)
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("generated program invalid: %v", err)
+	}
+	if prog.Entry != "main" {
+		t.Errorf("entry = %q", prog.Entry)
+	}
+}
+
+func TestBankMismatchRejected(t *testing.T) {
+	src := `
+xmem int a[4];
+int f(ymem int p[]) { return p[0]; }
+int main() { return f(a); }`
+	f, err := cprog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := cprog.Analyze(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Compile(info); err == nil {
+		t.Fatal("want bank-mismatch error")
+	} else if !strings.Contains(err.Error(), "lives in") {
+		t.Errorf("unexpected error text: %v", err)
+	}
+}
+
+func TestVariableShiftRejected(t *testing.T) {
+	src := `int main() { int a; int b; a = 4; b = 1; return a << b; }`
+	f, _ := cprog.Parse(src)
+	info, err := cprog.Analyze(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Compile(info); err == nil {
+		t.Fatal("want constant-shift error")
+	}
+}
+
+func TestExpressionDepthLimit(t *testing.T) {
+	// Build a right-leaning expression deeper than the 8-register stack.
+	expr := "1"
+	for i := 0; i < 12; i++ {
+		expr = "1 + (" + expr + " * 2)"
+	}
+	src := "int main() { return " + expr + "; }"
+	f, _ := cprog.Parse(src)
+	info, err := cprog.Analyze(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Compile(info); err == nil {
+		t.Fatal("want expression-depth error")
+	}
+}
+
+func TestLocLookup(t *testing.T) {
+	src := `
+int g;
+int f(int p) { int loc; loc = p; return loc + g; }
+int main() { return f(3); }`
+	_, lay := compile(t, src)
+	if _, ok := lay.Loc("f", "loc"); !ok {
+		t.Error("local not found via Loc")
+	}
+	if _, ok := lay.Loc("f", "g"); !ok {
+		t.Error("global not visible from f")
+	}
+	if _, ok := lay.Loc("f", "nope"); ok {
+		t.Error("unknown name resolved")
+	}
+}
+
+func TestFrameSlotsDisjoint(t *testing.T) {
+	src := `
+int a(int x) { int u; u = x; return u; }
+int b(int x) { int v; v = x; return v; }
+int main() { return a(1) + b(2); }`
+	_, lay := compile(t, src)
+	type span struct{ base, end int }
+	var spans []span
+	for _, fl := range lay.Funcs {
+		for _, loc := range fl.Vars {
+			if loc.Bank == cprog.BankX {
+				spans = append(spans, span{loc.Base, loc.Base + loc.Words})
+			}
+		}
+	}
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			a, b := spans[i], spans[j]
+			if a.base < b.end && b.base < a.end {
+				t.Fatalf("overlapping X slots: %+v and %+v", a, b)
+			}
+		}
+	}
+}

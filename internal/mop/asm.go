@@ -1,0 +1,331 @@
+package mop
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseAsm parses the assembly-like syntax produced by Program.String
+// back into a Program. Round-tripping Parse(String(p)) yields a program
+// with identical structure; the format is also convenient for
+// hand-written µ-operation files:
+//
+//	func dot(xs, ys, n):
+//	entry:
+//		mov ax0, r0
+//		ldi acc, #0
+//		br loop
+//	loop:
+//		ldx r3, [ax0]+1
+//		mac acc, r3, r4
+//		...
+//
+// The entry function is the first one unless a line "entry <name>"
+// appears before any function.
+func ParseAsm(src string) (*Program, error) {
+	p := NewProgram("")
+	var fn *Function
+	var blk *Block
+
+	flushBlock := func() {
+		blk = nil
+	}
+	flushFunc := func() {
+		if fn != nil {
+			p.Add(fn)
+		}
+		fn = nil
+		flushBlock()
+	}
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "//") || strings.HasPrefix(line, ";") {
+			continue
+		}
+		errf := func(format string, args ...interface{}) error {
+			return fmt.Errorf("mop: line %d: %s", lineNo+1, fmt.Sprintf(format, args...))
+		}
+		switch {
+		case strings.HasPrefix(line, "entry "):
+			p.Entry = strings.TrimSpace(strings.TrimPrefix(line, "entry "))
+		case strings.HasPrefix(line, "func "):
+			flushFunc()
+			rest := strings.TrimPrefix(line, "func ")
+			open := strings.Index(rest, "(")
+			closeP := strings.LastIndex(rest, ")")
+			if open < 0 || closeP < open || !strings.HasSuffix(rest[closeP:], "):") {
+				return nil, errf("malformed function header %q", line)
+			}
+			name := strings.TrimSpace(rest[:open])
+			if name == "" {
+				return nil, errf("function with empty name")
+			}
+			fn = &Function{Name: name}
+			if params := strings.TrimSpace(rest[open+1 : closeP]); params != "" {
+				for _, pn := range strings.Split(params, ",") {
+					fn.Params = append(fn.Params, strings.TrimSpace(pn))
+				}
+			}
+			if p.Entry == "" {
+				p.Entry = name
+			}
+		case strings.HasSuffix(line, ":"):
+			if fn == nil {
+				return nil, errf("label %q outside a function", line)
+			}
+			blk = &Block{Label: strings.TrimSuffix(line, ":")}
+			fn.Blocks = append(fn.Blocks, blk)
+		default:
+			if blk == nil {
+				return nil, errf("instruction %q outside a block", line)
+			}
+			op, err := parseMOPLine(line)
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			blk.Ops = append(blk.Ops, op)
+		}
+	}
+	flushFunc()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+var opcodeByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, int(numOpcodes))
+	for o := Opcode(0); o < numOpcodes; o++ {
+		m[o.String()] = o
+	}
+	return m
+}()
+
+// parseReg parses a register name as printed by Reg.String.
+func parseReg(s string) (Reg, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "acc":
+		return RegAcc, nil
+	case s == "rv":
+		return RegRetVal, nil
+	case s == "-":
+		return RegNone, nil
+	case strings.HasPrefix(s, "ax"):
+		n, err := strconv.Atoi(s[2:])
+		if err != nil || n < 0 || n >= NumAddr {
+			return RegNone, fmt.Errorf("bad address register %q", s)
+		}
+		return AX(n), nil
+	case strings.HasPrefix(s, "ay"):
+		n, err := strconv.Atoi(s[2:])
+		if err != nil || n < 0 || n >= NumAddr {
+			return RegNone, fmt.Errorf("bad address register %q", s)
+		}
+		return AY(n), nil
+	case strings.HasPrefix(s, "r"):
+		n, err := strconv.Atoi(s[1:])
+		if err != nil || n < 0 || n >= NumGPR {
+			return RegNone, fmt.Errorf("bad register %q", s)
+		}
+		return GPR(n), nil
+	}
+	return RegNone, fmt.Errorf("bad register %q", s)
+}
+
+func parseImm(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "#") {
+		return 0, fmt.Errorf("immediate %q must start with #", s)
+	}
+	return strconv.ParseInt(s[1:], 10, 64)
+}
+
+// parseMem parses "[ax0]+1" into (addr reg, post-modify).
+func parseMem(s string) (Reg, int64, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") {
+		return RegNone, 0, fmt.Errorf("memory operand %q must start with [", s)
+	}
+	close := strings.Index(s, "]")
+	if close < 0 {
+		return RegNone, 0, fmt.Errorf("memory operand %q missing ]", s)
+	}
+	r, err := parseReg(s[1:close])
+	if err != nil {
+		return RegNone, 0, err
+	}
+	rest := strings.TrimSpace(s[close+1:])
+	var imm int64
+	if rest != "" {
+		if !strings.HasPrefix(rest, "+") {
+			return RegNone, 0, fmt.Errorf("memory post-modify %q must be +N", rest)
+		}
+		imm, err = strconv.ParseInt(rest[1:], 10, 64)
+		if err != nil {
+			return RegNone, 0, err
+		}
+	}
+	return r, imm, nil
+}
+
+func parseMOPLine(line string) (MOP, error) {
+	var m MOP
+	fields := strings.SplitN(line, " ", 2)
+	opName := fields[0]
+	op, ok := opcodeByName[opName]
+	if !ok {
+		return m, fmt.Errorf("unknown opcode %q", opName)
+	}
+	m.Op = op
+	rest := ""
+	if len(fields) > 1 {
+		rest = strings.TrimSpace(fields[1])
+	}
+	args := splitArgs(rest)
+
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s wants %d operands, got %d (%q)", opName, n, len(args), rest)
+		}
+		return nil
+	}
+	var err error
+	switch op {
+	case NOP, RET:
+		return m, need(0)
+	case BR, BEQ, BNE, BLT, BGE, CALL:
+		if err := need(1); err != nil {
+			return m, err
+		}
+		m.Sym = args[0]
+		return m, nil
+	case LDI:
+		if err := need(2); err != nil {
+			return m, err
+		}
+		if m.Dst, err = parseReg(args[0]); err != nil {
+			return m, err
+		}
+		m.Imm, err = parseImm(args[1])
+		return m, err
+	case MOV:
+		if err := need(2); err != nil {
+			return m, err
+		}
+		if m.Dst, err = parseReg(args[0]); err != nil {
+			return m, err
+		}
+		m.SrcA, err = parseReg(args[1])
+		return m, err
+	case LDX, LDY:
+		if err := need(2); err != nil {
+			return m, err
+		}
+		if m.Dst, err = parseReg(args[0]); err != nil {
+			return m, err
+		}
+		m.SrcA, m.Imm, err = parseMem(args[1])
+		return m, err
+	case STX, STY:
+		if err := need(2); err != nil {
+			return m, err
+		}
+		if m.SrcB, m.Imm, err = parseMem(args[0]); err != nil {
+			return m, err
+		}
+		m.SrcA, err = parseReg(args[1])
+		return m, err
+	case AGUX, AGUY:
+		// "ax3 = #100" or "ax0 += #1"
+		if strings.Contains(rest, "+=") {
+			parts := strings.SplitN(rest, "+=", 2)
+			if m.Dst, err = parseReg(parts[0]); err != nil {
+				return m, err
+			}
+			m.Imm, err = parseImm(parts[1])
+			return m, err
+		}
+		if strings.Contains(rest, "=") {
+			parts := strings.SplitN(rest, "=", 2)
+			if m.Dst, err = parseReg(parts[0]); err != nil {
+				return m, err
+			}
+			m.Abs = true
+			m.Imm, err = parseImm(parts[1])
+			return m, err
+		}
+		return m, fmt.Errorf("malformed AGU operation %q", line)
+	case SHL, SHR:
+		if err := need(3); err != nil {
+			return m, err
+		}
+		if m.Dst, err = parseReg(args[0]); err != nil {
+			return m, err
+		}
+		if m.SrcA, err = parseReg(args[1]); err != nil {
+			return m, err
+		}
+		m.Imm, err = parseImm(args[2])
+		return m, err
+	case CMP:
+		if err := need(2); err != nil {
+			return m, err
+		}
+		if m.SrcA, err = parseReg(args[0]); err != nil {
+			return m, err
+		}
+		m.SrcB, err = parseReg(args[1])
+		return m, err
+	case NEG, ABS, SAT:
+		if err := need(2); err != nil {
+			return m, err
+		}
+		if m.Dst, err = parseReg(args[0]); err != nil {
+			return m, err
+		}
+		m.SrcA, err = parseReg(args[1])
+		return m, err
+	default:
+		// Three-register ALU/MUL forms.
+		if err := need(3); err != nil {
+			return m, err
+		}
+		if m.Dst, err = parseReg(args[0]); err != nil {
+			return m, err
+		}
+		if m.SrcA, err = parseReg(args[1]); err != nil {
+			return m, err
+		}
+		m.SrcB, err = parseReg(args[2])
+		return m, err
+	}
+}
+
+// splitArgs splits a comma-separated operand list, keeping bracketed
+// memory operands intact.
+func splitArgs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	start := 0
+	for i, r := range s {
+		switch r {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}

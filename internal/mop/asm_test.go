@@ -1,0 +1,159 @@
+package mop
+
+import (
+	"strings"
+	"testing"
+)
+
+const asmSrc = `
+// hand-written dot product
+entry dot
+func dot(xs, ys, n):
+entry:
+	mov ax0, r0
+	mov ay0, r1
+	ldi acc, #0
+	br loop
+loop:
+	ldx r3, [ax0]+1
+	ldy r4, [ay0]+1
+	mac acc, r3, r4
+	ldi r5, #1
+	sub r2, r2, r5
+	ldi r6, #0
+	cmp r2, r6
+	bne loop
+done:
+	mov rv, acc
+	ret
+
+func scale(v):
+entry:
+	shl r0, r0, #2
+	agux ax3 = #100
+	stx [ax3]+0, r0
+	agux ax3 += #1
+	neg r1, r0
+	mov rv, r1
+	ret
+`
+
+func TestParseAsm(t *testing.T) {
+	p, err := ParseAsm(asmSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != "dot" {
+		t.Errorf("entry = %q, want dot", p.Entry)
+	}
+	dot := p.Function("dot")
+	if dot == nil || len(dot.Blocks) != 3 {
+		t.Fatalf("dot not parsed correctly: %+v", dot)
+	}
+	if len(dot.Params) != 3 || dot.Params[2] != "n" {
+		t.Errorf("params = %v", dot.Params)
+	}
+	loop := dot.Block("loop")
+	if loop == nil || len(loop.Ops) != 8 {
+		t.Fatalf("loop block wrong: %+v", loop)
+	}
+	if loop.Ops[2].Op != MAC || loop.Ops[2].Dst != RegAcc {
+		t.Errorf("mac parsed as %v", loop.Ops[2])
+	}
+	if loop.Ops[0].Op != LDX || loop.Ops[0].SrcA != AX(0) || loop.Ops[0].Imm != 1 {
+		t.Errorf("ldx parsed as %v", loop.Ops[0])
+	}
+
+	scale := p.Function("scale")
+	ops := scale.Blocks[0].Ops
+	if ops[1].Op != AGUX || !ops[1].Abs || ops[1].Imm != 100 {
+		t.Errorf("agux abs parsed as %v", ops[1])
+	}
+	if ops[3].Op != AGUX || ops[3].Abs || ops[3].Imm != 1 {
+		t.Errorf("agux add parsed as %v", ops[3])
+	}
+	if ops[2].Op != STX || ops[2].SrcB != AX(3) || ops[2].SrcA != GPR(0) {
+		t.Errorf("stx parsed as %v", ops[2])
+	}
+}
+
+// TestAsmRoundTrip: String → ParseAsm → String is a fixed point.
+func TestAsmRoundTrip(t *testing.T) {
+	p1, err := ParseAsm(asmSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text1 := p1.String()
+	p2, err := ParseAsm("entry dot\n" + text1)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, text1)
+	}
+	text2 := p2.String()
+	if text1 != text2 {
+		t.Fatalf("round trip diverged:\n--- first ---\n%s\n--- second ---\n%s", text1, text2)
+	}
+}
+
+func TestParseAsmErrors(t *testing.T) {
+	cases := []string{
+		"add r0, r1, r2",                     // instruction outside block
+		"func f():\nadd r0, r1",              // op outside block (no label)
+		"func f():\nentry:\n\tbogus r0",      // unknown opcode
+		"func f():\nentry:\n\tadd r0, r1",    // wrong arity
+		"func f():\nentry:\n\tldi r99, #1",   // bad register
+		"func f():\nentry:\n\tldi r0, 5",     // missing #
+		"func f():\nentry:\n\tldx r0, ax0",   // missing brackets
+		"func f():\nentry:\n\tbr nowhere",    // unknown label (Validate)
+		"func f(:\nentry:\n\tret",            // malformed header
+		"func f():\nentry:\n\tagux ax0 * #1", // malformed AGU
+	}
+	for _, src := range cases {
+		if _, err := ParseAsm(src); err == nil {
+			t.Errorf("ParseAsm(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseAsmCommentsAndBlank(t *testing.T) {
+	src := `
+; alt comment style
+func f():
+entry:
+	// inline comment line
+	ldi rv, #42
+	ret
+`
+	p, err := ParseAsm(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := p.Function("f").NumOps(); n != 2 {
+		t.Errorf("ops = %d, want 2", n)
+	}
+}
+
+func TestParseRegCoverage(t *testing.T) {
+	good := map[string]Reg{
+		"r0": GPR(0), "r15": GPR(15), "ax0": AX(0), "ay3": AY(3),
+		"acc": RegAcc, "rv": RegRetVal, "-": RegNone,
+	}
+	for s, want := range good {
+		got, err := parseReg(s)
+		if err != nil || got != want {
+			t.Errorf("parseReg(%q) = %v, %v", s, got, err)
+		}
+	}
+	for _, s := range []string{"r16", "ax4", "ay9", "zz", "", "r-1"} {
+		if _, err := parseReg(s); err == nil {
+			t.Errorf("parseReg(%q) succeeded", s)
+		}
+	}
+}
+
+func TestAsmRejectsUnvalidatable(t *testing.T) {
+	// Branch mid-block is caught by Validate.
+	src := "func f():\nentry:\n\tbr entry\n\tnop\n"
+	if _, err := ParseAsm(src); err == nil || !strings.Contains(err.Error(), "branch") {
+		t.Errorf("mid-block branch not rejected: %v", err)
+	}
+}

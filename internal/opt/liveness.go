@@ -1,0 +1,164 @@
+// Package opt is a MOP-level peephole optimizer for lowered programs.
+// The naive code generator of package lower emits straightforward but
+// redundant sequences; this package applies the classic µ-code clean-ups
+// a 1990s DSP toolchain would run before µ-word packing:
+//
+//   - MAC fusion: MUL t,a,b ; ADD acc,acc,t → MAC acc,a,b when t dies;
+//   - redundant AGU-setup elimination (re-loading an address register
+//     with the value it already holds);
+//   - duplicate-immediate elimination (LDI r,#k when r already holds k);
+//   - dead-code elimination of register writes never observed.
+//
+// All passes are driven by a per-function backward liveness analysis and
+// are validated by interpreter equivalence tests: optimized programs
+// compute exactly the same results in fewer µ-words.
+package opt
+
+import (
+	"partita/internal/mop"
+)
+
+// flagsReg is a pseudo-register tracking the ALU flags in liveness.
+const flagsReg = mop.NumRegs
+
+// nTracked is the number of liveness slots (registers + flags).
+const nTracked = mop.NumRegs + 1
+
+// regSet is a dense bitset over tracked registers.
+type regSet [(nTracked + 63) / 64]uint64
+
+func (s *regSet) set(r int)      { s[r/64] |= 1 << uint(r%64) }
+func (s *regSet) clear(r int)    { s[r/64] &^= 1 << uint(r%64) }
+func (s *regSet) has(r int) bool { return s[r/64]&(1<<uint(r%64)) != 0 }
+func (s *regSet) orWith(o *regSet) bool {
+	changed := false
+	for i := range s {
+		n := s[i] | o[i]
+		if n != s[i] {
+			s[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// opUses collects the registers an operation reads, including the
+// conservative treatment of CALL (reads every register: the callee's
+// argument registers are unknown at this level, and callees observe the
+// global register file).
+func opUses(op mop.MOP, s *regSet) {
+	if op.Op == mop.CALL {
+		for r := 0; r < mop.NumRegs; r++ {
+			s.set(r)
+		}
+		return
+	}
+	for _, r := range op.Uses() {
+		s.set(int(r))
+	}
+	if op.ReadsFlags() {
+		s.set(flagsReg)
+	}
+}
+
+// opDefs collects the registers an operation writes. CALL is treated as
+// clobbering everything (the callee may write any register).
+func opDefs(op mop.MOP, s *regSet) {
+	if op.Op == mop.CALL {
+		for r := 0; r < mop.NumRegs; r++ {
+			s.set(r)
+		}
+		s.set(flagsReg)
+		return
+	}
+	for _, r := range op.DefsAll() {
+		s.set(int(r))
+	}
+	if op.WritesFlags() {
+		s.set(flagsReg)
+	}
+}
+
+// Liveness computes, for every block of f, the live-in and live-out
+// register sets, and exposes a per-op backward walk. RET is treated as
+// using the return-value register and every address register is
+// considered dead at function exit.
+type Liveness struct {
+	fn      *mop.Function
+	liveIn  []regSet
+	liveOut []regSet
+	index   map[string]int
+}
+
+// NewLiveness runs the fixpoint analysis.
+func NewLiveness(f *mop.Function) *Liveness {
+	lv := &Liveness{
+		fn:      f,
+		liveIn:  make([]regSet, len(f.Blocks)),
+		liveOut: make([]regSet, len(f.Blocks)),
+		index:   map[string]int{},
+	}
+	for i, b := range f.Blocks {
+		lv.index[b.Label] = i
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := len(f.Blocks) - 1; i >= 0; i-- {
+			var out regSet
+			for _, succ := range f.Successors(i) {
+				if si, ok := lv.index[succ]; ok {
+					out.orWith(&lv.liveIn[si])
+				}
+			}
+			// RET observes the return value.
+			if term, ok := f.Blocks[i].Terminator(); ok && term.Op == mop.RET {
+				out.set(int(mop.RegRetVal))
+			}
+			lv.liveOut[i] = out
+			in := lv.blockLiveIn(i, &out)
+			if lv.liveIn[i] != in {
+				lv.liveIn[i] = in
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+// blockLiveIn computes live-in from live-out by walking ops backward.
+func (lv *Liveness) blockLiveIn(bi int, out *regSet) regSet {
+	live := *out
+	ops := lv.fn.Blocks[bi].Ops
+	for i := len(ops) - 1; i >= 0; i-- {
+		var defs, uses regSet
+		opDefs(ops[i], &defs)
+		opUses(ops[i], &uses)
+		for r := 0; r < nTracked; r++ {
+			if defs.has(r) && !uses.has(r) {
+				live.clear(r)
+			}
+		}
+		live.orWith(&uses)
+	}
+	return live
+}
+
+// LiveAfter reports the live set immediately after op index oi of block
+// bi (i.e. before the backward walk reaches it).
+func (lv *Liveness) LiveAfter(bi, oi int) regSet {
+	live := lv.liveOut[bi]
+	ops := lv.fn.Blocks[bi].Ops
+	for i := len(ops) - 1; i > oi; i-- {
+		var defs, uses regSet
+		opDefs(ops[i], &defs)
+		opUses(ops[i], &uses)
+		for r := 0; r < nTracked; r++ {
+			if defs.has(r) && !uses.has(r) {
+				live.clear(r)
+			}
+		}
+		live.orWith(&uses)
+	}
+	return live
+}

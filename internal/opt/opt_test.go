@@ -1,0 +1,297 @@
+package opt
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"partita/internal/apps"
+	"partita/internal/cprog"
+	"partita/internal/kernel"
+	"partita/internal/lower"
+	"partita/internal/mop"
+	"partita/internal/profile"
+)
+
+func TestMACFusion(t *testing.T) {
+	p := mop.NewProgram("f")
+	p.Add(&mop.Function{Name: "f", Blocks: []*mop.Block{
+		{Label: "entry", Ops: []mop.MOP{
+			{Op: mop.LDI, Dst: mop.GPR(0), Imm: 10}, // acc
+			{Op: mop.LDI, Dst: mop.GPR(1), Imm: 3},
+			{Op: mop.LDI, Dst: mop.GPR(2), Imm: 4},
+			{Op: mop.MUL, Dst: mop.GPR(3), SrcA: mop.GPR(1), SrcB: mop.GPR(2)},
+			{Op: mop.ADD, Dst: mop.GPR(0), SrcA: mop.GPR(0), SrcB: mop.GPR(3)},
+			{Op: mop.MOV, Dst: mop.RegRetVal, SrcA: mop.GPR(0)},
+			{Op: mop.RET},
+		}},
+	}})
+	st := Optimize(p)
+	if st.MACFused != 1 {
+		t.Fatalf("MACFused = %d, want 1\n%s", st.MACFused, p)
+	}
+	// Execute: 10 + 3*4 = 22.
+	lay := emptyLayout()
+	m := profile.New(p, lay, kernel.DefaultCost())
+	got, err := m.Run("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 22 {
+		t.Errorf("result = %d, want 22", got)
+	}
+}
+
+func TestMACFusionBlockedByLiveTemp(t *testing.T) {
+	// t (r3) is returned too → fusion must not happen.
+	p := mop.NewProgram("f")
+	p.Add(&mop.Function{Name: "f", Blocks: []*mop.Block{
+		{Label: "entry", Ops: []mop.MOP{
+			{Op: mop.LDI, Dst: mop.GPR(0), Imm: 10},
+			{Op: mop.LDI, Dst: mop.GPR(1), Imm: 3},
+			{Op: mop.LDI, Dst: mop.GPR(2), Imm: 4},
+			{Op: mop.MUL, Dst: mop.GPR(3), SrcA: mop.GPR(1), SrcB: mop.GPR(2)},
+			{Op: mop.ADD, Dst: mop.GPR(0), SrcA: mop.GPR(0), SrcB: mop.GPR(3)},
+			{Op: mop.ADD, Dst: mop.GPR(4), SrcA: mop.GPR(3), SrcB: mop.GPR(0)},
+			{Op: mop.MOV, Dst: mop.RegRetVal, SrcA: mop.GPR(4)},
+			{Op: mop.RET},
+		}},
+	}})
+	st := Optimize(p)
+	if st.MACFused != 0 {
+		t.Fatalf("fused despite live temp:\n%s", p)
+	}
+}
+
+func TestAGUDedup(t *testing.T) {
+	p := mop.NewProgram("f")
+	p.Add(&mop.Function{Name: "f", Blocks: []*mop.Block{
+		{Label: "entry", Ops: []mop.MOP{
+			{Op: mop.AGUX, Dst: mop.AX(3), Imm: 100, Abs: true},
+			{Op: mop.LDX, Dst: mop.GPR(0), SrcA: mop.AX(3)},
+			{Op: mop.AGUX, Dst: mop.AX(3), Imm: 100, Abs: true}, // redundant
+			{Op: mop.LDX, Dst: mop.GPR(1), SrcA: mop.AX(3)},
+			{Op: mop.ADD, Dst: mop.RegRetVal, SrcA: mop.GPR(0), SrcB: mop.GPR(1)},
+			{Op: mop.RET},
+		}},
+	}})
+	st := Optimize(p)
+	if st.AGUElided != 1 {
+		t.Fatalf("AGUElided = %d, want 1\n%s", st.AGUElided, p)
+	}
+	lay := emptyLayout()
+	m := profile.New(p, lay, kernel.DefaultCost())
+	if err := m.WriteArray(cprogBankX(), 100, []int64{21}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Run("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Errorf("result = %d, want 42", got)
+	}
+}
+
+func TestAGUDedupRespectsPostModify(t *testing.T) {
+	// The load post-modifies ax3, so resetting it is NOT redundant when
+	// the constant differs from the advanced value.
+	p := mop.NewProgram("f")
+	p.Add(&mop.Function{Name: "f", Blocks: []*mop.Block{
+		{Label: "entry", Ops: []mop.MOP{
+			{Op: mop.AGUX, Dst: mop.AX(3), Imm: 100, Abs: true},
+			{Op: mop.LDX, Dst: mop.GPR(0), SrcA: mop.AX(3), Imm: 1},
+			{Op: mop.AGUX, Dst: mop.AX(3), Imm: 100, Abs: true}, // needed again
+			{Op: mop.LDX, Dst: mop.GPR(1), SrcA: mop.AX(3)},
+			{Op: mop.ADD, Dst: mop.RegRetVal, SrcA: mop.GPR(0), SrcB: mop.GPR(1)},
+			{Op: mop.RET},
+		}},
+	}})
+	st := Optimize(p)
+	if st.AGUElided != 0 {
+		t.Fatalf("elided a needed AGU reset\n%s", p)
+	}
+	// And the tracked advance makes a reset to 101 redundant:
+	p2 := mop.NewProgram("g")
+	p2.Add(&mop.Function{Name: "g", Blocks: []*mop.Block{
+		{Label: "entry", Ops: []mop.MOP{
+			{Op: mop.AGUX, Dst: mop.AX(3), Imm: 100, Abs: true},
+			{Op: mop.LDX, Dst: mop.GPR(0), SrcA: mop.AX(3), Imm: 1},
+			{Op: mop.AGUX, Dst: mop.AX(3), Imm: 101, Abs: true}, // redundant: post-modify already advanced
+			{Op: mop.LDX, Dst: mop.GPR(1), SrcA: mop.AX(3)},
+			{Op: mop.ADD, Dst: mop.RegRetVal, SrcA: mop.GPR(0), SrcB: mop.GPR(1)},
+			{Op: mop.RET},
+		}},
+	}})
+	st2 := Optimize(p2)
+	if st2.AGUElided != 1 {
+		t.Fatalf("post-modify tracking missed a redundant reset\n%s", p2)
+	}
+}
+
+func TestLDIDedupAndDCE(t *testing.T) {
+	p := mop.NewProgram("f")
+	p.Add(&mop.Function{Name: "f", Blocks: []*mop.Block{
+		{Label: "entry", Ops: []mop.MOP{
+			{Op: mop.LDI, Dst: mop.GPR(0), Imm: 7},
+			{Op: mop.LDI, Dst: mop.GPR(0), Imm: 7},  // duplicate
+			{Op: mop.LDI, Dst: mop.GPR(5), Imm: 99}, // dead
+			{Op: mop.MOV, Dst: mop.RegRetVal, SrcA: mop.GPR(0)},
+			{Op: mop.RET},
+		}},
+	}})
+	st := Optimize(p)
+	if st.LDIElided < 1 {
+		t.Errorf("LDIElided = %d, want >= 1", st.LDIElided)
+	}
+	if st.DeadRemoved < 1 {
+		t.Errorf("DeadRemoved = %d, want >= 1 (r5 is dead)", st.DeadRemoved)
+	}
+	m := profile.New(p, emptyLayout(), kernel.DefaultCost())
+	got, err := m.Run("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Errorf("result = %d, want 7", got)
+	}
+}
+
+func TestDCEKeepsStoresAndDivTraps(t *testing.T) {
+	p := mop.NewProgram("f")
+	p.Add(&mop.Function{Name: "f", Blocks: []*mop.Block{
+		{Label: "entry", Ops: []mop.MOP{
+			{Op: mop.LDI, Dst: mop.GPR(0), Imm: 5},
+			{Op: mop.LDI, Dst: mop.GPR(1), Imm: 0},
+			{Op: mop.DIV, Dst: mop.GPR(2), SrcA: mop.GPR(0), SrcB: mop.GPR(1)}, // result dead but traps
+			{Op: mop.AGUX, Dst: mop.AX(3), Imm: 10, Abs: true},
+			{Op: mop.STX, SrcA: mop.GPR(0), SrcB: mop.AX(3)},
+			{Op: mop.LDI, Dst: mop.RegRetVal, Imm: 0},
+			{Op: mop.RET},
+		}},
+	}})
+	Optimize(p)
+	ops := p.Function("f").Blocks[0].Ops
+	hasDiv, hasStore := false, false
+	for _, op := range ops {
+		if op.Op == mop.DIV {
+			hasDiv = true
+		}
+		if op.Op == mop.STX {
+			hasStore = true
+		}
+	}
+	if !hasDiv {
+		t.Error("DCE removed a trapping DIV")
+	}
+	if !hasStore {
+		t.Error("DCE removed a store")
+	}
+}
+
+// TestOptimizedWorkloadsEquivalent is the heavyweight correctness check:
+// every live workload must compute identical results before and after
+// optimization, in no more cycles.
+func TestOptimizedWorkloadsEquivalent(t *testing.T) {
+	gens := []func() (apps.Workload, error){
+		apps.GSMEncoderWorkload, apps.GSMDecoderWorkload, apps.JPEGEncoderWorkload,
+	}
+	for _, gen := range gens {
+		w, err := gen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := cprog.Parse(w.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info, err := cprog.Analyze(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, lay, err := lower.Compile(info)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m1 := profile.New(prog, lay, kernel.DefaultCost())
+		ret1, err := m1.Run(w.Entry)
+		if err != nil {
+			t.Fatalf("%s: baseline run: %v", w.Name, err)
+		}
+		cyc1 := m1.Stats().Cycles
+
+		st := Optimize(prog)
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("%s: optimized program invalid: %v", w.Name, err)
+		}
+		m2 := profile.New(prog, lay, kernel.DefaultCost())
+		ret2, err := m2.Run(w.Entry)
+		if err != nil {
+			t.Fatalf("%s: optimized run: %v", w.Name, err)
+		}
+		cyc2 := m2.Stats().Cycles
+
+		if ret1 != ret2 {
+			t.Errorf("%s: result changed %d → %d", w.Name, ret1, ret2)
+		}
+		if cyc2 > cyc1 {
+			t.Errorf("%s: optimization increased cycles %d → %d", w.Name, cyc1, cyc2)
+		}
+		if st.Total() == 0 {
+			t.Errorf("%s: optimizer found nothing in naive code (stats %+v)", w.Name, st)
+		}
+		t.Logf("%s: %d → %d cycles (−%.1f%%), stats %+v",
+			w.Name, cyc1, cyc2, 100*float64(cyc1-cyc2)/float64(cyc1), st)
+	}
+}
+
+// TestOptimizedRandomExprsEquivalent fuzzes the optimizer with random
+// expression programs.
+func TestOptimizedRandomExprsEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	ops := []string{"+", "-", "*", "&", "|", "^"}
+	for trial := 0; trial < 150; trial++ {
+		expr := fmt.Sprintf("a %s (b %s %d)", ops[rng.Intn(len(ops))], ops[rng.Intn(len(ops))], rng.Intn(50))
+		if rng.Intn(2) == 0 {
+			expr = fmt.Sprintf("(%s) * (a %s c)", expr, ops[rng.Intn(len(ops))])
+		}
+		src := fmt.Sprintf(`int main() {
+	int a; int b; int c; int s; int i;
+	a = %d; b = %d; c = %d; s = 0;
+	for (i = 0; i < 5; i = i + 1) { s = s + (%s); }
+	return s;
+}`, rng.Intn(100), rng.Intn(100), rng.Intn(100), expr)
+		f, err := cprog.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info, err := cprog.Analyze(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, lay, err := lower.Compile(info)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m1 := profile.New(prog, lay, kernel.DefaultCost())
+		ret1, err := m1.Run("main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		Optimize(prog)
+		m2 := profile.New(prog, lay, kernel.DefaultCost())
+		ret2, err := m2.Run("main")
+		if err != nil {
+			t.Fatalf("trial %d: optimized run: %v\n%s", trial, err, prog)
+		}
+		if ret1 != ret2 {
+			t.Fatalf("trial %d: %q: %d → %d\n%s", trial, expr, ret1, ret2, prog)
+		}
+	}
+}
+
+func emptyLayout() *lower.Layout {
+	return &lower.Layout{Globals: map[string]lower.Loc{}, Funcs: map[string]*lower.FuncLayout{}}
+}
+
+func cprogBankX() cprog.Bank { return cprog.BankX }

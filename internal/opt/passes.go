@@ -1,0 +1,327 @@
+package opt
+
+import (
+	"partita/internal/mop"
+)
+
+// Stats counts the rewrites each pass performed.
+type Stats struct {
+	MACFused       int
+	AGUElided      int
+	LDIElided      int
+	DeadRemoved    int
+	LoadsForwarded int
+	Rounds         int
+}
+
+// Total reports the number of MOPs removed, fused, or rewritten.
+func (s Stats) Total() int {
+	return s.MACFused + s.AGUElided + s.LDIElided + s.DeadRemoved + s.LoadsForwarded
+}
+
+// Optimize rewrites p in place, iterating the passes per function until
+// a fixpoint (bounded at 8 rounds).
+func Optimize(p *mop.Program) Stats {
+	var st Stats
+	for _, f := range p.SortedFuncs() {
+		for round := 0; round < 8; round++ {
+			before := st.Total()
+			lv := NewLiveness(f)
+			for bi, blk := range f.Blocks {
+				blk.Ops = fuseMAC(blk.Ops, lv, bi, &st)
+			}
+			// Liveness changed shape; recompute for DCE.
+			for _, blk := range f.Blocks {
+				blk.Ops = forwardLoads(blk.Ops, &st)
+			}
+			lv = NewLiveness(f)
+			for bi, blk := range f.Blocks {
+				blk.Ops = dedupAGU(blk.Ops, &st)
+				blk.Ops = dedupLDI(blk.Ops, &st)
+				blk.Ops = deadCode(blk.Ops, lv, bi, &st)
+			}
+			if st.Total() == before {
+				break
+			}
+			st.Rounds++
+		}
+	}
+	return st
+}
+
+// fuseMAC rewrites MUL t,x,y ; ADD d,d,t (or ADD d,t,d) into MAC d,x,y
+// when t is dead after the ADD and distinct from d.
+func fuseMAC(ops []mop.MOP, lv *Liveness, bi int, st *Stats) []mop.MOP {
+	var out []mop.MOP
+	for i := 0; i < len(ops); i++ {
+		if i+1 < len(ops) && ops[i].Op == mop.MUL {
+			mul := ops[i]
+			add := ops[i+1]
+			t := mul.Dst
+			isAcc := add.Op == mop.ADD && add.Dst != t &&
+				((add.SrcA == add.Dst && add.SrcB == t) ||
+					(add.SrcB == add.Dst && add.SrcA == t))
+			if isAcc {
+				// t must not be observed after the ADD. Index i+1 in the
+				// *original* slice equals len(out)+1 in the rewritten
+				// one only before any fusion this round; recompute
+				// conservatively from the original indices.
+				live := lv.LiveAfter(bi, i+1)
+				if !live.has(int(t)) {
+					out = append(out, mop.MOP{
+						Op: mop.MAC, Dst: add.Dst, SrcA: mul.SrcA, SrcB: mul.SrcB, Pos: mul.Pos,
+					})
+					st.MACFused++
+					i++
+					continue
+				}
+			}
+		}
+		out = append(out, ops[i])
+	}
+	return out
+}
+
+// forwardLoads rewrites loads from statically known addresses whose
+// value is already in a register (written by an earlier store or load in
+// the same block) into register moves. The freed address setup then
+// falls to dedupAGU/deadCode. This is the classic cure for the
+// memory-homed-scalar idiom of the naive code generator.
+func forwardLoads(ops []mop.MOP, st *Stats) []mop.MOP {
+	type bankState struct {
+		mem map[int64]mop.Reg // known address → register holding the value
+	}
+	x := bankState{mem: map[int64]mop.Reg{}}
+	y := bankState{mem: map[int64]mop.Reg{}}
+	addr := map[mop.Reg]int64{} // address registers with known constants
+
+	dropReg := func(r mop.Reg) {
+		for k, v := range x.mem {
+			if v == r {
+				delete(x.mem, k)
+			}
+		}
+		for k, v := range y.mem {
+			if v == r {
+				delete(y.mem, k)
+			}
+		}
+		delete(addr, r)
+	}
+	clearAll := func() {
+		x.mem = map[int64]mop.Reg{}
+		y.mem = map[int64]mop.Reg{}
+		addr = map[mop.Reg]int64{}
+	}
+
+	out := make([]mop.MOP, 0, len(ops))
+	for _, op := range ops {
+		switch op.Op {
+		case mop.AGUX, mop.AGUY:
+			if op.Abs {
+				addr[op.Dst] = op.Imm
+			} else if v, ok := addr[op.Dst]; ok {
+				addr[op.Dst] = v + op.Imm
+			}
+			out = append(out, op)
+			continue
+		case mop.CALL:
+			clearAll()
+			out = append(out, op)
+			continue
+		case mop.LDX, mop.LDY:
+			bank := &x
+			if op.Op == mop.LDY {
+				bank = &y
+			}
+			if a, ok := addr[op.SrcA]; ok && op.Imm == 0 {
+				if src, ok := bank.mem[a]; ok && src != op.Dst {
+					// Forward: the value is already in src.
+					mv := mop.MOP{Op: mop.MOV, Dst: op.Dst, SrcA: src, Pos: op.Pos}
+					dropReg(op.Dst)
+					bank.mem[a] = src
+					out = append(out, mv)
+					st.LoadsForwarded++
+					continue
+				}
+				dropReg(op.Dst)
+				bank.mem[a] = op.Dst
+				out = append(out, op)
+				continue
+			}
+			// Unknown or post-modifying load: track the address advance,
+			// invalidate the destination.
+			if a, ok := addr[op.SrcA]; ok && op.Imm != 0 {
+				dropReg(op.Dst)
+				bank.mem[a] = op.Dst
+				addr[op.SrcA] = a + op.Imm
+				out = append(out, op)
+				continue
+			}
+			dropReg(op.Dst)
+			out = append(out, op)
+			continue
+		case mop.STX, mop.STY:
+			bank := &x
+			if op.Op == mop.STX {
+				bank = &x
+			} else {
+				bank = &y
+			}
+			if a, ok := addr[op.SrcB]; ok {
+				bank.mem[a] = op.SrcA
+				if op.Imm != 0 {
+					addr[op.SrcB] = a + op.Imm
+				}
+			} else {
+				// Store to an unknown address clobbers the whole bank.
+				bank.mem = map[int64]mop.Reg{}
+			}
+			out = append(out, op)
+			continue
+		}
+		for _, d := range op.DefsAll() {
+			dropReg(d)
+		}
+		out = append(out, op)
+	}
+	return out
+}
+
+// dedupAGU removes AGUX/AGUY absolute loads that re-set an address
+// register to the value it already holds (common with the scalar-access
+// idiom of the lowering pass).
+func dedupAGU(ops []mop.MOP, st *Stats) []mop.MOP {
+	known := map[mop.Reg]int64{} // addr reg → known constant
+	var out []mop.MOP
+	invalidate := func(r mop.Reg) { delete(known, r) }
+	for _, op := range ops {
+		if (op.Op == mop.AGUX || op.Op == mop.AGUY) && op.Abs {
+			if v, ok := known[op.Dst]; ok && v == op.Imm {
+				st.AGUElided++
+				continue
+			}
+			known[op.Dst] = op.Imm
+			out = append(out, op)
+			continue
+		}
+		if op.Op == mop.CALL {
+			known = map[mop.Reg]int64{}
+			out = append(out, op)
+			continue
+		}
+		// Any other definition of an address register invalidates it;
+		// post-modify loads/stores advance it by Imm (track when known).
+		switch op.Op {
+		case mop.LDX, mop.LDY:
+			if op.Imm != 0 {
+				if v, ok := known[op.SrcA]; ok {
+					known[op.SrcA] = v + op.Imm
+				}
+			}
+			if mop.IsAddrReg(op.Dst) {
+				invalidate(op.Dst)
+			}
+		case mop.STX, mop.STY:
+			if op.Imm != 0 {
+				if v, ok := known[op.SrcB]; ok {
+					known[op.SrcB] = v + op.Imm
+				}
+			}
+		default:
+			for _, d := range op.DefsAll() {
+				if mop.IsAddrReg(d) {
+					invalidate(d)
+				}
+			}
+		}
+		out = append(out, op)
+	}
+	return out
+}
+
+// dedupLDI removes LDI r,#k when r is already known to hold k.
+func dedupLDI(ops []mop.MOP, st *Stats) []mop.MOP {
+	known := map[mop.Reg]int64{}
+	var out []mop.MOP
+	for _, op := range ops {
+		if op.Op == mop.LDI {
+			if v, ok := known[op.Dst]; ok && v == op.Imm {
+				st.LDIElided++
+				continue
+			}
+			known[op.Dst] = op.Imm
+			out = append(out, op)
+			continue
+		}
+		if op.Op == mop.CALL {
+			known = map[mop.Reg]int64{}
+			out = append(out, op)
+			continue
+		}
+		for _, d := range op.DefsAll() {
+			delete(known, d)
+		}
+		out = append(out, op)
+	}
+	return out
+}
+
+// deadCode removes operations whose only effect is writing registers
+// nobody reads. Memory writes, calls, and control transfers are never
+// removed; loads are removable (the data memories have no read side
+// effects in this machine).
+func deadCode(ops []mop.MOP, lv *Liveness, bi int, st *Stats) []mop.MOP {
+	removable := func(op mop.MOP) bool {
+		switch op.Op {
+		case mop.STX, mop.STY, mop.CALL, mop.RET,
+			mop.BR, mop.BEQ, mop.BNE, mop.BLT, mop.BGE, mop.NOP:
+			return false
+		case mop.DIV, mop.REM:
+			// Division traps on zero; removing one would hide the trap.
+			return false
+		}
+		return true
+	}
+	// Walk backward over original indices, marking dead ops.
+	dead := make([]bool, len(ops))
+	live := lv.liveOut[bi]
+	for i := len(ops) - 1; i >= 0; i-- {
+		op := ops[i]
+		var defs, uses regSet
+		opDefs(op, &defs)
+		opUses(op, &uses)
+		anyLive := false
+		if op.WritesFlags() && live.has(flagsReg) {
+			anyLive = true
+		}
+		for _, d := range op.DefsAll() {
+			if live.has(int(d)) {
+				anyLive = true
+			}
+		}
+		if removable(op) && !anyLive && op.Op != mop.CMP {
+			dead[i] = true
+			continue // do not update liveness with a removed op
+		}
+		if op.Op == mop.CMP && !live.has(flagsReg) {
+			dead[i] = true
+			continue
+		}
+		for r := 0; r < nTracked; r++ {
+			if defs.has(r) && !uses.has(r) {
+				live.clear(r)
+			}
+		}
+		live.orWith(&uses)
+	}
+	var out []mop.MOP
+	for i, op := range ops {
+		if dead[i] {
+			st.DeadRemoved++
+			continue
+		}
+		out = append(out, op)
+	}
+	return out
+}

@@ -1,0 +1,228 @@
+package profile
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"partita/internal/cprog"
+	"partita/internal/kernel"
+	"partita/internal/lower"
+)
+
+// exprGen builds random mini-C expressions over the scalars a, b, c with
+// bounded depth (the lowering evaluates on an 8-register stack).
+type exprGen struct {
+	rng *rand.Rand
+}
+
+func (g *exprGen) gen(depth int) string {
+	if depth <= 0 || g.rng.Intn(4) == 0 {
+		switch g.rng.Intn(4) {
+		case 0:
+			return "a"
+		case 1:
+			return "b"
+		case 2:
+			return "c"
+		default:
+			return fmt.Sprintf("%d", g.rng.Intn(201)-100)
+		}
+	}
+	switch g.rng.Intn(10) {
+	case 0:
+		return fmt.Sprintf("(-%s)", g.gen(depth-1))
+	case 1:
+		return fmt.Sprintf("(~%s)", g.gen(depth-1))
+	case 2:
+		return fmt.Sprintf("(!%s)", g.gen(depth-1))
+	case 3:
+		// Shift by a small constant.
+		op := "<<"
+		if g.rng.Intn(2) == 0 {
+			op = ">>"
+		}
+		return fmt.Sprintf("(%s %s %d)", g.gen(depth-1), op, g.rng.Intn(8))
+	case 4:
+		// Division/remainder by a nonzero constant.
+		op := "/"
+		if g.rng.Intn(2) == 0 {
+			op = "%"
+		}
+		return fmt.Sprintf("(%s %s %d)", g.gen(depth-1), op, g.rng.Intn(9)+1)
+	default:
+		ops := []string{"+", "-", "*", "&", "|", "^", "<", "<=", ">", ">=", "==", "!=", "&&", "||"}
+		op := ops[g.rng.Intn(len(ops))]
+		return fmt.Sprintf("(%s %s %s)", g.gen(depth-1), op, g.gen(depth-1))
+	}
+}
+
+// evalRef evaluates a parsed expression with Go semantics matching the
+// kernel's: 64-bit two's-complement arithmetic, truncated division,
+// comparisons/logical operators yielding 0/1.
+func evalRef(e cprog.Expr, env map[string]int64) int64 {
+	b2i := func(v bool) int64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	switch x := e.(type) {
+	case *cprog.NumExpr:
+		return x.Value
+	case *cprog.VarRef:
+		return env[x.Name]
+	case *cprog.UnaryExpr:
+		v := evalRef(x.X, env)
+		switch x.Op {
+		case "-":
+			return -v
+		case "~":
+			return ^v
+		case "!":
+			return b2i(v == 0)
+		}
+	case *cprog.BinaryExpr:
+		l := evalRef(x.X, env)
+		switch x.Op {
+		case "&&":
+			if l == 0 {
+				return 0
+			}
+			return b2i(evalRef(x.Y, env) != 0)
+		case "||":
+			if l != 0 {
+				return 1
+			}
+			return b2i(evalRef(x.Y, env) != 0)
+		}
+		r := evalRef(x.Y, env)
+		switch x.Op {
+		case "+":
+			return l + r
+		case "-":
+			return l - r
+		case "*":
+			return l * r
+		case "/":
+			return l / r
+		case "%":
+			return l % r
+		case "&":
+			return l & r
+		case "|":
+			return l | r
+		case "^":
+			return l ^ r
+		case "<<":
+			return l << uint(r&63)
+		case ">>":
+			return l >> uint(r&63)
+		case "<":
+			return b2i(l < r)
+		case "<=":
+			return b2i(l <= r)
+		case ">":
+			return b2i(l > r)
+		case ">=":
+			return b2i(l >= r)
+		case "==":
+			return b2i(l == r)
+		case "!=":
+			return b2i(l != r)
+		}
+	}
+	panic("evalRef: unhandled expression")
+}
+
+// TestInterpreterMatchesReference compiles hundreds of random expressions
+// and checks the lowered MOP program computes exactly what the reference
+// evaluator does.
+func TestInterpreterMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260706))
+	g := &exprGen{rng: rng}
+	for trial := 0; trial < 400; trial++ {
+		va, vb, vc := int64(rng.Intn(401)-200), int64(rng.Intn(401)-200), int64(rng.Intn(401)-200)
+		expr := g.gen(3)
+		src := fmt.Sprintf(`int main() {
+	int a; int b; int c;
+	a = %d; b = %d; c = %d;
+	return %s;
+}`, va, vb, vc, expr)
+		f, err := cprog.Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: parse %q: %v", trial, expr, err)
+		}
+		info, err := cprog.Analyze(f)
+		if err != nil {
+			t.Fatalf("trial %d: analyze %q: %v", trial, expr, err)
+		}
+		prog, lay, err := lower.Compile(info)
+		if err != nil {
+			// The only acceptable failure is exceeding the register
+			// stack on a deep pathological nest.
+			continue
+		}
+		m := New(prog, lay, kernel.DefaultCost())
+		got, err := m.Run("main")
+		if err != nil {
+			t.Fatalf("trial %d: run %q: %v", trial, expr, err)
+		}
+
+		// Reference: evaluate the parsed return expression.
+		ret := findReturn(f)
+		want := evalRef(ret, map[string]int64{"a": va, "b": vb, "c": vc})
+		if got != want {
+			t.Fatalf("trial %d: %s with a=%d b=%d c=%d: interpreter %d, reference %d\nprogram:\n%s",
+				trial, expr, va, vb, vc, got, want, prog)
+		}
+	}
+}
+
+func findReturn(f *cprog.File) cprog.Expr {
+	main := f.Func("main")
+	last := main.Body.Stmts[len(main.Body.Stmts)-1]
+	return last.(*cprog.ReturnStmt).Value
+}
+
+// TestLoopsMatchReference cross-checks whole loops: random linear
+// recurrences executed both by the interpreter and in Go.
+func TestLoopsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		mul := int64(rng.Intn(5) - 2)
+		add := int64(rng.Intn(21) - 10)
+		n := rng.Intn(20) + 1
+		init := int64(rng.Intn(11))
+		src := fmt.Sprintf(`int main() {
+	int i; int x;
+	x = %d;
+	for (i = 0; i < %d; i = i + 1) {
+		x = x * %d + %d;
+	}
+	return x;
+}`, init, n, mul, add)
+		f, _ := cprog.Parse(src)
+		info, err := cprog.Analyze(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, lay, err := lower.Compile(info)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := New(prog, lay, kernel.DefaultCost())
+		got, err := m.Run("main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := init
+		for i := 0; i < n; i++ {
+			want = want*mul + add
+		}
+		if got != want {
+			t.Fatalf("trial %d: x0=%d mul=%d add=%d n=%d: got %d, want %d",
+				trial, init, mul, add, n, got, want)
+		}
+	}
+}

@@ -1,0 +1,379 @@
+// Package profile executes MOP programs on a functional model of the
+// ASIP kernel and collects the running-frequency profile the Partita flow
+// needs: per-block execution counts, dynamic call counts per call site,
+// and cycle totals under the kernel cost model.
+//
+// This is the "sample execution with typical input data" step of Choi et
+// al. (DAC 1999), Section 2.
+package profile
+
+import (
+	"errors"
+	"fmt"
+
+	"partita/internal/cprog"
+	"partita/internal/kernel"
+	"partita/internal/lower"
+	"partita/internal/mop"
+)
+
+// ErrStepLimit is returned when execution exceeds the machine's step
+// budget (runaway loop protection).
+var ErrStepLimit = errors.New("profile: step limit exceeded")
+
+// Machine is a functional + cycle-approximate model of the kernel.
+type Machine struct {
+	Prog *mop.Program
+	Lay  *lower.Layout
+	Cost kernel.CostModel
+
+	X, Y []int64
+	Regs [mop.NumRegs]int64
+
+	flagEq, flagLt bool
+
+	// MaxSteps bounds the number of executed MOPs (default 50M).
+	MaxSteps int64
+
+	stats Stats
+	// blockCycles caches the packed cycle cost per block (packing is
+	// deterministic, so one pass per block suffices).
+	blockCycles map[*mop.Block]int64
+}
+
+// CallSite identifies a static call site: caller function, block label,
+// and the index of the CALL within the block.
+type CallSite struct {
+	Caller string
+	Block  string
+	Index  int
+}
+
+// Stats is the collected execution profile.
+type Stats struct {
+	// BlockCount[fn][label] is the number of times the block ran.
+	BlockCount map[string]map[string]int64
+	// CallCount[fn] is the number of dynamic calls of fn.
+	CallCount map[string]int64
+	// SiteCount[site] is the dynamic execution count of one call site.
+	SiteCount map[CallSite]int64
+	// Cycles is total kernel cycles under the cost model.
+	Cycles int64
+	// FuncCycles[fn] is the inclusive cycle count attributed to fn
+	// (cycles spent in fn and its callees while called from fn).
+	FuncCycles map[string]int64
+	// Ops is the number of MOPs executed.
+	Ops int64
+}
+
+// New builds a machine for prog with the given layout. Memory sizes come
+// from the layout with headroom for interface buffers and workload data.
+func New(prog *mop.Program, lay *lower.Layout, cost kernel.CostModel) *Machine {
+	xw := lay.XWords + 4096
+	yw := lay.YWords + 4096
+	m := &Machine{
+		Prog:        prog,
+		Lay:         lay,
+		Cost:        cost,
+		X:           make([]int64, xw),
+		Y:           make([]int64, yw),
+		MaxSteps:    50_000_000,
+		blockCycles: map[*mop.Block]int64{},
+	}
+	m.Reset()
+	return m
+}
+
+// Reset zeroes registers and memories and re-applies static initializers.
+func (m *Machine) Reset() {
+	for i := range m.X {
+		m.X[i] = 0
+	}
+	for i := range m.Y {
+		m.Y[i] = 0
+	}
+	m.Regs = [mop.NumRegs]int64{}
+	m.flagEq, m.flagLt = false, false
+	m.stats = Stats{
+		BlockCount: map[string]map[string]int64{},
+		CallCount:  map[string]int64{},
+		SiteCount:  map[CallSite]int64{},
+		FuncCycles: map[string]int64{},
+	}
+	for _, init := range m.Lay.Init {
+		if init.Bank == cprog.BankY {
+			m.Y[init.Addr] = init.Val
+		} else {
+			m.X[init.Addr] = init.Val
+		}
+	}
+}
+
+// Stats returns the profile accumulated since the last Reset.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// WriteArray stores vals into data memory at (bank, base); used by tests
+// and workload drivers to set up input data.
+func (m *Machine) WriteArray(bank cprog.Bank, base int, vals []int64) error {
+	mem := m.X
+	if bank == cprog.BankY {
+		mem = m.Y
+	}
+	if base < 0 || base+len(vals) > len(mem) {
+		return fmt.Errorf("profile: array write [%d, %d) out of range", base, base+len(vals))
+	}
+	copy(mem[base:], vals)
+	return nil
+}
+
+// ReadArray copies words out of data memory.
+func (m *Machine) ReadArray(bank cprog.Bank, base, n int) ([]int64, error) {
+	mem := m.X
+	if bank == cprog.BankY {
+		mem = m.Y
+	}
+	if base < 0 || base+n > len(mem) {
+		return nil, fmt.Errorf("profile: array read [%d, %d) out of range", base, base+n)
+	}
+	out := make([]int64, n)
+	copy(out, mem[base:])
+	return out, nil
+}
+
+// Run executes the named function with the given arguments (scalars, or
+// base addresses for array parameters) and returns the function result.
+func (m *Machine) Run(fn string, args ...int64) (int64, error) {
+	f := m.Prog.Function(fn)
+	if f == nil {
+		return 0, fmt.Errorf("profile: unknown function %q", fn)
+	}
+	if len(args) > 8 {
+		return 0, fmt.Errorf("profile: %d arguments exceed the register convention", len(args))
+	}
+	for i, a := range args {
+		m.Regs[mop.GPR(i)] = a
+	}
+	steps := m.MaxSteps - m.stats.Ops
+	if err := m.exec(f, &steps); err != nil {
+		return 0, err
+	}
+	return m.Regs[mop.RegRetVal], nil
+}
+
+// blockIndex finds a label's position in the function.
+func blockIndex(f *mop.Function, label string) (int, error) {
+	for i, b := range f.Blocks {
+		if b.Label == label {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("profile: %s: unknown label %q", f.Name, label)
+}
+
+// exec runs one function activation to its RET.
+func (m *Machine) exec(f *mop.Function, steps *int64) error {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	m.stats.CallCount[f.Name]++
+	startCycles := m.stats.Cycles
+	defer func() {
+		m.stats.FuncCycles[f.Name] += m.stats.Cycles - startCycles
+	}()
+
+	bc := m.stats.BlockCount[f.Name]
+	if bc == nil {
+		bc = map[string]int64{}
+		m.stats.BlockCount[f.Name] = bc
+	}
+
+	bi := 0
+	for {
+		blk := f.Blocks[bi]
+		bc[blk.Label]++
+		cyc, ok := m.blockCycles[blk]
+		if !ok {
+			cyc = m.Cost.BlockCycles(blk.Ops)
+			m.blockCycles[blk] = cyc
+		}
+		m.stats.Cycles += cyc
+
+		transferred := false
+		for oi := 0; oi < len(blk.Ops); oi++ {
+			op := blk.Ops[oi]
+			*steps--
+			m.stats.Ops++
+			if *steps <= 0 {
+				return ErrStepLimit
+			}
+			switch op.Op {
+			case mop.CALL:
+				site := CallSite{Caller: f.Name, Block: blk.Label, Index: oi}
+				m.stats.SiteCount[site]++
+				m.stats.Cycles += m.Cost.CallExtra
+				callee := m.Prog.Function(op.Sym)
+				if callee == nil {
+					return fmt.Errorf("profile: call to unknown function %q", op.Sym)
+				}
+				if err := m.exec(callee, steps); err != nil {
+					return err
+				}
+			case mop.RET:
+				m.stats.Cycles += m.Cost.RetExtra
+				return nil
+			case mop.BR:
+				m.stats.Cycles += m.Cost.TakenBranchExtra
+				ni, err := blockIndex(f, op.Sym)
+				if err != nil {
+					return err
+				}
+				bi = ni
+				transferred = true
+			case mop.BEQ, mop.BNE, mop.BLT, mop.BGE:
+				taken := false
+				switch op.Op {
+				case mop.BEQ:
+					taken = m.flagEq
+				case mop.BNE:
+					taken = !m.flagEq
+				case mop.BLT:
+					taken = m.flagLt
+				case mop.BGE:
+					taken = !m.flagLt
+				}
+				if taken {
+					m.stats.Cycles += m.Cost.TakenBranchExtra
+					ni, err := blockIndex(f, op.Sym)
+					if err != nil {
+						return err
+					}
+					bi = ni
+				} else {
+					if bi+1 >= len(f.Blocks) {
+						return fmt.Errorf("profile: %s/%s: fallthrough off function end", f.Name, blk.Label)
+					}
+					bi++
+				}
+				transferred = true
+			default:
+				if err := m.step(op); err != nil {
+					return fmt.Errorf("profile: %s/%s: %v: %w", f.Name, blk.Label, op, err)
+				}
+			}
+			if transferred {
+				break
+			}
+		}
+		if !transferred {
+			// Implicit fallthrough from a block without a terminator.
+			if bi+1 >= len(f.Blocks) {
+				return nil // implicit return
+			}
+			bi++
+		}
+	}
+}
+
+// step executes one non-control MOP.
+func (m *Machine) step(op mop.MOP) error {
+	r := &m.Regs
+	switch op.Op {
+	case mop.NOP:
+	case mop.ADD:
+		r[op.Dst] = r[op.SrcA] + r[op.SrcB]
+	case mop.SUB:
+		r[op.Dst] = r[op.SrcA] - r[op.SrcB]
+	case mop.AND:
+		r[op.Dst] = r[op.SrcA] & r[op.SrcB]
+	case mop.OR:
+		r[op.Dst] = r[op.SrcA] | r[op.SrcB]
+	case mop.XOR:
+		r[op.Dst] = r[op.SrcA] ^ r[op.SrcB]
+	case mop.SHL:
+		r[op.Dst] = r[op.SrcA] << uint(op.Imm&63)
+	case mop.SHR:
+		r[op.Dst] = r[op.SrcA] >> uint(op.Imm&63)
+	case mop.NEG:
+		r[op.Dst] = -r[op.SrcA]
+	case mop.ABS:
+		v := r[op.SrcA]
+		if v < 0 {
+			v = -v
+		}
+		r[op.Dst] = v
+	case mop.MIN:
+		a, b := r[op.SrcA], r[op.SrcB]
+		if b < a {
+			a = b
+		}
+		r[op.Dst] = a
+	case mop.MAX:
+		a, b := r[op.SrcA], r[op.SrcB]
+		if b > a {
+			a = b
+		}
+		r[op.Dst] = a
+	case mop.SAT:
+		v := r[op.SrcA]
+		const hi, lo = 1<<15 - 1, -(1 << 15)
+		if v > hi {
+			v = hi
+		} else if v < lo {
+			v = lo
+		}
+		r[op.Dst] = v
+	case mop.DIV:
+		if r[op.SrcB] == 0 {
+			return errors.New("division by zero")
+		}
+		r[op.Dst] = r[op.SrcA] / r[op.SrcB]
+	case mop.REM:
+		if r[op.SrcB] == 0 {
+			return errors.New("remainder by zero")
+		}
+		r[op.Dst] = r[op.SrcA] % r[op.SrcB]
+	case mop.MUL:
+		r[op.Dst] = r[op.SrcA] * r[op.SrcB]
+	case mop.MAC:
+		r[op.Dst] += r[op.SrcA] * r[op.SrcB]
+	case mop.MOV:
+		r[op.Dst] = r[op.SrcA]
+	case mop.LDI:
+		r[op.Dst] = op.Imm
+	case mop.CMP:
+		a, b := r[op.SrcA], r[op.SrcB]
+		m.flagEq = a == b
+		m.flagLt = a < b
+	case mop.LDX, mop.LDY:
+		mem := m.X
+		if op.Op == mop.LDY {
+			mem = m.Y
+		}
+		addr := r[op.SrcA]
+		if addr < 0 || addr >= int64(len(mem)) {
+			return fmt.Errorf("load address %d out of range", addr)
+		}
+		r[op.Dst] = mem[addr]
+		r[op.SrcA] += op.Imm
+	case mop.STX, mop.STY:
+		mem := m.X
+		if op.Op == mop.STY {
+			mem = m.Y
+		}
+		addr := r[op.SrcB]
+		if addr < 0 || addr >= int64(len(mem)) {
+			return fmt.Errorf("store address %d out of range", addr)
+		}
+		mem[addr] = r[op.SrcA]
+		r[op.SrcB] += op.Imm
+	case mop.AGUX, mop.AGUY:
+		if op.Abs {
+			r[op.Dst] = op.Imm
+		} else {
+			r[op.Dst] += op.Imm
+		}
+	default:
+		return fmt.Errorf("unimplemented opcode %v", op.Op)
+	}
+	return nil
+}

@@ -1,0 +1,433 @@
+package profile
+
+import (
+	"testing"
+
+	"partita/internal/cprog"
+	"partita/internal/kernel"
+	"partita/internal/lower"
+	"partita/internal/mop"
+)
+
+// compileRun compiles src and executes entry with args, returning the
+// result and the machine for further inspection.
+func compileRun(t *testing.T, src, entry string, args ...int64) (int64, *Machine) {
+	t.Helper()
+	f, err := cprog.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := cprog.Analyze(f)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	prog, lay, err := lower.Compile(info)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	m := New(prog, lay, kernel.DefaultCost())
+	got, err := m.Run(entry, args...)
+	if err != nil {
+		t.Fatalf("run: %v\nprogram:\n%s", err, prog)
+	}
+	return got, m
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"2 + 3 * 4", 14},
+		{"(2 + 3) * 4", 20},
+		{"7 / 2", 3},
+		{"-7 / 2", -3},
+		{"7 % 3", 1},
+		{"1 << 4", 16},
+		{"256 >> 3", 32},
+		{"12 & 10", 8},
+		{"12 | 10", 14},
+		{"12 ^ 10", 6},
+		{"-5", -5},
+		{"~0", -1},
+		{"!3", 0},
+		{"!0", 1},
+		{"3 < 4", 1},
+		{"4 < 3", 0},
+		{"4 <= 4", 1},
+		{"5 > 4", 1},
+		{"5 >= 6", 0},
+		{"3 == 3", 1},
+		{"3 != 3", 0},
+		{"1 && 2", 1},
+		{"1 && 0", 0},
+		{"0 || 5", 1},
+		{"0 || 0", 0},
+	}
+	for _, c := range cases {
+		src := "int main() { return " + c.expr + "; }"
+		got, _ := compileRun(t, src, "main")
+		if got != c.want {
+			t.Errorf("%s = %d, want %d", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestVariablesAndLoops(t *testing.T) {
+	src := `
+int main() {
+	int i;
+	int sum;
+	sum = 0;
+	for (i = 1; i <= 10; i = i + 1) {
+		sum = sum + i;
+	}
+	return sum;
+}`
+	got, _ := compileRun(t, src, "main")
+	if got != 55 {
+		t.Errorf("sum 1..10 = %d, want 55", got)
+	}
+}
+
+func TestWhileAndIf(t *testing.T) {
+	// Iterative collatz length of 27 (should be 111 steps).
+	src := `
+int main() {
+	int n;
+	int steps;
+	n = 27;
+	steps = 0;
+	while (n != 1) {
+		if (n % 2 == 0) { n = n / 2; }
+		else { n = 3 * n + 1; }
+		steps = steps + 1;
+	}
+	return steps;
+}`
+	got, _ := compileRun(t, src, "main")
+	if got != 111 {
+		t.Errorf("collatz(27) = %d, want 111", got)
+	}
+}
+
+func TestArraysAndBanks(t *testing.T) {
+	src := `
+xmem int a[5] = {1, 2, 3, 4, 5};
+ymem int b[5] = {10, 20, 30, 40, 50};
+int main() {
+	int i;
+	int sum;
+	sum = 0;
+	for (i = 0; i < 5; i = i + 1) {
+		sum = sum + a[i] * b[i];
+	}
+	return sum;
+}`
+	got, _ := compileRun(t, src, "main")
+	if got != 550 {
+		t.Errorf("dot product = %d, want 550", got)
+	}
+}
+
+func TestLocalArrayInit(t *testing.T) {
+	src := `
+int main() {
+	int w[4] = {3, 1, 4, 1};
+	return w[0] * 1000 + w[1] * 100 + w[2] * 10 + w[3];
+}`
+	got, _ := compileRun(t, src, "main")
+	if got != 3141 {
+		t.Errorf("got %d, want 3141", got)
+	}
+}
+
+func TestFunctionCallsWithArrays(t *testing.T) {
+	src := `
+xmem int x[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+ymem int h[3] = {1, 1, 1};
+xmem int y[8];
+
+int fir(xmem int in[], ymem int coef[], xmem int out[], int n, int taps) {
+	int i;
+	int j;
+	int acc;
+	for (i = 0; i + taps <= n; i = i + 1) {
+		acc = 0;
+		for (j = 0; j < taps; j = j + 1) {
+			acc = acc + in[i + j] * coef[j];
+		}
+		out[i] = acc;
+	}
+	return n - taps + 1;
+}
+
+int main() {
+	int m;
+	m = fir(x, h, y, 8, 3);
+	return m * 1000 + y[0] + y[5];
+}`
+	got, m := compileRun(t, src, "main")
+	// y[0] = 1+2+3 = 6; y[5] = 6+7+8 = 21; m = 6.
+	if got != 6027 {
+		t.Errorf("got %d, want 6027", got)
+	}
+	st := m.Stats()
+	if st.CallCount["fir"] != 1 {
+		t.Errorf("fir called %d times", st.CallCount["fir"])
+	}
+	if st.Cycles <= 0 {
+		t.Error("no cycles recorded")
+	}
+}
+
+func TestNestedCallsAndTempSpill(t *testing.T) {
+	src := `
+int sq(int a) { return a * a; }
+int add3(int a, int b, int c) { return a + b + c; }
+int main() {
+	// Live temps across calls force spills: 1 + sq(2 + sq(3)).
+	return 1 + sq(2 + sq(3)) + add3(sq(2), 10 + sq(1), sq(sq(2)));
+}`
+	got, _ := compileRun(t, src, "main")
+	// sq(3)=9; 2+9=11; sq(11)=121; 1+121=122.
+	// add3(4, 11, 16) = 31. total 153.
+	if got != 153 {
+		t.Errorf("got %d, want 153", got)
+	}
+}
+
+func TestGlobalScalarsPersistAcrossCalls(t *testing.T) {
+	src := `
+int counter;
+void bump(int by) { counter = counter + by; }
+int main() {
+	int i;
+	for (i = 0; i < 4; i = i + 1) { bump(i); }
+	return counter;
+}`
+	got, _ := compileRun(t, src, "main")
+	if got != 6 {
+		t.Errorf("counter = %d, want 6", got)
+	}
+}
+
+func TestDivisionByZeroTraps(t *testing.T) {
+	src := `int main() { int z; z = 0; return 5 / z; }`
+	f, _ := cprog.Parse(src)
+	info, _ := cprog.Analyze(f)
+	prog, lay, err := lower.Compile(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(prog, lay, kernel.DefaultCost())
+	if _, err := m.Run("main"); err == nil {
+		t.Fatal("want division-by-zero error")
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	src := `int main() { while (1) { } return 0; }`
+	f, _ := cprog.Parse(src)
+	info, _ := cprog.Analyze(f)
+	prog, lay, err := lower.Compile(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(prog, lay, kernel.DefaultCost())
+	m.MaxSteps = 10000
+	if _, err := m.Run("main"); err != ErrStepLimit {
+		t.Fatalf("err = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestProfileCounts(t *testing.T) {
+	src := `
+int work(int n) {
+	int i;
+	int s;
+	s = 0;
+	for (i = 0; i < n; i = i + 1) { s = s + i; }
+	return s;
+}
+int main() {
+	int total;
+	total = work(10) + work(20) + work(30);
+	return total;
+}`
+	got, m := compileRun(t, src, "main")
+	if got != 45+190+435 {
+		t.Errorf("got %d", got)
+	}
+	st := m.Stats()
+	if st.CallCount["work"] != 3 {
+		t.Errorf("work call count = %d, want 3", st.CallCount["work"])
+	}
+	// Three static call sites, each run once.
+	sites := 0
+	for site, n := range st.SiteCount {
+		if site.Caller == "main" {
+			sites++
+			if n != 1 {
+				t.Errorf("site %v ran %d times, want 1", site, n)
+			}
+		}
+	}
+	if sites != 3 {
+		t.Errorf("%d call sites recorded, want 3", sites)
+	}
+	if st.FuncCycles["work"] <= 0 || st.FuncCycles["main"] < st.FuncCycles["work"] {
+		t.Errorf("FuncCycles: main=%d work=%d", st.FuncCycles["main"], st.FuncCycles["work"])
+	}
+}
+
+func TestBreakAndContinue(t *testing.T) {
+	src := `
+int main() {
+	int i; int sum;
+	sum = 0;
+	for (i = 0; i < 100; i = i + 1) {
+		if (i % 2 == 0) { continue; } // skip evens; post must still run
+		if (i > 9) { break; }
+		sum = sum + i;
+	}
+	// 1+3+5+7+9 = 25; then ×1000, plus a while-loop break check.
+	sum = sum * 1000;
+	i = 0;
+	while (1) {
+		i = i + 1;
+		if (i == 7) { break; }
+	}
+	return sum + i;
+}`
+	got, _ := compileRun(t, src, "main")
+	if got != 25007 {
+		t.Errorf("got %d, want 25007", got)
+	}
+}
+
+func TestNestedLoopBreak(t *testing.T) {
+	src := `
+int main() {
+	int i; int j; int hits;
+	hits = 0;
+	for (i = 0; i < 5; i = i + 1) {
+		for (j = 0; j < 5; j = j + 1) {
+			if (j == 2) { break; } // inner break only
+			hits = hits + 1;
+		}
+	}
+	return hits; // 5 outer × 2 inner
+}`
+	got, _ := compileRun(t, src, "main")
+	if got != 10 {
+		t.Errorf("got %d, want 10", got)
+	}
+}
+
+func TestRunWithScalarArgs(t *testing.T) {
+	src := `int gcd(int a, int b) {
+		while (b != 0) { int t; t = b; b = a % b; a = t; }
+		return a;
+	}
+	int main() { return gcd(12, 18); }`
+	got, m := compileRun(t, src, "main")
+	if got != 6 {
+		t.Errorf("gcd(12,18) = %d, want 6", got)
+	}
+	// Call gcd directly with fresh args.
+	got2, err := m.Run("gcd", 35, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 != 7 {
+		t.Errorf("gcd(35,21) = %d, want 7", got2)
+	}
+}
+
+func TestWriteReadArray(t *testing.T) {
+	src := `
+xmem int buf[4];
+int sum() {
+	return buf[0] + buf[1] + buf[2] + buf[3];
+}
+int main() { return sum(); }`
+	f, _ := cprog.Parse(src)
+	info, _ := cprog.Analyze(f)
+	prog, lay, err := lower.Compile(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(prog, lay, kernel.DefaultCost())
+	loc := lay.Globals["buf"]
+	if err := m.WriteArray(loc.Bank, loc.Base, []int64{5, 6, 7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Run("sum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 26 {
+		t.Errorf("sum = %d, want 26", got)
+	}
+	back, err := m.ReadArray(loc.Bank, loc.Base, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[2] != 7 {
+		t.Errorf("ReadArray[2] = %d, want 7", back[2])
+	}
+}
+
+func TestHandwrittenMOPs(t *testing.T) {
+	// MAC-based dot product written directly in MOPs, exercising
+	// post-modify addressing that the C lowering does not emit.
+	p := mop.NewProgram("dot")
+	p.Add(&mop.Function{
+		Name: "dot",
+		Blocks: []*mop.Block{
+			{Label: "entry", Ops: []mop.MOP{
+				{Op: mop.MOV, Dst: mop.AX(0), SrcA: mop.GPR(0)},
+				{Op: mop.MOV, Dst: mop.AY(0), SrcA: mop.GPR(1)},
+				{Op: mop.LDI, Dst: mop.RegAcc, Imm: 0},
+				{Op: mop.BR, Sym: "loop"},
+			}},
+			{Label: "loop", Ops: []mop.MOP{
+				{Op: mop.LDX, Dst: mop.GPR(3), SrcA: mop.AX(0), Imm: 1},
+				{Op: mop.LDY, Dst: mop.GPR(4), SrcA: mop.AY(0), Imm: 1},
+				{Op: mop.MAC, Dst: mop.RegAcc, SrcA: mop.GPR(3), SrcB: mop.GPR(4)},
+				{Op: mop.LDI, Dst: mop.GPR(5), Imm: 1},
+				{Op: mop.SUB, Dst: mop.GPR(2), SrcA: mop.GPR(2), SrcB: mop.GPR(5)},
+				{Op: mop.LDI, Dst: mop.GPR(6), Imm: 0},
+				{Op: mop.CMP, SrcA: mop.GPR(2), SrcB: mop.GPR(6)},
+				{Op: mop.BNE, Sym: "loop"},
+			}},
+			{Label: "done", Ops: []mop.MOP{
+				{Op: mop.MOV, Dst: mop.RegRetVal, SrcA: mop.RegAcc},
+				{Op: mop.RET},
+			}},
+		},
+	})
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	lay := &lower.Layout{Globals: map[string]lower.Loc{}, Funcs: map[string]*lower.FuncLayout{}}
+	m := New(p, lay, kernel.DefaultCost())
+	if err := m.WriteArray(cprog.BankX, 100, []int64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteArray(cprog.BankY, 200, []int64{4, 5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Run("dot", 100, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4+10+18 {
+		t.Errorf("dot = %d, want 32", got)
+	}
+	st := m.Stats()
+	if st.BlockCount["dot"]["loop"] != 3 {
+		t.Errorf("loop ran %d times, want 3", st.BlockCount["dot"]["loop"])
+	}
+}

@@ -1,0 +1,56 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := New("name", "value", "area")
+	tb.Row("short", 1, 3.5)
+	tb.Row("a-much-longer-name", 123456, 0.25)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4 (header, rule, 2 rows)", len(lines))
+	}
+	// Every column starts at the same offset: check the second column.
+	col := strings.Index(lines[0], "value")
+	if col < 0 {
+		t.Fatal("header missing")
+	}
+	if !strings.HasPrefix(lines[2][col:], "1 ") && !strings.HasPrefix(lines[2][col:], "1") {
+		t.Errorf("row 1 misaligned: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "123456") {
+		t.Errorf("row 2 missing value: %q", lines[3])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator missing: %q", lines[1])
+	}
+}
+
+func TestFloatTrimming(t *testing.T) {
+	cases := map[float64]string{
+		3.5:   "3.5",
+		3.0:   "3",
+		40.5:  "40.5",
+		0.25:  "0.25",
+		16.50: "16.5",
+		0:     "0",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRowsWiderThanHeader(t *testing.T) {
+	tb := New("a")
+	tb.Row("x", "extra", "columns")
+	out := tb.String()
+	if !strings.Contains(out, "extra") || !strings.Contains(out, "columns") {
+		t.Errorf("extra columns dropped:\n%s", out)
+	}
+}

@@ -1,0 +1,160 @@
+// Package sched performs the code motion the selection result implies:
+// Definition 5 of Choi et al. (DAC 1999) defines a parallel code as the
+// largest independent code segment *that can be arranged right after the
+// s-call*, so after the ILP picks a parallel-code method the kernel code
+// must actually be rescheduled — the PC nodes move to sit immediately
+// after their s-call, where the generated S-instruction overlaps them
+// with the IP run (the "codes that will run in kernel while IP runs
+// come here" slot of the Fig. 5/7 templates).
+//
+// Plan produces the reordered execution sequence for one path and
+// Verify proves the motion legal: every dependent pair keeps its
+// original relative order.
+package sched
+
+import (
+	"fmt"
+	"strings"
+
+	"partita/internal/cdfg"
+	"partita/internal/imp"
+)
+
+// Entry is one slot of the scheduled sequence.
+type Entry struct {
+	Node *cdfg.Node
+	// ParallelWith is the s-call node this entry overlaps with (the
+	// entry is parallel code running while that call's IP computes);
+	// nil for serial code.
+	ParallelWith *cdfg.Node
+	// Accel is the implementation method of Node when it is an
+	// accelerated s-call; nil otherwise.
+	Accel *imp.IMP
+}
+
+func (e Entry) String() string {
+	switch {
+	case e.Accel != nil:
+		return fmt.Sprintf("S-instr %s", e.Accel.ID)
+	case e.ParallelWith != nil:
+		return fmt.Sprintf("%s  ∥ %s", e.Node, e.ParallelWith.Name)
+	default:
+		return e.Node.String()
+	}
+}
+
+// Plan reorders path pathIdx of the database's root function so that the
+// parallel code of every chosen PC-method immediately follows its
+// s-call. The motion is verified before returning.
+func Plan(db *imp.DB, chosen []*imp.IMP, pathIdx int) ([]Entry, error) {
+	paths := db.Graph.Paths(64)
+	if pathIdx < 0 || pathIdx >= len(paths) {
+		return nil, fmt.Errorf("sched: path %d out of range (%d paths)", pathIdx, len(paths))
+	}
+	path := paths[pathIdx]
+
+	accel := map[*cdfg.Node]*imp.IMP{}
+	for _, m := range chosen {
+		for _, site := range m.SC.Sites {
+			accel[site] = m
+		}
+	}
+
+	// For each accelerated PC-method on this path, the set of nodes to
+	// pull in right after the call.
+	pcOf := map[*cdfg.Node]*cdfg.Node{} // pc node → its s-call
+	for _, n := range path {
+		m := accel[n]
+		if m == nil || !m.UsesPC {
+			continue
+		}
+		pc := m.SC.PC1
+		if len(m.PCSCalls) > 0 {
+			pc = m.SC.PC2
+		}
+		for _, pcNode := range pc.Nodes {
+			if _, taken := pcOf[pcNode]; !taken {
+				pcOf[pcNode] = n
+			}
+		}
+	}
+
+	var out []Entry
+	emitted := map[*cdfg.Node]bool{}
+	for _, n := range path {
+		if emitted[n] {
+			continue
+		}
+		if call, isPC := pcOf[n]; isPC && !emitted[call] {
+			// Defer: this node moves to right after its s-call.
+			_ = call
+			continue
+		}
+		emitted[n] = true
+		out = append(out, Entry{Node: n, Accel: accel[n]})
+		if accel[n] != nil && accel[n].UsesPC {
+			// Pull the parallel code in, in original order.
+			for _, pcNode := range path {
+				if pcOf[pcNode] == n && !emitted[pcNode] {
+					emitted[pcNode] = true
+					out = append(out, Entry{Node: pcNode, ParallelWith: n})
+				}
+			}
+		}
+	}
+	// Anything deferred whose call never appeared on this path runs in
+	// its original position (append leftovers in order).
+	for _, n := range path {
+		if !emitted[n] {
+			emitted[n] = true
+			out = append(out, Entry{Node: n, Accel: accel[n]})
+		}
+	}
+
+	if err := Verify(path, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Verify checks that the schedule preserves the relative order of every
+// dependent node pair of the original path.
+func Verify(original cdfg.Path, schedule []Entry) error {
+	origPos := map[*cdfg.Node]int{}
+	for i, n := range original {
+		origPos[n] = i
+	}
+	newPos := map[*cdfg.Node]int{}
+	for i, e := range schedule {
+		newPos[e.Node] = i
+	}
+	if len(newPos) != len(origPos) {
+		return fmt.Errorf("sched: schedule has %d distinct nodes, path has %d", len(newPos), len(origPos))
+	}
+	clo := cdfg.DepClosure(original)
+	for i := range original {
+		for j := i + 1; j < len(original); j++ {
+			if !clo.Reaches(i, j) {
+				continue
+			}
+			if newPos[original[i]] > newPos[original[j]] {
+				return fmt.Errorf("sched: dependence %v → %v inverted by the schedule",
+					original[i], original[j])
+			}
+		}
+	}
+	return nil
+}
+
+// Render prints the schedule with overlap annotations.
+func Render(schedule []Entry) string {
+	var b strings.Builder
+	for i, e := range schedule {
+		marker := " "
+		if e.ParallelWith != nil {
+			marker = "∥"
+		}
+		fmt.Fprintf(&b, "%3d %s %s\n", i, marker, e)
+	}
+	return b.String()
+}

@@ -1,0 +1,166 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"partita/internal/apps"
+	"partita/internal/cdfg"
+	"partita/internal/ilp"
+	"partita/internal/imp"
+	"partita/internal/selector"
+)
+
+// buildWithPC returns a built workload plus a selection that uses at
+// least one parallel-code method (forcing the maximum reachable gain so
+// the PC variants win).
+func buildWithPC(t *testing.T) (*apps.Built, *selector.Selection) {
+	t.Helper()
+	w, err := apps.GSMEncoderWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.Build(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := selector.Solve(selector.Problem{DB: b.DB, Required: selector.MaxReachableGain(b.DB)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Status != ilp.Optimal {
+		t.Fatalf("status %v", sel.Status)
+	}
+	return b, sel
+}
+
+func TestPlanPlacesPCAfterCall(t *testing.T) {
+	w, err := apps.GSMEncoderWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.Build(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force a parallel-code method by choosing it directly.
+	var pcMethod *imp.IMP
+	for _, m := range b.DB.IMPs {
+		if m.UsesPC {
+			pcMethod = m
+			break
+		}
+	}
+	if pcMethod == nil {
+		t.Fatal("database has no PC method; the encoder's bookkeeping should produce one")
+	}
+	schedule, err := Plan(b.DB, []*imp.IMP{pcMethod}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the s-call entry; the following entries must be its parallel
+	// code until the PC is exhausted.
+	callIdx := -1
+	for i, e := range schedule {
+		if e.Accel == pcMethod {
+			callIdx = i
+			break
+		}
+	}
+	if callIdx < 0 {
+		t.Fatal("accelerated s-call missing from schedule")
+	}
+	pcNodes := pcMethod.SC.PC1.Nodes
+	if len(pcMethod.PCSCalls) > 0 {
+		pcNodes = pcMethod.SC.PC2.Nodes
+	}
+	if len(pcNodes) == 0 {
+		t.Fatal("PC method without PC nodes")
+	}
+	want := map[*cdfg.Node]bool{}
+	for _, n := range pcNodes {
+		want[n] = true
+	}
+	got := 0
+	for i := callIdx + 1; i < len(schedule) && schedule[i].ParallelWith != nil; i++ {
+		if !want[schedule[i].Node] {
+			t.Errorf("entry %d marked parallel but not in the PC: %v", i, schedule[i].Node)
+		}
+		got++
+	}
+	if got == 0 {
+		t.Error("no parallel entries placed after the s-call")
+	}
+}
+
+func TestPlanVerifiesDependences(t *testing.T) {
+	b, sel := buildWithPC(t)
+	schedule, err := Plan(b.DB, sel.Chosen, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := b.DB.Graph.Paths(64)
+	if err := Verify(paths[0], schedule); err != nil {
+		t.Fatal(err)
+	}
+	if s := Render(schedule); !strings.Contains(s, "S-instr") {
+		t.Errorf("render lacks S-instruction markers:\n%s", s)
+	}
+}
+
+func TestVerifyCatchesInversion(t *testing.T) {
+	mk := func(name string, reads, writes []string) *cdfg.Node {
+		n := &cdfg.Node{Name: name, Freq: 1, Reads: map[string]bool{}, Writes: map[string]bool{}}
+		for _, r := range reads {
+			n.Reads[r] = true
+		}
+		for _, w := range writes {
+			n.Writes[w] = true
+		}
+		return n
+	}
+	a := mk("a", nil, []string{"x"})
+	b := mk("b", []string{"x"}, nil)
+	path := cdfg.Path{a, b}
+	bad := []Entry{{Node: b}, {Node: a}}
+	if err := Verify(path, bad); err == nil {
+		t.Fatal("inverted dependence accepted")
+	}
+	good := []Entry{{Node: a}, {Node: b}}
+	if err := Verify(path, good); err != nil {
+		t.Fatalf("legal schedule rejected: %v", err)
+	}
+}
+
+func TestPlanWithoutPCKeepsOrder(t *testing.T) {
+	w, err := apps.GSMDecoderWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.Build(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := selector.Solve(selector.Problem{DB: b.DB, Required: selector.MaxReachableGain(b.DB) / 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedule, err := Plan(b.DB, sel.Chosen, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := b.DB.Graph.Paths(64)
+	hasPC := false
+	for _, m := range sel.Chosen {
+		if m.UsesPC {
+			hasPC = true
+		}
+	}
+	if !hasPC {
+		for i, e := range schedule {
+			if e.Node != paths[0][i] {
+				t.Fatalf("order changed without any PC method at %d", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,370 @@
+// Package selector solves the optimal S-instruction generation problem of
+// Choi et al. (DAC 1999), Section 4: choose at most one implementation
+// method (IMP) per s-call such that every execution path meets its
+// required performance gain, minimizing total silicon area.
+//
+// The 0-1 ILP follows the paper:
+//
+//	(1)  Σ_j x_ij ≤ 1                          per s-call SC_i
+//	(2)  Σ_{SC_i ∈ P_k} Σ_j x_ij·g_ij ≥ T_k    per execution path P_k
+//	(3)  Σ_ij s_ijk·x_ij ≤ M·z_k               fixed charge per IP k
+//	(4)  x_ij + x_kl ≤ 1                       per SC-PC conflict pair
+//
+//	min  Σ_k z_k·a_k + interface area
+//
+// Interface area is itself fixed-charged per (IP, interface-type,
+// flatten-target) group: s-calls implemented the same way merge into a
+// single S-instruction that shares its interface code/FSM, which is what
+// makes the area column of the paper's tables additive over *distinct*
+// implementations only.
+//
+// Ties are broken lexicographically (derived from the published tables):
+// minimum area first, then minimum total gain surplus, then fewest
+// selected methods.
+package selector
+
+import (
+	"fmt"
+	"sort"
+
+	"partita/internal/cdfg"
+	"partita/internal/iface"
+	"partita/internal/ilp"
+	"partita/internal/imp"
+)
+
+// Problem is one selection instance.
+type Problem struct {
+	DB *imp.DB
+	// Required is the performance gain every execution path must reach
+	// (the RG column of the paper's tables).
+	Required int64
+	// PerPath optionally overrides Required for individual paths
+	// (indexed like DB.Paths). Entries < 0 fall back to Required.
+	PerPath []int64
+	// DisableMerging charges interface area per selected IMP instead of
+	// per distinct implementation (ablation A3 support).
+	DisableMerging bool
+}
+
+// Selection is the solved result, with the columns of the paper's tables.
+type Selection struct {
+	Status ilp.Status
+	Chosen []*imp.IMP
+	// Area is the paper's A column: shared IP areas plus merged
+	// interface areas.
+	Area float64
+	// Gain is the paper's G column: total achieved gain (site-frequency
+	// weighted) over all selected implementations.
+	Gain int64
+	// PathGains lists the achieved gain on each execution path.
+	PathGains []int64
+	// SInstructions is the paper's S column: distinct implementations
+	// after merging.
+	SInstructions int
+	// SCallsImplemented is the paper's O column: call sites covered.
+	SCallsImplemented int
+	// Nodes is the branch-and-bound node total across both passes.
+	Nodes int
+}
+
+// group identifies one S-instruction implementation class.
+type group struct {
+	ipID      string
+	ifType    iface.Type
+	flattened string
+}
+
+// instance carries the shared model-building state.
+type instance struct {
+	p       Problem
+	db      *imp.DB
+	siteOn  []map[*cdfg.Node]bool
+	groups  []group
+	grpOf   []group // per IMP
+	grpArea map[group]float64
+	ipIDs   []string
+	ipArea  map[string]float64
+}
+
+func newInstance(p Problem) *instance {
+	db := p.DB
+	in := &instance{p: p, db: db, grpArea: map[group]float64{}, ipArea: map[string]float64{}}
+	in.siteOn = make([]map[*cdfg.Node]bool, len(db.Paths))
+	for k, calls := range db.Paths {
+		in.siteOn[k] = map[*cdfg.Node]bool{}
+		for _, c := range calls {
+			in.siteOn[k][c] = true
+		}
+	}
+	seenG := map[group]bool{}
+	seenIP := map[string]bool{}
+	in.grpOf = make([]group, len(db.IMPs))
+	for i, im := range db.IMPs {
+		g := group{im.IP.ID, im.Cand.Type, im.Flattened}
+		in.grpOf[i] = g
+		if !seenG[g] {
+			seenG[g] = true
+			in.groups = append(in.groups, g)
+		}
+		if im.IfaceArea > in.grpArea[g] {
+			in.grpArea[g] = im.IfaceArea
+		}
+		if !seenIP[im.IP.ID] {
+			seenIP[im.IP.ID] = true
+			in.ipIDs = append(in.ipIDs, im.IP.ID)
+			in.ipArea[im.IP.ID] = im.IP.Area
+		}
+	}
+	sort.Slice(in.groups, func(a, b int) bool { return groupLess(in.groups[a], in.groups[b]) })
+	sort.Strings(in.ipIDs)
+	return in
+}
+
+func groupLess(a, b group) bool {
+	if a.ipID != b.ipID {
+		return a.ipID < b.ipID
+	}
+	if a.ifType != b.ifType {
+		return a.ifType < b.ifType
+	}
+	return a.flattened < b.flattened
+}
+
+func (in *instance) required(k int) int64 {
+	if k < len(in.p.PerPath) && in.p.PerPath[k] >= 0 {
+		return in.p.PerPath[k]
+	}
+	return in.p.Required
+}
+
+// pathCoef is the gain coefficient of IMP m on path k.
+func (in *instance) pathCoef(k, m int) int64 {
+	im := in.db.IMPs[m]
+	var f int64
+	for _, site := range im.SC.Sites {
+		if in.siteOn[k][site] {
+			f += site.Freq
+		}
+	}
+	return f * im.GainPerExec
+}
+
+// handles are the model variables of one build.
+type handles struct {
+	m  *ilp.Model
+	xs []ilp.VarID
+	zs map[string]ilp.VarID
+	// ys are binary group-selected indicators (S-instruction count);
+	// as are continuous group interface areas (max over selected
+	// members).
+	ys map[group]ilp.VarID
+	as map[group]ilp.VarID
+}
+
+// build assembles constraints (1)-(4); objective coefficients are set by
+// the caller: objX per method, objZ per unit of IP area, objYCount per
+// selected group (tiebreak weight), objGArea per unit of merged
+// interface area.
+func (in *instance) build(objX func(i int) float64, objZ func(area float64) float64, objYCount, objGArea float64) handles {
+	db := in.db
+	m := ilp.NewModel(ilp.Minimize)
+	h := handles{m: m, zs: map[string]ilp.VarID{}, ys: map[group]ilp.VarID{}, as: map[group]ilp.VarID{}}
+	h.xs = make([]ilp.VarID, len(db.IMPs))
+	for i, im := range db.IMPs {
+		h.xs[i] = m.AddBinary("x_"+im.ID, objX(i))
+	}
+	// (1) one method per s-call.
+	for _, sc := range db.SCalls {
+		var terms []ilp.Term
+		for i, im := range db.IMPs {
+			if im.SC == sc {
+				terms = append(terms, ilp.Term{Var: h.xs[i], Coef: 1})
+			}
+		}
+		if terms != nil {
+			m.AddConstraint("one_"+sc.Name(), terms, ilp.LE, 1)
+		}
+	}
+	// (2) per-path required gain.
+	for k := range db.Paths {
+		rg := in.required(k)
+		if rg <= 0 {
+			continue
+		}
+		var terms []ilp.Term
+		for i := range db.IMPs {
+			if c := in.pathCoef(k, i); c != 0 {
+				terms = append(terms, ilp.Term{Var: h.xs[i], Coef: float64(c)})
+			}
+		}
+		if terms == nil {
+			terms = []ilp.Term{{Var: h.xs[0], Coef: 0}}
+		}
+		m.AddConstraint(fmt.Sprintf("path_%d", k), terms, ilp.GE, float64(rg))
+	}
+	// (3) fixed charge per IP. The disaggregated form x_m ≤ z_k is
+	// equivalent to the paper's Σx ≤ M·z_k but gives a much tighter LP
+	// relaxation, which keeps branch and bound small.
+	for _, id := range in.ipIDs {
+		z := m.AddBinary("z_"+id, objZ(in.ipArea[id]))
+		h.zs[id] = z
+		for i, im := range db.IMPs {
+			if im.IP.ID == id {
+				m.AddConstraint("fc_"+id, []ilp.Term{
+					{Var: h.xs[i], Coef: 1},
+					{Var: z, Coef: -1},
+				}, ilp.LE, 0)
+			}
+		}
+	}
+	// Interface-area fixed charge per implementation group (merged
+	// S-instructions). Skipped when merging is disabled — interface area
+	// is then charged through objX per selected method.
+	if !in.p.DisableMerging {
+		for _, g := range in.groups {
+			tag := fmt.Sprintf("%s_%s_%s", g.ipID, g.ifType, g.flattened)
+			y := m.AddBinary("y_"+tag, objYCount)
+			h.ys[g] = y
+			// The merged S-instruction's interface area is the largest
+			// area among its selected members: a_g ≥ c_m·x_m.
+			a := m.AddVar("a_"+tag, 0, in.grpArea[g], objGArea)
+			h.as[g] = a
+			for i, im := range db.IMPs {
+				if in.grpOf[i] != g {
+					continue
+				}
+				m.AddConstraint("fy_"+tag, []ilp.Term{
+					{Var: h.xs[i], Coef: 1},
+					{Var: y, Coef: -1},
+				}, ilp.LE, 0)
+				if im.IfaceArea > 0 {
+					m.AddConstraint("ga_"+tag, []ilp.Term{
+						{Var: h.xs[i], Coef: im.IfaceArea},
+						{Var: a, Coef: -1},
+					}, ilp.LE, 0)
+				}
+			}
+		}
+	}
+	// (4) SC-PC conflicts.
+	for _, c := range db.Conflicts {
+		m.AddConstraint("conflict", []ilp.Term{
+			{Var: h.xs[c[0]], Coef: 1},
+			{Var: h.xs[c[1]], Coef: 1},
+		}, ilp.LE, 1)
+	}
+	return h
+}
+
+// areaTerms builds the area expression for the pinning constraint.
+func (in *instance) areaTerms(h handles) []ilp.Term {
+	var terms []ilp.Term
+	for _, id := range in.ipIDs {
+		terms = append(terms, ilp.Term{Var: h.zs[id], Coef: in.ipArea[id]})
+	}
+	if in.p.DisableMerging {
+		for i, im := range in.db.IMPs {
+			terms = append(terms, ilp.Term{Var: h.xs[i], Coef: im.IfaceArea})
+		}
+	} else {
+		for _, g := range in.groups {
+			terms = append(terms, ilp.Term{Var: h.as[g], Coef: 1})
+		}
+	}
+	return terms
+}
+
+// Solve runs the lexicographic optimization.
+func Solve(p Problem) (*Selection, error) {
+	if p.DB == nil {
+		return nil, fmt.Errorf("selector: nil database")
+	}
+	if len(p.DB.IMPs) == 0 {
+		return &Selection{Status: ilp.Infeasible}, nil
+	}
+	in := newInstance(p)
+
+	// Pass 1: minimize area.
+	ifaceObj := func(i int) float64 {
+		if p.DisableMerging {
+			return p.DB.IMPs[i].IfaceArea
+		}
+		return 0
+	}
+	h1 := in.build(ifaceObj, func(a float64) float64 { return a }, 0, 1)
+	s1, err := h1.m.Solve()
+	if err != nil {
+		return nil, err
+	}
+	if s1.Status != ilp.Optimal {
+		return &Selection{Status: s1.Status, Nodes: s1.Nodes}, nil
+	}
+	bestArea := s1.Objective
+
+	// Pass 2: pin the area, minimize total gain (surplus) with a small
+	// per-method tiebreak so the solver prefers fewer implementations.
+	// Gains are integers, so a per-x weight < 1/n cannot change the gain
+	// optimum.
+	n := float64(len(p.DB.IMPs) + len(in.groups) + 1)
+	h2 := in.build(
+		func(i int) float64 { return float64(p.DB.IMPs[i].TotalGain) + 0.25/n },
+		func(a float64) float64 { return 0 },
+		0.5/n, 0,
+	)
+	h2.m.AddConstraint("pin_area", in.areaTerms(h2), ilp.LE, bestArea+1e-6)
+	s2, err := h2.m.Solve()
+	if err != nil {
+		return nil, err
+	}
+	if s2.Status != ilp.Optimal {
+		// Should not happen (pass 1 was feasible); report defensively.
+		return &Selection{Status: s2.Status, Nodes: s1.Nodes + s2.Nodes}, nil
+	}
+	return in.decode(h2, s2, s1.Nodes+s2.Nodes), nil
+}
+
+// decode converts the ILP solution into a Selection.
+func (in *instance) decode(h handles, sol *ilp.Solution, nodes int) *Selection {
+	sel := &Selection{Status: ilp.Optimal, Nodes: nodes}
+	usedIPs := map[string]bool{}
+	groupArea := map[group]float64{}
+	for i, im := range in.db.IMPs {
+		if !sol.IsSet(h.xs[i]) {
+			continue
+		}
+		sel.Chosen = append(sel.Chosen, im)
+		sel.Gain += im.TotalGain
+		sel.SCallsImplemented += len(im.SC.Sites)
+		usedIPs[im.IP.ID] = true
+		g := in.grpOf[i]
+		if prev, ok := groupArea[g]; !ok || im.IfaceArea > prev {
+			groupArea[g] = im.IfaceArea
+		}
+	}
+	for id := range usedIPs {
+		sel.Area += in.ipArea[id]
+	}
+	if in.p.DisableMerging {
+		for _, im := range sel.Chosen {
+			sel.Area += im.IfaceArea
+		}
+		sel.SInstructions = len(sel.Chosen)
+	} else {
+		for _, a := range groupArea {
+			sel.Area += a
+		}
+		sel.SInstructions = len(groupArea)
+	}
+	// Per-path achieved gains.
+	sel.PathGains = make([]int64, len(in.db.Paths))
+	for k := range in.db.Paths {
+		for i := range in.db.IMPs {
+			if sol.IsSet(h.xs[i]) {
+				sel.PathGains[k] += in.pathCoef(k, i)
+			}
+		}
+	}
+	sort.Slice(sel.Chosen, func(a, b int) bool { return sel.Chosen[a].SC.Index < sel.Chosen[b].SC.Index })
+	return sel
+}

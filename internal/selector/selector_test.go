@@ -1,0 +1,341 @@
+package selector
+
+import (
+	"math"
+	"testing"
+
+	"partita/internal/cdfg"
+	"partita/internal/iface"
+	"partita/internal/ilp"
+	"partita/internal/imp"
+	"partita/internal/ip"
+)
+
+func mkIP(id string, area float64) *ip.IP {
+	return &ip.IP{ID: id, Name: id, Funcs: []string{"f"}, InPorts: 1, OutPorts: 1,
+		InRate: 1, OutRate: 1, Latency: 1, Pipelined: true, Area: area}
+}
+
+func TestIPSharingCountedOnce(t *testing.T) {
+	shared := mkIP("IPS", 10)
+	db, err := imp.NewSyntheticDB([]string{"a", "b"}, []imp.SynthIMP{
+		{SC: 1, IP: shared, Type: iface.Type0, Gain: 100, IfaceArea: 1},
+		{SC: 2, IP: shared, Type: iface.Type0, Gain: 100, IfaceArea: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := Solve(Problem{DB: db, Required: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Status != ilp.Optimal {
+		t.Fatalf("status = %v", sel.Status)
+	}
+	if len(sel.Chosen) != 2 {
+		t.Fatalf("chosen = %d, want 2 (need both for gain 150)", len(sel.Chosen))
+	}
+	// IP counted once (10), merged interface counted once (1) → 11.
+	if math.Abs(sel.Area-11) > 1e-6 {
+		t.Errorf("area = %g, want 11 (IP once + merged interface once)", sel.Area)
+	}
+	if sel.SInstructions != 1 {
+		t.Errorf("S-instructions = %d, want 1 (merged)", sel.SInstructions)
+	}
+	if sel.SCallsImplemented != 2 {
+		t.Errorf("O = %d, want 2", sel.SCallsImplemented)
+	}
+}
+
+func TestMergingDisabledChargesPerMethod(t *testing.T) {
+	shared := mkIP("IPS", 10)
+	db, _ := imp.NewSyntheticDB([]string{"a", "b"}, []imp.SynthIMP{
+		{SC: 1, IP: shared, Type: iface.Type0, Gain: 100, IfaceArea: 1},
+		{SC: 2, IP: shared, Type: iface.Type0, Gain: 100, IfaceArea: 1},
+	})
+	sel, err := Solve(Problem{DB: db, Required: 150, DisableMerging: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sel.Area-12) > 1e-6 {
+		t.Errorf("area = %g, want 12 (interface charged twice)", sel.Area)
+	}
+}
+
+func TestMinAreaPreferredOverMaxGain(t *testing.T) {
+	cheap := mkIP("IPC", 2)
+	big := mkIP("IPB", 20)
+	db, _ := imp.NewSyntheticDB([]string{"a"}, []imp.SynthIMP{
+		{SC: 1, IP: cheap, Type: iface.Type0, Gain: 120, IfaceArea: 0.5},
+		{SC: 1, IP: big, Type: iface.Type3, Gain: 10000, IfaceArea: 2},
+	})
+	sel, err := Solve(Problem{DB: db, Required: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Chosen) != 1 || sel.Chosen[0].IP.ID != "IPC" {
+		t.Fatalf("chosen = %v, want the cheap IP", sel.Chosen)
+	}
+}
+
+func TestSurplusTieBreak(t *testing.T) {
+	// Two equal-area options meet the target; the one with less surplus
+	// gain must win (GSM decoder row RG=22240 behaviour).
+	a := mkIP("IPA", 4)
+	b := mkIP("IPB", 4)
+	db, _ := imp.NewSyntheticDB([]string{"small", "huge"}, []imp.SynthIMP{
+		{SC: 1, IP: a, Type: iface.Type0, Gain: 28524, IfaceArea: 0},
+		{SC: 2, IP: b, Type: iface.Type0, Gain: 126087, IfaceArea: 0},
+	})
+	sel, err := Solve(Problem{DB: db, Required: 22240})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Chosen) != 1 || sel.Chosen[0].SC.Func != "small" {
+		t.Fatalf("chosen = %+v, want the small-surplus option", sel.Chosen)
+	}
+}
+
+func TestInfeasibleWhenGainUnreachable(t *testing.T) {
+	db, _ := imp.NewSyntheticDB([]string{"a"}, []imp.SynthIMP{
+		{SC: 1, IP: mkIP("IP1", 1), Type: iface.Type0, Gain: 10, IfaceArea: 0},
+	})
+	sel, err := Solve(Problem{DB: db, Required: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Status != ilp.Infeasible {
+		t.Fatalf("status = %v, want infeasible", sel.Status)
+	}
+}
+
+func TestSCPCConflictRespected(t *testing.T) {
+	// SC2's hardware method conflicts with SC1's PC-method that runs
+	// SC2's software as parallel code. Both very gainful; only one may
+	// be chosen.
+	ipa := mkIP("IPA", 3)
+	ipb := mkIP("IPB", 3)
+	db, _ := imp.NewSyntheticDB([]string{"x", "y"}, []imp.SynthIMP{
+		{SC: 1, IP: ipa, Type: iface.Type3, Gain: 100, IfaceArea: 0, UsesPC: true, PCOf: []int{2}},
+		{SC: 2, IP: ipb, Type: iface.Type0, Gain: 100, IfaceArea: 0},
+	})
+	if len(db.Conflicts) != 1 {
+		t.Fatalf("conflicts = %v, want 1 pair", db.Conflicts)
+	}
+	// Requiring 150 is infeasible: the two methods cannot coexist.
+	sel, err := Solve(Problem{DB: db, Required: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Status != ilp.Infeasible {
+		t.Fatalf("status = %v, want infeasible under conflict", sel.Status)
+	}
+	// Requiring 90 picks exactly one.
+	sel, err = Solve(Problem{DB: db, Required: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Chosen) != 1 {
+		t.Fatalf("chosen = %d, want 1", len(sel.Chosen))
+	}
+}
+
+func TestPerPathRequirements(t *testing.T) {
+	// Two s-calls on separate execution paths. Meeting the target on
+	// both paths requires both IPs even though one alone would cover a
+	// single-path constraint.
+	ipa := mkIP("IPA", 5)
+	ipb := mkIP("IPB", 7)
+	db, _ := imp.NewSyntheticDB([]string{"p0f", "p1f"}, []imp.SynthIMP{
+		{SC: 1, IP: ipa, Type: iface.Type0, Gain: 100, IfaceArea: 0},
+		{SC: 2, IP: ipb, Type: iface.Type0, Gain: 100, IfaceArea: 0},
+	})
+	db.Paths = [][]*cdfg.Node{
+		{db.SCalls[0].Sites[0]},
+		{db.SCalls[1].Sites[0]},
+	}
+	sel, err := Solve(Problem{DB: db, Required: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Chosen) != 2 {
+		t.Fatalf("chosen = %d, want 2 (one per path)", len(sel.Chosen))
+	}
+	if len(sel.PathGains) != 2 || sel.PathGains[0] != 100 || sel.PathGains[1] != 100 {
+		t.Errorf("path gains = %v, want [100 100]", sel.PathGains)
+	}
+	// Per-path override: relax path 1 to zero → only SC1 needed.
+	sel, err = Solve(Problem{DB: db, Required: 90, PerPath: []int64{90, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Chosen) != 1 || sel.Chosen[0].SC.Func != "p0f" {
+		t.Errorf("chosen = %+v, want only p0f", sel.Chosen)
+	}
+}
+
+func TestSolveAgainstBruteForce(t *testing.T) {
+	// Randomized small instances: the ILP's minimum area must match
+	// exhaustive enumeration.
+	rng := newRng(7)
+	for trial := 0; trial < 60; trial++ {
+		nSC := 2 + rng.n(4)
+		nIP := 2 + rng.n(3)
+		ips := make([]*ip.IP, nIP)
+		for i := range ips {
+			ips[i] = mkIP(string(rune('A'+i)), float64(1+rng.n(10)))
+		}
+		funcs := make([]string, nSC)
+		for i := range funcs {
+			funcs[i] = string(rune('a' + i))
+		}
+		var sims []imp.SynthIMP
+		for sc := 1; sc <= nSC; sc++ {
+			k := 1 + rng.n(3)
+			for j := 0; j < k; j++ {
+				sims = append(sims, imp.SynthIMP{
+					SC:        sc,
+					IP:        ips[rng.n(nIP)],
+					Type:      iface.Type(rng.n(4)),
+					Gain:      int64(10 + rng.n(200)),
+					IfaceArea: float64(rng.n(4)),
+				})
+			}
+		}
+		db, err := imp.NewSyntheticDB(funcs, sims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req := int64(50 + rng.n(300))
+		got, err := Solve(Problem{DB: db, Required: req})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantArea, feasible := bruteForceArea(db, req)
+		if !feasible {
+			if got.Status != ilp.Infeasible {
+				t.Fatalf("trial %d: solver %v, brute force infeasible", trial, got.Status)
+			}
+			continue
+		}
+		if got.Status != ilp.Optimal {
+			t.Fatalf("trial %d: solver %v, brute force found area %g", trial, got.Status, wantArea)
+		}
+		if math.Abs(got.Area-wantArea) > 1e-6 {
+			t.Fatalf("trial %d: solver area %g, brute force %g", trial, got.Area, wantArea)
+		}
+	}
+}
+
+// bruteForceArea enumerates all method assignments (including "none" per
+// s-call) and returns the minimum merged area meeting the requirement.
+func bruteForceArea(db *imp.DB, required int64) (float64, bool) {
+	perSC := make([][]int, len(db.SCalls))
+	for i, m := range db.IMPs {
+		for s, sc := range db.SCalls {
+			if m.SC == sc {
+				perSC[s] = append(perSC[s], i)
+			}
+		}
+	}
+	best := math.Inf(1)
+	feasible := false
+	var rec func(s int, picked []int)
+	rec = func(s int, picked []int) {
+		if s == len(perSC) {
+			var gain int64
+			ips := map[string]bool{}
+			grpMax := map[string]float64{}
+			var area float64
+			for _, i := range picked {
+				m := db.IMPs[i]
+				gain += m.TotalGain
+				if !ips[m.IP.ID] {
+					ips[m.IP.ID] = true
+					area += m.IP.Area
+				}
+				key := m.IP.ID + "/" + m.Cand.Type.String() + "/" + m.Flattened
+				if m.IfaceArea > grpMax[key] {
+					grpMax[key] = m.IfaceArea
+				}
+			}
+			for _, a := range grpMax {
+				area += a
+			}
+			if gain >= required {
+				feasible = true
+				if area < best {
+					best = area
+				}
+			}
+			return
+		}
+		rec(s+1, picked)
+		for _, i := range perSC[s] {
+			rec(s+1, append(picked, i))
+		}
+	}
+	rec(0, nil)
+	return best, feasible
+}
+
+func TestGreedyBaselineFeasibleButNoBetter(t *testing.T) {
+	shared := mkIP("IPS", 10)
+	solo := mkIP("IPX", 3)
+	db, _ := imp.NewSyntheticDB([]string{"a", "b", "c"}, []imp.SynthIMP{
+		{SC: 1, IP: shared, Type: iface.Type0, Gain: 60, IfaceArea: 1},
+		{SC: 2, IP: shared, Type: iface.Type0, Gain: 60, IfaceArea: 1},
+		{SC: 3, IP: solo, Type: iface.Type0, Gain: 100, IfaceArea: 1},
+	})
+	req := int64(100)
+	opt, err := Solve(Problem{DB: db, Required: req})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grd := GreedyBaseline(Problem{DB: db, Required: req})
+	if grd.Status != ilp.Optimal {
+		t.Fatalf("greedy failed: %v", grd.Status)
+	}
+	for i, g := range grd.PathGains {
+		if g < req {
+			t.Errorf("greedy path %d gain %d below %d", i, g, req)
+		}
+	}
+	if grd.Area < opt.Area-1e-9 {
+		t.Errorf("greedy area %g beats optimal %g — optimality bug", grd.Area, opt.Area)
+	}
+}
+
+func TestGreedyBaselineIgnoresPCMethods(t *testing.T) {
+	a := mkIP("IPA", 5)
+	db, _ := imp.NewSyntheticDB([]string{"a"}, []imp.SynthIMP{
+		{SC: 1, IP: a, Type: iface.Type3, Gain: 500, IfaceArea: 1, UsesPC: true},
+		{SC: 1, IP: a, Type: iface.Type0, Gain: 100, IfaceArea: 0.5},
+	})
+	// Only reachable via the PC method → greedy (no PC) must fail while
+	// the ILP succeeds.
+	req := int64(400)
+	grd := GreedyBaseline(Problem{DB: db, Required: req})
+	if grd.Status != ilp.Infeasible {
+		t.Errorf("greedy status = %v, want infeasible without parallel execution", grd.Status)
+	}
+	opt, err := Solve(Problem{DB: db, Required: req})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Status != ilp.Optimal {
+		t.Errorf("ILP status = %v, want optimal via the PC method", opt.Status)
+	}
+}
+
+// ---- tiny deterministic rng (avoids importing math/rand in multiple
+// spots with differing seeds) ----
+
+type rng struct{ s uint64 }
+
+func newRng(seed uint64) *rng { return &rng{s: seed*2654435761 + 1} }
+
+func (r *rng) n(mod int) int {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return int((r.s >> 33) % uint64(mod))
+}

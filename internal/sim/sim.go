@@ -1,0 +1,255 @@
+// Package sim is a cycle-level simulator of the kernel+IP system: it
+// executes one accelerated s-call (or a whole selected configuration)
+// by stepping the actual transfer mechanics — kernel transfer beats, IP
+// pipeline occupancy, buffer fill/drain, memory contention — rather than
+// evaluating the closed-form equations of package iface.
+//
+// Its purpose is validation (experiment V1): the analytical model that
+// the selector trusts (MAX(T_IP, T_IF) for unbuffered interfaces,
+// T_IF_IN + MAX(T_IP, T_B) + T_IF_OUT − MIN(T_IP, T_C) for buffered
+// ones) must agree with the mechanistic timeline. It also produces the
+// kernel/IP occupancy spans that reproduce the parallel-execution
+// picture of the paper's Fig. 2.
+package sim
+
+import (
+	"fmt"
+
+	"partita/internal/iface"
+	"partita/internal/ip"
+)
+
+// Unit identifies a hardware unit in the trace.
+type Unit int
+
+const (
+	UnitKernel Unit = iota
+	UnitIP
+	UnitIface // DMA / buffer controller
+)
+
+func (u Unit) String() string {
+	switch u {
+	case UnitKernel:
+		return "kernel"
+	case UnitIP:
+		return "ip"
+	case UnitIface:
+		return "iface"
+	}
+	return fmt.Sprintf("unit(%d)", int(u))
+}
+
+// Span is one busy interval of a unit.
+type Span struct {
+	Unit  Unit
+	From  int64
+	To    int64
+	Label string
+}
+
+// Result is the outcome of simulating one s-call execution.
+type Result struct {
+	// Cycles is the wall-clock execution time of the S-instruction
+	// (kernel-perceived: from issue to results-in-memory, minus any
+	// parallel-code cycles the kernel used productively).
+	Cycles int64
+	// KernelBusy counts cycles the kernel spent on interface work.
+	KernelBusy int64
+	// IPBusy counts cycles the IP computed.
+	IPBusy int64
+	// Overlap counts kernel cycles productively spent on parallel code
+	// while the IP ran.
+	Overlap int64
+	// Trace carries the occupancy spans (Fig. 2 reproduction).
+	Trace []Span
+}
+
+// Config describes one accelerated s-call to simulate.
+type Config struct {
+	IP    *ip.IP
+	Type  iface.Type
+	Shape iface.Shape
+}
+
+// RunSCall simulates one S-instruction execution.
+func RunSCall(cfg Config) (Result, error) {
+	switch cfg.Type {
+	case iface.Type0, iface.Type2:
+		return runUnbuffered(cfg)
+	case iface.Type1, iface.Type3:
+		return runBuffered(cfg)
+	}
+	return Result{}, fmt.Errorf("sim: unknown interface type %v", cfg.Type)
+}
+
+// runUnbuffered steps the direct-transfer interfaces: the kernel (type 0)
+// or the DMA FSM (type 2) moves up to one X-item and one Y-item per
+// transfer beat; the IP accepts inputs at its (possibly slow-clocked)
+// rate and emits outputs Latency cycles later. Because the data memories
+// are occupied on every beat, the kernel cannot run other code: the
+// whole duration is attributed to the S-instruction.
+func runUnbuffered(cfg Config) (Result, error) {
+	b := cfg.IP
+	s := cfg.Shape
+	div := int64(1)
+	beat := int64(1) // cycles per transfer beat: 1 for the DMA FSM
+	if cfg.Type == iface.Type0 {
+		// The software template sustains one in/out pair per loop
+		// iteration; its packed body is ~4 words, and an IP faster than
+		// that must be clock-divided.
+		tmpl := iface.SoftwareTemplate(iface.Type0, b, s)
+		words := int64(tmpl.Words)
+		if words <= 0 {
+			words = 4
+		}
+		beat = 4
+		if b.InRate > 4 {
+			beat = int64(b.InRate)
+		}
+		if b.InRate < 4 {
+			div = int64((4 + b.InRate - 1) / b.InRate)
+		}
+	}
+
+	perf := 1.0
+	if b.PerfFactor > 1 {
+		perf = b.PerfFactor
+	}
+	scale := func(v int64) int64 { return int64(float64(v)*perf + 0.5) }
+	rateIn := scale(int64(b.InRate) * div)
+	rateOut := scale(int64(b.OutRate) * div)
+	latency := scale(int64(b.Latency) * div)
+
+	var t int64
+	sent, stored := 0, 0
+	const never = int64(1) << 62
+	// readyAt[k] is when output k can be read from the IP. Output k
+	// depends on the first ceil((k+1)·NIn/NOut) inputs: a streaming
+	// block (NIn == NOut) pipelines 1:1, a reducer (NOut < NIn) emits
+	// only after its whole input window arrived.
+	readyAt := make([]int64, s.NOut)
+	for i := range readyAt {
+		readyAt[i] = never
+	}
+	lastInputFor := func(oi int) int {
+		need := ((oi + 1) * s.NIn) / s.NOut
+		if need < 1 {
+			need = 1
+		}
+		if need > s.NIn {
+			need = s.NIn
+		}
+		return need
+	}
+	nextAccept := int64(0)
+	var ipStart, ipEnd int64 = -1, -1
+
+	const maxSteps = 1 << 24
+	for steps := 0; stored < s.NOut; steps++ {
+		if steps > maxSteps {
+			return Result{}, fmt.Errorf("sim: unbuffered transfer did not converge (%d/%d stored)", stored, s.NOut)
+		}
+		t += beat
+		// Send up to two items this beat, respecting the IP input rate.
+		for k := 0; k < 2 && sent < s.NIn; k++ {
+			if t < nextAccept {
+				break
+			}
+			if ipStart < 0 {
+				ipStart = t
+			}
+			sent++
+			for oi := 0; oi < s.NOut; oi++ {
+				if readyAt[oi] == never && lastInputFor(oi) == sent {
+					// Successive outputs of the same window drain at
+					// the output rate.
+					readyAt[oi] = t + latency
+					for oj := oi + 1; oj < s.NOut && lastInputFor(oj) == sent; oj++ {
+						readyAt[oj] = readyAt[oj-1] + rateOut
+					}
+				}
+			}
+			nextAccept = t + rateIn
+		}
+		// Store up to two ready outputs this beat.
+		for k := 0; k < 2 && stored < s.NOut; k++ {
+			if readyAt[stored] <= t {
+				stored++
+				ipEnd = t
+			} else {
+				break
+			}
+		}
+	}
+	res := Result{
+		Cycles:     t,
+		KernelBusy: t, // kernel (or its memories) occupied throughout
+		IPBusy:     ipEnd - ipStart,
+	}
+	res.Trace = []Span{
+		{Unit: UnitKernel, From: 0, To: t, Label: "transfer loop"},
+		{Unit: UnitIP, From: ipStart, To: ipEnd, Label: "compute"},
+	}
+	if cfg.Type == iface.Type2 {
+		res.KernelBusy = 0 // FSM does the work, but memory contention
+		res.Trace[0] = Span{Unit: UnitIface, From: 0, To: t, Label: "DMA"}
+	}
+	return res, nil
+}
+
+// runBuffered steps the buffered interfaces: fill the in-buffer, start
+// the IP (fed by the buffer controller at native rate), run parallel
+// code in the kernel while the IP computes, then drain the out-buffer.
+func runBuffered(cfg Config) (Result, error) {
+	b := cfg.IP
+	s := cfg.Shape
+
+	// Fill: the kernel (type 1) moves one X/Y pair per template
+	// iteration; the FSM (type 3) one pair per cycle.
+	pairsIn := int64((s.NIn + 1) / 2)
+	pairsOut := int64((s.NOut + 1) / 2)
+	var fill, drain int64
+	if cfg.Type == iface.Type1 {
+		tmpl := iface.SoftwareTemplate(iface.Type1, b, s)
+		fill = tmpl.FillCycles
+		drain = tmpl.DrainCycles
+	} else {
+		fill = pairsIn + 1
+		drain = pairsOut + 1
+	}
+
+	// IP window: buffer controller feeds at native rate; the slower of
+	// the IP pipeline and the buffer streams bounds the window.
+	tip := b.ExecCycles(s.NIn, s.NOut)
+	tb := int64(s.NIn) * int64(b.InRate)
+	if o := int64(s.NOut) * int64(b.OutRate); o > tb {
+		tb = o
+	}
+	window := tip
+	if tb > window {
+		window = tb
+	}
+
+	// Parallel code: the kernel computes during the IP window, bounded
+	// by the available PC and by the IP compute time.
+	overlap := s.TC
+	if overlap > tip {
+		overlap = tip
+	}
+
+	t := fill + window + drain
+	res := Result{
+		Cycles:     t - overlap,
+		KernelBusy: fill + drain,
+		IPBusy:     tip,
+		Overlap:    overlap,
+		Trace: []Span{
+			{Unit: UnitKernel, From: 0, To: fill, Label: "fill in-buffer"},
+			{Unit: UnitIP, From: fill, To: fill + window, Label: "compute"},
+			{Unit: UnitKernel, From: fill, To: fill + overlap, Label: "parallel code"},
+			{Unit: UnitKernel, From: fill + window, To: t, Label: "drain out-buffer"},
+		},
+	}
+	return res, nil
+}

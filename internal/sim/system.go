@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"fmt"
+
+	"partita/internal/cdfg"
+	"partita/internal/iface"
+	"partita/internal/imp"
+)
+
+// SCallReport compares the analytical model against the simulation for
+// one accelerated s-call.
+type SCallReport struct {
+	SCall     string
+	IMP       string
+	Predicted int64 // Candidate.Exec from the gain equations
+	Simulated int64 // mechanistic timeline
+	Freq      int64
+}
+
+// SystemResult is the outcome of simulating a whole selected
+// configuration over one execution path of the application.
+type SystemResult struct {
+	// SoftwareCycles is the all-software path time.
+	SoftwareCycles int64
+	// AcceleratedCycles is the path time with the selection applied.
+	AcceleratedCycles int64
+	// PredictedCycles applies the analytical Exec values instead of the
+	// simulated ones.
+	PredictedCycles int64
+	// Reports holds the per-s-call comparison.
+	Reports []SCallReport
+}
+
+// Speedup is the software/accelerated ratio.
+func (r SystemResult) Speedup() float64 {
+	if r.AcceleratedCycles == 0 {
+		return 0
+	}
+	return float64(r.SoftwareCycles) / float64(r.AcceleratedCycles)
+}
+
+// TraceSelection produces the application-level occupancy timeline of
+// one execution path under a selection: the Fig. 2 picture at program
+// scale, with kernel spans for software nodes and fill/compute/parallel/
+// drain spans for each accelerated s-call. Nodes with Freq > 1 are drawn
+// once and the clock advanced by their full repeated duration (the label
+// carries the multiplier).
+func TraceSelection(db *imp.DB, chosen []*imp.IMP, pathIdx int) ([]Span, error) {
+	paths := db.Graph.Paths(64)
+	if pathIdx < 0 || pathIdx >= len(paths) {
+		return nil, fmt.Errorf("sim: path %d out of range (%d paths)", pathIdx, len(paths))
+	}
+	bySite := map[*cdfg.Node]*imp.IMP{}
+	for _, m := range chosen {
+		for _, site := range m.SC.Sites {
+			bySite[site] = m
+		}
+	}
+	var spans []Span
+	var t int64
+	for _, n := range paths[pathIdx] {
+		m := bySite[n]
+		if n.Kind != cdfg.NodeCall || m == nil {
+			dur := n.Cost * n.Freq
+			if dur <= 0 {
+				continue
+			}
+			label := n.Name
+			if n.Kind == cdfg.NodeCall {
+				label = "call " + n.Name + " (software)"
+			}
+			if n.Freq > 1 {
+				label = fmt.Sprintf("%s (×%d)", label, n.Freq)
+			}
+			spans = append(spans, Span{Unit: UnitKernel, From: t, To: t + dur, Label: label})
+			t += dur
+			continue
+		}
+		shape := iface.Shape{NIn: m.SC.NIn, NOut: m.SC.NOut, TSW: m.SC.TSW, TC: m.Cand.TCUsed}
+		r, err := RunSCall(Config{IP: m.IP, Type: m.Cand.Type, Shape: shape})
+		if err != nil {
+			return nil, err
+		}
+		suffix := ""
+		if n.Freq > 1 {
+			suffix = fmt.Sprintf(" (×%d)", n.Freq)
+		}
+		for _, sp := range r.Trace {
+			spans = append(spans, Span{
+				Unit:  sp.Unit,
+				From:  t + sp.From,
+				To:    t + sp.To,
+				Label: m.ID + ": " + sp.Label + suffix,
+			})
+		}
+		t += r.Cycles * n.Freq
+	}
+	return spans, nil
+}
+
+// RunSelection simulates path `pathIdx` of the database's root function
+// under the given chosen methods (as returned by the selector). Parallel
+// code is accounted once: its nodes execute at full cost in the path
+// walk while each accelerated s-call's wall time is already net of the
+// overlap it enjoys.
+func RunSelection(db *imp.DB, chosen []*imp.IMP, pathIdx int) (SystemResult, error) {
+	paths := db.Graph.Paths(64)
+	if pathIdx < 0 || pathIdx >= len(paths) {
+		return SystemResult{}, fmt.Errorf("sim: path %d out of range (%d paths)", pathIdx, len(paths))
+	}
+	path := paths[pathIdx]
+
+	bySite := map[*cdfg.Node]*imp.IMP{}
+	for _, m := range chosen {
+		for _, site := range m.SC.Sites {
+			bySite[site] = m
+		}
+	}
+
+	var res SystemResult
+	for _, n := range path {
+		sw := n.Cost * n.Freq
+		res.SoftwareCycles += sw
+		m := bySite[n]
+		if n.Kind != cdfg.NodeCall || m == nil {
+			res.AcceleratedCycles += sw
+			res.PredictedCycles += sw
+			continue
+		}
+		shape := iface.Shape{NIn: m.SC.NIn, NOut: m.SC.NOut, TSW: m.SC.TSW, TC: m.Cand.TCUsed}
+		r, err := RunSCall(Config{IP: m.IP, Type: m.Cand.Type, Shape: shape})
+		if err != nil {
+			return SystemResult{}, err
+		}
+		res.AcceleratedCycles += r.Cycles * n.Freq
+		res.PredictedCycles += m.Cand.Exec * n.Freq
+		res.Reports = append(res.Reports, SCallReport{
+			SCall:     m.SC.Name(),
+			IMP:       m.ID,
+			Predicted: m.Cand.Exec,
+			Simulated: r.Cycles,
+			Freq:      n.Freq,
+		})
+	}
+	return res, nil
+}

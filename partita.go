@@ -1,0 +1,294 @@
+// Package partita is a Go reproduction of the ASIP IP-selection flow of
+// Choi, Yi, Lee, Park and Kyung, "Exploiting Intellectual Properties in
+// ASIP Designs for Embedded DSP Software" (DAC 1999).
+//
+// Given an embedded DSP program (a small C dialect), an IP library, and
+// a required performance gain, the flow selects the optimal set of IP
+// accelerators *and* interface methods — jointly — so that every
+// execution path meets its constraint at minimum silicon area, while
+// exploiting concurrent execution of kernel code ("parallel code") with
+// running IPs.
+//
+// The pipeline mirrors the paper's Partita system:
+//
+//	design, _ := partita.Analyze(source, "encoder", catalog, partita.Options{})
+//	sel, _ := design.Select(requiredGain)
+//	res, _ := design.Simulate(sel, 0)
+//
+// Analyze parses and checks the program, lowers it to the kernel's
+// µ-operation (MOP) list, builds the control/data-flow graph, extracts
+// the guaranteed parallel code of every s-call candidate (Definitions
+// 3-5), and enumerates the implementation-method database (IMPs: IP ×
+// interface type × parallel code, with hierarchy flattening). Select
+// solves the paper's 0-1 ILP (Problems 1 and 2) exactly with the
+// built-in branch-and-bound solver. Simulate validates the chosen
+// configuration on a cycle-level kernel+IP model.
+package partita
+
+import (
+	"fmt"
+
+	"partita/internal/cdfg"
+	"partita/internal/cinstr"
+	"partita/internal/cprog"
+	"partita/internal/encode"
+	"partita/internal/hwgen"
+	"partita/internal/iface"
+	"partita/internal/ilp"
+	"partita/internal/imp"
+	"partita/internal/ip"
+	"partita/internal/kernel"
+	"partita/internal/lower"
+	"partita/internal/mop"
+	mopopt "partita/internal/opt"
+	"partita/internal/profile"
+	"partita/internal/sched"
+	"partita/internal/selector"
+	"partita/internal/sim"
+)
+
+// Re-exported building blocks. The aliases give library users a single
+// import while the implementation stays in focused internal packages.
+type (
+	// IP describes one library block (ports, rates, latency, area,
+	// functions). An IP with several functions is an M-IP.
+	IP = ip.IP
+	// Catalog is an IP library.
+	Catalog = ip.Catalog
+	// InterfaceType is one of the four interface methods (Type0-Type3).
+	InterfaceType = iface.Type
+	// InterfaceCandidate carries the timing/area breakdown of attaching
+	// an IP through one interface type.
+	InterfaceCandidate = iface.Candidate
+	// Shape describes one accelerated invocation (data volumes, T_SW,
+	// parallel-code time).
+	Shape = iface.Shape
+	// DB is the implementation-method database for one application.
+	DB = imp.DB
+	// IMP is one implementation method (IP + interface + parallel code).
+	IMP = imp.IMP
+	// SCall is one s-call candidate.
+	SCall = imp.SCall
+	// Selection is a solved configuration with the paper's G/A/S/O
+	// metrics.
+	Selection = selector.Selection
+	// SystemResult is the outcome of cycle-level validation.
+	SystemResult = sim.SystemResult
+	// Stats is an execution profile (block counts, call counts, cycles).
+	Stats = profile.Stats
+	// SolveStatus reports optimal/infeasible/unbounded.
+	SolveStatus = ilp.Status
+)
+
+// Interface types (Fig. 3 of the paper).
+const (
+	Type0 = iface.Type0 // software controller, no buffers
+	Type1 = iface.Type1 // software controller, buffered (parallel exec)
+	Type2 = iface.Type2 // hardware FSM, no buffers (DMA)
+	Type3 = iface.Type3 // hardware FSM, buffered (parallel exec)
+)
+
+// Solve statuses.
+const (
+	Optimal    = ilp.Optimal
+	Infeasible = ilp.Infeasible
+)
+
+// NewCatalog builds and validates an IP library.
+func NewCatalog(blocks ...*IP) (*Catalog, error) { return ip.NewCatalog(blocks...) }
+
+// Options tunes Analyze.
+type Options struct {
+	// Optimize runs the MOP-level peephole optimizer (MAC fusion,
+	// redundant AGU/immediate elimination, store-to-load forwarding,
+	// dead-code removal) on the lowered program before analysis.
+	Optimize bool
+	// Problem2 removes the paper's Problem-1 restrictions: s-calls to
+	// the same function may be implemented differently, and software
+	// bodies of s-calls may serve as parallel code of others (with the
+	// induced SC-PC conflicts).
+	Problem2 bool
+	// DataCount overrides the per-function accelerator data volumes
+	// (inputs, outputs per invocation); nil uses a loop-bound heuristic.
+	DataCount func(fn string) (nIn, nOut int)
+	// DefaultTrips is assumed for loops with non-static bounds (default 8).
+	DefaultTrips int64
+}
+
+// Design is an analyzed application ready for selection.
+type Design struct {
+	// Root is the function whose s-calls are optimized.
+	Root string
+	// Info is the semantic analysis result.
+	Info *cprog.Info
+	// Prog is the lowered µ-operation program.
+	Prog *mop.Program
+	// Layout is the data-memory map.
+	Layout *lower.Layout
+	// DB is the generated IMP database.
+	DB *DB
+}
+
+// Analyze runs the front half of the flow on mini-C source.
+func Analyze(source, root string, catalog *Catalog, opt Options) (*Design, error) {
+	f, err := cprog.Parse(source)
+	if err != nil {
+		return nil, err
+	}
+	info, err := cprog.Analyze(f)
+	if err != nil {
+		return nil, err
+	}
+	prog, lay, err := lower.Compile(info)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Optimize {
+		mopopt.Optimize(prog)
+	}
+	copts := cdfg.DefaultOptions()
+	if opt.DefaultTrips > 0 {
+		copts.DefaultTrips = opt.DefaultTrips
+	}
+	db, err := imp.Generate(info, root, imp.Config{
+		Catalog:   catalog,
+		Area:      kernel.DefaultArea(),
+		DataCount: opt.DataCount,
+		Problem2:  opt.Problem2,
+		CDFG:      copts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Design{Root: root, Info: info, Prog: prog, Layout: lay, DB: db}, nil
+}
+
+// Select solves the optimal S-instruction generation problem: minimum
+// total area such that every execution path gains at least requiredGain
+// cycles.
+func (d *Design) Select(requiredGain int64) (*Selection, error) {
+	return selector.Solve(selector.Problem{DB: d.DB, Required: requiredGain})
+}
+
+// SelectPerPath solves with per-execution-path requirements (indexed
+// like DB.Paths; entries < 0 fall back to requiredGain).
+func (d *Design) SelectPerPath(requiredGain int64, perPath []int64) (*Selection, error) {
+	return selector.Solve(selector.Problem{DB: d.DB, Required: requiredGain, PerPath: perPath})
+}
+
+// GreedySelect runs the prior-art baseline (no interface choice, no
+// parallel execution, gain/area greedy).
+func (d *Design) GreedySelect(requiredGain int64) *Selection {
+	return selector.GreedyBaseline(selector.Problem{DB: d.DB, Required: requiredGain})
+}
+
+// Simulate validates a selection on the cycle-level system model over
+// execution path pathIdx of the root function.
+func (d *Design) Simulate(sel *Selection, pathIdx int) (SystemResult, error) {
+	if sel == nil {
+		return SystemResult{}, fmt.Errorf("partita: nil selection")
+	}
+	return sim.RunSelection(d.DB, sel.Chosen, pathIdx)
+}
+
+// Profile executes entry on the kernel model with the program's static
+// data and returns the running-frequency profile and the return value.
+func (d *Design) Profile(entry string, args ...int64) (Stats, int64, error) {
+	m := profile.New(d.Prog, d.Layout, kernel.DefaultCost())
+	ret, err := m.Run(entry, args...)
+	if err != nil {
+		return Stats{}, 0, err
+	}
+	return m.Stats(), ret, nil
+}
+
+// InterfaceCandidates enumerates the feasible interface attachments of
+// one IP under an invocation shape — the trade-off table of Section 3.
+func InterfaceCandidates(block *IP, s Shape) []InterfaceCandidate {
+	return iface.Candidates(block, s, kernel.DefaultArea())
+}
+
+// More re-exports for the back end of the flow.
+type (
+	// CInstrResult summarizes C-instruction generation (code-size and
+	// fetch savings).
+	CInstrResult = cinstr.Result
+	// Image is the encoded instruction memory + optimized µ-ROM.
+	Image = encode.Image
+	// SweepPoint is one point of a design-space sweep.
+	SweepPoint = selector.SweepPoint
+)
+
+// GenerateCInstructions mines the lowered program for profitable
+// C-class instructions (repeated µ-word sequences stored once in µ-ROM),
+// weighting fetch savings by the given execution profile (pass the Stats
+// from Profile, or a zero Stats for static-only weighting).
+func (d *Design) GenerateCInstructions(stats Stats) *CInstrResult {
+	return cinstr.Mine(d.Prog, stats.BlockCount, cinstr.Config{})
+}
+
+// Encode lays the program out in the instruction space: P-words through
+// the deduplicated µ-ROM dictionary, C-instructions as single opcodes,
+// and one S-instruction per distinct selected implementation.
+func (d *Design) Encode(cres *CInstrResult, sel *Selection) (*Image, error) {
+	var cs []*cinstr.CInstr
+	if cres != nil {
+		cs = cres.Chosen
+	}
+	var sNames []string
+	if sel != nil {
+		seen := map[string]bool{}
+		for _, m := range sel.Chosen {
+			key := m.IP.ID + "/" + m.Cand.Type.String()
+			if !seen[key] {
+				seen[key] = true
+				sNames = append(sNames, key)
+			}
+		}
+	}
+	return encode.Build(d.Prog, cs, sNames)
+}
+
+// Sweep solves the selection across the reachable gain range and
+// returns the area/gain trade-off curve; ParetoFront (selector package)
+// filters it to the non-dominated frontier.
+func (d *Design) Sweep(points int) ([]SweepPoint, error) {
+	return selector.Sweep(d.DB, points)
+}
+
+// ParetoFront filters sweep points to the non-dominated frontier.
+func ParetoFront(points []SweepPoint) []SweepPoint { return selector.ParetoFront(points) }
+
+// ScheduleEntry is one slot of a post-selection kernel schedule.
+type ScheduleEntry = sched.Entry
+
+// Schedule performs the code motion a parallel-code selection implies:
+// the PC nodes of every chosen PC-method move to sit immediately after
+// their s-call (Definition 5's "arranged right after"), verified against
+// the dependence closure. RenderSchedule pretty-prints the result.
+func (d *Design) Schedule(sel *Selection, pathIdx int) ([]ScheduleEntry, error) {
+	if sel == nil {
+		return nil, fmt.Errorf("partita: nil selection")
+	}
+	return sched.Plan(d.DB, sel.Chosen, pathIdx)
+}
+
+// RenderSchedule pretty-prints a schedule with overlap markers.
+func RenderSchedule(entries []ScheduleEntry) string { return sched.Render(entries) }
+
+// GenerateRTL emits the Verilog for a selection's hardware: interface
+// controller FSMs (types 2/3), protocol transformers, and — when an
+// encoded image is supplied — the instruction decode unit.
+func (d *Design) GenerateRTL(sel *Selection, im *Image) string {
+	var atts []hwgen.Attachment
+	if sel != nil {
+		for _, m := range sel.Chosen {
+			atts = append(atts, hwgen.Attachment{
+				IP:    m.IP,
+				Type:  m.Cand.Type,
+				Shape: iface.Shape{NIn: m.SC.NIn, NOut: m.SC.NOut, TSW: m.SC.TSW},
+			})
+		}
+	}
+	return hwgen.GenerateSystem(atts, im)
+}

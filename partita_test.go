@@ -1,0 +1,193 @@
+package partita
+
+import (
+	"testing"
+)
+
+const demoSource = `
+xmem int signal[32] = {5, -3, 12, 7, -9, 4, 0, 8, 5, -3, 12, 7, -9, 4, 0, 8,
+                       5, -3, 12, 7, -9, 4, 0, 8, 5, -3, 12, 7, -9, 4, 0, 8};
+ymem int taps[4] = {8192, 16384, 8192, 4096};
+xmem int filtered[32];
+xmem int quantized[32];
+int status;
+
+int fir(xmem int in[], ymem int c[], xmem int out[], int n, int k) {
+	int i; int j; int acc;
+	for (i = 0; i + k <= n; i = i + 1) {
+		acc = 0;
+		for (j = 0; j < k; j = j + 1) { acc = acc + in[i + j] * c[j]; }
+		out[i] = acc >> 15;
+	}
+	return out[0];
+}
+
+int quant(xmem int in[], xmem int out[], int n) {
+	int i;
+	for (i = 0; i < n; i = i + 1) { out[i] = in[i] / 4; }
+	return out[0];
+}
+
+int process() {
+	int f; int q;
+	f = fir(signal, taps, filtered, 32, 4);
+	status = (status * 7 + 3) >> 1; // independent bookkeeping
+	q = quant(filtered, quantized, 29);
+	return f + q;
+}
+
+int main() { return process(); }
+`
+
+func demoCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	cat, err := NewCatalog(
+		&IP{ID: "FIR8", Name: "FIR engine", Funcs: []string{"fir"},
+			InPorts: 2, OutPorts: 2, InRate: 4, OutRate: 4,
+			Latency: 8, Pipelined: true, Area: 5},
+		&IP{ID: "QNT", Name: "quantizer", Funcs: []string{"quant"},
+			InPorts: 1, OutPorts: 1, InRate: 2, OutRate: 2,
+			Latency: 4, Pipelined: true, Area: 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	design, err := Analyze(demoSource, "process", demoCatalog(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(design.DB.SCalls) != 2 {
+		t.Fatalf("s-calls = %d, want 2 (fir, quant)", len(design.DB.SCalls))
+	}
+
+	// Profile: the program must execute correctly on the kernel model.
+	stats, ret, err := design.Profile("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CallCount["fir"] != 1 || stats.Cycles <= 0 {
+		t.Errorf("profile: calls=%v cycles=%d", stats.CallCount, stats.Cycles)
+	}
+	_ = ret
+
+	// Selection: modest target should be met at small area.
+	var maxGain int64
+	for _, m := range design.DB.IMPs {
+		if m.SC.Func == "fir" && m.TotalGain > maxGain {
+			maxGain = m.TotalGain
+		}
+	}
+	if maxGain <= 0 {
+		t.Fatal("no gainful IMP for fir")
+	}
+	sel, err := design.Select(maxGain / 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Status != Optimal {
+		t.Fatalf("status = %v", sel.Status)
+	}
+	if sel.Gain < maxGain/2 {
+		t.Errorf("gain %d below target %d", sel.Gain, maxGain/2)
+	}
+
+	// The greedy baseline must not beat the ILP on area.
+	grd := design.GreedySelect(maxGain / 2)
+	if grd.Status == Optimal && grd.Area < sel.Area-1e-9 {
+		t.Errorf("greedy area %g beats ILP %g", grd.Area, sel.Area)
+	}
+
+	// Simulation: acceleration reduces cycle count.
+	res, err := design.Simulate(sel, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup() <= 1.0 {
+		t.Errorf("speedup = %.2f, want > 1", res.Speedup())
+	}
+}
+
+func TestInterfaceCandidatesPublic(t *testing.T) {
+	block := &IP{ID: "X", Name: "x", Funcs: []string{"f"},
+		InPorts: 2, OutPorts: 2, InRate: 4, OutRate: 4,
+		Latency: 8, Pipelined: true, Area: 3}
+	cands := InterfaceCandidates(block, Shape{NIn: 32, NOut: 32, TSW: 100000})
+	if len(cands) != 4 {
+		t.Fatalf("candidates = %d, want 4", len(cands))
+	}
+	for _, c := range cands {
+		if c.Gain <= 0 {
+			t.Errorf("%v: gain %d", c.Type, c.Gain)
+		}
+	}
+}
+
+func TestBackEndFlow(t *testing.T) {
+	design, err := Analyze(demoSource, "process", demoCatalog(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, _, err := design.Profile("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sweep and frontier.
+	points, err := design.Sweep(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := ParetoFront(points)
+	if len(front) == 0 {
+		t.Fatal("empty frontier")
+	}
+	sel := front[len(front)-1].Sel
+
+	// C-instruction generation + encoding.
+	cres := design.GenerateCInstructions(stats)
+	im, err := design.Encode(cres, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.UniqueWords <= 0 || im.UniqueWords > im.TotalWords {
+		t.Errorf("bad image stats: unique=%d total=%d", im.UniqueWords, im.TotalWords)
+	}
+	if len(im.SRoutines) == 0 {
+		t.Error("no S-instruction routines for a non-empty selection")
+	}
+
+	// RTL generation.
+	rtl := design.GenerateRTL(sel, im)
+	if !containsStr(rtl, "module decode_unit") {
+		t.Error("RTL lacks the decode unit")
+	}
+	if !containsStr(rtl, "module pt_") {
+		t.Error("RTL lacks protocol transformers")
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAnalyzeErrorsSurface(t *testing.T) {
+	cat := demoCatalog(t)
+	if _, err := Analyze("int f( {", "f", cat, Options{}); err == nil {
+		t.Error("parse error not surfaced")
+	}
+	if _, err := Analyze("int f() { return g(); }", "f", cat, Options{}); err == nil {
+		t.Error("semantic error not surfaced")
+	}
+	if _, err := Analyze(demoSource, "nope", cat, Options{}); err == nil {
+		t.Error("unknown root not surfaced")
+	}
+}
