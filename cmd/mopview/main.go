@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"partita/internal/apps"
 	"partita/internal/cdfg"
@@ -36,7 +37,18 @@ func main() {
 	pc := flag.Bool("pc", false, "print parallel-code analysis per call")
 	cgen := flag.Bool("cinstr", false, "mine C-instructions and show the encoded image")
 	optimize := flag.Bool("opt", false, "run the MOP peephole optimizer before analysis")
+	timeout := flag.Duration("timeout", 0, "abort if the whole run exceeds this wall-clock budget (0 = unlimited)")
 	flag.Parse()
+
+	if *timeout > 0 {
+		// Watchdog: the analyses here are pure computation with no solver
+		// budget to thread, so a hard wall-clock abort is the graceful
+		// option for untrusted inputs.
+		time.AfterFunc(*timeout, func() {
+			fmt.Fprintf(os.Stderr, "mopview: timed out after %v\n", *timeout)
+			os.Exit(2)
+		})
+	}
 
 	all := !*asm && !*words && !*graph && !*pc && !*cgen
 

@@ -7,6 +7,12 @@
 //
 //	partita -src app.c -root encoder -rg 50000 [-catalog lib.json]
 //	        [-problem2] [-simulate] [-greedy] [-entry main]
+//	        [-timeout 30s] [-max-nodes 100000]
+//
+// -timeout and -max-nodes bound the exact solver; when a budget runs
+// out the report carries the best configuration found so far (status
+// "feasible", with its optimality gap) or the greedy fallback (status
+// "degraded") instead of hanging.
 //
 // Without -src it runs the bundled GSM-style encoder demo. The catalog
 // file is a JSON array of IP descriptors; without -catalog the demo
@@ -14,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -38,7 +45,17 @@ func main() {
 	greedy := flag.Bool("greedy", false, "also run the greedy prior-art baseline")
 	schedule := flag.Bool("schedule", false, "print the post-selection kernel schedule (parallel-code motion)")
 	rtl := flag.String("rtl", "", "write generated Verilog (interfaces + decoder) to this file")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget per selection solve (0 = unlimited)")
+	maxNodes := flag.Int("max-nodes", 0, "branch-and-bound node budget per solve (0 = unlimited)")
 	flag.Parse()
+
+	bud := partita.Budget{MaxNodes: *maxNodes}
+	solveCtx := func() (context.Context, context.CancelFunc) {
+		if *timeout > 0 {
+			return context.WithTimeout(context.Background(), *timeout)
+		}
+		return context.Background(), func() {}
+	}
 
 	source, rootFn, cat, dataCount, err := loadInputs(*src, *root, *catalogPath)
 	if err != nil {
@@ -86,11 +103,13 @@ func main() {
 
 	selT := report.New("RG", "status", "G", "A", "S", "O", "selected")
 	for _, target := range targets {
-		sel, err := design.Select(target)
+		ctx, cancel := solveCtx()
+		sel, err := design.SelectCtx(ctx, target, bud)
+		cancel()
 		if err != nil {
 			fatal(err)
 		}
-		if sel.Status != ilp.Optimal {
+		if sel.Status != ilp.Optimal && sel.Status != ilp.Feasible {
 			selT.Row(target, sel.Status.String(), "-", "-", "-", "-", "")
 			continue
 		}
@@ -101,7 +120,14 @@ func main() {
 			}
 			ids += m.ID
 		}
-		selT.Row(target, "optimal", sel.Gain, sel.Area, sel.SInstructions, sel.SCallsImplemented, ids)
+		status := "optimal"
+		switch {
+		case sel.Degraded != "":
+			status = "degraded"
+		case sel.Status == ilp.Feasible:
+			status = fmt.Sprintf("feasible(gap %.1f%%)", sel.Gap*100)
+		}
+		selT.Row(target, status, sel.Gain, sel.Area, sel.SInstructions, sel.SCallsImplemented, ids)
 
 		if *greedy {
 			g := design.GreedySelect(target)

@@ -11,13 +11,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"partita/internal/apps"
+	"partita/internal/budget"
 	"partita/internal/cdfg"
 	"partita/internal/cprog"
 	"partita/internal/iface"
@@ -29,12 +32,34 @@ import (
 	"partita/internal/sim"
 )
 
+// Solver budget shared by every experiment (set from flags). Exhausted
+// solves surface anytime/degraded selections instead of hanging a whole
+// reproduction run on one hard instance.
+var (
+	solveBudget  budget.Budget
+	solveTimeout time.Duration
+)
+
+// solve routes every experiment's selection through the shared budget.
+func solve(p selector.Problem) (*selector.Selection, error) {
+	p.Budget = solveBudget
+	ctx := context.Background()
+	if solveTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, solveTimeout)
+		defer cancel()
+	}
+	return selector.SolveCtx(ctx, p)
+}
+
 func main() {
 	table := flag.Int("table", 0, "reproduce one table (1-3); 0 = per other flags")
 	fig := flag.Int("fig", 0, "reproduce one figure (2, 4, 6, 8, 9, 10)")
 	ablation := flag.Bool("ablation", false, "run ablations A1-A3")
 	validate := flag.Bool("validate", false, "run V1 model-vs-simulation validation")
 	e2e := flag.Bool("e2e", false, "run the live end-to-end workload sweeps (E1)")
+	flag.DurationVar(&solveTimeout, "timeout", 0, "wall-clock budget per selection solve (0 = unlimited)")
+	flag.IntVar(&solveBudget.MaxNodes, "max-nodes", 0, "branch-and-bound node budget per solve (0 = unlimited)")
 	flag.Parse()
 
 	runAll := *table == 0 && *fig == 0 && !*ablation && !*validate && !*e2e
@@ -106,11 +131,11 @@ func endToEnd() {
 			}
 		}
 		rg := max / 2
-		sel, err := selector.Solve(selector.Problem{DB: b.DB, Required: rg})
+		sel, err := solve(selector.Problem{DB: b.DB, Required: rg})
 		if err != nil {
 			fatal(err)
 		}
-		if sel.Status != ilp.Optimal {
+		if sel.Status != ilp.Optimal && sel.Status != ilp.Feasible {
 			t.Row(w.Name, len(b.DB.SCalls), len(b.DB.IMPs), stats.Cycles, rg, sel.Status.String(), "-")
 			continue
 		}
@@ -130,6 +155,18 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// budgetNote annotates a selection that is valid but not proven optimal
+// (anytime incumbent or greedy fallback) so budgeted runs stay honest.
+func budgetNote(sel *selector.Selection) string {
+	switch {
+	case sel.Degraded != "":
+		return "(degraded)"
+	case sel.Status == ilp.Feasible:
+		return fmt.Sprintf("(feasible, gap %.1f%%)", sel.Gap*100)
+	}
+	return ""
+}
+
 func mustTable(title string, gen func() (*imp.DB, []apps.TableRow, error)) {
 	db, rows, err := gen()
 	if err != nil {
@@ -139,19 +176,23 @@ func mustTable(title string, gen func() (*imp.DB, []apps.TableRow, error)) {
 		title, len(db.SCalls), len(db.IMPs))
 	t := report.New("RG", "selected implementations", "G", "A", "S", "O", "paper G", "paper A")
 	for _, row := range rows {
-		sel, err := selector.Solve(selector.Problem{DB: db, Required: row.RG})
+		sel, err := solve(selector.Problem{DB: db, Required: row.RG})
 		if err != nil {
 			fatal(err)
 		}
-		if sel.Status != ilp.Optimal {
-			t.Row(row.RG, "(infeasible)", "-", "-", "-", "-", row.PaperGain, row.PaperArea)
+		if sel.Status != ilp.Optimal && sel.Status != ilp.Feasible {
+			t.Row(row.RG, "("+sel.Status.String()+")", "-", "-", "-", "-", row.PaperGain, row.PaperArea)
 			continue
 		}
 		var impls []string
 		for _, m := range sel.Chosen {
 			impls = append(impls, m.ID)
 		}
-		t.Row(row.RG, strings.Join(impls, " "), sel.Gain, sel.Area,
+		label := strings.Join(impls, " ")
+		if note := budgetNote(sel); note != "" {
+			label = note + " " + label
+		}
+		t.Row(row.RG, label, sel.Gain, sel.Area,
 			sel.SInstructions, sel.SCallsImplemented, row.PaperGain, row.PaperArea)
 	}
 	t.Fprint(os.Stdout)
@@ -186,7 +227,7 @@ func fig2() {
 	if err != nil {
 		fatal(err)
 	}
-	sel, err := selector.Solve(selector.Problem{DB: built.DB, Required: selector.MaxReachableGain(built.DB) / 2})
+	sel, err := solve(selector.Problem{DB: built.DB, Required: selector.MaxReachableGain(built.DB) / 2})
 	if err != nil {
 		fatal(err)
 	}
@@ -230,7 +271,10 @@ func fig4Templates() {
 		Latency: 8, Pipelined: true, Area: 3}
 	s := iface.Shape{NIn: 16, NOut: 16, TSW: 1000}
 	for _, ty := range []iface.Type{iface.Type0, iface.Type1} {
-		tmpl := iface.SoftwareTemplate(ty, b, s)
+		tmpl, err := iface.SoftwareTemplate(ty, b, s)
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Printf("-- %v template (%d µ-words", ty, tmpl.Words)
 		if ty == iface.Type0 {
 			fmt.Printf(", T_IF=%d cycles for 16 in/16 out)\n", tmpl.TransferCycles)
@@ -255,7 +299,11 @@ func fig6FSMs() {
 		Latency: 8, Pipelined: true, Area: 3}
 	s := iface.Shape{NIn: 16, NOut: 16, TSW: 1000}
 	for _, ty := range []iface.Type{iface.Type2, iface.Type3} {
-		fmt.Print(iface.ControllerFSM(ty, b, s))
+		f, err := iface.ControllerFSM(ty, b, s)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(f)
 	}
 	fmt.Println()
 }
@@ -313,11 +361,11 @@ func fig9() {
 	if err != nil {
 		fatal(err)
 	}
-	s1, err := selector.Solve(selector.Problem{DB: p1, Required: rg})
+	s1, err := solve(selector.Problem{DB: p1, Required: rg})
 	if err != nil {
 		fatal(err)
 	}
-	s2, err := selector.Solve(selector.Problem{DB: p2, Required: rg})
+	s2, err := solve(selector.Problem{DB: p2, Required: rg})
 	if err != nil {
 		fatal(err)
 	}
@@ -340,11 +388,11 @@ func fig10() {
 		fatal(err)
 	}
 	p1db := db.Filter(func(m *imp.IMP) bool { return len(m.PCSCalls) == 0 })
-	s1, err := selector.Solve(selector.Problem{DB: p1db, PerPath: perPath})
+	s1, err := solve(selector.Problem{DB: p1db, PerPath: perPath})
 	if err != nil {
 		fatal(err)
 	}
-	s2, err := selector.Solve(selector.Problem{DB: db, PerPath: perPath})
+	s2, err := solve(selector.Problem{DB: db, PerPath: perPath})
 	if err != nil {
 		fatal(err)
 	}
@@ -367,7 +415,7 @@ func ablations() {
 	fmt.Println("== A1: exact ILP vs greedy baseline (GSM encoder) ==")
 	t := report.New("RG", "ILP area", "greedy area", "greedy/ILP")
 	for _, row := range rows {
-		opt, err := selector.Solve(selector.Problem{DB: db, Required: row.RG})
+		opt, err := solve(selector.Problem{DB: db, Required: row.RG})
 		if err != nil {
 			fatal(err)
 		}
@@ -384,11 +432,11 @@ func ablations() {
 	noPC := db.Filter(func(m *imp.IMP) bool { return !m.UsesPC })
 	t2 := report.New("RG", "with PC", "without PC")
 	for _, row := range rows {
-		a, err := selector.Solve(selector.Problem{DB: db, Required: row.RG})
+		a, err := solve(selector.Problem{DB: db, Required: row.RG})
 		if err != nil {
 			fatal(err)
 		}
-		b, err := selector.Solve(selector.Problem{DB: noPC, Required: row.RG})
+		b, err := solve(selector.Problem{DB: noPC, Required: row.RG})
 		if err != nil {
 			fatal(err)
 		}
@@ -400,11 +448,11 @@ func ablations() {
 	onlyT0 := db.Filter(func(m *imp.IMP) bool { return m.Cand.Type == iface.Type0 })
 	t3 := report.New("RG", "all interfaces", "type 0 only")
 	for _, row := range rows {
-		a, err := selector.Solve(selector.Problem{DB: db, Required: row.RG})
+		a, err := solve(selector.Problem{DB: db, Required: row.RG})
 		if err != nil {
 			fatal(err)
 		}
-		b, err := selector.Solve(selector.Problem{DB: onlyT0, Required: row.RG})
+		b, err := solve(selector.Problem{DB: onlyT0, Required: row.RG})
 		if err != nil {
 			fatal(err)
 		}
@@ -450,7 +498,7 @@ func validateV1() {
 	for _, k := range keys {
 		total += perSC[k]
 	}
-	sel, err := selector.Solve(selector.Problem{DB: b.DB, Required: total / 2})
+	sel, err := solve(selector.Problem{DB: b.DB, Required: total / 2})
 	if err != nil {
 		fatal(err)
 	}

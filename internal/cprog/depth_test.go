@@ -1,0 +1,36 @@
+package cprog
+
+import (
+	"strings"
+	"testing"
+)
+
+// Deeply nested input must be rejected with a parse error, not a stack
+// overflow: the recursive descent is capped at maxNestDepth levels.
+func TestParseDepthLimit(t *testing.T) {
+	cases := map[string]string{
+		"parens": "int f() { return " + strings.Repeat("(", 5000) + "1" + strings.Repeat(")", 5000) + "; }",
+		"blocks": "int f() { " + strings.Repeat("{", 5000) + strings.Repeat("}", 5000) + " return 0; }",
+		"ifs":    "int f() { " + strings.Repeat("if (1) ", 5000) + "return 0; }",
+		"unary":  "int f() { return " + strings.Repeat("-", 5000) + "1; }",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: pathological nesting accepted", name)
+		} else if !strings.Contains(err.Error(), "nesting") {
+			t.Errorf("%s: error %q does not mention nesting", name, err)
+		}
+	}
+}
+
+// Reasonable nesting stays accepted: the cap must not reject real code.
+func TestParseDepthLimitAllowsSaneNesting(t *testing.T) {
+	src := "int f() { return " + strings.Repeat("(", 60) + "1" + strings.Repeat(")", 60) + "; }"
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("60-deep parens rejected: %v", err)
+	}
+	src = "int f() { " + strings.Repeat("if (1) { ", 40) + "return 1; " + strings.Repeat("}", 40) + " return 0; }"
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("40-deep if nest rejected: %v", err)
+	}
+}

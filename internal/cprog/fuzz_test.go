@@ -1,0 +1,45 @@
+package cprog
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary bytes through the whole front end. The
+// contract under attack: Parse never panics or hangs (the recursive
+// descent is depth-limited), and whatever it accepts survives Print and
+// Analyze without crashing. Analyze errors are fine — only panics are
+// findings.
+func FuzzParse(f *testing.F) {
+	f.Add("int main() { return 0; }")
+	f.Add(`xmem int a[4] = {1, 2, 3, 4};
+int sum(xmem int v[], int n) {
+	int i; int s;
+	s = 0;
+	for (i = 0; i < n; i = i + 1) { s = s + v[i]; }
+	return s;
+}
+int main() { return sum(a, 4); }`)
+	f.Add("int f() { while (1) { if (x) { break; } else { continue; } } return 0; }")
+	f.Add("ymem int c[2] = {-1, 070}; int g(int n) { return n % 0; }")
+	f.Add("int f( {")
+	f.Add("((((((((((((((((((((")
+	f.Add(strings.Repeat("{", 400))
+	f.Add("int f() { return " + strings.Repeat("(", 300) + "1" + strings.Repeat(")", 300) + "; }")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Accepted input: the printer must render it, and a reparse of
+		// the rendering must succeed (the printer emits the language it
+		// parses).
+		text := Print(file)
+		if _, err := Parse(text); err != nil {
+			t.Fatalf("reparse of printed form failed: %v\ninput: %q\nprinted:\n%s", err, src, text)
+		}
+		// Semantic analysis may reject, but must not crash.
+		_, _ = Analyze(file)
+	})
+}

@@ -14,13 +14,35 @@ func Parse(src string) (*File, error) {
 	return f, nil
 }
 
+// maxNestDepth bounds statement/expression nesting. The recursive-descent
+// parser (and every AST walker behind it — sema, lowering, printing)
+// recurses once per nesting level, so without a cap a source file of ten
+// thousand open parentheses overflows the goroutine stack and kills the
+// process. Real DSP kernels nest a handful of levels deep; 256 is far
+// beyond anything legitimate while keeping the worst-case recursion of
+// all downstream passes trivially stack-safe.
+const maxNestDepth = 256
+
 type parser struct {
-	toks []Token
-	i    int
+	toks  []Token
+	i     int
+	depth int // current statement/expression nesting depth
 }
 
 func (p *parser) cur() Token  { return p.toks[p.i] }
 func (p *parser) next() Token { t := p.toks[p.i]; p.i++; return t }
+
+// enter guards one level of recursion; every call must be paired with
+// leave on the non-error path.
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxNestDepth {
+		return errf(p.cur().Pos, "nesting deeper than %d levels", maxNestDepth)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 func (p *parser) at(text string) bool {
 	t := p.cur()
@@ -239,6 +261,10 @@ func (p *parser) block() (*BlockStmt, error) {
 }
 
 func (p *parser) stmt() (Stmt, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	t := p.cur()
 	switch {
 	case p.at("{"):
@@ -467,6 +493,10 @@ func (p *parser) binary(minPrec int) (Expr, error) {
 }
 
 func (p *parser) unary() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	t := p.cur()
 	if t.Kind == TokPunct && (t.Text == "-" || t.Text == "!" || t.Text == "~") {
 		p.next()

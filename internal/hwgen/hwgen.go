@@ -232,7 +232,13 @@ func GenerateSystem(atts []Attachment, im *encode.Image) string {
 		}
 		seen[key] = true
 		if !a.Type.Software() {
-			f := iface.ControllerFSM(a.Type, a.IP, a.Shape)
+			f, err := iface.ControllerFSM(a.Type, a.IP, a.Shape)
+			if err != nil {
+				// Unreachable (the guard above admits hardware types
+				// only); keep the generated file well-formed regardless.
+				fmt.Fprintf(&b, "// skipped %s: %v\n\n", key, err)
+				continue
+			}
 			b.WriteString(FSMModule(f))
 			b.WriteString("\n")
 		}

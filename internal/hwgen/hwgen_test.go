@@ -22,7 +22,10 @@ func TestFSMModuleStructure(t *testing.T) {
 	b := testIP(ip.Synchronous)
 	s := iface.Shape{NIn: 32, NOut: 32, TSW: 1000}
 	for _, ty := range []iface.Type{iface.Type2, iface.Type3} {
-		f := iface.ControllerFSM(ty, b, s)
+		f, err := iface.ControllerFSM(ty, b, s)
+		if err != nil {
+			t.Fatal(err)
+		}
 		v := FSMModule(f)
 		if !strings.Contains(v, "module hif") || !strings.Contains(v, "endmodule") {
 			t.Fatalf("%v: malformed module:\n%s", ty, v)

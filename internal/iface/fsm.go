@@ -29,8 +29,9 @@ type FSM struct {
 // ControllerFSM generates the DMA controller of Fig. 6 (type 2) or the
 // buffered controller of Fig. 7 (type 3). IPs with different input and
 // output data rates get split in/out controllers, adding states
-// (Section 3, "Different input and output data rates").
-func ControllerFSM(t Type, b *ip.IP, s Shape) *FSM {
+// (Section 3, "Different input and output data rates"). Software types
+// return an error.
+func ControllerFSM(t Type, b *ip.IP, s Shape) (*FSM, error) {
 	switch t {
 	case Type2:
 		f := &FSM{Name: "hif2_" + b.ID, Type: Type2}
@@ -61,7 +62,7 @@ func ControllerFSM(t Type, b *ip.IP, s Shape) *FSM {
 				FSMState{Name: "PACE_OUT", Actions: []string{fmt.Sprintf("stall %d cycles between outputs", b.OutRate)}, Next: "STREAM"},
 			)
 		}
-		return f
+		return f, nil
 	case Type3:
 		f := &FSM{Name: "hif3_" + b.ID, Type: Type3}
 		f.States = []FSMState{
@@ -88,9 +89,9 @@ func ControllerFSM(t Type, b *ip.IP, s Shape) *FSM {
 			{Name: "BCTL_IN", Actions: []string{fmt.Sprintf("buff_in → IP every %d cycles", b.InRate)}, Next: "BCTL_IN"},
 			{Name: "BCTL_OUT", Actions: []string{fmt.Sprintf("IP → buff_out every %d cycles", b.OutRate)}, Next: "BCTL_OUT"},
 		}
-		return f
+		return f, nil
 	}
-	panic(fmt.Sprintf("iface: ControllerFSM called for software type %v", t))
+	return nil, fmt.Errorf("iface: ControllerFSM called for software type %v", t)
 }
 
 // String renders the FSM as readable RTL documentation.

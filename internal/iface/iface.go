@@ -143,14 +143,20 @@ func Plan(t Type, b *ip.IP, s Shape, am kernel.AreaModel) (Candidate, bool) {
 			c.ClockDiv = (type0TemplateRate + b.InRate - 1) / b.InRate
 		}
 		c.TIP = b.ExecCycles(s.NIn, s.NOut) * int64(c.ClockDiv)
-		tmpl := SoftwareTemplate(t, b, s)
+		tmpl, err := SoftwareTemplate(t, b, s)
+		if err != nil {
+			return c, false
+		}
 		c.CodeWords = tmpl.Words
 		c.TIF = tmpl.TransferCycles
 		c.Exec = max64(c.TIP, c.TIF)
 		c.IfaceArea = float64(c.CodeWords)*am.PerCodeWord + ptArea + am.MuxOverhead
 	case Type1:
 		c.TIP = b.ExecCycles(s.NIn, s.NOut)
-		tmpl := SoftwareTemplate(t, b, s)
+		tmpl, err := SoftwareTemplate(t, b, s)
+		if err != nil {
+			return c, false
+		}
 		c.CodeWords = tmpl.Words
 		c.TIFIn = tmpl.FillCycles
 		c.TIFOut = tmpl.DrainCycles
@@ -166,7 +172,10 @@ func Plan(t Type, b *ip.IP, s Shape, am kernel.AreaModel) (Candidate, bool) {
 			return c, false
 		}
 		c.TIP = b.ExecCycles(s.NIn, s.NOut)
-		f := ControllerFSM(t, b, s)
+		f, err := ControllerFSM(t, b, s)
+		if err != nil {
+			return c, false
+		}
 		c.FSMStates = len(f.States)
 		// DMA moves up to two items per clock on each side; in and out
 		// streams overlap in the middle part of Fig. 6.
@@ -175,7 +184,10 @@ func Plan(t Type, b *ip.IP, s Shape, am kernel.AreaModel) (Candidate, bool) {
 		c.IfaceArea = float64(c.FSMStates)*am.PerFSMState + ptArea + am.MuxOverhead
 	case Type3:
 		c.TIP = b.ExecCycles(s.NIn, s.NOut)
-		f := ControllerFSM(t, b, s)
+		f, err := ControllerFSM(t, b, s)
+		if err != nil {
+			return c, false
+		}
 		c.FSMStates = len(f.States)
 		c.TIFIn = pairs(s.NIn) + 1
 		c.TIFOut = pairs(s.NOut) + 1

@@ -205,7 +205,10 @@ func TestTemplatesGenerateValidCode(t *testing.T) {
 	b := pipelinedIP()
 	s := shape()
 	for _, ty := range []Type{Type0, Type1} {
-		tmpl := SoftwareTemplate(ty, b, s)
+		tmpl, err := SoftwareTemplate(ty, b, s)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if tmpl.Words <= 0 {
 			t.Errorf("%v template has no code", ty)
 		}
@@ -213,11 +216,11 @@ func TestTemplatesGenerateValidCode(t *testing.T) {
 			t.Errorf("%v template should have init/loop/done structure", ty)
 		}
 	}
-	t0 := SoftwareTemplate(Type0, b, s)
+	t0, _ := SoftwareTemplate(Type0, b, s)
 	if t0.TransferCycles <= 0 {
 		t.Error("type 0 transfer cycles not computed")
 	}
-	t1 := SoftwareTemplate(Type1, b, s)
+	t1, _ := SoftwareTemplate(Type1, b, s)
 	if t1.FillCycles <= 0 || t1.DrainCycles <= 0 {
 		t.Error("type 1 fill/drain cycles not computed")
 	}
@@ -226,11 +229,14 @@ func TestTemplatesGenerateValidCode(t *testing.T) {
 func TestFSMGeneration(t *testing.T) {
 	b := pipelinedIP()
 	s := shape()
-	f2 := ControllerFSM(Type2, b, s)
+	f2, err := ControllerFSM(Type2, b, s)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(f2.States) < 5 {
 		t.Errorf("type 2 FSM states = %d, want >= 5", len(f2.States))
 	}
-	f3 := ControllerFSM(Type3, b, s)
+	f3, _ := ControllerFSM(Type3, b, s)
 	if len(f3.States) <= len(f2.States) {
 		t.Errorf("type 3 FSM (%d states) should exceed type 2 (%d)", len(f3.States), len(f2.States))
 	}
@@ -241,7 +247,7 @@ func TestFSMGeneration(t *testing.T) {
 	// Rate-mismatched IP needs split controllers → more states.
 	b2 := pipelinedIP()
 	b2.OutRate = 8
-	f2r := ControllerFSM(Type2, b2, s)
+	f2r, _ := ControllerFSM(Type2, b2, s)
 	if len(f2r.States) <= len(f2.States) {
 		t.Errorf("split-rate FSM (%d) should exceed equal-rate FSM (%d)", len(f2r.States), len(f2.States))
 	}

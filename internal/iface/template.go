@@ -33,15 +33,16 @@ var (
 )
 
 // SoftwareTemplate generates the type-0 or type-1 interface µ-code for
-// block b under shape s. Only the software types are valid arguments.
-func SoftwareTemplate(t Type, b *ip.IP, s Shape) *Template {
+// block b under shape s. Only the software types are valid arguments;
+// hardware types return an error.
+func SoftwareTemplate(t Type, b *ip.IP, s Shape) (*Template, error) {
 	switch t {
 	case Type0:
-		return type0Template(b, s)
+		return type0Template(b, s), nil
 	case Type1:
-		return type1Template(b, s)
+		return type1Template(b, s), nil
 	}
-	panic(fmt.Sprintf("iface: SoftwareTemplate called for hardware type %v", t))
+	return nil, fmt.Errorf("iface: SoftwareTemplate called for hardware type %v", t)
 }
 
 // loopWords packs a block and returns its word count.

@@ -2,17 +2,39 @@ package ilp
 
 import (
 	"container/heap"
+	"context"
 	"math"
+
+	"partita/internal/budget"
 )
 
-// Solve optimizes the model. Models with binary variables are solved by
-// best-first branch and bound over LP relaxations; pure LPs are solved
-// directly. The returned Solution is provably optimal when Status is
-// Optimal.
+// Solve optimizes the model with no resource budget. Models with binary
+// variables are solved by best-first branch and bound over LP
+// relaxations; pure LPs are solved directly. The returned Solution is
+// provably optimal when Status is Optimal.
 func (m *Model) Solve() (*Solution, error) {
+	return m.SolveCtx(context.Background(), budget.Budget{})
+}
+
+// SolveCtx optimizes the model under a resource budget, making the
+// branch-and-bound solver anytime:
+//
+//   - the context's deadline/cancellation and bud.MaxNodes bound the
+//     wall-clock and node work;
+//   - on budget exhaustion with an incumbent, the incumbent is returned
+//     with Status Feasible, the best proven Bound, and the exhaustion
+//     reason in Stopped;
+//   - on exhaustion with no incumbent, a typed error wrapping one of the
+//     budget package sentinels is returned, so callers can degrade to a
+//     heuristic instead of failing.
+func (m *Model) SolveCtx(ctx context.Context, bud budget.Budget) (*Solution, error) {
 	if err := m.validate(); err != nil {
 		return nil, err
 	}
+	if err := budget.Check(ctx); err != nil {
+		return nil, err
+	}
+	lim := limits{ctx: ctx, maxIter: bud.MaxSimplexIter}
 	hasInt := false
 	for _, v := range m.vars {
 		if v.integer {
@@ -21,10 +43,13 @@ func (m *Model) Solve() (*Solution, error) {
 		}
 	}
 	if !hasInt {
-		r := m.solveRelaxation(nil)
-		return &Solution{Status: r.status, Objective: r.obj, Values: r.x, Nodes: 1}, nil
+		r := m.solveRelaxation(nil, lim)
+		if r.err != nil {
+			return nil, r.err
+		}
+		return &Solution{Status: r.status, Objective: r.obj, Values: r.x, Nodes: 1, Bound: r.obj}, nil
 	}
-	return m.branchAndBound()
+	return m.branchAndBound(ctx, bud)
 }
 
 // bbNode is one open subproblem: a set of binary fixings plus the parent
@@ -54,7 +79,7 @@ func (h *nodeHeap) Pop() interface{} {
 	return it
 }
 
-func (m *Model) branchAndBound() (*Solution, error) {
+func (m *Model) branchAndBound(ctx context.Context, bud budget.Budget) (*Solution, error) {
 	// Internally minimize; flip at the end if maximizing.
 	toMin := func(obj float64) float64 {
 		if m.sense == Maximize {
@@ -62,6 +87,7 @@ func (m *Model) branchAndBound() (*Solution, error) {
 		}
 		return obj
 	}
+	lim := limits{ctx: ctx, maxIter: bud.MaxSimplexIter}
 
 	incumbentObj := math.Inf(1)
 	var incumbentX []float64
@@ -71,21 +97,62 @@ func (m *Model) branchAndBound() (*Solution, error) {
 	heap.Init(open)
 	heap.Push(open, &bbNode{fixed: map[VarID]float64{}, bound: math.Inf(-1)})
 
+	// tryIncumbent records x (already integral within tolerance, rounded
+	// exactly here) as the incumbent if it beats the current one.
+	tryIncumbent := func(x []float64, objMin float64) {
+		if objMin < incumbentObj {
+			incumbentObj = objMin
+			incumbentX = x
+		}
+	}
+
+	// stop assembles the anytime result when a budget expires: the
+	// incumbent (if any) with the tightest proven bound still open, or
+	// the typed exhaustion error when no integral point was ever found.
+	stop := func(reason error, localBound float64) (*Solution, error) {
+		if incumbentX == nil {
+			return nil, reason
+		}
+		lb := math.Min(localBound, incumbentObj)
+		for _, nd := range *open {
+			if nd.bound < lb {
+				lb = nd.bound
+			}
+		}
+		obj, bound := incumbentObj, lb
+		if m.sense == Maximize {
+			obj, bound = -obj, -bound
+		}
+		return &Solution{
+			Status: Feasible, Objective: obj, Values: incumbentX,
+			Nodes: nodes, Bound: bound, Stopped: reason,
+		}, nil
+	}
+
 	sawFeasibleLP := false
 	for open.Len() > 0 {
 		node := heap.Pop(open).(*bbNode)
 		if node.bound >= incumbentObj-1e-9 {
 			continue // cannot improve on the incumbent
 		}
+		if err := budget.Check(ctx); err != nil {
+			return stop(err, node.bound)
+		}
+		if bud.MaxNodes > 0 && nodes >= bud.MaxNodes {
+			return stop(budget.ErrNodeLimit, node.bound)
+		}
 		nodes++
-		r := m.solveRelaxation(node.fixed)
+		r := m.solveRelaxation(node.fixed, lim)
+		if r.err != nil {
+			return stop(r.err, node.bound)
+		}
 		switch r.status {
 		case Infeasible:
 			continue
 		case Unbounded:
 			// A relaxation unbounded below with binaries still free can
 			// only come from continuous variables; the MILP is unbounded.
-			return &Solution{Status: Unbounded, Nodes: nodes}, nil
+			return &Solution{Status: Unbounded, Nodes: nodes, Bound: math.Inf(-1)}, nil
 		}
 		sawFeasibleLP = true
 		bound := toMin(r.obj)
@@ -125,11 +192,15 @@ func (m *Model) branchAndBound() (*Solution, error) {
 					x[j] = math.Round(x[j])
 				}
 			}
-			if bound < incumbentObj {
-				incumbentObj = bound
-				incumbentX = x
-			}
+			tryIncumbent(x, bound)
 			continue
+		}
+		// Opportunistic rounding: a nearest-integer snapshot of the
+		// fractional relaxation often satisfies the constraints outright
+		// and seeds the incumbent long before a dive bottoms out —
+		// essential for anytime behaviour under tight deadlines.
+		if x, obj, ok := m.roundToFeasible(r.x); ok {
+			tryIncumbent(x, toMin(obj))
 		}
 		for _, val := range [...]float64{1, 0} {
 			child := &bbNode{
@@ -151,11 +222,54 @@ func (m *Model) branchAndBound() (*Solution, error) {
 			// LP-feasible but no integral point: still infeasible as a MILP.
 			st = Infeasible
 		}
-		return &Solution{Status: st, Nodes: nodes}, nil
+		return &Solution{Status: st, Nodes: nodes, Bound: math.Inf(1)}, nil
 	}
 	obj := incumbentObj
 	if m.sense == Maximize {
 		obj = -obj
 	}
-	return &Solution{Status: Optimal, Objective: obj, Values: incumbentX, Nodes: nodes}, nil
+	return &Solution{Status: Optimal, Objective: obj, Values: incumbentX, Nodes: nodes, Bound: obj}, nil
+}
+
+// roundToFeasible snaps every integer variable of an LP point to its
+// nearest integer and reports whether the result satisfies all bounds
+// and constraints; obj is its objective in the model's own sense.
+func (m *Model) roundToFeasible(lp []float64) (x []float64, obj float64, ok bool) {
+	const tol = 1e-7
+	x = make([]float64, len(lp))
+	copy(x, lp)
+	for j, v := range m.vars {
+		if !v.integer {
+			continue
+		}
+		x[j] = math.Round(x[j])
+		if x[j] < v.lo-tol || x[j] > v.hi+tol {
+			return nil, 0, false
+		}
+	}
+	for _, c := range m.cons {
+		sum := 0.0
+		for _, t := range c.terms {
+			sum += t.Coef * x[t.Var]
+		}
+		scale := 1 + math.Abs(c.rhs)
+		switch c.rel {
+		case LE:
+			if sum > c.rhs+tol*scale {
+				return nil, 0, false
+			}
+		case GE:
+			if sum < c.rhs-tol*scale {
+				return nil, 0, false
+			}
+		case EQ:
+			if math.Abs(sum-c.rhs) > tol*scale {
+				return nil, 0, false
+			}
+		}
+	}
+	for j, v := range m.vars {
+		obj += v.obj * x[j]
+	}
+	return x, obj, true
 }

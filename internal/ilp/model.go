@@ -131,6 +131,10 @@ const (
 	Infeasible
 	// Unbounded means the objective can be improved without limit.
 	Unbounded
+	// Feasible means the solve stopped on a resource budget with a valid
+	// incumbent that is not proven optimal; Solution.Bound brackets how
+	// far from optimal it can be.
+	Feasible
 )
 
 func (s Status) String() string {
@@ -141,6 +145,8 @@ func (s Status) String() string {
 		return "infeasible"
 	case Unbounded:
 		return "unbounded"
+	case Feasible:
+		return "feasible"
 	}
 	return fmt.Sprintf("Status(%d)", int(s))
 }
@@ -154,6 +160,31 @@ type Solution struct {
 	// Nodes is the number of branch-and-bound nodes explored (1 for a
 	// pure LP solve).
 	Nodes int
+	// Bound is the best proven bound on the optimal objective in the
+	// model's own sense: a lower bound for Minimize, an upper bound for
+	// Maximize. Equal to Objective when Status is Optimal; may be
+	// infinite when the solve stopped before the root relaxation
+	// finished.
+	Bound float64
+	// Stopped records why an anytime solve gave up (wrapping one of the
+	// budget package sentinels); nil when the solve ran to completion.
+	Stopped error
+}
+
+// Gap reports the relative optimality gap |Objective − Bound| /
+// max(1, |Objective|): zero for proven-optimal solutions, positive for
+// Feasible (anytime) ones, +Inf when no useful bound is known.
+func (s *Solution) Gap() float64 {
+	switch s.Status {
+	case Optimal:
+		return 0
+	case Feasible:
+		if math.IsInf(s.Bound, 0) || math.IsNaN(s.Bound) {
+			return math.Inf(1)
+		}
+		return math.Abs(s.Objective-s.Bound) / math.Max(1, math.Abs(s.Objective))
+	}
+	return math.Inf(1)
 }
 
 // Value returns the solved value of v.
@@ -168,13 +199,14 @@ var ErrNoVariables = errors.New("ilp: model has no variables")
 
 // Check verifies that a solution satisfies every constraint, bound, and
 // integrality requirement of the model within tol, and that the reported
-// objective matches the assignment. It returns nil for non-Optimal
-// solutions (there is nothing to check).
+// objective matches the assignment. It covers both Optimal and Feasible
+// (anytime) solutions and returns nil for the other statuses (there is
+// nothing to check).
 func (m *Model) Check(s *Solution, tol float64) error {
 	if s == nil {
 		return errors.New("ilp: nil solution")
 	}
-	if s.Status != Optimal {
+	if s.Status != Optimal && s.Status != Feasible {
 		return nil
 	}
 	if len(s.Values) != len(m.vars) {

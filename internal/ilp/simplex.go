@@ -1,7 +1,10 @@
 package ilp
 
 import (
+	"context"
 	"math"
+
+	"partita/internal/budget"
 )
 
 // The simplex solver works on a standard-form tableau:
@@ -40,11 +43,29 @@ type lpResult struct {
 	status Status
 	obj    float64   // objective in the model's own sense
 	x      []float64 // one value per model variable (fixed vars included)
+	// err is non-nil when the solve was interrupted by a resource budget
+	// (pivot limit or context deadline); status is then meaningless.
+	err error
+}
+
+// limits bounds one relaxation solve: ctx carries the wall-clock budget
+// (checked periodically inside the pivot loop), maxIter the pivot count
+// (0 = the package safety cap).
+type limits struct {
+	ctx     context.Context
+	maxIter int
+}
+
+func (l limits) iterCap() int {
+	if l.maxIter > 0 {
+		return l.maxIter
+	}
+	return maxSimplex
 }
 
 // solveRelaxation solves the LP relaxation of m with the given variables
 // fixed to specific values (used by branch and bound; may be nil).
-func (m *Model) solveRelaxation(fixed map[VarID]float64) lpResult {
+func (m *Model) solveRelaxation(fixed map[VarID]float64, lim limits) lpResult {
 	n := len(m.vars)
 	// Shift amounts and which variables are free.
 	shift := make([]float64, n)
@@ -217,7 +238,11 @@ func (m *Model) solveRelaxation(fixed map[VarID]float64) lpResult {
 	}
 
 	// Phase 1.
-	if st := t.iterate(0, true); st == Unbounded {
+	st, err := t.iterate(0, true, lim)
+	if err != nil {
+		return lpResult{err: err}
+	}
+	if st == Unbounded {
 		// A phase-1 objective bounded below by zero can never be
 		// unbounded; treat as numerical failure → infeasible.
 		return lpResult{status: Infeasible}
@@ -228,7 +253,11 @@ func (m *Model) solveRelaxation(fixed map[VarID]float64) lpResult {
 	t.driveOutArtificials()
 
 	// Phase 2.
-	if st := t.iterate(1, false); st == Unbounded {
+	st, err = t.iterate(1, false, lim)
+	if err != nil {
+		return lpResult{err: err}
+	}
+	if st == Unbounded {
 		return lpResult{status: Unbounded}
 	}
 
@@ -257,10 +286,20 @@ func (m *Model) solveRelaxation(fixed map[VarID]float64) lpResult {
 // When allowArt is false, artificial columns may not enter the basis.
 // Pivoting uses Dantzig's rule (most negative reduced cost) for speed,
 // falling back to Bland's rule after a burn-in to guarantee termination
-// on degenerate instances.
-func (t *tableau) iterate(k int, allowArt bool) Status {
+// on degenerate instances. The limits bound the pivot count and carry
+// the wall-clock budget; exhausting either aborts with a typed error.
+func (t *tableau) iterate(k int, allowArt bool, lim limits) (Status, error) {
 	const blandAfter = 2000
-	for iter := 0; iter < maxSimplex; iter++ {
+	maxIter := lim.iterCap()
+	for iter := 0; iter < maxIter; iter++ {
+		if iter&0xff == 0xff {
+			// Deadline check every 256 pivots: cheap relative to a pivot
+			// over the whole tableau, frequent enough that even a single
+			// huge LP cannot overrun a deadline by much.
+			if err := budget.Check(lim.ctx); err != nil {
+				return Optimal, err
+			}
+		}
 		enter := -1
 		if iter < blandAfter {
 			best := -costEps
@@ -285,7 +324,7 @@ func (t *tableau) iterate(k int, allowArt bool) Status {
 			}
 		}
 		if enter < 0 {
-			return Optimal
+			return Optimal, nil
 		}
 		// Ratio test, Bland tiebreak on lowest basis index.
 		leave := -1
@@ -302,14 +341,14 @@ func (t *tableau) iterate(k int, allowArt bool) Status {
 			}
 		}
 		if leave < 0 {
-			return Unbounded
+			return Unbounded, nil
 		}
 		t.pivot(leave, enter)
 	}
-	// Iteration cap exceeded: report as optimal-so-far; callers treat the
-	// basic solution defensively. This should never trigger on the small
-	// instances this package is built for.
-	return Optimal
+	// Pivot cap exceeded. Surface it as a budget error rather than
+	// silently returning a non-optimal basis; branch and bound converts
+	// this into an anytime (Feasible) result.
+	return Optimal, budget.ErrIterLimit
 }
 
 // pivot brings column q into the basis at row r.

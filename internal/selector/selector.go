@@ -24,9 +24,12 @@
 package selector
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
+	"partita/internal/budget"
 	"partita/internal/cdfg"
 	"partita/internal/iface"
 	"partita/internal/ilp"
@@ -45,6 +48,10 @@ type Problem struct {
 	// DisableMerging charges interface area per selected IMP instead of
 	// per distinct implementation (ablation A3 support).
 	DisableMerging bool
+	// Budget bounds the exact solver's node/pivot work; the wall-clock
+	// budget travels as the context deadline of SolveCtx. The zero value
+	// is unlimited.
+	Budget budget.Budget
 }
 
 // Selection is the solved result, with the columns of the paper's tables.
@@ -66,7 +73,19 @@ type Selection struct {
 	SCallsImplemented int
 	// Nodes is the branch-and-bound node total across both passes.
 	Nodes int
+	// Gap is the relative optimality gap when Status is ilp.Feasible
+	// (anytime result): how far the area may be from the true optimum.
+	// Zero for exact results.
+	Gap float64
+	// Degraded is empty for exact and anytime results. When the solver
+	// budget expired before any incumbent existed, it names the
+	// exhausted budget and the selection comes from GreedyBaseline.
+	Degraded string
 }
+
+// Exact reports whether the selection is provably optimal (neither an
+// anytime incumbent nor a heuristic fallback).
+func (s *Selection) Exact() bool { return s.Status == ilp.Optimal && s.Degraded == "" }
 
 // group identifies one S-instruction implementation class.
 type group struct {
@@ -275,8 +294,22 @@ func (in *instance) areaTerms(h handles) []ilp.Term {
 	return terms
 }
 
-// Solve runs the lexicographic optimization.
-func Solve(p Problem) (*Selection, error) {
+// Solve runs the lexicographic optimization with no wall-clock budget
+// (the Problem's discrete budget, if any, still applies).
+func Solve(p Problem) (*Selection, error) { return SolveCtx(context.Background(), p) }
+
+// SolveCtx runs the lexicographic optimization under the context's
+// deadline and the Problem's Budget. Exhaustion degrades in stages
+// rather than failing:
+//
+//   - budget expires after an incumbent exists → the incumbent is
+//     returned with Status ilp.Feasible and its optimality Gap;
+//   - budget expires with no incumbent at all → the GreedyBaseline
+//     heuristic answers and the Selection is flagged Degraded;
+//   - the context is canceled outright (context.Canceled, not a
+//     deadline) → the caller wants out, and the cancellation error is
+//     returned instead of a degraded answer.
+func SolveCtx(ctx context.Context, p Problem) (*Selection, error) {
 	if p.DB == nil {
 		return nil, fmt.Errorf("selector: nil database")
 	}
@@ -293,11 +326,21 @@ func Solve(p Problem) (*Selection, error) {
 		return 0
 	}
 	h1 := in.build(ifaceObj, func(a float64) float64 { return a }, 0, 1)
-	s1, err := h1.m.Solve()
+	s1, err := h1.m.SolveCtx(ctx, p.Budget)
 	if err != nil {
-		return nil, err
+		return degradeOrFail(ctx, p, err)
 	}
-	if s1.Status != ilp.Optimal {
+	switch s1.Status {
+	case ilp.Optimal:
+		// Proven minimum area; continue to the tie-break pass.
+	case ilp.Feasible:
+		// Anytime incumbent: the budget is spent, so skip the tie-break
+		// pass and report the incumbent with its gap.
+		sel := in.decode(h1, s1, s1.Nodes)
+		sel.Status = ilp.Feasible
+		sel.Gap = s1.Gap()
+		return sel, nil
+	default:
 		return &Selection{Status: s1.Status, Nodes: s1.Nodes}, nil
 	}
 	bestArea := s1.Objective
@@ -313,15 +356,46 @@ func Solve(p Problem) (*Selection, error) {
 		0.5/n, 0,
 	)
 	h2.m.AddConstraint("pin_area", in.areaTerms(h2), ilp.LE, bestArea+1e-6)
-	s2, err := h2.m.Solve()
+	s2, err := h2.m.SolveCtx(ctx, p.Budget)
 	if err != nil {
+		if budget.IsExhausted(err) && !errors.Is(err, context.Canceled) {
+			// The area pass already proved the optimum; fall back to its
+			// assignment (h1/h2 share the variable layout) rather than
+			// discarding it. Only the tie-break is unproven.
+			sel := in.decode(h1, s1, s1.Nodes)
+			sel.Status = ilp.Feasible
+			return sel, nil
+		}
 		return nil, err
 	}
-	if s2.Status != ilp.Optimal {
+	if s2.Status != ilp.Optimal && s2.Status != ilp.Feasible {
 		// Should not happen (pass 1 was feasible); report defensively.
 		return &Selection{Status: s2.Status, Nodes: s1.Nodes + s2.Nodes}, nil
 	}
-	return in.decode(h2, s2, s1.Nodes+s2.Nodes), nil
+	sel := in.decode(h2, s2, s1.Nodes+s2.Nodes)
+	if s2.Status == ilp.Feasible {
+		// Area is still provably minimal; only the surplus tie-break is
+		// anytime, so the area gap stays zero.
+		sel.Status = ilp.Feasible
+	}
+	return sel, nil
+}
+
+// degradeOrFail handles a budget-exhausted pass-1 solve that produced no
+// incumbent: outright cancellation propagates as an error, while
+// deadline/node exhaustion falls back to the greedy heuristic with the
+// Selection flagged Degraded.
+func degradeOrFail(ctx context.Context, p Problem, err error) (*Selection, error) {
+	if !budget.IsExhausted(err) || errors.Is(err, context.Canceled) {
+		return nil, err
+	}
+	sel := GreedyBaseline(p)
+	sel.Degraded = err.Error()
+	if sel.Status == ilp.Optimal {
+		// Greedy results are feasible, never proven optimal.
+		sel.Status = ilp.Feasible
+	}
+	return sel, nil
 }
 
 // decode converts the ILP solution into a Selection.

@@ -1,8 +1,10 @@
 package selector
 
 import (
+	"context"
 	"sort"
 
+	"partita/internal/budget"
 	"partita/internal/cdfg"
 	"partita/internal/ilp"
 	"partita/internal/imp"
@@ -66,6 +68,15 @@ func MaxReachablePerPath(db *imp.DB) []int64 {
 // under conflicts) are included with their status so callers can see
 // the feasibility edge.
 func Sweep(db *imp.DB, points int) ([]SweepPoint, error) {
+	return SweepCtx(context.Background(), db, points, budget.Budget{})
+}
+
+// SweepCtx is Sweep under a budget: the context deadline bounds the
+// whole sweep and bud applies per point. Points solved after the budget
+// expires degrade exactly like SolveCtx (anytime incumbents, then the
+// greedy heuristic), so a partial budget still yields a usable curve;
+// outright cancellation aborts with the cancellation error.
+func SweepCtx(ctx context.Context, db *imp.DB, points int, bud budget.Budget) ([]SweepPoint, error) {
 	if points < 2 {
 		points = 2
 	}
@@ -73,7 +84,7 @@ func Sweep(db *imp.DB, points int) ([]SweepPoint, error) {
 	out := make([]SweepPoint, 0, points)
 	for i := 1; i <= points; i++ {
 		rg := max * int64(i) / int64(points)
-		sel, err := Solve(Problem{DB: db, Required: rg})
+		sel, err := SolveCtx(ctx, Problem{DB: db, Required: rg, Budget: bud})
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"partita/internal/budget"
+	"partita/internal/iface"
+	"partita/internal/ip"
+)
+
+func simIP() *ip.IP {
+	return &ip.IP{ID: "B", Name: "B", Funcs: []string{"f"}, InPorts: 1, OutPorts: 1,
+		InRate: 2, OutRate: 2, Latency: 4, Pipelined: true, Area: 3}
+}
+
+// Corrupt or adversarial configurations are rejected up front instead
+// of dividing by zero or spinning through the transfer loops.
+func TestRunSCallRejectsBadConfigs(t *testing.T) {
+	shape := iface.Shape{NIn: 8, NOut: 8}
+	cases := map[string]Config{
+		"nil ip":        {IP: nil, Type: iface.Type0, Shape: shape},
+		"zero in rate":  {IP: &ip.IP{ID: "Z", InRate: 0, OutRate: 2}, Type: iface.Type0, Shape: shape},
+		"zero out rate": {IP: &ip.IP{ID: "Z", InRate: 2, OutRate: 0}, Type: iface.Type2, Shape: shape},
+		"negative nin":  {IP: simIP(), Type: iface.Type0, Shape: iface.Shape{NIn: -1, NOut: 4}},
+		"out of thin air": {IP: simIP(), Type: iface.Type2,
+			Shape: iface.Shape{NIn: 0, NOut: 16}},
+	}
+	for name, cfg := range cases {
+		if _, err := RunSCall(cfg); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// Oversized shapes trip the step budget with the typed sentinel.
+func TestRunSCallShapeBudget(t *testing.T) {
+	_, err := RunSCall(Config{IP: simIP(), Type: iface.Type2,
+		Shape: iface.Shape{NIn: maxShapeItems + 1, NOut: 4}})
+	if err == nil {
+		t.Fatal("oversized shape accepted")
+	}
+	if !errors.Is(err, budget.ErrStepLimit) {
+		t.Errorf("error %v does not wrap ErrStepLimit", err)
+	}
+}
+
+// Sane configurations keep working through the validation layer.
+func TestRunSCallStillRuns(t *testing.T) {
+	for _, ty := range []iface.Type{iface.Type0, iface.Type1, iface.Type2, iface.Type3} {
+		res, err := RunSCall(Config{IP: simIP(), Type: ty, Shape: iface.Shape{NIn: 16, NOut: 16, TSW: 1000}})
+		if err != nil {
+			t.Fatalf("%v: %v", ty, err)
+		}
+		if res.Cycles <= 0 {
+			t.Errorf("%v: cycles = %d", ty, res.Cycles)
+		}
+	}
+}

@@ -15,6 +15,7 @@ package sim
 import (
 	"fmt"
 
+	"partita/internal/budget"
 	"partita/internal/iface"
 	"partita/internal/ip"
 )
@@ -72,8 +73,17 @@ type Config struct {
 	Shape iface.Shape
 }
 
+// maxShapeItems bounds the per-invocation data volume the mechanistic
+// simulator will step through. The transfer loops run O(items) beats, so
+// an absurd shape (corrupt catalog, adversarial input) must be rejected
+// up front instead of spinning for minutes.
+const maxShapeItems = 1 << 20
+
 // RunSCall simulates one S-instruction execution.
 func RunSCall(cfg Config) (Result, error) {
+	if err := validateConfig(cfg); err != nil {
+		return Result{}, err
+	}
 	switch cfg.Type {
 	case iface.Type0, iface.Type2:
 		return runUnbuffered(cfg)
@@ -81,6 +91,31 @@ func RunSCall(cfg Config) (Result, error) {
 		return runBuffered(cfg)
 	}
 	return Result{}, fmt.Errorf("sim: unknown interface type %v", cfg.Type)
+}
+
+// validateConfig rejects configurations the transfer loops cannot step
+// safely: nil IPs, non-positive port rates (divide-by-zero in the beat
+// computation), and shapes outside the simulator's step budget.
+func validateConfig(cfg Config) error {
+	if cfg.IP == nil {
+		return fmt.Errorf("sim: nil IP")
+	}
+	if cfg.IP.InRate <= 0 || cfg.IP.OutRate <= 0 {
+		return fmt.Errorf("sim: IP %s has non-positive data rate (in=%d, out=%d)",
+			cfg.IP.ID, cfg.IP.InRate, cfg.IP.OutRate)
+	}
+	s := cfg.Shape
+	if s.NIn < 0 || s.NOut < 0 {
+		return fmt.Errorf("sim: negative shape (NIn=%d, NOut=%d)", s.NIn, s.NOut)
+	}
+	if s.NIn > maxShapeItems || s.NOut > maxShapeItems {
+		return fmt.Errorf("sim: shape (NIn=%d, NOut=%d) exceeds the %d-item step budget: %w",
+			s.NIn, s.NOut, maxShapeItems, budget.ErrStepLimit)
+	}
+	if s.NOut > 0 && s.NIn == 0 {
+		return fmt.Errorf("sim: shape produces %d outputs from no inputs", s.NOut)
+	}
+	return nil
 }
 
 // runUnbuffered steps the direct-transfer interfaces: the kernel (type 0)
@@ -98,7 +133,10 @@ func runUnbuffered(cfg Config) (Result, error) {
 		// The software template sustains one in/out pair per loop
 		// iteration; its packed body is ~4 words, and an IP faster than
 		// that must be clock-divided.
-		tmpl := iface.SoftwareTemplate(iface.Type0, b, s)
+		tmpl, err := iface.SoftwareTemplate(iface.Type0, b, s)
+		if err != nil {
+			return Result{}, err
+		}
 		words := int64(tmpl.Words)
 		if words <= 0 {
 			words = 4
@@ -148,7 +186,8 @@ func runUnbuffered(cfg Config) (Result, error) {
 	const maxSteps = 1 << 24
 	for steps := 0; stored < s.NOut; steps++ {
 		if steps > maxSteps {
-			return Result{}, fmt.Errorf("sim: unbuffered transfer did not converge (%d/%d stored)", stored, s.NOut)
+			return Result{}, fmt.Errorf("sim: unbuffered transfer did not converge (%d/%d stored): %w",
+				stored, s.NOut, budget.ErrStepLimit)
 		}
 		t += beat
 		// Send up to two items this beat, respecting the IP input rate.
@@ -211,7 +250,10 @@ func runBuffered(cfg Config) (Result, error) {
 	pairsOut := int64((s.NOut + 1) / 2)
 	var fill, drain int64
 	if cfg.Type == iface.Type1 {
-		tmpl := iface.SoftwareTemplate(iface.Type1, b, s)
+		tmpl, err := iface.SoftwareTemplate(iface.Type1, b, s)
+		if err != nil {
+			return Result{}, err
+		}
 		fill = tmpl.FillCycles
 		drain = tmpl.DrainCycles
 	} else {

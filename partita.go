@@ -26,8 +26,11 @@
 package partita
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
+	"partita/internal/budget"
 	"partita/internal/cdfg"
 	"partita/internal/cinstr"
 	"partita/internal/cprog"
@@ -76,8 +79,13 @@ type (
 	SystemResult = sim.SystemResult
 	// Stats is an execution profile (block counts, call counts, cycles).
 	Stats = profile.Stats
-	// SolveStatus reports optimal/infeasible/unbounded.
+	// SolveStatus reports optimal/feasible/infeasible/unbounded.
 	SolveStatus = ilp.Status
+	// Budget bounds the work a solve may perform (branch-and-bound
+	// nodes, simplex pivots); wall-clock deadlines come from the
+	// context passed to the *Ctx entry points. The zero Budget is
+	// unlimited.
+	Budget = budget.Budget
 )
 
 // Interface types (Fig. 3 of the paper).
@@ -92,7 +100,35 @@ const (
 const (
 	Optimal    = ilp.Optimal
 	Infeasible = ilp.Infeasible
+	// Feasible marks an anytime result: a valid configuration returned
+	// after the budget ran out, with Selection.Gap bounding how far it
+	// may be from the optimum.
+	Feasible = ilp.Feasible
 )
+
+// Budget-exhaustion sentinels. Selections returned alongside these are
+// still valid (anytime results); match with errors.Is.
+var (
+	// ErrDeadline reports that the context deadline expired (or the
+	// context was cancelled) during a solve.
+	ErrDeadline = budget.ErrDeadline
+	// ErrNodeLimit reports that the branch-and-bound node budget ran out.
+	ErrNodeLimit = budget.ErrNodeLimit
+)
+
+// ErrInternal wraps a panic recovered at the public API boundary.
+// Library bugs and malformed hand-built inputs surface as ordinary
+// errors instead of crashing the embedding process.
+var ErrInternal = errors.New("partita: internal error")
+
+// guard converts a panic into an ErrInternal-wrapped error assigned to
+// *err. Deferred at every public entry point that runs nontrivial
+// machinery over user-supplied structures.
+func guard(err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("%w: %v", ErrInternal, r)
+	}
+}
 
 // NewCatalog builds and validates an IP library.
 func NewCatalog(blocks ...*IP) (*Catalog, error) { return ip.NewCatalog(blocks...) }
@@ -130,7 +166,8 @@ type Design struct {
 }
 
 // Analyze runs the front half of the flow on mini-C source.
-func Analyze(source, root string, catalog *Catalog, opt Options) (*Design, error) {
+func Analyze(source, root string, catalog *Catalog, opt Options) (d *Design, err error) {
+	defer guard(&err)
 	f, err := cprog.Parse(source)
 	if err != nil {
 		return nil, err
@@ -167,13 +204,32 @@ func Analyze(source, root string, catalog *Catalog, opt Options) (*Design, error
 // total area such that every execution path gains at least requiredGain
 // cycles.
 func (d *Design) Select(requiredGain int64) (*Selection, error) {
-	return selector.Solve(selector.Problem{DB: d.DB, Required: requiredGain})
+	return d.SelectCtx(context.Background(), requiredGain, Budget{})
+}
+
+// SelectCtx is Select under a wall-clock deadline (via ctx) and a work
+// budget. On exhaustion it degrades gracefully: if the solver holds an
+// incumbent the Selection comes back with Status Feasible and a
+// non-zero Gap; with no incumbent at all it falls back to the greedy
+// baseline and sets Selection.Degraded. Context *cancellation* (as
+// opposed to deadline expiry) aborts outright with an error wrapping
+// context.Canceled.
+func (d *Design) SelectCtx(ctx context.Context, requiredGain int64, bud Budget) (sel *Selection, err error) {
+	defer guard(&err)
+	return selector.SolveCtx(ctx, selector.Problem{DB: d.DB, Required: requiredGain, Budget: bud})
 }
 
 // SelectPerPath solves with per-execution-path requirements (indexed
 // like DB.Paths; entries < 0 fall back to requiredGain).
 func (d *Design) SelectPerPath(requiredGain int64, perPath []int64) (*Selection, error) {
-	return selector.Solve(selector.Problem{DB: d.DB, Required: requiredGain, PerPath: perPath})
+	return d.SelectPerPathCtx(context.Background(), requiredGain, perPath, Budget{})
+}
+
+// SelectPerPathCtx is SelectPerPath with a deadline and work budget,
+// degrading like SelectCtx.
+func (d *Design) SelectPerPathCtx(ctx context.Context, requiredGain int64, perPath []int64, bud Budget) (sel *Selection, err error) {
+	defer guard(&err)
+	return selector.SolveCtx(ctx, selector.Problem{DB: d.DB, Required: requiredGain, PerPath: perPath, Budget: bud})
 }
 
 // GreedySelect runs the prior-art baseline (no interface choice, no
@@ -184,7 +240,8 @@ func (d *Design) GreedySelect(requiredGain int64) *Selection {
 
 // Simulate validates a selection on the cycle-level system model over
 // execution path pathIdx of the root function.
-func (d *Design) Simulate(sel *Selection, pathIdx int) (SystemResult, error) {
+func (d *Design) Simulate(sel *Selection, pathIdx int) (res SystemResult, err error) {
+	defer guard(&err)
 	if sel == nil {
 		return SystemResult{}, fmt.Errorf("partita: nil selection")
 	}
@@ -193,9 +250,10 @@ func (d *Design) Simulate(sel *Selection, pathIdx int) (SystemResult, error) {
 
 // Profile executes entry on the kernel model with the program's static
 // data and returns the running-frequency profile and the return value.
-func (d *Design) Profile(entry string, args ...int64) (Stats, int64, error) {
+func (d *Design) Profile(entry string, args ...int64) (st Stats, ret int64, err error) {
+	defer guard(&err)
 	m := profile.New(d.Prog, d.Layout, kernel.DefaultCost())
-	ret, err := m.Run(entry, args...)
+	ret, err = m.Run(entry, args...)
 	if err != nil {
 		return Stats{}, 0, err
 	}
@@ -253,7 +311,15 @@ func (d *Design) Encode(cres *CInstrResult, sel *Selection) (*Image, error) {
 // returns the area/gain trade-off curve; ParetoFront (selector package)
 // filters it to the non-dominated frontier.
 func (d *Design) Sweep(points int) ([]SweepPoint, error) {
-	return selector.Sweep(d.DB, points)
+	return d.SweepCtx(context.Background(), points, Budget{})
+}
+
+// SweepCtx is Sweep with a deadline and a per-point work budget.
+// Points whose solve exhausted the budget carry Feasible/Degraded
+// selections like SelectCtx results.
+func (d *Design) SweepCtx(ctx context.Context, points int, bud Budget) (pts []SweepPoint, err error) {
+	defer guard(&err)
+	return selector.SweepCtx(ctx, d.DB, points, bud)
 }
 
 // ParetoFront filters sweep points to the non-dominated frontier.

@@ -1,0 +1,96 @@
+package partita
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// A corrupt hand-built selection (zero-value IMP, nil SCall) must not
+// crash the embedding process: the API boundary converts the internal
+// panic into ErrInternal.
+func TestGuardRecoversPanic(t *testing.T) {
+	design, err := Analyze(demoSource, "process", demoCatalog(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &Selection{Status: Optimal, Chosen: []*IMP{{}}}
+	_, err = design.Simulate(bad, 0)
+	if err == nil {
+		t.Fatal("corrupt selection simulated without error")
+	}
+	if !errors.Is(err, ErrInternal) {
+		t.Errorf("error %v does not wrap ErrInternal", err)
+	}
+}
+
+// An unlimited budget must reproduce the plain Select result exactly.
+func TestSelectCtxUnlimitedMatchesSelect(t *testing.T) {
+	design, err := Analyze(demoSource, "process", demoCatalog(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := design.Select(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgeted, err := design.SelectCtx(context.Background(), 1000, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if budgeted.Status != plain.Status || budgeted.Area != plain.Area || budgeted.Gain != plain.Gain {
+		t.Errorf("SelectCtx (%v, A=%g, G=%d) != Select (%v, A=%g, G=%d)",
+			budgeted.Status, budgeted.Area, budgeted.Gain,
+			plain.Status, plain.Area, plain.Gain)
+	}
+	if !budgeted.Exact() {
+		t.Errorf("unlimited solve not exact: status=%v degraded=%q", budgeted.Status, budgeted.Degraded)
+	}
+}
+
+// Cancelling the context aborts the solve with an error; cancellation is
+// a caller decision, so no degraded fallback is produced.
+func TestSelectCtxCanceled(t *testing.T) {
+	design, err := Analyze(demoSource, "process", demoCatalog(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sel, err := design.SelectCtx(ctx, 1000, Budget{})
+	if err == nil {
+		t.Fatal("cancelled solve returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not wrap context.Canceled", err)
+	}
+	if !errors.Is(err, ErrDeadline) {
+		t.Errorf("error %v does not wrap ErrDeadline", err)
+	}
+	if sel != nil {
+		t.Errorf("cancelled solve returned a selection: %+v", sel)
+	}
+}
+
+// SweepCtx under a healthy deadline behaves like Sweep.
+func TestSweepCtx(t *testing.T) {
+	design, err := Analyze(demoSource, "process", demoCatalog(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	pts, err := design.SweepCtx(ctx, 4, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 {
+		t.Fatal("empty sweep")
+	}
+	for _, p := range pts {
+		if p.Sel == nil {
+			t.Fatalf("sweep point without selection: %+v", p)
+		}
+	}
+}
