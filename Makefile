@@ -1,0 +1,29 @@
+# Convenience targets around the go toolchain; everything here is plain
+# `go test` underneath.
+
+.PHONY: build test race bench bench-service integration
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# Paper-reproduction experiments as benchmarks (tables, figures,
+# ablations).
+bench:
+	go test -bench . -benchmem .
+
+# Service-level benchmarks: job throughput, p50/p99 solve latency, and
+# cache-hit speedup over the GSM/JPEG workloads. Writes
+# BENCH_service.json at the repo root (override with BENCH_SERVICE_OUT).
+bench-service:
+	go test -run NoTests -bench BenchmarkService -benchtime 20x ./internal/service
+
+# End-to-end partitad test: builds the daemon, starts it on an
+# ephemeral port, and round-trips a GSM job over HTTP.
+integration:
+	PARTITAD_INTEGRATION=1 go test -run TestPartitadIntegration -v ./internal/service

@@ -7,12 +7,16 @@
 //
 //	partita -src app.c -root encoder -rg 50000 [-catalog lib.json]
 //	        [-problem2] [-simulate] [-greedy] [-entry main]
-//	        [-timeout 30s] [-max-nodes 100000]
+//	        [-timeout 30s] [-max-nodes 100000] [-json]
 //
 // -timeout and -max-nodes bound the exact solver; when a budget runs
 // out the report carries the best configuration found so far (status
 // "feasible", with its optimality gap) or the greedy fallback (status
 // "degraded") instead of hanging.
+//
+// -json replaces the tables with one JSON document using the same
+// result schema as the partitad service, so CLI and service answers
+// are directly comparable.
 //
 // Without -src it runs the bundled GSM-style encoder demo. The catalog
 // file is a JSON array of IP descriptors; without -catalog the demo
@@ -30,9 +34,32 @@ import (
 	"partita/internal/ilp"
 	"partita/internal/ip"
 	"partita/internal/report"
+	"partita/internal/service"
 
 	"partita"
 )
+
+// jsonOutput is the -json document: the analysis summary plus one
+// solved point per gain target, in the partitad wire schema.
+type jsonOutput struct {
+	Entry      string                 `json:"entry"`
+	Cycles     int64                  `json:"cycles"`
+	Ops        int64                  `json:"ops"`
+	Analyze    *service.AnalyzeResult `json:"analyze"`
+	Selections []jsonPoint            `json:"selections"`
+}
+
+type jsonPoint struct {
+	service.SweepPointResult
+	Greedy     *service.SelectionResult `json:"greedy,omitempty"`
+	Simulation *jsonSim                 `json:"simulation,omitempty"`
+}
+
+type jsonSim struct {
+	SoftwareCycles    int64   `json:"softwareCycles"`
+	AcceleratedCycles int64   `json:"acceleratedCycles"`
+	Speedup           float64 `json:"speedup"`
+}
 
 func main() {
 	src := flag.String("src", "", "mini-C source file (default: bundled GSM encoder demo)")
@@ -47,6 +74,7 @@ func main() {
 	rtl := flag.String("rtl", "", "write generated Verilog (interfaces + decoder) to this file")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget per selection solve (0 = unlimited)")
 	maxNodes := flag.Int("max-nodes", 0, "branch-and-bound node budget per solve (0 = unlimited)")
+	jsonOut := flag.Bool("json", false, "emit one JSON document in the partitad service schema instead of tables")
 	flag.Parse()
 
 	bud := partita.Budget{MaxNodes: *maxNodes}
@@ -74,17 +102,25 @@ func main() {
 	if err != nil {
 		fatal(fmt.Errorf("profiling failed: %w", err))
 	}
-	fmt.Printf("profiled %s(): returned %d after %d cycles, %d MOPs\n",
-		*entry, ret, stats.Cycles, stats.Ops)
-	fmt.Printf("s-call candidates: %d, implementation methods: %d, execution paths: %d\n\n",
-		len(design.DB.SCalls), len(design.DB.IMPs), len(design.DB.Paths))
-
-	scT := report.New("s-call", "function", "sites", "freq", "T_SW", "PC (P1)")
-	for _, sc := range design.DB.SCalls {
-		scT.Row(sc.Name(), sc.Func, len(sc.Sites), sc.TotalFreq, sc.TSW, sc.PC1.Cost)
+	out := &jsonOutput{
+		Entry:   *entry,
+		Cycles:  stats.Cycles,
+		Ops:     stats.Ops,
+		Analyze: service.NewAnalyzeResult(design),
 	}
-	scT.Fprint(os.Stdout)
-	fmt.Println()
+	if !*jsonOut {
+		fmt.Printf("profiled %s(): returned %d after %d cycles, %d MOPs\n",
+			*entry, ret, stats.Cycles, stats.Ops)
+		fmt.Printf("s-call candidates: %d, implementation methods: %d, execution paths: %d\n\n",
+			len(design.DB.SCalls), len(design.DB.IMPs), len(design.DB.Paths))
+
+		scT := report.New("s-call", "function", "sites", "freq", "T_SW", "PC (P1)")
+		for _, sc := range design.DB.SCalls {
+			scT.Row(sc.Name(), sc.Func, len(sc.Sites), sc.TotalFreq, sc.TSW, sc.PC1.Cost)
+		}
+		scT.Fprint(os.Stdout)
+		fmt.Println()
+	}
 
 	targets := []int64{*rg}
 	if *rg == 0 {
@@ -109,7 +145,15 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		point := jsonPoint{SweepPointResult: service.SweepPointResult{
+			RequiredGain: target,
+			Selection:    service.NewSelectionResult(sel),
+		}}
+		if *greedy {
+			point.Greedy = service.NewSelectionResult(design.GreedySelect(target))
+		}
 		if sel.Status != ilp.Optimal && sel.Status != ilp.Feasible {
+			out.Selections = append(out.Selections, point)
 			selT.Row(target, sel.Status.String(), "-", "-", "-", "-", "")
 			continue
 		}
@@ -129,7 +173,7 @@ func main() {
 		}
 		selT.Row(target, status, sel.Gain, sel.Area, sel.SInstructions, sel.SCallsImplemented, ids)
 
-		if *greedy {
+		if *greedy && !*jsonOut {
 			g := design.GreedySelect(target)
 			if g.Status == ilp.Optimal {
 				selT.Row(target, "greedy", g.Gain, g.Area, g.SInstructions, g.SCallsImplemented, "")
@@ -142,10 +186,17 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			fmt.Printf("RG=%d simulation: software %d → accelerated %d cycles (speedup %.2fx)\n",
-				target, res.SoftwareCycles, res.AcceleratedCycles, res.Speedup())
+			point.Simulation = &jsonSim{
+				SoftwareCycles:    res.SoftwareCycles,
+				AcceleratedCycles: res.AcceleratedCycles,
+				Speedup:           res.Speedup(),
+			}
+			if !*jsonOut {
+				fmt.Printf("RG=%d simulation: software %d → accelerated %d cycles (speedup %.2fx)\n",
+					target, res.SoftwareCycles, res.AcceleratedCycles, res.Speedup())
+			}
 		}
-		if *schedule {
+		if *schedule && !*jsonOut {
 			entries, err := design.Schedule(sel, 0)
 			if err != nil {
 				fatal(err)
@@ -161,9 +212,20 @@ func main() {
 			if err := os.WriteFile(*rtl, []byte(design.GenerateRTL(sel, im)), 0o644); err != nil {
 				fatal(err)
 			}
-			fmt.Printf("wrote RTL for RG=%d to %s\n", target, *rtl)
+			if !*jsonOut {
+				fmt.Printf("wrote RTL for RG=%d to %s\n", target, *rtl)
+			}
 			*rtl = "" // only for the first target
 		}
+		out.Selections = append(out.Selections, point)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	selT.Fprint(os.Stdout)
 }

@@ -1,0 +1,99 @@
+// Command partitad serves ASIP synthesis over HTTP/JSON: clients
+// submit analyze, select, and sweep jobs, poll their anytime progress
+// (incumbent, bound, gap), and read the results. Identical jobs are
+// answered from a content-addressed cache; /metrics exposes queue,
+// worker, cache, and solve-latency counters in Prometheus text format.
+//
+// Usage:
+//
+//	partitad [-addr :8080] [-workers N] [-queue 64]
+//	         [-design-cache 32] [-result-cache 256]
+//	         [-default-timeout 0] [-max-timeout 2m]
+//	         [-max-jobs 1024] [-grace 30s]
+//
+// On SIGINT/SIGTERM the daemon drains: new submissions are rejected
+// with 503, in-flight solves see an expired deadline and return their
+// best incumbents, then the process exits. -grace bounds the drain.
+//
+// Endpoints:
+//
+//	POST /v1/jobs      submit a job (service.JobSpec JSON)
+//	GET  /v1/jobs      list tracked jobs
+//	GET  /v1/jobs/{id} poll one job (status, progress, result)
+//	GET  /metrics      Prometheus text metrics
+//	GET  /healthz      liveness (503 while draining)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"partita/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
+	workers := flag.Int("workers", 0, "solver pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "admission queue depth (0 = default 64)")
+	designCache := flag.Int("design-cache", 0, "analyzed-design LRU entries (0 = default 32)")
+	resultCache := flag.Int("result-cache", 0, "finished-result LRU entries (0 = default 256)")
+	defaultTimeout := flag.Duration("default-timeout", 0, "deadline for jobs that set none (0 = inherit -max-timeout)")
+	maxTimeout := flag.Duration("max-timeout", 0, "hard cap on any job deadline (0 = default 2m)")
+	maxJobs := flag.Int("max-jobs", 0, "jobs retained for polling (0 = default 1024)")
+	grace := flag.Duration("grace", 30*time.Second, "shutdown drain budget")
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		DesignCacheSize: *designCache,
+		ResultCacheSize: *resultCache,
+		DefaultTimeout:  *defaultTimeout,
+		MaxTimeout:      *maxTimeout,
+		MaxJobs:         *maxJobs,
+	})
+	srv.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("partitad: %v", err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	// The resolved address line is part of the contract: integration
+	// harnesses start the daemon on :0 and parse the port from here.
+	fmt.Printf("partitad listening on %s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("partitad: %v, draining (budget %s)", sig, *grace)
+	case err := <-errc:
+		log.Fatalf("partitad: serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	// Stop accepting connections first, then drain the solver pool so
+	// in-flight jobs hand back their incumbents.
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("partitad: http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("partitad: drain incomplete: %v", err)
+		os.Exit(1)
+	}
+	log.Println("partitad: drained, exiting")
+}

@@ -1,0 +1,120 @@
+package partita
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"partita/internal/apps"
+	"partita/internal/ilp"
+)
+
+// TestDesignConcurrentSelect exercises the documented Design contract: a
+// single analyzed Design must support any number of parallel SelectCtx
+// calls. Run under -race (the CI test job does) this doubles as a data
+// race detector over the whole selector/ilp stack.
+func TestDesignConcurrentSelect(t *testing.T) {
+	w, err := apps.GSMEncoderWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	design, err := Analyze(w.Source, w.Root, w.Catalog, Options{DataCount: w.DataCount})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Three distinct targets, solved serially first as the reference.
+	targets := []int64{5000, 20000, 60000}
+	want := make([]*Selection, len(targets))
+	for i, rg := range targets {
+		sel, err := design.Select(rg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = sel
+	}
+
+	const workersPerTarget = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, len(targets)*workersPerTarget)
+	for i, rg := range targets {
+		for w := 0; w < workersPerTarget; w++ {
+			wg.Add(1)
+			go func(i int, rg int64) {
+				defer wg.Done()
+				sel, err := design.SelectCtx(context.Background(), rg, Budget{})
+				if err != nil {
+					errs <- fmt.Errorf("rg %d: %w", rg, err)
+					return
+				}
+				ref := want[i]
+				if sel.Status != ref.Status || sel.Area != ref.Area || sel.Gain != ref.Gain {
+					errs <- fmt.Errorf("rg %d: concurrent result (status %v, area %g, gain %d) != serial (status %v, area %g, gain %d)",
+						rg, sel.Status, sel.Area, sel.Gain, ref.Status, ref.Area, ref.Gain)
+				}
+			}(i, rg)
+		}
+	}
+	// Mix in a concurrent sweep and greedy run: the contract covers every
+	// read-only entry point sharing the Design.
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if _, err := design.SweepCtx(context.Background(), 3, Budget{}); err != nil {
+			errs <- fmt.Errorf("sweep: %w", err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		g := design.GreedySelect(targets[0])
+		if g.Status != ilp.Optimal && g.Status != ilp.Feasible {
+			errs <- fmt.Errorf("greedy status %v", g.Status)
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestCanonicalHashStability(t *testing.T) {
+	cat := demoCatalog(t)
+	h1 := CanonicalHash(demoSource, "process", cat, Options{})
+	h2 := CanonicalHash(demoSource, "process", cat, Options{})
+	if h1 != h2 {
+		t.Fatalf("hash not deterministic: %s vs %s", h1, h2)
+	}
+	if len(h1) != 64 {
+		t.Fatalf("hash length %d, want 64 hex chars", len(h1))
+	}
+
+	// A rebuilt but identical catalog hashes the same.
+	cat2 := demoCatalog(t)
+	if got := CanonicalHash(demoSource, "process", cat2, Options{}); got != h1 {
+		t.Error("identical catalogs hash differently")
+	}
+
+	distinct := map[string]string{
+		"source":  CanonicalHash(demoSource+" ", "process", cat, Options{}),
+		"root":    CanonicalHash(demoSource, "fir", cat, Options{}),
+		"opts":    CanonicalHash(demoSource, "process", cat, Options{Problem2: true}),
+		"trips":   CanonicalHash(demoSource, "process", cat, Options{DefaultTrips: 16}),
+		"nil-cat": CanonicalHash(demoSource, "process", nil, Options{}),
+		"extra":   CanonicalHash(demoSource, "process", cat, Options{}, "workload:gsm"),
+	}
+	seen := map[string]string{h1: "base"}
+	for name, h := range distinct {
+		if prev, dup := seen[h]; dup {
+			t.Errorf("input variant %q collides with %q", name, prev)
+		}
+		seen[h] = name
+	}
+
+	// DataCount presence (not identity) is mixed in.
+	withDC := CanonicalHash(demoSource, "process", cat, Options{DataCount: func(string) (int, int) { return 1, 1 }})
+	if withDC == h1 {
+		t.Error("DataCount presence not reflected in hash")
+	}
+}

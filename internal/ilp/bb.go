@@ -99,11 +99,27 @@ func (m *Model) branchAndBound(ctx context.Context, bud budget.Budget) (*Solutio
 
 	// tryIncumbent records x (already integral within tolerance, rounded
 	// exactly here) as the incumbent if it beats the current one.
-	tryIncumbent := func(x []float64, objMin float64) {
-		if objMin < incumbentObj {
-			incumbentObj = objMin
-			incumbentX = x
+	// nodeBound is the relaxation bound of the node that produced x; the
+	// global proven bound is its minimum with the best open-node bound.
+	tryIncumbent := func(x []float64, objMin, nodeBound float64) {
+		if objMin >= incumbentObj {
+			return
 		}
+		incumbentObj = objMin
+		incumbentX = x
+		if m.onIncumbent == nil {
+			return
+		}
+		lb := nodeBound
+		if open.Len() > 0 && (*open)[0].bound < lb {
+			lb = (*open)[0].bound
+		}
+		lb = math.Min(lb, objMin)
+		obj, bnd := objMin, lb
+		if m.sense == Maximize {
+			obj, bnd = -obj, -bnd
+		}
+		m.onIncumbent(Progress{Objective: obj, Bound: bnd, Nodes: nodes})
 	}
 
 	// stop assembles the anytime result when a budget expires: the
@@ -192,7 +208,7 @@ func (m *Model) branchAndBound(ctx context.Context, bud budget.Budget) (*Solutio
 					x[j] = math.Round(x[j])
 				}
 			}
-			tryIncumbent(x, bound)
+			tryIncumbent(x, bound, bound)
 			continue
 		}
 		// Opportunistic rounding: a nearest-integer snapshot of the
@@ -200,7 +216,7 @@ func (m *Model) branchAndBound(ctx context.Context, bud budget.Budget) (*Solutio
 		// and seeds the incumbent long before a dive bottoms out —
 		// essential for anytime behaviour under tight deadlines.
 		if x, obj, ok := m.roundToFeasible(r.x); ok {
-			tryIncumbent(x, toMin(obj))
+			tryIncumbent(x, toMin(obj), bound)
 		}
 		for _, val := range [...]float64{1, 0} {
 			child := &bbNode{

@@ -80,10 +80,42 @@ type constraint struct {
 // Model accumulates variables and constraints and can be solved either as
 // a pure LP (relaxation) or as a mixed 0-1 program.
 type Model struct {
-	sense Sense
-	vars  []variable
-	cons  []constraint
+	sense       Sense
+	vars        []variable
+	cons        []constraint
+	onIncumbent func(Progress)
 }
+
+// Progress describes one anytime event of a branch-and-bound solve: a
+// new incumbent was installed. Events for one solve arrive in strictly
+// improving objective order (decreasing for Minimize, increasing for
+// Maximize).
+type Progress struct {
+	// Objective is the incumbent's objective in the model's own sense.
+	Objective float64
+	// Bound is the best proven bound on the optimum at the time of the
+	// event (a lower bound for Minimize, upper for Maximize).
+	Bound float64
+	// Nodes is the number of branch-and-bound nodes explored so far.
+	Nodes int
+}
+
+// Gap reports the event's relative optimality gap
+// |Objective − Bound| / max(1, |Objective|), or +Inf when the bound is
+// not finite.
+func (p Progress) Gap() float64 {
+	if math.IsInf(p.Bound, 0) || math.IsNaN(p.Bound) {
+		return math.Inf(1)
+	}
+	return math.Abs(p.Objective-p.Bound) / math.Max(1, math.Abs(p.Objective))
+}
+
+// OnIncumbent registers f to be invoked synchronously from SolveCtx each
+// time the branch-and-bound search installs a new incumbent. The
+// callback runs on the solving goroutine — it must be fast and must not
+// call back into the model. Pure-LP solves (no integer variables) emit
+// no events. Passing nil removes the callback.
+func (m *Model) OnIncumbent(f func(Progress)) { m.onIncumbent = f }
 
 // NewModel returns an empty model with the given optimization sense.
 func NewModel(sense Sense) *Model {

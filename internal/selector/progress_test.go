@@ -1,0 +1,88 @@
+package selector
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"partita/internal/iface"
+	"partita/internal/ilp"
+	"partita/internal/imp"
+)
+
+// progressDB builds a search space with enough fixed-charge structure
+// that branch and bound installs at least one incumbent before proving
+// optimality.
+func progressDB(t *testing.T) *imp.DB {
+	t.Helper()
+	a := mkIP("IPA", 9)
+	b := mkIP("IPB", 7)
+	c := mkIP("IPC", 12)
+	d := mkIP("IPD", 5)
+	db, err := imp.NewSyntheticDB([]string{"f1", "f2", "f3", "f4"}, []imp.SynthIMP{
+		{SC: 1, IP: a, Type: iface.Type0, Gain: 90, IfaceArea: 1},
+		{SC: 1, IP: c, Type: iface.Type2, Gain: 150, IfaceArea: 3},
+		{SC: 2, IP: a, Type: iface.Type1, Gain: 110, IfaceArea: 2},
+		{SC: 2, IP: b, Type: iface.Type0, Gain: 80, IfaceArea: 1},
+		{SC: 3, IP: b, Type: iface.Type3, Gain: 140, IfaceArea: 4},
+		{SC: 3, IP: d, Type: iface.Type0, Gain: 60, IfaceArea: 1},
+		{SC: 4, IP: c, Type: iface.Type0, Gain: 120, IfaceArea: 2},
+		{SC: 4, IP: d, Type: iface.Type1, Gain: 70, IfaceArea: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestSolveCtxOnIncumbentMonotonic(t *testing.T) {
+	db := progressDB(t)
+	var events []Incumbent
+	sel, err := SolveCtx(context.Background(), Problem{
+		DB:       db,
+		Required: 300,
+		OnIncumbent: func(in Incumbent) {
+			events = append(events, in)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Status != ilp.Optimal {
+		t.Fatalf("status = %v, want optimal", sel.Status)
+	}
+	if len(events) == 0 {
+		t.Fatal("no incumbent events observed")
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Area >= events[i-1].Area {
+			t.Errorf("event %d area %g does not improve on %g", i, events[i].Area, events[i-1].Area)
+		}
+	}
+	last := events[len(events)-1]
+	if math.Abs(last.Area-sel.Area) > 1e-6 {
+		t.Errorf("last incumbent area %g != selected area %g", last.Area, sel.Area)
+	}
+	for i, e := range events {
+		if e.Bound > e.Area+1e-9 {
+			t.Errorf("event %d bound %g exceeds area %g", i, e.Bound, e.Area)
+		}
+		if e.Gap < 0 {
+			t.Errorf("event %d gap %g < 0", i, e.Gap)
+		}
+		if e.Nodes <= 0 {
+			t.Errorf("event %d nodes = %d", i, e.Nodes)
+		}
+	}
+}
+
+func TestSolveCtxOnIncumbentNilSafe(t *testing.T) {
+	db := progressDB(t)
+	sel, err := SolveCtx(context.Background(), Problem{DB: db, Required: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Status != ilp.Optimal {
+		t.Fatalf("status = %v", sel.Status)
+	}
+}

@@ -52,6 +52,26 @@ type Problem struct {
 	// budget travels as the context deadline of SolveCtx. The zero value
 	// is unlimited.
 	Budget budget.Budget
+	// OnIncumbent, when non-nil, observes the area-minimization pass of
+	// the exact solve: it is invoked synchronously on the solving
+	// goroutine each time the branch-and-bound search installs a new
+	// incumbent, in strictly decreasing Area order. The tie-break pass
+	// (which cannot change the area) emits no events.
+	OnIncumbent func(Incumbent)
+}
+
+// Incumbent is one anytime progress event of SolveCtx: the solver found
+// a configuration better than every previous one.
+type Incumbent struct {
+	// Area is the incumbent's total area (the minimization objective).
+	Area float64
+	// Bound is the best proven lower bound on the optimal area so far.
+	Bound float64
+	// Gap is the relative optimality gap |Area − Bound| / max(1, Area);
+	// +Inf when no finite bound is known yet.
+	Gap float64
+	// Nodes is the number of branch-and-bound nodes explored so far.
+	Nodes int
 }
 
 // Selection is the solved result, with the columns of the paper's tables.
@@ -326,6 +346,11 @@ func SolveCtx(ctx context.Context, p Problem) (*Selection, error) {
 		return 0
 	}
 	h1 := in.build(ifaceObj, func(a float64) float64 { return a }, 0, 1)
+	if p.OnIncumbent != nil {
+		h1.m.OnIncumbent(func(pr ilp.Progress) {
+			p.OnIncumbent(Incumbent{Area: pr.Objective, Bound: pr.Bound, Gap: pr.Gap(), Nodes: pr.Nodes})
+		})
+	}
 	s1, err := h1.m.SolveCtx(ctx, p.Budget)
 	if err != nil {
 		return degradeOrFail(ctx, p, err)

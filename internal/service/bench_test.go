@@ -1,0 +1,211 @@
+package service
+
+// The service benchmark harness measures the daemon as a system — job
+// throughput, solve-latency percentiles, and the cache-hit speedup —
+// over the bundled GSM and JPEG workloads, and records the numbers in
+// BENCH_service.json at the repo root (override the path with the
+// BENCH_SERVICE_OUT environment variable):
+//
+//	go test -bench 'BenchmarkService' -benchtime 20x ./internal/service
+//
+// Each run merges into the existing file, so the full document can be
+// built up one benchmark at a time.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// benchMetrics is one benchmark's entry in BENCH_service.json.
+type benchMetrics struct {
+	OpsPerSec float64 `json:"opsPerSec"`
+	P50Ms     float64 `json:"p50Ms"`
+	P99Ms     float64 `json:"p99Ms"`
+	Jobs      int     `json:"jobs"`
+	// CacheHitSpeedup is cold-solve latency over cached-answer latency
+	// (only set by the cache benchmark).
+	CacheHitSpeedup float64 `json:"cacheHitSpeedup,omitempty"`
+}
+
+var benchOut struct {
+	mu sync.Mutex
+}
+
+// benchOutPath locates BENCH_service.json: $BENCH_SERVICE_OUT if set,
+// else next to go.mod (walking up from the package directory).
+func benchOutPath() (string, error) {
+	if p := os.Getenv("BENCH_SERVICE_OUT"); p != "" {
+		return p, nil
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return filepath.Join(dir, "BENCH_service.json"), nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// record merges one benchmark's metrics into BENCH_service.json.
+func record(b *testing.B, name string, m benchMetrics) {
+	benchOut.mu.Lock()
+	defer benchOut.mu.Unlock()
+	path, err := benchOutPath()
+	if err != nil {
+		b.Logf("bench output skipped: %v", err)
+		return
+	}
+	doc := map[string]benchMetrics{}
+	if raw, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(raw, &doc)
+	}
+	doc[name] = m
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func percentileMs(durs []time.Duration, p float64) float64 {
+	if len(durs) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p * float64(len(sorted)-1))
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+// solveDuration waits for the job and returns its running time.
+func solveDuration(b *testing.B, job *Job) time.Duration {
+	waitDone(b, job)
+	v := job.View()
+	if v.Status != StatusDone {
+		b.Fatalf("job %s: status %s (%s)", v.ID, v.Status, v.Error)
+	}
+	return v.FinishedAt.Sub(v.SubmittedAt)
+}
+
+// benchWorkloadSelect drives uncached select solves over a band of gain
+// targets and reports throughput plus latency percentiles.
+func benchWorkloadSelect(b *testing.B, workload string) {
+	s := New(Config{Workers: 2, QueueDepth: 1024, MaxJobs: 1 << 20, ResultCacheSize: 1})
+	s.Start()
+	defer shutdownNow(b, s)
+
+	// Warm the design cache so the numbers measure solving, not parsing.
+	first, err := s.Submit(JobSpec{Kind: KindAnalyze, Workload: workload})
+	if err != nil {
+		b.Fatal(err)
+	}
+	waitDone(b, first)
+	maxGain := first.Result().Analyze.MaxReachableGain
+
+	durs := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		// Distinct gain targets keep every solve a result-cache miss.
+		rg := maxGain * int64(10+i%80) / 100
+		job, err := s.Submit(JobSpec{Kind: KindSelect, Workload: workload, RequiredGain: rg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		durs = append(durs, solveDuration(b, job))
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	m := benchMetrics{
+		OpsPerSec: float64(b.N) / elapsed.Seconds(),
+		P50Ms:     percentileMs(durs, 0.50),
+		P99Ms:     percentileMs(durs, 0.99),
+		Jobs:      b.N,
+	}
+	b.ReportMetric(m.OpsPerSec, "jobs/sec")
+	b.ReportMetric(m.P50Ms, "p50_ms")
+	b.ReportMetric(m.P99Ms, "p99_ms")
+	record(b, "select_"+workload, m)
+}
+
+func BenchmarkServiceSelectGSM(b *testing.B)  { benchWorkloadSelect(b, "gsm") }
+func BenchmarkServiceSelectJPEG(b *testing.B) { benchWorkloadSelect(b, "jpeg") }
+
+// BenchmarkServiceCacheHit measures the content-addressed result cache:
+// one cold solve, then repeated submissions of the identical spec, and
+// reports how much faster the cached answer returns.
+func BenchmarkServiceCacheHit(b *testing.B) {
+	s := New(Config{Workers: 2, QueueDepth: 1024, MaxJobs: 1 << 20})
+	s.Start()
+	defer shutdownNow(b, s)
+
+	spec := JobSpec{Kind: KindSelect, Workload: "gsm", RequiredGain: 10000}
+	coldStart := time.Now()
+	job, err := s.Submit(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	waitDone(b, job)
+	cold := time.Since(coldStart)
+
+	durs := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		hit, err := s.Submit(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !hit.Done() {
+			b.Fatal("expected an immediate cached completion")
+		}
+		durs = append(durs, time.Since(t0))
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	hits, _ := s.results.Stats()
+	if hits < uint64(b.N) {
+		b.Fatalf("result cache hits = %d, want >= %d", hits, b.N)
+	}
+	p50 := percentileMs(durs, 0.50)
+	m := benchMetrics{
+		OpsPerSec: float64(b.N) / elapsed.Seconds(),
+		P50Ms:     p50,
+		P99Ms:     percentileMs(durs, 0.99),
+		Jobs:      b.N,
+	}
+	if p50 > 0 {
+		m.CacheHitSpeedup = float64(cold) / float64(time.Millisecond) / p50
+	}
+	b.ReportMetric(m.OpsPerSec, "jobs/sec")
+	b.ReportMetric(m.CacheHitSpeedup, "cache_speedup_x")
+	record(b, "cache_hit_gsm", m)
+}
+
+// shutdownNow tears a bench server down without waiting on a drain.
+func shutdownNow(b *testing.B, s *Server) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+// Package service implements partitad, the Partita synthesis daemon: an
+// HTTP/JSON front end that runs Analyze/Select/Sweep jobs on a bounded
+// worker pool with per-job deadlines and node budgets, memoizes results
+// in content-addressed caches, streams anytime solver progress to
+// polling clients, and exposes Prometheus-style metrics.
+//
+// The layering mirrors the rest of the repository: this package only
+// drives the public partita API (every job could be replayed as a
+// library call), so the daemon adds operational behaviour — admission
+// control, caching, observability, graceful drain — without forking the
+// synthesis semantics.
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a concurrency-safe, size-bounded LRU keyed by content hashes
+// (see partita.CanonicalHash). It backs both service caches: analyzed
+// designs and finished job results.
+type Cache struct {
+	mu     sync.Mutex
+	max    int
+	ll     *list.List
+	items  map[string]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+type cacheEntry struct {
+	key string
+	val any
+}
+
+// NewCache returns an empty cache bounded to max entries (minimum 1).
+func NewCache(max int) *Cache {
+	if max < 1 {
+		max = 1
+	}
+	return &Cache{max: max, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// Get returns the cached value for key, marking it most recently used.
+// Every call counts as a hit or a miss.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put inserts or refreshes key, evicting the least recently used entry
+// when the bound is exceeded.
+func (c *Cache) Put(key string, v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: v})
+	if c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the number of live entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats reports the lifetime hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

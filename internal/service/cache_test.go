@@ -1,0 +1,70 @@
+package service
+
+import "testing"
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	c.Put("c", 3) // evicts b (a was refreshed by the Get)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Error("a should have survived (recently used)")
+	}
+	if v, ok := c.Get("c"); !ok || v.(int) != 3 {
+		t.Error("c should be present")
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestCacheStats(t *testing.T) {
+	c := NewCache(4)
+	c.Put("x", 1)
+	c.Get("x")
+	c.Get("x")
+	c.Get("missing")
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 1 {
+		t.Errorf("stats = (%d, %d), want (2, 1)", hits, misses)
+	}
+}
+
+func TestCachePutRefreshesExisting(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", 1)
+	c.Put("a", 10)
+	if v, _ := c.Get("a"); v.(int) != 10 {
+		t.Errorf("value = %v, want 10", v)
+	}
+	if c.Len() != 1 {
+		t.Errorf("len = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(16)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				key := string(rune('a' + (g+i)%24))
+				c.Put(key, i)
+				c.Get(key)
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if c.Len() > 16 {
+		t.Errorf("len = %d exceeds bound 16", c.Len())
+	}
+}

@@ -1,0 +1,68 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// drainContext presents service drain as a *deadline expiry* rather
+// than a cancellation. The distinction matters because the whole solver
+// stack (budget.Check → ilp → selector) treats context.Canceled as
+// "abort without an answer" but context.DeadlineExceeded as "stop and
+// hand back the best incumbent". Graceful shutdown wants the latter:
+// when the drain channel closes, every in-flight solve sees an expired
+// deadline and returns its anytime result instead of an error.
+type drainContext struct {
+	parent context.Context
+	done   chan struct{}
+	mu     sync.Mutex
+	err    error
+}
+
+// withDrain derives a context from parent that additionally expires —
+// with context.DeadlineExceeded — when drain closes. The returned stop
+// function releases the watcher goroutine and must be called when the
+// work finishes.
+func withDrain(parent context.Context, drain <-chan struct{}) (context.Context, func()) {
+	d := &drainContext{parent: parent, done: make(chan struct{})}
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-drain:
+			d.finish(context.DeadlineExceeded)
+		case <-parent.Done():
+			d.finish(parent.Err())
+		case <-stop:
+		}
+	}()
+	var once sync.Once
+	return d, func() { once.Do(func() { close(stop) }) }
+}
+
+func (d *drainContext) finish(err error) {
+	d.mu.Lock()
+	if d.err == nil {
+		d.err = err
+		close(d.done)
+	}
+	d.mu.Unlock()
+}
+
+// Deadline reports the parent's deadline; the drain edge is not
+// predictable in advance.
+func (d *drainContext) Deadline() (time.Time, bool) { return d.parent.Deadline() }
+
+// Done is closed when the parent finishes or the drain begins.
+func (d *drainContext) Done() <-chan struct{} { return d.done }
+
+// Err reports context.DeadlineExceeded after a drain, or the parent's
+// error.
+func (d *drainContext) Err() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.err
+}
+
+// Value delegates to the parent.
+func (d *drainContext) Value(key any) any { return d.parent.Value(key) }

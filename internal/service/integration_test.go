@@ -1,0 +1,180 @@
+package service
+
+// End-to-end test of the partitad binary over real HTTP. Gated behind
+// PARTITAD_INTEGRATION=1 because it builds and launches the daemon;
+// run it with `make integration` or directly:
+//
+//	PARTITAD_INTEGRATION=1 go test -run TestPartitadIntegration ./internal/service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"partita"
+	"partita/internal/apps"
+)
+
+func TestPartitadIntegration(t *testing.T) {
+	if os.Getenv("PARTITAD_INTEGRATION") == "" {
+		t.Skip("set PARTITAD_INTEGRATION=1 to run the daemon end-to-end test")
+	}
+
+	bin := filepath.Join(t.TempDir(), "partitad")
+	build := exec.Command("go", "build", "-o", bin, "partita/cmd/partitad")
+	build.Dir = repoRoot(t)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build partitad: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "2")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	defer func() {
+		_ = cmd.Process.Signal(syscall.SIGTERM)
+		select {
+		case <-exited:
+		case <-time.After(30 * time.Second):
+			_ = cmd.Process.Kill()
+			t.Error("partitad did not exit after SIGTERM")
+		}
+	}()
+
+	// The first stdout line carries the resolved listen address.
+	line, err := bufio.NewReader(stdout).ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading listen line: %v", err)
+	}
+	const prefix = "partitad listening on "
+	if !strings.HasPrefix(line, prefix) {
+		t.Fatalf("unexpected startup line %q", line)
+	}
+	base := "http://" + strings.TrimSpace(strings.TrimPrefix(line, prefix))
+
+	const rg = 10000
+	submit := func() JobView {
+		body, _ := json.Marshal(JobSpec{Kind: KindSelect, Workload: "gsm", RequiredGain: rg})
+		resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit: status %d", resp.StatusCode)
+		}
+		var v JobView
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	poll := func(id string) JobView {
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			resp, err := http.Get(base + "/v1/jobs/" + id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var v JobView
+			err = json.NewDecoder(resp.Body).Decode(&v)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.Status == StatusDone || v.Status == StatusFailed {
+				return v
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck: %+v", id, v)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	first := poll(submit().ID)
+	if first.Status != StatusDone || !first.Result.Selection.Solved() {
+		t.Fatalf("first job: %+v", first)
+	}
+
+	// The daemon's answer must match the library called directly.
+	w, err := apps.GSMEncoderWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := partita.Analyze(w.Source, w.Root, w.Catalog, partita.Options{DataCount: w.DataCount})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := d.Select(rg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := first.Result.Selection
+	if got.Area != want.Area || got.Gain != want.Gain || got.Status != want.Status.String() {
+		t.Errorf("service (%s A=%v G=%v) != library (%s A=%v G=%v)",
+			got.Status, got.Area, got.Gain, want.Status, want.Area, want.Gain)
+	}
+
+	// An identical resubmission must be answered from the result cache.
+	second := submit()
+	if second.Status != StatusDone || !second.Cached {
+		t.Errorf("resubmission not served from cache: %+v", second)
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	metrics := buf.String()
+	for _, want := range []string{
+		`partitad_cache_hits_total{cache="result"} 1`,
+		`partitad_jobs_submitted_total{kind="select"} 2`,
+		"partitad_solve_seconds_count 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		fmt.Println(metrics)
+	}
+}
+
+// repoRoot walks up from the package directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod found")
+		}
+		dir = parent
+	}
+}

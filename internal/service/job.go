@@ -1,0 +1,359 @@
+package service
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"partita"
+	"partita/internal/apps"
+)
+
+// Kind names a job type.
+type Kind string
+
+// Job kinds.
+const (
+	// KindAnalyze parses, lowers, and summarizes the program's IMP
+	// database without solving.
+	KindAnalyze Kind = "analyze"
+	// KindSelect solves one S-instruction selection.
+	KindSelect Kind = "select"
+	// KindSweep solves the area/gain trade-off curve.
+	KindSweep Kind = "sweep"
+)
+
+// SpecOptions mirrors the declarative fields of partita.Options.
+type SpecOptions struct {
+	Optimize     bool  `json:"optimize,omitempty"`
+	Problem2     bool  `json:"problem2,omitempty"`
+	DefaultTrips int64 `json:"defaultTrips,omitempty"`
+}
+
+// JobSpec is one submitted job. Either Workload names a bundled
+// application (gsm, jpeg, jpegdec) or Source/Root/Catalog describe the
+// program inline; the two forms are mutually exclusive.
+type JobSpec struct {
+	Kind     Kind   `json:"kind"`
+	Workload string `json:"workload,omitempty"`
+	// Source is the mini-C program; Root the function whose s-calls are
+	// optimized; Catalog the IP library (required with Source).
+	Source  string        `json:"source,omitempty"`
+	Root    string        `json:"root,omitempty"`
+	Catalog []*partita.IP `json:"catalog,omitempty"`
+	Options SpecOptions   `json:"options"`
+	// RequiredGain is the per-path cycle-gain constraint of a select
+	// job; PerPath optionally overrides it per execution path.
+	RequiredGain int64   `json:"requiredGain,omitempty"`
+	PerPath      []int64 `json:"perPath,omitempty"`
+	// Points is the sweep resolution (default 5, capped at 50).
+	Points int `json:"points,omitempty"`
+	// TimeoutMs bounds the solve wall clock; MaxNodes bounds the
+	// branch-and-bound work. On exhaustion the job still completes, with
+	// a feasible (anytime) or degraded result.
+	TimeoutMs int64 `json:"timeoutMs,omitempty"`
+	MaxNodes  int   `json:"maxNodes,omitempty"`
+}
+
+// maxSweepPoints caps the per-job sweep resolution.
+const maxSweepPoints = 50
+
+// Validate checks the structural rules that do not need workload
+// resolution.
+func (s *JobSpec) Validate() error {
+	switch s.Kind {
+	case KindAnalyze, KindSelect, KindSweep:
+	case "":
+		return fmt.Errorf("service: missing job kind (analyze, select, or sweep)")
+	default:
+		return fmt.Errorf("service: unknown job kind %q", s.Kind)
+	}
+	if s.Workload != "" {
+		if s.Source != "" || len(s.Catalog) > 0 {
+			return fmt.Errorf("service: workload and inline source/catalog are mutually exclusive")
+		}
+	} else {
+		if s.Source == "" {
+			return fmt.Errorf("service: either workload or source is required")
+		}
+		if s.Root == "" {
+			return fmt.Errorf("service: root is required with source")
+		}
+		if len(s.Catalog) == 0 {
+			return fmt.Errorf("service: catalog is required with source")
+		}
+	}
+	if s.RequiredGain < 0 {
+		return fmt.Errorf("service: requiredGain must be >= 0")
+	}
+	if s.Points < 0 || s.Points > maxSweepPoints {
+		return fmt.Errorf("service: points must be in [0, %d]", maxSweepPoints)
+	}
+	if s.TimeoutMs < 0 {
+		return fmt.Errorf("service: timeoutMs must be >= 0")
+	}
+	if s.MaxNodes < 0 {
+		return fmt.Errorf("service: maxNodes must be >= 0")
+	}
+	if len(s.PerPath) > 0 && s.Kind != KindSelect {
+		return fmt.Errorf("service: perPath applies only to select jobs")
+	}
+	return nil
+}
+
+// resolveWorkload maps a bundled-workload name to its definition.
+// Workloads are built once and shared: their pieces are read-only.
+var resolveWorkload = func() func(name string) (apps.Workload, error) {
+	var mu sync.Mutex
+	cache := map[string]apps.Workload{}
+	builders := map[string]func() (apps.Workload, error){
+		"gsm":     apps.GSMEncoderWorkload,
+		"jpeg":    apps.JPEGEncoderWorkload,
+		"jpegdec": apps.JPEGDecoderWorkload,
+	}
+	return func(name string) (apps.Workload, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if w, ok := cache[name]; ok {
+			return w, nil
+		}
+		build, ok := builders[name]
+		if !ok {
+			return apps.Workload{}, fmt.Errorf("service: unknown workload %q (have gsm, jpeg, jpegdec)", name)
+		}
+		w, err := build()
+		if err != nil {
+			return apps.Workload{}, err
+		}
+		cache[name] = w
+		return w, nil
+	}
+}()
+
+// resolve expands the spec into Analyze inputs plus the hash tags that
+// make non-declarative inputs (bundled DataCount functions) part of the
+// content address.
+func (s *JobSpec) resolve() (source, root string, cat *partita.Catalog, opt partita.Options, tags []string, err error) {
+	opt = partita.Options{
+		Optimize:     s.Options.Optimize,
+		Problem2:     s.Options.Problem2,
+		DefaultTrips: s.Options.DefaultTrips,
+	}
+	if s.Workload != "" {
+		w, werr := resolveWorkload(s.Workload)
+		if werr != nil {
+			err = werr
+			return
+		}
+		root = w.Root
+		if s.Root != "" {
+			root = s.Root
+		}
+		opt.DataCount = w.DataCount
+		return w.Source, root, w.Catalog, opt, []string{"workload:" + s.Workload}, nil
+	}
+	cat, err = partita.NewCatalog(s.Catalog...)
+	if err != nil {
+		return
+	}
+	return s.Source, s.Root, cat, opt, nil, nil
+}
+
+// designKey is the content address of the analyzed design alone.
+func (s *JobSpec) designKey() (string, error) {
+	source, root, cat, opt, tags, err := s.resolve()
+	if err != nil {
+		return "", err
+	}
+	return partita.CanonicalHash(source, root, cat, opt, tags...), nil
+}
+
+// resultKey is the content address of the full job: the design key plus
+// every field that can change the answer (kind, gains, sweep
+// resolution, and the solve budgets — a budget-limited anytime result
+// must not be served to an unlimited request).
+func (s *JobSpec) resultKey() (string, error) {
+	source, root, cat, opt, tags, err := s.resolve()
+	if err != nil {
+		return "", err
+	}
+	per := make([]string, len(s.PerPath))
+	for i, v := range s.PerPath {
+		per[i] = strconv.FormatInt(v, 10)
+	}
+	tags = append(tags,
+		"kind:"+string(s.Kind),
+		"rg:"+strconv.FormatInt(s.RequiredGain, 10),
+		"perPath:"+strings.Join(per, ","),
+		"points:"+strconv.Itoa(s.Points),
+		"timeoutMs:"+strconv.FormatInt(s.TimeoutMs, 10),
+		"maxNodes:"+strconv.Itoa(s.MaxNodes),
+	)
+	return partita.CanonicalHash(source, root, cat, opt, tags...), nil
+}
+
+// Status is a job lifecycle state.
+type Status string
+
+// Job lifecycle states.
+const (
+	StatusQueued  Status = "queued"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// Progress is the anytime snapshot of a running solve, updated on every
+// new incumbent.
+type Progress struct {
+	// IncumbentArea is the best configuration's area so far.
+	IncumbentArea float64 `json:"incumbentArea"`
+	// Bound is the proven lower bound on the optimal area (-1 when no
+	// finite bound is known).
+	Bound float64 `json:"bound"`
+	// Gap is the relative optimality gap (-1 when unknown).
+	Gap float64 `json:"gap"`
+	// Nodes counts branch-and-bound nodes explored so far.
+	Nodes int `json:"nodes"`
+	// Incumbents counts how many strictly improving configurations the
+	// solver has reported.
+	Incumbents int `json:"incumbents"`
+}
+
+// JobResult is the wire form of one finished job; exactly one of the
+// payload fields is set, matching Kind.
+type JobResult struct {
+	Kind      Kind               `json:"kind"`
+	Analyze   *AnalyzeResult     `json:"analyze,omitempty"`
+	Selection *SelectionResult   `json:"selection,omitempty"`
+	Sweep     []SweepPointResult `json:"sweep,omitempty"`
+}
+
+// Job is one tracked submission.
+type Job struct {
+	ID   string
+	Spec JobSpec
+	Key  string
+
+	mu        sync.Mutex
+	status    Status
+	cached    bool
+	progress  *Progress
+	result    *JobResult
+	errMsg    string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// JobView is the JSON snapshot served by the poll endpoints.
+type JobView struct {
+	ID          string     `json:"id"`
+	Kind        Kind       `json:"kind"`
+	Status      Status     `json:"status"`
+	Cached      bool       `json:"cached,omitempty"`
+	Key         string     `json:"key"`
+	SubmittedAt time.Time  `json:"submittedAt"`
+	StartedAt   *time.Time `json:"startedAt,omitempty"`
+	FinishedAt  *time.Time `json:"finishedAt,omitempty"`
+	Progress    *Progress  `json:"progress,omitempty"`
+	Result      *JobResult `json:"result,omitempty"`
+	Error       string     `json:"error,omitempty"`
+}
+
+// View snapshots the job for serialization.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:          j.ID,
+		Kind:        j.Spec.Kind,
+		Status:      j.status,
+		Cached:      j.cached,
+		Key:         j.Key,
+		SubmittedAt: j.submitted,
+		Error:       j.errMsg,
+		Result:      j.result,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.FinishedAt = &t
+	}
+	if j.progress != nil {
+		p := *j.progress
+		v.Progress = &p
+	}
+	return v
+}
+
+// Done reports whether the job reached a terminal state.
+func (j *Job) Done() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status == StatusDone || j.status == StatusFailed
+}
+
+// Result returns the finished result, or nil.
+func (j *Job) Result() *JobResult {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+func (j *Job) setRunning(now time.Time) {
+	j.mu.Lock()
+	j.status = StatusRunning
+	j.started = now
+	j.mu.Unlock()
+}
+
+func (j *Job) complete(res *JobResult, cached bool, now time.Time) {
+	j.mu.Lock()
+	j.status = StatusDone
+	j.result = res
+	j.cached = cached
+	j.finished = now
+	j.mu.Unlock()
+}
+
+func (j *Job) fail(err error, now time.Time) {
+	j.mu.Lock()
+	j.status = StatusFailed
+	j.errMsg = err.Error()
+	j.finished = now
+	j.mu.Unlock()
+}
+
+// observe is the solver progress hook: it folds each new incumbent into
+// the poll snapshot. Called synchronously from the solving goroutine.
+func (j *Job) observe(in partita.Incumbent) {
+	bound, gap := in.Bound, in.Gap
+	if !finite(bound) {
+		bound = -1
+	}
+	if !finite(gap) {
+		gap = -1
+	}
+	j.mu.Lock()
+	n := 1
+	if j.progress != nil {
+		n = j.progress.Incumbents + 1
+	}
+	j.progress = &Progress{
+		IncumbentArea: in.Area,
+		Bound:         bound,
+		Gap:           gap,
+		Nodes:         in.Nodes,
+		Incumbents:    n,
+	}
+	j.mu.Unlock()
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -1,0 +1,145 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// solveBuckets are the latency histogram bucket upper bounds in seconds.
+// They span sub-millisecond cache-adjacent solves up to the deadline
+// regime where jobs degrade to anytime incumbents.
+var solveBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+
+// Metrics accumulates the daemon's counters and the solve-latency
+// histogram. Gauges (queue depth, busy workers, cache sizes) are
+// sampled from the live server at render time instead of being stored.
+type Metrics struct {
+	mu        sync.Mutex
+	submitted map[string]uint64 // by job kind
+	completed map[string]uint64 // by outcome: optimal|feasible|degraded|infeasible|error
+	rejected  uint64
+	coalesced uint64
+	bucketN   []uint64
+	solveSum  float64
+	solveN    uint64
+}
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		submitted: map[string]uint64{},
+		completed: map[string]uint64{},
+		bucketN:   make([]uint64, len(solveBuckets)),
+	}
+}
+
+// JobSubmitted counts one accepted submission of the given kind.
+func (m *Metrics) JobSubmitted(kind string) {
+	m.mu.Lock()
+	m.submitted[kind]++
+	m.mu.Unlock()
+}
+
+// JobRejected counts one admission-control rejection (full queue or
+// draining server).
+func (m *Metrics) JobRejected() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+// JobCoalesced counts one submission that attached to an identical
+// in-flight job instead of enqueuing a duplicate.
+func (m *Metrics) JobCoalesced() {
+	m.mu.Lock()
+	m.coalesced++
+	m.mu.Unlock()
+}
+
+// JobCompleted counts one finished job by outcome and records its solve
+// wall time in the latency histogram.
+func (m *Metrics) JobCompleted(outcome string, seconds float64) {
+	m.mu.Lock()
+	m.completed[outcome]++
+	for i, ub := range solveBuckets {
+		if seconds <= ub {
+			m.bucketN[i]++
+		}
+	}
+	m.solveSum += seconds
+	m.solveN++
+	m.mu.Unlock()
+}
+
+// Gauges carries the point-in-time values the server samples when
+// rendering /metrics.
+type Gauges struct {
+	Workers     int
+	WorkersBusy int
+	QueueDepth  int
+	Draining    bool
+	JobsTracked int
+}
+
+// cacheStat is one cache's identity and counters for rendering.
+type cacheStat struct {
+	name         string
+	hits, misses uint64
+	entries      int
+}
+
+// WritePrometheus renders the metrics in the Prometheus text exposition
+// format (text/plain; version=0.0.4).
+func (m *Metrics) WritePrometheus(w io.Writer, g Gauges, caches []cacheStat) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	writeMap := func(name, help, label string, vals map[string]uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		keys := make([]string, 0, len(vals))
+		for k := range vals {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "%s{%s=%q} %d\n", name, label, k, vals[k])
+		}
+	}
+	writeMap("partitad_jobs_submitted_total", "Jobs accepted, by kind.", "kind", m.submitted)
+	writeMap("partitad_jobs_completed_total", "Jobs finished, by outcome.", "outcome", m.completed)
+	fmt.Fprintf(w, "# HELP partitad_jobs_rejected_total Submissions rejected by admission control.\n# TYPE partitad_jobs_rejected_total counter\npartitad_jobs_rejected_total %d\n", m.rejected)
+	fmt.Fprintf(w, "# HELP partitad_jobs_coalesced_total Submissions attached to an identical in-flight job.\n# TYPE partitad_jobs_coalesced_total counter\npartitad_jobs_coalesced_total %d\n", m.coalesced)
+
+	fmt.Fprintf(w, "# HELP partitad_cache_hits_total Cache hits, by cache.\n# TYPE partitad_cache_hits_total counter\n")
+	for _, c := range caches {
+		fmt.Fprintf(w, "partitad_cache_hits_total{cache=%q} %d\n", c.name, c.hits)
+	}
+	fmt.Fprintf(w, "# HELP partitad_cache_misses_total Cache misses, by cache.\n# TYPE partitad_cache_misses_total counter\n")
+	for _, c := range caches {
+		fmt.Fprintf(w, "partitad_cache_misses_total{cache=%q} %d\n", c.name, c.misses)
+	}
+	fmt.Fprintf(w, "# HELP partitad_cache_entries Live cache entries, by cache.\n# TYPE partitad_cache_entries gauge\n")
+	for _, c := range caches {
+		fmt.Fprintf(w, "partitad_cache_entries{cache=%q} %d\n", c.name, c.entries)
+	}
+
+	fmt.Fprintf(w, "# HELP partitad_workers Configured worker count.\n# TYPE partitad_workers gauge\npartitad_workers %d\n", g.Workers)
+	fmt.Fprintf(w, "# HELP partitad_workers_busy Workers currently running a job.\n# TYPE partitad_workers_busy gauge\npartitad_workers_busy %d\n", g.WorkersBusy)
+	fmt.Fprintf(w, "# HELP partitad_queue_depth Jobs waiting in the admission queue.\n# TYPE partitad_queue_depth gauge\npartitad_queue_depth %d\n", g.QueueDepth)
+	fmt.Fprintf(w, "# HELP partitad_jobs_tracked Jobs retained for polling.\n# TYPE partitad_jobs_tracked gauge\npartitad_jobs_tracked %d\n", g.JobsTracked)
+	draining := 0
+	if g.Draining {
+		draining = 1
+	}
+	fmt.Fprintf(w, "# HELP partitad_draining Whether the server is draining for shutdown.\n# TYPE partitad_draining gauge\npartitad_draining %d\n", draining)
+
+	fmt.Fprintf(w, "# HELP partitad_solve_seconds Job solve wall time.\n# TYPE partitad_solve_seconds histogram\n")
+	for i, ub := range solveBuckets {
+		fmt.Fprintf(w, "partitad_solve_seconds_bucket{le=%q} %d\n", fmt.Sprintf("%g", ub), m.bucketN[i])
+	}
+	fmt.Fprintf(w, "partitad_solve_seconds_bucket{le=\"+Inf\"} %d\n", m.solveN)
+	fmt.Fprintf(w, "partitad_solve_seconds_sum %g\n", m.solveSum)
+	fmt.Fprintf(w, "partitad_solve_seconds_count %d\n", m.solveN)
+}

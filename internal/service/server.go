@@ -1,0 +1,456 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"partita"
+)
+
+// Config tunes a Server. Zero fields take the documented defaults.
+type Config struct {
+	// Workers is the solver pool size (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of jobs waiting for a worker;
+	// submissions beyond it are rejected with 503 (default 64).
+	QueueDepth int
+	// DesignCacheSize bounds the analyzed-design LRU (default 32).
+	DesignCacheSize int
+	// ResultCacheSize bounds the finished-result LRU (default 256).
+	ResultCacheSize int
+	// DefaultTimeout applies to jobs that set no TimeoutMs (0 = none).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps every job deadline (default 2m; jobs asking for
+	// more are clamped, and jobs asking for none inherit it).
+	MaxTimeout time.Duration
+	// MaxJobs bounds how many jobs are retained for polling; the oldest
+	// finished jobs are evicted first (default 1024).
+	MaxJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.DesignCacheSize <= 0 {
+		c.DesignCacheSize = 32
+	}
+	if c.ResultCacheSize <= 0 {
+		c.ResultCacheSize = 256
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	return c
+}
+
+// Admission-control sentinels; the HTTP layer maps both to 503.
+var (
+	// ErrDraining reports that the server is shutting down and accepts
+	// no new jobs.
+	ErrDraining = errors.New("service: draining, not accepting jobs")
+	// ErrQueueFull reports that the admission queue is at capacity.
+	ErrQueueFull = errors.New("service: job queue full")
+)
+
+// Server is the partitad core: job store, admission queue, worker pool,
+// content-addressed caches, and the HTTP surface. Create with New,
+// launch the pool with Start, serve the Handler, and stop with
+// Shutdown.
+type Server struct {
+	cfg     Config
+	metrics *Metrics
+	designs *Cache
+	results *Cache
+	mux     *http.ServeMux
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string        // job IDs in submission order
+	inflight map[string]*Job // queued/running jobs by result key
+
+	queue       chan *Job
+	drain       chan struct{}
+	stopWorkers chan struct{}
+	jobWG       sync.WaitGroup // queued + running jobs
+	workerWG    sync.WaitGroup
+	draining    atomic.Bool
+	busy        atomic.Int64
+	seq         atomic.Uint64
+	startOnce   sync.Once
+	drainOnce   sync.Once
+	stopOnce    sync.Once
+}
+
+// New builds a Server (workers are not started yet; call Start).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:         cfg,
+		metrics:     NewMetrics(),
+		designs:     NewCache(cfg.DesignCacheSize),
+		results:     NewCache(cfg.ResultCacheSize),
+		jobs:        map[string]*Job{},
+		inflight:    map[string]*Job{},
+		queue:       make(chan *Job, cfg.QueueDepth),
+		drain:       make(chan struct{}),
+		stopWorkers: make(chan struct{}),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// Start launches the worker pool. Safe to call once; later calls are
+// no-ops.
+func (s *Server) Start() {
+	s.startOnce.Do(func() {
+		for i := 0; i < s.cfg.Workers; i++ {
+			s.workerWG.Add(1)
+			go s.worker()
+		}
+	})
+}
+
+// Handler returns the HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP makes the Server itself an http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Shutdown drains gracefully: new submissions are rejected, every
+// queued and running job finishes (running solves see an expired
+// deadline and return their best incumbents), then the workers stop.
+// The context bounds how long to wait for the drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.drainOnce.Do(func() { close(s.drain) })
+	done := make(chan struct{})
+	go func() {
+		s.jobWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	s.stopOnce.Do(func() { close(s.stopWorkers) })
+	s.workerWG.Wait()
+	return nil
+}
+
+// Submit validates, content-addresses, and admits one job. Cached
+// results complete the job immediately; an identical in-flight job is
+// returned instead of enqueuing a duplicate (coalescing). The error is
+// ErrDraining or ErrQueueFull for admission rejections, anything else
+// for invalid specs.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if s.draining.Load() {
+		s.metrics.JobRejected()
+		return nil, ErrDraining
+	}
+	key, err := spec.resultKey()
+	if err != nil {
+		return nil, err
+	}
+	now := time.Now()
+	job := &Job{
+		ID:        fmt.Sprintf("j%06d", s.seq.Add(1)),
+		Spec:      spec,
+		Key:       key,
+		status:    StatusQueued,
+		submitted: now,
+	}
+	if v, ok := s.results.Get(key); ok {
+		job.complete(v.(*JobResult), true, now)
+		s.track(job)
+		s.metrics.JobSubmitted(string(spec.Kind))
+		return job, nil
+	}
+	s.mu.Lock()
+	if prev, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		s.metrics.JobCoalesced()
+		return prev, nil
+	}
+	s.inflight[key] = job
+	s.mu.Unlock()
+	s.jobWG.Add(1)
+	select {
+	case s.queue <- job:
+	default:
+		s.jobWG.Done()
+		s.mu.Lock()
+		delete(s.inflight, key)
+		s.mu.Unlock()
+		s.metrics.JobRejected()
+		return nil, ErrQueueFull
+	}
+	s.track(job)
+	s.metrics.JobSubmitted(string(spec.Kind))
+	return job, nil
+}
+
+// Job returns a tracked job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// track retains the job for polling, evicting the oldest finished jobs
+// beyond the retention bound.
+func (s *Server) track(job *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	if len(s.order) <= s.cfg.MaxJobs {
+		return
+	}
+	kept := s.order[:0]
+	excess := len(s.order) - s.cfg.MaxJobs
+	for _, id := range s.order {
+		if excess > 0 && s.jobs[id].Done() {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for {
+		select {
+		case job := <-s.queue:
+			s.runJob(job)
+		case <-s.stopWorkers:
+			return
+		}
+	}
+}
+
+func (s *Server) runJob(job *Job) {
+	defer s.jobWG.Done()
+	s.busy.Add(1)
+	defer s.busy.Add(-1)
+	job.setRunning(time.Now())
+	start := time.Now()
+	res, outcome, err := s.execute(job)
+	elapsed := time.Since(start).Seconds()
+	s.mu.Lock()
+	delete(s.inflight, job.Key)
+	s.mu.Unlock()
+	if err != nil {
+		job.fail(err, time.Now())
+		s.metrics.JobCompleted("error", elapsed)
+		return
+	}
+	job.complete(res, false, time.Now())
+	s.metrics.JobCompleted(outcome, elapsed)
+	// Results produced while draining may be artificially degraded by
+	// the shutdown deadline; never memoize those.
+	if !s.draining.Load() {
+		s.results.Put(job.Key, res)
+	}
+}
+
+// design returns the analyzed design for the job's program, memoized in
+// the content-addressed design cache.
+func (s *Server) design(spec JobSpec) (*partita.Design, error) {
+	source, root, cat, opt, tags, err := spec.resolve()
+	if err != nil {
+		return nil, err
+	}
+	key := partita.CanonicalHash(source, root, cat, opt, tags...)
+	if v, ok := s.designs.Get(key); ok {
+		return v.(*partita.Design), nil
+	}
+	d, err := partita.Analyze(source, root, cat, opt)
+	if err != nil {
+		return nil, err
+	}
+	s.designs.Put(key, d)
+	return d, nil
+}
+
+// execute runs one job to completion under its deadline, node budget,
+// and the server drain.
+func (s *Server) execute(job *Job) (*JobResult, string, error) {
+	spec := job.Spec
+	design, err := s.design(spec)
+	if err != nil {
+		return nil, "", err
+	}
+	if spec.Kind == KindAnalyze {
+		return &JobResult{Kind: spec.Kind, Analyze: NewAnalyzeResult(design)}, "optimal", nil
+	}
+
+	ctx, stop := withDrain(context.Background(), s.drain)
+	defer stop()
+	timeout := s.cfg.DefaultTimeout
+	if spec.TimeoutMs > 0 {
+		timeout = time.Duration(spec.TimeoutMs) * time.Millisecond
+	}
+	if s.cfg.MaxTimeout > 0 && (timeout <= 0 || timeout > s.cfg.MaxTimeout) {
+		timeout = s.cfg.MaxTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	bud := partita.Budget{MaxNodes: spec.MaxNodes}
+
+	switch spec.Kind {
+	case KindSelect:
+		var sel *partita.Selection
+		if len(spec.PerPath) > 0 {
+			sel, err = design.SelectPerPathCtx(ctx, spec.RequiredGain, spec.PerPath, bud)
+		} else {
+			sel, err = design.SelectCtxObserve(ctx, spec.RequiredGain, bud, job.observe)
+		}
+		if err != nil {
+			return nil, "", err
+		}
+		return &JobResult{Kind: spec.Kind, Selection: NewSelectionResult(sel)}, Outcome(sel), nil
+	case KindSweep:
+		points := spec.Points
+		if points <= 0 {
+			points = 5
+		}
+		pts, err := design.SweepCtx(ctx, points, bud)
+		if err != nil {
+			return nil, "", err
+		}
+		outcome := "optimal"
+		for _, p := range pts {
+			switch o := Outcome(p.Sel); o {
+			case "degraded":
+				outcome = o
+			case "feasible":
+				if outcome == "optimal" {
+					outcome = o
+				}
+			}
+		}
+		return &JobResult{Kind: spec.Kind, Sweep: NewSweepResult(pts)}, outcome, nil
+	}
+	return nil, "", fmt.Errorf("service: unhandled job kind %q", spec.Kind)
+}
+
+// ---- HTTP handlers ----
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad job spec: %w", err))
+		return
+	}
+	job, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	code := http.StatusAccepted
+	if job.Done() {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, job.View())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	views := make([]JobView, 0, len(s.order))
+	for _, id := range s.order {
+		views = append(views, s.jobs[id].View())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: no such job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.View())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	dh, dm := s.designs.Stats()
+	rh, rm := s.results.Stats()
+	s.mu.Lock()
+	tracked := len(s.jobs)
+	s.mu.Unlock()
+	s.metrics.WritePrometheus(w, Gauges{
+		Workers:     s.cfg.Workers,
+		WorkersBusy: int(s.busy.Load()),
+		QueueDepth:  len(s.queue),
+		Draining:    s.draining.Load(),
+		JobsTracked: tracked,
+	}, []cacheStat{
+		{name: "design", hits: dh, misses: dm, entries: s.designs.Len()},
+		{name: "result", hits: rh, misses: rm, entries: s.results.Len()},
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	code := http.StatusOK
+	status := "ok"
+	if s.draining.Load() {
+		code = http.StatusServiceUnavailable
+		status = "draining"
+	}
+	writeJSON(w, code, map[string]any{
+		"status":     status,
+		"workers":    s.cfg.Workers,
+		"queueDepth": len(s.queue),
+	})
+}

@@ -1,0 +1,501 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"partita"
+	"partita/internal/budget"
+)
+
+// testSource is a small two-kernel program that solves in well under a
+// millisecond, keeping the service tests fast.
+const testSource = `
+xmem int signal[32] = {5, -3, 12, 7, -9, 4, 0, 8, 5, -3, 12, 7, -9, 4, 0, 8,
+                       5, -3, 12, 7, -9, 4, 0, 8, 5, -3, 12, 7, -9, 4, 0, 8};
+ymem int taps[4] = {8192, 16384, 8192, 4096};
+xmem int filtered[32];
+xmem int quantized[32];
+int status;
+
+int fir(xmem int in[], ymem int c[], xmem int out[], int n, int k) {
+	int i; int j; int acc;
+	for (i = 0; i + k <= n; i = i + 1) {
+		acc = 0;
+		for (j = 0; j < k; j = j + 1) { acc = acc + in[i + j] * c[j]; }
+		out[i] = acc >> 15;
+	}
+	return out[0];
+}
+
+int quant(xmem int in[], xmem int out[], int n) {
+	int i;
+	for (i = 0; i < n; i = i + 1) { out[i] = in[i] / 4; }
+	return out[0];
+}
+
+int process() {
+	int a; int b;
+	a = fir(signal, taps, filtered, 32, 4);
+	b = quant(filtered, quantized, 32);
+	status = a + b;
+	return status;
+}
+
+int main() {
+	return process();
+}
+`
+
+func testCatalog() []*partita.IP {
+	return []*partita.IP{
+		{ID: "FIR8", Name: "FIR engine", Funcs: []string{"fir"},
+			InPorts: 2, OutPorts: 2, InRate: 4, OutRate: 4,
+			Latency: 8, Pipelined: true, Area: 5},
+		{ID: "QNT", Name: "quantizer", Funcs: []string{"quant"},
+			InPorts: 1, OutPorts: 1, InRate: 2, OutRate: 2,
+			Latency: 4, Pipelined: true, Area: 2},
+	}
+}
+
+func selectSpec(rg int64) JobSpec {
+	return JobSpec{
+		Kind:         KindSelect,
+		Source:       testSource,
+		Root:         "process",
+		Catalog:      testCatalog(),
+		RequiredGain: rg,
+	}
+}
+
+func waitDone(t testing.TB, job *Job) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !job.Done() {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s did not finish; view: %+v", job.ID, job.View())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s := New(cfg)
+	s.Start()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return s
+}
+
+func TestSubmitSelectAndCacheHit(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2})
+
+	first, err := s.Submit(selectSpec(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, first)
+	v1 := first.View()
+	if v1.Status != StatusDone {
+		t.Fatalf("first job: %+v", v1)
+	}
+	if v1.Cached {
+		t.Fatal("first job must be a cache miss")
+	}
+	if !v1.Result.Selection.Solved() {
+		t.Fatalf("first selection not solved: %+v", v1.Result.Selection)
+	}
+
+	second, err := s.Submit(selectSpec(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := second.View()
+	if v2.Status != StatusDone || !v2.Cached {
+		t.Fatalf("second job should complete instantly from cache: %+v", v2)
+	}
+	if !reflect.DeepEqual(v1.Result, v2.Result) {
+		t.Errorf("cached result differs:\nfirst:  %+v\nsecond: %+v", v1.Result, v2.Result)
+	}
+	if hits, _ := s.results.Stats(); hits < 1 {
+		t.Errorf("result cache hits = %d, want >= 1", hits)
+	}
+
+	// A different gain is a different content address.
+	third, err := s.Submit(selectSpec(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.View().Cached {
+		t.Error("different requiredGain must not hit the cache")
+	}
+	waitDone(t, third)
+}
+
+func TestTightBudgetReturnsIncumbentNotError(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	spec := selectSpec(1000)
+	spec.MaxNodes = 1 // deterministic exhaustion on the first node
+	job, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	v := job.View()
+	if v.Status != StatusDone {
+		t.Fatalf("budget exhaustion must not fail the job: %+v", v)
+	}
+	sel := v.Result.Selection
+	if sel == nil || !sel.Solved() {
+		t.Fatalf("expected a usable incumbent, got %+v", sel)
+	}
+	if sel.Status == "optimal" && sel.Degraded == "" {
+		t.Fatalf("one-node budget cannot prove optimality: %+v", sel)
+	}
+	if sel.Degraded == "" && sel.Gap < 0 {
+		// Anytime incumbents carry their gap; -1 (unknown bound) is
+		// only acceptable alongside a recorded gap convention.
+		t.Logf("gap unknown (no finite bound): %+v", sel)
+	}
+}
+
+func TestTightDeadlineReturnsDegradedNotError(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	spec := selectSpec(1000)
+	spec.TimeoutMs = 1
+	job, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	v := job.View()
+	if v.Status != StatusDone {
+		t.Fatalf("deadline expiry must not fail the job: %+v", v)
+	}
+	if v.Result.Selection == nil {
+		t.Fatalf("no selection in result: %+v", v.Result)
+	}
+}
+
+func TestAnalyzeAndSweepJobs(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2})
+
+	an, err := s.Submit(JobSpec{Kind: KindAnalyze, Source: testSource, Root: "process", Catalog: testCatalog()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, an)
+	av := an.View()
+	if av.Status != StatusDone || av.Result.Analyze == nil {
+		t.Fatalf("analyze: %+v", av)
+	}
+	if len(av.Result.Analyze.SCalls) == 0 || av.Result.Analyze.MaxReachableGain <= 0 {
+		t.Errorf("analyze summary incomplete: %+v", av.Result.Analyze)
+	}
+
+	sw, err := s.Submit(JobSpec{Kind: KindSweep, Source: testSource, Root: "process", Catalog: testCatalog(), Points: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, sw)
+	sv := sw.View()
+	if sv.Status != StatusDone || len(sv.Result.Sweep) != 3 {
+		t.Fatalf("sweep: %+v", sv)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := New(Config{}) // no workers needed
+	cases := []JobSpec{
+		{},                 // no kind
+		{Kind: "optimize"}, // unknown kind
+		{Kind: KindSelect}, // no program at all
+		{Kind: KindSelect, Source: "int main() { return 0; }"},                                // no root/catalog
+		{Kind: KindSelect, Workload: "gsm", Source: "x"},                                      // both forms
+		{Kind: KindSelect, Workload: "gsm", RequiredGain: -1},                                 // bad gain
+		{Kind: KindSweep, Workload: "gsm", Points: maxSweepPoints + 1},                        // too many points
+		{Kind: KindSelect, Workload: "nope"},                                                  // unknown workload
+		{Kind: KindAnalyze, Workload: "gsm", PerPath: []int64{1}},                             // perPath on non-select
+		{Kind: KindSelect, Source: "x", Root: "r", Catalog: testCatalog()[:1], TimeoutMs: -5}, // bad timeout
+	}
+	for i, spec := range cases {
+		if _, err := s.Submit(spec); err == nil {
+			t.Errorf("case %d: invalid spec accepted: %+v", i, spec)
+		}
+	}
+}
+
+func TestQueueFullRejects(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1}) // workers never started
+	if _, err := s.Submit(selectSpec(100)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Submit(selectSpec(200))
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+}
+
+func TestCoalescingIdenticalInflight(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4}) // workers never started
+	first, err := s.Submit(selectSpec(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Submit(selectSpec(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Error("identical in-flight submissions should coalesce to one job")
+	}
+}
+
+func TestShutdownDrainsAndRejects(t *testing.T) {
+	s := New(Config{Workers: 1})
+	s.Start()
+	job, err := s.Submit(selectSpec(1500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The in-flight job must have completed with a usable result — the
+	// drain presents as a deadline, so the solver hands back its best
+	// incumbent (or the greedy fallback) instead of erroring.
+	v := job.View()
+	if v.Status != StatusDone {
+		t.Fatalf("drained job did not complete: %+v", v)
+	}
+	if v.Result == nil || v.Result.Selection == nil || !v.Result.Selection.Solved() {
+		t.Fatalf("drained job has no usable selection: %+v", v.Result)
+	}
+	if _, err := s.Submit(selectSpec(99)); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain submit err = %v, want ErrDraining", err)
+	}
+}
+
+func TestDrainContextPresentsAsDeadline(t *testing.T) {
+	drain := make(chan struct{})
+	ctx, stop := withDrain(context.Background(), drain)
+	defer stop()
+	if err := budget.Check(ctx); err != nil {
+		t.Fatalf("live drain context should pass budget.Check: %v", err)
+	}
+	close(drain)
+	<-ctx.Done()
+	if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		t.Fatalf("ctx.Err() = %v, want DeadlineExceeded", ctx.Err())
+	}
+	err := budget.Check(ctx)
+	if !budget.IsExhausted(err) {
+		t.Fatalf("budget.Check = %v, want exhaustion", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatal("drain must not present as cancellation")
+	}
+}
+
+func TestHTTPEndToEnd(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	submit := func(spec JobSpec) (JobView, int) {
+		t.Helper()
+		body, _ := json.Marshal(spec)
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var v JobView
+		if resp.StatusCode < 300 {
+			if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return v, resp.StatusCode
+	}
+	get := func(path string) ([]byte, int) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return b, resp.StatusCode
+	}
+
+	// healthz before any work.
+	if body, code := get("/healthz"); code != http.StatusOK || !strings.Contains(string(body), `"ok"`) {
+		t.Fatalf("healthz = %d %s", code, body)
+	}
+
+	v, code := submit(selectSpec(1000))
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit code = %d", code)
+	}
+
+	// Poll to completion.
+	deadline := time.Now().Add(30 * time.Second)
+	for v.Status != StatusDone && v.Status != StatusFailed {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck: %+v", v)
+		}
+		time.Sleep(5 * time.Millisecond)
+		body, code := get("/v1/jobs/" + v.ID)
+		if code != http.StatusOK {
+			t.Fatalf("poll code = %d: %s", code, body)
+		}
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v.Status != StatusDone || !v.Result.Selection.Solved() {
+		t.Fatalf("job: %+v", v)
+	}
+
+	// Second identical submission: served from cache with HTTP 200.
+	v2, code2 := submit(selectSpec(1000))
+	if code2 != http.StatusOK || !v2.Cached || v2.Status != StatusDone {
+		t.Fatalf("cached submit = %d %+v", code2, v2)
+	}
+	if !reflect.DeepEqual(v.Result, v2.Result) {
+		t.Error("cached HTTP result differs from the solved one")
+	}
+
+	// The hit is visible in /metrics.
+	metrics, code := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics code = %d", code)
+	}
+	mtext := string(metrics)
+	for _, want := range []string{
+		`partitad_cache_hits_total{cache="result"} 1`,
+		`partitad_jobs_submitted_total{kind="select"} 2`,
+		`partitad_jobs_completed_total{outcome="optimal"} 1`,
+		"partitad_solve_seconds_count 1",
+		"partitad_workers 2",
+	} {
+		if !strings.Contains(mtext, want) {
+			t.Errorf("metrics missing %q\n%s", want, mtext)
+		}
+	}
+
+	// Unknown job and malformed specs.
+	if _, code := get("/v1/jobs/zzz"); code != http.StatusNotFound {
+		t.Errorf("unknown job code = %d", code)
+	}
+	if _, code := submit(JobSpec{Kind: "bogus"}); code != http.StatusBadRequest {
+		t.Errorf("bad spec code = %d", code)
+	}
+
+	// Listing includes both tracked jobs.
+	body, _ := get("/v1/jobs")
+	var list struct {
+		Jobs []JobView `json:"jobs"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != 2 {
+		t.Errorf("listed %d jobs, want 2", len(list.Jobs))
+	}
+}
+
+func TestHTTPWorkloadSelectMatchesLibrary(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2})
+	job, err := s.Submit(JobSpec{Kind: KindSelect, Workload: "gsm", RequiredGain: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	v := job.View()
+	if v.Status != StatusDone {
+		t.Fatalf("job: %+v", v)
+	}
+	if !v.Result.Selection.Solved() {
+		t.Fatalf("GSM selection unsolved: %+v", v.Result.Selection)
+	}
+
+	// Direct library run must agree exactly.
+	w, err := resolveWorkload("gsm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := partita.Analyze(w.Source, w.Root, w.Catalog, partita.Options{DataCount: w.DataCount})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := d.Select(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewSelectionResult(sel)
+	if !reflect.DeepEqual(v.Result.Selection, want) {
+		t.Errorf("service result != library result:\nservice: %+v\nlibrary: %+v", v.Result.Selection, want)
+	}
+}
+
+func TestJobRetentionEvictsFinished(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, MaxJobs: 3})
+	var last *Job
+	for i := 0; i < 6; i++ {
+		job, err := s.Submit(selectSpec(int64(100 + i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, job)
+		last = job
+	}
+	s.mu.Lock()
+	n := len(s.jobs)
+	s.mu.Unlock()
+	if n > 3 {
+		t.Errorf("retained %d jobs, want <= 3", n)
+	}
+	if _, ok := s.Job(last.ID); !ok {
+		t.Error("most recent job should still be tracked")
+	}
+}
+
+func TestProgressObservedOnSelect(t *testing.T) {
+	// Submit against the bigger GSM instance so the solver reports at
+	// least one incumbent through the job's progress snapshot.
+	s := newTestServer(t, Config{Workers: 1})
+	job, err := s.Submit(JobSpec{Kind: KindSelect, Workload: "gsm", RequiredGain: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	v := job.View()
+	if v.Status != StatusDone {
+		t.Fatalf("job: %+v", v)
+	}
+	if v.Progress == nil || v.Progress.Incumbents < 1 {
+		t.Fatalf("no solver progress recorded: %+v", v.Progress)
+	}
+	if v.Progress.IncumbentArea <= 0 {
+		t.Errorf("incumbent area = %g", v.Progress.IncumbentArea)
+	}
+}

@@ -27,8 +27,13 @@ package partita
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"math"
+	"sort"
 
 	"partita/internal/budget"
 	"partita/internal/cdfg"
@@ -152,6 +157,16 @@ type Options struct {
 }
 
 // Design is an analyzed application ready for selection.
+//
+// Concurrency: a Design is immutable after Analyze returns. The solver
+// entry points — Select, SelectCtx, SelectCtxObserve, SelectPerPath,
+// SelectPerPathCtx, GreedySelect, Sweep, and SweepCtx — only read the
+// Design and build their working state per call, so any number of them
+// may run concurrently on the same Design from different goroutines.
+// This is the contract the partitad service relies on to share one
+// analyzed Design across its whole worker pool. (Profile and Simulate
+// construct fresh machines per call and are likewise safe to run
+// concurrently.)
 type Design struct {
 	// Root is the function whose s-calls are optimized.
 	Root string
@@ -217,6 +232,24 @@ func (d *Design) Select(requiredGain int64) (*Selection, error) {
 func (d *Design) SelectCtx(ctx context.Context, requiredGain int64, bud Budget) (sel *Selection, err error) {
 	defer guard(&err)
 	return selector.SolveCtx(ctx, selector.Problem{DB: d.DB, Required: requiredGain, Budget: bud})
+}
+
+// Incumbent is one anytime progress event of an observed solve: the
+// branch-and-bound search installed a configuration better than every
+// previous one. Events arrive in strictly decreasing Area order.
+type Incumbent = selector.Incumbent
+
+// SelectCtxObserve is SelectCtx with a progress observer: observe is
+// invoked synchronously on the solving goroutine for each new incumbent
+// of the area-minimization pass (current area, best proven bound,
+// optimality gap, nodes explored). It must be fast and must not block;
+// nil observe makes this identical to SelectCtx. The partitad service
+// uses this hook to stream solve progress to polling clients.
+func (d *Design) SelectCtxObserve(ctx context.Context, requiredGain int64, bud Budget, observe func(Incumbent)) (sel *Selection, err error) {
+	defer guard(&err)
+	return selector.SolveCtx(ctx, selector.Problem{
+		DB: d.DB, Required: requiredGain, Budget: bud, OnIncumbent: observe,
+	})
 }
 
 // SelectPerPath solves with per-execution-path requirements (indexed
@@ -324,6 +357,78 @@ func (d *Design) SweepCtx(ctx context.Context, points int, bud Budget) (pts []Sw
 
 // ParetoFront filters sweep points to the non-dominated frontier.
 func ParetoFront(points []SweepPoint) []SweepPoint { return selector.ParetoFront(points) }
+
+// CanonicalHash returns a stable hex digest identifying an Analyze
+// input: the program source, root function, every declarative field of
+// every catalog block (in ID order, so map iteration order cannot leak
+// in), and the declarative Options fields. Two calls with semantically
+// identical inputs always produce the same digest, which is what the
+// partitad service uses as its content-addressed cache key.
+//
+// Options.DataCount is a function and cannot be hashed; only its
+// presence is mixed in. Callers whose DataCount (or any other
+// out-of-band input) affects results must pass a distinguishing tag in
+// extra — the service, for example, tags jobs on bundled workloads with
+// the workload name. The extra strings are order-significant.
+func CanonicalHash(source, root string, catalog *Catalog, opt Options, extra ...string) string {
+	h := sha256.New()
+	var buf [8]byte
+	ws := func(s string) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(s)))
+		h.Write(buf[:])
+		h.Write([]byte(s))
+	}
+	wi := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	wf := func(v float64) { wi(int64(math.Float64bits(v))) }
+	wb := func(v bool) {
+		if v {
+			wi(1)
+		} else {
+			wi(0)
+		}
+	}
+
+	ws("partita-hash-v1")
+	ws(source)
+	ws(root)
+	if catalog == nil {
+		wi(-1)
+	} else {
+		blocks := catalog.All()
+		wi(int64(len(blocks)))
+		for _, b := range blocks {
+			ws(b.ID)
+			ws(b.Name)
+			funcs := append([]string(nil), b.Funcs...)
+			sort.Strings(funcs)
+			wi(int64(len(funcs)))
+			for _, f := range funcs {
+				ws(f)
+			}
+			wi(int64(b.InPorts))
+			wi(int64(b.OutPorts))
+			wi(int64(b.InRate))
+			wi(int64(b.OutRate))
+			wi(int64(b.Latency))
+			wb(b.Pipelined)
+			wf(b.Area)
+			wi(int64(b.Protocol))
+			wf(b.PerfFactor)
+		}
+	}
+	wb(opt.Optimize)
+	wb(opt.Problem2)
+	wi(opt.DefaultTrips)
+	wb(opt.DataCount != nil)
+	wi(int64(len(extra)))
+	for _, e := range extra {
+		ws(e)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
 
 // ScheduleEntry is one slot of a post-selection kernel schedule.
 type ScheduleEntry = sched.Entry
