@@ -1,7 +1,7 @@
 # Convenience targets around the go toolchain; everything here is plain
 # `go test` underneath.
 
-.PHONY: build test race bench bench-service integration
+.PHONY: build test race bench bench-service integration chaos
 
 build:
 	go build ./...
@@ -27,3 +27,9 @@ bench-service:
 # ephemeral port, and round-trips a GSM job over HTTP.
 integration:
 	PARTITAD_INTEGRATION=1 go test -run TestPartitadIntegration -v ./internal/service
+
+# Kill-and-restart chaos test: SIGKILLs a journaled daemon mid-sweep
+# and asserts the restart loses no accepted job and regresses no
+# journaled incumbent. PARTITAD_CHAOS_SEED varies the fault seed.
+chaos:
+	PARTITAD_CHAOS=1 go test -race -run TestKillRestartChaos -v ./client

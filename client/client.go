@@ -1,0 +1,349 @@
+// Package client is the typed Go client for the partitad HTTP/JSON
+// API. It wraps submit/poll/wait with per-request timeouts, exponential
+// backoff with deterministic jitter, and Retry-After honoring, so
+// callers survive daemon restarts, admission-control pushback (429),
+// and drains (503) without hand-rolled retry loops.
+//
+// Retrying a submit is always safe: partitad content-addresses every
+// job (partita.CanonicalHash over the spec), so a resubmission either
+// coalesces onto the identical in-flight job or is answered from the
+// result cache — at-least-once delivery with exactly-once effect.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"partita/internal/service"
+)
+
+// Re-exported wire types, so callers need only this package.
+type (
+	// JobSpec is one job submission (see service.JobSpec).
+	JobSpec = service.JobSpec
+	// JobView is the daemon's job snapshot (see service.JobView).
+	JobView = service.JobView
+)
+
+// Job kind and status names, re-exported for convenience.
+const (
+	KindAnalyze = service.KindAnalyze
+	KindSelect  = service.KindSelect
+	KindSweep   = service.KindSweep
+
+	StatusQueued  = service.StatusQueued
+	StatusRunning = service.StatusRunning
+	StatusDone    = service.StatusDone
+	StatusFailed  = service.StatusFailed
+)
+
+// APIError is a non-retryable HTTP error from the daemon (bad spec,
+// unknown job, ...).
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("partitad: HTTP %d: %s", e.StatusCode, e.Message)
+}
+
+// ErrRetriesExhausted wraps the final failure after every allowed
+// attempt was spent on retryable errors.
+var ErrRetriesExhausted = errors.New("client: retries exhausted")
+
+// Client talks to one partitad. The zero value is not usable; build
+// with New. Safe for concurrent use.
+type Client struct {
+	base       string
+	hc         *http.Client
+	maxRetries int
+	backoff    time.Duration
+	backoffCap time.Duration
+	userAgent  string
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (default: 35s
+// timeout, which must exceed the server's 30s long-poll cap).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithMaxRetries bounds retry attempts after the first try (default 4).
+func WithMaxRetries(n int) Option { return func(c *Client) { c.maxRetries = n } }
+
+// WithBackoff sets the exponential backoff base and cap (defaults
+// 100ms, 5s). Each retryable failure waits base·2^attempt, jittered to
+// [50%, 100%] of that, never exceeding cap; a server Retry-After
+// overrides the computed wait when longer.
+func WithBackoff(base, cap time.Duration) Option {
+	return func(c *Client) { c.backoff, c.backoffCap = base, cap }
+}
+
+// WithJitterSeed makes the backoff jitter deterministic (tests).
+func WithJitterSeed(seed int64) Option {
+	return func(c *Client) { c.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithUserAgent sets the User-Agent header.
+func WithUserAgent(ua string) Option { return func(c *Client) { c.userAgent = ua } }
+
+// New builds a Client for the daemon at base (e.g.
+// "http://127.0.0.1:8080").
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base:       strings.TrimRight(base, "/"),
+		hc:         &http.Client{Timeout: 35 * time.Second},
+		maxRetries: 4,
+		backoff:    100 * time.Millisecond,
+		backoffCap: 5 * time.Second,
+		userAgent:  "partita-client/1",
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return c
+}
+
+// Submit submits one job, retrying through queue-full (429), drain
+// (503), transient 5xx, and network errors. The returned view may
+// already be terminal (cache hit).
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (*JobView, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("client: marshal spec: %w", err)
+	}
+	return c.doJSON(ctx, http.MethodPost, "/v1/jobs", body)
+}
+
+// Job fetches one job's current snapshot.
+func (c *Client) Job(ctx context.Context, id string) (*JobView, error) {
+	return c.doJSON(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil)
+}
+
+// Wait blocks until the job reaches a terminal state, long-polling the
+// daemon (?wait=) and falling back to plain polling across restarts.
+// It returns the terminal view, or the context's error.
+func (c *Client) Wait(ctx context.Context, id string) (*JobView, error) {
+	const pollWait = 10 * time.Second
+	for {
+		v, err := c.doJSON(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"?wait="+pollWait.String(), nil)
+		if err != nil {
+			return nil, err
+		}
+		if v.Status == StatusDone || v.Status == StatusFailed {
+			return v, nil
+		}
+		// Not done: either the long-poll elapsed or the daemon is
+		// draining/restarting. A short jittered pause avoids hammering a
+		// daemon that answers immediately (e.g. mid-drain).
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(c.jitter(200 * time.Millisecond)):
+		}
+	}
+}
+
+// Run submits the job and waits for its terminal state: the one-call
+// happy path. If the daemon crashes mid-solve, Wait rides through the
+// restart — a journaled daemon re-enqueues the job; a journal-less
+// daemon forgets it, in which case Run resubmits once (idempotent by
+// content address) and keeps waiting.
+func (c *Client) Run(ctx context.Context, spec JobSpec) (*JobView, error) {
+	v, err := c.Submit(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	if v.Status == StatusDone || v.Status == StatusFailed {
+		return v, nil
+	}
+	final, err := c.Wait(ctx, v.ID)
+	var apiErr *APIError
+	if errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusNotFound {
+		// The daemon restarted without a journal and lost the job.
+		// Resubmit: CanonicalHash makes this idempotent.
+		v, err = c.Submit(ctx, spec)
+		if err != nil {
+			return nil, err
+		}
+		if v.Status == StatusDone || v.Status == StatusFailed {
+			return v, nil
+		}
+		return c.Wait(ctx, v.ID)
+	}
+	return final, err
+}
+
+// List fetches every tracked job.
+func (c *Client) List(ctx context.Context) ([]JobView, error) {
+	var out struct {
+		Jobs []JobView `json:"jobs"`
+	}
+	body, err := c.do(ctx, http.MethodGet, "/v1/jobs", nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, fmt.Errorf("client: decode list: %w", err)
+	}
+	return out.Jobs, nil
+}
+
+// Ready reports whether the daemon is ready for traffic (journal
+// replayed, not draining). It does not retry: readiness is a
+// point-in-time probe.
+func (c *Client) Ready(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("User-Agent", c.userAgent)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: not ready (HTTP %d)", resp.StatusCode)
+	}
+	return nil
+}
+
+// doJSON runs do and decodes a JobView.
+func (c *Client) doJSON(ctx context.Context, method, path string, body []byte) (*JobView, error) {
+	raw, err := c.do(ctx, method, path, body)
+	if err != nil {
+		return nil, err
+	}
+	var v JobView
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return nil, fmt.Errorf("client: decode response: %w", err)
+	}
+	return &v, nil
+}
+
+// do performs one request with the retry policy and returns the
+// response body.
+func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("User-Agent", c.userAgent)
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		var retryAfter time.Duration
+		if err == nil {
+			raw, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			switch {
+			case rerr != nil:
+				err = rerr
+			case resp.StatusCode < 300:
+				return raw, nil
+			case retryableStatus(resp.StatusCode):
+				retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
+				err = &APIError{StatusCode: resp.StatusCode, Message: errMessage(raw)}
+			default:
+				return nil, &APIError{StatusCode: resp.StatusCode, Message: errMessage(raw)}
+			}
+		}
+		lastErr = err
+		if attempt >= c.maxRetries {
+			return nil, fmt.Errorf("%w after %d attempts: %s %s: %w",
+				ErrRetriesExhausted, attempt+1, method, path, lastErr)
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		wait := c.backoffFor(attempt)
+		if retryAfter > wait {
+			wait = retryAfter
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(wait):
+		}
+	}
+}
+
+// retryableStatus lists the responses worth retrying: back-pressure,
+// drain, and transient upstream failures.
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable,
+		http.StatusBadGateway, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// backoffFor computes the jittered exponential wait for an attempt.
+func (c *Client) backoffFor(attempt int) time.Duration {
+	d := c.backoff << uint(attempt)
+	if d > c.backoffCap || d <= 0 {
+		d = c.backoffCap
+	}
+	return c.jitter(d)
+}
+
+// jitter maps d to a uniformly random duration in [d/2, d].
+func (c *Client) jitter(d time.Duration) time.Duration {
+	c.mu.Lock()
+	f := 0.5 + 0.5*c.rng.Float64()
+	c.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// parseRetryAfter handles the delta-seconds form of Retry-After (the
+// only form partitad emits).
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return 0
+}
+
+// errMessage extracts the {"error": "..."} payload, falling back to the
+// raw body.
+func errMessage(raw []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(raw))
+}

@@ -1,0 +1,306 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"partita"
+	"partita/internal/service"
+)
+
+// testSource mirrors the service tests' two-kernel program: it solves
+// in well under a millisecond.
+const testSource = `
+xmem int signal[32] = {5, -3, 12, 7, -9, 4, 0, 8, 5, -3, 12, 7, -9, 4, 0, 8,
+                       5, -3, 12, 7, -9, 4, 0, 8, 5, -3, 12, 7, -9, 4, 0, 8};
+ymem int taps[4] = {8192, 16384, 8192, 4096};
+xmem int filtered[32];
+xmem int quantized[32];
+int status;
+
+int fir(xmem int in[], ymem int c[], xmem int out[], int n, int k) {
+	int i; int j; int acc;
+	for (i = 0; i + k <= n; i = i + 1) {
+		acc = 0;
+		for (j = 0; j < k; j = j + 1) { acc = acc + in[i + j] * c[j]; }
+		out[i] = acc >> 15;
+	}
+	return out[0];
+}
+
+int quant(xmem int in[], xmem int out[], int n) {
+	int i;
+	for (i = 0; i < n; i = i + 1) { out[i] = in[i] / 4; }
+	return out[0];
+}
+
+int process() {
+	int a; int b;
+	a = fir(signal, taps, filtered, 32, 4);
+	b = quant(filtered, quantized, 32);
+	status = a + b;
+	return status;
+}
+
+int main() {
+	return process();
+}
+`
+
+func testCatalog() []*partita.IP {
+	return []*partita.IP{
+		{ID: "FIR8", Name: "FIR engine", Funcs: []string{"fir"},
+			InPorts: 2, OutPorts: 2, InRate: 4, OutRate: 4,
+			Latency: 8, Pipelined: true, Area: 5},
+		{ID: "QNT", Name: "quantizer", Funcs: []string{"quant"},
+			InPorts: 1, OutPorts: 1, InRate: 2, OutRate: 2,
+			Latency: 4, Pipelined: true, Area: 2},
+	}
+}
+
+func selectSpec(rg int64) JobSpec {
+	return JobSpec{
+		Kind:         KindSelect,
+		Source:       testSource,
+		Root:         "process",
+		Catalog:      testCatalog(),
+		RequiredGain: rg,
+	}
+}
+
+// newDaemon stands up a real in-process service behind httptest.
+func newDaemon(t *testing.T, cfg service.Config) (*service.Server, *httptest.Server) {
+	t.Helper()
+	s := service.New(cfg)
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return s, ts
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	_, ts := newDaemon(t, service.Config{Workers: 2})
+	c := New(ts.URL, WithJitterSeed(1))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	v, err := c.Run(ctx, selectSpec(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != StatusDone || !v.Result.Selection.Solved() {
+		t.Fatalf("run: %+v", v)
+	}
+
+	// Identical resubmission: answered terminal straight from the cache.
+	v2, err := c.Run(ctx, selectSpec(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v2.Cached {
+		t.Errorf("resubmission not cached: %+v", v2)
+	}
+
+	jobs, err := c.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Errorf("listed %d jobs, want 2", len(jobs))
+	}
+	if err := c.Ready(ctx); err != nil {
+		t.Errorf("ready: %v", err)
+	}
+}
+
+func TestSubmitRetriesOn429HonoringRetryAfter(t *testing.T) {
+	_, ts := newDaemon(t, service.Config{Workers: 2})
+	var rejects int32
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && atomic.AddInt32(&rejects, 1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": "service: job queue full"})
+			return
+		}
+		resp, err := http.Get(ts.URL + r.URL.String())
+		if r.Method == http.MethodPost {
+			resp, err = http.Post(ts.URL+r.URL.String(), "application/json", r.Body)
+		}
+		if err != nil {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		var v json.RawMessage
+		_ = json.NewDecoder(resp.Body).Decode(&v)
+		_, _ = w.Write(v)
+	}))
+	defer front.Close()
+
+	c := New(front.URL, WithJitterSeed(7), WithBackoff(time.Millisecond, 10*time.Millisecond))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	v, err := c.Run(ctx, selectSpec(1500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != StatusDone {
+		t.Fatalf("run through 429s: %+v", v)
+	}
+	if got := atomic.LoadInt32(&rejects); got < 3 {
+		t.Errorf("front saw %d submits, want >= 3 (2 rejected + 1 accepted)", got)
+	}
+}
+
+func TestRetriesExhaustedSurfacesLastError(t *testing.T) {
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]string{"error": "service: draining, not accepting jobs"})
+	}))
+	defer down.Close()
+	c := New(down.URL, WithJitterSeed(3), WithMaxRetries(2), WithBackoff(time.Millisecond, 2*time.Millisecond))
+	_, err := c.Submit(context.Background(), selectSpec(100))
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("err = %v, want ErrRetriesExhausted", err)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("wrapped error = %v", err)
+	}
+}
+
+func TestBadSpecDoesNotRetry(t *testing.T) {
+	var posts int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&posts, 1)
+		w.WriteHeader(http.StatusBadRequest)
+		_ = json.NewEncoder(w).Encode(map[string]string{"error": "service: missing job kind"})
+	}))
+	defer srv.Close()
+	c := New(srv.URL, WithJitterSeed(5))
+	_, err := c.Submit(context.Background(), JobSpec{})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("err = %v", err)
+	}
+	if atomic.LoadInt32(&posts) != 1 {
+		t.Errorf("400 was retried %d times", posts)
+	}
+}
+
+func TestNetworkErrorsRetryThenSucceed(t *testing.T) {
+	_, ts := newDaemon(t, service.Config{Workers: 1})
+	var calls int32
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt32(&calls, 1) <= 2 {
+			// Slam the connection shut: a transport-level error.
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Fatal("no hijacker")
+			}
+			conn, _, _ := hj.Hijack()
+			conn.Close()
+			return
+		}
+		resp, err := http.Post(ts.URL+r.URL.String(), "application/json", r.Body)
+		if err != nil {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		var v json.RawMessage
+		_ = json.NewDecoder(resp.Body).Decode(&v)
+		_, _ = w.Write(v)
+	}))
+	defer front.Close()
+
+	c := New(front.URL, WithJitterSeed(11), WithBackoff(time.Millisecond, 5*time.Millisecond))
+	v, err := c.Submit(context.Background(), selectSpec(700))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ID == "" {
+		t.Fatalf("submit view: %+v", v)
+	}
+}
+
+func TestWaitLongPollsToCompletion(t *testing.T) {
+	_, ts := newDaemon(t, service.Config{Workers: 1})
+	c := New(ts.URL, WithJitterSeed(13))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	v, err := c.Submit(ctx, selectSpec(1200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	final, err := c.Wait(ctx, v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != StatusDone {
+		t.Fatalf("wait: %+v", final)
+	}
+	// The long-poll must return on completion, not burn the full wait.
+	if elapsed := time.Since(start); elapsed > 9*time.Second {
+		t.Errorf("wait took %v; long-poll did not wake on completion", elapsed)
+	}
+}
+
+func TestWaitHonorsContext(t *testing.T) {
+	// A job that can never finish (no workers started).
+	s := service.New(service.Config{Workers: 1, QueueDepth: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	job, err := s.Submit(selectSpec(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(ts.URL, WithJitterSeed(17))
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	if _, err := c.Wait(ctx, job.ID); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestJitterDeterministicWithSeed(t *testing.T) {
+	a := New("http://x", WithJitterSeed(42))
+	b := New("http://x", WithJitterSeed(42))
+	for i := 0; i < 8; i++ {
+		if av, bv := a.backoffFor(i%4), b.backoffFor(i%4); av != bv {
+			t.Fatalf("attempt %d: %v != %v", i, av, bv)
+		}
+	}
+	lo, hi := a.backoff/2, a.backoff
+	if d := a.backoffFor(0); d < lo || d > hi {
+		t.Errorf("attempt-0 backoff %v outside [%v, %v]", d, lo, hi)
+	}
+	if d := a.backoffFor(30); d > a.backoffCap {
+		t.Errorf("backoff %v exceeds cap %v", d, a.backoffCap)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	for h, want := range map[string]time.Duration{"": 0, "0": 0, "2": 2 * time.Second, "junk": 0, "-3": 0} {
+		if got := parseRetryAfter(h); got != want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", h, got, want)
+		}
+	}
+}

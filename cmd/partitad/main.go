@@ -2,7 +2,8 @@
 // submit analyze, select, and sweep jobs, poll their anytime progress
 // (incumbent, bound, gap), and read the results. Identical jobs are
 // answered from a content-addressed cache; /metrics exposes queue,
-// worker, cache, and solve-latency counters in Prometheus text format.
+// worker, cache, journal, and solve-latency counters in Prometheus
+// text format.
 //
 // Usage:
 //
@@ -10,18 +11,34 @@
 //	         [-design-cache 32] [-result-cache 256]
 //	         [-default-timeout 0] [-max-timeout 2m]
 //	         [-max-jobs 1024] [-grace 30s]
+//	         [-journal path] [-journal-sync always|never]
+//	         [-faults spec]
 //
-// On SIGINT/SIGTERM the daemon drains: new submissions are rejected
-// with 503, in-flight solves see an expired deadline and return their
-// best incumbents, then the process exits. -grace bounds the drain.
+// With -journal, the daemon is crash-safe: every accepted job is
+// recorded in an append-only, checksummed, fsync'd log before the 202
+// response, running solves checkpoint their incumbents, and a restart
+// replays the log — finished jobs come back with their results,
+// unfinished jobs are re-enqueued, and the log is compacted. See
+// docs/SERVICE.md ("Durability & recovery").
+//
+// -faults (or the PARTITAD_FAULTS environment variable) enables the
+// deterministic fault-injection layer for chaos testing, e.g.
+// "seed=42,worker.panic=0.05,journal.write=0.1". Never set it in
+// production.
+//
+// On SIGINT/SIGTERM the daemon drains: readiness goes 503, idle
+// long-pollers are released, new submissions are rejected, in-flight
+// solves see an expired deadline and return their best incumbents,
+// then the process exits. -grace bounds the drain.
 //
 // Endpoints:
 //
 //	POST /v1/jobs      submit a job (service.JobSpec JSON)
 //	GET  /v1/jobs      list tracked jobs
-//	GET  /v1/jobs/{id} poll one job (status, progress, result)
+//	GET  /v1/jobs/{id} poll one job (?wait=10s long-polls)
 //	GET  /metrics      Prometheus text metrics
-//	GET  /healthz      liveness (503 while draining)
+//	GET  /healthz      liveness (200 while the process serves)
+//	GET  /readyz       readiness (503 during replay and drain)
 package main
 
 import (
@@ -36,6 +53,8 @@ import (
 	"syscall"
 	"time"
 
+	"partita/internal/faults"
+	"partita/internal/journal"
 	"partita/internal/service"
 )
 
@@ -49,9 +68,28 @@ func main() {
 	maxTimeout := flag.Duration("max-timeout", 0, "hard cap on any job deadline (0 = default 2m)")
 	maxJobs := flag.Int("max-jobs", 0, "jobs retained for polling (0 = default 1024)")
 	grace := flag.Duration("grace", 30*time.Second, "shutdown drain budget")
+	journalPath := flag.String("journal", "", "write-ahead journal path (empty = no crash safety)")
+	journalSync := flag.String("journal-sync", "always", "journal fsync policy: always or never")
+	faultSpec := flag.String("faults", "", "fault-injection spec (default: $"+faults.EnvVar+"; chaos testing only)")
 	flag.Parse()
 
-	srv := service.New(service.Config{
+	syncPolicy, err := journal.ParseSyncPolicy(*journalSync)
+	if err != nil {
+		log.Fatalf("partitad: %v", err)
+	}
+	spec := *faultSpec
+	if spec == "" {
+		spec = os.Getenv(faults.EnvVar)
+	}
+	inj, err := faults.Parse(spec)
+	if err != nil {
+		log.Fatalf("partitad: %v", err)
+	}
+	if inj.Enabled() {
+		log.Printf("partitad: FAULT INJECTION ACTIVE (%s) — points: %v", inj.Spec(), inj.Points())
+	}
+
+	srv, err := service.Open(service.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		DesignCacheSize: *designCache,
@@ -59,7 +97,18 @@ func main() {
 		DefaultTimeout:  *defaultTimeout,
 		MaxTimeout:      *maxTimeout,
 		MaxJobs:         *maxJobs,
+		JournalPath:     *journalPath,
+		JournalSync:     syncPolicy,
+		Faults:          inj,
 	})
+	if err != nil {
+		log.Fatalf("partitad: %v", err)
+	}
+	if rec := srv.Recovery(); rec.Enabled {
+		log.Printf("partitad: journal replayed in %s: %d records, %d jobs restored, %d requeued (truncated %d bytes, corrupt=%v)",
+			rec.ReplayDuration.Round(time.Millisecond), rec.RecordsReplayed,
+			rec.JobsRestored, rec.JobsRequeued, rec.TruncatedBytes, rec.Corrupt)
+	}
 	srv.Start()
 
 	ln, err := net.Listen("tcp", *addr)
@@ -86,14 +135,22 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
-	// Stop accepting connections first, then drain the solver pool so
-	// in-flight jobs hand back their incumbents.
+	// Drain order matters: flip draining first so readiness goes 503 and
+	// idle long-pollers wake and disconnect, then stop accepting
+	// connections, then wait for the solver pool — otherwise an idle
+	// poller would pin the HTTP shutdown for the full grace budget even
+	// with an empty queue.
+	srv.BeginDrain()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("partitad: http shutdown: %v", err)
 	}
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("partitad: drain incomplete: %v", err)
+		_ = srv.CloseJournal()
 		os.Exit(1)
+	}
+	if err := srv.CloseJournal(); err != nil {
+		log.Printf("partitad: journal close: %v", err)
 	}
 	log.Println("partitad: drained, exiting")
 }

@@ -1,0 +1,353 @@
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+type payload struct {
+	N int    `json:"n"`
+	S string `json:"s,omitempty"`
+}
+
+func openT(t *testing.T, path string, opts Options) (*Journal, *Replay) {
+	t.Helper()
+	j, rep, err := Open(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j, rep
+}
+
+func appendN(t *testing.T, j *Journal, n int) []Record {
+	t.Helper()
+	var out []Record
+	for i := 0; i < n; i++ {
+		rec, err := j.Append("event", "j1", payload{N: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j, rep := openT(t, path, Options{})
+	if len(rep.Records) != 0 || rep.TruncatedBytes != 0 {
+		t.Fatalf("fresh journal replay = %+v", rep)
+	}
+	want := appendN(t, j, 5)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rep2 := openT(t, path, Options{})
+	if len(rep2.Records) != 5 || rep2.TruncatedBytes != 0 || rep2.Corrupt {
+		t.Fatalf("replay = %+v", rep2)
+	}
+	for i, rec := range rep2.Records {
+		if rec.Seq != want[i].Seq || rec.Type != "event" || rec.Job != "j1" {
+			t.Errorf("record %d = %+v", i, rec)
+		}
+		var p payload
+		if err := json.Unmarshal(rec.Data, &p); err != nil || p.N != i {
+			t.Errorf("record %d data = %s (%v)", i, rec.Data, err)
+		}
+	}
+}
+
+func TestZeroLengthFileIsEmptyJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, rep := openT(t, path, Options{})
+	if len(rep.Records) != 0 || rep.TruncatedBytes != 0 || rep.Corrupt {
+		t.Fatalf("zero-length replay = %+v", rep)
+	}
+	// And it must be appendable afterwards.
+	if _, err := j.Append("event", "", payload{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncatedTailIsRepaired(t *testing.T) {
+	// Cut the file at several byte offsets inside the final frame: mid
+	// header and mid payload. Every cut must recover the first two
+	// records and leave the journal appendable.
+	for _, cut := range []int64{1, 4, frameHeader + 3} {
+		path := filepath.Join(t.TempDir(), "wal")
+		j, _ := openT(t, path, Options{})
+		appendN(t, j, 3)
+		j.Close()
+
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Find the third frame's start by replaying offsets.
+		rep, err := ReadAll(path)
+		if err != nil || len(rep.Records) != 3 {
+			t.Fatalf("pre-damage replay: %+v, %v", rep, err)
+		}
+		var lastStart int64
+		{
+			data, _ := os.ReadFile(path)
+			off := int64(0)
+			for i := 0; i < 2; i++ {
+				n := binary.LittleEndian.Uint32(data[off : off+4])
+				off += int64(frameHeader) + int64(n)
+			}
+			lastStart = off
+		}
+		if err := os.Truncate(path, lastStart+cut); err != nil {
+			t.Fatal(err)
+		}
+
+		j2, rep2 := openT(t, path, Options{})
+		if len(rep2.Records) != 2 {
+			t.Fatalf("cut %d: recovered %d records, want 2", cut, len(rep2.Records))
+		}
+		if rep2.TruncatedBytes == 0 {
+			t.Errorf("cut %d: no truncation reported", cut)
+		}
+		// The torn tail is gone from disk and appends resume cleanly.
+		if fi2, _ := os.Stat(path); fi2.Size() != lastStart {
+			t.Errorf("cut %d: file size %d, want %d (was %d)", cut, fi2.Size(), lastStart, fi.Size())
+		}
+		if _, err := j2.Append("event", "j1", payload{N: 99}); err != nil {
+			t.Fatal(err)
+		}
+		j2.Close()
+		rep3, err := ReadAll(path)
+		if err != nil || len(rep3.Records) != 3 {
+			t.Fatalf("cut %d: post-repair replay = %+v, %v", cut, rep3, err)
+		}
+	}
+}
+
+func TestBadChecksumMidFileTruncatesFromThere(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j, _ := openT(t, path, Options{})
+	appendN(t, j, 4)
+	j.Close()
+
+	// Flip one payload byte inside the second record.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := int64(frameHeader) + int64(binary.LittleEndian.Uint32(data[0:4]))
+	data[first+frameHeader+2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, rep := openT(t, path, Options{})
+	if len(rep.Records) != 1 {
+		t.Fatalf("recovered %d records, want 1 (corruption truncates the suffix)", len(rep.Records))
+	}
+	if !rep.Corrupt || rep.TruncatedBytes == 0 {
+		t.Errorf("replay did not flag corruption: %+v", rep)
+	}
+	if fi, _ := os.Stat(path); fi.Size() != first {
+		t.Errorf("file size after repair = %d, want %d", fi.Size(), first)
+	}
+	if _, err := j2.Append("event", "j1", payload{N: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGarbageLengthFieldIsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j, _ := openT(t, path, Options{})
+	appendN(t, j, 1)
+	j.Close()
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], MaxRecordBytes+1)
+	if _, err := f.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	_, rep := openT(t, path, Options{})
+	if len(rep.Records) != 1 || !rep.Corrupt {
+		t.Fatalf("replay = %+v", rep)
+	}
+}
+
+func TestSeqResumesAfterReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j, _ := openT(t, path, Options{})
+	recs := appendN(t, j, 3)
+	j.Close()
+	j2, _ := openT(t, path, Options{})
+	rec, err := j2.Append("event", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Seq != recs[2].Seq+1 {
+		t.Errorf("seq after reopen = %d, want %d", rec.Seq, recs[2].Seq+1)
+	}
+}
+
+func TestCompactKeepsOnlyLiveRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j, _ := openT(t, path, Options{})
+	recs := appendN(t, j, 10)
+	live := []Record{recs[2], recs[7]}
+	if err := j.Compact(live); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.AppendsSinceCompact(); got != 0 {
+		t.Errorf("appends since compact = %d", got)
+	}
+	if got := j.Compactions(); got != 1 {
+		t.Errorf("compactions = %d", got)
+	}
+	// Appends continue past the retained max seq.
+	rec, err := j.Append("event", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Seq != recs[9].Seq+1 {
+		t.Errorf("post-compact seq = %d, want %d", rec.Seq, recs[9].Seq+1)
+	}
+	j.Close()
+
+	rep, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Records) != 3 {
+		t.Fatalf("post-compact records = %d, want 3", len(rep.Records))
+	}
+	if rep.Records[0].Seq != recs[2].Seq || rep.Records[1].Seq != recs[7].Seq {
+		t.Errorf("live records lost: %+v", rep.Records[:2])
+	}
+}
+
+func TestWriteFaultFailsAppendWithoutCorrupting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	inject := false
+	j, _ := openT(t, path, Options{WriteFault: func() error {
+		if inject {
+			return errors.New("injected")
+		}
+		return nil
+	}})
+	appendN(t, j, 2)
+	inject = true
+	if _, err := j.Append("event", "", nil); err == nil {
+		t.Fatal("injected write fault did not surface")
+	}
+	inject = false
+	appendN(t, j, 1)
+	j.Close()
+	rep, err := ReadAll(path)
+	if err != nil || len(rep.Records) != 3 || rep.Corrupt {
+		t.Fatalf("replay after write fault = %+v, %v", rep, err)
+	}
+}
+
+func TestShortWriteFaultLeavesRepairableTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	tear := false
+	j, _ := openT(t, path, Options{ShortWriteFault: func() bool { return tear }})
+	appendN(t, j, 2)
+	tear = true
+	if _, err := j.Append("event", "j1", payload{N: 9, S: "torn"}); err == nil {
+		t.Fatal("short write did not surface as an error")
+	}
+	j.Close()
+
+	j2, rep := openT(t, path, Options{})
+	if len(rep.Records) != 2 || rep.TruncatedBytes == 0 {
+		t.Fatalf("replay after torn write = %+v", rep)
+	}
+	if _, err := j2.Append("event", "", nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFsyncObserverAndPolicies(t *testing.T) {
+	var syncs int
+	path := filepath.Join(t.TempDir(), "wal")
+	j, _ := openT(t, path, Options{Sync: SyncAlways, OnFsync: func(d time.Duration) {
+		if d < 0 {
+			t.Errorf("negative fsync latency %v", d)
+		}
+		syncs++
+	}})
+	appendN(t, j, 3)
+	if syncs != 3 {
+		t.Errorf("SyncAlways fsyncs = %d, want 3", syncs)
+	}
+	j.Close()
+
+	syncs = 0
+	path2 := filepath.Join(t.TempDir(), "wal")
+	j2, _ := openT(t, path2, Options{Sync: SyncNever, OnFsync: func(time.Duration) { syncs++ }})
+	appendN(t, j2, 3)
+	if syncs != 0 {
+		t.Errorf("SyncNever fsyncs = %d, want 0", syncs)
+	}
+	if err := j2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if syncs != 1 {
+		t.Errorf("explicit Sync observed %d times", syncs)
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for s, want := range map[string]SyncPolicy{"": SyncAlways, "always": SyncAlways, "never": SyncNever, "off": SyncNever} {
+		got, err := ParseSyncPolicy(s)
+		if err != nil || got != want {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Error("bad policy accepted")
+	}
+}
+
+func TestClosedJournalRejectsOperations(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	j, _ := openT(t, path, Options{})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+	if _, err := j.Append("event", "", nil); err == nil {
+		t.Error("append after close accepted")
+	}
+	if err := j.Compact(nil); err == nil {
+		t.Error("compact after close accepted")
+	}
+	if err := j.Sync(); err == nil {
+		t.Error("sync after close accepted")
+	}
+}
+
+func TestReadAllMissingFile(t *testing.T) {
+	rep, err := ReadAll(filepath.Join(t.TempDir(), "nope"))
+	if err != nil || len(rep.Records) != 0 {
+		t.Fatalf("ReadAll(missing) = %+v, %v", rep, err)
+	}
+}

@@ -77,6 +77,14 @@ func Sweep(db *imp.DB, points int) ([]SweepPoint, error) {
 // greedy heuristic), so a partial budget still yields a usable curve;
 // outright cancellation aborts with the cancellation error.
 func SweepCtx(ctx context.Context, db *imp.DB, points int, bud budget.Budget) ([]SweepPoint, error) {
+	return SweepCtxObserve(ctx, db, points, bud, nil)
+}
+
+// SweepCtxObserve is SweepCtx with an incumbent observer threaded into
+// every point's solve, so long sweeps report anytime progress (and the
+// partitad journal can checkpoint incumbents) point by point; nil
+// observe makes this identical to SweepCtx.
+func SweepCtxObserve(ctx context.Context, db *imp.DB, points int, bud budget.Budget, observe func(Incumbent)) ([]SweepPoint, error) {
 	if points < 2 {
 		points = 2
 	}
@@ -84,7 +92,7 @@ func SweepCtx(ctx context.Context, db *imp.DB, points int, bud budget.Budget) ([
 	out := make([]SweepPoint, 0, points)
 	for i := 1; i <= points; i++ {
 		rg := max * int64(i) / int64(points)
-		sel, err := SolveCtx(ctx, Problem{DB: db, Required: rg, Budget: bud})
+		sel, err := SolveCtx(ctx, Problem{DB: db, Required: rg, Budget: bud, OnIncumbent: observe})
 		if err != nil {
 			return nil, err
 		}

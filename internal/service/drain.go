@@ -6,6 +6,21 @@ import (
 	"time"
 )
 
+// BeginDrain flips the server into draining mode without waiting for
+// anything: new submissions are rejected, the readiness probe goes 503,
+// in-flight solves see an expired deadline, and — crucially for
+// graceful shutdown behind a load balancer — every idle long-poll
+// request parked on the drain channel wakes immediately. Call it before
+// http.Server.Shutdown; otherwise a SIGTERM arriving while the queue is
+// empty leaves idle pollers holding connections open until their wait
+// expires, and the HTTP shutdown stalls for the full drain deadline
+// with no work left to do. Shutdown calls BeginDrain itself; calling it
+// twice is harmless.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+	s.drainOnce.Do(func() { close(s.drain) })
+}
+
 // drainContext presents service drain as a *deadline expiry* rather
 // than a cancellation. The distinction matters because the whole solver
 // stack (budget.Check → ilp → selector) treats context.Canceled as

@@ -10,6 +10,7 @@ import (
 
 	"partita"
 	"partita/internal/apps"
+	"partita/internal/journal"
 )
 
 // Kind names a job type.
@@ -238,23 +239,36 @@ type Job struct {
 	Spec JobSpec
 	Key  string
 
+	// doneCh closes when the job reaches a terminal state; long-poll
+	// handlers and clients wait on it.
+	doneCh chan struct{}
+
 	mu        sync.Mutex
 	status    Status
 	cached    bool
+	recovered bool
 	progress  *Progress
 	result    *JobResult
 	errMsg    string
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
+	lastCkpt  time.Time
+	// Journal records still live for this job (see compactJournal).
+	recSubmit *journal.Record
+	recCkpt   *journal.Record
+	recFinal  *journal.Record
 }
 
 // JobView is the JSON snapshot served by the poll endpoints.
 type JobView struct {
-	ID          string     `json:"id"`
-	Kind        Kind       `json:"kind"`
-	Status      Status     `json:"status"`
-	Cached      bool       `json:"cached,omitempty"`
+	ID     string `json:"id"`
+	Kind   Kind   `json:"kind"`
+	Status Status `json:"status"`
+	Cached bool   `json:"cached,omitempty"`
+	// Recovered marks a job restored or re-enqueued from the journal
+	// after a restart.
+	Recovered   bool       `json:"recovered,omitempty"`
 	Key         string     `json:"key"`
 	SubmittedAt time.Time  `json:"submittedAt"`
 	StartedAt   *time.Time `json:"startedAt,omitempty"`
@@ -273,6 +287,7 @@ func (j *Job) View() JobView {
 		Kind:        j.Spec.Kind,
 		Status:      j.status,
 		Cached:      j.cached,
+		Recovered:   j.recovered,
 		Key:         j.Key,
 		SubmittedAt: j.submitted,
 		Error:       j.errMsg,
@@ -316,19 +331,91 @@ func (j *Job) setRunning(now time.Time) {
 
 func (j *Job) complete(res *JobResult, cached bool, now time.Time) {
 	j.mu.Lock()
+	terminal := j.status == StatusDone || j.status == StatusFailed
 	j.status = StatusDone
 	j.result = res
 	j.cached = cached
 	j.finished = now
 	j.mu.Unlock()
+	if !terminal && j.doneCh != nil {
+		close(j.doneCh)
+	}
 }
 
 func (j *Job) fail(err error, now time.Time) {
 	j.mu.Lock()
+	terminal := j.status == StatusDone || j.status == StatusFailed
 	j.status = StatusFailed
 	j.errMsg = err.Error()
 	j.finished = now
 	j.mu.Unlock()
+	if !terminal && j.doneCh != nil {
+		close(j.doneCh)
+	}
+}
+
+// DoneCh closes when the job reaches a terminal state; it never closes
+// for jobs that predate long-poll support (nil channel blocks forever,
+// so callers should pair it with a timeout).
+func (j *Job) DoneCh() <-chan struct{} { return j.doneCh }
+
+// setRecord remembers the job's live journal records for compaction: a
+// new checkpoint supersedes the previous one, and a final record
+// retires every checkpoint.
+func (j *Job) setRecord(typ string, rec journal.Record) {
+	j.mu.Lock()
+	switch typ {
+	case recSubmit:
+		j.recSubmit = &rec
+	case recCheckpoint:
+		j.recCkpt = &rec
+	case recDone, recFailed:
+		j.recFinal = &rec
+		j.recCkpt = nil
+	}
+	j.mu.Unlock()
+}
+
+// liveRecords returns the journal records compaction must keep for this
+// job: its submit record, plus either the final state or the latest
+// checkpoint. Running records are never live — an unfinished job
+// re-runs from its spec after a crash.
+func (j *Job) liveRecords() []journal.Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.recSubmit == nil {
+		return nil
+	}
+	out := []journal.Record{*j.recSubmit}
+	if j.recFinal != nil {
+		out = append(out, *j.recFinal)
+	} else if j.recCkpt != nil {
+		out = append(out, *j.recCkpt)
+	}
+	return out
+}
+
+// checkpointDue reports whether enough time has passed since the last
+// journaled checkpoint, and records the new checkpoint time when so.
+func (j *Job) checkpointDue(now time.Time, every time.Duration) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.lastCkpt.IsZero() && now.Sub(j.lastCkpt) < every {
+		return false
+	}
+	j.lastCkpt = now
+	return true
+}
+
+// progressSnapshot copies the current anytime progress.
+func (j *Job) progressSnapshot() *Progress {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.progress == nil {
+		return nil
+	}
+	p := *j.progress
+	return &p
 }
 
 // observe is the solver progress hook: it folds each new incumbent into

@@ -5,12 +5,17 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 )
 
 // solveBuckets are the latency histogram bucket upper bounds in seconds.
 // They span sub-millisecond cache-adjacent solves up to the deadline
 // regime where jobs degrade to anytime incumbents.
 var solveBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+
+// fsyncBuckets are the journal fsync latency buckets in seconds: from
+// page-cache-speed flushes to spinning-rust outliers.
+var fsyncBuckets = []float64{0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.5}
 
 // Metrics accumulates the daemon's counters and the solve-latency
 // histogram. Gauges (queue depth, busy workers, cache sizes) are
@@ -24,15 +29,59 @@ type Metrics struct {
 	bucketN   []uint64
 	solveSum  float64
 	solveN    uint64
+
+	// Crash-safety and fault-injection counters.
+	journalErrors uint64
+	panics        uint64
+	fsyncBucketN  []uint64
+	fsyncSum      float64
+	fsyncN        uint64
+	replay        RecoveryStats
 }
 
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		submitted: map[string]uint64{},
-		completed: map[string]uint64{},
-		bucketN:   make([]uint64, len(solveBuckets)),
+		submitted:    map[string]uint64{},
+		completed:    map[string]uint64{},
+		bucketN:      make([]uint64, len(solveBuckets)),
+		fsyncBucketN: make([]uint64, len(fsyncBuckets)),
 	}
+}
+
+// JournalError counts one failed journal append or compaction.
+func (m *Metrics) JournalError() {
+	m.mu.Lock()
+	m.journalErrors++
+	m.mu.Unlock()
+}
+
+// PanicRecovered counts one worker panic contained by the pool.
+func (m *Metrics) PanicRecovered() {
+	m.mu.Lock()
+	m.panics++
+	m.mu.Unlock()
+}
+
+// FsyncObserved records one journal fsync latency.
+func (m *Metrics) FsyncObserved(d time.Duration) {
+	secs := d.Seconds()
+	m.mu.Lock()
+	for i, ub := range fsyncBuckets {
+		if secs <= ub {
+			m.fsyncBucketN[i]++
+		}
+	}
+	m.fsyncSum += secs
+	m.fsyncN++
+	m.mu.Unlock()
+}
+
+// ReplayDone records the startup recovery stats rendered on /metrics.
+func (m *Metrics) ReplayDone(r RecoveryStats) {
+	m.mu.Lock()
+	m.replay = r
+	m.mu.Unlock()
 }
 
 // JobSubmitted counts one accepted submission of the given kind.
@@ -80,7 +129,15 @@ type Gauges struct {
 	WorkersBusy int
 	QueueDepth  int
 	Draining    bool
+	Ready       bool
 	JobsTracked int
+	// JournalEnabled and JournalCompactions are sampled from the
+	// attached journal (zero when journaling is off).
+	JournalEnabled     bool
+	JournalCompactions uint64
+	// FaultCounts snapshots the injector's fired-fault counters by
+	// point name (nil when injection is disabled).
+	FaultCounts map[string]uint64
 }
 
 // cacheStat is one cache's identity and counters for rendering.
@@ -142,4 +199,33 @@ func (m *Metrics) WritePrometheus(w io.Writer, g Gauges, caches []cacheStat) {
 	fmt.Fprintf(w, "partitad_solve_seconds_bucket{le=\"+Inf\"} %d\n", m.solveN)
 	fmt.Fprintf(w, "partitad_solve_seconds_sum %g\n", m.solveSum)
 	fmt.Fprintf(w, "partitad_solve_seconds_count %d\n", m.solveN)
+
+	ready := 0
+	if g.Ready {
+		ready = 1
+	}
+	fmt.Fprintf(w, "# HELP partitad_ready Whether the server is ready for traffic (journal replayed, not draining).\n# TYPE partitad_ready gauge\npartitad_ready %d\n", ready)
+	fmt.Fprintf(w, "# HELP partitad_panics_recovered_total Worker panics contained by the pool.\n# TYPE partitad_panics_recovered_total counter\npartitad_panics_recovered_total %d\n", m.panics)
+
+	jenabled := 0
+	if g.JournalEnabled {
+		jenabled = 1
+	}
+	fmt.Fprintf(w, "# HELP partitad_journal_enabled Whether a write-ahead journal is attached.\n# TYPE partitad_journal_enabled gauge\npartitad_journal_enabled %d\n", jenabled)
+	fmt.Fprintf(w, "# HELP partitad_journal_errors_total Journal appends or compactions that failed (durability degraded).\n# TYPE partitad_journal_errors_total counter\npartitad_journal_errors_total %d\n", m.journalErrors)
+	fmt.Fprintf(w, "# HELP partitad_journal_compactions_total Journal compactions completed.\n# TYPE partitad_journal_compactions_total counter\npartitad_journal_compactions_total %d\n", g.JournalCompactions)
+	fmt.Fprintf(w, "# HELP partitad_journal_replay_seconds Wall time of the startup journal replay.\n# TYPE partitad_journal_replay_seconds gauge\npartitad_journal_replay_seconds %g\n", m.replay.ReplayDuration.Seconds())
+	fmt.Fprintf(w, "# HELP partitad_journal_records_replayed Records decoded during the startup replay.\n# TYPE partitad_journal_records_replayed gauge\npartitad_journal_records_replayed %d\n", m.replay.RecordsReplayed)
+	fmt.Fprintf(w, "# HELP partitad_journal_jobs_restored Finished jobs restored from the journal at startup.\n# TYPE partitad_journal_jobs_restored gauge\npartitad_journal_jobs_restored %d\n", m.replay.JobsRestored)
+	fmt.Fprintf(w, "# HELP partitad_journal_jobs_requeued Unfinished jobs re-enqueued from the journal at startup.\n# TYPE partitad_journal_jobs_requeued gauge\npartitad_journal_jobs_requeued %d\n", m.replay.JobsRequeued)
+
+	fmt.Fprintf(w, "# HELP partitad_journal_fsync_seconds Journal fsync latency.\n# TYPE partitad_journal_fsync_seconds histogram\n")
+	for i, ub := range fsyncBuckets {
+		fmt.Fprintf(w, "partitad_journal_fsync_seconds_bucket{le=%q} %d\n", fmt.Sprintf("%g", ub), m.fsyncBucketN[i])
+	}
+	fmt.Fprintf(w, "partitad_journal_fsync_seconds_bucket{le=\"+Inf\"} %d\n", m.fsyncN)
+	fmt.Fprintf(w, "partitad_journal_fsync_seconds_sum %g\n", m.fsyncSum)
+	fmt.Fprintf(w, "partitad_journal_fsync_seconds_count %d\n", m.fsyncN)
+
+	writeMap("partitad_faults_injected_total", "Faults fired by the injector, by point.", "point", g.FaultCounts)
 }

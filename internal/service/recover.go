@@ -1,0 +1,321 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"partita/internal/faults"
+	"partita/internal/journal"
+)
+
+// Journal record types. One job's lifecycle is submit → running →
+// checkpoint* → (done | failed); running and checkpoint records are
+// dropped at compaction (a job that was mid-solve at a crash simply
+// re-runs from its spec, resuming visibility from its last checkpoint).
+const (
+	recSubmit     = "submit"
+	recRunning    = "running"
+	recCheckpoint = "checkpoint"
+	recDone       = "done"
+	recFailed     = "failed"
+)
+
+// submitData is the payload of a submit record: everything needed to
+// re-admit the job after a crash.
+type submitData struct {
+	ID   string  `json:"id"`
+	Key  string  `json:"key"`
+	Spec JobSpec `json:"spec"`
+}
+
+// doneData is the payload of a done record.
+type doneData struct {
+	Result *JobResult `json:"result"`
+	Cached bool       `json:"cached,omitempty"`
+	// Memoize records whether the result was admitted to the result
+	// cache (drain-degraded results are not), so replay restores the
+	// cache faithfully.
+	Memoize bool   `json:"memoize,omitempty"`
+	Outcome string `json:"outcome,omitempty"`
+}
+
+// failedData is the payload of a failed record.
+type failedData struct {
+	Error string `json:"error"`
+}
+
+// RecoveryStats summarizes a journal replay for logs and /metrics.
+type RecoveryStats struct {
+	// Enabled reports whether a journal is attached at all.
+	Enabled bool
+	// ReplayDuration is the wall time spent replaying and rebuilding.
+	ReplayDuration time.Duration
+	// RecordsReplayed counts whole records decoded from the journal.
+	RecordsReplayed int
+	// TruncatedBytes and Corrupt mirror journal.Replay: a torn or
+	// corrupt tail that was repaired by truncation.
+	TruncatedBytes int64
+	Corrupt        bool
+	// JobsRestored counts finished jobs restored with their results.
+	JobsRestored int
+	// JobsRequeued counts unfinished jobs re-admitted to the queue.
+	JobsRequeued int
+}
+
+// Open builds a Server like New and, when cfg.JournalPath is set,
+// attaches the write-ahead journal: surviving records are replayed,
+// finished jobs come back with their results (and re-populate the
+// result cache), unfinished jobs are re-enqueued in submission order,
+// and the log is compacted. The server reports not-ready until the
+// replay finishes. Call Start afterwards to launch the workers.
+func Open(cfg Config) (*Server, error) {
+	s := New(cfg)
+	if cfg.JournalPath == "" {
+		s.ready.Store(true)
+		return s, nil
+	}
+	start := time.Now()
+	jnl, rep, err := journal.Open(cfg.JournalPath, journal.Options{
+		Sync:            cfg.JournalSync,
+		OnFsync:         s.metrics.FsyncObserved,
+		WriteFault:      func() error { return s.inj.Err(faults.JournalWrite) },
+		ShortWriteFault: func() bool { return s.inj.Fire(faults.JournalShortWrite) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.jnl = jnl
+	if err := s.rebuild(rep); err != nil {
+		jnl.Close()
+		return nil, err
+	}
+	s.recovery.Enabled = true
+	s.recovery.ReplayDuration = time.Since(start)
+	s.recovery.RecordsReplayed = len(rep.Records)
+	s.recovery.TruncatedBytes = rep.TruncatedBytes
+	s.recovery.Corrupt = rep.Corrupt
+	s.metrics.ReplayDone(s.recovery)
+	s.ready.Store(true)
+	return s, nil
+}
+
+// replayedJob accumulates one job's records during replay.
+type replayedJob struct {
+	submit     journal.Record
+	spec       submitData
+	running    bool
+	checkpoint *Progress
+	ckptRec    *journal.Record
+	final      *journal.Record
+	done       *doneData
+	failed     *failedData
+}
+
+// rebuild reconstructs the job table from a replay, re-enqueues
+// unfinished work, and compacts the journal down to the live records.
+func (s *Server) rebuild(rep *journal.Replay) error {
+	byID := map[string]*replayedJob{}
+	var order []string
+	for i := range rep.Records {
+		rec := rep.Records[i]
+		switch rec.Type {
+		case recSubmit:
+			var d submitData
+			if err := json.Unmarshal(rec.Data, &d); err != nil {
+				return fmt.Errorf("service: replay submit %s: %w", rec.Job, err)
+			}
+			if _, ok := byID[d.ID]; !ok {
+				byID[d.ID] = &replayedJob{submit: rec, spec: d}
+				order = append(order, d.ID)
+			}
+		case recRunning:
+			if rj, ok := byID[rec.Job]; ok {
+				rj.running = true
+			}
+		case recCheckpoint:
+			if rj, ok := byID[rec.Job]; ok {
+				var p Progress
+				if err := json.Unmarshal(rec.Data, &p); err == nil {
+					rj.checkpoint = &p
+					rj.ckptRec = &rep.Records[i]
+				}
+			}
+		case recDone:
+			if rj, ok := byID[rec.Job]; ok && rj.final == nil {
+				var d doneData
+				if err := json.Unmarshal(rec.Data, &d); err != nil {
+					return fmt.Errorf("service: replay done %s: %w", rec.Job, err)
+				}
+				rj.final = &rep.Records[i]
+				rj.done = &d
+			}
+		case recFailed:
+			if rj, ok := byID[rec.Job]; ok && rj.final == nil {
+				var d failedData
+				if err := json.Unmarshal(rec.Data, &d); err != nil {
+					return fmt.Errorf("service: replay failed %s: %w", rec.Job, err)
+				}
+				rj.final = &rep.Records[i]
+				rj.failed = &d
+			}
+		}
+	}
+
+	var requeue []*Job
+	var live []journal.Record
+	for _, id := range order {
+		rj := byID[id]
+		job := &Job{
+			ID:        rj.spec.ID,
+			Spec:      rj.spec.Spec,
+			Key:       rj.spec.Key,
+			doneCh:    make(chan struct{}),
+			recovered: true,
+			submitted: rj.submit.At,
+			recSubmit: &rj.submit,
+		}
+		if rj.checkpoint != nil {
+			p := *rj.checkpoint
+			job.progress = &p
+			job.recCkpt = rj.ckptRec
+		}
+		switch {
+		case rj.done != nil:
+			job.status = StatusDone
+			job.result = rj.done.Result
+			job.cached = rj.done.Cached
+			job.finished = rj.final.At
+			job.recFinal = rj.final
+			close(job.doneCh)
+			if rj.done.Memoize && rj.done.Result != nil {
+				s.results.Put(job.Key, rj.done.Result)
+			}
+			s.recovery.JobsRestored++
+			live = append(live, *job.recSubmit, *job.recFinal)
+		case rj.failed != nil:
+			job.status = StatusFailed
+			job.errMsg = rj.failed.Error
+			job.finished = rj.final.At
+			job.recFinal = rj.final
+			close(job.doneCh)
+			s.recovery.JobsRestored++
+			live = append(live, *job.recSubmit, *job.recFinal)
+		default:
+			job.status = StatusQueued
+			requeue = append(requeue, job)
+			live = append(live, *job.recSubmit)
+			if job.recCkpt != nil {
+				live = append(live, *job.recCkpt)
+			}
+		}
+		s.jobs[job.ID] = job
+		s.order = append(s.order, job.ID)
+		if n := idSeq(job.ID); n > s.seq.Load() {
+			s.seq.Store(n)
+		}
+	}
+	s.recovery.JobsRequeued = len(requeue)
+
+	sort.Slice(live, func(i, k int) bool { return live[i].Seq < live[k].Seq })
+	if err := s.jnl.Compact(live); err != nil {
+		return err
+	}
+
+	// Re-admit unfinished jobs in submission order. The sends block when
+	// the recovered backlog exceeds the queue depth, so they run on a
+	// goroutine and drain as workers pick jobs up; a server stopped
+	// before the backlog drains leaves the remainder journaled for the
+	// next recovery.
+	for _, job := range requeue {
+		s.inflight[job.Key] = job
+	}
+	s.jobWG.Add(len(requeue))
+	if len(requeue) > 0 {
+		go func() {
+			for i, job := range requeue {
+				select {
+				case s.queue <- job:
+				case <-s.stopWorkers:
+					for range requeue[i:] {
+						s.jobWG.Done()
+					}
+					return
+				}
+			}
+		}()
+	}
+	return nil
+}
+
+// idSeq extracts the numeric suffix of a generated job ID ("j%06d"),
+// so restored servers keep allocating fresh IDs.
+func idSeq(id string) uint64 {
+	var n uint64
+	if _, err := fmt.Sscanf(id, "j%d", &n); err != nil {
+		return 0
+	}
+	return n
+}
+
+// Recovery returns the stats of the journal replay that built this
+// server (zero-valued when no journal is configured).
+func (s *Server) Recovery() RecoveryStats { return s.recovery }
+
+// journalAppend writes one record, remembering it on the job for
+// compaction. Journal failures are counted and logged into metrics but
+// deliberately do not fail the job: partitad favors availability, and a
+// sick journal degrades durability, not service.
+func (s *Server) journalAppend(job *Job, typ string, data any) {
+	if s.jnl == nil {
+		return
+	}
+	s.jmu.Lock()
+	rec, err := s.jnl.Append(typ, job.ID, data)
+	s.jmu.Unlock()
+	if err != nil {
+		s.metrics.JournalError()
+		return
+	}
+	job.setRecord(typ, rec)
+	if s.cfg.CompactEvery > 0 && s.jnl.AppendsSinceCompact() >= uint64(s.cfg.CompactEvery) {
+		s.compactJournal()
+	}
+}
+
+// compactJournal rewrites the journal down to the records that still
+// matter: for every tracked job, its submit record plus its final state
+// (or latest checkpoint while unfinished).
+func (s *Server) compactJournal() {
+	if s.jnl == nil {
+		return
+	}
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	var live []journal.Record
+	for _, job := range jobs {
+		live = append(live, job.liveRecords()...)
+	}
+	sort.Slice(live, func(i, k int) bool { return live[i].Seq < live[k].Seq })
+	if err := s.jnl.Compact(live); err != nil {
+		s.metrics.JournalError()
+	}
+}
+
+// CloseJournal syncs and closes the journal, if any. Called by the
+// daemon after a drain.
+func (s *Server) CloseJournal() error {
+	if s.jnl == nil {
+		return nil
+	}
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	return s.jnl.Close()
+}

@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"partita"
+	"partita/internal/faults"
+	"partita/internal/journal"
 )
 
 // Config tunes a Server. Zero fields take the documented defaults.
@@ -33,6 +35,21 @@ type Config struct {
 	// MaxJobs bounds how many jobs are retained for polling; the oldest
 	// finished jobs are evicted first (default 1024).
 	MaxJobs int
+	// JournalPath, when non-empty, enables the crash-safety write-ahead
+	// log: job lifecycle records are appended there and replayed by Open
+	// after a restart. Empty disables journaling (no durability, no
+	// overhead).
+	JournalPath string
+	// JournalSync is the fsync policy (default journal.SyncAlways).
+	JournalSync journal.SyncPolicy
+	// CheckpointEvery throttles journaled incumbent checkpoints per job
+	// (default 100ms between records).
+	CheckpointEvery time.Duration
+	// CompactEvery triggers a journal compaction after that many
+	// appends (default 4096).
+	CompactEvery int
+	// Faults is the optional fault injector (nil = disabled).
+	Faults *faults.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -53,6 +70,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 1024
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 100 * time.Millisecond
+	}
+	if c.CompactEvery <= 0 {
+		c.CompactEvery = 4096
 	}
 	return c
 }
@@ -88,14 +111,22 @@ type Server struct {
 	jobWG       sync.WaitGroup // queued + running jobs
 	workerWG    sync.WaitGroup
 	draining    atomic.Bool
+	ready       atomic.Bool
 	busy        atomic.Int64
 	seq         atomic.Uint64
 	startOnce   sync.Once
 	drainOnce   sync.Once
 	stopOnce    sync.Once
+
+	// Crash safety and fault injection (see recover.go).
+	inj      *faults.Injector
+	jnl      *journal.Journal
+	jmu      sync.Mutex // serializes journal appends with compaction snapshots
+	recovery RecoveryStats
 }
 
 // New builds a Server (workers are not started yet; call Start).
+// Journaling is attached by Open; New alone never touches disk.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
@@ -108,15 +139,24 @@ func New(cfg Config) *Server {
 		queue:       make(chan *Job, cfg.QueueDepth),
 		drain:       make(chan struct{}),
 		stopWorkers: make(chan struct{}),
+		inj:         cfg.Faults,
 	}
+	// A journal-less server is ready immediately; Open flips this after
+	// the replay finishes.
+	s.ready.Store(cfg.JournalPath == "")
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	return s
 }
+
+// now is the service clock: wall time, plus the injected skew when the
+// clock.skew fault is configured.
+func (s *Server) now() time.Time { return s.inj.Now() }
 
 // Start launches the worker pool. Safe to call once; later calls are
 // no-ops.
@@ -140,8 +180,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // deadline and return their best incumbents), then the workers stop.
 // The context bounds how long to wait for the drain.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.draining.Store(true)
-	s.drainOnce.Do(func() { close(s.drain) })
+	s.BeginDrain()
 	done := make(chan struct{})
 	go func() {
 		s.jobWG.Wait()
@@ -174,17 +213,20 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
-	now := time.Now()
+	now := s.now()
 	job := &Job{
 		ID:        fmt.Sprintf("j%06d", s.seq.Add(1)),
 		Spec:      spec,
 		Key:       key,
+		doneCh:    make(chan struct{}),
 		status:    StatusQueued,
 		submitted: now,
 	}
 	if v, ok := s.results.Get(key); ok {
 		job.complete(v.(*JobResult), true, now)
 		s.track(job)
+		s.journalAppend(job, recSubmit, submitData{ID: job.ID, Key: key, Spec: spec})
+		s.journalAppend(job, recDone, doneData{Result: job.Result(), Cached: true, Memoize: true, Outcome: "cached"})
 		s.metrics.JobSubmitted(string(spec.Kind))
 		return job, nil
 	}
@@ -197,9 +239,15 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	s.inflight[key] = job
 	s.mu.Unlock()
 	s.jobWG.Add(1)
-	select {
-	case s.queue <- job:
-	default:
+	full := s.inj.Fire(faults.QueueFull)
+	if !full {
+		select {
+		case s.queue <- job:
+		default:
+			full = true
+		}
+	}
+	if full {
 		s.jobWG.Done()
 		s.mu.Lock()
 		delete(s.inflight, key)
@@ -208,6 +256,9 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		return nil, ErrQueueFull
 	}
 	s.track(job)
+	// The job is durably accepted only once this append is synced; the
+	// 202 response follows it, so a crash can never lose an acked job.
+	s.journalAppend(job, recSubmit, submitData{ID: job.ID, Key: key, Spec: spec})
 	s.metrics.JobSubmitted(string(spec.Kind))
 	return job, nil
 }
@@ -259,7 +310,28 @@ func (s *Server) runJob(job *Job) {
 	defer s.jobWG.Done()
 	s.busy.Add(1)
 	defer s.busy.Add(-1)
-	job.setRunning(time.Now())
+	// A panicking solve (or an injected worker.panic) must not take the
+	// worker down with it: the job fails, the pool keeps serving.
+	defer func() {
+		if r := recover(); r != nil {
+			s.mu.Lock()
+			delete(s.inflight, job.Key)
+			s.mu.Unlock()
+			err := fmt.Errorf("service: worker panic: %v", r)
+			job.fail(err, s.now())
+			s.journalAppend(job, recFailed, failedData{Error: err.Error()})
+			s.metrics.PanicRecovered()
+			s.metrics.JobCompleted("error", 0)
+		}
+	}()
+	job.setRunning(s.now())
+	s.journalAppend(job, recRunning, nil)
+	if s.inj.Fire(faults.WorkerPanic) {
+		panic("faults: injected worker.panic")
+	}
+	if s.inj.Fire(faults.SolverStall) {
+		time.Sleep(s.inj.Duration(faults.SolverStallDelay, 25*time.Millisecond))
+	}
 	start := time.Now()
 	res, outcome, err := s.execute(job)
 	elapsed := time.Since(start).Seconds()
@@ -267,17 +339,20 @@ func (s *Server) runJob(job *Job) {
 	delete(s.inflight, job.Key)
 	s.mu.Unlock()
 	if err != nil {
-		job.fail(err, time.Now())
+		job.fail(err, s.now())
+		s.journalAppend(job, recFailed, failedData{Error: err.Error()})
 		s.metrics.JobCompleted("error", elapsed)
 		return
 	}
-	job.complete(res, false, time.Now())
+	job.complete(res, false, s.now())
 	s.metrics.JobCompleted(outcome, elapsed)
 	// Results produced while draining may be artificially degraded by
 	// the shutdown deadline; never memoize those.
-	if !s.draining.Load() {
+	memoize := !s.draining.Load()
+	if memoize {
 		s.results.Put(job.Key, res)
 	}
+	s.journalAppend(job, recDone, doneData{Result: res, Memoize: memoize, Outcome: outcome})
 }
 
 // design returns the analyzed design for the job's program, memoized in
@@ -333,7 +408,7 @@ func (s *Server) execute(job *Job) (*JobResult, string, error) {
 		if len(spec.PerPath) > 0 {
 			sel, err = design.SelectPerPathCtx(ctx, spec.RequiredGain, spec.PerPath, bud)
 		} else {
-			sel, err = design.SelectCtxObserve(ctx, spec.RequiredGain, bud, job.observe)
+			sel, err = design.SelectCtxObserve(ctx, spec.RequiredGain, bud, s.observeJob(job))
 		}
 		if err != nil {
 			return nil, "", err
@@ -344,7 +419,7 @@ func (s *Server) execute(job *Job) (*JobResult, string, error) {
 		if points <= 0 {
 			points = 5
 		}
-		pts, err := design.SweepCtx(ctx, points, bud)
+		pts, err := design.SweepCtxObserve(ctx, points, bud, s.observeJob(job))
 		if err != nil {
 			return nil, "", err
 		}
@@ -362,6 +437,21 @@ func (s *Server) execute(job *Job) (*JobResult, string, error) {
 		return &JobResult{Kind: spec.Kind, Sweep: NewSweepResult(pts)}, outcome, nil
 	}
 	return nil, "", fmt.Errorf("service: unhandled job kind %q", spec.Kind)
+}
+
+// observeJob folds solver incumbents into the job's poll snapshot and,
+// when a journal is attached, persists throttled incumbent checkpoints
+// so a crash mid-solve recovers to at least the last checkpoint.
+func (s *Server) observeJob(job *Job) func(partita.Incumbent) {
+	return func(in partita.Incumbent) {
+		job.observe(in)
+		if s.jnl == nil {
+			return
+		}
+		if job.checkpointDue(time.Now(), s.cfg.CheckpointEvery) {
+			s.journalAppend(job, recCheckpoint, job.progressSnapshot())
+		}
+	}
 }
 
 // ---- HTTP handlers ----
@@ -388,8 +478,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := s.Submit(spec)
 	switch {
-	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull):
+		// Back-pressure, not failure: the client should retry after a
+		// beat. Submissions are idempotent (content-addressed), so
+		// retrying is always safe.
 		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "5")
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	case err != nil:
@@ -413,11 +510,36 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
 }
 
+// maxLongPollWait caps the ?wait= long-poll duration.
+const maxLongPollWait = 30 * time.Second
+
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.Job(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("service: no such job %q", r.PathValue("id")))
 		return
+	}
+	// ?wait=10s long-polls until the job finishes, the wait elapses, or
+	// the server begins draining — the drain case is what lets idle
+	// pollers disconnect promptly on SIGTERM instead of pinning the
+	// HTTP server for the full drain deadline.
+	if wait := r.URL.Query().Get("wait"); wait != "" && !job.Done() {
+		d, err := time.ParseDuration(wait)
+		if err != nil || d < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad wait %q", wait))
+			return
+		}
+		if d > maxLongPollWait {
+			d = maxLongPollWait
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-job.DoneCh():
+		case <-t.C:
+		case <-r.Context().Done():
+		case <-s.drain:
+		}
 	}
 	writeJSON(w, http.StatusOK, job.View())
 }
@@ -429,28 +551,53 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	tracked := len(s.jobs)
 	s.mu.Unlock()
-	s.metrics.WritePrometheus(w, Gauges{
+	g := Gauges{
 		Workers:     s.cfg.Workers,
 		WorkersBusy: int(s.busy.Load()),
 		QueueDepth:  len(s.queue),
 		Draining:    s.draining.Load(),
+		Ready:       s.ready.Load() && !s.draining.Load(),
 		JobsTracked: tracked,
-	}, []cacheStat{
+		FaultCounts: s.inj.Counts(),
+	}
+	if s.jnl != nil {
+		g.JournalEnabled = true
+		g.JournalCompactions = s.jnl.Compactions()
+	}
+	s.metrics.WritePrometheus(w, g, []cacheStat{
 		{name: "design", hits: dh, misses: dm, entries: s.designs.Len()},
 		{name: "result", hits: rh, misses: rm, entries: s.results.Len()},
 	})
 }
 
+// handleHealth is the liveness probe: it answers 200 for as long as the
+// process can serve HTTP at all, even while replaying the journal or
+// draining — restartable conditions are the readiness probe's business.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	code := http.StatusOK
 	status := "ok"
 	if s.draining.Load() {
-		code = http.StatusServiceUnavailable
 		status = "draining"
 	}
-	writeJSON(w, code, map[string]any{
+	writeJSON(w, http.StatusOK, map[string]any{
 		"status":     status,
 		"workers":    s.cfg.Workers,
 		"queueDepth": len(s.queue),
 	})
+}
+
+// handleReady is the readiness probe: 503 during journal replay and
+// during drain, so load balancers stop routing before shutdown and
+// never route to a daemon still rebuilding its job table.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	code := http.StatusOK
+	status := "ready"
+	switch {
+	case s.draining.Load():
+		code = http.StatusServiceUnavailable
+		status = "draining"
+	case !s.ready.Load():
+		code = http.StatusServiceUnavailable
+		status = "replaying"
+	}
+	writeJSON(w, code, map[string]any{"status": status})
 }

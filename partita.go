@@ -355,6 +355,15 @@ func (d *Design) SweepCtx(ctx context.Context, points int, bud Budget) (pts []Sw
 	return selector.SweepCtx(ctx, d.DB, points, bud)
 }
 
+// SweepCtxObserve is SweepCtx with a progress observer: observe sees
+// every incumbent of every point's solve, in point order, under the
+// same contract as SelectCtxObserve. The partitad service uses this
+// hook to journal incumbent checkpoints during long sweeps.
+func (d *Design) SweepCtxObserve(ctx context.Context, points int, bud Budget, observe func(Incumbent)) (pts []SweepPoint, err error) {
+	defer guard(&err)
+	return selector.SweepCtxObserve(ctx, d.DB, points, bud, observe)
+}
+
 // ParetoFront filters sweep points to the non-dominated frontier.
 func ParetoFront(points []SweepPoint) []SweepPoint { return selector.ParetoFront(points) }
 
