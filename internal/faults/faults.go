@@ -43,6 +43,9 @@ const (
 	// JournalShortWrite tears a journal append mid-frame, leaving a
 	// truncated tail for recovery to repair.
 	JournalShortWrite = "journal.shortwrite"
+	// JournalSync fails the fsync after a journal append (the frame
+	// itself lands), driving the journal into its degraded state.
+	JournalSync = "journal.sync"
 	// QueueFull reports the admission queue as full.
 	QueueFull = "queue.full"
 	// ClockSkew configures a constant offset applied by Now (duration).

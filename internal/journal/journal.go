@@ -21,6 +21,13 @@
 // checksum mismatch, or undecodable JSON — as a torn tail: it truncates
 // the file back to the last whole record and carries on. Corruption is
 // repaired, never fatal.
+//
+// A failed append in a live process gets the same treatment: the file
+// is truncated back to the last whole record before any further append,
+// so a torn frame can never strand later records behind a bad CRC. If
+// that repair (or an fsync) fails, the journal degrades — appends
+// return ErrDegraded until a Compact rewrites the live records to a
+// fresh file.
 package journal
 
 import (
@@ -46,6 +53,12 @@ const frameHeader = 8
 // length fields as corruption (a torn length prefix would otherwise ask
 // for a multi-gigabyte allocation).
 const MaxRecordBytes = 16 << 20
+
+// ErrDegraded reports that an earlier append failure could not be
+// repaired (or an fsync failed), so the journal refuses further appends
+// rather than risk writing past a torn frame. A successful Compact —
+// which rewrites the live records to a fresh file — clears the state.
+var ErrDegraded = errors.New("journal: degraded, appends suspended until compaction")
 
 // Record is one journaled event. The journal itself is
 // schema-agnostic: Type and Data are owned by the caller (the service
@@ -98,8 +111,13 @@ type Options struct {
 	WriteFault func() error
 	// ShortWriteFault, when non-nil and true, tears the append mid-frame
 	// — the frame header and half the payload reach the file, then the
-	// append fails (fault injection; replay must repair it).
+	// append fails (fault injection; Append repairs the torn frame by
+	// truncating back to the last whole record).
 	ShortWriteFault func() bool
+	// SyncFault, when non-nil, is consulted in place of the real result
+	// before each append's fsync; a non-nil error fails the sync and
+	// degrades the journal (fault injection).
+	SyncFault func() error
 }
 
 // Journal is an open write-ahead log. Safe for concurrent use.
@@ -110,9 +128,11 @@ type Journal struct {
 	mu        sync.Mutex
 	f         *os.File
 	seq       uint64
+	off       int64  // end of the last whole record on disk
 	appends   uint64 // records appended since open/compact
 	compacted uint64 // lifetime compaction count
 	closed    bool
+	degraded  bool // append failed and the file could not be repaired
 }
 
 // Replay is what Open recovered from disk.
@@ -152,7 +172,7 @@ func Open(path string, opts Options) (*Journal, *Replay, error) {
 		f.Close()
 		return nil, nil, fmt.Errorf("journal: seek: %w", err)
 	}
-	j := &Journal{path: path, opts: opts, f: f}
+	j := &Journal{path: path, opts: opts, f: f, off: goodOff}
 	for _, r := range rep.Records {
 		if r.Seq > j.seq {
 			j.seq = r.Seq
@@ -252,6 +272,9 @@ func (j *Journal) Append(typ, jobID string, data any) (Record, error) {
 	if j.closed {
 		return Record{}, errors.New("journal: closed")
 	}
+	if j.degraded {
+		return Record{}, ErrDegraded
+	}
 	if j.opts.WriteFault != nil {
 		if err := j.opts.WriteFault(); err != nil {
 			return Record{}, err
@@ -270,27 +293,72 @@ func (j *Journal) Append(typ, jobID string, data any) (Record, error) {
 	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
 	copy(frame[frameHeader:], payload)
 	if j.opts.ShortWriteFault != nil && j.opts.ShortWriteFault() {
-		// Simulate a crash mid-write: half the frame lands, the rest is
-		// lost, and the caller sees an error. Replay repairs this tail.
+		// Simulate a torn write: half the frame lands, then the append
+		// fails. Unlike a real crash the process lives on, so the torn
+		// frame must be repaired before the next append — otherwise every
+		// later record would sit behind a bad CRC and be silently dropped
+		// at replay.
 		_, _ = j.f.Write(frame[:frameHeader+len(payload)/2])
 		_ = j.f.Sync()
+		j.repair()
 		return Record{}, errors.New("journal: injected short write")
 	}
 	if _, err := j.f.Write(frame); err != nil {
+		// A failed write (ENOSPC, EIO) can leave a partial frame at the
+		// tail; restore the file to the last whole record before
+		// accepting more appends.
+		j.repair()
 		return Record{}, fmt.Errorf("journal: write: %w", err)
 	}
+	// The frame is fully written: claim its Seq now, even if the fsync
+	// below fails, so no later record can ever share it.
+	j.seq = rec.Seq
 	if err := j.sync(); err != nil {
+		// After a failed fsync the page cache can no longer be trusted to
+		// hold what was written: suspend appends until a compaction
+		// rewrites the live records to a fresh, fully synced file.
+		j.degraded = true
 		return Record{}, err
 	}
-	j.seq = rec.Seq
+	j.off += int64(len(frame))
 	j.appends++
 	return rec, nil
+}
+
+// repair restores the file to end at the last whole record after a
+// failed append. If the truncate or seek itself fails, the journal
+// flips to degraded: appends stop rather than risk landing past a torn
+// frame (a successful Compact clears the state). Callers hold j.mu.
+func (j *Journal) repair() {
+	for attempt := 0; attempt < 3; attempt++ {
+		if err := j.f.Truncate(j.off); err != nil {
+			continue
+		}
+		if _, err := j.f.Seek(j.off, io.SeekStart); err != nil {
+			continue
+		}
+		return
+	}
+	j.degraded = true
+}
+
+// Degraded reports whether appends are suspended after an unrepairable
+// failure; Compact clears it.
+func (j *Journal) Degraded() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.degraded
 }
 
 // sync flushes per policy; callers hold j.mu.
 func (j *Journal) sync() error {
 	if j.opts.Sync == SyncNever {
 		return nil
+	}
+	if j.opts.SyncFault != nil {
+		if err := j.opts.SyncFault(); err != nil {
+			return err
+		}
 	}
 	start := time.Now()
 	if err := j.f.Sync(); err != nil {
@@ -381,15 +449,20 @@ func (j *Journal) Compact(live []Record) error {
 	if err != nil {
 		return fmt.Errorf("journal: reopen after compact: %w", err)
 	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+	end, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
 		f.Close()
 		return fmt.Errorf("journal: seek after compact: %w", err)
 	}
 	j.f = f
 	old.Close()
 	j.seq = maxSeq
+	j.off = end
 	j.appends = 0
 	j.compacted++
+	// The live records now sit in a fresh, fully synced file: whatever
+	// append failure degraded the journal has been written around.
+	j.degraded = false
 	return nil
 }
 

@@ -263,7 +263,7 @@ func TestWriteFaultFailsAppendWithoutCorrupting(t *testing.T) {
 	}
 }
 
-func TestShortWriteFaultLeavesRepairableTail(t *testing.T) {
+func TestShortWriteFaultIsRepairedInPlace(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal")
 	tear := false
 	j, _ := openT(t, path, Options{ShortWriteFault: func() bool { return tear }})
@@ -272,14 +272,95 @@ func TestShortWriteFaultLeavesRepairableTail(t *testing.T) {
 	if _, err := j.Append("event", "j1", payload{N: 9, S: "torn"}); err == nil {
 		t.Fatal("short write did not surface as an error")
 	}
+	if j.Degraded() {
+		t.Fatal("repairable short write degraded the journal")
+	}
+	// The torn half-frame was truncated away: the next append lands where
+	// it sat, so replay sees a clean file.
+	tear = false
+	appendN(t, j, 1)
 	j.Close()
 
-	j2, rep := openT(t, path, Options{})
-	if len(rep.Records) != 2 || rep.TruncatedBytes == 0 {
-		t.Fatalf("replay after torn write = %+v", rep)
-	}
-	if _, err := j2.Append("event", "", nil); err != nil {
+	rep, err := ReadAll(path)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if len(rep.Records) != 3 || rep.TruncatedBytes != 0 || rep.Corrupt {
+		t.Fatalf("replay after repaired torn write = %+v", rep)
+	}
+}
+
+func TestAppendsAfterTornWritesAreNeverLost(t *testing.T) {
+	// The failure mode that motivated in-place repair: without it, a torn
+	// frame mid-file strands every later append behind a bad CRC, and
+	// replay silently discards them all — including fsync'd records of
+	// acked jobs.
+	path := filepath.Join(t.TempDir(), "wal")
+	tear := false
+	j, _ := openT(t, path, Options{ShortWriteFault: func() bool { return tear }})
+	good := 0
+	for i := 0; i < 12; i++ {
+		tear = i%3 == 1
+		_, err := j.Append("event", "j1", payload{N: i})
+		if tear && err == nil {
+			t.Fatalf("append %d: torn write did not error", i)
+		}
+		if !tear {
+			if err != nil {
+				t.Fatalf("append %d: %v", i, err)
+			}
+			good++
+		}
+	}
+	j.Close()
+	rep, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Records) != good || rep.Corrupt {
+		t.Fatalf("replay kept %d of %d successful appends (corrupt=%v)", len(rep.Records), good, rep.Corrupt)
+	}
+}
+
+func TestFsyncFailureDegradesAndCompactHeals(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	var syncErr error
+	j, _ := openT(t, path, Options{SyncFault: func() error { return syncErr }})
+	recs := appendN(t, j, 2)
+
+	syncErr = errors.New("injected fsync failure")
+	if _, err := j.Append("event", "j1", payload{N: 9}); err == nil {
+		t.Fatal("failed fsync did not surface")
+	}
+	if !j.Degraded() {
+		t.Fatal("failed fsync did not degrade the journal")
+	}
+	// Degraded journals refuse appends instead of writing past damage.
+	if _, err := j.Append("event", "j1", payload{N: 10}); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("append while degraded = %v, want ErrDegraded", err)
+	}
+
+	// A compaction rewrites the live records to a fresh synced file and
+	// clears the degradation; appends resume with a fresh Seq (the seq
+	// claimed by the frame whose fsync failed is never reused).
+	syncErr = nil
+	if err := j.Compact(recs); err != nil {
+		t.Fatal(err)
+	}
+	if j.Degraded() {
+		t.Fatal("compaction did not clear degradation")
+	}
+	rec, err := j.Append("event", "j1", payload{N: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Seq <= recs[1].Seq+1 {
+		t.Errorf("post-degradation seq %d reuses the failed append's seq (last good %d)", rec.Seq, recs[1].Seq)
+	}
+	j.Close()
+	rep, err := ReadAll(path)
+	if err != nil || len(rep.Records) != 3 || rep.Corrupt {
+		t.Fatalf("replay after heal = %+v, %v", rep, err)
 	}
 }
 

@@ -340,14 +340,16 @@ func TestFaultJournalShortWriteRecoversOnReopen(t *testing.T) {
 	}
 	_ = s1.CloseJournal()
 
-	// Torn frames litter the log; reopening must repair, not refuse.
-	// (A torn mid-log write is overwritten by the next append's frame,
-	// which replay then flags as a checksum mismatch — either way the
-	// suffix is dropped and the server starts consistent.)
+	// Every torn write was repaired in place (truncated back to the last
+	// whole record), so the log replays clean: no record that reached the
+	// journal after a tear is stranded behind a bad CRC.
 	s2 := openTestServer(t, Config{Workers: 1, JournalPath: path})
 	rec := s2.Recovery()
 	if rec.JobsRestored+rec.JobsRequeued == 0 {
 		t.Errorf("nothing recovered despite successful appends: %+v", rec)
+	}
+	if rec.Corrupt || rec.TruncatedBytes != 0 {
+		t.Errorf("torn writes were not repaired in place: %+v", rec)
 	}
 	for _, id := range func() []string {
 		s2.mu.Lock()
@@ -356,6 +358,101 @@ func TestFaultJournalShortWriteRecoversOnReopen(t *testing.T) {
 	}() {
 		job, _ := s2.Job(id)
 		waitDone(t, job)
+	}
+}
+
+func TestFaultJournalSyncDegradationSurfaced(t *testing.T) {
+	// Every append's fsync fails: the journal degrades (the self-healing
+	// compaction succeeds, but the retried append's fsync fails again),
+	// the job still completes, and the degradation is visible on both
+	// /readyz and /metrics so a load balancer can steer away.
+	path := filepath.Join(t.TempDir(), "wal")
+	s := openTestServer(t, Config{Workers: 1, JournalPath: path,
+		Faults: mustInjector(t, "seed=7,journal.sync=1")})
+	job, err := s.Submit(selectSpec(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	if v := job.View(); v.Status != StatusDone {
+		t.Fatalf("job under fsync faults: %+v", v)
+	}
+	if !s.jnl.Degraded() {
+		t.Fatal("journal not degraded under persistent fsync failure")
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readBody(t, resp)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(body, "degraded") {
+		t.Errorf("degraded readyz = %d %q, want 503 with status degraded", resp.StatusCode, body)
+	}
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := readBody(t, resp)
+	resp.Body.Close()
+	for _, want := range []string{"partitad_journal_degraded 1", "partitad_ready 0"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestJournalSubmitRecordPrecedesLifecycle(t *testing.T) {
+	// Submit journals the submit record before the job becomes visible to
+	// any worker, so a fast worker can never get its running/done records
+	// into the log first — replay would drop the job's journaled result
+	// and compaction would freeze the inverted order permanently.
+	path := filepath.Join(t.TempDir(), "wal")
+	s, err := Open(Config{Workers: 4, JournalPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	for i := 0; i < 12; i++ {
+		job, err := s.Submit(selectSpec(int64(700 + i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, job)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := journal.ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := map[string]string{}
+	var lastSeq uint64
+	for _, r := range rep.Records {
+		if r.Seq <= lastSeq {
+			t.Errorf("journal seq not strictly increasing: %d after %d", r.Seq, lastSeq)
+		}
+		lastSeq = r.Seq
+		if _, ok := first[r.Job]; !ok {
+			first[r.Job] = r.Type
+		}
+	}
+	if len(first) != 12 {
+		t.Fatalf("journaled jobs = %d, want 12", len(first))
+	}
+	for id, typ := range first {
+		if typ != recSubmit {
+			t.Errorf("job %s: first journaled record is %q, want %q", id, typ, recSubmit)
+		}
 	}
 }
 
@@ -525,6 +622,7 @@ func TestJournalMetricsExposed(t *testing.T) {
 		"partitad_journal_compactions_total",
 		"partitad_journal_fsync_seconds_bucket",
 		"partitad_journal_errors_total 0",
+		"partitad_journal_degraded 0",
 		`partitad_faults_injected_total{point="solver.stall"} 1`,
 		"partitad_ready 1",
 		"partitad_panics_recovered_total 0",

@@ -131,10 +131,11 @@ type Gauges struct {
 	Draining    bool
 	Ready       bool
 	JobsTracked int
-	// JournalEnabled and JournalCompactions are sampled from the
-	// attached journal (zero when journaling is off).
+	// JournalEnabled, JournalCompactions, and JournalDegraded are
+	// sampled from the attached journal (zero when journaling is off).
 	JournalEnabled     bool
 	JournalCompactions uint64
+	JournalDegraded    bool
 	// FaultCounts snapshots the injector's fired-fault counters by
 	// point name (nil when injection is disabled).
 	FaultCounts map[string]uint64
@@ -212,6 +213,11 @@ func (m *Metrics) WritePrometheus(w io.Writer, g Gauges, caches []cacheStat) {
 		jenabled = 1
 	}
 	fmt.Fprintf(w, "# HELP partitad_journal_enabled Whether a write-ahead journal is attached.\n# TYPE partitad_journal_enabled gauge\npartitad_journal_enabled %d\n", jenabled)
+	jdegraded := 0
+	if g.JournalDegraded {
+		jdegraded = 1
+	}
+	fmt.Fprintf(w, "# HELP partitad_journal_degraded Whether journal appends are suspended after an unrepairable failure.\n# TYPE partitad_journal_degraded gauge\npartitad_journal_degraded %d\n", jdegraded)
 	fmt.Fprintf(w, "# HELP partitad_journal_errors_total Journal appends or compactions that failed (durability degraded).\n# TYPE partitad_journal_errors_total counter\npartitad_journal_errors_total %d\n", m.journalErrors)
 	fmt.Fprintf(w, "# HELP partitad_journal_compactions_total Journal compactions completed.\n# TYPE partitad_journal_compactions_total counter\npartitad_journal_compactions_total %d\n", g.JournalCompactions)
 	fmt.Fprintf(w, "# HELP partitad_journal_replay_seconds Wall time of the startup journal replay.\n# TYPE partitad_journal_replay_seconds gauge\npartitad_journal_replay_seconds %g\n", m.replay.ReplayDuration.Seconds())

@@ -82,6 +82,7 @@ func Open(cfg Config) (*Server, error) {
 		OnFsync:         s.metrics.FsyncObserved,
 		WriteFault:      func() error { return s.inj.Err(faults.JournalWrite) },
 		ShortWriteFault: func() bool { return s.inj.Fire(faults.JournalShortWrite) },
+		SyncFault:       func() error { return s.inj.Err(faults.JournalSync) },
 	})
 	if err != nil {
 		return nil, err
@@ -218,7 +219,7 @@ func (s *Server) rebuild(rep *journal.Replay) error {
 	}
 	s.recovery.JobsRequeued = len(requeue)
 
-	sort.Slice(live, func(i, k int) bool { return live[i].Seq < live[k].Seq })
+	sort.SliceStable(live, func(i, k int) bool { return live[i].Seq < live[k].Seq })
 	if err := s.jnl.Compact(live); err != nil {
 		return err
 	}
@@ -231,6 +232,12 @@ func (s *Server) rebuild(rep *journal.Replay) error {
 	for _, job := range requeue {
 		s.inflight[job.Key] = job
 	}
+	// Count the whole backlog against the admission queue up front: new
+	// submissions see 429 back-pressure until the recovered work drains
+	// below the queue depth, and Submit's queue send can never block.
+	s.mu.Lock()
+	s.queued += len(requeue)
+	s.mu.Unlock()
 	s.jobWG.Add(len(requeue))
 	if len(requeue) > 0 {
 		go func() {
@@ -238,6 +245,9 @@ func (s *Server) rebuild(rep *journal.Replay) error {
 				select {
 				case s.queue <- job:
 				case <-s.stopWorkers:
+					s.mu.Lock()
+					s.queued -= len(requeue) - i
+					s.mu.Unlock()
 					for range requeue[i:] {
 						s.jobWG.Done()
 					}
@@ -266,22 +276,45 @@ func (s *Server) Recovery() RecoveryStats { return s.recovery }
 // journalAppend writes one record, remembering it on the job for
 // compaction. Journal failures are counted and logged into metrics but
 // deliberately do not fail the job: partitad favors availability, and a
-// sick journal degrades durability, not service.
+// sick journal degrades durability, not service. When an append leaves
+// the journal degraded (unrepairable write, failed fsync), a compaction
+// rewrites the live records — all held in memory — to a fresh synced
+// file and the failed record is retried once; if the disk is truly sick
+// the journal stays degraded, which /metrics and /readyz surface.
 func (s *Server) journalAppend(job *Job, typ string, data any) {
 	if s.jnl == nil {
 		return
 	}
-	s.jmu.Lock()
-	rec, err := s.jnl.Append(typ, job.ID, data)
-	s.jmu.Unlock()
-	if err != nil {
+	if err := s.appendRecord(job, typ, data); err != nil {
 		s.metrics.JournalError()
+		if s.jnl.Degraded() {
+			s.compactJournal()
+			if !s.jnl.Degraded() {
+				if err := s.appendRecord(job, typ, data); err != nil {
+					s.metrics.JournalError()
+				}
+			}
+		}
 		return
 	}
-	job.setRecord(typ, rec)
 	if s.cfg.CompactEvery > 0 && s.jnl.AppendsSinceCompact() >= uint64(s.cfg.CompactEvery) {
 		s.compactJournal()
 	}
+}
+
+// appendRecord journals one record and remembers it on the job, both
+// under jmu: a concurrent compaction snapshots live records under the
+// same lock, so it can never miss a record that has already reached the
+// journal (which would silently drop it from the rewritten log).
+func (s *Server) appendRecord(job *Job, typ string, data any) error {
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	rec, err := s.jnl.Append(typ, job.ID, data)
+	if err != nil {
+		return err
+	}
+	job.setRecord(typ, rec)
+	return nil
 }
 
 // compactJournal rewrites the journal down to the records that still
@@ -303,7 +336,7 @@ func (s *Server) compactJournal() {
 	for _, job := range jobs {
 		live = append(live, job.liveRecords()...)
 	}
-	sort.Slice(live, func(i, k int) bool { return live[i].Seq < live[k].Seq })
+	sort.SliceStable(live, func(i, k int) bool { return live[i].Seq < live[k].Seq })
 	if err := s.jnl.Compact(live); err != nil {
 		s.metrics.JournalError()
 	}

@@ -104,6 +104,7 @@ type Server struct {
 	jobs     map[string]*Job
 	order    []string        // job IDs in submission order
 	inflight map[string]*Job // queued/running jobs by result key
+	queued   int             // jobs admitted but not yet picked up by a worker
 
 	queue       chan *Job
 	drain       chan struct{}
@@ -236,30 +237,27 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		s.metrics.JobCoalesced()
 		return prev, nil
 	}
-	s.inflight[key] = job
-	s.mu.Unlock()
-	s.jobWG.Add(1)
-	full := s.inj.Fire(faults.QueueFull)
-	if !full {
-		select {
-		case s.queue <- job:
-		default:
-			full = true
-		}
-	}
-	if full {
-		s.jobWG.Done()
-		s.mu.Lock()
-		delete(s.inflight, key)
+	// Admission is a counter check, not a channel send, so the job can be
+	// journaled before it becomes visible to any worker: the submit
+	// record must reach the log ahead of the running/done records a fast
+	// worker would append, or replay drops the job's journaled result.
+	if s.inj.Fire(faults.QueueFull) || s.queued >= cap(s.queue) {
 		s.mu.Unlock()
 		s.metrics.JobRejected()
 		return nil, ErrQueueFull
 	}
+	s.inflight[key] = job
+	s.queued++
+	s.mu.Unlock()
+	s.jobWG.Add(1)
 	s.track(job)
 	// The job is durably accepted only once this append is synced; the
 	// 202 response follows it, so a crash can never lose an acked job.
 	s.journalAppend(job, recSubmit, submitData{ID: job.ID, Key: key, Spec: spec})
 	s.metrics.JobSubmitted(string(spec.Kind))
+	// Never blocks: queued <= cap(queue) is enforced under s.mu above,
+	// and workers decrement only after receiving.
+	s.queue <- job
 	return job, nil
 }
 
@@ -299,6 +297,9 @@ func (s *Server) worker() {
 	for {
 		select {
 		case job := <-s.queue:
+			s.mu.Lock()
+			s.queued--
+			s.mu.Unlock()
 			s.runJob(job)
 		case <-s.stopWorkers:
 			return
@@ -556,14 +557,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		WorkersBusy: int(s.busy.Load()),
 		QueueDepth:  len(s.queue),
 		Draining:    s.draining.Load(),
-		Ready:       s.ready.Load() && !s.draining.Load(),
 		JobsTracked: tracked,
 		FaultCounts: s.inj.Counts(),
 	}
 	if s.jnl != nil {
 		g.JournalEnabled = true
 		g.JournalCompactions = s.jnl.Compactions()
+		g.JournalDegraded = s.jnl.Degraded()
 	}
+	g.Ready = s.ready.Load() && !s.draining.Load() && !g.JournalDegraded
 	s.metrics.WritePrometheus(w, g, []cacheStat{
 		{name: "design", hits: dh, misses: dm, entries: s.designs.Len()},
 		{name: "result", hits: rh, misses: rm, entries: s.results.Len()},
@@ -585,9 +587,11 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleReady is the readiness probe: 503 during journal replay and
-// during drain, so load balancers stop routing before shutdown and
-// never route to a daemon still rebuilding its job table.
+// handleReady is the readiness probe: 503 during journal replay, during
+// drain, and while the journal is degraded, so load balancers stop
+// routing before shutdown, never route to a daemon still rebuilding its
+// job table, and steer work away from a node that can no longer make
+// jobs durable.
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	code := http.StatusOK
 	status := "ready"
@@ -598,6 +602,9 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	case !s.ready.Load():
 		code = http.StatusServiceUnavailable
 		status = "replaying"
+	case s.jnl != nil && s.jnl.Degraded():
+		code = http.StatusServiceUnavailable
+		status = "degraded"
 	}
 	writeJSON(w, code, map[string]any{"status": status})
 }
