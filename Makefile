@@ -1,7 +1,7 @@
 # Convenience targets around the go toolchain; everything here is plain
 # `go test` underneath.
 
-.PHONY: build test race bench bench-service integration chaos
+.PHONY: build test race bench bench-ilp bench-service integration chaos
 
 build:
 	go build ./...
@@ -16,6 +16,16 @@ race:
 # ablations).
 bench:
 	go test -bench . -benchmem .
+
+# ILP solver benchmarks: branch-and-bound nodes/sec and solve-latency
+# p50/p99 over the GSM/JPEG models at parallelism 1/2/4, plus the
+# 16-point sweep. Writes BENCH_ilp.json at the repo root (override with
+# BENCH_ILP_OUT); parallel entries record their p50 speedup over the
+# serial entry. See docs/PERFORMANCE.md. Override the iteration count
+# with BENCHTIME (e.g. `make bench-ilp BENCHTIME=1x` as a smoke test).
+BENCHTIME ?= 20x
+bench-ilp:
+	go test -run NoTests -bench BenchmarkILP -benchtime $(BENCHTIME) .
 
 # Service-level benchmarks: job throughput, p50/p99 solve latency, and
 # cache-hit speedup over the GSM/JPEG workloads. Writes

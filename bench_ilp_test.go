@@ -1,0 +1,221 @@
+package partita
+
+// The ILP solver benchmark harness measures the branch-and-bound core —
+// nodes/sec and solve-latency percentiles at parallelism 1, 2, and 4
+// over the GSM/JPEG models, plus the 16-point sweep — and records the
+// numbers in BENCH_ilp.json at the repo root (override the path with
+// the BENCH_ILP_OUT environment variable):
+//
+//	go test -run NoTests -bench BenchmarkILP -benchtime 20x .
+//
+// Each run merges into the existing file, and parallel entries record
+// their p50 speedup over the serial entry of the same workload when it
+// is already present — run the p1 benchmarks first (the declaration
+// order above does this) to get speedup columns. Note that on a
+// single-core runner the parallel entries measure coordination overhead
+// rather than speedup; the >= 2x acceptance number is for a 4+ core
+// machine.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"partita/internal/apps"
+	"partita/internal/imp"
+	"partita/internal/selector"
+)
+
+// ilpBenchMetrics is one benchmark's entry in BENCH_ilp.json.
+type ilpBenchMetrics struct {
+	Parallelism int     `json:"parallelism"`
+	NodesPerSec float64 `json:"nodesPerSec"`
+	P50Ms       float64 `json:"p50Ms"`
+	P99Ms       float64 `json:"p99Ms"`
+	Solves      int     `json:"solves"`
+	// SpeedupVsSerial is the serial entry's p50 over this entry's p50,
+	// filled for parallel entries when the serial entry already exists
+	// in the document.
+	SpeedupVsSerial float64 `json:"speedupVsSerial,omitempty"`
+}
+
+var ilpBenchMu sync.Mutex
+
+// ilpBenchOutPath locates BENCH_ilp.json: $BENCH_ILP_OUT if set, else
+// next to go.mod (walking up from the package directory).
+func ilpBenchOutPath() (string, error) {
+	if p := os.Getenv("BENCH_ILP_OUT"); p != "" {
+		return p, nil
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return filepath.Join(dir, "BENCH_ilp.json"), nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// ilpRecord merges one benchmark's metrics into BENCH_ilp.json. When
+// serialName is present in the document, the entry gets a p50 speedup
+// relative to it.
+func ilpRecord(b *testing.B, name, serialName string, m ilpBenchMetrics) {
+	ilpBenchMu.Lock()
+	defer ilpBenchMu.Unlock()
+	path, err := ilpBenchOutPath()
+	if err != nil {
+		b.Logf("bench output skipped: %v", err)
+		return
+	}
+	doc := map[string]ilpBenchMetrics{}
+	if raw, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(raw, &doc)
+	}
+	if serialName != "" {
+		if base, ok := doc[serialName]; ok && base.P50Ms > 0 && m.P50Ms > 0 {
+			m.SpeedupVsSerial = base.P50Ms / m.P50Ms
+			b.ReportMetric(m.SpeedupVsSerial, "speedup_x")
+		}
+	}
+	doc[name] = m
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func ilpPercentileMs(durs []time.Duration, p float64) float64 {
+	if len(durs) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p * float64(len(sorted)-1))
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+func ilpBenchDB(b *testing.B, gen func() (*imp.DB, []apps.TableRow, error)) *imp.DB {
+	b.Helper()
+	db, _, err := gen()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+// benchILPSelect measures select solves cycling over a band of gain
+// targets (the same band the CLI sweeps), at one parallelism level.
+func benchILPSelect(b *testing.B, name string, gen func() (*imp.DB, []apps.TableRow, error), par int) {
+	db := ilpBenchDB(b, gen)
+	max := selector.MaxReachableGain(db)
+	fracs := []int64{10, 30, 50, 70, 90}
+	bud := Budget{Parallelism: par}
+	ctx := context.Background()
+
+	durs := make([]time.Duration, 0, b.N)
+	var nodes int64
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		rg := max * fracs[i%len(fracs)] / 100
+		t0 := time.Now()
+		sel, err := selector.SolveCtx(ctx, selector.Problem{DB: db, Required: rg, Budget: bud})
+		if err != nil {
+			b.Fatal(err)
+		}
+		durs = append(durs, time.Since(t0))
+		nodes += int64(sel.Nodes)
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	m := ilpBenchMetrics{
+		Parallelism: par,
+		NodesPerSec: float64(nodes) / elapsed.Seconds(),
+		P50Ms:       ilpPercentileMs(durs, 0.50),
+		P99Ms:       ilpPercentileMs(durs, 0.99),
+		Solves:      b.N,
+	}
+	b.ReportMetric(m.NodesPerSec, "nodes/sec")
+	b.ReportMetric(m.P50Ms, "p50_ms")
+	b.ReportMetric(m.P99Ms, "p99_ms")
+	serial := ""
+	if par > 1 {
+		serial = name + "_p1"
+	}
+	ilpRecord(b, fmt.Sprintf("%s_p%d", name, par), serial, m)
+}
+
+func BenchmarkILPSelectGSMP1(b *testing.B) { benchILPSelect(b, "select_gsm", apps.GSMEncoderTable, 1) }
+func BenchmarkILPSelectGSMP2(b *testing.B) { benchILPSelect(b, "select_gsm", apps.GSMEncoderTable, 2) }
+func BenchmarkILPSelectGSMP4(b *testing.B) { benchILPSelect(b, "select_gsm", apps.GSMEncoderTable, 4) }
+
+func BenchmarkILPSelectJPEGP1(b *testing.B) {
+	benchILPSelect(b, "select_jpeg", apps.JPEGEncoderTable, 1)
+}
+func BenchmarkILPSelectJPEGP2(b *testing.B) {
+	benchILPSelect(b, "select_jpeg", apps.JPEGEncoderTable, 2)
+}
+func BenchmarkILPSelectJPEGP4(b *testing.B) {
+	benchILPSelect(b, "select_jpeg", apps.JPEGEncoderTable, 4)
+}
+
+// benchILPSweep measures the full 16-point GSM sweep, whose parallel
+// driver pools points and warm-starts looser points from tighter ones.
+func benchILPSweep(b *testing.B, par int) {
+	db := ilpBenchDB(b, apps.GSMEncoderTable)
+	bud := Budget{Parallelism: par}
+	ctx := context.Background()
+
+	durs := make([]time.Duration, 0, b.N)
+	var nodes int64
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		pts, err := selector.SweepCtx(ctx, db, 16, bud)
+		if err != nil {
+			b.Fatal(err)
+		}
+		durs = append(durs, time.Since(t0))
+		for _, p := range pts {
+			nodes += int64(p.Sel.Nodes)
+		}
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	m := ilpBenchMetrics{
+		Parallelism: par,
+		NodesPerSec: float64(nodes) / elapsed.Seconds(),
+		P50Ms:       ilpPercentileMs(durs, 0.50),
+		P99Ms:       ilpPercentileMs(durs, 0.99),
+		Solves:      b.N,
+	}
+	b.ReportMetric(m.NodesPerSec, "nodes/sec")
+	b.ReportMetric(m.P50Ms, "sweep_p50_ms")
+	serial := ""
+	if par > 1 {
+		serial = "sweep16_gsm_p1"
+	}
+	ilpRecord(b, fmt.Sprintf("sweep16_gsm_p%d", par), serial, m)
+}
+
+func BenchmarkILPSweep16P1(b *testing.B) { benchILPSweep(b, 1) }
+func BenchmarkILPSweep16P4(b *testing.B) { benchILPSweep(b, 4) }

@@ -7,12 +7,17 @@
 //
 //	partita -src app.c -root encoder -rg 50000 [-catalog lib.json]
 //	        [-problem2] [-simulate] [-greedy] [-entry main]
-//	        [-timeout 30s] [-max-nodes 100000] [-json]
+//	        [-timeout 30s] [-max-nodes 100000] [-parallelism 4] [-json]
 //
 // -timeout and -max-nodes bound the exact solver; when a budget runs
 // out the report carries the best configuration found so far (status
 // "feasible", with its optimality gap) or the greedy fallback (status
 // "degraded") instead of hanging.
+//
+// -parallelism runs the branch-and-bound solver with that many worker
+// goroutines (-1 = one per CPU). 0 and 1 keep the serial solver with
+// its reproducible node order; parallel solves prove the same optimum.
+// See docs/PERFORMANCE.md.
 //
 // -json replaces the tables with one JSON document using the same
 // result schema as the partitad service, so CLI and service answers
@@ -74,10 +79,11 @@ func main() {
 	rtl := flag.String("rtl", "", "write generated Verilog (interfaces + decoder) to this file")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget per selection solve (0 = unlimited)")
 	maxNodes := flag.Int("max-nodes", 0, "branch-and-bound node budget per solve (0 = unlimited)")
+	parallelism := flag.Int("parallelism", 0, "solver worker goroutines (0 or 1 = serial deterministic, -1 = one per CPU)")
 	jsonOut := flag.Bool("json", false, "emit one JSON document in the partitad service schema instead of tables")
 	flag.Parse()
 
-	bud := partita.Budget{MaxNodes: *maxNodes}
+	bud := partita.Budget{MaxNodes: *maxNodes, Parallelism: *parallelism}
 	solveCtx := func() (context.Context, context.CancelFunc) {
 		if *timeout > 0 {
 			return context.WithTimeout(context.Background(), *timeout)

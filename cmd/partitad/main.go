@@ -10,9 +10,14 @@
 //	partitad [-addr :8080] [-workers N] [-queue 64]
 //	         [-design-cache 32] [-result-cache 256]
 //	         [-default-timeout 0] [-max-timeout 2m]
-//	         [-max-jobs 1024] [-grace 30s]
+//	         [-max-jobs 1024] [-max-parallelism N] [-grace 30s]
 //	         [-journal path] [-journal-sync always|never]
 //	         [-faults spec]
+//
+// Jobs may request solver-level parallelism with their "parallelism"
+// field; -max-parallelism caps what any single job can get, so the
+// job-level worker pool times the per-solve worker count stays within
+// what the operator provisioned (see docs/PERFORMANCE.md for tuning).
 //
 // With -journal, the daemon is crash-safe: every accepted job is
 // recorded in an append-only, checksummed, fsync'd log before the 202
@@ -67,6 +72,7 @@ func main() {
 	defaultTimeout := flag.Duration("default-timeout", 0, "deadline for jobs that set none (0 = inherit -max-timeout)")
 	maxTimeout := flag.Duration("max-timeout", 0, "hard cap on any job deadline (0 = default 2m)")
 	maxJobs := flag.Int("max-jobs", 0, "jobs retained for polling (0 = default 1024)")
+	maxParallelism := flag.Int("max-parallelism", 0, "cap on per-job solver parallelism (0 = GOMAXPROCS)")
 	grace := flag.Duration("grace", 30*time.Second, "shutdown drain budget")
 	journalPath := flag.String("journal", "", "write-ahead journal path (empty = no crash safety)")
 	journalSync := flag.String("journal-sync", "always", "journal fsync policy: always or never")
@@ -97,6 +103,7 @@ func main() {
 		DefaultTimeout:  *defaultTimeout,
 		MaxTimeout:      *maxTimeout,
 		MaxJobs:         *maxJobs,
+		MaxParallelism:  *maxParallelism,
 		JournalPath:     *journalPath,
 		JournalSync:     syncPolicy,
 		Faults:          inj,

@@ -27,6 +27,12 @@ func (m *Model) Solve() (*Solution, error) {
 //   - on exhaustion with no incumbent, a typed error wrapping one of the
 //     budget package sentinels is returned, so callers can degrade to a
 //     heuristic instead of failing.
+//
+// bud.Parallelism selects the search driver: 0 and 1 run the serial
+// best-first search, which visits nodes in a fixed, reproducible order;
+// larger values run the same search with that many concurrent workers
+// (see branchAndBoundParallel), proving the same status and objective
+// with a run-dependent node order.
 func (m *Model) SolveCtx(ctx context.Context, bud budget.Budget) (*Solution, error) {
 	if err := m.validate(); err != nil {
 		return nil, err
@@ -43,22 +49,73 @@ func (m *Model) SolveCtx(ctx context.Context, bud budget.Budget) (*Solution, err
 		}
 	}
 	if !hasInt {
-		r := m.solveRelaxation(nil, lim)
+		r := m.solveRelaxation(nil, lim, nil)
 		if r.err != nil {
 			return nil, r.err
 		}
 		return &Solution{Status: r.status, Objective: r.obj, Values: r.x, Nodes: 1, Bound: r.obj}, nil
 	}
+	if w := bud.Workers(); w > 1 {
+		return m.branchAndBoundParallel(ctx, bud, w)
+	}
 	return m.branchAndBound(ctx, bud)
 }
 
-// bbNode is one open subproblem: a set of binary fixings plus the parent
-// relaxation bound used for best-first ordering.
+// bbNode is one open subproblem: a parent pointer plus this node's own
+// binary fixing, and the parent relaxation bound used for best-first
+// ordering. The full fixing set of a node is the chain walk back to the
+// root — a copy-on-write path that costs one small struct per child
+// instead of the full map copy a per-node fixing map would need. Nodes
+// are immutable once pushed, so chains may be shared freely between
+// solver workers.
 type bbNode struct {
-	fixed map[VarID]float64
-	bound float64 // relaxation bound in minimization sense
-	depth int
+	parent *bbNode
+	v      VarID   // variable fixed at this node; -1 at the root
+	val    float64 // value v is fixed to
+	bound  float64 // relaxation bound in minimization sense
+	depth  int32
 }
+
+// fixSet is a reusable dense view of one node's fixing chain, giving
+// solveRelaxation O(1) lookups without allocating per node: load walks
+// the chain (O(depth)) and clears only the entries the previous node
+// touched. Each solver worker owns one fixSet.
+type fixSet struct {
+	val     []float64
+	set     []bool
+	touched []VarID
+}
+
+// load rebuilds the view for node's chain over a model with n variables.
+func (f *fixSet) load(n int, node *bbNode) {
+	if len(f.set) < n {
+		f.val = make([]float64, n)
+		f.set = make([]bool, n)
+	}
+	for _, v := range f.touched {
+		f.set[v] = false
+	}
+	f.touched = f.touched[:0]
+	for nd := node; nd != nil && nd.v >= 0; nd = nd.parent {
+		if !f.set[nd.v] {
+			f.set[nd.v] = true
+			f.val[nd.v] = nd.val
+			f.touched = append(f.touched, nd.v)
+		}
+	}
+}
+
+// get reports the fixed value of v, if any. A nil fixSet has no
+// fixings (the pure-LP entry point).
+func (f *fixSet) get(v VarID) (float64, bool) {
+	if f == nil || !f.set[v] {
+		return 0, false
+	}
+	return f.val[v], true
+}
+
+// fixed reports whether v is fixed.
+func (f *fixSet) fixed(v VarID) bool { return f != nil && f.set[v] }
 
 type nodeHeap []*bbNode
 
@@ -79,6 +136,69 @@ func (h *nodeHeap) Pop() interface{} {
 	return it
 }
 
+// pickBranch chooses the branching variable of a fractional relaxation
+// point: among free fractional binaries, the one with the largest
+// objective impact scaled by how fractional it is — on fixed-charge
+// instances this branches on the area-carrying indicator variables
+// first, which tightens the bound fastest. Returns -1 when every
+// integer variable is integral (candidate incumbent).
+func (m *Model) pickBranch(x []float64, fx *fixSet) VarID {
+	branch := VarID(-1)
+	bestScore := 0.0
+	for j, v := range m.vars {
+		if !v.integer {
+			continue
+		}
+		if fx.fixed(VarID(j)) {
+			continue
+		}
+		frac := math.Abs(x[j] - math.Round(x[j]))
+		if frac <= intEps {
+			continue
+		}
+		score := frac * (1 + math.Abs(v.obj))
+		if branch < 0 || score > bestScore {
+			bestScore = score
+			branch = VarID(j)
+		}
+	}
+	return branch
+}
+
+// roundExact copies an integral-within-tolerance LP point, snapping its
+// integer variables exactly.
+func (m *Model) roundExact(lp []float64) []float64 {
+	x := make([]float64, len(lp))
+	copy(x, lp)
+	for j, v := range m.vars {
+		if v.integer {
+			x[j] = math.Round(x[j])
+		}
+	}
+	return x
+}
+
+// warmIncumbent validates the model's warm-start point, if any: integer
+// variables are snapped exactly, then every bound and constraint is
+// checked. On success it returns the snapped point and its objective in
+// minimization sense, ready to install as the initial incumbent. An
+// invalid or infeasible warm start is silently ignored — it is a hint,
+// not an input.
+func (m *Model) warmIncumbent() (x []float64, objMin float64, ok bool) {
+	if m.warmX == nil || len(m.warmX) != len(m.vars) {
+		return nil, 0, false
+	}
+	x = m.roundExact(m.warmX)
+	obj, ok := m.evalPoint(x)
+	if !ok {
+		return nil, 0, false
+	}
+	if m.sense == Maximize {
+		obj = -obj
+	}
+	return x, obj, true
+}
+
 func (m *Model) branchAndBound(ctx context.Context, bud budget.Budget) (*Solution, error) {
 	// Internally minimize; flip at the end if maximizing.
 	toMin := func(obj float64) float64 {
@@ -92,15 +212,24 @@ func (m *Model) branchAndBound(ctx context.Context, bud budget.Budget) (*Solutio
 	incumbentObj := math.Inf(1)
 	var incumbentX []float64
 	nodes := 0
+	if x, objMin, ok := m.warmIncumbent(); ok {
+		// Seeds carried in from a previous solve prune from node one but
+		// emit no OnIncumbent event: the callback stream reports this
+		// solve's discoveries.
+		incumbentObj, incumbentX = objMin, x
+	}
+
+	fx := &fixSet{}
+	ar := &arena{}
 
 	open := &nodeHeap{}
 	heap.Init(open)
-	heap.Push(open, &bbNode{fixed: map[VarID]float64{}, bound: math.Inf(-1)})
+	heap.Push(open, &bbNode{v: -1, bound: math.Inf(-1)})
 
-	// tryIncumbent records x (already integral within tolerance, rounded
-	// exactly here) as the incumbent if it beats the current one.
-	// nodeBound is the relaxation bound of the node that produced x; the
-	// global proven bound is its minimum with the best open-node bound.
+	// tryIncumbent records x (already integral, snapped exactly) as the
+	// incumbent if it beats the current one. nodeBound is the relaxation
+	// bound of the node that produced x; the global proven bound is its
+	// minimum with the best open-node bound.
 	tryIncumbent := func(x []float64, objMin, nodeBound float64) {
 		if objMin >= incumbentObj {
 			return
@@ -145,7 +274,6 @@ func (m *Model) branchAndBound(ctx context.Context, bud budget.Budget) (*Solutio
 		}, nil
 	}
 
-	sawFeasibleLP := false
 	for open.Len() > 0 {
 		node := heap.Pop(open).(*bbNode)
 		if node.bound >= incumbentObj-1e-9 {
@@ -158,7 +286,8 @@ func (m *Model) branchAndBound(ctx context.Context, bud budget.Budget) (*Solutio
 			return stop(budget.ErrNodeLimit, node.bound)
 		}
 		nodes++
-		r := m.solveRelaxation(node.fixed, lim)
+		fx.load(len(m.vars), node)
+		r := m.solveRelaxation(fx, lim, ar)
 		if r.err != nil {
 			return stop(r.err, node.bound)
 		}
@@ -170,45 +299,14 @@ func (m *Model) branchAndBound(ctx context.Context, bud budget.Budget) (*Solutio
 			// only come from continuous variables; the MILP is unbounded.
 			return &Solution{Status: Unbounded, Nodes: nodes, Bound: math.Inf(-1)}, nil
 		}
-		sawFeasibleLP = true
 		bound := toMin(r.obj)
 		if bound >= incumbentObj-1e-9 {
 			continue
 		}
-		// Pick the branching variable: among fractional binaries, prefer
-		// the one with the largest objective impact (scaled by how
-		// fractional it is) — on fixed-charge instances this branches on
-		// the area-carrying indicator variables first, which tightens
-		// the bound fastest.
-		branch := VarID(-1)
-		bestScore := 0.0
-		for j, v := range m.vars {
-			if !v.integer {
-				continue
-			}
-			if _, ok := node.fixed[VarID(j)]; ok {
-				continue
-			}
-			frac := math.Abs(r.x[j] - math.Round(r.x[j]))
-			if frac <= intEps {
-				continue
-			}
-			score := frac * (1 + math.Abs(v.obj))
-			if branch < 0 || score > bestScore {
-				bestScore = score
-				branch = VarID(j)
-			}
-		}
+		branch := m.pickBranch(r.x, fx)
 		if branch < 0 {
-			// Integral: candidate incumbent. Round binaries exactly.
-			x := make([]float64, len(r.x))
-			copy(x, r.x)
-			for j, v := range m.vars {
-				if v.integer {
-					x[j] = math.Round(x[j])
-				}
-			}
-			tryIncumbent(x, bound, bound)
+			// Integral: candidate incumbent.
+			tryIncumbent(m.roundExact(r.x), bound, bound)
 			continue
 		}
 		// Opportunistic rounding: a nearest-integer snapshot of the
@@ -219,26 +317,24 @@ func (m *Model) branchAndBound(ctx context.Context, bud budget.Budget) (*Solutio
 			tryIncumbent(x, toMin(obj), bound)
 		}
 		for _, val := range [...]float64{1, 0} {
-			child := &bbNode{
-				fixed: make(map[VarID]float64, len(node.fixed)+1),
-				bound: bound,
-				depth: node.depth + 1,
-			}
-			for k, v := range node.fixed {
-				child.fixed[k] = v
-			}
-			child.fixed[branch] = val
-			heap.Push(open, child)
+			heap.Push(open, &bbNode{
+				parent: node,
+				v:      branch,
+				val:    val,
+				bound:  bound,
+				depth:  node.depth + 1,
+			})
 		}
 	}
 
 	if incumbentX == nil {
-		st := Infeasible
-		if sawFeasibleLP {
-			// LP-feasible but no integral point: still infeasible as a MILP.
-			st = Infeasible
-		}
-		return &Solution{Status: st, Nodes: nodes, Bound: math.Inf(1)}, nil
+		// The tree is exhausted without a single integral point. Nodes
+		// whose LP relaxation was feasible change nothing: the branching
+		// loop only abandons a subproblem once its relaxation is
+		// infeasible or its every binary fixing is enumerated, so an
+		// LP-feasible region that contains no integral point is — as a
+		// 0-1 program — simply Infeasible.
+		return &Solution{Status: Infeasible, Nodes: nodes, Bound: math.Inf(1)}, nil
 	}
 	obj := incumbentObj
 	if m.sense == Maximize {
@@ -251,16 +347,42 @@ func (m *Model) branchAndBound(ctx context.Context, bud budget.Budget) (*Solutio
 // nearest integer and reports whether the result satisfies all bounds
 // and constraints; obj is its objective in the model's own sense.
 func (m *Model) roundToFeasible(lp []float64) (x []float64, obj float64, ok bool) {
-	const tol = 1e-7
 	x = make([]float64, len(lp))
 	copy(x, lp)
+	moved := false
 	for j, v := range m.vars {
 		if !v.integer {
 			continue
 		}
-		x[j] = math.Round(x[j])
+		r := math.Round(x[j])
+		if math.Abs(x[j]-r) > intEps {
+			moved = true
+		}
+		x[j] = r
+	}
+	if !moved {
+		// Every integer variable was already integral within tolerance:
+		// the snapped point is the relaxation itself, which the caller's
+		// integral-incumbent path handles exactly. Skip the full
+		// constraint scan rather than re-verify and re-attempt the same
+		// incumbent.
+		return nil, 0, false
+	}
+	obj, ok = m.evalPoint(x)
+	if !ok {
+		return nil, 0, false
+	}
+	return x, obj, true
+}
+
+// evalPoint checks x against every variable bound and constraint of the
+// model and, when it satisfies them all, returns its objective in the
+// model's own sense.
+func (m *Model) evalPoint(x []float64) (obj float64, ok bool) {
+	const tol = 1e-7
+	for j, v := range m.vars {
 		if x[j] < v.lo-tol || x[j] > v.hi+tol {
-			return nil, 0, false
+			return 0, false
 		}
 	}
 	for _, c := range m.cons {
@@ -272,20 +394,20 @@ func (m *Model) roundToFeasible(lp []float64) (x []float64, obj float64, ok bool
 		switch c.rel {
 		case LE:
 			if sum > c.rhs+tol*scale {
-				return nil, 0, false
+				return 0, false
 			}
 		case GE:
 			if sum < c.rhs-tol*scale {
-				return nil, 0, false
+				return 0, false
 			}
 		case EQ:
 			if math.Abs(sum-c.rhs) > tol*scale {
-				return nil, 0, false
+				return 0, false
 			}
 		}
 	}
 	for j, v := range m.vars {
 		obj += v.obj * x[j]
 	}
-	return x, obj, true
+	return obj, true
 }

@@ -1,0 +1,310 @@
+package ilp
+
+import (
+	"container/heap"
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"partita/internal/budget"
+)
+
+// Parallel branch and bound.
+//
+// branchAndBoundParallel runs the same best-first search as the serial
+// branchAndBound with N workers pulling from one shared open heap:
+//
+//   - the heap, the per-worker in-flight bounds, and the termination
+//     bookkeeping live behind one mutex (parState.mu) with a sync.Cond
+//     for idle workers;
+//   - the incumbent objective (minimization sense) is published as
+//     Float64bits in an atomic.Uint64 so the hot pruning path reads it
+//     without locking; installs are serialized behind parState.incMu,
+//     which also keeps the onIncumbent callback stream monotone;
+//   - the global proven bound is min(best open-node bound, best
+//     in-flight node bound): a node being expanded is no longer on the
+//     heap, so its bound must be tracked separately or an anytime stop
+//     could claim a tighter bound than was actually proven;
+//   - node counts are a shared atomic, checked against MaxNodes before
+//     each expansion (parallel runs may overshoot the limit by up to
+//     workers-1 nodes, the in-flight expansions that passed the check
+//     together).
+//
+// Lock order: incMu may be taken before mu (tryIncumbent reads the heap
+// while publishing), never the reverse.
+//
+// The parallel driver proves the same Status and Objective as the
+// serial one — pruning uses the same incumbent-vs-bound test, and a
+// worker only declares the tree exhausted when the heap is empty AND no
+// peer is still expanding (an expansion can push children). Node order,
+// node counts, and the incumbent trajectory are run-dependent; callers
+// that need reproducible traces use Parallelism <= 1.
+type parState struct {
+	m        *Model
+	bud      budget.Budget
+	lim      limits
+	maximize bool
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	open     nodeHeap
+	inflight []float64 // bound of each worker's current node; +Inf when idle
+	busy     int       // workers currently expanding a node
+	done     bool
+	stopErr  error   // first budget-exhaustion reason observed
+	stopLow  float64 // min bound over nodes abandoned at stop time
+	unbound  bool
+
+	nodes   atomic.Int64
+	incBits atomic.Uint64 // Float64bits of the incumbent objective (min sense)
+	incMu   sync.Mutex    // guards incX and serializes onIncumbent
+	incX    []float64
+
+	abort   atomic.Bool // a worker panicked; drain without touching mu
+	panicMu sync.Mutex
+	panicV  any
+}
+
+func (s *parState) incObj() float64 { return math.Float64frombits(s.incBits.Load()) }
+
+func (m *Model) branchAndBoundParallel(ctx context.Context, bud budget.Budget, workers int) (*Solution, error) {
+	s := &parState{
+		m:        m,
+		bud:      bud,
+		lim:      limits{ctx: ctx, maxIter: bud.MaxSimplexIter},
+		maximize: m.sense == Maximize,
+		inflight: make([]float64, workers),
+		stopLow:  math.Inf(1),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := range s.inflight {
+		s.inflight[i] = math.Inf(1)
+	}
+	s.incBits.Store(math.Float64bits(math.Inf(1)))
+	if x, objMin, ok := m.warmIncumbent(); ok {
+		s.incBits.Store(math.Float64bits(objMin))
+		s.incX = x
+	}
+	heap.Push(&s.open, &bbNode{v: -1, bound: math.Inf(-1)})
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					// Record the panic and wake everyone through paths that
+					// do not need mu (whose state is unknown mid-panic); the
+					// caller re-raises on its own goroutine so the API
+					// boundary's panic guard still applies.
+					s.panicMu.Lock()
+					if s.panicV == nil {
+						s.panicV = r
+					}
+					s.panicMu.Unlock()
+					s.abort.Store(true)
+					s.cond.Broadcast()
+				}
+			}()
+			s.run(id)
+		}(i)
+	}
+	wg.Wait()
+	if s.panicV != nil {
+		panic(s.panicV)
+	}
+	return s.result()
+}
+
+// run is one worker's loop: pop the globally best node, expand it
+// unlocked, fold the outcome back into the shared state. Termination:
+// heap empty and no peer mid-expansion, or a stop condition (budget
+// exhausted, unbounded relaxation, panic elsewhere).
+func (s *parState) run(id int) {
+	fx := &fixSet{}
+	ar := &arena{}
+	s.mu.Lock()
+	for {
+		if s.done || s.abort.Load() {
+			break
+		}
+		if len(s.open) == 0 {
+			if s.busy == 0 {
+				s.done = true
+				s.cond.Broadcast()
+				break
+			}
+			s.cond.Wait()
+			continue
+		}
+		node := heap.Pop(&s.open).(*bbNode)
+		if node.bound >= s.incObj()-1e-9 {
+			continue // cannot improve on the incumbent
+		}
+		s.inflight[id] = node.bound
+		s.busy++
+		s.mu.Unlock()
+
+		stop, unbounded := s.expand(node, fx, ar)
+
+		s.mu.Lock()
+		s.inflight[id] = math.Inf(1)
+		s.busy--
+		switch {
+		case unbounded:
+			s.unbound = true
+			s.done = true
+			s.cond.Broadcast()
+		case stop != nil:
+			if s.stopErr == nil {
+				s.stopErr = stop
+			}
+			// The abandoned node's bound still counts toward the proven
+			// bound reported by the anytime result.
+			if node.bound < s.stopLow {
+				s.stopLow = node.bound
+			}
+			s.done = true
+			s.cond.Broadcast()
+		case s.busy == 0 && len(s.open) == 0:
+			s.done = true
+			s.cond.Broadcast()
+		case len(s.open) > 0:
+			s.cond.Signal()
+		}
+	}
+	s.mu.Unlock()
+}
+
+// expand processes one node exactly as the serial loop does: budget
+// check, relaxation, prune/branch/incumbent. Called without mu held.
+func (s *parState) expand(node *bbNode, fx *fixSet, ar *arena) (stop error, unbounded bool) {
+	if err := budget.Check(s.lim.ctx); err != nil {
+		return err, false
+	}
+	if s.bud.MaxNodes > 0 && s.nodes.Load() >= int64(s.bud.MaxNodes) {
+		return budget.ErrNodeLimit, false
+	}
+	s.nodes.Add(1)
+	fx.load(len(s.m.vars), node)
+	r := s.m.solveRelaxation(fx, s.lim, ar)
+	if r.err != nil {
+		return r.err, false
+	}
+	switch r.status {
+	case Infeasible:
+		return nil, false
+	case Unbounded:
+		return nil, true
+	}
+	bound := r.obj
+	if s.maximize {
+		bound = -bound
+	}
+	if bound >= s.incObj()-1e-9 {
+		return nil, false
+	}
+	branch := s.m.pickBranch(r.x, fx)
+	if branch < 0 {
+		s.tryIncumbent(s.m.roundExact(r.x), bound, bound)
+		return nil, false
+	}
+	if x, obj, ok := s.m.roundToFeasible(r.x); ok {
+		if s.maximize {
+			obj = -obj
+		}
+		s.tryIncumbent(x, obj, bound)
+	}
+	s.mu.Lock()
+	for _, val := range [...]float64{1, 0} {
+		heap.Push(&s.open, &bbNode{
+			parent: node,
+			v:      branch,
+			val:    val,
+			bound:  bound,
+			depth:  node.depth + 1,
+		})
+	}
+	s.cond.Signal()
+	s.mu.Unlock()
+	return nil, false
+}
+
+// tryIncumbent installs x (integral, snapped exactly) when it beats the
+// current incumbent, and emits the monotone progress event. The fast
+// path is a lock-free atomic read; the slow path re-checks under incMu
+// so concurrent improvements serialize and the published objective
+// sequence is strictly decreasing (in minimization sense).
+func (s *parState) tryIncumbent(x []float64, objMin, nodeBound float64) {
+	if objMin >= s.incObj() {
+		return
+	}
+	s.incMu.Lock()
+	defer s.incMu.Unlock()
+	if objMin >= s.incObj() {
+		return
+	}
+	s.incBits.Store(math.Float64bits(objMin))
+	s.incX = x
+	if s.m.onIncumbent == nil {
+		return
+	}
+	lb := nodeBound
+	s.mu.Lock()
+	if len(s.open) > 0 && s.open[0].bound < lb {
+		lb = s.open[0].bound
+	}
+	for _, b := range s.inflight {
+		if b < lb {
+			lb = b
+		}
+	}
+	s.mu.Unlock()
+	lb = math.Min(lb, objMin)
+	obj, bnd := objMin, lb
+	if s.maximize {
+		obj, bnd = -obj, -bnd
+	}
+	s.m.onIncumbent(Progress{Objective: obj, Bound: bnd, Nodes: int(s.nodes.Load())})
+}
+
+// result assembles the Solution after every worker has exited; the
+// shared state is quiescent, so no locks are needed.
+func (s *parState) result() (*Solution, error) {
+	nodes := int(s.nodes.Load())
+	if s.unbound {
+		return &Solution{Status: Unbounded, Nodes: nodes, Bound: math.Inf(-1)}, nil
+	}
+	objMin := s.incObj()
+	if s.stopErr != nil {
+		if s.incX == nil {
+			return nil, s.stopErr
+		}
+		lb := math.Min(s.stopLow, objMin)
+		for _, nd := range s.open {
+			if nd.bound < lb {
+				lb = nd.bound
+			}
+		}
+		obj, bound := objMin, lb
+		if s.maximize {
+			obj, bound = -obj, -bound
+		}
+		return &Solution{
+			Status: Feasible, Objective: obj, Values: s.incX,
+			Nodes: nodes, Bound: bound, Stopped: s.stopErr,
+		}, nil
+	}
+	if s.incX == nil {
+		// Exhausted tree, no integral point: Infeasible as a 0-1 program
+		// (see the matching comment in branchAndBound).
+		return &Solution{Status: Infeasible, Nodes: nodes, Bound: math.Inf(1)}, nil
+	}
+	obj := objMin
+	if s.maximize {
+		obj = -obj
+	}
+	return &Solution{Status: Optimal, Objective: obj, Values: s.incX, Nodes: nodes, Bound: obj}, nil
+}

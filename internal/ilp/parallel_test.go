@@ -1,0 +1,369 @@
+package ilp
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"partita/internal/budget"
+)
+
+// parallelLevels are the worker counts the equivalence suite exercises.
+// They intentionally exceed GOMAXPROCS on small runners: correctness
+// must not depend on the workers actually running simultaneously.
+var parallelLevels = []int{2, 4, 8}
+
+// TestParallelEquivalenceFuzzCorpus solves 20 seeded fuzz-corpus models
+// serially and at every parallel level and requires agreement on Status
+// and (for solved models) Objective to 1e-6, with every parallel
+// solution passing full verification.
+func TestParallelEquivalenceFuzzCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(420))
+	solved := 0
+	for c := 0; c < 20; c++ {
+		data := make([]byte, 4+rng.Intn(60))
+		rng.Read(data)
+		m, ok := decodeModel(data)
+		if !ok {
+			continue
+		}
+		ref, err := m.SolveCtx(context.Background(), budget.Budget{})
+		if err != nil {
+			t.Fatalf("model %d: serial solve failed: %v\n%s", c, err, m)
+		}
+		for _, w := range parallelLevels {
+			got, err := m.SolveCtx(context.Background(), budget.Budget{Parallelism: w})
+			if err != nil {
+				t.Fatalf("model %d P=%d: parallel solve failed: %v\n%s", c, w, err, m)
+			}
+			if got.Status != ref.Status {
+				t.Fatalf("model %d P=%d: status %v, serial %v\n%s", c, w, got.Status, ref.Status, m)
+			}
+			if ref.Status == Optimal {
+				if math.Abs(got.Objective-ref.Objective) > 1e-6 {
+					t.Fatalf("model %d P=%d: objective %g, serial %g\n%s", c, w, got.Objective, ref.Objective, m)
+				}
+				if err := m.Check(got, 1e-6); err != nil {
+					t.Fatalf("model %d P=%d: solution fails Check: %v\n%s", c, w, err, m)
+				}
+			}
+		}
+		if ref.Status == Optimal {
+			solved++
+		}
+	}
+	if solved < 5 {
+		t.Fatalf("only %d of 20 corpus models solved Optimal; corpus too degenerate to be meaningful", solved)
+	}
+}
+
+// TestParallelEquivalenceAdversarial runs the pruning-hostile fixed
+// charge instance (hundreds of nodes) at every level: same proven
+// optimum, and Bound == Objective on exact results.
+func TestParallelEquivalenceAdversarial(t *testing.T) {
+	for _, n := range []int{6, 9, 12} {
+		want := adversarialOptimum(n)
+		for _, w := range parallelLevels {
+			m := adversarialModel(n)
+			s, err := m.SolveCtx(context.Background(), budget.Budget{Parallelism: w})
+			if err != nil {
+				t.Fatalf("n=%d P=%d: %v", n, w, err)
+			}
+			if s.Status != Optimal {
+				t.Fatalf("n=%d P=%d: status %v, want Optimal", n, w, s.Status)
+			}
+			if math.Abs(s.Objective-want) > 1e-6 {
+				t.Fatalf("n=%d P=%d: objective %g, want %g", n, w, s.Objective, want)
+			}
+			if math.Abs(s.Bound-s.Objective) > 1e-6 {
+				t.Errorf("n=%d P=%d: exact result has bound %g != objective %g", n, w, s.Bound, s.Objective)
+			}
+			if err := m.Check(s, 1e-6); err != nil {
+				t.Errorf("n=%d P=%d: %v", n, w, err)
+			}
+			if s.Nodes <= 0 {
+				t.Errorf("n=%d P=%d: nodes = %d, want > 0", n, w, s.Nodes)
+			}
+		}
+	}
+}
+
+// TestParallelProgressMonotone holds the serial progress contract at
+// parallelism 4 (run under -race in CI): objectives strictly improve,
+// node counts never decrease, every event has Nodes > 0, bounds never
+// cross the objective, and the last event matches the final result.
+func TestParallelProgressMonotone(t *testing.T) {
+	m := adversarialModel(12)
+	var mu sync.Mutex
+	var events []Progress
+	m.OnIncumbent(func(p Progress) {
+		mu.Lock()
+		events = append(events, p)
+		mu.Unlock()
+	})
+	s, err := m.SolveCtx(context.Background(), budget.Budget{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v, want Optimal", s.Status)
+	}
+	if len(events) == 0 {
+		t.Fatal("no incumbent events fired")
+	}
+	for i, e := range events {
+		if e.Nodes <= 0 {
+			t.Errorf("event %d: nodes = %d, want > 0", i, e.Nodes)
+		}
+		// Maximize: bound is an upper bound on the objective.
+		if e.Bound < e.Objective-1e-9 {
+			t.Errorf("event %d: bound %g below objective %g", i, e.Bound, e.Objective)
+		}
+		if i == 0 {
+			continue
+		}
+		if e.Objective <= events[i-1].Objective {
+			t.Errorf("event %d objective %g does not improve on %g", i, e.Objective, events[i-1].Objective)
+		}
+		if e.Nodes < events[i-1].Nodes {
+			t.Errorf("event %d nodes %d < previous %d", i, e.Nodes, events[i-1].Nodes)
+		}
+	}
+	if last := events[len(events)-1]; math.Abs(last.Objective-s.Objective) > 1e-9 {
+		t.Errorf("last event objective %g != final objective %g", last.Objective, s.Objective)
+	}
+}
+
+// TestParallelAnytimeNodeLimit: a node budget at parallelism 4 either
+// yields a verified Feasible incumbent whose bound brackets the true
+// optimum, or the typed exhaustion error — never a silent wrong answer.
+func TestParallelAnytimeNodeLimit(t *testing.T) {
+	m := adversarialModel(20)
+	s, err := m.SolveCtx(context.Background(), budget.Budget{MaxNodes: 40, Parallelism: 4})
+	if err != nil {
+		if !errors.Is(err, budget.ErrNodeLimit) {
+			t.Fatalf("err = %v, want ErrNodeLimit", err)
+		}
+		return
+	}
+	if s.Status == Optimal {
+		// 40 nodes cannot close this instance; Optimal would mean the
+		// limit was ignored.
+		t.Fatalf("status = Optimal under MaxNodes=40, want Feasible")
+	}
+	if s.Status != Feasible {
+		t.Fatalf("status = %v, want Feasible", s.Status)
+	}
+	if !errors.Is(s.Stopped, budget.ErrNodeLimit) {
+		t.Errorf("Stopped = %v, want ErrNodeLimit", s.Stopped)
+	}
+	if err := m.Check(s, 1e-6); err != nil {
+		t.Errorf("incumbent fails verification: %v", err)
+	}
+	if opt := adversarialOptimum(20); s.Objective > opt+1e-9 || s.Bound < opt-1e-9 {
+		t.Errorf("incumbent %g / bound %g do not bracket the optimum %g", s.Objective, s.Bound, opt)
+	}
+}
+
+// TestParallelCancellation: an already-canceled context fails fast with
+// the deadline sentinel at every parallelism level.
+func TestParallelCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := adversarialModel(10)
+	for _, w := range []int{1, 4} {
+		if _, err := m.SolveCtx(ctx, budget.Budget{Parallelism: w}); !errors.Is(err, budget.ErrDeadline) {
+			t.Errorf("P=%d: err = %v, want ErrDeadline", w, err)
+		}
+	}
+}
+
+// TestParallelInfeasible: infeasibility is proven identically in
+// parallel.
+func TestParallelInfeasible(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		m := NewModel(Minimize)
+		a := m.AddBinary("a", 1)
+		b := m.AddBinary("b", 1)
+		m.AddConstraint("sum", []Term{{Var: a, Coef: 1}, {Var: b, Coef: 1}}, GE, 3)
+		s, err := m.SolveCtx(context.Background(), budget.Budget{Parallelism: w})
+		if err != nil {
+			t.Fatalf("P=%d: %v", w, err)
+		}
+		if s.Status != Infeasible {
+			t.Errorf("P=%d: status = %v, want Infeasible", w, s.Status)
+		}
+	}
+}
+
+// TestWarmStartSeedsIncumbent: a valid warm start leaves the proven
+// optimum untouched, fires no event for the seed itself, and every
+// event it does fire beats the seed.
+func TestWarmStartSeedsIncumbent(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		ref := adversarialModel(10)
+		s0, err := ref.SolveCtx(context.Background(), budget.Budget{})
+		if err != nil || s0.Status != Optimal {
+			t.Fatalf("reference solve: %v / %v", err, s0)
+		}
+
+		// Seed with a deliberately suboptimal feasible point: all zeros.
+		m := adversarialModel(10)
+		zero := make([]float64, len(s0.Values))
+		m.SetWarmStart(zero)
+		var events []Progress
+		m.OnIncumbent(func(p Progress) { events = append(events, p) })
+		bud := budget.Budget{}
+		if w > 1 {
+			bud.Parallelism = w
+			m.OnIncumbent(nil) // the -race variant of this path is covered above
+		}
+		s, err := m.SolveCtx(context.Background(), bud)
+		if err != nil {
+			t.Fatalf("P=%d: %v", w, err)
+		}
+		if s.Status != Optimal || math.Abs(s.Objective-s0.Objective) > 1e-9 {
+			t.Fatalf("P=%d: got %v/%g, want Optimal/%g", w, s.Status, s.Objective, s0.Objective)
+		}
+		for i, e := range events {
+			if e.Nodes <= 0 {
+				t.Errorf("P=%d event %d: nodes = %d (seed install must not fire)", w, i, e.Nodes)
+			}
+			if e.Objective <= 0 {
+				t.Errorf("P=%d event %d: objective %g does not beat the zero seed", w, i, e.Objective)
+			}
+		}
+	}
+}
+
+// TestWarmStartOptimalSeed: seeding with the optimum itself still
+// terminates with the optimum (the search proves, rather than finds,
+// the answer) at both parallelism levels.
+func TestWarmStartOptimalSeed(t *testing.T) {
+	ref := adversarialModel(8)
+	s0, err := ref.SolveCtx(context.Background(), budget.Budget{})
+	if err != nil || s0.Status != Optimal {
+		t.Fatalf("reference solve: %v / %v", err, s0)
+	}
+	for _, w := range []int{1, 4} {
+		m := adversarialModel(8)
+		m.SetWarmStart(s0.Values)
+		s, err := m.SolveCtx(context.Background(), budget.Budget{Parallelism: w})
+		if err != nil {
+			t.Fatalf("P=%d: %v", w, err)
+		}
+		if s.Status != Optimal || math.Abs(s.Objective-s0.Objective) > 1e-9 {
+			t.Errorf("P=%d: got %v/%g, want Optimal/%g", w, s.Status, s.Objective, s0.Objective)
+		}
+		if err := m.Check(s, 1e-6); err != nil {
+			t.Errorf("P=%d: %v", w, err)
+		}
+	}
+}
+
+// TestWarmStartInvalidIgnored: infeasible, mis-sized, or nil warm
+// starts are ignored without changing the answer.
+func TestWarmStartInvalidIgnored(t *testing.T) {
+	ref := adversarialModel(6)
+	s0, err := ref.SolveCtx(context.Background(), budget.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := [][]float64{
+		nil,
+		{1}, // wrong length
+		func() []float64 { // violates the cap constraint
+			v := make([]float64, len(s0.Values))
+			for i := range v {
+				v[i] = 1
+			}
+			return v
+		}(),
+	}
+	for i, seed := range bad {
+		m := adversarialModel(6)
+		m.SetWarmStart(seed)
+		s, err := m.SolveCtx(context.Background(), budget.Budget{Parallelism: 2})
+		if err != nil {
+			t.Fatalf("seed %d: %v", i, err)
+		}
+		if s.Status != Optimal || math.Abs(s.Objective-s0.Objective) > 1e-9 {
+			t.Errorf("seed %d: got %v/%g, want Optimal/%g", i, s.Status, s.Objective, s0.Objective)
+		}
+	}
+}
+
+// TestFixSetChain pins down the parent-pointer fixing chain semantics:
+// the nearest fixing on the path to the root wins, entries from a
+// previously loaded node are cleared, and a nil fixSet has no fixings.
+func TestFixSetChain(t *testing.T) {
+	root := &bbNode{v: -1}
+	a := &bbNode{parent: root, v: 0, val: 1, depth: 1}
+	b := &bbNode{parent: a, v: 2, val: 0, depth: 2}
+	c := &bbNode{parent: b, v: 0, val: 0, depth: 3} // re-fix v0: nearest wins
+
+	fx := &fixSet{}
+	fx.load(4, c)
+	if v, ok := fx.get(0); !ok || v != 0 {
+		t.Errorf("v0 = %v,%v; want 0 fixed (nearest fixing shadows the ancestor)", v, ok)
+	}
+	if v, ok := fx.get(2); !ok || v != 0 {
+		t.Errorf("v2 = %v,%v; want 0 fixed", v, ok)
+	}
+	if fx.fixed(1) || fx.fixed(3) {
+		t.Error("unfixed variables report fixed")
+	}
+
+	fx.load(4, a)
+	if v, ok := fx.get(0); !ok || v != 1 {
+		t.Errorf("after reload, v0 = %v,%v; want 1 fixed", v, ok)
+	}
+	if fx.fixed(2) {
+		t.Error("stale fixing for v2 survived reload")
+	}
+
+	var nilFx *fixSet
+	if nilFx.fixed(0) {
+		t.Error("nil fixSet reports fixings")
+	}
+	if _, ok := nilFx.get(0); ok {
+		t.Error("nil fixSet returns values")
+	}
+}
+
+// TestParallelManyWorkersSmallTree: more workers than the tree has
+// nodes must still terminate and agree (regression guard for the
+// idle-worker wakeup logic).
+func TestParallelManyWorkersSmallTree(t *testing.T) {
+	m := NewModel(Maximize)
+	x := m.AddBinary("x", 5)
+	y := m.AddBinary("y", 3)
+	m.AddConstraint("c", []Term{{Var: x, Coef: 1}, {Var: y, Coef: 1}}, LE, 1)
+	s, err := m.SolveCtx(context.Background(), budget.Budget{Parallelism: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || s.Objective != 5 {
+		t.Fatalf("got %v/%g, want Optimal/5", s.Status, s.Objective)
+	}
+}
+
+// TestParallelRepeatability hammers one model repeatedly to give the
+// race detector scheduling diversity; every run must prove the same
+// objective.
+func TestParallelRepeatability(t *testing.T) {
+	want := adversarialOptimum(10)
+	for i := 0; i < 8; i++ {
+		m := adversarialModel(10)
+		s, err := m.SolveCtx(context.Background(), budget.Budget{Parallelism: 4})
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if s.Status != Optimal || math.Abs(s.Objective-want) > 1e-6 {
+			t.Fatalf("run %d: got %v/%g, want Optimal/%g", i, s.Status, s.Objective, want)
+		}
+	}
+}

@@ -63,19 +63,135 @@ func (l limits) iterCap() int {
 	return maxSimplex
 }
 
-// solveRelaxation solves the LP relaxation of m with the given variables
-// fixed to specific values (used by branch and bound; may be nil).
-func (m *Model) solveRelaxation(fixed map[VarID]float64, lim limits) lpResult {
+// arena recycles the tableau and scratch buffers of solveRelaxation
+// across branch-and-bound nodes. Buffers are handed out bump-allocator
+// style and reclaimed all at once by reset() at the start of the next
+// solve, so a relaxation costs no tableau allocations in steady state.
+// Each solver worker owns one arena; a nil arena degrades every request
+// to a plain make (the one-shot pure-LP path).
+type arena struct {
+	floats []float64
+	nf     int
+	ints   []int
+	ni     int
+	bools  []bool
+	nb     int
+	rows   []lpRow
+	aRows  [][]float64
+	tab    tableau
+}
+
+func (a *arena) reset() {
+	if a != nil {
+		a.nf, a.ni, a.nb = 0, 0, 0
+	}
+}
+
+// f64 hands out a zeroed float slice of length n. Growing the backing
+// store mid-solve is safe: slices handed out earlier keep the old array,
+// which stays valid for the rest of this solve.
+func (a *arena) f64(n int) []float64 {
+	if a == nil {
+		return make([]float64, n)
+	}
+	if a.nf+n > len(a.floats) {
+		a.floats = make([]float64, 2*len(a.floats)+n)
+		a.nf = 0
+	}
+	s := a.floats[a.nf : a.nf+n : a.nf+n]
+	a.nf += n
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func (a *arena) int(n int) []int {
+	if a == nil {
+		return make([]int, n)
+	}
+	if a.ni+n > len(a.ints) {
+		a.ints = make([]int, 2*len(a.ints)+n)
+		a.ni = 0
+	}
+	s := a.ints[a.ni : a.ni+n : a.ni+n]
+	a.ni += n
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func (a *arena) bool(n int) []bool {
+	if a == nil {
+		return make([]bool, n)
+	}
+	if a.nb+n > len(a.bools) {
+		a.bools = make([]bool, 2*len(a.bools)+n)
+		a.nb = 0
+	}
+	s := a.bools[a.nb : a.nb+n : a.nb+n]
+	a.nb += n
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+// rowBuf hands out an empty row slice with capacity for n rows.
+func (a *arena) rowBuf(n int) []lpRow {
+	if a == nil {
+		return make([]lpRow, 0, n)
+	}
+	if cap(a.rows) < n {
+		a.rows = make([]lpRow, 0, n)
+	}
+	return a.rows[:0]
+}
+
+// rowPtrs hands out the slice-of-rows backbone of the tableau matrix.
+func (a *arena) rowPtrs(n int) [][]float64 {
+	if a == nil {
+		return make([][]float64, n)
+	}
+	if cap(a.aRows) < n {
+		a.aRows = make([][]float64, n)
+	}
+	return a.aRows[:n]
+}
+
+// tableauBuf hands out the (single) reusable tableau shell.
+func (a *arena) tableauBuf() *tableau {
+	if a == nil {
+		return &tableau{}
+	}
+	return &a.tab
+}
+
+// lpRow is one constraint row of the relaxation in shifted free-column
+// space, before standard-form assembly.
+type lpRow struct {
+	coef []float64 // over free columns
+	rel  Rel
+	rhs  float64
+}
+
+// solveRelaxation solves the LP relaxation of m with the variables in fx
+// fixed to specific values (used by branch and bound; fx may be nil for
+// the unrestricted relaxation). ar supplies reusable tableau storage and
+// may be nil for a one-shot solve.
+func (m *Model) solveRelaxation(fx *fixSet, lim limits, ar *arena) lpResult {
+	ar.reset()
 	n := len(m.vars)
 	// Shift amounts and which variables are free.
-	shift := make([]float64, n)
-	free := make([]int, 0, n) // model index of each structural column
-	colOf := make([]int, n)
+	shift := ar.f64(n)
+	free := ar.int(n)[:0] // model index of each structural column
+	colOf := ar.int(n)
 	for j := range colOf {
 		colOf[j] = -1
 	}
 	for j, v := range m.vars {
-		if _, ok := fixed[VarID(j)]; ok {
+		if fx.fixed(VarID(j)) {
 			continue
 		}
 		lo := v.lo
@@ -90,12 +206,16 @@ func (m *Model) solveRelaxation(fixed map[VarID]float64, lim limits) lpResult {
 		free = append(free, j)
 	}
 
-	type row struct {
-		coef []float64 // over free columns
-		rel  Rel
-		rhs  float64
+	// Exact row count: one per model constraint plus one upper-bound row
+	// per free variable with a finite hi — lets the arena-backed rows
+	// slice be sized once, so addRow never reallocates it.
+	maxRows := len(m.cons)
+	for _, j := range free {
+		if !math.IsInf(m.vars[j].hi, 1) {
+			maxRows++
+		}
 	}
-	var rows []row
+	rows := ar.rowBuf(maxRows)
 	addRow := func(coef []float64, rel Rel, rhs float64) {
 		if rhs < 0 {
 			for i := range coef {
@@ -109,14 +229,14 @@ func (m *Model) solveRelaxation(fixed map[VarID]float64, lim limits) lpResult {
 				rel = LE
 			}
 		}
-		rows = append(rows, row{coef: coef, rel: rel, rhs: rhs})
+		rows = append(rows, lpRow{coef: coef, rel: rel, rhs: rhs})
 	}
 
 	for _, c := range m.cons {
-		coef := make([]float64, len(free))
+		coef := ar.f64(len(free))
 		rhs := c.rhs
 		for _, t := range c.terms {
-			if fv, ok := fixed[t.Var]; ok {
+			if fv, ok := fx.get(t.Var); ok {
 				rhs -= t.Coef * fv
 				continue
 			}
@@ -131,7 +251,7 @@ func (m *Model) solveRelaxation(fixed map[VarID]float64, lim limits) lpResult {
 		if math.IsInf(hi, 1) {
 			continue
 		}
-		coef := make([]float64, len(free))
+		coef := ar.f64(len(free))
 		coef[col] = 1
 		addRow(coef, LE, hi-shift[j])
 	}
@@ -167,16 +287,16 @@ func (m *Model) solveRelaxation(fixed map[VarID]float64, lim limits) lpResult {
 		}
 	}
 	nTot := nStruct + nSlack + nArt
-	t := &tableau{
-		m:          len(rows),
-		n:          nTot,
-		a:          make([][]float64, len(rows)),
-		b:          make([]float64, len(rows)),
-		basis:      make([]int, len(rows)),
-		artificial: make([]bool, nTot),
-	}
-	t.d[0] = make([]float64, nTot)
-	t.d[1] = make([]float64, nTot)
+	t := ar.tableauBuf()
+	t.m = len(rows)
+	t.n = nTot
+	t.a = ar.rowPtrs(len(rows))
+	t.b = ar.f64(len(rows))
+	t.basis = ar.int(len(rows))
+	t.artificial = ar.bool(nTot)
+	t.d[0] = ar.f64(nTot)
+	t.d[1] = ar.f64(nTot)
+	t.obj[0], t.obj[1] = 0, 0
 
 	// Real costs over structural columns (converted to minimization).
 	sgn := 1.0
@@ -185,7 +305,7 @@ func (m *Model) solveRelaxation(fixed map[VarID]float64, lim limits) lpResult {
 	}
 	constObj := 0.0
 	for j, v := range m.vars {
-		if fv, ok := fixed[VarID(j)]; ok {
+		if fv, ok := fx.get(VarID(j)); ok {
 			constObj += sgn * v.obj * fv
 		} else {
 			constObj += sgn * v.obj * shift[j]
@@ -198,7 +318,7 @@ func (m *Model) solveRelaxation(fixed map[VarID]float64, lim limits) lpResult {
 	slackAt := nStruct
 	artAt := nStruct + nSlack
 	for i, r := range rows {
-		t.a[i] = make([]float64, nTot)
+		t.a[i] = ar.f64(nTot)
 		copy(t.a[i], r.coef)
 		t.b[i] = r.rhs
 		switch r.rel {
@@ -261,10 +381,12 @@ func (m *Model) solveRelaxation(fixed map[VarID]float64, lim limits) lpResult {
 		return lpResult{status: Unbounded}
 	}
 
-	// Extract structural values and unshift.
+	// Extract structural values and unshift. The result vector outlives
+	// the arena's solve cycle (callers keep it for incumbents), so it is
+	// allocated fresh rather than from the arena.
 	x := make([]float64, n)
 	for j := range m.vars {
-		if fv, ok := fixed[VarID(j)]; ok {
+		if fv, ok := fx.get(VarID(j)); ok {
 			x[j] = fv
 		} else {
 			x[j] = shift[j]

@@ -35,6 +35,11 @@ type Config struct {
 	// MaxJobs bounds how many jobs are retained for polling; the oldest
 	// finished jobs are evicted first (default 1024).
 	MaxJobs int
+	// MaxParallelism caps the per-job solver Parallelism (default:
+	// GOMAXPROCS). Jobs asking for more are clamped, not rejected: the
+	// request is a performance hint, and the operator's cap is what keeps
+	// Workers × Parallelism from oversubscribing the machine.
+	MaxParallelism int
 	// JournalPath, when non-empty, enables the crash-safety write-ahead
 	// log: job lifecycle records are appended there and replayed by Open
 	// after a restart. Empty disables journaling (no durability, no
@@ -70,6 +75,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 1024
+	}
+	if c.MaxParallelism <= 0 {
+		c.MaxParallelism = runtime.GOMAXPROCS(0)
 	}
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 100 * time.Millisecond
@@ -401,7 +409,10 @@ func (s *Server) execute(job *Job) (*JobResult, string, error) {
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	bud := partita.Budget{MaxNodes: spec.MaxNodes}
+	bud := partita.Budget{MaxNodes: spec.MaxNodes, Parallelism: spec.Parallelism}
+	if bud.Parallelism > s.cfg.MaxParallelism {
+		bud.Parallelism = s.cfg.MaxParallelism
+	}
 
 	switch spec.Kind {
 	case KindSelect:

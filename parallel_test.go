@@ -1,0 +1,223 @@
+package partita
+
+// End-to-end equivalence of the parallel solver on the paper's example
+// models: for the GSM and JPEG encoder tables, solving at Parallelism
+// 2 and 4 must reproduce the serial Status, Gain, and Area at every
+// published required-gain row, and the parallel sweep (with its
+// warm-start chaining) must reproduce the serial sweep curve point for
+// point. Run under -race in CI these also exercise the concurrent
+// heap/incumbent machinery on realistic instances.
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"partita/internal/apps"
+	"partita/internal/ilp"
+	"partita/internal/imp"
+	"partita/internal/selector"
+)
+
+func workloadTables(t *testing.T) map[string]*imp.DB {
+	t.Helper()
+	dbs := map[string]*imp.DB{}
+	for name, gen := range map[string]func() (*imp.DB, []apps.TableRow, error){
+		"gsm":  apps.GSMEncoderTable,
+		"jpeg": apps.JPEGEncoderTable,
+	} {
+		db, _, err := gen()
+		if err != nil {
+			t.Fatalf("%s workload: %v", name, err)
+		}
+		dbs[name] = db
+	}
+	return dbs
+}
+
+// TestParallelSelectEquivalence solves every published table row of the
+// GSM and JPEG encoders serially and at Parallelism 2 and 4, asserting
+// identical Status and identical Gain/Area (to 1e-6). The parallel
+// solver explores nodes in a different order but proves the same
+// optimum.
+func TestParallelSelectEquivalence(t *testing.T) {
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name string
+		gen  func() (*imp.DB, []apps.TableRow, error)
+	}{
+		{"gsm", apps.GSMEncoderTable},
+		{"jpeg", apps.JPEGEncoderTable},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			db, rows, err := tc.gen()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, row := range rows {
+				ref, err := selector.SolveCtx(ctx, selector.Problem{DB: db, Required: row.RG})
+				if err != nil {
+					t.Fatalf("RG=%d serial: %v", row.RG, err)
+				}
+				for _, workers := range []int{2, 4} {
+					got, err := selector.SolveCtx(ctx, selector.Problem{
+						DB: db, Required: row.RG, Budget: Budget{Parallelism: workers},
+					})
+					if err != nil {
+						t.Fatalf("RG=%d parallelism=%d: %v", row.RG, workers, err)
+					}
+					if got.Status != ref.Status {
+						t.Errorf("RG=%d parallelism=%d: status %v, serial %v",
+							row.RG, workers, got.Status, ref.Status)
+						continue
+					}
+					if ref.Status != ilp.Optimal {
+						continue
+					}
+					if got.Gain != ref.Gain {
+						t.Errorf("RG=%d parallelism=%d: gain %d, serial %d",
+							row.RG, workers, got.Gain, ref.Gain)
+					}
+					if math.Abs(got.Area-ref.Area) > 1e-6 {
+						t.Errorf("RG=%d parallelism=%d: area %.9f, serial %.9f",
+							row.RG, workers, got.Area, ref.Area)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelismOneIsSerial is the determinism contract: Parallelism 1
+// (and the zero budget) must run the historical serial solver and
+// reproduce its exact selection — same chosen implementations in the
+// same order, same node count — not merely the same objective.
+func TestParallelismOneIsSerial(t *testing.T) {
+	ctx := context.Background()
+	for name, db := range workloadTables(t) {
+		rg := selector.MaxReachableGain(db) / 2
+		ref, err := selector.SolveCtx(ctx, selector.Problem{DB: db, Required: rg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := selector.SolveCtx(ctx, selector.Problem{
+			DB: db, Required: rg, Budget: Budget{Parallelism: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Status != ref.Status || got.Nodes != ref.Nodes {
+			t.Fatalf("%s: parallelism=1 (status %v, %d nodes) differs from serial (status %v, %d nodes)",
+				name, got.Status, got.Nodes, ref.Status, ref.Nodes)
+		}
+		if len(got.Chosen) != len(ref.Chosen) {
+			t.Fatalf("%s: parallelism=1 chose %d implementations, serial %d",
+				name, len(got.Chosen), len(ref.Chosen))
+		}
+		for i := range ref.Chosen {
+			if got.Chosen[i].ID != ref.Chosen[i].ID {
+				t.Fatalf("%s: chosen[%d] = %s, serial %s",
+					name, i, got.Chosen[i].ID, ref.Chosen[i].ID)
+			}
+		}
+	}
+}
+
+// TestParallelSweepEquivalence runs a sweep serially and with a
+// parallel point pool (whose workers warm-start looser points from
+// tighter ones) and asserts the identical trade-off curve: same
+// required gains, statuses, gains, and areas at every point.
+func TestParallelSweepEquivalence(t *testing.T) {
+	ctx := context.Background()
+	const points = 12
+	for name, db := range workloadTables(t) {
+		ref, err := selector.SweepCtx(ctx, db, points, Budget{})
+		if err != nil {
+			t.Fatalf("%s serial sweep: %v", name, err)
+		}
+		got, err := selector.SweepCtx(ctx, db, points, Budget{Parallelism: 4})
+		if err != nil {
+			t.Fatalf("%s parallel sweep: %v", name, err)
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("%s: %d points, serial %d", name, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i].Required != ref[i].Required {
+				t.Errorf("%s point %d: RG %d, serial %d", name, i, got[i].Required, ref[i].Required)
+			}
+			if got[i].Sel.Status != ref[i].Sel.Status {
+				t.Errorf("%s point %d (RG=%d): status %v, serial %v",
+					name, i, ref[i].Required, got[i].Sel.Status, ref[i].Sel.Status)
+				continue
+			}
+			if ref[i].Sel.Status != ilp.Optimal {
+				continue
+			}
+			if got[i].Sel.Gain != ref[i].Sel.Gain {
+				t.Errorf("%s point %d (RG=%d): gain %d, serial %d",
+					name, i, ref[i].Required, got[i].Sel.Gain, ref[i].Sel.Gain)
+			}
+			if math.Abs(got[i].Sel.Area-ref[i].Sel.Area) > 1e-6 {
+				t.Errorf("%s point %d (RG=%d): area %.9f, serial %.9f",
+					name, i, ref[i].Required, got[i].Sel.Area, ref[i].Sel.Area)
+			}
+		}
+	}
+}
+
+// TestParallelSweepObserver threads an observer through a parallel
+// sweep: events from concurrent point solves are serialized (this test
+// runs under -race in CI) and every event carries a consistent
+// incumbent (positive node count, bound not above area).
+func TestParallelSweepObserver(t *testing.T) {
+	db, _, err := apps.GSMEncoderTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []selector.Incumbent
+	_, err = selector.SweepCtxObserve(context.Background(), db, 8,
+		Budget{Parallelism: 4}, func(inc selector.Incumbent) {
+			events = append(events, inc)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("parallel sweep produced no incumbent events")
+	}
+	for _, e := range events {
+		if e.Nodes <= 0 {
+			t.Errorf("incumbent event with %d nodes", e.Nodes)
+		}
+		if e.Bound > e.Area+1e-9 {
+			t.Errorf("incumbent bound %.9f above area %.9f", e.Bound, e.Area)
+		}
+	}
+}
+
+// TestParallelDesignAPI drives parallelism through the public Design
+// façade the CLI and service use, on the live GSM workload.
+func TestParallelDesignAPI(t *testing.T) {
+	w, err := apps.GSMEncoderWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Analyze(w.Source, w.Root, w.Catalog, Options{DataCount: w.DataCount})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg := selector.MaxReachableGain(d.DB) / 2
+	ref, err := d.SelectCtx(context.Background(), rg, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.SelectCtx(context.Background(), rg, Budget{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != ref.Status || got.Gain != ref.Gain || math.Abs(got.Area-ref.Area) > 1e-6 {
+		t.Fatalf("parallel Design.SelectCtx (status %v, gain %d, area %.6f) differs from serial (status %v, gain %d, area %.6f)",
+			got.Status, got.Gain, got.Area, ref.Status, ref.Gain, ref.Area)
+	}
+}
