@@ -1,7 +1,7 @@
 # Convenience targets around the go toolchain; everything here is plain
 # `go test` underneath.
 
-.PHONY: build test race bench bench-ilp bench-service integration chaos
+.PHONY: build test race bench bench-ilp bench-service integration chaos chaos-cluster
 
 build:
 	go build ./...
@@ -43,3 +43,13 @@ integration:
 # journaled incumbent. PARTITAD_CHAOS_SEED varies the fault seed.
 chaos:
 	PARTITAD_CHAOS=1 go test -race -run TestKillRestartChaos -v ./client
+
+# Node-kill cluster chaos test: boots a 3-node partitad ring, SIGKILLs
+# the node owning the largest job share mid-sweep, and asserts zero
+# accepted jobs lost, every job terminal via failover to the ring
+# successor, and a result cached on one node served from another
+# without re-solving (checked via per-node solve counters).
+# PARTITAD_CHAOS_SEED varies the fault seed; PARTITAD_CHAOS_DIR pins
+# journals and per-node logs for artifact upload.
+chaos-cluster:
+	PARTITAD_CLUSTER_CHAOS=1 go test -race -run TestClusterKillChaos -v -timeout 10m ./client

@@ -63,17 +63,26 @@ func (e *APIError) Error() string {
 // attempt was spent on retryable errors.
 var ErrRetriesExhausted = errors.New("client: retries exhausted")
 
-// Client talks to one partitad. The zero value is not usable; build
-// with New. Safe for concurrent use.
+// ErrRetryBudgetExhausted wraps the final failure when the elapsed-time
+// retry budget (WithRetryBudget) ran out before the attempt count did.
+// It always wraps the last HTTP or network error, so callers see *why*
+// the budget was spent, not just that it was.
+var ErrRetryBudgetExhausted = errors.New("client: retry budget exhausted")
+
+// Client talks to one partitad — or, with NewMulti, to a cluster of
+// them with automatic endpoint failover. The zero value is not usable;
+// build with New or NewMulti. Safe for concurrent use.
 type Client struct {
-	base       string
+	bases      []string
 	hc         *http.Client
 	maxRetries int
 	backoff    time.Duration
 	backoffCap time.Duration
+	budget     time.Duration
 	userAgent  string
 
 	mu  sync.Mutex
+	cur int // index into bases of the currently preferred endpoint
 	rng *rand.Rand
 }
 
@@ -103,16 +112,47 @@ func WithJitterSeed(seed int64) Option {
 // WithUserAgent sets the User-Agent header.
 func WithUserAgent(ua string) Option { return func(c *Client) { c.userAgent = ua } }
 
+// WithRetryBudget caps the total elapsed time one call may spend across
+// its retries, including server-directed Retry-After waits — without a
+// budget, a daemon answering every attempt with 429+Retry-After could
+// stretch "4 retries" arbitrarily long. 0 (the default) disables the
+// cap; the attempt count still applies either way.
+func WithRetryBudget(d time.Duration) Option { return func(c *Client) { c.budget = d } }
+
 // New builds a Client for the daemon at base (e.g.
 // "http://127.0.0.1:8080").
 func New(base string, opts ...Option) *Client {
+	c, err := NewMulti([]string{base}, opts...)
+	if err != nil {
+		panic(err) // unreachable: one base is always a valid list
+	}
+	return c
+}
+
+// NewMulti builds a Client over several equivalent daemons (a partitad
+// cluster). Requests go to one preferred endpoint; when it fails with a
+// network error or a 5xx, the client rotates to the next and the retry
+// — safe, because jobs are content-addressed — lands there. 429
+// back-pressure does NOT rotate: it is the cluster telling the caller
+// to slow down, and another node would answer the same.
+func NewMulti(bases []string, opts ...Option) (*Client, error) {
+	if len(bases) == 0 {
+		return nil, errors.New("client: empty endpoint list")
+	}
 	c := &Client{
-		base:       strings.TrimRight(base, "/"),
+		bases:      make([]string, len(bases)),
 		hc:         &http.Client{Timeout: 35 * time.Second},
 		maxRetries: 4,
 		backoff:    100 * time.Millisecond,
 		backoffCap: 5 * time.Second,
 		userAgent:  "partita-client/1",
+	}
+	for i, b := range bases {
+		b = strings.TrimRight(strings.TrimSpace(b), "/")
+		if b == "" {
+			return nil, fmt.Errorf("client: empty endpoint at index %d", i)
+		}
+		c.bases[i] = b
 	}
 	for _, o := range opts {
 		o(c)
@@ -120,7 +160,30 @@ func New(base string, opts ...Option) *Client {
 	if c.rng == nil {
 		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
 	}
-	return c
+	return c, nil
+}
+
+// Endpoints returns the configured endpoint list.
+func (c *Client) Endpoints() []string { return append([]string(nil), c.bases...) }
+
+// endpoint returns the currently preferred base and its index.
+func (c *Client) endpoint() (string, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bases[c.cur], c.cur
+}
+
+// rotate moves preference past the endpoint at idx — unless another
+// caller already did, so concurrent failures advance the cursor once.
+func (c *Client) rotate(idx int) {
+	if len(c.bases) < 2 {
+		return
+	}
+	c.mu.Lock()
+	if c.cur == idx {
+		c.cur = (c.cur + 1) % len(c.bases)
+	}
+	c.mu.Unlock()
 }
 
 // Submit submits one job, retrying through queue-full (429), drain
@@ -164,33 +227,38 @@ func (c *Client) Wait(ctx context.Context, id string) (*JobView, error) {
 }
 
 // Run submits the job and waits for its terminal state: the one-call
-// happy path. If the daemon crashes mid-solve, Wait rides through the
-// restart — a journaled daemon re-enqueues the job; a journal-less
-// daemon forgets it, in which case Run resubmits once (idempotent by
-// content address) and keeps waiting.
+// happy path. If a daemon crashes mid-solve, Wait rides through the
+// restart — a journaled daemon re-enqueues the job; a journal-less (or
+// killed) daemon forgets it, in which case Run resubmits (idempotent by
+// content address) and keeps waiting. With a multi-endpoint client the
+// resubmission lands on the next live node, which is exactly how a
+// caller fails a job over off a dead cluster member; a few such hops
+// are allowed before giving up.
 func (c *Client) Run(ctx context.Context, spec JobSpec) (*JobView, error) {
+	const maxResubmits = 3
 	v, err := c.Submit(ctx, spec)
 	if err != nil {
 		return nil, err
 	}
-	if v.Status == StatusDone || v.Status == StatusFailed {
-		return v, nil
-	}
-	final, err := c.Wait(ctx, v.ID)
-	var apiErr *APIError
-	if errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusNotFound {
-		// The daemon restarted without a journal and lost the job.
-		// Resubmit: CanonicalHash makes this idempotent.
+	for resubmit := 0; ; resubmit++ {
+		if v.Status == StatusDone || v.Status == StatusFailed {
+			return v, nil
+		}
+		final, err := c.Wait(ctx, v.ID)
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
+			return final, err
+		}
+		// Whoever is answering polls no longer knows the job: the node
+		// that held it died or restarted without a journal.
+		if resubmit >= maxResubmits {
+			return nil, fmt.Errorf("client: job lost %d times (last: %w)", resubmit+1, err)
+		}
 		v, err = c.Submit(ctx, spec)
 		if err != nil {
 			return nil, err
 		}
-		if v.Status == StatusDone || v.Status == StatusFailed {
-			return v, nil
-		}
-		return c.Wait(ctx, v.ID)
 	}
-	return final, err
 }
 
 // List fetches every tracked job.
@@ -212,7 +280,8 @@ func (c *Client) List(ctx context.Context) ([]JobView, error) {
 // replayed, not draining). It does not retry: readiness is a
 // point-in-time probe.
 func (c *Client) Ready(ctx context.Context) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
+	base, _ := c.endpoint()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/readyz", nil)
 	if err != nil {
 		return err
 	}
@@ -242,16 +311,19 @@ func (c *Client) doJSON(ctx context.Context, method, path string, body []byte) (
 	return &v, nil
 }
 
-// do performs one request with the retry policy and returns the
-// response body.
+// do performs one request with the retry policy — bounded attempts
+// inside a bounded elapsed-time budget, with endpoint failover — and
+// returns the response body.
 func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	start := time.Now()
 	var lastErr error
 	for attempt := 0; ; attempt++ {
+		base, idx := c.endpoint()
 		var rd io.Reader
 		if body != nil {
 			rd = bytes.NewReader(body)
 		}
-		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		req, err := http.NewRequestWithContext(ctx, method, base+path, rd)
 		if err != nil {
 			return nil, err
 		}
@@ -261,22 +333,32 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]by
 		}
 		resp, err := c.hc.Do(req)
 		var retryAfter time.Duration
+		nodeDown := false
 		if err == nil {
 			raw, rerr := io.ReadAll(resp.Body)
 			resp.Body.Close()
 			switch {
 			case rerr != nil:
 				err = rerr
+				nodeDown = true
 			case resp.StatusCode < 300:
 				return raw, nil
 			case retryableStatus(resp.StatusCode):
 				retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
 				err = &APIError{StatusCode: resp.StatusCode, Message: errMessage(raw)}
+				// 5xx means this node is sick; 429 means the whole
+				// cluster is asking for restraint.
+				nodeDown = resp.StatusCode >= 500
 			default:
 				return nil, &APIError{StatusCode: resp.StatusCode, Message: errMessage(raw)}
 			}
+		} else {
+			nodeDown = true
 		}
 		lastErr = err
+		if nodeDown {
+			c.rotate(idx)
+		}
 		if attempt >= c.maxRetries {
 			return nil, fmt.Errorf("%w after %d attempts: %s %s: %w",
 				ErrRetriesExhausted, attempt+1, method, path, lastErr)
@@ -287,6 +369,10 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]by
 		wait := c.backoffFor(attempt)
 		if retryAfter > wait {
 			wait = retryAfter
+		}
+		if c.budget > 0 && time.Since(start)+wait > c.budget {
+			return nil, fmt.Errorf("%w (%s) after %d attempts: %s %s: %w",
+				ErrRetryBudgetExhausted, c.budget, attempt+1, method, path, lastErr)
 		}
 		select {
 		case <-ctx.Done():

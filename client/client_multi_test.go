@@ -1,0 +1,207 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"partita/internal/service"
+)
+
+func TestNewMultiValidation(t *testing.T) {
+	if _, err := NewMulti(nil); err == nil {
+		t.Fatal("empty endpoint list accepted")
+	}
+	if _, err := NewMulti([]string{"http://a:1", "  "}); err == nil {
+		t.Fatal("blank endpoint accepted")
+	}
+	c, err := NewMulti([]string{"http://a:1/", "http://b:2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c.Endpoints()
+	if len(got) != 2 || got[0] != "http://a:1" || got[1] != "http://b:2" {
+		t.Fatalf("endpoints = %v", got)
+	}
+}
+
+// A daemon that answers every attempt with 429+Retry-After could
+// stretch a bounded attempt count over unbounded wall time; the retry
+// budget cuts that off and surfaces the last HTTP error.
+func TestRetryBudgetCapsRetryAfterLoop(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+		_ = json.NewEncoder(w).Encode(map[string]string{"error": "service: queue full"})
+	}))
+	defer srv.Close()
+	c := New(srv.URL,
+		WithJitterSeed(11),
+		WithMaxRetries(100),
+		WithBackoff(time.Millisecond, 2*time.Millisecond),
+		WithRetryBudget(250*time.Millisecond))
+	start := time.Now()
+	_, err := c.Submit(context.Background(), selectSpec(100))
+	if !errors.Is(err, ErrRetryBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrRetryBudgetExhausted", err)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("budget error does not surface the last HTTP error: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("budget of 250ms let the call run %s", elapsed)
+	}
+}
+
+func TestMultiEndpointFailsOverOn5xx(t *testing.T) {
+	var sickCalls int32
+	sick := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&sickCalls, 1)
+		http.Error(w, `{"error":"boom"}`, http.StatusBadGateway)
+	}))
+	defer sick.Close()
+	_, healthy := newDaemon(t, service.Config{Workers: 1})
+
+	c, err := NewMulti([]string{sick.URL, healthy.URL},
+		WithJitterSeed(7), WithBackoff(time.Millisecond, 2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Run(context.Background(), selectSpec(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != StatusDone {
+		t.Fatalf("status = %s", v.Status)
+	}
+	if n := atomic.LoadInt32(&sickCalls); n != 1 {
+		t.Fatalf("sick endpoint called %d times, want 1 (then rotate away)", n)
+	}
+	// Preference sticks: the next call goes straight to the healthy node.
+	if _, err := c.List(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if n := atomic.LoadInt32(&sickCalls); n != 1 {
+		t.Fatalf("client returned to the sick endpoint (%d calls)", n)
+	}
+}
+
+func TestMultiEndpointFailsOverOnNetworkError(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close()
+	_, healthy := newDaemon(t, service.Config{Workers: 1})
+
+	c, err := NewMulti([]string{deadURL, healthy.URL},
+		WithJitterSeed(9), WithBackoff(time.Millisecond, 2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Run(context.Background(), selectSpec(101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != StatusDone {
+		t.Fatalf("status = %s", v.Status)
+	}
+}
+
+// 429 is cluster-wide back-pressure, not node sickness: the client must
+// keep honoring it on the same endpoint instead of shopping the request
+// around the cluster.
+func TestMulti429DoesNotRotate(t *testing.T) {
+	busy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+		_ = json.NewEncoder(w).Encode(map[string]string{"error": "service: queue full"})
+	}))
+	defer busy.Close()
+	var otherCalls int32
+	other := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&otherCalls, 1)
+	}))
+	defer other.Close()
+
+	c, err := NewMulti([]string{busy.URL, other.URL},
+		WithJitterSeed(13), WithMaxRetries(2), WithBackoff(time.Millisecond, 2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Submit(context.Background(), selectSpec(102))
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("err = %v, want ErrRetriesExhausted", err)
+	}
+	if n := atomic.LoadInt32(&otherCalls); n != 0 {
+		t.Fatalf("429 rotated to another endpoint (%d calls)", n)
+	}
+}
+
+// Run rides through repeated job loss by resubmitting (content
+// addressing makes that idempotent) — but gives up after a few hops
+// rather than looping forever against a cluster that keeps losing work.
+func TestRunResubmitsThroughJobLossThenGivesUp(t *testing.T) {
+	var submits int32
+	amnesiac := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			atomic.AddInt32(&submits, 1)
+			w.WriteHeader(http.StatusAccepted)
+			_ = json.NewEncoder(w).Encode(JobView{ID: "j000001", Status: StatusQueued})
+			return
+		}
+		w.WriteHeader(http.StatusNotFound)
+		_ = json.NewEncoder(w).Encode(map[string]string{"error": "service: unknown job"})
+	}))
+	defer amnesiac.Close()
+
+	c := New(amnesiac.URL, WithJitterSeed(17), WithBackoff(time.Millisecond, 2*time.Millisecond))
+	_, err := c.Run(context.Background(), selectSpec(103))
+	if err == nil {
+		t.Fatal("Run succeeded against a daemon that loses every job")
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
+		t.Fatalf("err = %v, want wrapped 404", err)
+	}
+	// 1 initial + 3 resubmits.
+	if n := atomic.LoadInt32(&submits); n != 4 {
+		t.Fatalf("submits = %d, want 4", n)
+	}
+}
+
+func TestRunRecoversWhenResubmitCompletes(t *testing.T) {
+	var submits int32
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			n := atomic.AddInt32(&submits, 1)
+			if n == 1 {
+				w.WriteHeader(http.StatusAccepted)
+				_ = json.NewEncoder(w).Encode(JobView{ID: "j000001", Status: StatusQueued})
+				return
+			}
+			// The resubmission is answered from the (peer) cache.
+			w.WriteHeader(http.StatusOK)
+			_ = json.NewEncoder(w).Encode(JobView{ID: "j000002", Status: StatusDone, Cached: true})
+			return
+		}
+		w.WriteHeader(http.StatusNotFound)
+		_ = json.NewEncoder(w).Encode(map[string]string{"error": "service: unknown job"})
+	}))
+	defer flaky.Close()
+
+	c := New(flaky.URL, WithJitterSeed(19), WithBackoff(time.Millisecond, 2*time.Millisecond))
+	v, err := c.Run(context.Background(), selectSpec(104))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != StatusDone || !v.Cached {
+		t.Fatalf("view = %+v, want cached done", v)
+	}
+	if n := atomic.LoadInt32(&submits); n != 2 {
+		t.Fatalf("submits = %d, want 2", n)
+	}
+}

@@ -1,0 +1,388 @@
+package client
+
+// Node-kill cluster chaos test: three real partitad processes form a
+// consistent-hash ring, a sweep of jobs is spread across them, and the
+// node owning the largest share is SIGKILLed mid-sweep. The cluster
+// must then prove the ISSUE's three failover guarantees:
+//
+//  1. zero accepted jobs lost — every submitted spec reaches a
+//     terminal state, riding the multi-endpoint client's failover
+//     resubmission (safe: jobs are content-addressed);
+//  2. every job completes on the survivors, i.e. the dead owner's key
+//     range drains to its ring successor;
+//  3. a result cached on one node is served from another without
+//     re-solving, asserted via each node's solve counter.
+//
+// Gated behind PARTITAD_CLUSTER_CHAOS=1 because it builds, launches,
+// and kills daemons; run with `make chaos-cluster` or:
+//
+//	PARTITAD_CLUSTER_CHAOS=1 go test -race -run TestClusterKillChaos ./client
+//
+// PARTITAD_CHAOS_SEED varies the fault seed (CI runs a small matrix);
+// PARTITAD_CHAOS_DIR pins journals and per-node logs so CI can upload
+// them as artifacts when the test fails.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startClusterDaemon launches one cluster member on a pre-reserved
+// address, teeing its stderr into a per-node log file.
+func startClusterDaemon(t *testing.T, bin, logPath string, args ...string) *daemon {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	logf, err := os.Create(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = io.MultiWriter(os.Stderr, logf)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd, exited: make(chan error, 1)}
+	go func() {
+		d.exited <- cmd.Wait()
+		logf.Close()
+	}()
+	line, err := bufio.NewReader(stdout).ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading listen line: %v", err)
+	}
+	const prefix = "partitad listening on "
+	if !strings.HasPrefix(line, prefix) {
+		t.Fatalf("unexpected startup line %q", line)
+	}
+	d.base = "http://" + strings.TrimSpace(strings.TrimPrefix(line, prefix))
+	return d
+}
+
+// reservePorts grabs n distinct loopback ports and releases them for
+// the daemons to claim — the peer list must be known before any node
+// starts.
+func reservePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	listeners := make([]net.Listener, n)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		addrs[i] = l.Addr().String()
+	}
+	for _, l := range listeners {
+		l.Close()
+	}
+	return addrs
+}
+
+// nodeNameOf mirrors the daemon's node naming: non-alphanumerics
+// collapse to single dashes ("127.0.0.1:7001" → "127-0-0-1-7001").
+func nodeNameOf(base string) string {
+	s := strings.TrimPrefix(base, "http://")
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+			b.WriteByte(c)
+		default:
+			if n := b.Len(); n > 0 && b.String()[n-1] != '-' {
+				b.WriteByte('-')
+			}
+		}
+	}
+	return strings.TrimRight(b.String(), "-")
+}
+
+// scrapeMetric reads one un-labeled counter from a node's /metrics.
+func scrapeMetric(t *testing.T, base, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape %s: %v", base, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			var v float64
+			if _, err := fmt.Sscanf(rest, "%g", &v); err == nil {
+				return v
+			}
+		}
+	}
+	t.Fatalf("metric %s missing from %s/metrics", name, base)
+	return 0
+}
+
+// forwardedSubmit posts a spec directly to one node with the forwarded
+// marker set, pinning the job there (this is how peers hand each other
+// work, and how the test controls exactly which node runs what).
+func forwardedSubmit(t *testing.T, ctx context.Context, base string, spec JobSpec) JobView {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Partitad-Forwarded", "chaos-test")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("forwarded submit to %s: HTTP %d: %s", base, resp.StatusCode, raw)
+	}
+	var v JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func waitReady(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("node %s never became ready", base)
+}
+
+func TestClusterKillChaos(t *testing.T) {
+	if os.Getenv("PARTITAD_CLUSTER_CHAOS") == "" {
+		t.Skip("set PARTITAD_CLUSTER_CHAOS=1 to run the node-kill cluster chaos test")
+	}
+	seed := os.Getenv("PARTITAD_CHAOS_SEED")
+	if seed == "" {
+		seed = "1"
+	}
+	dir := os.Getenv("PARTITAD_CHAOS_DIR")
+	if dir == "" {
+		dir = t.TempDir()
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("cluster chaos seed=%s artifacts=%s", seed, dir)
+
+	bin := filepath.Join(t.TempDir(), "partitad")
+	build := exec.Command("go", "build", "-o", bin, "partita/cmd/partitad")
+	build.Dir = repoRoot(t)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build partitad: %v\n%s", err, out)
+	}
+
+	const nodesN = 3
+	addrs := reservePorts(t, nodesN)
+	bases := make([]string, nodesN)
+	for i, a := range addrs {
+		bases[i] = "http://" + a
+	}
+	peerList := strings.Join(bases, ",")
+
+	// Every solve stalls 150ms so the SIGKILL reliably lands mid-sweep.
+	stall := fmt.Sprintf("seed=%s,solver.stall=1,solver.stall.delay=150ms", seed)
+	daemons := make([]*daemon, nodesN)
+	for i := range daemons {
+		daemons[i] = startClusterDaemon(t, bin,
+			filepath.Join(dir, fmt.Sprintf("node%d-seed%s.log", i, seed)),
+			"-addr", addrs[i],
+			"-workers", "2",
+			"-journal", filepath.Join(dir, fmt.Sprintf("node%d-seed%s.wal", i, seed)),
+			"-peers", peerList,
+			"-self", bases[i],
+			"-probe-interval", "50ms",
+			"-probe-timeout", "300ms",
+			"-peer-fail-after", "2",
+			"-faults", stall,
+		)
+		if daemons[i].base != bases[i] {
+			t.Fatalf("node %d listening on %s, reserved %s", i, daemons[i].base, bases[i])
+		}
+	}
+	alive := map[int]bool{}
+	for i := range daemons {
+		waitReady(t, bases[i])
+		alive[i] = true
+	}
+	defer func() {
+		for i, d := range daemons {
+			if alive[i] {
+				d.terminate(t)
+			}
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	c, err := NewMulti(bases, WithJitterSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Spread a sweep of distinct jobs across the ring.
+	const jobs = 18
+	specs := make([]JobSpec, jobs)
+	ids := make([]string, jobs)
+	for i := range specs {
+		specs[i] = selectSpec(int64(100 + 13*i))
+		v, err := c.Submit(ctx, specs[i])
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids[i] = v.ID
+	}
+
+	// The ID prefix names the accepting node; the biggest owner is the
+	// kill target.
+	names := make([]string, nodesN)
+	owned := make([]int, nodesN)
+	for i, b := range bases {
+		names[i] = nodeNameOf(b)
+	}
+	for _, id := range ids {
+		for i, name := range names {
+			if strings.HasPrefix(id, name+"-j") {
+				owned[i]++
+			}
+		}
+	}
+	victim := 0
+	for i, n := range owned {
+		if n > owned[victim] {
+			victim = i
+		}
+	}
+	t.Logf("job distribution %v across %v; killing node %d (%s)", owned, names, victim, names[victim])
+	if owned[victim] == 0 {
+		t.Fatal("no node accepted any jobs; distribution broken")
+	}
+
+	// Let part of the sweep finish, then SIGKILL the biggest owner.
+	killAt := time.Now().Add(30 * time.Second)
+	for {
+		views, err := c.List(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		finished := 0
+		for _, v := range views {
+			if v.Status == StatusDone || v.Status == StatusFailed {
+				finished++
+			}
+		}
+		if finished >= 3 || time.Now().After(killAt) {
+			t.Logf("killing %s with %d jobs finished cluster-wide", names[victim], finished)
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	daemons[victim].kill(t)
+	alive[victim] = false
+
+	// Guarantee 1+2: every accepted spec reaches a terminal state on the
+	// survivors. Run rides the client's endpoint failover and, for jobs
+	// that died with the victim, resubmits by content address — the ring
+	// successor picks them up.
+	lost := 0
+	for i, spec := range specs {
+		v, err := c.Run(ctx, spec)
+		if err != nil {
+			t.Errorf("job %d (%s) lost after node kill: %v", i, ids[i], err)
+			lost++
+			continue
+		}
+		if v.Status != StatusDone || v.Result == nil || !v.Result.Selection.Solved() {
+			t.Errorf("job %d did not complete after failover: %+v", i, v)
+			continue
+		}
+		if strings.HasPrefix(v.ID, names[victim]+"-j") {
+			t.Errorf("job %d reported done by the dead node %s: %+v", i, names[victim], v)
+		}
+	}
+	if lost > 0 {
+		t.Errorf("%d of %d accepted jobs lost (logs and journals in %s)", lost, jobs, dir)
+	}
+
+	// The survivors' ring view must have evicted the victim.
+	survivors := []int{}
+	for i := range daemons {
+		if alive[i] {
+			survivors = append(survivors, i)
+		}
+	}
+	if len(survivors) != 2 {
+		t.Fatalf("expected 2 survivors, have %d", len(survivors))
+	}
+	for _, i := range survivors {
+		if up := scrapeMetric(t, bases[i], "partitad_cluster_peers_alive"); up != 1 {
+			t.Errorf("node %s still counts %v live peers, want 1", names[i], up)
+		}
+	}
+
+	// Guarantee 3: a result cached on one survivor serves from the other
+	// without re-solving. A fresh spec is pinned to survivor A (it
+	// solves, once); the identical spec pinned to survivor B must come
+	// back cached while B's solve counter stays flat.
+	a, b := survivors[0], survivors[1]
+	fresh := selectSpec(99991)
+	va := forwardedSubmit(t, ctx, bases[a], fresh)
+	if _, err := c.Wait(ctx, va.ID); err != nil {
+		t.Fatalf("fresh job on %s: %v", names[a], err)
+	}
+	solvesBefore := scrapeMetric(t, bases[b], "partitad_solves_started_total")
+	hitsBefore := scrapeMetric(t, bases[b], "partitad_cluster_peer_cache_hits_total")
+	vb := forwardedSubmit(t, ctx, bases[b], fresh)
+	final, err := c.Wait(ctx, vb.ID)
+	if err != nil {
+		t.Fatalf("peeked job on %s: %v", names[b], err)
+	}
+	if final.Status != StatusDone || !final.Cached {
+		t.Errorf("cross-node job not served from cache: %+v", final)
+	}
+	if after := scrapeMetric(t, bases[b], "partitad_solves_started_total"); after != solvesBefore {
+		t.Errorf("node %s re-solved a peer-cached job (solves %v → %v)", names[b], solvesBefore, after)
+	}
+	if after := scrapeMetric(t, bases[b], "partitad_cluster_peer_cache_hits_total"); after != hitsBefore+1 {
+		t.Errorf("node %s peer cache hits %v → %v, want +1", names[b], hitsBefore, after)
+	}
+
+	if t.Failed() {
+		t.Logf("node logs and journals preserved for inspection: %s", dir)
+	}
+}

@@ -12,6 +12,10 @@
 //	         [-default-timeout 0] [-max-timeout 2m]
 //	         [-max-jobs 1024] [-max-parallelism N] [-grace 30s]
 //	         [-journal path] [-journal-sync always|never]
+//	         [-peers urls -self url] [-probe-interval 2s]
+//	         [-probe-timeout 1s] [-peer-fail-after 3]
+//	         [-peer-pass-after 2] [-forward-timeout 10s]
+//	         [-peek-timeout 300ms]
 //	         [-faults spec]
 //
 // Jobs may request solver-level parallelism with their "parallelism"
@@ -26,6 +30,14 @@
 // unfinished jobs are re-enqueued, and the log is compacted. See
 // docs/SERVICE.md ("Durability & recovery").
 //
+// With -peers (a comma-separated list of every node's base URL,
+// including this one, named again by -self), the daemon joins a static
+// partitad cluster: job keys are consistent-hashed onto the peer list,
+// submissions landing on a non-owner are forwarded, peers are health-
+// probed and a dead owner's key range fails over to its ring successor,
+// and a result cached on any node is served to the whole ring before
+// anyone re-solves. See docs/SERVICE.md ("Clustering").
+//
 // -faults (or the PARTITAD_FAULTS environment variable) enables the
 // deterministic fault-injection layer for chaos testing, e.g.
 // "seed=42,worker.panic=0.05,journal.write=0.1". Never set it in
@@ -38,12 +50,15 @@
 //
 // Endpoints:
 //
-//	POST /v1/jobs      submit a job (service.JobSpec JSON)
-//	GET  /v1/jobs      list tracked jobs
-//	GET  /v1/jobs/{id} poll one job (?wait=10s long-polls)
-//	GET  /metrics      Prometheus text metrics
-//	GET  /healthz      liveness (200 while the process serves)
-//	GET  /readyz       readiness (503 during replay and drain)
+//	POST /v1/jobs               submit a job (service.JobSpec JSON)
+//	GET  /v1/jobs               list tracked jobs (cluster-wide when clustered)
+//	GET  /v1/jobs/{id}          poll one job (?wait=10s long-polls)
+//	GET  /metrics               Prometheus text metrics
+//	GET  /healthz               liveness (200 while the process serves)
+//	GET  /readyz                readiness (503 + JSON reason during replay/drain)
+//	GET  /v1/cluster/ring       this node's view of peer health (cluster mode)
+//	GET  /v1/cluster/owner/{k}  routing decision for one job key (cluster mode)
+//	GET  /v1/cluster/cache/{k}  peer result-cache peek (cluster mode)
 package main
 
 import (
@@ -55,9 +70,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"partita/internal/cluster"
 	"partita/internal/faults"
 	"partita/internal/journal"
 	"partita/internal/service"
@@ -76,6 +93,14 @@ func main() {
 	grace := flag.Duration("grace", 30*time.Second, "shutdown drain budget")
 	journalPath := flag.String("journal", "", "write-ahead journal path (empty = no crash safety)")
 	journalSync := flag.String("journal-sync", "always", "journal fsync policy: always or never")
+	peers := flag.String("peers", "", "comma-separated peer base URLs including this node (enables cluster mode)")
+	self := flag.String("self", "", "this node's base URL as peers reach it (required with -peers)")
+	probeInterval := flag.Duration("probe-interval", 0, "peer health probe interval (0 = default 2s)")
+	probeTimeout := flag.Duration("probe-timeout", 0, "peer health probe timeout (0 = default 1s)")
+	peerFailAfter := flag.Int("peer-fail-after", 0, "consecutive failures before a peer is marked dead (0 = default 3)")
+	peerPassAfter := flag.Int("peer-pass-after", 0, "consecutive probe successes before a dead peer rejoins (0 = default 2)")
+	forwardTimeout := flag.Duration("forward-timeout", 0, "timeout of one forwarded submit (0 = default 10s)")
+	peekTimeout := flag.Duration("peek-timeout", 0, "budget for peeking peer result caches before solving (0 = default 300ms)")
 	faultSpec := flag.String("faults", "", "fault-injection spec (default: $"+faults.EnvVar+"; chaos testing only)")
 	flag.Parse()
 
@@ -83,11 +108,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("partitad: %v", err)
 	}
-	spec := *faultSpec
-	if spec == "" {
-		spec = os.Getenv(faults.EnvVar)
-	}
-	inj, err := faults.Parse(spec)
+	inj, err := faults.FromFlagOrEnv(*faultSpec)
 	if err != nil {
 		log.Fatalf("partitad: %v", err)
 	}
@@ -95,7 +116,34 @@ func main() {
 		log.Printf("partitad: FAULT INJECTION ACTIVE (%s) — points: %v", inj.Spec(), inj.Points())
 	}
 
-	srv, err := service.Open(service.Config{
+	// The cluster node is built before the service core: the core's
+	// config carries the node's hooks, and the node gets the built core
+	// via Attach. Routing stays out of the execution layer.
+	var node *cluster.Node
+	if *peers != "" {
+		if *self == "" {
+			log.Fatalf("partitad: -peers requires -self (this node's base URL as peers reach it)")
+		}
+		node, err = cluster.New(cluster.Config{
+			Self:  *self,
+			Peers: strings.Split(*peers, ","),
+			Probe: cluster.ProbeConfig{
+				Interval:  *probeInterval,
+				Timeout:   *probeTimeout,
+				FailAfter: *peerFailAfter,
+				PassAfter: *peerPassAfter,
+			},
+			ForwardTimeout: *forwardTimeout,
+			PeekTimeout:    *peekTimeout,
+			Faults:         inj,
+			Logf:           log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("partitad: %v", err)
+		}
+	}
+
+	cfg := service.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		DesignCacheSize: *designCache,
@@ -107,7 +155,13 @@ func main() {
 		JournalPath:     *journalPath,
 		JournalSync:     syncPolicy,
 		Faults:          inj,
-	})
+	}
+	if node != nil {
+		cfg.NodeName = node.NodeName()
+		cfg.RemoteLookup = node.RemoteLookup
+		cfg.OwnerOf = node.OwnerOf
+	}
+	srv, err := service.Open(cfg)
 	if err != nil {
 		log.Fatalf("partitad: %v", err)
 	}
@@ -118,11 +172,19 @@ func main() {
 	}
 	srv.Start()
 
+	handler := srv.Handler()
+	if node != nil {
+		node.Attach(srv)
+		node.Start()
+		handler = node.Handler()
+		log.Printf("partitad: cluster mode: node %s, %d peers", node.NodeName(), len(strings.Split(*peers, ","))-1)
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("partitad: %v", err)
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpSrv := &http.Server{Handler: handler}
 
 	// The resolved address line is part of the contract: integration
 	// harnesses start the daemon on :0 and parse the port from here.
@@ -142,19 +204,37 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
-	// Drain order matters: flip draining first so readiness goes 503 and
-	// idle long-pollers wake and disconnect, then stop accepting
+	// Drain order matters: announce ring departure first (readiness flips
+	// to "leaving-ring" so peers and balancers steer away), flip draining
+	// so idle long-pollers wake and disconnect, then stop accepting
 	// connections, then wait for the solver pool — otherwise an idle
 	// poller would pin the HTTP shutdown for the full grace budget even
 	// with an empty queue.
+	if node != nil {
+		node.Leave()
+	}
 	srv.BeginDrain()
+	// Keep the listener open briefly after readiness flips so balancers
+	// polling /readyz observe the 503 ("leaving-ring"/"draining") instead
+	// of an instant connection-refused.
+	if notice := 500 * time.Millisecond; *grace > 2*notice {
+		time.Sleep(notice)
+	} else if *grace > 0 {
+		time.Sleep(*grace / 4)
+	}
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("partitad: http shutdown: %v", err)
 	}
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("partitad: drain incomplete: %v", err)
+		if node != nil {
+			node.Stop()
+		}
 		_ = srv.CloseJournal()
 		os.Exit(1)
+	}
+	if node != nil {
+		node.Stop()
 	}
 	if err := srv.CloseJournal(); err != nil {
 		log.Printf("partitad: journal close: %v", err)

@@ -1,0 +1,247 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"partita/internal/faults"
+)
+
+// ProbeConfig tunes peer health detection. Zero fields take the
+// documented defaults.
+type ProbeConfig struct {
+	// Interval between probes of each peer (default 2s).
+	Interval time.Duration
+	// Timeout of one probe request (default 1s).
+	Timeout time.Duration
+	// FailAfter is how many consecutive failures — probe or forwarding
+	// — mark an alive peer dead (default 3).
+	FailAfter int
+	// PassAfter is how many consecutive probe successes bring a dead
+	// peer back (default 2: one stray 200 from a flapping peer does not
+	// re-route traffic onto it).
+	PassAfter int
+	// Path is the endpoint probed on each peer (default /healthz).
+	Path string
+}
+
+func (c ProbeConfig) withDefaults() ProbeConfig {
+	if c.Interval <= 0 {
+		c.Interval = 2 * time.Second
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = time.Second
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 3
+	}
+	if c.PassAfter <= 0 {
+		c.PassAfter = 2
+	}
+	if c.Path == "" {
+		c.Path = "/healthz"
+	}
+	return c
+}
+
+// PeerStatus is one peer's health snapshot for /v1/cluster/ring and
+// metrics.
+type PeerStatus struct {
+	Peer      string    `json:"peer"`
+	Name      string    `json:"name"`
+	Alive     bool      `json:"alive"`
+	Fails     int       `json:"consecutiveFails,omitempty"`
+	LastError string    `json:"lastError,omitempty"`
+	LastProbe time.Time `json:"lastProbe,omitempty"`
+}
+
+// peerState is the mutable health record for one remote peer.
+type peerState struct {
+	alive     bool
+	fails     int // consecutive failures while alive
+	passes    int // consecutive successes while dead
+	lastErr   string
+	lastProbe time.Time
+}
+
+// Prober tracks remote peer liveness: a loop per peer hits its health
+// endpoint, and the forwarding path reports failures directly so a dead
+// owner is suspected at first contact, not only at the next probe tick.
+// Peers start alive — a booting cluster must not treat a peer as dead
+// just because nothing has been proven yet; the first FailAfter
+// failures are the proof.
+type Prober struct {
+	cfg     ProbeConfig
+	peers   []string // remote peers only (self excluded)
+	hc      *http.Client
+	inj     *faults.Injector
+	logf    func(string, ...any)
+	metrics *Metrics
+
+	mu sync.Mutex
+	st map[string]*peerState
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// newProber builds the prober for the given remote peers. Call Start to
+// launch the probe loops.
+func newProber(peers []string, cfg ProbeConfig, inj *faults.Injector, m *Metrics, logf func(string, ...any)) *Prober {
+	cfg = cfg.withDefaults()
+	p := &Prober{
+		cfg:     cfg,
+		peers:   append([]string(nil), peers...),
+		hc:      &http.Client{Timeout: cfg.Timeout},
+		inj:     inj,
+		logf:    logf,
+		metrics: m,
+		st:      map[string]*peerState{},
+		stop:    make(chan struct{}),
+	}
+	for _, peer := range p.peers {
+		p.st[peer] = &peerState{alive: true}
+	}
+	return p
+}
+
+// Start launches one probe loop per remote peer.
+func (p *Prober) Start() {
+	for _, peer := range p.peers {
+		p.wg.Add(1)
+		go p.loop(peer)
+	}
+}
+
+// Stop halts the probe loops and waits for them.
+func (p *Prober) Stop() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.wg.Wait()
+}
+
+func (p *Prober) loop(peer string) {
+	defer p.wg.Done()
+	t := time.NewTicker(p.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.probe(peer)
+		}
+	}
+}
+
+// probe performs one health check and feeds the result into the
+// threshold state machine.
+func (p *Prober) probe(peer string) {
+	err := p.probeOnce(peer)
+	now := time.Now()
+	if err != nil {
+		p.metrics.probeFailures.Add(1)
+		p.observeFailure(peer, now, err.Error())
+		return
+	}
+	p.mu.Lock()
+	st := p.st[peer]
+	st.lastProbe = now
+	st.fails = 0
+	st.lastErr = ""
+	if !st.alive {
+		st.passes++
+		if st.passes >= p.cfg.PassAfter {
+			st.alive = true
+			st.passes = 0
+			p.logf("cluster: peer %s recovered, rejoining ring", peer)
+		}
+	}
+	p.mu.Unlock()
+}
+
+func (p *Prober) probeOnce(peer string) error {
+	if p.inj.Fire(faults.PeerPartition) {
+		return fmt.Errorf("faults: injected %s", faults.PeerPartition)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), p.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+p.cfg.Path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := p.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: probe %s: HTTP %d", peer+p.cfg.Path, resp.StatusCode)
+	}
+	return nil
+}
+
+// ReportFailure feeds a forwarding failure into the same threshold
+// machinery as a failed probe: FailAfter consecutive failed contacts of
+// any kind take the peer out of the ring without waiting for probes.
+func (p *Prober) ReportFailure(peer string, err error) {
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	p.observeFailure(peer, time.Now(), msg)
+}
+
+func (p *Prober) observeFailure(peer string, now time.Time, msg string) {
+	p.mu.Lock()
+	st, ok := p.st[peer]
+	if !ok {
+		p.mu.Unlock()
+		return
+	}
+	st.lastProbe = now
+	st.lastErr = msg
+	st.passes = 0
+	if st.alive {
+		st.fails++
+		if st.fails >= p.cfg.FailAfter {
+			st.alive = false
+			st.fails = 0
+			p.mu.Unlock()
+			p.logf("cluster: peer %s marked dead (%s); its key range fails over to the ring successor", peer, msg)
+			return
+		}
+	}
+	p.mu.Unlock()
+}
+
+// Alive reports whether the peer is currently in the ring. Unknown
+// peers (including self, which the prober never tracks) report true:
+// the caller decides what self means.
+func (p *Prober) Alive(peer string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.st[peer]
+	return !ok || st.alive
+}
+
+// Snapshot returns every tracked peer's status, sorted by peer.
+func (p *Prober) Snapshot() []PeerStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]PeerStatus, 0, len(p.peers))
+	for _, peer := range p.peers {
+		st := p.st[peer]
+		out = append(out, PeerStatus{
+			Peer:      peer,
+			Alive:     st.alive,
+			Fails:     st.fails,
+			LastError: st.lastErr,
+			LastProbe: st.lastProbe,
+		})
+	}
+	return out
+}

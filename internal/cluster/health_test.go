@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"partita/internal/faults"
+)
+
+// flakyPeer is a health endpoint whose status is flipped by tests.
+type flakyPeer struct {
+	ts   *httptest.Server
+	sick atomic.Bool
+}
+
+func newFlakyPeer(t *testing.T) *flakyPeer {
+	t.Helper()
+	p := &flakyPeer{}
+	p.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if p.sick.Load() {
+			http.Error(w, "sick", http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	t.Cleanup(p.ts.Close)
+	return p
+}
+
+func testProber(t *testing.T, peers []string, inj *faults.Injector) *Prober {
+	t.Helper()
+	return newProber(peers, ProbeConfig{
+		Interval:  time.Hour, // tests drive probes by hand
+		Timeout:   2 * time.Second,
+		FailAfter: 2,
+		PassAfter: 2,
+	}, inj, &Metrics{}, t.Logf)
+}
+
+func TestProberFailAndRecoverThresholds(t *testing.T) {
+	peer := newFlakyPeer(t)
+	p := testProber(t, []string{peer.ts.URL}, nil)
+
+	if !p.Alive(peer.ts.URL) {
+		t.Fatal("peers must start alive")
+	}
+	peer.sick.Store(true)
+	p.probe(peer.ts.URL)
+	if !p.Alive(peer.ts.URL) {
+		t.Fatal("one failure below FailAfter already marked the peer dead")
+	}
+	p.probe(peer.ts.URL)
+	if p.Alive(peer.ts.URL) {
+		t.Fatal("FailAfter consecutive failures did not mark the peer dead")
+	}
+
+	peer.sick.Store(false)
+	p.probe(peer.ts.URL)
+	if p.Alive(peer.ts.URL) {
+		t.Fatal("one success below PassAfter already revived the peer")
+	}
+	p.probe(peer.ts.URL)
+	if !p.Alive(peer.ts.URL) {
+		t.Fatal("PassAfter consecutive successes did not revive the peer")
+	}
+}
+
+// A flapping peer — never FailAfter failures in a row — must stay in
+// the ring: consecutive counts reset on every success.
+func TestProberFlappingPeerStaysAlive(t *testing.T) {
+	peer := newFlakyPeer(t)
+	p := testProber(t, []string{peer.ts.URL}, nil)
+	for i := 0; i < 6; i++ {
+		peer.sick.Store(i%2 == 0)
+		p.probe(peer.ts.URL)
+		if !p.Alive(peer.ts.URL) {
+			t.Fatalf("flapping peer marked dead after probe %d", i)
+		}
+	}
+}
+
+// Forwarding failures feed the same thresholds as probes, so a dead
+// owner is evicted at first contact instead of waiting for probe ticks.
+func TestReportFailureEvictsWithoutProbes(t *testing.T) {
+	peer := newFlakyPeer(t)
+	p := testProber(t, []string{peer.ts.URL}, nil)
+	p.ReportFailure(peer.ts.URL, errors.New("connection refused"))
+	if !p.Alive(peer.ts.URL) {
+		t.Fatal("single reported failure below FailAfter marked the peer dead")
+	}
+	p.ReportFailure(peer.ts.URL, errors.New("connection refused"))
+	if p.Alive(peer.ts.URL) {
+		t.Fatal("FailAfter reported failures did not mark the peer dead")
+	}
+}
+
+func TestProbeDeadEndpointFails(t *testing.T) {
+	peer := newFlakyPeer(t)
+	url := peer.ts.URL
+	peer.ts.Close()
+	p := testProber(t, []string{url}, nil)
+	p.probe(url)
+	p.probe(url)
+	if p.Alive(url) {
+		t.Fatal("unreachable peer still alive after FailAfter probes")
+	}
+	st := p.Snapshot()
+	if len(st) != 1 || st[0].Alive || st[0].LastError == "" {
+		t.Fatalf("snapshot = %+v, want one dead peer with an error", st)
+	}
+}
+
+// peer.partition makes probes fail even against a healthy peer — the
+// chaos harness uses it to simulate a network partition without
+// touching the peer process.
+func TestPartitionFaultFailsHealthyPeerProbes(t *testing.T) {
+	peer := newFlakyPeer(t)
+	inj, err := faults.Parse("seed=7,peer.partition=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testProber(t, []string{peer.ts.URL}, inj)
+	m := p.metrics
+	p.probe(peer.ts.URL)
+	p.probe(peer.ts.URL)
+	if p.Alive(peer.ts.URL) {
+		t.Fatal("partitioned peer still alive after FailAfter probes")
+	}
+	if got := m.probeFailures.Load(); got != 2 {
+		t.Fatalf("probeFailures = %d, want 2", got)
+	}
+}
+
+func TestAliveUnknownPeerDefaultsTrue(t *testing.T) {
+	p := testProber(t, nil, nil)
+	if !p.Alive("http://never-configured:1") {
+		t.Fatal("unknown peer reported dead; callers own the self case")
+	}
+}
+
+func TestProberStartStop(t *testing.T) {
+	peer := newFlakyPeer(t)
+	p := newProber([]string{peer.ts.URL}, ProbeConfig{
+		Interval: 5 * time.Millisecond, FailAfter: 2, PassAfter: 2,
+	}, nil, &Metrics{}, t.Logf)
+	p.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := p.Snapshot(); len(st) == 1 && !st[0].LastProbe.IsZero() {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	p.Stop()
+	p.Stop() // idempotent
+	if st := p.Snapshot(); st[0].LastProbe.IsZero() {
+		t.Fatal("probe loop never probed the peer")
+	}
+}

@@ -1,0 +1,150 @@
+// Package cluster is partitad's routing layer: a static-peer-list
+// consistent-hash ring over job content addresses, peer health probing
+// that drives ring membership, request forwarding with failover to the
+// ring successor, and cross-node result-cache peeks so a cache hit
+// anywhere serves everywhere.
+//
+// The layering deliberately mirrors the storage/planner split the rest
+// of the repository follows: internal/service stays a single-node
+// execution core with no knowledge of peers, and this package owns
+// every routing decision. The two meet at exactly two hooks —
+// service.Config.RemoteLookup (peer cache peeks before a solve) and
+// service.Config.OwnerOf (ownership stamped on accepted jobs) — plus
+// the HTTP surface, which a Node wraps and re-exposes.
+//
+// Failover is safe because the substrate already is: jobs are
+// content-addressed (partita.CanonicalHash), so resubmitting a job to a
+// dead owner's ring successor either coalesces, hits a cache, or
+// re-runs to the identical answer — at-least-once delivery with
+// exactly-once effect, now across nodes.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// defaultReplicas is the number of virtual nodes each peer contributes
+// to the ring. 128 keeps the expected ownership imbalance for a
+// handful of peers within a few percent while the ring stays tiny.
+const defaultReplicas = 128
+
+// ringPoint is one virtual node on the hash circle.
+type ringPoint struct {
+	hash uint64
+	peer string
+}
+
+// Ring is an immutable consistent-hash ring over a static peer list.
+// Liveness is not baked in: Owner filters through a caller-supplied
+// predicate, so ring membership follows peer health with no rebuild —
+// exactly the "dead owner's range drains to its successor" behavior,
+// because the successor's virtual nodes are the next alive points
+// clockwise of every dead point.
+type Ring struct {
+	peers  []string
+	points []ringPoint
+}
+
+// NewRing builds a ring over peers with the given number of virtual
+// nodes per peer (<=0 uses the default). Peer order does not matter;
+// duplicate peers are an error.
+func NewRing(peers []string, replicas int) (*Ring, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: empty peer list")
+	}
+	if replicas <= 0 {
+		replicas = defaultReplicas
+	}
+	seen := map[string]bool{}
+	r := &Ring{peers: append([]string(nil), peers...)}
+	for _, p := range r.peers {
+		if p == "" {
+			return nil, fmt.Errorf("cluster: empty peer name")
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("cluster: duplicate peer %q", p)
+		}
+		seen[p] = true
+		base := fnvHash(p)
+		for i := 0; i < replicas; i++ {
+			r.points = append(r.points, ringPoint{hash: mix64(base + uint64(i)), peer: p})
+		}
+	}
+	sort.Slice(r.points, func(i, k int) bool {
+		if r.points[i].hash != r.points[k].hash {
+			return r.points[i].hash < r.points[k].hash
+		}
+		// Hash ties (vanishingly rare) break by name so every node
+		// computes the identical ring.
+		return r.points[i].peer < r.points[k].peer
+	})
+	sort.Strings(r.peers)
+	return r, nil
+}
+
+// ringHash places a string on the circle: FNV-64a (fast, stable across
+// processes and architectures — every node must agree on the ring)
+// finalized through splitmix64. Raw FNV of near-identical strings (peer
+// URLs, hex keys) clusters badly enough to skew ownership 3:1; the
+// finalizer restores avalanche.
+func ringHash(s string) uint64 { return mix64(fnvHash(s)) }
+
+func fnvHash(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Peers returns the static peer list, sorted.
+func (r *Ring) Peers() []string { return r.peers }
+
+// Owner returns the peer owning key among those alive(peer) admits
+// (alive == nil admits everyone). It reports false only when the
+// predicate rejects every peer.
+func (r *Ring) Owner(key string, alive func(string) bool) (string, bool) {
+	start := r.search(key)
+	for off := 0; off < len(r.points); off++ {
+		p := r.points[(start+off)%len(r.points)].peer
+		if alive == nil || alive(p) {
+			return p, true
+		}
+	}
+	return "", false
+}
+
+// Order returns every peer in the key's failover-preference order: the
+// static owner first, then each distinct peer as it next appears
+// clockwise. Forwarding walks this list when owners fail.
+func (r *Ring) Order(key string) []string {
+	start := r.search(key)
+	out := make([]string, 0, len(r.peers))
+	seen := map[string]bool{}
+	for off := 0; off < len(r.points) && len(out) < len(r.peers); off++ {
+		p := r.points[(start+off)%len(r.points)].peer
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// search locates the first ring point at or clockwise of the key.
+func (r *Ring) search(key string) int {
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}

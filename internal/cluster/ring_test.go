@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testPeers(n int) []string {
+	peers := make([]string, n)
+	for i := range peers {
+		peers[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return peers
+}
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("sha256:%064d", i)
+	}
+	return keys
+}
+
+func TestNewRingRejectsBadPeerLists(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty peer list accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty peer name accepted")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 0); err == nil {
+		t.Fatal("duplicate peer accepted")
+	}
+}
+
+// Every node must compute the identical ring regardless of the order
+// its operator listed the peers in — otherwise two nodes could disagree
+// about ownership forever.
+func TestRingDeterministicAcrossPeerOrder(t *testing.T) {
+	peers := testPeers(5)
+	reversed := make([]string, len(peers))
+	for i, p := range peers {
+		reversed[len(peers)-1-i] = p
+	}
+	a, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(reversed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range testKeys(500) {
+		oa, _ := a.Owner(key, nil)
+		ob, _ := b.Owner(key, nil)
+		if oa != ob {
+			t.Fatalf("key %s: owner %s vs %s depending on peer order", key, oa, ob)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	peers := testPeers(3)
+	r, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	keys := testKeys(9000)
+	for _, key := range keys {
+		owner, ok := r.Owner(key, nil)
+		if !ok {
+			t.Fatalf("no owner for %s", key)
+		}
+		counts[owner]++
+	}
+	for _, p := range peers {
+		share := float64(counts[p]) / float64(len(keys))
+		if share < 0.15 || share > 0.55 {
+			t.Fatalf("peer %s owns %.1f%% of keys; want a roughly even split (%v)", p, 100*share, counts)
+		}
+	}
+}
+
+// Killing one peer must move exactly that peer's keys — each to the
+// next live peer in that key's ring order — and leave every other
+// key's owner untouched. This is the failover invariant the forwarding
+// path relies on.
+func TestRingFailoverMovesOnlyTheDeadOwnersKeys(t *testing.T) {
+	peers := testPeers(4)
+	r, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := peers[2]
+	alive := func(p string) bool { return p != dead }
+	for _, key := range testKeys(2000) {
+		before, _ := r.Owner(key, nil)
+		after, ok := r.Owner(key, alive)
+		if !ok {
+			t.Fatalf("no live owner for %s", key)
+		}
+		if before != dead {
+			if after != before {
+				t.Fatalf("key %s moved %s → %s though its owner never died", key, before, after)
+			}
+			continue
+		}
+		order := r.Order(key)
+		if order[0] != dead {
+			t.Fatalf("key %s: Order()[0] = %s, want static owner %s", key, order[0], dead)
+		}
+		if after != order[1] {
+			t.Fatalf("key %s failed over to %s, want ring successor %s", key, after, order[1])
+		}
+	}
+}
+
+func TestRingOrderListsEveryPeerOnce(t *testing.T) {
+	peers := testPeers(5)
+	r, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range testKeys(200) {
+		order := r.Order(key)
+		if len(order) != len(peers) {
+			t.Fatalf("key %s: order has %d peers, want %d", key, len(order), len(peers))
+		}
+		seen := map[string]bool{}
+		for _, p := range order {
+			if seen[p] {
+				t.Fatalf("key %s: %s appears twice in order %v", key, p, order)
+			}
+			seen[p] = true
+		}
+		static, _ := r.Owner(key, nil)
+		if order[0] != static {
+			t.Fatalf("key %s: order starts at %s, want static owner %s", key, order[0], static)
+		}
+	}
+}
+
+func TestRingOwnerNoneAlive(t *testing.T) {
+	r, err := NewRing(testPeers(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner, ok := r.Owner("k", func(string) bool { return false }); ok {
+		t.Fatalf("Owner = %q with every peer dead, want none", owner)
+	}
+}

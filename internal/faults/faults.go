@@ -50,6 +50,16 @@ const (
 	QueueFull = "queue.full"
 	// ClockSkew configures a constant offset applied by Now (duration).
 	ClockSkew = "clock.skew"
+	// PeerTimeout stalls a cluster peer call until it times out (see
+	// PeerTimeoutDelay), exercising the forwarding failover path.
+	PeerTimeout = "peer.timeout"
+	// PeerTimeoutDelay configures the injected peer stall (default 1s).
+	PeerTimeoutDelay = "peer.timeout.delay"
+	// Peer5xx answers a cluster peer call with an injected 502.
+	Peer5xx = "peer.5xx"
+	// PeerPartition fails every outbound peer call — forwards, cache
+	// peeks, and health probes — as if the network were cut.
+	PeerPartition = "peer.partition"
 )
 
 // point is one configured injection point: a firing probability and an
@@ -134,6 +144,16 @@ func isUnitLetter(r rune) bool {
 // FromEnv parses EnvVar; a malformed spec disables injection and
 // reports the error.
 func FromEnv() (*Injector, error) { return Parse(os.Getenv(EnvVar)) }
+
+// FromFlagOrEnv resolves the injection spec the way partitad does: an
+// explicit -faults flag value wins, an empty flag falls back to EnvVar,
+// and an empty (or "off"/"0") result disables injection.
+func FromFlagOrEnv(flagSpec string) (*Injector, error) {
+	if strings.TrimSpace(flagSpec) != "" {
+		return Parse(flagSpec)
+	}
+	return FromEnv()
+}
 
 // Enabled reports whether any injection is configured.
 func (i *Injector) Enabled() bool { return i != nil }

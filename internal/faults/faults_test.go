@@ -40,17 +40,86 @@ func TestParseEmptyDisables(t *testing.T) {
 
 func TestParseErrors(t *testing.T) {
 	for _, spec := range []string{
-		"worker.panic",        // no value
-		"=0.5",                // no key
-		"seed=abc",            // bad seed
-		"worker.panic=1.5",    // probability out of range
-		"worker.panic=-0.1",   // negative probability
-		"worker.panic=potato", // neither probability nor duration
-		"clock.skew=-5s",      // negative duration
+		"worker.panic",          // no value
+		"=0.5",                  // no key
+		"seed=abc",              // bad seed
+		"seed=1.5",              // fractional seed
+		"worker.panic=1.5",      // probability out of range
+		"worker.panic=-0.1",     // negative probability
+		"worker.panic=potato",   // neither probability nor duration
+		"clock.skew=-5s",        // negative duration
+		"peer.timeout.delay=5x", // bad duration unit
+		"a=0.1,b",               // malformed entry after a valid one
+		"worker.panic==0.5",     // doubled separator ("=0.5" is not a value)
 	} {
 		if _, err := Parse(spec); err == nil {
 			t.Errorf("Parse(%q) accepted", spec)
 		}
+	}
+}
+
+// Unknown point names are not a parse error: injection points are
+// caller-defined strings, so a spec may configure points this build
+// never consults. They parse, count as configured, and simply never
+// fire unless something asks for them by name.
+func TestParseUnknownPointNames(t *testing.T) {
+	i, err := Parse("seed=9,no.such.point=1,future.fault=0.5,future.fault.delay=10ms")
+	if err != nil {
+		t.Fatalf("Parse rejected unknown point names: %v", err)
+	}
+	pts := i.Points()
+	if len(pts) != 3 {
+		t.Fatalf("Points = %v, want 3 configured points", pts)
+	}
+	if !i.Fire("no.such.point") {
+		t.Error("configured probability-1 point did not fire, even though its name is unknown to the service")
+	}
+	if i.Fire(WorkerPanic) {
+		t.Error("point absent from the spec fired")
+	}
+	if d := i.Duration("future.fault.delay", time.Second); d != 10*time.Millisecond {
+		t.Errorf("unknown duration point = %v, want 10ms", d)
+	}
+}
+
+func TestFromEnvPrecedence(t *testing.T) {
+	// Flag set: the flag wins even when the environment disagrees.
+	t.Setenv(EnvVar, "seed=5,env.only=1")
+	i, err := FromFlagOrEnv("seed=2,flag.only=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts := i.Points(); len(pts) != 1 || pts[0] != "flag.only" {
+		t.Errorf("flag spec did not win over env: points = %v", pts)
+	}
+
+	// Empty flag: fall back to the environment.
+	i, err = FromFlagOrEnv("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts := i.Points(); len(pts) != 1 || pts[0] != "env.only" {
+		t.Errorf("env fallback points = %v", pts)
+	}
+
+	// Explicit "off" flag disables injection without consulting the env.
+	i, err = FromFlagOrEnv("off")
+	if err != nil || i.Enabled() {
+		t.Errorf("FromFlagOrEnv(off) = %v, %v; want disabled", i, err)
+	}
+
+	// Malformed env spec surfaces the error instead of silently running
+	// without faults.
+	t.Setenv(EnvVar, "worker.panic=2.0")
+	if _, err := FromFlagOrEnv(""); err == nil {
+		t.Error("malformed env spec accepted")
+	}
+
+	// Nothing configured anywhere: disabled, no error.
+	t.Setenv(EnvVar, "")
+	i, err = FromFlagOrEnv("")
+	if err != nil || i.Enabled() {
+		t.Errorf("empty flag+env = %v, %v; want disabled", i, err)
 	}
 }
 

@@ -1,0 +1,223 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"partita/internal/journal"
+)
+
+// The RemoteLookup hook is the cluster's cross-node cache path: a peer
+// hit must complete the job as cached, memoize locally, and skip the
+// solve entirely.
+func TestRemoteLookupServesWithoutSolving(t *testing.T) {
+	spec := selectSpec(900)
+	key, err := ResultKey(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Solve on a plain server to obtain a genuine result to "cache" on
+	// the fake peer.
+	donor := newTestServer(t, Config{Workers: 1})
+	dj, err := donor.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, dj)
+	res := dj.Result()
+	if res == nil || res.Selection == nil {
+		t.Fatalf("donor result = %+v", res)
+	}
+
+	var lookups atomic.Int64
+	s := newTestServer(t, Config{
+		Workers: 1,
+		RemoteLookup: func(k string) (*JobResult, bool) {
+			lookups.Add(1)
+			if k == key {
+				return res, true
+			}
+			return nil, false
+		},
+	})
+	job, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	v := job.View()
+	if v.Status != StatusDone || !v.Cached {
+		t.Fatalf("peer-served job view = %+v, want done+cached", v)
+	}
+	if lookups.Load() == 0 {
+		t.Fatal("RemoteLookup was never consulted")
+	}
+	if got := v.Result.Selection.Area; got != res.Selection.Area {
+		t.Errorf("peer-served area = %g, want donor's %g", got, res.Selection.Area)
+	}
+	// The peer hit must be memoized locally: a resubmission is answered
+	// at Submit time without consulting the hook again.
+	before := lookups.Load()
+	job2, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !job2.Done() || lookups.Load() != before {
+		t.Errorf("resubmission not served from the local cache (done=%v, lookups %d→%d)",
+			job2.Done(), before, lookups.Load())
+	}
+	// No solve ever started on the peer-served node.
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), "partitad_solves_started_total 0") {
+		t.Error("peer-served node reports a started solve")
+	}
+}
+
+// A lookup miss must fall through to a normal solve.
+func TestRemoteLookupMissSolvesLocally(t *testing.T) {
+	s := newTestServer(t, Config{
+		Workers:      1,
+		RemoteLookup: func(string) (*JobResult, bool) { return nil, false },
+	})
+	job, err := s.Submit(selectSpec(800))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	if v := job.View(); v.Status != StatusDone || v.Cached {
+		t.Fatalf("view = %+v, want done and not cached", v)
+	}
+}
+
+// OwnerOf's answer must ride the job view and the journal, and survive
+// a replay.
+func TestOwnershipRecordedAndReplayed(t *testing.T) {
+	wal := filepath.Join(t.TempDir(), "own.wal")
+	own := &Ownership{Node: "n2", Owner: "n1", Failover: true}
+	s, err := Open(Config{
+		Workers:     1,
+		JournalPath: wal,
+		OwnerOf:     func(string) *Ownership { o := *own; return &o },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	job, err := s.Submit(selectSpec(700))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	if v := job.View(); v.Cluster == nil || *v.Cluster != *own {
+		t.Fatalf("live view cluster = %+v, want %+v", v.Cluster, own)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The journaled submit record carries the ownership.
+	rep, err := journal.ReadAll(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, rec := range rep.Records {
+		if rec.Type != recSubmit {
+			continue
+		}
+		var d submitData
+		if err := json.Unmarshal(rec.Data, &d); err != nil {
+			t.Fatal(err)
+		}
+		if d.Owner != nil && *d.Owner == *own {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no submit record carries the ownership")
+	}
+
+	// A replayed server restores it on the job view.
+	s2, err := Open(Config{Workers: 1, JournalPath: wal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Start()
+	defer func() {
+		_ = s2.Shutdown(context.Background())
+		_ = s2.CloseJournal()
+	}()
+	j2, ok := s2.Job(job.ID)
+	if !ok {
+		t.Fatalf("job %s lost across replay", job.ID)
+	}
+	if v := j2.View(); v.Cluster == nil || *v.Cluster != *own {
+		t.Fatalf("replayed view cluster = %+v, want %+v", v.Cluster, own)
+	}
+}
+
+// readyzBody fetches /readyz and decodes the JSON body.
+func readyzBody(t *testing.T, s *Server) (int, map[string]any) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	var body map[string]any
+	raw, _ := io.ReadAll(rec.Body)
+	if err := json.Unmarshal(raw, &body); err != nil {
+		t.Fatalf("readyz body %q: %v", raw, err)
+	}
+	return rec.Code, body
+}
+
+func TestReadyzNamesTheReason(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	code, body := readyzBody(t, s)
+	if code != http.StatusOK || body["ready"] != true || body["status"] != "ready" {
+		t.Fatalf("ready readyz = %d %v", code, body)
+	}
+	if _, has := body["reason"]; has {
+		t.Errorf("ready body must not carry a reason: %v", body)
+	}
+
+	// Leaving the ring is reported before (and instead of) draining.
+	s.BeginLeave()
+	code, body = readyzBody(t, s)
+	if code != http.StatusServiceUnavailable || body["reason"] != ReasonLeavingRing {
+		t.Errorf("leaving readyz = %d %v, want 503/%s", code, body, ReasonLeavingRing)
+	}
+	s.BeginDrain()
+	if _, body = readyzBody(t, s); body["reason"] != ReasonLeavingRing {
+		t.Errorf("leaving+draining reason = %v, want %s", body["reason"], ReasonLeavingRing)
+	}
+}
+
+func TestReadyzDrainingReason(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	s.BeginDrain()
+	code, body := readyzBody(t, s)
+	if code != http.StatusServiceUnavailable || body["reason"] != ReasonDraining || body["ready"] != false {
+		t.Errorf("draining readyz = %d %v", code, body)
+	}
+}
+
+func TestReadyzReplayingReason(t *testing.T) {
+	// New (not Open) with a journal path configured: ready is false
+	// until Open's replay finishes, which never happens here.
+	s := New(Config{Workers: 1, JournalPath: filepath.Join(t.TempDir(), "x.wal")})
+	code, body := readyzBody(t, s)
+	if code != http.StatusServiceUnavailable || body["reason"] != ReasonReplaying {
+		t.Errorf("replaying readyz = %d %v", code, body)
+	}
+}

@@ -21,6 +21,17 @@ func (s *Server) BeginDrain() {
 	s.drainOnce.Do(func() { close(s.drain) })
 }
 
+// BeginLeave announces the node's departure from the cluster ring ahead
+// of a drain: /readyz flips to 503 with reason "leaving-ring" so peer
+// health probes and load balancers steer traffic away before the drain
+// starts rejecting it. Single-node shutdowns never call it. Calling it
+// twice is harmless.
+func (s *Server) BeginLeave() { s.leaving.Store(true) }
+
+// Draining reports whether a drain has begun (the cluster layer stops
+// forward-accepting work for a draining core).
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 // drainContext presents service drain as a *deadline expiry* rather
 // than a cancellation. The distinction matters because the whole solver
 // stack (budget.Check → ilp → selector) treats context.Canceled as

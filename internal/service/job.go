@@ -245,11 +245,30 @@ type JobResult struct {
 	Sweep     []SweepPointResult `json:"sweep,omitempty"`
 }
 
+// Ownership records cluster routing information for one accepted job.
+// It is resolved by the Config.OwnerOf hook at acceptance time and is
+// immutable afterwards: it describes the routing decision the node
+// acted on, not the ring's current state.
+type Ownership struct {
+	// Node is the node that accepted (and will run) the job.
+	Node string `json:"node,omitempty"`
+	// Owner is the consistent-hash owner of the job's key among the
+	// statically configured peers, dead or alive.
+	Owner string `json:"owner,omitempty"`
+	// Failover marks a job accepted away from its static owner because
+	// that owner was unreachable when the job arrived.
+	Failover bool `json:"failover,omitempty"`
+}
+
 // Job is one tracked submission.
 type Job struct {
 	ID   string
 	Spec JobSpec
 	Key  string
+
+	// owner is the cluster routing record (nil outside cluster mode).
+	// Set once before the job is visible to any other goroutine.
+	owner *Ownership
 
 	// doneCh closes when the job reaches a terminal state; long-poll
 	// handlers and clients wait on it.
@@ -288,6 +307,9 @@ type JobView struct {
 	Progress    *Progress  `json:"progress,omitempty"`
 	Result      *JobResult `json:"result,omitempty"`
 	Error       string     `json:"error,omitempty"`
+	// Cluster reports which node accepted the job and who its ring
+	// owner was, in cluster mode (absent on single-node daemons).
+	Cluster *Ownership `json:"cluster,omitempty"`
 }
 
 // View snapshots the job for serialization.
@@ -304,6 +326,10 @@ func (j *Job) View() JobView {
 		SubmittedAt: j.submitted,
 		Error:       j.errMsg,
 		Result:      j.result,
+	}
+	if j.owner != nil {
+		o := *j.owner
+		v.Cluster = &o
 	}
 	if !j.started.IsZero() {
 		t := j.started

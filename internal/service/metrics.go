@@ -33,6 +33,10 @@ type Metrics struct {
 	// Crash-safety and fault-injection counters.
 	journalErrors uint64
 	panics        uint64
+	// solvesStarted counts jobs that actually entered a solve — cache
+	// hits (local or peer) never increment it, which is what lets the
+	// cluster chaos harness assert "served without re-solving".
+	solvesStarted uint64
 	fsyncBucketN  []uint64
 	fsyncSum      float64
 	fsyncN        uint64
@@ -81,6 +85,14 @@ func (m *Metrics) FsyncObserved(d time.Duration) {
 func (m *Metrics) ReplayDone(r RecoveryStats) {
 	m.mu.Lock()
 	m.replay = r
+	m.mu.Unlock()
+}
+
+// SolveStarted counts one job entering an actual solve (not answered
+// from any cache).
+func (m *Metrics) SolveStarted() {
+	m.mu.Lock()
+	m.solvesStarted++
 	m.mu.Unlock()
 }
 
@@ -168,6 +180,7 @@ func (m *Metrics) WritePrometheus(w io.Writer, g Gauges, caches []cacheStat) {
 	writeMap("partitad_jobs_submitted_total", "Jobs accepted, by kind.", "kind", m.submitted)
 	writeMap("partitad_jobs_completed_total", "Jobs finished, by outcome.", "outcome", m.completed)
 	fmt.Fprintf(w, "# HELP partitad_jobs_rejected_total Submissions rejected by admission control.\n# TYPE partitad_jobs_rejected_total counter\npartitad_jobs_rejected_total %d\n", m.rejected)
+	fmt.Fprintf(w, "# HELP partitad_solves_started_total Jobs that entered an actual solve (cache hits excluded).\n# TYPE partitad_solves_started_total counter\npartitad_solves_started_total %d\n", m.solvesStarted)
 	fmt.Fprintf(w, "# HELP partitad_jobs_coalesced_total Submissions attached to an identical in-flight job.\n# TYPE partitad_jobs_coalesced_total counter\npartitad_jobs_coalesced_total %d\n", m.coalesced)
 
 	fmt.Fprintf(w, "# HELP partitad_cache_hits_total Cache hits, by cache.\n# TYPE partitad_cache_hits_total counter\n")

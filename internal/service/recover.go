@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"partita/internal/faults"
@@ -23,11 +24,14 @@ const (
 )
 
 // submitData is the payload of a submit record: everything needed to
-// re-admit the job after a crash.
+// re-admit the job after a crash. Owner is the cluster ownership record
+// (nil outside cluster mode): a restarted node can tell which journaled
+// jobs it accepted on a dead peer's behalf.
 type submitData struct {
-	ID   string  `json:"id"`
-	Key  string  `json:"key"`
-	Spec JobSpec `json:"spec"`
+	ID    string     `json:"id"`
+	Key   string     `json:"key"`
+	Spec  JobSpec    `json:"spec"`
+	Owner *Ownership `json:"owner,omitempty"`
 }
 
 // doneData is the payload of a done record.
@@ -172,6 +176,7 @@ func (s *Server) rebuild(rep *journal.Replay) error {
 			ID:        rj.spec.ID,
 			Spec:      rj.spec.Spec,
 			Key:       rj.spec.Key,
+			owner:     rj.spec.Owner,
 			doneCh:    make(chan struct{}),
 			recovered: true,
 			submitted: rj.submit.At,
@@ -259,9 +264,13 @@ func (s *Server) rebuild(rep *journal.Replay) error {
 	return nil
 }
 
-// idSeq extracts the numeric suffix of a generated job ID ("j%06d"),
-// so restored servers keep allocating fresh IDs.
+// idSeq extracts the numeric suffix of a generated job ID ("j%06d",
+// optionally node-prefixed as "<name>-j%06d"), so restored servers keep
+// allocating fresh IDs.
 func idSeq(id string) uint64 {
+	if i := strings.LastIndexByte(id, 'j'); i > 0 {
+		id = id[i:]
+	}
 	var n uint64
 	if _, err := fmt.Sscanf(id, "j%d", &n); err != nil {
 		return 0

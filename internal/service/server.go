@@ -40,6 +40,11 @@ type Config struct {
 	// request is a performance hint, and the operator's cap is what keeps
 	// Workers × Parallelism from oversubscribing the machine.
 	MaxParallelism int
+	// NodeName, when non-empty, prefixes generated job IDs
+	// ("<name>-j000001" instead of "j000001") so IDs are unique across
+	// a cluster and pollers can route a job ID back to the node that
+	// accepted it. Single-node daemons leave it empty.
+	NodeName string
 	// JournalPath, when non-empty, enables the crash-safety write-ahead
 	// log: job lifecycle records are appended there and replayed by Open
 	// after a restart. Empty disables journaling (no durability, no
@@ -55,6 +60,18 @@ type Config struct {
 	CompactEvery int
 	// Faults is the optional fault injector (nil = disabled).
 	Faults *faults.Injector
+	// RemoteLookup, when set, is consulted by a worker after a local
+	// result-cache miss and before solving: returning a result
+	// short-circuits the solve and completes the job as cached. The
+	// cluster layer wires this to peer result-cache peeks so a result
+	// cached on any node serves the whole ring; the hook keeps that
+	// routing concern out of the execution core.
+	RemoteLookup func(key string) (*JobResult, bool)
+	// OwnerOf, when set, reports cluster routing ownership for each
+	// accepted job; it is recorded on the job, surfaced on the poll
+	// endpoints, and journaled with the submit record so a restarted
+	// node knows which jobs it accepted on another owner's behalf.
+	OwnerOf func(key string) *Ownership
 }
 
 func (c Config) withDefaults() Config {
@@ -120,6 +137,7 @@ type Server struct {
 	jobWG       sync.WaitGroup // queued + running jobs
 	workerWG    sync.WaitGroup
 	draining    atomic.Bool
+	leaving     atomic.Bool
 	ready       atomic.Bool
 	busy        atomic.Int64
 	seq         atomic.Uint64
@@ -224,17 +242,23 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	}
 	now := s.now()
 	job := &Job{
-		ID:        fmt.Sprintf("j%06d", s.seq.Add(1)),
+		ID:        s.newJobID(),
 		Spec:      spec,
 		Key:       key,
 		doneCh:    make(chan struct{}),
 		status:    StatusQueued,
 		submitted: now,
 	}
+	// Ownership is resolved once, at acceptance: the owner recorded here
+	// is the routing decision this node acted on, even if ring
+	// membership changes later.
+	if s.cfg.OwnerOf != nil {
+		job.owner = s.cfg.OwnerOf(key)
+	}
 	if v, ok := s.results.Get(key); ok {
 		job.complete(v.(*JobResult), true, now)
 		s.track(job)
-		s.journalAppend(job, recSubmit, submitData{ID: job.ID, Key: key, Spec: spec})
+		s.journalAppend(job, recSubmit, submitData{ID: job.ID, Key: key, Spec: spec, Owner: job.owner})
 		s.journalAppend(job, recDone, doneData{Result: job.Result(), Cached: true, Memoize: true, Outcome: "cached"})
 		s.metrics.JobSubmitted(string(spec.Kind))
 		return job, nil
@@ -261,12 +285,42 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	s.track(job)
 	// The job is durably accepted only once this append is synced; the
 	// 202 response follows it, so a crash can never lose an acked job.
-	s.journalAppend(job, recSubmit, submitData{ID: job.ID, Key: key, Spec: spec})
+	s.journalAppend(job, recSubmit, submitData{ID: job.ID, Key: key, Spec: spec, Owner: job.owner})
 	s.metrics.JobSubmitted(string(spec.Kind))
 	// Never blocks: queued <= cap(queue) is enforced under s.mu above,
 	// and workers decrement only after receiving.
 	s.queue <- job
 	return job, nil
+}
+
+// newJobID allocates the next job ID, prefixed with the node name in
+// cluster mode.
+func (s *Server) newJobID() string {
+	n := s.seq.Add(1)
+	if s.cfg.NodeName != "" {
+		return fmt.Sprintf("%s-j%06d", s.cfg.NodeName, n)
+	}
+	return fmt.Sprintf("j%06d", n)
+}
+
+// CachedResult returns the memoized result for a content address, if
+// any. The cluster layer serves it to peers peeking this node's cache.
+func (s *Server) CachedResult(key string) (*JobResult, bool) {
+	v, ok := s.results.Get(key)
+	if !ok {
+		return nil, false
+	}
+	return v.(*JobResult), true
+}
+
+// ResultKey computes the content address a submission of spec would be
+// stored under — the cluster routing key. It validates the spec the
+// same way Submit does.
+func ResultKey(spec JobSpec) (string, error) {
+	if err := spec.Validate(); err != nil {
+		return "", err
+	}
+	return spec.resultKey()
 }
 
 // Job returns a tracked job by ID.
@@ -342,6 +396,22 @@ func (s *Server) runJob(job *Job) {
 		time.Sleep(s.inj.Duration(faults.SolverStallDelay, 25*time.Millisecond))
 	}
 	start := time.Now()
+	// Before paying for a solve, peek the peer result caches: a hit
+	// anywhere in the cluster serves everywhere. The local result cache
+	// was already missed at Submit time (a hit completes the job there).
+	if s.cfg.RemoteLookup != nil {
+		if res, ok := s.cfg.RemoteLookup(job.Key); ok && res != nil {
+			s.mu.Lock()
+			delete(s.inflight, job.Key)
+			s.mu.Unlock()
+			job.complete(res, true, s.now())
+			s.results.Put(job.Key, res)
+			s.metrics.JobCompleted("cached", time.Since(start).Seconds())
+			s.journalAppend(job, recDone, doneData{Result: res, Cached: true, Memoize: true, Outcome: "cached"})
+			return
+		}
+	}
+	s.metrics.SolveStarted()
 	res, outcome, err := s.execute(job)
 	elapsed := time.Since(start).Seconds()
 	s.mu.Lock()
@@ -576,7 +646,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		g.JournalCompactions = s.jnl.Compactions()
 		g.JournalDegraded = s.jnl.Degraded()
 	}
-	g.Ready = s.ready.Load() && !s.draining.Load() && !g.JournalDegraded
+	g.Ready = s.unreadyReason() == ""
 	s.metrics.WritePrometheus(w, g, []cacheStat{
 		{name: "design", hits: dh, misses: dm, entries: s.designs.Len()},
 		{name: "result", hits: rh, misses: rm, entries: s.results.Len()},
@@ -598,24 +668,53 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleReady is the readiness probe: 503 during journal replay, during
-// drain, and while the journal is degraded, so load balancers stop
-// routing before shutdown, never route to a daemon still rebuilding its
-// job table, and steer work away from a node that can no longer make
-// jobs durable.
-func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
-	code := http.StatusOK
-	status := "ready"
+// Readiness reasons reported by /readyz. Exactly one applies at a time;
+// when several conditions hold the most specific wins (a node that is
+// leaving the ring is also draining, but "leaving-ring" is the reason
+// operators and peers need).
+const (
+	// ReasonReplaying: the journal replay has not finished; the job
+	// table is still being rebuilt.
+	ReasonReplaying = "replaying"
+	// ReasonLeavingRing: the node announced its departure from the
+	// cluster ring ahead of a drain.
+	ReasonLeavingRing = "leaving-ring"
+	// ReasonDraining: shutdown in progress, no new jobs accepted.
+	ReasonDraining = "draining"
+	// ReasonJournalDegraded: appends are suspended after an
+	// unrepairable journal failure; accepted jobs would not be durable.
+	ReasonJournalDegraded = "journal-degraded"
+)
+
+// unreadyReason reports why the server is not ready ("" = ready).
+func (s *Server) unreadyReason() string {
 	switch {
-	case s.draining.Load():
-		code = http.StatusServiceUnavailable
-		status = "draining"
 	case !s.ready.Load():
-		code = http.StatusServiceUnavailable
-		status = "replaying"
+		return ReasonReplaying
+	case s.leaving.Load():
+		return ReasonLeavingRing
+	case s.draining.Load():
+		return ReasonDraining
 	case s.jnl != nil && s.jnl.Degraded():
-		code = http.StatusServiceUnavailable
-		status = "degraded"
+		return ReasonJournalDegraded
 	}
-	writeJSON(w, code, map[string]any{"status": status})
+	return ""
+}
+
+// handleReady is the readiness probe: 503 during journal replay, during
+// drain (and ring departure), and while the journal is degraded, so
+// load balancers stop routing before shutdown, never route to a daemon
+// still rebuilding its job table, and steer work away from a node that
+// can no longer make jobs durable. The body names the reason so an
+// operator staring at a 503 knows which of those it is.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	body := map[string]any{"status": "ready", "ready": true}
+	code := http.StatusOK
+	if reason := s.unreadyReason(); reason != "" {
+		code = http.StatusServiceUnavailable
+		body["status"] = reason
+		body["reason"] = reason
+		body["ready"] = false
+	}
+	writeJSON(w, code, body)
 }
