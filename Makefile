@@ -1,7 +1,7 @@
 # Convenience targets around the go toolchain; everything here is plain
 # `go test` underneath.
 
-.PHONY: build test race bench bench-ilp bench-service integration chaos chaos-cluster
+.PHONY: build test race bench bench-ilp bench-service bench-sweep integration chaos chaos-cluster
 
 build:
 	go build ./...
@@ -32,6 +32,16 @@ bench-ilp:
 # BENCH_service.json at the repo root (override with BENCH_SERVICE_OUT).
 bench-service:
 	go test -run NoTests -bench BenchmarkService -benchtime 20x ./internal/service
+
+# Shared-analysis sweep benchmarks: the lazy pipeline (analyze once,
+# select many — plateau reuse, infeasibility propagation, greedy warm
+# starts) versus independent per-point solves on the GSM/JPEG encoders,
+# plus the end-to-end 64-point GSM sweep through POST /v1/batches
+# versus 64 independent HTTP submits (asserts >= 1.5x and a zero-solve
+# cache-warm resubmit). Writes BENCH_sweep.json at the repo root
+# (override with BENCH_SWEEP_OUT).
+bench-sweep:
+	go test -run NoTests -bench BenchmarkSweep -benchtime 1x ./internal/service
 
 # End-to-end partitad test: builds the daemon, starts it on an
 # ephemeral port, and round-trips a GSM job over HTTP.

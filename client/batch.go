@@ -1,0 +1,319 @@
+// Batch submission and result streaming: SubmitBatch posts many sweep
+// points as one request, StreamBatch follows the batch's event log over
+// SSE (resuming by Last-Event-ID across reconnects) with a JSON
+// long-poll fallback, and RunBatch is the submit-and-stream happy path.
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"partita/internal/service"
+)
+
+// Re-exported batch wire types.
+type (
+	// BatchSpec is one batch submission (see service.BatchSpec).
+	BatchSpec = service.BatchSpec
+	// BatchPoint is one point of a batch (see service.BatchPoint).
+	BatchPoint = service.BatchPoint
+	// BatchView is the daemon's batch snapshot.
+	BatchView = service.BatchView
+	// BatchEvent is one entry of a batch's event log.
+	BatchEvent = service.BatchEvent
+	// BatchSummary is the terminal accounting of a batch.
+	BatchSummary = service.BatchSummary
+	// BatchPointResult is one finished point.
+	BatchPointResult = service.BatchPointResult
+)
+
+// Batch event type names, re-exported for convenience.
+const (
+	EventProgress = service.EventProgress
+	EventPoint    = service.EventPoint
+	EventSummary  = service.EventSummary
+	EventEnd      = service.EventEnd
+)
+
+// ErrStreamStopped wraps an error returned by a StreamBatch callback:
+// the stream was stopped by the caller, not by the transport.
+var ErrStreamStopped = errors.New("client: stream stopped by callback")
+
+// SubmitBatch submits one batch, retrying through queue-full (429),
+// drain (503), transient 5xx, and network errors — safe, because the
+// batch and all its points are content-addressed, so a retry coalesces
+// with whatever the first attempt started. The returned view may
+// already be terminal (every point answered from the result cache).
+func (c *Client) SubmitBatch(ctx context.Context, spec BatchSpec) (*BatchView, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("client: marshal batch: %w", err)
+	}
+	raw, err := c.do(ctx, http.MethodPost, "/v1/batches", body)
+	if err != nil {
+		return nil, err
+	}
+	var v BatchView
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return nil, fmt.Errorf("client: decode batch view: %w", err)
+	}
+	return &v, nil
+}
+
+// Batch fetches one batch's current snapshot, including per-point rows.
+func (c *Client) Batch(ctx context.Context, id string) (*BatchView, error) {
+	raw, err := c.do(ctx, http.MethodGet, "/v1/batches/"+url.PathEscape(id), nil)
+	if err != nil {
+		return nil, err
+	}
+	var v BatchView
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return nil, fmt.Errorf("client: decode batch view: %w", err)
+	}
+	return &v, nil
+}
+
+// StreamBatch follows a batch's event log from the given cursor (0 =
+// from the beginning), invoking fn for every event in ID order, each
+// exactly once. It prefers SSE and resumes by Last-Event-ID across
+// disconnects, daemon drains, and restarts; a daemon that cannot hold
+// the SSE connection is followed through the JSON long-poll fallback
+// instead. It returns the last delivered event ID when the terminal
+// summary has been delivered, the context expires, or fn returns an
+// error (wrapped in ErrStreamStopped).
+func (c *Client) StreamBatch(ctx context.Context, id string, after uint64, fn func(BatchEvent) error) (uint64, error) {
+	failures := 0
+	var lastErr error
+	for {
+		delivered, terminal, err := c.streamOnce(ctx, id, &after, fn)
+		switch {
+		case err != nil && (errors.Is(err, ErrStreamStopped) || !retryableStreamErr(err)):
+			return after, err
+		case terminal:
+			return after, nil
+		}
+		if ctx.Err() != nil {
+			return after, ctx.Err()
+		}
+		if err != nil {
+			lastErr = err
+		}
+		// Progress resets the failure budget: a stream that keeps
+		// delivering events across reconnects should keep going.
+		if delivered > 0 {
+			failures = 0
+		} else {
+			failures++
+		}
+		if failures > c.maxRetries {
+			if lastErr == nil {
+				lastErr = errors.New("stream made no progress")
+			}
+			return after, fmt.Errorf("%w after %d attempts: stream %s: %w",
+				ErrRetriesExhausted, failures, id, lastErr)
+		}
+		select {
+		case <-ctx.Done():
+			return after, ctx.Err()
+		case <-time.After(c.backoffFor(failures - 1)):
+		}
+	}
+}
+
+// retryableStreamErr reports whether a streamOnce failure is worth a
+// reconnect: network errors and retryable statuses are; a 404 (batch
+// unknown — lost across an unjournaled restart) or 400 is not.
+func retryableStreamErr(err error) bool {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return retryableStatus(apiErr.StatusCode)
+	}
+	return true
+}
+
+// streamClient returns the HTTP client used for SSE connections: the
+// configured transport without the overall request timeout, which would
+// sever a healthy stream mid-batch. Cancellation comes from the
+// caller's context.
+func (c *Client) streamClient() *http.Client {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sc == nil {
+		c.sc = &http.Client{Transport: c.hc.Transport}
+	}
+	return c.sc
+}
+
+// streamOnce holds one SSE connection (or runs long-poll pages when the
+// daemon cannot stream), advancing *after as events are delivered.
+// terminal reports that the summary event was delivered.
+func (c *Client) streamOnce(ctx context.Context, id string, after *uint64, fn func(BatchEvent) error) (delivered int, terminal bool, err error) {
+	base, idx := c.endpoint()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		base+"/v1/batches/"+url.PathEscape(id)+"/events", nil)
+	if err != nil {
+		return 0, false, err
+	}
+	req.Header.Set("User-Agent", c.userAgent)
+	req.Header.Set("Accept", "text/event-stream")
+	if *after > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatUint(*after, 10))
+	}
+	resp, err := c.streamClient().Do(req)
+	if err != nil {
+		c.rotate(idx)
+		return 0, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		if resp.StatusCode >= 500 {
+			c.rotate(idx)
+		}
+		err := &APIError{StatusCode: resp.StatusCode, Message: errMessage(raw)}
+		if resp.StatusCode == http.StatusNotImplemented {
+			// The daemon cannot stream to this writer; fall back to
+			// long-poll pages on the retry path.
+			return c.longPollPages(ctx, id, after, fn)
+		}
+		return 0, false, err
+	}
+	if !strings.Contains(resp.Header.Get("Content-Type"), "text/event-stream") {
+		resp.Body.Close()
+		return c.longPollPages(ctx, id, after, fn)
+	}
+	return c.readSSE(resp.Body, after, fn)
+}
+
+// readSSE parses Server-Sent Events frames, dispatching each data-
+// bearing event to fn. A clean server-side close ("end" event, drain)
+// returns without error so the caller reconnects; a delivered summary
+// returns terminal.
+func (c *Client) readSSE(body io.Reader, after *uint64, fn func(BatchEvent) error) (delivered int, terminal bool, err error) {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	var event, data string
+	dispatch := func() (bool, error) {
+		defer func() { event, data = "", "" }()
+		if data == "" {
+			return false, nil
+		}
+		if event == EventEnd {
+			// Server-initiated close (drain): not terminal, reconnect.
+			return false, io.EOF
+		}
+		var ev BatchEvent
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			return false, fmt.Errorf("client: bad event payload: %w", err)
+		}
+		if ev.ID <= *after {
+			return false, nil // replay overlap after a reconnect
+		}
+		if err := fn(ev); err != nil {
+			return false, fmt.Errorf("%w: %w", ErrStreamStopped, err)
+		}
+		*after = ev.ID
+		delivered++
+		return ev.Type == EventSummary, nil
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			done, derr := dispatch()
+			if done {
+				return delivered, true, nil
+			}
+			if errors.Is(derr, io.EOF) {
+				return delivered, false, nil
+			}
+			if derr != nil {
+				return delivered, false, derr
+			}
+		case strings.HasPrefix(line, ":"):
+			// keepalive comment
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			data = strings.TrimSpace(strings.TrimPrefix(line, "data:"))
+		}
+		// id: lines are redundant with the payload's id field.
+	}
+	if err := sc.Err(); err != nil {
+		return delivered, false, err
+	}
+	return delivered, false, nil // connection closed mid-batch: reconnect
+}
+
+// eventPage mirrors the daemon's long-poll response.
+type eventPage struct {
+	Events    []BatchEvent `json:"events"`
+	NextAfter uint64       `json:"nextAfter"`
+	Done      bool         `json:"done"`
+	Draining  bool         `json:"draining"`
+}
+
+// longPollPages follows the event log through the JSON fallback: each
+// request returns the page after the cursor or holds until something
+// arrives.
+func (c *Client) longPollPages(ctx context.Context, id string, after *uint64, fn func(BatchEvent) error) (delivered int, terminal bool, err error) {
+	for {
+		path := "/v1/batches/" + url.PathEscape(id) + "/events?after=" +
+			strconv.FormatUint(*after, 10) + "&wait=10s"
+		raw, err := c.do(ctx, http.MethodGet, path, nil)
+		if err != nil {
+			return delivered, false, err
+		}
+		var page eventPage
+		if err := json.Unmarshal(raw, &page); err != nil {
+			return delivered, false, fmt.Errorf("client: decode event page: %w", err)
+		}
+		for _, ev := range page.Events {
+			if ev.ID <= *after {
+				continue
+			}
+			if err := fn(ev); err != nil {
+				return delivered, false, fmt.Errorf("%w: %w", ErrStreamStopped, err)
+			}
+			*after = ev.ID
+			delivered++
+			if ev.Type == EventSummary {
+				return delivered, true, nil
+			}
+		}
+		if page.Done {
+			return delivered, true, nil
+		}
+		if ctx.Err() != nil {
+			return delivered, false, ctx.Err()
+		}
+	}
+}
+
+// RunBatch submits the batch and streams it to completion, invoking fn
+// (which may be nil) for every event. It returns the terminal batch
+// view with per-point results.
+func (c *Client) RunBatch(ctx context.Context, spec BatchSpec, fn func(BatchEvent) error) (*BatchView, error) {
+	if fn == nil {
+		fn = func(BatchEvent) error { return nil }
+	}
+	v, err := c.SubmitBatch(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	if v.Status != service.StatusDone {
+		if _, err := c.StreamBatch(ctx, v.ID, 0, fn); err != nil {
+			return nil, err
+		}
+	}
+	return c.Batch(ctx, v.ID)
+}

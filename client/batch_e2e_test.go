@@ -1,0 +1,115 @@
+package client
+
+// End-to-end batch-stream test against the real partitad binary: build
+// the daemon, start it, submit a GSM sweep batch, follow the SSE event
+// stream with the client, and verify the cache-warm resubmit starts
+// zero new solves. Gated behind PARTITAD_BATCH_E2E=1 because it builds
+// and launches the daemon:
+//
+//	PARTITAD_BATCH_E2E=1 go test -run TestPartitadBatchStreamE2E -v ./client
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+	"time"
+
+	"partita/internal/service"
+)
+
+var solvesStartedRe = regexp.MustCompile(`(?m)^partitad_solves_started_total (\d+)$`)
+
+func scrapeSolvesStarted(t *testing.T, base string) int {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := solvesStartedRe.FindSubmatch(raw)
+	if m == nil {
+		t.Fatalf("partitad_solves_started_total missing from /metrics")
+	}
+	n, err := strconv.Atoi(string(m[1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestPartitadBatchStreamE2E(t *testing.T) {
+	if os.Getenv("PARTITAD_BATCH_E2E") == "" {
+		t.Skip("set PARTITAD_BATCH_E2E=1 to run the batch-stream end-to-end test")
+	}
+
+	bin := filepath.Join(t.TempDir(), "partitad")
+	build := exec.Command("go", "build", "-o", bin, "partita/cmd/partitad")
+	build.Dir = repoRoot(t)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build partitad: %v\n%s", err, out)
+	}
+	d := startDaemon(t, bin)
+	defer d.terminate(t)
+
+	c := New(d.base, WithJitterSeed(1))
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	// A 16-point GSM sweep as one batch, streamed to completion.
+	spec := BatchSpec{Defaults: JobSpec{Workload: "gsm"}}
+	for i := 1; i <= 16; i++ {
+		spec.Points = append(spec.Points, BatchPoint{RequiredGain: int64(i) * 1000})
+	}
+	var events []BatchEvent
+	v, err := c.RunBatch(ctx, spec, func(ev BatchEvent) error {
+		events = append(events, ev)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != service.StatusDone || v.Summary == nil {
+		t.Fatalf("batch: %+v", v)
+	}
+	if v.Summary.Total != 16 || v.Summary.Failed != 0 {
+		t.Fatalf("summary: %+v", v.Summary)
+	}
+	checkEventLog(t, events, 16)
+
+	// Per-point results interchange with single jobs: a single submit of
+	// one of the batch's points is a cache hit.
+	single, err := c.Run(ctx, JobSpec{Kind: service.KindSelect, Workload: "gsm", RequiredGain: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !single.Cached {
+		t.Errorf("single job for a batch point not served from cache: %+v", single)
+	}
+
+	// Cache-warm resubmit of the identical batch: terminal at submit,
+	// zero new solves.
+	before := scrapeSolvesStarted(t, d.base)
+	v2, err := c.RunBatch(ctx, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Status != service.StatusDone {
+		t.Fatalf("resubmit: %+v", v2)
+	}
+	if after := scrapeSolvesStarted(t, d.base); after != before {
+		t.Errorf("cache-warm resubmit started %d new solves", after-before)
+	}
+	if v2.Summary.Cached+v2.Summary.Duplicates != 16 {
+		t.Errorf("resubmit summary: %+v", v2.Summary)
+	}
+}

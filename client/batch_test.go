@@ -1,0 +1,272 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"partita/internal/service"
+)
+
+func batchSpec(gains ...int64) BatchSpec {
+	spec := BatchSpec{
+		Defaults: JobSpec{
+			Kind:    service.KindSelect,
+			Source:  testSource,
+			Root:    "process",
+			Catalog: testCatalog(),
+		},
+	}
+	for _, g := range gains {
+		spec.Points = append(spec.Points, BatchPoint{RequiredGain: g})
+	}
+	return spec
+}
+
+// checkEventLog asserts exactly-once in-order delivery: IDs strictly
+// increasing, every point completed once, the summary last.
+func checkEventLog(t *testing.T, events []BatchEvent, points int) {
+	t.Helper()
+	last := uint64(0)
+	done := map[int]bool{}
+	for i, ev := range events {
+		if ev.ID <= last {
+			t.Fatalf("event %d: id %d not increasing past %d", i, ev.ID, last)
+		}
+		last = ev.ID
+		switch ev.Type {
+		case EventPoint:
+			if done[ev.Point] {
+				t.Fatalf("point %d delivered twice", ev.Point)
+			}
+			done[ev.Point] = true
+		case EventSummary:
+			if i != len(events)-1 {
+				t.Fatalf("summary at event %d of %d, want last", i, len(events))
+			}
+		}
+	}
+	if len(done) != points {
+		t.Fatalf("delivered %d point completions, want %d", len(done), points)
+	}
+	if len(events) == 0 || events[len(events)-1].Type != EventSummary {
+		t.Fatal("stream did not end with the summary")
+	}
+}
+
+func TestRunBatchEndToEnd(t *testing.T) {
+	_, ts := newDaemon(t, service.Config{Workers: 1})
+	c := New(ts.URL, WithJitterSeed(1))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	var events []BatchEvent
+	v, err := c.RunBatch(ctx, batchSpec(400, 800, 1200, 1600), func(ev BatchEvent) error {
+		events = append(events, ev)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != service.StatusDone {
+		t.Fatalf("batch: %+v", v)
+	}
+	if v.Summary == nil || v.Summary.Total != 4 || v.Summary.Failed != 0 {
+		t.Fatalf("summary: %+v", v.Summary)
+	}
+	if len(v.Points) != 4 {
+		t.Fatalf("final view has %d points", len(v.Points))
+	}
+	for _, p := range v.Points {
+		if !p.Done || p.Error != "" {
+			t.Fatalf("point %d unsolved: %+v", p.Index, p)
+		}
+	}
+	checkEventLog(t, events, 4)
+
+	// Warm resubmission: terminal at submit, every point cached or a
+	// within-batch duplicate — zero new work.
+	v2, err := c.RunBatch(ctx, batchSpec(400, 800, 1200, 1600), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Summary == nil || v2.Summary.Cached+v2.Summary.Duplicates != 4 {
+		t.Fatalf("warm resubmit summary: %+v", v2.Summary)
+	}
+}
+
+// abortingProxy forwards to backend, but kills the first SSE events
+// connection after two frames — mid-stream, like a dropped LB
+// connection — so the client must reconnect and resume.
+func abortingProxy(t *testing.T, backend string) *httptest.Server {
+	t.Helper()
+	var aborted atomic.Bool
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		req, err := http.NewRequestWithContext(r.Context(), r.Method, backend+r.URL.String(), r.Body)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		req.Header = r.Header.Clone()
+		resp, err := (&http.Client{}).Do(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		sse := strings.Contains(resp.Header.Get("Content-Type"), "text/event-stream")
+		for k, vs := range resp.Header {
+			w.Header()[k] = vs
+		}
+		w.WriteHeader(resp.StatusCode)
+		if !sse {
+			io.Copy(w, resp.Body)
+			return
+		}
+		fl, _ := w.(http.Flusher)
+		sc := bufio.NewScanner(resp.Body)
+		frames := 0
+		for sc.Scan() {
+			line := sc.Text()
+			io.WriteString(w, line+"\n")
+			if line == "" {
+				frames++
+				if fl != nil {
+					fl.Flush()
+				}
+				if frames == 2 && aborted.CompareAndSwap(false, true) {
+					panic(http.ErrAbortHandler)
+				}
+			}
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+	}))
+}
+
+func TestStreamBatchResumesAfterMidStreamDisconnect(t *testing.T) {
+	_, ts := newDaemon(t, service.Config{Workers: 1})
+	front := abortingProxy(t, ts.URL)
+	defer front.Close()
+
+	c := New(front.URL, WithJitterSeed(2))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	v, err := c.SubmitBatch(ctx, batchSpec(250, 500, 750, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []BatchEvent
+	last, err := c.StreamBatch(ctx, v.ID, 0, func(ev BatchEvent) error {
+		events = append(events, ev)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The abort cut the stream after two frames; a single connection
+	// cannot have delivered everything.
+	if len(events) <= 2 {
+		t.Fatalf("only %d events delivered — did the abort fire?", len(events))
+	}
+	if last != events[len(events)-1].ID {
+		t.Fatalf("returned cursor %d != last delivered id %d", last, events[len(events)-1].ID)
+	}
+	checkEventLog(t, events, 4)
+}
+
+func TestStreamBatchFallsBackToLongPoll(t *testing.T) {
+	_, ts := newDaemon(t, service.Config{Workers: 1})
+	// Front that refuses to stream: SSE requests get 501, everything
+	// else passes through — the client must finish over long-poll.
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+			http.Error(w, `{"error":"streaming unsupported"}`, http.StatusNotImplemented)
+			return
+		}
+		req, err := http.NewRequestWithContext(r.Context(), r.Method, ts.URL+r.URL.String(), r.Body)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		req.Header = r.Header.Clone()
+		resp, err := (&http.Client{}).Do(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		for k, vs := range resp.Header {
+			w.Header()[k] = vs
+		}
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+	}))
+	defer front.Close()
+
+	c := New(front.URL, WithJitterSeed(3))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	var events []BatchEvent
+	v, err := c.RunBatch(ctx, batchSpec(300, 600, 900), func(ev BatchEvent) error {
+		events = append(events, ev)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != service.StatusDone {
+		t.Fatalf("batch: %+v", v)
+	}
+	checkEventLog(t, events, 3)
+}
+
+func TestStreamBatchCallbackErrorStopsStream(t *testing.T) {
+	_, ts := newDaemon(t, service.Config{Workers: 1})
+	c := New(ts.URL, WithJitterSeed(4))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	v, err := c.SubmitBatch(ctx, batchSpec(450, 900))
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	seen := 0
+	_, err = c.StreamBatch(ctx, v.ID, 0, func(BatchEvent) error {
+		seen++
+		if seen == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, ErrStreamStopped) || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want ErrStreamStopped wrapping boom", err)
+	}
+	if seen != 2 {
+		t.Fatalf("callback ran %d times after stopping, want 2", seen)
+	}
+}
+
+func TestStreamBatchUnknownBatchIsNotRetried(t *testing.T) {
+	_, ts := newDaemon(t, service.Config{Workers: 1})
+	c := New(ts.URL, WithJitterSeed(5))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	_, err := c.StreamBatch(ctx, "b999999", 0, func(BatchEvent) error { return nil })
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
+		t.Fatalf("err = %v, want APIError 404", err)
+	}
+}

@@ -84,6 +84,8 @@ type Client struct {
 	mu  sync.Mutex
 	cur int // index into bases of the currently preferred endpoint
 	rng *rand.Rand
+	// sc is the timeout-less client SSE streams use (see streamClient).
+	sc *http.Client
 }
 
 // Option configures a Client.

@@ -11,6 +11,8 @@
 //	         [-design-cache 32] [-result-cache 256]
 //	         [-default-timeout 0] [-max-timeout 2m]
 //	         [-max-jobs 1024] [-max-parallelism N] [-grace 30s]
+//	         [-max-batch-points 4096] [-max-batch-bytes 33554432]
+//	         [-max-batches 128]
 //	         [-journal path] [-journal-sync always|never]
 //	         [-peers urls -self url] [-probe-interval 2s]
 //	         [-probe-timeout 1s] [-peer-fail-after 3]
@@ -38,6 +40,22 @@
 // and a result cached on any node is served to the whole ring before
 // anyone re-solves. See docs/SERVICE.md ("Clustering").
 //
+// POST /v1/batches submits many sweep points as one batch: every point
+// is content-addressed like a single select job, answered from the
+// result cache or coalesced onto identical in-flight work where
+// possible, and the remainder is grouped by program and driven through
+// a shared-analysis sweep pipeline (analyze once, select many — with
+// plateau reuse, infeasibility propagation, and greedy warm starts).
+// Results stream incrementally over GET /v1/batches/{id}/events as
+// Server-Sent Events — per-point incumbent progress, point
+// completions, and a terminal batch summary, resumable by
+// Last-Event-ID — with a JSON long-poll fallback (?after=N&wait=10s)
+// for clients that cannot hold a streaming connection. -max-batch-points,
+// -max-batch-bytes (413 when exceeded), and -max-batches bound the
+// surface. On a clustered node batches are executed locally (points are
+// not ring-routed), but their per-point results land in the shared
+// result cache. See docs/SERVICE.md ("Batch sweeps & streaming").
+//
 // -faults (or the PARTITAD_FAULTS environment variable) enables the
 // deterministic fault-injection layer for chaos testing, e.g.
 // "seed=42,worker.panic=0.05,journal.write=0.1". Never set it in
@@ -53,6 +71,10 @@
 //	POST /v1/jobs               submit a job (service.JobSpec JSON)
 //	GET  /v1/jobs               list tracked jobs (cluster-wide when clustered)
 //	GET  /v1/jobs/{id}          poll one job (?wait=10s long-polls)
+//	POST /v1/batches            submit a batch of sweep points (service.BatchSpec JSON)
+//	GET  /v1/batches            list tracked batches
+//	GET  /v1/batches/{id}       one batch snapshot with per-point rows (?points=0 omits)
+//	GET  /v1/batches/{id}/events  stream batch events (SSE; JSON long-poll via ?after=N&wait=10s)
 //	GET  /metrics               Prometheus text metrics
 //	GET  /healthz               liveness (200 while the process serves)
 //	GET  /readyz                readiness (503 + JSON reason during replay/drain)
@@ -91,6 +113,9 @@ func main() {
 	maxJobs := flag.Int("max-jobs", 0, "jobs retained for polling (0 = default 1024)")
 	maxParallelism := flag.Int("max-parallelism", 0, "cap on per-job solver parallelism (0 = GOMAXPROCS)")
 	grace := flag.Duration("grace", 30*time.Second, "shutdown drain budget")
+	maxBatchPoints := flag.Int("max-batch-points", 0, "points accepted in one batch (0 = default 4096)")
+	maxBatchBytes := flag.Int64("max-batch-bytes", 0, "batch request body cap in bytes (0 = default 32 MiB)")
+	maxBatches := flag.Int("max-batches", 0, "batches retained for polling/streaming (0 = default 128)")
 	journalPath := flag.String("journal", "", "write-ahead journal path (empty = no crash safety)")
 	journalSync := flag.String("journal-sync", "always", "journal fsync policy: always or never")
 	peers := flag.String("peers", "", "comma-separated peer base URLs including this node (enables cluster mode)")
@@ -152,6 +177,9 @@ func main() {
 		MaxTimeout:      *maxTimeout,
 		MaxJobs:         *maxJobs,
 		MaxParallelism:  *maxParallelism,
+		MaxBatchPoints:  *maxBatchPoints,
+		MaxBatchBytes:   *maxBatchBytes,
+		MaxBatches:      *maxBatches,
 		JournalPath:     *journalPath,
 		JournalSync:     syncPolicy,
 		Faults:          inj,

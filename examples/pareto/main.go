@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -27,10 +28,30 @@ func main() {
 		log.Fatal(err)
 	}
 
-	points, err := design.Sweep(12)
-	if err != nil {
-		log.Fatal(err)
+	// Drive the lazy shared-analysis pipeline directly instead of the
+	// eager Sweep adapter: the program is analyzed once, points whose
+	// answer follows from a looser point complete without any search,
+	// and the solved ones are warm-started from the greedy baseline.
+	const n = 12
+	gains := make([]int64, n)
+	for i := 1; i <= n; i++ {
+		gains[i-1] = design.MaxReachableGain() * int64(i) / n
 	}
+	pl := design.NewSweepPipeline(gains, partita.Budget{}, nil)
+	points := make([]partita.SweepPoint, 0, pl.Len())
+	for {
+		pt, ok, err := pl.Next(context.Background())
+		if !ok {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		points = append(points, partita.SweepPoint{Required: pt.Required, Sel: pt.Sel})
+	}
+	st := pl.Stats()
+	fmt.Printf("sweep pipeline: %d points, %d solved, %d reused, %d greedy-seeded\n\n",
+		pl.Len(), st.Solved, st.Reused, st.GreedySeeds)
 	front := partita.ParetoFront(points)
 
 	fmt.Println("area/gain Pareto frontier (GSM encoder):")

@@ -15,8 +15,14 @@ import (
 // parallel-code methods). It returns a Selection in the same shape as
 // Solve so the two can be benchmarked head to head.
 func GreedyBaseline(p Problem) *Selection {
-	db := p.DB
-	in := newInstance(p)
+	return greedyBound(newInstance(p))
+}
+
+// greedyBound is GreedyBaseline over an already bound instance, so
+// pipeline and degradation callers reuse the shared Analysis instead of
+// re-deriving it.
+func greedyBound(in *instance) *Selection {
+	db := in.db
 
 	// Restrict to non-PC methods and, per (SC, IP), the cheapest
 	// feasible interface.

@@ -1,0 +1,459 @@
+package selector
+
+// The sweep pipeline: a one-shot immutable Analysis artifact holding
+// everything about a selection problem that does not depend on the
+// required-gain point, plus a lazy Pipeline iterator that solves a
+// sequence of points over the shared artifact. Three properties of the
+// 0-1 ILP make the pipeline much cheaper than independent solves:
+//
+//   - Plateau reuse. The optimal area A*(rg) is non-decreasing in rg,
+//     and the sweep curve is a step function: many consecutive points
+//     share one optimal selection. If the selection solved at a looser
+//     requirement rg_d already achieves every path's gain at a tighter
+//     requirement rg >= rg_d, it is feasible at rg with area
+//     A*(rg_d) <= A*(rg), hence provably optimal at rg — and because it
+//     minimizes the tie-break objective over the rg_d feasible set, a
+//     superset of the rg one it belongs to, it is lexicographically
+//     optimal there too. Such points complete with zero solver work.
+//
+//   - Infeasibility propagation. Feasible sets shrink as rg grows, so
+//     one point proven infeasible makes every tighter point infeasible
+//     without another search.
+//
+//   - Warm starts. A point that must be solved is seeded with a known
+//     feasible selection (the greedy baseline at its own requirement,
+//     or — in the parallel tightest-first schedule — a finished tighter
+//     neighbor), installed through ilp.Model.SetWarmStart, which
+//     validates the seed and guarantees it can only tighten pruning,
+//     never change the answer.
+//
+// Sweep, SweepCtx, and SweepCtxObserve are thin adapters over this
+// pipeline; the service's batch executor drives Pipeline.Next directly
+// to stream per-point results with per-point deadlines.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"partita/internal/budget"
+	"partita/internal/cdfg"
+	"partita/internal/ilp"
+	"partita/internal/imp"
+)
+
+// Analysis is the immutable, point-independent half of a selection
+// solve: implementation groups, per-IP areas, and the per-path gain
+// coefficient of every implementation method. It is built once per DB
+// (Analyze once) and shared by any number of concurrent solves and
+// sweep points (select many); nothing in it is mutated after
+// NewAnalysis returns.
+type Analysis struct {
+	db      *imp.DB
+	groups  []group
+	grpOf   []group // per IMP
+	grpArea map[group]float64
+	ipIDs   []string
+	ipArea  map[string]float64
+	// coef[k][m] is the gain coefficient of IMP m on path k: the
+	// site-frequency-weighted gain the method contributes to that path.
+	coef    [][]int64
+	maxGain int64
+}
+
+// NewAnalysis precomputes the shared artifact for db. The db must not
+// be mutated afterwards (the same contract Design documents).
+func NewAnalysis(db *imp.DB) *Analysis {
+	a := &Analysis{db: db, grpArea: map[group]float64{}, ipArea: map[string]float64{}}
+	siteOn := make([]map[*cdfg.Node]bool, len(db.Paths))
+	for k, calls := range db.Paths {
+		siteOn[k] = map[*cdfg.Node]bool{}
+		for _, c := range calls {
+			siteOn[k][c] = true
+		}
+	}
+	seenG := map[group]bool{}
+	seenIP := map[string]bool{}
+	a.grpOf = make([]group, len(db.IMPs))
+	for i, im := range db.IMPs {
+		g := group{im.IP.ID, im.Cand.Type, im.Flattened}
+		a.grpOf[i] = g
+		if !seenG[g] {
+			seenG[g] = true
+			a.groups = append(a.groups, g)
+		}
+		if im.IfaceArea > a.grpArea[g] {
+			a.grpArea[g] = im.IfaceArea
+		}
+		if !seenIP[im.IP.ID] {
+			seenIP[im.IP.ID] = true
+			a.ipIDs = append(a.ipIDs, im.IP.ID)
+			a.ipArea[im.IP.ID] = im.IP.Area
+		}
+	}
+	sort.Slice(a.groups, func(x, y int) bool { return groupLess(a.groups[x], a.groups[y]) })
+	sort.Strings(a.ipIDs)
+	a.coef = make([][]int64, len(db.Paths))
+	for k := range db.Paths {
+		a.coef[k] = make([]int64, len(db.IMPs))
+		for m, im := range db.IMPs {
+			var f int64
+			for _, site := range im.SC.Sites {
+				if siteOn[k][site] {
+					f += site.Freq
+				}
+			}
+			a.coef[k][m] = f * im.GainPerExec
+		}
+	}
+	a.maxGain = MaxReachableGain(db)
+	return a
+}
+
+// DB returns the analyzed database.
+func (a *Analysis) DB() *imp.DB { return a.db }
+
+// MaxGain is MaxReachableGain of the analyzed DB, precomputed.
+func (a *Analysis) MaxGain() int64 { return a.maxGain }
+
+// pathCoef is the gain coefficient of IMP m on path k.
+func (a *Analysis) pathCoef(k, m int) int64 { return a.coef[k][m] }
+
+// Solve runs the lexicographic optimization of SolveCtx over the shared
+// analysis. p.DB may be left nil (it defaults to the analyzed DB); a
+// non-nil p.DB must be the analyzed DB itself.
+func (a *Analysis) Solve(ctx context.Context, p Problem) (*Selection, error) {
+	if p.DB == nil {
+		p.DB = a.db
+	}
+	if p.DB != a.db {
+		return nil, fmt.Errorf("selector: problem DB does not match the analysis DB")
+	}
+	if len(a.db.IMPs) == 0 {
+		return &Selection{Status: ilp.Infeasible}, nil
+	}
+	return solveBound(ctx, &instance{Analysis: a, p: p})
+}
+
+// Greedy runs the GreedyBaseline heuristic over the shared analysis.
+func (a *Analysis) Greedy(p Problem) *Selection {
+	if p.DB == nil {
+		p.DB = a.db
+	}
+	return greedyBound(&instance{Analysis: a, p: p})
+}
+
+// greedySeed builds a warm-start vector for the uniform requirement rg
+// from the greedy baseline: when greedy reaches the requirement, its
+// selection is a feasible point of the exact model, and SetWarmStart
+// installs it (after validation) as the initial incumbent — an upper
+// bound the search prunes against from node one. Returns nil when
+// greedy falls short of rg.
+func (a *Analysis) greedySeed(rg int64) []float64 {
+	if rg <= 0 || len(a.db.IMPs) == 0 {
+		return nil
+	}
+	g := a.Greedy(Problem{DB: a.db, Required: rg})
+	if g.Status != ilp.Optimal {
+		return nil
+	}
+	layout := &instance{Analysis: a, p: Problem{DB: a.db}}
+	return layout.warmVector(g)
+}
+
+// meetsUniform reports whether sel achieves at least rg on every
+// execution path — i.e. whether it is feasible at the uniform
+// requirement rg.
+func meetsUniform(sel *Selection, rg int64) bool {
+	if rg <= 0 {
+		return true
+	}
+	for _, g := range sel.PathGains {
+		if g < rg {
+			return false
+		}
+	}
+	return true
+}
+
+// Point is one lazily produced result of a sweep Pipeline.
+type Point struct {
+	// Index is the point's position in the pipeline's gains slice.
+	Index int
+	// Required is the point's uniform required gain.
+	Required int64
+	Sel      *Selection
+	// Reused marks a point completed without any solver search: its
+	// selection was proven equal to a looser point's (plateau reuse) or
+	// its infeasibility followed from a looser infeasible point.
+	Reused bool
+}
+
+// PipelineStats counts how the pipeline disposed of its points.
+type PipelineStats struct {
+	// Solved points ran the exact solver.
+	Solved int
+	// Reused points completed with zero solver work (plateau reuse or
+	// propagated infeasibility).
+	Reused int
+	// GreedySeeds counts solved points whose search was warm-started
+	// with the greedy baseline's selection.
+	GreedySeeds int
+}
+
+// Pipeline lazily solves a sequence of uniform required-gain points
+// over one shared Analysis. Points are produced in the order of gains;
+// ascending order maximizes plateau reuse and infeasibility
+// propagation (both remain sound, merely less effective, out of
+// order). A Pipeline is not safe for concurrent use; build one per
+// consumer.
+type Pipeline struct {
+	an      *Analysis
+	gains   []int64
+	bud     budget.Budget
+	observe func(point int, inc Incumbent)
+
+	cursor   int
+	donor    *Selection // last proven-optimal solve
+	donorRG  int64
+	infeasAt int64 // lowest rg proven infeasible
+	stats    PipelineStats
+}
+
+// NewPipeline builds a lazy iterator over the given required gains.
+// bud applies per point with Parallelism pinned to 1 (points, not
+// nodes, are the unit of concurrency — SweepEach pools whole points);
+// observe, when non-nil, receives every incumbent of every solved
+// point, tagged with the point index. The gains slice is retained, not
+// copied.
+func (a *Analysis) NewPipeline(gains []int64, bud budget.Budget, observe func(int, Incumbent)) *Pipeline {
+	bud.Parallelism = 1
+	return &Pipeline{an: a, gains: gains, bud: bud, observe: observe, infeasAt: math.MaxInt64}
+}
+
+// Len reports the total number of points.
+func (pl *Pipeline) Len() int { return len(pl.gains) }
+
+// Stats reports the dispositions of the points produced so far.
+func (pl *Pipeline) Stats() PipelineStats { return pl.stats }
+
+// Next produces the next point, solving it only if its answer does not
+// already follow from an earlier one. ok is false when the pipeline is
+// exhausted. On error the point's Index/Required are still valid and
+// the cursor has advanced, so a caller may keep iterating (per-point
+// deadlines: pass a fresh ctx per call).
+func (pl *Pipeline) Next(ctx context.Context) (pt Point, ok bool, err error) {
+	if pl.cursor >= len(pl.gains) {
+		return Point{}, false, nil
+	}
+	i := pl.cursor
+	pl.cursor++
+	rg := pl.gains[i]
+
+	// Plateau reuse: the donor selection is optimal at its own (looser)
+	// requirement; if it is feasible here it is optimal here too.
+	if pl.donor != nil && rg >= pl.donorRG && meetsUniform(pl.donor, rg) {
+		pl.stats.Reused++
+		cp := *pl.donor
+		cp.Nodes = 0 // no search happened for this point
+		return Point{Index: i, Required: rg, Sel: &cp, Reused: true}, true, nil
+	}
+	// Infeasibility propagation: feasible sets shrink as rg grows.
+	if rg >= pl.infeasAt {
+		pl.stats.Reused++
+		return Point{Index: i, Required: rg, Sel: &Selection{Status: ilp.Infeasible}, Reused: true}, true, nil
+	}
+
+	p := Problem{DB: pl.an.db, Required: rg, Budget: pl.bud}
+	if pl.donor != nil && rg >= pl.donorRG {
+		// Monotonicity cut: the optimal area here is at least the donor's.
+		p.areaFloor = pl.donor.Area
+	}
+	if pl.observe != nil {
+		obs, idx := pl.observe, i
+		p.OnIncumbent = func(inc Incumbent) { obs(idx, inc) }
+	}
+	if seed := pl.an.greedySeed(rg); seed != nil {
+		p.warmStart = seed
+		pl.stats.GreedySeeds++
+	}
+	sel, err := pl.an.Solve(ctx, p)
+	if err != nil {
+		return Point{Index: i, Required: rg}, true, err
+	}
+	pl.stats.Solved++
+	pl.record(rg, sel)
+	return Point{Index: i, Required: rg, Sel: sel}, true, nil
+}
+
+// record keeps proven results as reuse sources. Anytime (Feasible) and
+// degraded results prove nothing and are never reused.
+func (pl *Pipeline) record(rg int64, sel *Selection) {
+	if sel.Degraded != "" {
+		return
+	}
+	switch sel.Status {
+	case ilp.Optimal:
+		if pl.donor == nil || rg >= pl.donorRG {
+			pl.donor, pl.donorRG = sel, rg
+		}
+	case ilp.Infeasible:
+		if rg < pl.infeasAt {
+			pl.infeasAt = rg
+		}
+	}
+}
+
+// SweepEach runs the pipeline over explicit required gains, invoking
+// each(point) as every point completes: in gains order serially, in
+// completion order (tightest required gain first) when bud.Parallelism
+// >= 2 pools the points across workers. observe and each are never
+// invoked concurrently with themselves or each other. The serial path
+// aborts on the first solve error; the parallel path finishes its
+// in-flight points and reports the error the serial order would have
+// hit first.
+func (a *Analysis) SweepEach(ctx context.Context, gains []int64, bud budget.Budget, observe func(int, Incumbent), each func(Point)) error {
+	if w := bud.Workers(); w > 1 && len(gains) > 1 {
+		return a.sweepParallel(ctx, gains, bud, observe, each, w)
+	}
+	pl := a.NewPipeline(gains, bud, observe)
+	for {
+		pt, ok, err := pl.Next(ctx)
+		if !ok {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if each != nil {
+			each(pt)
+		}
+	}
+}
+
+// SweepPoints is the evenly spaced sweep over the shared analysis:
+// `points` required gains from max/points up to the reachable maximum,
+// returned in required-gain order. This is what Design.SweepCtx runs.
+func (a *Analysis) SweepPoints(ctx context.Context, points int, bud budget.Budget, observe func(Incumbent)) ([]SweepPoint, error) {
+	if points < 2 {
+		points = 2
+	}
+	gains := make([]int64, points)
+	for i := 1; i <= points; i++ {
+		gains[i-1] = a.maxGain * int64(i) / int64(points)
+	}
+	out := make([]SweepPoint, points)
+	var obs func(int, Incumbent)
+	if observe != nil {
+		obs = func(_ int, inc Incumbent) { observe(inc) }
+	}
+	err := a.SweepEach(ctx, gains, bud, obs, func(pt Point) {
+		out[pt.Index] = SweepPoint{Required: pt.Required, Sel: pt.Sel}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// sweepParallel solves the pipeline's points on a bounded worker pool.
+// Semantics preserved from the serial pipeline: the curve values are
+// identical (each point gets its own per-point budget at solver
+// parallelism 1 — point-level concurrency already saturates the pool),
+// observe/each are serialized behind a mutex, and the error reported is
+// the one the serial order would have hit first (lowest point index).
+//
+// Points are scheduled from the tightest required gain downward so that
+// finished points can warm-start looser ones: a selection meeting a
+// tighter gain requirement is feasible at every looser requirement, so
+// its area seeds the looser solve as an initial upper bound and the
+// solver starts pruning from node one. Points with no finished tighter
+// neighbor (the tightest point always, early points generally) are
+// seeded with the greedy baseline at their own requirement instead.
+func (a *Analysis) sweepParallel(ctx context.Context, gains []int64, bud budget.Budget, observe func(int, Incumbent), each func(Point), workers int) error {
+	points := len(gains)
+	if workers > points {
+		workers = points
+	}
+	pointBud := bud
+	pointBud.Parallelism = 1
+
+	// Variable layout for warm-start vectors; depends only on the DB, so
+	// one instance serves every point.
+	layout := &instance{Analysis: a, p: Problem{DB: a.db}}
+
+	var emitMu sync.Mutex // serializes observe and each
+	obs := observe
+	if observe != nil {
+		obs = func(i int, inc Incumbent) {
+			emitMu.Lock()
+			defer emitMu.Unlock()
+			observe(i, inc)
+		}
+	}
+
+	errs := make([]error, points)
+	warm := make([][]float64, points)
+	var warmMu sync.Mutex
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= points {
+					return
+				}
+				i := points - 1 - k // tightest required gain first
+				rg := gains[i]
+				p := Problem{DB: a.db, Required: rg, Budget: pointBud}
+				if obs != nil {
+					cb, idx := obs, i
+					p.OnIncumbent = func(inc Incumbent) { cb(idx, inc) }
+				}
+				warmMu.Lock()
+				for j := i + 1; j < points; j++ {
+					// Nearest finished tighter point: its area is the
+					// tightest seed available for this one.
+					if warm[j] != nil {
+						p.warmStart = warm[j]
+						break
+					}
+				}
+				warmMu.Unlock()
+				if p.warmStart == nil {
+					p.warmStart = a.greedySeed(rg)
+				}
+				sel, err := a.Solve(ctx, p)
+				if err == nil && sel != nil && sel.Degraded == "" &&
+					(sel.Status == ilp.Optimal || sel.Status == ilp.Feasible) {
+					if v := layout.warmVector(sel); v != nil {
+						warmMu.Lock()
+						warm[i] = v
+						warmMu.Unlock()
+					}
+				}
+				errs[i] = err
+				if err == nil && each != nil {
+					emitMu.Lock()
+					each(Point{Index: i, Required: rg, Sel: sel})
+					emitMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i := 0; i < points; i++ {
+		if errs[i] != nil {
+			return errs[i]
+		}
+	}
+	return nil
+}

@@ -30,7 +30,6 @@ import (
 	"sort"
 
 	"partita/internal/budget"
-	"partita/internal/cdfg"
 	"partita/internal/iface"
 	"partita/internal/ilp"
 	"partita/internal/imp"
@@ -65,8 +64,16 @@ type Problem struct {
 	// the initial incumbent; it can tighten pruning but never changes the
 	// proven optimum, and the tie-break pass deliberately ignores it so
 	// the lexicographic selection stays identical with or without a seed.
-	// Set only by the parallel sweep driver.
+	// Set only by the sweep pipeline.
 	warmStart []float64
+	// areaFloor, when positive, adds the valid cut area >= areaFloor to
+	// the area-minimization pass. The sweep pipeline sets it to the
+	// optimal area of a looser point: the optimum is non-decreasing in
+	// the required gain, so the cut cannot exclude any optimal solution —
+	// it only lifts the relaxation bound, so the search prunes the
+	// moment an incumbent matching the floor is found. Set only by the
+	// sweep pipeline.
+	areaFloor float64
 }
 
 // Incumbent is one anytime progress event of SolveCtx: the solver found
@@ -123,50 +130,17 @@ type group struct {
 	flattened string
 }
 
-// instance carries the shared model-building state.
+// instance binds one Problem to its — possibly shared — Analysis. The
+// point-independent model-building state (groups, areas, path
+// coefficients) lives in the embedded Analysis; the instance adds only
+// the per-solve Problem.
 type instance struct {
-	p       Problem
-	db      *imp.DB
-	siteOn  []map[*cdfg.Node]bool
-	groups  []group
-	grpOf   []group // per IMP
-	grpArea map[group]float64
-	ipIDs   []string
-	ipArea  map[string]float64
+	*Analysis
+	p Problem
 }
 
 func newInstance(p Problem) *instance {
-	db := p.DB
-	in := &instance{p: p, db: db, grpArea: map[group]float64{}, ipArea: map[string]float64{}}
-	in.siteOn = make([]map[*cdfg.Node]bool, len(db.Paths))
-	for k, calls := range db.Paths {
-		in.siteOn[k] = map[*cdfg.Node]bool{}
-		for _, c := range calls {
-			in.siteOn[k][c] = true
-		}
-	}
-	seenG := map[group]bool{}
-	seenIP := map[string]bool{}
-	in.grpOf = make([]group, len(db.IMPs))
-	for i, im := range db.IMPs {
-		g := group{im.IP.ID, im.Cand.Type, im.Flattened}
-		in.grpOf[i] = g
-		if !seenG[g] {
-			seenG[g] = true
-			in.groups = append(in.groups, g)
-		}
-		if im.IfaceArea > in.grpArea[g] {
-			in.grpArea[g] = im.IfaceArea
-		}
-		if !seenIP[im.IP.ID] {
-			seenIP[im.IP.ID] = true
-			in.ipIDs = append(in.ipIDs, im.IP.ID)
-			in.ipArea[im.IP.ID] = im.IP.Area
-		}
-	}
-	sort.Slice(in.groups, func(a, b int) bool { return groupLess(in.groups[a], in.groups[b]) })
-	sort.Strings(in.ipIDs)
-	return in
+	return &instance{Analysis: NewAnalysis(p.DB), p: p}
 }
 
 func groupLess(a, b group) bool {
@@ -184,18 +158,6 @@ func (in *instance) required(k int) int64 {
 		return in.p.PerPath[k]
 	}
 	return in.p.Required
-}
-
-// pathCoef is the gain coefficient of IMP m on path k.
-func (in *instance) pathCoef(k, m int) int64 {
-	im := in.db.IMPs[m]
-	var f int64
-	for _, site := range im.SC.Sites {
-		if in.siteOn[k][site] {
-			f += site.Freq
-		}
-	}
-	return f * im.GainPerExec
 }
 
 // handles are the model variables of one build.
@@ -399,7 +361,13 @@ func SolveCtx(ctx context.Context, p Problem) (*Selection, error) {
 	if len(p.DB.IMPs) == 0 {
 		return &Selection{Status: ilp.Infeasible}, nil
 	}
-	in := newInstance(p)
+	return solveBound(ctx, newInstance(p))
+}
+
+// solveBound is the lexicographic two-pass solve over an already bound
+// instance; Analysis.Solve and SolveCtx both land here.
+func solveBound(ctx context.Context, in *instance) (*Selection, error) {
+	p := in.p
 
 	// Pass 1: minimize area.
 	ifaceObj := func(i int) float64 {
@@ -412,6 +380,9 @@ func SolveCtx(ctx context.Context, p Problem) (*Selection, error) {
 	if p.warmStart != nil {
 		h1.m.SetWarmStart(p.warmStart)
 	}
+	if p.areaFloor > 0 {
+		h1.m.AddConstraint("area_floor", in.areaTerms(h1), ilp.GE, p.areaFloor-1e-6)
+	}
 	if p.OnIncumbent != nil {
 		h1.m.OnIncumbent(func(pr ilp.Progress) {
 			p.OnIncumbent(Incumbent{Area: pr.Objective, Bound: pr.Bound, Gap: pr.Gap(), Nodes: pr.Nodes})
@@ -419,7 +390,7 @@ func SolveCtx(ctx context.Context, p Problem) (*Selection, error) {
 	}
 	s1, err := h1.m.SolveCtx(ctx, p.Budget)
 	if err != nil {
-		return degradeOrFail(ctx, p, err)
+		return degradeOrFail(in, err)
 	}
 	switch s1.Status {
 	case ilp.Optimal:
@@ -474,13 +445,14 @@ func SolveCtx(ctx context.Context, p Problem) (*Selection, error) {
 
 // degradeOrFail handles a budget-exhausted pass-1 solve that produced no
 // incumbent: outright cancellation propagates as an error, while
-// deadline/node exhaustion falls back to the greedy heuristic with the
-// Selection flagged Degraded.
-func degradeOrFail(ctx context.Context, p Problem, err error) (*Selection, error) {
+// deadline/node exhaustion falls back to the greedy heuristic (over the
+// same bound analysis, so nothing is re-derived) with the Selection
+// flagged Degraded.
+func degradeOrFail(in *instance, err error) (*Selection, error) {
 	if !budget.IsExhausted(err) || errors.Is(err, context.Canceled) {
 		return nil, err
 	}
-	sel := GreedyBaseline(p)
+	sel := greedyBound(in)
 	sel.Degraded = err.Error()
 	if sel.Status == ilp.Optimal {
 		// Greedy results are feasible, never proven optimal.

@@ -3,8 +3,6 @@ package selector
 import (
 	"context"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"partita/internal/budget"
 	"partita/internal/cdfg"
@@ -87,116 +85,15 @@ func SweepCtx(ctx context.Context, db *imp.DB, points int, bud budget.Budget) ([
 // partitad journal can checkpoint incumbents) point by point; nil
 // observe makes this identical to SweepCtx.
 //
-// bud.Parallelism >= 2 solves the sweep's points concurrently on a
-// bounded pool of that many workers (see sweepParallel); the returned
-// curve is in the same required-gain order either way, and with <= 1
-// the loop below runs points in exactly the historical order.
+// This is a thin adapter over the shared-analysis lazy pipeline (see
+// pipeline.go): the program is analyzed once, points whose answer is
+// proven by a looser point complete without solving, and solved points
+// are warm-started. bud.Parallelism >= 2 pools whole points across that
+// many workers (tightest required gain first, with warm-start
+// chaining); the returned curve is in required-gain order either way
+// and its values are identical at every parallelism.
 func SweepCtxObserve(ctx context.Context, db *imp.DB, points int, bud budget.Budget, observe func(Incumbent)) ([]SweepPoint, error) {
-	if points < 2 {
-		points = 2
-	}
-	max := MaxReachableGain(db)
-	if w := bud.Workers(); w > 1 {
-		return sweepParallel(ctx, db, points, max, bud, observe, w)
-	}
-	out := make([]SweepPoint, 0, points)
-	for i := 1; i <= points; i++ {
-		rg := max * int64(i) / int64(points)
-		sel, err := SolveCtx(ctx, Problem{DB: db, Required: rg, Budget: bud, OnIncumbent: observe})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, SweepPoint{Required: rg, Sel: sel})
-	}
-	return out, nil
-}
-
-// sweepParallel solves the sweep's points on a bounded worker pool.
-// Semantics preserved from the serial loop: the output is ordered by
-// required gain, each point gets its own per-point budget (each solve
-// runs the serial ILP driver — point-level concurrency already
-// saturates the pool, and per-point MaxNodes keeps its meaning), the
-// observer is serialized behind a mutex, and the error reported is the
-// one the serial loop would have hit first (lowest point index).
-//
-// Points are scheduled from the tightest required gain downward so that
-// finished points can warm-start looser ones: a selection meeting a
-// tighter gain requirement is feasible at every looser requirement, so
-// its area seeds the looser solve as an initial upper bound and the
-// solver starts pruning from node one.
-func sweepParallel(ctx context.Context, db *imp.DB, points int, max int64, bud budget.Budget, observe func(Incumbent), workers int) ([]SweepPoint, error) {
-	if workers > points {
-		workers = points
-	}
-	pointBud := bud
-	pointBud.Parallelism = 1
-
-	// Variable layout for warm-start vectors; depends only on the DB, so
-	// one instance serves every point.
-	layout := newInstance(Problem{DB: db})
-
-	obs := observe
-	if observe != nil {
-		var obsMu sync.Mutex
-		obs = func(inc Incumbent) {
-			obsMu.Lock()
-			defer obsMu.Unlock()
-			observe(inc)
-		}
-	}
-
-	sels := make([]*Selection, points)
-	errs := make([]error, points)
-	warm := make([][]float64, points)
-	var warmMu sync.Mutex
-
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				k := int(next.Add(1)) - 1
-				if k >= points {
-					return
-				}
-				i := points - 1 - k // tightest required gain first
-				rg := max * int64(i+1) / int64(points)
-				p := Problem{DB: db, Required: rg, Budget: pointBud, OnIncumbent: obs}
-				warmMu.Lock()
-				for j := i + 1; j < points; j++ {
-					// Nearest finished tighter point: its area is the
-					// tightest seed available for this one.
-					if warm[j] != nil {
-						p.warmStart = warm[j]
-						break
-					}
-				}
-				warmMu.Unlock()
-				sel, err := SolveCtx(ctx, p)
-				if err == nil && sel != nil && sel.Degraded == "" &&
-					(sel.Status == ilp.Optimal || sel.Status == ilp.Feasible) {
-					if v := layout.warmVector(sel); v != nil {
-						warmMu.Lock()
-						warm[i] = v
-						warmMu.Unlock()
-					}
-				}
-				sels[i], errs[i] = sel, err
-			}
-		}()
-	}
-	wg.Wait()
-
-	out := make([]SweepPoint, 0, points)
-	for i := 0; i < points; i++ {
-		if errs[i] != nil {
-			return nil, errs[i]
-		}
-		out = append(out, SweepPoint{Required: max * int64(i+1) / int64(points), Sel: sels[i]})
-	}
-	return out, nil
+	return NewAnalysis(db).SweepPoints(ctx, points, bud, observe)
 }
 
 // ParetoFront filters sweep points down to the non-dominated (gain up,

@@ -243,6 +243,7 @@ type JobResult struct {
 	Analyze   *AnalyzeResult     `json:"analyze,omitempty"`
 	Selection *SelectionResult   `json:"selection,omitempty"`
 	Sweep     []SweepPointResult `json:"sweep,omitempty"`
+	Batch     *BatchResult       `json:"batch,omitempty"`
 }
 
 // Ownership records cluster routing information for one accepted job.
@@ -269,6 +270,11 @@ type Job struct {
 	// owner is the cluster routing record (nil outside cluster mode).
 	// Set once before the job is visible to any other goroutine.
 	owner *Ownership
+
+	// batch points a KindBatch job back at the Batch it carries through
+	// the worker pool (nil for ordinary jobs). Set before the job is
+	// visible to any other goroutine.
+	batch *Batch
 
 	// doneCh closes when the job reaches a terminal state; long-poll
 	// handlers and clients wait on it.

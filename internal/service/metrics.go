@@ -41,6 +41,13 @@ type Metrics struct {
 	fsyncSum      float64
 	fsyncN        uint64
 	replay        RecoveryStats
+
+	// Batch API counters (see batch.go / stream.go).
+	batchesSubmitted uint64
+	batchesCompleted uint64
+	batchPointsIn    uint64
+	batchPoints      map[string]uint64 // by disposition
+	streamEvents     uint64
 }
 
 // NewMetrics returns an empty metrics registry.
@@ -48,6 +55,7 @@ func NewMetrics() *Metrics {
 	return &Metrics{
 		submitted:    map[string]uint64{},
 		completed:    map[string]uint64{},
+		batchPoints:  map[string]uint64{},
 		bucketN:      make([]uint64, len(solveBuckets)),
 		fsyncBucketN: make([]uint64, len(fsyncBuckets)),
 	}
@@ -93,6 +101,38 @@ func (m *Metrics) ReplayDone(r RecoveryStats) {
 func (m *Metrics) SolveStarted() {
 	m.mu.Lock()
 	m.solvesStarted++
+	m.mu.Unlock()
+}
+
+// BatchSubmitted counts one accepted batch and its point count.
+func (m *Metrics) BatchSubmitted(points int) {
+	m.mu.Lock()
+	m.batchesSubmitted++
+	m.batchPointsIn += uint64(points)
+	m.mu.Unlock()
+}
+
+// BatchPointDone counts one settled batch point by disposition
+// (cached, coalesced, duplicate, solved, reused, failed).
+func (m *Metrics) BatchPointDone(disposition string) {
+	m.mu.Lock()
+	m.batchPoints[disposition]++
+	m.mu.Unlock()
+}
+
+// BatchCompleted counts one batch reaching its terminal summary.
+func (m *Metrics) BatchCompleted(BatchSummary) {
+	m.mu.Lock()
+	m.batchesCompleted++
+	m.mu.Unlock()
+}
+
+// EventDelivered counts one batch event delivered to a consumer — an SSE
+// frame written or a long-poll page entry returned. A resumed stream
+// re-delivers, so this can exceed the sum of event-log lengths.
+func (m *Metrics) EventDelivered() {
+	m.mu.Lock()
+	m.streamEvents++
 	m.mu.Unlock()
 }
 
@@ -151,6 +191,9 @@ type Gauges struct {
 	// FaultCounts snapshots the injector's fired-fault counters by
 	// point name (nil when injection is disabled).
 	FaultCounts map[string]uint64
+	// BatchesTracked and StreamsActive are the batch API gauges.
+	BatchesTracked int
+	StreamsActive  int
 }
 
 // cacheStat is one cache's identity and counters for rendering.
@@ -182,6 +225,14 @@ func (m *Metrics) WritePrometheus(w io.Writer, g Gauges, caches []cacheStat) {
 	fmt.Fprintf(w, "# HELP partitad_jobs_rejected_total Submissions rejected by admission control.\n# TYPE partitad_jobs_rejected_total counter\npartitad_jobs_rejected_total %d\n", m.rejected)
 	fmt.Fprintf(w, "# HELP partitad_solves_started_total Jobs that entered an actual solve (cache hits excluded).\n# TYPE partitad_solves_started_total counter\npartitad_solves_started_total %d\n", m.solvesStarted)
 	fmt.Fprintf(w, "# HELP partitad_jobs_coalesced_total Submissions attached to an identical in-flight job.\n# TYPE partitad_jobs_coalesced_total counter\npartitad_jobs_coalesced_total %d\n", m.coalesced)
+
+	fmt.Fprintf(w, "# HELP partitad_batches_submitted_total Batches accepted on /v1/batches.\n# TYPE partitad_batches_submitted_total counter\npartitad_batches_submitted_total %d\n", m.batchesSubmitted)
+	fmt.Fprintf(w, "# HELP partitad_batches_completed_total Batches that reached their terminal summary.\n# TYPE partitad_batches_completed_total counter\npartitad_batches_completed_total %d\n", m.batchesCompleted)
+	fmt.Fprintf(w, "# HELP partitad_batch_points_submitted_total Points carried by accepted batches.\n# TYPE partitad_batch_points_submitted_total counter\npartitad_batch_points_submitted_total %d\n", m.batchPointsIn)
+	writeMap("partitad_batch_points_total", "Settled batch points, by disposition.", "disposition", m.batchPoints)
+	fmt.Fprintf(w, "# HELP partitad_batch_events_delivered_total Batch events delivered to SSE and long-poll consumers (resumes re-deliver).\n# TYPE partitad_batch_events_delivered_total counter\npartitad_batch_events_delivered_total %d\n", m.streamEvents)
+	fmt.Fprintf(w, "# HELP partitad_batches_tracked Batches retained for polling and streaming.\n# TYPE partitad_batches_tracked gauge\npartitad_batches_tracked %d\n", g.BatchesTracked)
+	fmt.Fprintf(w, "# HELP partitad_batch_streams_active Live SSE event streams.\n# TYPE partitad_batch_streams_active gauge\npartitad_batch_streams_active %d\n", g.StreamsActive)
 
 	fmt.Fprintf(w, "# HELP partitad_cache_hits_total Cache hits, by cache.\n# TYPE partitad_cache_hits_total counter\n")
 	for _, c := range caches {

@@ -32,6 +32,10 @@ type submitData struct {
 	Key   string     `json:"key"`
 	Spec  JobSpec    `json:"spec"`
 	Owner *Ownership `json:"owner,omitempty"`
+	// Batch carries the full batch spec for batch submissions (nil for
+	// ordinary jobs): an unfinished batch re-runs from it after a crash,
+	// exactly like a single job re-runs from its JobSpec.
+	Batch *BatchSpec `json:"batch,omitempty"`
 }
 
 // doneData is the payload of a done record.
@@ -182,6 +186,10 @@ func (s *Server) rebuild(rep *journal.Replay) error {
 			submitted: rj.submit.At,
 			recSubmit: &rj.submit,
 		}
+		if rj.spec.Batch != nil {
+			job.Spec = JobSpec{Kind: KindBatch}
+			job.batch = s.restoreBatch(rj, job)
+		}
 		if rj.checkpoint != nil {
 			p := *rj.checkpoint
 			job.progress = &p
@@ -218,7 +226,11 @@ func (s *Server) rebuild(rep *journal.Replay) error {
 		}
 		s.jobs[job.ID] = job
 		s.order = append(s.order, job.ID)
-		if n := idSeq(job.ID); n > s.seq.Load() {
+		if job.batch != nil {
+			if n := batchIDSeq(job.ID); n > s.batchSeq.Load() {
+				s.batchSeq.Store(n)
+			}
+		} else if n := idSeq(job.ID); n > s.seq.Load() {
 			s.seq.Store(n)
 		}
 	}
@@ -235,6 +247,10 @@ func (s *Server) rebuild(rep *journal.Replay) error {
 	// before the backlog drains leaves the remainder journaled for the
 	// next recovery.
 	for _, job := range requeue {
+		if job.batch != nil {
+			s.inflightBatches[job.Key] = job.batch
+			continue
+		}
 		s.inflight[job.Key] = job
 	}
 	// Count the whole backlog against the admission queue up front: new
@@ -262,6 +278,97 @@ func (s *Server) rebuild(rep *journal.Replay) error {
 		}()
 	}
 	return nil
+}
+
+// restoreBatch rebuilds one batch's runtime state from its replayed
+// records. A finished batch comes back with its per-point results, its
+// event log re-synthesized (so a late stream reader still sees every
+// point plus the summary), and its memoized points re-admitted to the
+// result cache; an unfinished batch comes back with every point
+// pending — runBatch re-checks the cache per point, so points that were
+// journaled as done before the crash are not re-solved.
+func (s *Server) restoreBatch(rj *replayedJob, job *Job) *Batch {
+	spec := *rj.spec.Batch
+	b := &Batch{
+		ID:        rj.spec.ID,
+		Key:       rj.spec.Key,
+		job:       job,
+		spec:      spec,
+		recovered: true,
+		status:    StatusQueued,
+		submitted: rj.submit.At,
+		notify:    make(chan struct{}),
+	}
+	if rj.done != nil && rj.done.Result != nil && rj.done.Result.Batch != nil {
+		res := rj.done.Result.Batch
+		b.status = StatusDone
+		b.finished = rj.final.At
+		b.draining = res.Summary.Draining
+		b.points = make([]*batchPoint, len(res.Points))
+		for i, pr := range res.Points {
+			b.points[i] = &batchPoint{
+				spec:        JobSpec{Kind: KindSelect, RequiredGain: pr.RequiredGain},
+				key:         pr.Key,
+				dup:         -1,
+				done:        true,
+				disposition: pr.Disposition,
+				sel:         pr.Selection,
+				errMsg:      pr.Error,
+				memoized:    pr.Memoized,
+			}
+			pr := pr
+			b.emitLocked(BatchEvent{Type: EventPoint, Point: i, RequiredGain: pr.RequiredGain, Result: &pr})
+			if pr.Memoized && pr.Selection != nil {
+				s.results.Put(pr.Key, &JobResult{Kind: KindSelect, Selection: pr.Selection})
+			}
+		}
+		sum := res.Summary
+		b.emitLocked(BatchEvent{Type: EventSummary, Point: -1, Summary: &sum})
+	} else {
+		b.points = make([]*batchPoint, len(spec.Points))
+		b.remaining = len(spec.Points)
+		firstByKey := map[string]int{}
+		for i := range spec.Points {
+			p := &batchPoint{dup: -1, disposition: DispositionPending}
+			b.points[i] = p
+			merged, err := spec.point(i)
+			if err == nil {
+				p.spec = merged
+				p.key, err = merged.resultKey()
+			}
+			if err != nil {
+				// The spec validated at the original submit; a point that
+				// no longer resolves (e.g. a workload removed across the
+				// restart) fails in place instead of poisoning the batch.
+				p.done = true
+				p.disposition = DispositionFailed
+				p.errMsg = err.Error()
+				b.remaining--
+				continue
+			}
+			if first, ok := firstByKey[p.key]; ok {
+				p.dup = first
+			} else {
+				firstByKey[p.key] = i
+			}
+		}
+	}
+	s.batches[b.ID] = b
+	s.batchOrder = append(s.batchOrder, b.ID)
+	return b
+}
+
+// batchIDSeq extracts the numeric suffix of a generated batch ID
+// ("b%06d", optionally node-prefixed).
+func batchIDSeq(id string) uint64 {
+	if i := strings.LastIndexByte(id, 'b'); i > 0 {
+		id = id[i:]
+	}
+	var n uint64
+	if _, err := fmt.Sscanf(id, "b%d", &n); err != nil {
+		return 0
+	}
+	return n
 }
 
 // idSeq extracts the numeric suffix of a generated job ID ("j%06d",

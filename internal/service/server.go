@@ -40,6 +40,17 @@ type Config struct {
 	// request is a performance hint, and the operator's cap is what keeps
 	// Workers × Parallelism from oversubscribing the machine.
 	MaxParallelism int
+	// MaxBatchPoints caps how many points one POST /v1/batches may carry
+	// (default 4096); oversized batches are rejected with 413.
+	MaxBatchPoints int
+	// MaxBatchBytes caps the POST /v1/batches request body (default
+	// 32 MiB; batches carry inline programs and catalogs, so they get a
+	// higher ceiling than single submits).
+	MaxBatchBytes int64
+	// MaxBatches bounds how many batches are retained for polling and
+	// streaming; the oldest finished batches are evicted first
+	// (default 128).
+	MaxBatches int
 	// NodeName, when non-empty, prefixes generated job IDs
 	// ("<name>-j000001" instead of "j000001") so IDs are unique across
 	// a cluster and pollers can route a job ID back to the node that
@@ -96,6 +107,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxParallelism <= 0 {
 		c.MaxParallelism = runtime.GOMAXPROCS(0)
 	}
+	if c.MaxBatchPoints <= 0 {
+		c.MaxBatchPoints = 4096
+	}
+	if c.MaxBatchBytes <= 0 {
+		c.MaxBatchBytes = 32 << 20
+	}
+	if c.MaxBatches <= 0 {
+		c.MaxBatches = 128
+	}
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 100 * time.Millisecond
 	}
@@ -131,6 +151,13 @@ type Server struct {
 	inflight map[string]*Job // queued/running jobs by result key
 	queued   int             // jobs admitted but not yet picked up by a worker
 
+	// Batch submissions (see batch.go / stream.go).
+	batches         map[string]*Batch
+	batchOrder      []string          // batch IDs in submission order
+	inflightBatches map[string]*Batch // unfinished batches by batch key
+	batchSeq        atomic.Uint64
+	streams         atomic.Int64 // live SSE event streams
+
 	queue       chan *Job
 	drain       chan struct{}
 	stopWorkers chan struct{}
@@ -161,8 +188,10 @@ func New(cfg Config) *Server {
 		metrics:     NewMetrics(),
 		designs:     NewCache(cfg.DesignCacheSize),
 		results:     NewCache(cfg.ResultCacheSize),
-		jobs:        map[string]*Job{},
-		inflight:    map[string]*Job{},
+		jobs:            map[string]*Job{},
+		inflight:        map[string]*Job{},
+		batches:         map[string]*Batch{},
+		inflightBatches: map[string]*Batch{},
 		queue:       make(chan *Job, cfg.QueueDepth),
 		drain:       make(chan struct{}),
 		stopWorkers: make(chan struct{}),
@@ -175,6 +204,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("POST /v1/batches", s.handleBatchSubmit)
+	s.mux.HandleFunc("GET /v1/batches", s.handleBatchList)
+	s.mux.HandleFunc("GET /v1/batches/{id}", s.handleBatchGet)
+	s.mux.HandleFunc("GET /v1/batches/{id}/events", s.handleBatchEvents)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
@@ -362,7 +395,15 @@ func (s *Server) worker() {
 			s.mu.Lock()
 			s.queued--
 			s.mu.Unlock()
-			s.runJob(job)
+			// Batch jobs manage their own completion accounting: the
+			// batch finishes (and releases its jobWG slot) when its last
+			// point settles, which may be after this worker returns if
+			// points are coalesced onto other in-flight jobs.
+			if job.batch != nil {
+				s.runBatch(job)
+			} else {
+				s.runJob(job)
+			}
 		case <-s.stopWorkers:
 			return
 		}
@@ -632,14 +673,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	rh, rm := s.results.Stats()
 	s.mu.Lock()
 	tracked := len(s.jobs)
+	batches := len(s.batches)
 	s.mu.Unlock()
 	g := Gauges{
-		Workers:     s.cfg.Workers,
-		WorkersBusy: int(s.busy.Load()),
-		QueueDepth:  len(s.queue),
-		Draining:    s.draining.Load(),
-		JobsTracked: tracked,
-		FaultCounts: s.inj.Counts(),
+		Workers:        s.cfg.Workers,
+		WorkersBusy:    int(s.busy.Load()),
+		QueueDepth:     len(s.queue),
+		Draining:       s.draining.Load(),
+		JobsTracked:    tracked,
+		FaultCounts:    s.inj.Counts(),
+		BatchesTracked: batches,
+		StreamsActive:  int(s.streams.Load()),
 	}
 	if s.jnl != nil {
 		g.JournalEnabled = true

@@ -1,0 +1,320 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"partita"
+)
+
+// Streaming transport for batch results. Every batch owns an
+// append-only event log with monotonically increasing IDs (1, 2, …):
+// per-point incumbent progress, point completions, and the terminal
+// summary. GET /v1/batches/{id}/events serves the log two ways —
+// Server-Sent Events (Accept: text/event-stream) with standard
+// Last-Event-ID resume, and a chunked JSON long-poll fallback
+// (?after=N&wait=10s) for clients that cannot hold an SSE connection.
+// Both are resumable from any event ID, so a reconnecting client never
+// loses or re-processes a completion.
+
+// Batch event types.
+const (
+	// EventProgress is a per-point anytime incumbent — the same
+	// incumbent/bound/gap snapshot the single-job poll surface reports.
+	EventProgress = "progress"
+	// EventPoint is one point's completion (result or error).
+	EventPoint = "point"
+	// EventSummary is the terminal event: the batch's disposition
+	// accounting. It is always the last event of a batch.
+	EventSummary = "summary"
+	// EventEnd is a synthetic, un-numbered stream terminator sent when
+	// the server closes a stream before the batch is done (drain). It
+	// never enters the event log; reconnecting clients resume from their
+	// last real event ID.
+	EventEnd = "end"
+)
+
+// BatchEvent is one entry of a batch's event log.
+type BatchEvent struct {
+	ID   uint64 `json:"id"`
+	Type string `json:"type"`
+	// Point is the batch point index the event concerns (-1 for the
+	// summary).
+	Point        int               `json:"point"`
+	RequiredGain int64             `json:"requiredGain,omitempty"`
+	Progress     *Progress         `json:"progress,omitempty"`
+	Result       *BatchPointResult `json:"result,omitempty"`
+	Summary      *BatchSummary     `json:"summary,omitempty"`
+}
+
+// emitLocked appends one event and wakes every waiting stream; the
+// caller holds b.mu (or has exclusive access during replay).
+func (b *Batch) emitLocked(ev BatchEvent) {
+	ev.ID = uint64(len(b.events)) + 1
+	b.events = append(b.events, ev)
+	close(b.notify)
+	b.notify = make(chan struct{})
+}
+
+// emitProgress publishes one point's anytime incumbent.
+func (b *Batch) emitProgress(point int, rg int64, in partita.Incumbent) {
+	bound, gap := in.Bound, in.Gap
+	if !finite(bound) {
+		bound = -1
+	}
+	if !finite(gap) {
+		gap = -1
+	}
+	p := &Progress{IncumbentArea: in.Area, Bound: bound, Gap: gap, Nodes: in.Nodes, Incumbents: 1}
+	b.mu.Lock()
+	b.emitLocked(BatchEvent{Type: EventProgress, Point: point, RequiredGain: rg, Progress: p})
+	b.mu.Unlock()
+}
+
+// eventsAfter returns a copy of the events with ID > after, whether the
+// batch is terminal, and the channel that closes on the next append.
+// The channel is captured together with the events under one lock
+// acquisition, so a waiter can never miss an append between reading and
+// waiting.
+func (b *Batch) eventsAfter(after uint64) ([]BatchEvent, bool, <-chan struct{}) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var evs []BatchEvent
+	if after < uint64(len(b.events)) {
+		evs = append(evs, b.events[after:]...)
+	}
+	return evs, b.status == StatusDone, b.notify
+}
+
+// ---- HTTP handlers ----
+
+func (s *Server) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec BatchSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBatchBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("service: batch body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad batch spec: %w", err))
+		return
+	}
+	b, err := s.SubmitBatch(spec)
+	switch {
+	case errors.Is(err, ErrBatchTooLarge):
+		writeError(w, http.StatusRequestEntityTooLarge, err)
+		return
+	case errors.Is(err, ErrQueueFull):
+		// Back-pressure per batch: one Retry-After beat, then the
+		// content-addressed resubmit is safe and will coalesce with any
+		// point that got answered meanwhile.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	code := http.StatusAccepted
+	if b.Done() {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, b.View(false))
+}
+
+func (s *Server) handleBatchList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.batchOrder...)
+	views := make([]BatchView, 0, len(ids))
+	for _, id := range ids {
+		views = append(views, s.batches[id].View(false))
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"batches": views})
+}
+
+func (s *Server) handleBatchGet(w http.ResponseWriter, r *http.Request) {
+	b, ok := s.Batch(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: no such batch %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, b.View(r.URL.Query().Get("points") != "0"))
+}
+
+// handleBatchEvents serves a batch's event log. SSE when the client
+// asks for text/event-stream, JSON long-poll otherwise; both resume
+// after a given event ID (Last-Event-ID header or ?after=N, header
+// wins — it is what the browser EventSource and the client package send
+// on reconnect).
+func (s *Server) handleBatchEvents(w http.ResponseWriter, r *http.Request) {
+	b, ok := s.Batch(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: no such batch %q", r.PathValue("id")))
+		return
+	}
+	after := uint64(0)
+	if v := r.URL.Query().Get("after"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad after %q", v))
+			return
+		}
+		after = n
+	}
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad Last-Event-ID %q", v))
+			return
+		}
+		after = n
+	}
+	if strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		s.streamSSE(w, r, b, after)
+		return
+	}
+	s.longPollEvents(w, r, b, after)
+}
+
+// sseKeepaliveEvery paces comment-line keepalives on idle SSE streams
+// so intermediaries do not reap the connection. Variable for tests.
+var sseKeepaliveEvery = 15 * time.Second
+
+// streamSSE writes the event log as Server-Sent Events until the batch
+// summary has been delivered, the client goes away, or the server
+// drains. A drain on an unfinished batch terminates the stream with a
+// synthetic "end" event (no ID) so clients distinguish a server-side
+// close from a network failure and can resume elsewhere or later.
+func (s *Server) streamSSE(w http.ResponseWriter, r *http.Request, b *Batch, after uint64) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, errors.New("service: response writer cannot stream"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	s.streams.Add(1)
+	defer s.streams.Add(-1)
+
+	keepalive := time.NewTicker(sseKeepaliveEvery)
+	defer keepalive.Stop()
+	for {
+		evs, done, wait := b.eventsAfter(after)
+		for _, ev := range evs {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.ID, ev.Type, data); err != nil {
+				return
+			}
+			after = ev.ID
+			s.metrics.EventDelivered()
+		}
+		flusher.Flush()
+		if done && len(evs) == 0 {
+			// The summary (always the last logged event) has been
+			// delivered; the stream ends cleanly.
+			return
+		}
+		if done {
+			continue // deliver any tail appended while writing
+		}
+		select {
+		case <-wait:
+		case <-keepalive.C:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		case <-s.drain:
+			// Flush whatever settled since the last pass, then terminate
+			// explicitly: the daemon is going down and this connection
+			// will not outlive the grace period.
+			if evs, _, _ := b.eventsAfter(after); len(evs) > 0 {
+				for _, ev := range evs {
+					data, _ := json.Marshal(ev)
+					fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.ID, ev.Type, data)
+					after = ev.ID
+					s.metrics.EventDelivered()
+				}
+			}
+			fmt.Fprintf(w, "event: %s\ndata: {\"reason\":%q}\n\n", EventEnd, ReasonDraining)
+			flusher.Flush()
+			return
+		}
+	}
+}
+
+// eventPage is the JSON long-poll response: a page of events plus the
+// cursor to pass back as ?after=.
+type eventPage struct {
+	Events []BatchEvent `json:"events"`
+	// NextAfter is the cursor for the next request (the last delivered
+	// event ID, or the request's cursor when nothing new arrived).
+	NextAfter uint64 `json:"nextAfter"`
+	// Done mirrors the batch's terminal state: once true and Events is
+	// drained, no further events will ever arrive.
+	Done bool `json:"done"`
+	// Draining marks a page served by a shutting-down server: the client
+	// should expect the connection to die and retry against another node
+	// or after the restart.
+	Draining bool `json:"draining,omitempty"`
+}
+
+// longPollEvents is the chunked fallback transport: it returns the
+// events after the cursor immediately when there are any, otherwise
+// holds the request up to ?wait= (capped like job long-polls) for the
+// next append, the batch's end, or a server drain.
+func (s *Server) longPollEvents(w http.ResponseWriter, r *http.Request, b *Batch, after uint64) {
+	evs, done, wait := b.eventsAfter(after)
+	if len(evs) == 0 && !done {
+		if wv := r.URL.Query().Get("wait"); wv != "" {
+			d, err := time.ParseDuration(wv)
+			if err != nil || d < 0 {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad wait %q", wv))
+				return
+			}
+			if d > maxLongPollWait {
+				d = maxLongPollWait
+			}
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-wait:
+			case <-t.C:
+			case <-r.Context().Done():
+			case <-s.drain:
+			}
+			evs, done, _ = b.eventsAfter(after)
+		}
+	}
+	page := eventPage{Events: evs, NextAfter: after, Done: done, Draining: s.draining.Load()}
+	if n := len(evs); n > 0 {
+		page.NextAfter = evs[n-1].ID
+		for range evs {
+			s.metrics.EventDelivered()
+		}
+	}
+	if page.Events == nil {
+		page.Events = []BatchEvent{}
+	}
+	writeJSON(w, http.StatusOK, page)
+}

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"partita/internal/budget"
 	"partita/internal/cdfg"
@@ -167,6 +168,11 @@ type Options struct {
 // analyzed Design across its whole worker pool. (Profile and Simulate
 // construct fresh machines per call and are likewise safe to run
 // concurrently.)
+//
+// Every solver entry point shares one immutable selection analysis
+// (the point-independent half of the ILP model: implementation groups,
+// areas, per-path gain coefficients), built lazily on first use —
+// analyze once, select many.
 type Design struct {
 	// Root is the function whose s-calls are optimized.
 	Root string
@@ -178,7 +184,22 @@ type Design struct {
 	Layout *lower.Layout
 	// DB is the generated IMP database.
 	DB *DB
+
+	analysisOnce sync.Once
+	analysis     *selector.Analysis
 }
+
+// selAnalysis returns the Design's shared selection analysis, building
+// it on first use. Safe for concurrent callers (sync.Once).
+func (d *Design) selAnalysis() *selector.Analysis {
+	d.analysisOnce.Do(func() { d.analysis = selector.NewAnalysis(d.DB) })
+	return d.analysis
+}
+
+// MaxReachableGain is the gain of selecting every implementation
+// method, minimized over execution paths — the top of the reachable
+// sweep range.
+func (d *Design) MaxReachableGain() int64 { return d.selAnalysis().MaxGain() }
 
 // Analyze runs the front half of the flow on mini-C source.
 func Analyze(source, root string, catalog *Catalog, opt Options) (d *Design, err error) {
@@ -231,7 +252,7 @@ func (d *Design) Select(requiredGain int64) (*Selection, error) {
 // context.Canceled.
 func (d *Design) SelectCtx(ctx context.Context, requiredGain int64, bud Budget) (sel *Selection, err error) {
 	defer guard(&err)
-	return selector.SolveCtx(ctx, selector.Problem{DB: d.DB, Required: requiredGain, Budget: bud})
+	return d.selAnalysis().Solve(ctx, selector.Problem{DB: d.DB, Required: requiredGain, Budget: bud})
 }
 
 // Incumbent is one anytime progress event of an observed solve: the
@@ -247,7 +268,7 @@ type Incumbent = selector.Incumbent
 // uses this hook to stream solve progress to polling clients.
 func (d *Design) SelectCtxObserve(ctx context.Context, requiredGain int64, bud Budget, observe func(Incumbent)) (sel *Selection, err error) {
 	defer guard(&err)
-	return selector.SolveCtx(ctx, selector.Problem{
+	return d.selAnalysis().Solve(ctx, selector.Problem{
 		DB: d.DB, Required: requiredGain, Budget: bud, OnIncumbent: observe,
 	})
 }
@@ -262,13 +283,13 @@ func (d *Design) SelectPerPath(requiredGain int64, perPath []int64) (*Selection,
 // degrading like SelectCtx.
 func (d *Design) SelectPerPathCtx(ctx context.Context, requiredGain int64, perPath []int64, bud Budget) (sel *Selection, err error) {
 	defer guard(&err)
-	return selector.SolveCtx(ctx, selector.Problem{DB: d.DB, Required: requiredGain, PerPath: perPath, Budget: bud})
+	return d.selAnalysis().Solve(ctx, selector.Problem{DB: d.DB, Required: requiredGain, PerPath: perPath, Budget: bud})
 }
 
 // GreedySelect runs the prior-art baseline (no interface choice, no
 // parallel execution, gain/area greedy).
 func (d *Design) GreedySelect(requiredGain int64) *Selection {
-	return selector.GreedyBaseline(selector.Problem{DB: d.DB, Required: requiredGain})
+	return d.selAnalysis().Greedy(selector.Problem{DB: d.DB, Required: requiredGain})
 }
 
 // Simulate validates a selection on the cycle-level system model over
@@ -352,7 +373,7 @@ func (d *Design) Sweep(points int) ([]SweepPoint, error) {
 // selections like SelectCtx results.
 func (d *Design) SweepCtx(ctx context.Context, points int, bud Budget) (pts []SweepPoint, err error) {
 	defer guard(&err)
-	return selector.SweepCtx(ctx, d.DB, points, bud)
+	return d.selAnalysis().SweepPoints(ctx, points, bud, nil)
 }
 
 // SweepCtxObserve is SweepCtx with a progress observer: observe sees
@@ -361,8 +382,58 @@ func (d *Design) SweepCtx(ctx context.Context, points int, bud Budget) (pts []Sw
 // hook to journal incumbent checkpoints during long sweeps.
 func (d *Design) SweepCtxObserve(ctx context.Context, points int, bud Budget, observe func(Incumbent)) (pts []SweepPoint, err error) {
 	defer guard(&err)
-	return selector.SweepCtxObserve(ctx, d.DB, points, bud, observe)
+	return d.selAnalysis().SweepPoints(ctx, points, bud, observe)
 }
+
+// SweepStats counts how a sweep pipeline disposed of its points: Solved
+// ran the exact solver, Reused completed with zero solver work (plateau
+// reuse or propagated infeasibility), GreedySeeds counts solved points
+// warm-started from the greedy baseline.
+type SweepStats = selector.PipelineStats
+
+// SweepPipelinePoint is one lazily produced point of a SweepPipeline:
+// its position in the gains slice, its required gain, its selection,
+// and whether it was Reused — completed with zero solver work because
+// its answer was proven by an earlier point.
+type SweepPipelinePoint = selector.Point
+
+// SweepPipeline is the lazy analyze-once/select-many sweep iterator:
+// points are solved on demand over the Design's shared analysis, points
+// whose answer is proven by an earlier point (the optimal area is
+// non-decreasing in the required gain, so a looser point's selection
+// that already meets a tighter requirement is optimal there too)
+// complete without any search, and solved points are warm-started from
+// the greedy baseline. Sweep and SweepCtx are eager adapters over this
+// iterator; the partitad batch API drives one pipeline per submitted
+// program to stream per-point results as they complete. A SweepPipeline
+// is not safe for concurrent use; build one per consumer.
+type SweepPipeline struct {
+	pl *selector.Pipeline
+}
+
+// NewSweepPipeline builds a lazy sweep iterator over explicit required
+// gains (ascending order maximizes reuse; any order stays correct). bud
+// applies per point; observe, when non-nil, receives every incumbent of
+// every solved point tagged with its point index.
+func (d *Design) NewSweepPipeline(gains []int64, bud Budget, observe func(point int, inc Incumbent)) *SweepPipeline {
+	return &SweepPipeline{pl: d.selAnalysis().NewPipeline(gains, bud, observe)}
+}
+
+// Next produces the next point, solving only when the answer does not
+// already follow from an earlier one. ok is false when the pipeline is
+// exhausted. Pass a fresh ctx per call for per-point deadlines; on
+// error the returned point's Index and Required are still valid and the
+// iterator has advanced, so the caller may keep going.
+func (p *SweepPipeline) Next(ctx context.Context) (pt SweepPipelinePoint, ok bool, err error) {
+	defer guard(&err)
+	return p.pl.Next(ctx)
+}
+
+// Len reports the total number of points.
+func (p *SweepPipeline) Len() int { return p.pl.Len() }
+
+// Stats reports the dispositions of the points produced so far.
+func (p *SweepPipeline) Stats() SweepStats { return p.pl.Stats() }
 
 // ParetoFront filters sweep points to the non-dominated frontier.
 func ParetoFront(points []SweepPoint) []SweepPoint { return selector.ParetoFront(points) }
