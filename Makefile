@@ -1,7 +1,7 @@
 # Convenience targets around the go toolchain; everything here is plain
 # `go test` underneath.
 
-.PHONY: build test race bench bench-ilp bench-service bench-sweep integration chaos chaos-cluster
+.PHONY: build test race bench bench-ilp bench-portfolio bench-service bench-sweep integration chaos chaos-cluster
 
 build:
 	go build ./...
@@ -26,6 +26,16 @@ bench:
 BENCHTIME ?= 20x
 bench-ilp:
 	go test -run NoTests -bench BenchmarkILP -benchtime $(BENCHTIME) .
+
+# Racing-portfolio benchmarks: time-to-first-acceptable at a 5% gap
+# versus a cold exact solve on the GSM/JPEG models, per-engine win
+# counts, and the warm-vs-cold speedup of an incremental Reselect after
+# a single-field edit. Every iteration cross-checks the gap-0 settled
+# answer byte-for-byte against the exact solver, so the speedups carry
+# zero correctness drift. Writes BENCH_portfolio.json at the repo root
+# (override with BENCH_PORTFOLIO_OUT).
+bench-portfolio:
+	go test -run NoTests -bench BenchmarkPortfolio -benchtime $(BENCHTIME) .
 
 # Service-level benchmarks: job throughput, p50/p99 solve latency, and
 # cache-hit speedup over the GSM/JPEG workloads. Writes

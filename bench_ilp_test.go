@@ -36,9 +36,13 @@ import (
 type ilpBenchMetrics struct {
 	Parallelism int     `json:"parallelism"`
 	NodesPerSec float64 `json:"nodesPerSec"`
-	P50Ms       float64 `json:"p50Ms"`
-	P99Ms       float64 `json:"p99Ms"`
-	Solves      int     `json:"solves"`
+	// NodesTotal is the total branch-and-bound node count across all
+	// solves of the run; at parallelism 1 it is the deterministic serial
+	// node count, the baseline parallel runs are compared against.
+	NodesTotal int64   `json:"nodesTotal"`
+	P50Ms      float64 `json:"p50Ms"`
+	P99Ms      float64 `json:"p99Ms"`
+	Solves     int     `json:"solves"`
 	// SpeedupVsSerial is the serial entry's p50 over this entry's p50,
 	// filled for parallel entries when the serial entry already exists
 	// in the document.
@@ -148,6 +152,7 @@ func benchILPSelect(b *testing.B, name string, gen func() (*imp.DB, []apps.Table
 	m := ilpBenchMetrics{
 		Parallelism: par,
 		NodesPerSec: float64(nodes) / elapsed.Seconds(),
+		NodesTotal:  nodes,
 		P50Ms:       ilpPercentileMs(durs, 0.50),
 		P99Ms:       ilpPercentileMs(durs, 0.99),
 		Solves:      b.N,
@@ -204,6 +209,7 @@ func benchILPSweep(b *testing.B, par int) {
 	m := ilpBenchMetrics{
 		Parallelism: par,
 		NodesPerSec: float64(nodes) / elapsed.Seconds(),
+		NodesTotal:  nodes,
 		P50Ms:       ilpPercentileMs(durs, 0.50),
 		P99Ms:       ilpPercentileMs(durs, 0.99),
 		Solves:      b.N,

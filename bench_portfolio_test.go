@@ -1,0 +1,316 @@
+package partita
+
+// The portfolio benchmark harness measures what the racing portfolio
+// buys an interactive user — time-to-first-acceptable versus a cold
+// exact solve on the GSM/JPEG models, which engine delivers the first
+// acceptable answer, and how much a warm-started incremental Reselect
+// saves over re-running the whole pipeline after a single-field edit —
+// and records the numbers in BENCH_portfolio.json at the repo root
+// (override the path with the BENCH_PORTFOLIO_OUT environment
+// variable):
+//
+//	go test -run NoTests -bench BenchmarkPortfolio -benchtime 20x .
+//
+// Every first-acceptable iteration also re-solves the same target at
+// gap 0 and compares the settled portfolio answer byte-for-byte
+// against the exact solver (status, gain, area, chosen method IDs);
+// the incremental iterations compare the warm and cold settled proofs
+// the same way. Any mismatch is counted in the drift field and fails
+// the benchmark, so the speedup numbers can never be bought with
+// correctness.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"partita/internal/apps"
+	"partita/internal/selector"
+)
+
+// portfolioBenchMetrics is one benchmark's entry in BENCH_portfolio.json.
+type portfolioBenchMetrics struct {
+	// GapPct is the acceptability threshold the race ran at, in percent.
+	GapPct float64 `json:"gapPct"`
+	// FirstMs / ExactMs are median time-to-first-acceptable and median
+	// cold exact-solve latency; SpeedupVsExact is their ratio.
+	FirstMs        float64 `json:"firstMs,omitempty"`
+	ExactMs        float64 `json:"exactMs,omitempty"`
+	SpeedupVsExact float64 `json:"speedupVsExact,omitempty"`
+	// Wins counts which engine delivered the first acceptable answer.
+	Wins map[string]int `json:"wins,omitempty"`
+	// WarmMs / ColdMs are median time-to-first-acceptable of a seeded
+	// incremental Reselect versus re-analyzing from source and racing
+	// the edited problem cold; SpeedupVsCold is their ratio. The warm
+	// side wins by re-pricing the previous answer (the seed engine) and
+	// judging it against the floor carried over from the previous
+	// proof, typically in microseconds.
+	WarmMs        float64 `json:"warmMs,omitempty"`
+	ColdMs        float64 `json:"coldMs,omitempty"`
+	SpeedupVsCold float64 `json:"speedupVsCold,omitempty"`
+	// WarmSettledMs / ColdSettledMs are the matching median times to
+	// the settled (proven) result: the exact proof still has to run on
+	// both sides, so these stay close — the portfolio's incremental win
+	// is in answer latency, not proof latency.
+	WarmSettledMs float64 `json:"warmSettledMs,omitempty"`
+	ColdSettledMs float64 `json:"coldSettledMs,omitempty"`
+	Solves        int     `json:"solves"`
+	// Drift counts gap-0 settled answers that differed from the exact
+	// solver's. It must be zero; the benchmark fails otherwise.
+	Drift int `json:"drift"`
+}
+
+var portfolioBenchMu sync.Mutex
+
+func portfolioBenchOutPath() (string, error) {
+	if p := os.Getenv("BENCH_PORTFOLIO_OUT"); p != "" {
+		return p, nil
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return filepath.Join(dir, "BENCH_portfolio.json"), nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func portfolioRecord(b *testing.B, name string, m portfolioBenchMetrics) {
+	portfolioBenchMu.Lock()
+	defer portfolioBenchMu.Unlock()
+	path, err := portfolioBenchOutPath()
+	if err != nil {
+		b.Logf("bench output skipped: %v", err)
+		return
+	}
+	doc := map[string]portfolioBenchMetrics{}
+	if raw, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(raw, &doc)
+	}
+	doc[name] = m
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func portfolioMedianMs(durs []time.Duration) float64 {
+	if len(durs) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return float64(sorted[len(sorted)/2]) / float64(time.Millisecond)
+}
+
+// selFingerprint is the byte-for-byte identity of a settled selection:
+// status, lexicographic objective, and the chosen method IDs in order.
+func selFingerprint(sel *Selection) string {
+	ids := make([]string, len(sel.Chosen))
+	for i, m := range sel.Chosen {
+		ids[i] = m.ID
+	}
+	return fmt.Sprintf("%v|%d|%.9f|%s", sel.Status, sel.Gain, sel.Area, strings.Join(ids, " "))
+}
+
+func portfolioBenchDesign(b *testing.B, gen func() (apps.Workload, error)) (*Design, apps.Workload) {
+	b.Helper()
+	w, err := gen()
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := Analyze(w.Source, w.Root, w.Catalog, Options{DataCount: w.DataCount})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d, w
+}
+
+// benchPortfolioFirst races the portfolio at a 5% gap against a cold
+// exact solve over the CLI's sweep band of gain targets and records the
+// median time-to-first-acceptable, the exact baseline, and which engine
+// won each race. A gap-0 race per iteration checks correctness drift.
+func benchPortfolioFirst(b *testing.B, name string, gen func() (apps.Workload, error)) {
+	d, _ := portfolioBenchDesign(b, gen)
+	max := selector.MaxReachableGain(d.DB)
+	fracs := []int64{10, 30, 50, 70, 90}
+	ctx := context.Background()
+	const gap = 0.05
+
+	var firsts, exacts []time.Duration
+	wins := map[string]int{}
+	drift := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rg := max * fracs[i%len(fracs)] / 100
+
+		t0 := time.Now()
+		ref, err := d.SelectCtx(ctx, rg, Budget{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		exacts = append(exacts, time.Since(t0))
+
+		res, err := d.SelectPortfolio(ctx, rg, PortfolioOptions{Gap: gap})
+		if err != nil {
+			b.Fatal(err)
+		}
+		firsts = append(firsts, res.First)
+		wins[string(res.FirstEngine)]++
+
+		proven, err := d.SelectPortfolio(ctx, rg, PortfolioOptions{Gap: 0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if selFingerprint(proven.Sel) != selFingerprint(ref) {
+			drift++
+			b.Errorf("gap-0 portfolio drifted from exact at RG=%d:\n  portfolio %s\n  exact     %s",
+				rg, selFingerprint(proven.Sel), selFingerprint(ref))
+		}
+	}
+	b.StopTimer()
+
+	m := portfolioBenchMetrics{
+		GapPct:  gap * 100,
+		FirstMs: portfolioMedianMs(firsts),
+		ExactMs: portfolioMedianMs(exacts),
+		Wins:    wins,
+		Solves:  b.N,
+		Drift:   drift,
+	}
+	if m.FirstMs > 0 {
+		m.SpeedupVsExact = m.ExactMs / m.FirstMs
+		b.ReportMetric(m.SpeedupVsExact, "first_speedup_x")
+	}
+	b.ReportMetric(m.FirstMs, "first_ms")
+	b.ReportMetric(m.ExactMs, "exact_ms")
+	portfolioRecord(b, name, m)
+}
+
+func BenchmarkPortfolioFirstGSM(b *testing.B) {
+	benchPortfolioFirst(b, "first_gsm", apps.GSMEncoderWorkload)
+}
+
+func BenchmarkPortfolioFirstJPEG(b *testing.B) {
+	benchPortfolioFirst(b, "first_jpeg", apps.JPEGEncoderWorkload)
+}
+
+// benchPortfolioIncremental measures what an interactive edit session
+// saves: after a settled solve, apply a single-field edit (one IP's
+// area) and race the edited problem again at the service's 5% gap,
+// warm — seeded from the previous selection over the copy-on-write
+// derived analysis, with the previous proven optimum carried over as
+// an area floor — versus cold, re-analyzing the workload from source
+// and racing with no seed, which is what a non-incremental pipeline
+// would do. The headline number is time-to-first-acceptable (the
+// answer an interactive caller acts on); settle times, which are
+// proof-bound on both sides, are recorded alongside. Both races run
+// to their settled proof, which is compared byte-for-byte.
+func benchPortfolioIncremental(b *testing.B, name string, gen func() (apps.Workload, error)) {
+	d, w := portfolioBenchDesign(b, gen)
+	max := selector.MaxReachableGain(d.DB)
+	rg := max / 2
+	ctx := context.Background()
+
+	base, err := d.SelectPortfolio(ctx, rg, PortfolioOptions{Gap: 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(base.Sel.Chosen) == 0 {
+		b.Fatal("base solve chose nothing; no IP to edit")
+	}
+	// Cycle single-field edits over the chosen IPs, nudging each area by
+	// a few percent — the shape of a designer exploring the area budget.
+	// Each delta carries the required gain so the cold path (nil prev,
+	// which has no previous problem to inherit it from) solves the same
+	// problem the warm path does.
+	var edits []Delta
+	for _, m := range base.Sel.Chosen {
+		if m.IP == nil {
+			continue
+		}
+		edits = append(edits, Delta{
+			IPArea:   map[string]float64{m.IP.ID: m.IP.Area * 1.05},
+			Required: &rg,
+		})
+	}
+	if len(edits) == 0 {
+		b.Fatal("no IP-backed methods in the base selection")
+	}
+
+	const gap = 0.05
+	var warms, colds, warmSettles, coldSettles []time.Duration
+	drift := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		delta := edits[i%len(edits)]
+
+		warm, err := d.Reselect(ctx, base, delta, PortfolioOptions{Gap: gap})
+		if err != nil {
+			b.Fatal(err)
+		}
+		warms = append(warms, warm.First)
+		warmSettles = append(warmSettles, warm.Settled)
+
+		// The cold side pays the whole pipeline: re-analysis from source
+		// plus an unseeded race. Its first-acceptable clock starts at the
+		// edit, like an interactive caller's would.
+		t0 := time.Now()
+		cd, err := Analyze(w.Source, w.Root, w.Catalog, Options{DataCount: w.DataCount})
+		if err != nil {
+			b.Fatal(err)
+		}
+		analyzeCost := time.Since(t0)
+		cold, err := cd.Reselect(ctx, nil, delta, PortfolioOptions{Gap: gap})
+		if err != nil {
+			b.Fatal(err)
+		}
+		colds = append(colds, analyzeCost+cold.First)
+		coldSettles = append(coldSettles, analyzeCost+cold.Settled)
+
+		if selFingerprint(warm.Sel) != selFingerprint(cold.Sel) {
+			drift++
+			b.Errorf("warm re-solve drifted from cold for edit %+v:\n  warm %s\n  cold %s",
+				delta, selFingerprint(warm.Sel), selFingerprint(cold.Sel))
+		}
+	}
+	b.StopTimer()
+
+	m := portfolioBenchMetrics{
+		GapPct:        gap * 100,
+		WarmMs:        portfolioMedianMs(warms),
+		ColdMs:        portfolioMedianMs(colds),
+		WarmSettledMs: portfolioMedianMs(warmSettles),
+		ColdSettledMs: portfolioMedianMs(coldSettles),
+		Solves:        b.N,
+		Drift:         drift,
+	}
+	if m.WarmMs > 0 {
+		m.SpeedupVsCold = m.ColdMs / m.WarmMs
+		b.ReportMetric(m.SpeedupVsCold, "incremental_speedup_x")
+	}
+	b.ReportMetric(m.WarmMs, "warm_first_ms")
+	b.ReportMetric(m.ColdMs, "cold_first_ms")
+	portfolioRecord(b, name, m)
+}
+
+func BenchmarkPortfolioIncrementalGSM(b *testing.B) {
+	benchPortfolioIncremental(b, "incremental_gsm", apps.GSMEncoderWorkload)
+}

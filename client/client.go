@@ -34,6 +34,16 @@ type (
 	JobSpec = service.JobSpec
 	// JobView is the daemon's job snapshot (see service.JobView).
 	JobView = service.JobView
+	// EditRequest is the body of an interactive edit (see
+	// service.EditRequest): the deltas to apply on top of a finished
+	// select job, plus optional gap/budget overrides.
+	EditRequest = service.EditRequest
+	// EditDelta is one batch of IP-area / IMP-gain / required-gain
+	// edits (see service.EditDelta).
+	EditDelta = service.EditDelta
+	// PortfolioInfo is the per-engine attribution of a portfolio-mode
+	// result (see service.PortfolioInfo).
+	PortfolioInfo = service.PortfolioInfo
 )
 
 // Job kind and status names, re-exported for convenience.
@@ -46,6 +56,12 @@ const (
 	StatusRunning = service.StatusRunning
 	StatusDone    = service.StatusDone
 	StatusFailed  = service.StatusFailed
+
+	// ModePortfolio asks the daemon to race the capacity-bound witness,
+	// greedy, LP-rounding, and the exact solver (plus the seeded
+	// previous answer on edits) instead of running the exact solver
+	// alone.
+	ModePortfolio = service.ModePortfolio
 )
 
 // APIError is a non-retryable HTTP error from the daemon (bad spec,
@@ -261,6 +277,40 @@ func (c *Client) Run(ctx context.Context, spec JobSpec) (*JobView, error) {
 			return nil, err
 		}
 	}
+}
+
+// Edit posts interactive edits against a finished select job
+// (POST /v1/jobs/{id}/edits) and returns the derived portfolio job's
+// view — possibly already terminal when the identical edit was solved
+// before (the derived spec is content-addressed like any submission,
+// so retrying an edit is always safe).
+func (c *Client) Edit(ctx context.Context, jobID string, req EditRequest) (*JobView, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: marshal edit request: %w", err)
+	}
+	return c.doJSON(ctx, http.MethodPost, "/v1/jobs/"+url.PathEscape(jobID)+"/edits", body)
+}
+
+// EditAndWait posts the edit and waits for the derived job's terminal
+// state.
+func (c *Client) EditAndWait(ctx context.Context, jobID string, req EditRequest) (*JobView, error) {
+	v, err := c.Edit(ctx, jobID, req)
+	if err != nil {
+		return nil, err
+	}
+	if v.Status == StatusDone || v.Status == StatusFailed {
+		return v, nil
+	}
+	return c.Wait(ctx, v.ID)
+}
+
+// RunPortfolio is Run with the spec forced into portfolio mode: the
+// daemon races its engines and the result carries per-engine
+// attribution (Selection.Portfolio).
+func (c *Client) RunPortfolio(ctx context.Context, spec JobSpec) (*JobView, error) {
+	spec.Mode = ModePortfolio
+	return c.Run(ctx, spec)
 }
 
 // List fetches every tracked job.

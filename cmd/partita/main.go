@@ -19,6 +19,12 @@
 // its reproducible node order; parallel solves prove the same optimum.
 // See docs/PERFORMANCE.md.
 //
+// -portfolio races the greedy baseline, LP-relaxation + rounding, and
+// the exact solver; the report shows which engine delivered the first
+// acceptable answer (within -portfolio-gap of the proven bound) and
+// which settled the result. With -portfolio-gap 0 the settled answer is
+// the exact optimum, byte for byte.
+//
 // -json replaces the tables with one JSON document using the same
 // result schema as the partitad service, so CLI and service answers
 // are directly comparable.
@@ -34,6 +40,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"partita/internal/apps"
 	"partita/internal/ilp"
@@ -80,6 +87,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock budget per selection solve (0 = unlimited)")
 	maxNodes := flag.Int("max-nodes", 0, "branch-and-bound node budget per solve (0 = unlimited)")
 	parallelism := flag.Int("parallelism", 0, "solver worker goroutines (0 or 1 = serial deterministic, -1 = one per CPU)")
+	usePortfolio := flag.Bool("portfolio", false, "race the capacity bound, greedy, LP-rounding, and the exact solver; report per-engine attribution")
+	portfolioGap := flag.Float64("portfolio-gap", 0, "relative area gap at which a portfolio candidate is acceptable (0 = proven only)")
 	jsonOut := flag.Bool("json", false, "emit one JSON document in the partitad service schema instead of tables")
 	flag.Parse()
 
@@ -146,7 +155,18 @@ func main() {
 	selT := report.New("RG", "status", "G", "A", "S", "O", "selected")
 	for _, target := range targets {
 		ctx, cancel := solveCtx()
-		sel, err := design.SelectCtx(ctx, target, bud)
+		var sel *partita.Selection
+		var pres *partita.PortfolioResult
+		if *usePortfolio {
+			pres, err = design.SelectPortfolio(ctx, target, partita.PortfolioOptions{
+				Gap: *portfolioGap, Budget: bud,
+			})
+			if err == nil {
+				sel = pres.Sel
+			}
+		} else {
+			sel, err = design.SelectCtx(ctx, target, bud)
+		}
 		cancel()
 		if err != nil {
 			fatal(err)
@@ -155,6 +175,18 @@ func main() {
 			RequiredGain: target,
 			Selection:    service.NewSelectionResult(sel),
 		}}
+		if pres != nil {
+			point.Selection = service.NewPortfolioSelectionResult(pres)
+			if !*jsonOut {
+				confirmed := ""
+				if pres.Confirmed {
+					confirmed = ", confirmed"
+				}
+				fmt.Printf("RG=%d portfolio: first answer from %s (gap %.1f%%) in %s; settled by %s in %s%s\n",
+					target, pres.FirstEngine, pres.FirstGap*100, pres.First.Round(time.Microsecond),
+					pres.Engine, pres.Settled.Round(time.Microsecond), confirmed)
+			}
+		}
 		if *greedy {
 			point.Greedy = service.NewSelectionResult(design.GreedySelect(target))
 		}

@@ -11,6 +11,7 @@
 //	         [-design-cache 32] [-result-cache 256]
 //	         [-default-timeout 0] [-max-timeout 2m]
 //	         [-max-jobs 1024] [-max-parallelism N] [-grace 30s]
+//	         [-portfolio-gap 0.05]
 //	         [-max-batch-points 4096] [-max-batch-bytes 33554432]
 //	         [-max-batches 128]
 //	         [-journal path] [-journal-sync always|never]
@@ -24,6 +25,16 @@
 // field; -max-parallelism caps what any single job can get, so the
 // job-level worker pool times the per-solve worker count stays within
 // what the operator provisioned (see docs/PERFORMANCE.md for tuning).
+//
+// Select jobs with "mode": "portfolio" race the capacity-bound
+// witness, the greedy baseline, LP-relaxation + rounding, and the
+// exact branch and bound (plus the re-priced previous answer on
+// edits); the result carries per-engine attribution (winner,
+// first-acceptable gap and latency, exact confirmation). POST /v1/jobs/{id}/edits derives a new
+// portfolio job from a finished select job by applying interactive
+// edits (IP areas, IMP gains, required gains) and warm-starts it from
+// the parent's cached selection; -portfolio-gap sets the default
+// acceptability threshold. See docs/SERVICE.md ("Interactive edits").
 //
 // With -journal, the daemon is crash-safe: every accepted job is
 // recorded in an append-only, checksummed, fsync'd log before the 202
@@ -71,6 +82,8 @@
 //	POST /v1/jobs               submit a job (service.JobSpec JSON)
 //	GET  /v1/jobs               list tracked jobs (cluster-wide when clustered)
 //	GET  /v1/jobs/{id}          poll one job (?wait=10s long-polls)
+//	POST /v1/jobs/{id}/edits    derive a portfolio re-solve from a finished select job
+
 //	POST /v1/batches            submit a batch of sweep points (service.BatchSpec JSON)
 //	GET  /v1/batches            list tracked batches
 //	GET  /v1/batches/{id}       one batch snapshot with per-point rows (?points=0 omits)
@@ -112,6 +125,7 @@ func main() {
 	maxTimeout := flag.Duration("max-timeout", 0, "hard cap on any job deadline (0 = default 2m)")
 	maxJobs := flag.Int("max-jobs", 0, "jobs retained for polling (0 = default 1024)")
 	maxParallelism := flag.Int("max-parallelism", 0, "cap on per-job solver parallelism (0 = GOMAXPROCS)")
+	portfolioGap := flag.Float64("portfolio-gap", 0, "default acceptability gap of portfolio-mode jobs that set none (0 = default 0.05)")
 	grace := flag.Duration("grace", 30*time.Second, "shutdown drain budget")
 	maxBatchPoints := flag.Int("max-batch-points", 0, "points accepted in one batch (0 = default 4096)")
 	maxBatchBytes := flag.Int64("max-batch-bytes", 0, "batch request body cap in bytes (0 = default 32 MiB)")
@@ -177,6 +191,7 @@ func main() {
 		MaxTimeout:      *maxTimeout,
 		MaxJobs:         *maxJobs,
 		MaxParallelism:  *maxParallelism,
+		PortfolioGap:    *portfolioGap,
 		MaxBatchPoints:  *maxBatchPoints,
 		MaxBatchBytes:   *maxBatchBytes,
 		MaxBatches:      *maxBatches,

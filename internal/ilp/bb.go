@@ -248,7 +248,8 @@ func (m *Model) branchAndBound(ctx context.Context, bud budget.Budget) (*Solutio
 		if m.sense == Maximize {
 			obj, bnd = -obj, -bnd
 		}
-		m.onIncumbent(Progress{Objective: obj, Bound: bnd, Nodes: nodes})
+		m.onIncumbent(Progress{Objective: obj, Bound: bnd, Nodes: nodes,
+			Values: append([]float64(nil), x...)})
 	}
 
 	// stop assembles the anytime result when a budget expires: the
@@ -274,8 +275,28 @@ func (m *Model) branchAndBound(ctx context.Context, bud budget.Budget) (*Solutio
 		}, nil
 	}
 
+	// Best-first order means the popped node's bound is the global proven
+	// bound over the whole remaining tree; stream its (monotone) rises.
+	lastBound := math.Inf(-1)
+	emitBound := func(lb float64) {
+		if m.onBound == nil {
+			return
+		}
+		lb = math.Min(lb, incumbentObj)
+		if math.IsInf(lb, 0) || lb <= lastBound+1e-9 {
+			return
+		}
+		lastBound = lb
+		obj, bnd := incumbentObj, lb
+		if m.sense == Maximize {
+			obj, bnd = -obj, -bnd
+		}
+		m.onBound(Progress{Objective: obj, Bound: bnd, Nodes: nodes})
+	}
+
 	for open.Len() > 0 {
 		node := heap.Pop(open).(*bbNode)
+		emitBound(node.bound)
 		if node.bound >= incumbentObj-1e-9 {
 			continue // cannot improve on the incumbent
 		}

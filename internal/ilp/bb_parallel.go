@@ -61,6 +61,9 @@ type parState struct {
 	incMu   sync.Mutex    // guards incX and serializes onIncumbent
 	incX    []float64
 
+	boundMu   sync.Mutex // guards lastBound and serializes onBound
+	lastBound float64
+
 	abort   atomic.Bool // a worker panicked; drain without touching mu
 	panicMu sync.Mutex
 	panicV  any
@@ -73,9 +76,10 @@ func (m *Model) branchAndBoundParallel(ctx context.Context, bud budget.Budget, w
 		m:        m,
 		bud:      bud,
 		lim:      limits{ctx: ctx, maxIter: bud.MaxSimplexIter},
-		maximize: m.sense == Maximize,
-		inflight: make([]float64, workers),
-		stopLow:  math.Inf(1),
+		maximize:  m.sense == Maximize,
+		inflight:  make([]float64, workers),
+		stopLow:   math.Inf(1),
+		lastBound: math.Inf(-1),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	for i := range s.inflight {
@@ -143,9 +147,18 @@ func (s *parState) run(id int) {
 		if node.bound >= s.incObj()-1e-9 {
 			continue // cannot improve on the incumbent
 		}
+		// The popped node is the best of the heap; the global proven
+		// bound is its minimum with every in-flight expansion.
+		lb := node.bound
+		for _, b := range s.inflight {
+			if b < lb {
+				lb = b
+			}
+		}
 		s.inflight[id] = node.bound
 		s.busy++
 		s.mu.Unlock()
+		s.emitBound(lb)
 
 		stop, unbounded := s.expand(node, fx, ar)
 
@@ -232,6 +245,31 @@ func (s *parState) expand(node *bbNode, fx *fixSet, ar *arena) (stop error, unbo
 	return nil, false
 }
 
+// emitBound publishes a proven-bound rise through Model.OnBound.
+// boundMu is held across the callback so concurrent workers' events
+// serialize into a strictly rising bound stream. Called without mu.
+func (s *parState) emitBound(lb float64) {
+	if s.m.onBound == nil {
+		return
+	}
+	obj := s.incObj()
+	lb = math.Min(lb, obj)
+	if math.IsInf(lb, 0) {
+		return
+	}
+	s.boundMu.Lock()
+	defer s.boundMu.Unlock()
+	if lb <= s.lastBound+1e-9 {
+		return
+	}
+	s.lastBound = lb
+	bnd := lb
+	if s.maximize {
+		obj, bnd = -obj, -bnd
+	}
+	s.m.onBound(Progress{Objective: obj, Bound: bnd, Nodes: int(s.nodes.Load())})
+}
+
 // tryIncumbent installs x (integral, snapped exactly) when it beats the
 // current incumbent, and emits the monotone progress event. The fast
 // path is a lock-free atomic read; the slow path re-checks under incMu
@@ -267,7 +305,8 @@ func (s *parState) tryIncumbent(x []float64, objMin, nodeBound float64) {
 	if s.maximize {
 		obj, bnd = -obj, -bnd
 	}
-	s.m.onIncumbent(Progress{Objective: obj, Bound: bnd, Nodes: int(s.nodes.Load())})
+	s.m.onIncumbent(Progress{Objective: obj, Bound: bnd, Nodes: int(s.nodes.Load()),
+		Values: append([]float64(nil), x...)})
 }
 
 // result assembles the Solution after every worker has exited; the

@@ -1,0 +1,100 @@
+package ilp
+
+import (
+	"context"
+	"errors"
+	"math"
+
+	"partita/internal/budget"
+)
+
+// ErrNoRounding is returned by SolveLPRound when the root relaxation is
+// fractional, nearest-integer rounding violates a constraint, and no
+// valid warm start is installed: the cheap engine has no answer for this
+// instance and the caller should fall back to branch and bound.
+var ErrNoRounding = errors.New("ilp: LP rounding produced no feasible point")
+
+// BoundError is the concrete error SolveLPRound returns when rounding
+// fails after a successfully solved relaxation: no feasible point, but
+// the relaxation optimum is still a proven bound on the ILP optimum.
+// errors.Is(err, ErrNoRounding) matches it; errors.As extracts the
+// bound so callers (the racing portfolio) can use it to judge other
+// engines' candidates even though this engine produced none.
+type BoundError struct {
+	// Bound is the proven relaxation bound, in the model's own sense.
+	Bound float64
+	// X is the fractional relaxation optimum (caller-owned copy), so a
+	// structure-aware caller can attempt its own repair — the generic
+	// nearest-integer snap failed, but a caller that knows what the
+	// variables mean usually can do better.
+	X []float64
+}
+
+func (e *BoundError) Error() string { return ErrNoRounding.Error() }
+
+// Unwrap makes errors.Is(err, ErrNoRounding) succeed on a BoundError.
+func (e *BoundError) Unwrap() error { return ErrNoRounding }
+
+// SolveLPRound solves only the root LP relaxation and tries to turn it
+// into an integral answer without any branching — the "LP + rounding"
+// portfolio engine. It is the opportunistic-rounding step that
+// branch-and-bound already applies at every node, promoted to a
+// standalone solve:
+//
+//   - an infeasible or unbounded relaxation proves the same status for
+//     the 0-1 program (the relaxation only widens the feasible set);
+//   - an integral relaxation optimum is the proven ILP optimum
+//     (Status Optimal, Bound == Objective);
+//   - a fractional optimum is snapped to the nearest integers; when the
+//     snapped point satisfies every constraint it is returned as
+//     Feasible with the LP objective as the proven Bound, so Gap()
+//     reports exactly how far from optimal it can be;
+//   - otherwise the model's warm start (SetWarmStart), if valid, is
+//     returned as the Feasible answer under the same LP bound — on an
+//     incremental re-solve this is the previous selection, delivered at
+//     the cost of one simplex run;
+//   - with nothing feasible in hand, a *BoundError (matching
+//     ErrNoRounding) that still carries the proven relaxation bound.
+//
+// One simplex solve, one node: Solution.Nodes is always 1. The context
+// deadline and bud.MaxSimplexIter bound the relaxation itself.
+func (m *Model) SolveLPRound(ctx context.Context, bud budget.Budget) (*Solution, error) {
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	if err := budget.Check(ctx); err != nil {
+		return nil, err
+	}
+	lim := limits{ctx: ctx, maxIter: bud.MaxSimplexIter}
+	r := m.solveRelaxation(nil, lim, nil)
+	if r.err != nil {
+		return nil, r.err
+	}
+	switch r.status {
+	case Infeasible:
+		return &Solution{Status: Infeasible, Nodes: 1, Bound: math.Inf(1)}, nil
+	case Unbounded:
+		return &Solution{Status: Unbounded, Nodes: 1, Bound: math.Inf(-1)}, nil
+	}
+	bound := r.obj // LP optimum bounds the ILP optimum in the model's own sense
+
+	if m.pickBranch(r.x, nil) < 0 {
+		// Integral within tolerance: snapping is exact and the LP optimum
+		// is the ILP optimum.
+		x := m.roundExact(r.x)
+		if obj, ok := m.evalPoint(x); ok {
+			return &Solution{Status: Optimal, Objective: obj, Values: x, Nodes: 1, Bound: obj}, nil
+		}
+	} else if x, obj, ok := m.roundToFeasible(r.x); ok {
+		return &Solution{Status: Feasible, Objective: obj, Values: x, Nodes: 1, Bound: bound}, nil
+	}
+
+	if x, objMin, ok := m.warmIncumbent(); ok {
+		obj := objMin
+		if m.sense == Maximize {
+			obj = -obj
+		}
+		return &Solution{Status: Feasible, Objective: obj, Values: x, Nodes: 1, Bound: bound}, nil
+	}
+	return nil, &BoundError{Bound: bound, X: append([]float64(nil), r.x...)}
+}

@@ -84,6 +84,7 @@ type Model struct {
 	vars        []variable
 	cons        []constraint
 	onIncumbent func(Progress)
+	onBound     func(Progress)
 	warmX       []float64
 }
 
@@ -99,6 +100,11 @@ type Progress struct {
 	Bound float64
 	// Nodes is the number of branch-and-bound nodes explored so far.
 	Nodes int
+	// Values is a snapshot of the incumbent's variable assignment (the
+	// callback owns the copy), so anytime consumers — the racing
+	// portfolio above all — can act on the configuration itself rather
+	// than just its objective.
+	Values []float64
 }
 
 // Gap reports the event's relative optimality gap
@@ -117,6 +123,18 @@ func (p Progress) Gap() float64 {
 // call back into the model. Pure-LP solves (no integer variables) emit
 // no events. Passing nil removes the callback.
 func (m *Model) OnIncumbent(f func(Progress)) { m.onIncumbent = f }
+
+// OnBound registers f to be invoked synchronously each time the
+// branch-and-bound search tightens the proven global bound on the
+// optimum (best-first search raises it monotonically as nodes pop).
+// Events carry the bound, the incumbent objective at the time (+Inf in
+// minimization sense while no incumbent exists), and no Values — they
+// report proof progress, not a new configuration. Consumers that only
+// need the incumbent stream should keep using OnIncumbent; this
+// callback is for anytime consumers, the racing portfolio above all,
+// whose acceptability test tightens with every proven bound. Same
+// contract as OnIncumbent: fast, no re-entry, nil removes it.
+func (m *Model) OnBound(f func(Progress)) { m.onBound = f }
 
 // SetWarmStart supplies a candidate point (one value per variable, in
 // Var order) installed as the initial incumbent of the next

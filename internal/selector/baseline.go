@@ -82,7 +82,7 @@ func greedyBound(in *instance) *Selection {
 			// Marginal area: IP counted once, group interface once.
 			da := 0.0
 			if !usedIP[m.IP.ID] {
-				da += m.IP.Area
+				da += in.ipArea[m.IP.ID]
 			}
 			g := in.grpOf[i]
 			if !usedGrp[g] {
@@ -117,7 +117,7 @@ func greedyBound(in *instance) *Selection {
 	for _, i := range idxs {
 		m := db.IMPs[i]
 		sel.Chosen = append(sel.Chosen, m)
-		sel.Gain += m.TotalGain
+		sel.Gain += in.totalGain[i]
 		sel.SCallsImplemented += len(m.SC.Sites)
 	}
 	for id := range usedIP {

@@ -1,0 +1,191 @@
+package selector
+
+import (
+	"math"
+
+	"partita/internal/ilp"
+)
+
+// capacityBoundMaxGain caps the covering-knapsack DP table; paths with
+// a larger required gain skip the bound rather than pay the memory.
+const capacityBoundMaxGain = 1 << 20
+
+// CapacityBound is an instant combinatorial lower bound on the optimal
+// area: for each path k it solves, exactly, the IP-level covering
+// knapsack
+//
+//	min Σ_j area_j·z_j   s.t.   Σ_j G_jk·z_j ≥ required(k),  z binary
+//
+// where G_jk is the most gain path k can draw from IP j (ipGainCapacity)
+// and area_j charges the IP's silicon plus its cheapest interface (any
+// selection using IP j picks at least one of its methods, whose merged
+// S-instruction area is at least the method's own interface area) — a
+// relaxation of the selection ILP that keeps only the fixed charges and
+// the aggregate gain capacities, dropping per-method interface excess,
+// method conflicts, and cross-path coupling. Every feasible selection
+// induces a feasible z, so each path's knapsack optimum bounds the true
+// optimal area from below, and the best path's bound is returned.
+//
+// The DP is a few hundred thousand integer steps on the paper's models —
+// microseconds, no LP, no search — which is what makes it useful to the
+// racing portfolio: the acceptability judge holds an often-tight proven
+// bound before any engine has solved a relaxation. +Inf means some path
+// cannot reach its requirement at all (the ILP is infeasible); 0 means
+// no path demands gain (or a requirement was too large for the DP table)
+// and the bound is vacuous.
+func (a *Analysis) CapacityBound(p Problem) float64 {
+	bound, _ := a.CapacityWitness(p)
+	return bound
+}
+
+// CapacityWitness is CapacityBound plus the bound's witness turned into
+// a candidate: the knapsack optimum's IP subset on the binding path,
+// instantiated with each s-call's best method among those IPs (under
+// the SC-PC conflict pairs) and re-priced exactly. When that selection
+// meets every path's requirement it is returned Feasible — often at the
+// optimal area, since the enriched knapsack is tight on the paper's
+// models — and a racing portfolio can deliver it against the bound
+// microseconds into the race. The witness is nil whenever the
+// instantiation falls short on some path (the bound always stands on
+// its own).
+func (a *Analysis) CapacityWitness(p Problem) (float64, *Selection) {
+	if p.DB == nil {
+		p.DB = a.db
+	}
+	if p.DB != a.db || len(a.db.IMPs) == 0 {
+		return 0, nil
+	}
+	in := &instance{Analysis: a, p: p}
+	minIface := map[string]float64{}
+	for _, im := range a.db.IMPs {
+		if prev, ok := minIface[im.IP.ID]; !ok || im.IfaceArea < prev {
+			minIface[im.IP.ID] = im.IfaceArea
+		}
+	}
+	bound := 0.0
+	bindK := -1
+	var bindCap map[string]int64
+	for k := range a.db.Paths {
+		rg := in.required(k)
+		if rg <= 0 || rg > capacityBoundMaxGain {
+			continue
+		}
+		capacity := in.ipGainCapacity(k)
+		if b := capacityDP(in, capacity, minIface, rg, nil); b > bound {
+			bound = b
+			bindK, bindCap = k, capacity
+		}
+	}
+	if bindK < 0 || math.IsInf(bound, 0) {
+		return bound, nil
+	}
+	// Re-run the binding path's DP keeping the chosen IP subset, then
+	// instantiate and re-price it.
+	witness := map[string]bool{}
+	capacityDP(in, bindCap, minIface, in.required(bindK), witness)
+	return bound, in.instantiate(bindK, witness)
+}
+
+// capacityDP solves one path's covering knapsack. With a non-nil
+// witness map it keeps per-item DP rows and backtracks the optimal IP
+// subset into it (more memory, same asymptotics).
+func capacityDP(in *instance, capacity map[string]int64, minIface map[string]float64, rg int64, witness map[string]bool) float64 {
+	base := make([]float64, rg+1)
+	for g := int64(1); g <= rg; g++ {
+		base[g] = math.Inf(1)
+	}
+	var items []string
+	var rows [][]float64
+	dp := base
+	for _, id := range in.ipIDs {
+		gj := capacity[id]
+		if gj <= 0 {
+			continue
+		}
+		if witness != nil {
+			rows = append(rows, dp)
+			items = append(items, id)
+			dp = append([]float64(nil), dp...)
+		}
+		aj := in.ipArea[id] + minIface[id]
+		for g := rg; g >= 1; g-- {
+			rest := g - gj
+			if rest < 0 {
+				rest = 0
+			}
+			if c := dp[rest] + aj; c < dp[g] {
+				dp[g] = c
+			}
+		}
+	}
+	if witness != nil {
+		g := rg
+		for i := len(items) - 1; i >= 0 && g > 0; i-- {
+			if dp[g] == rows[i][g] {
+				dp = rows[i] // item unused; its predecessor row decides the rest
+				continue
+			}
+			witness[items[i]] = true
+			if g -= capacity[items[i]]; g < 0 {
+				g = 0
+			}
+			dp = rows[i]
+		}
+	}
+	return dp[rg]
+}
+
+// instantiate turns a witness IP subset into a concrete selection: per
+// s-call, the best method on path k among the witness IPs (ties to the
+// smaller interface area), with SC-PC conflicts resolved by dropping
+// the lesser contributor. Returns the re-priced selection when it meets
+// every path's requirement, nil otherwise.
+func (in *instance) instantiate(k int, witness map[string]bool) *Selection {
+	db := in.db
+	bestFor := map[string]int{}
+	for i, im := range db.IMPs {
+		if !witness[im.IP.ID] || in.pathCoef(k, i) <= 0 {
+			continue
+		}
+		sc := im.SC.Name()
+		j, ok := bestFor[sc]
+		if !ok || in.pathCoef(k, i) > in.pathCoef(k, j) ||
+			(in.pathCoef(k, i) == in.pathCoef(k, j) && im.IfaceArea < db.IMPs[j].IfaceArea) {
+			bestFor[sc] = i
+		}
+	}
+	picked := make(map[int]bool, len(bestFor))
+	for _, i := range bestFor {
+		picked[i] = true
+	}
+	for _, c := range db.Conflicts {
+		if picked[c[0]] && picked[c[1]] {
+			drop := c[0]
+			if in.pathCoef(k, c[0]) > in.pathCoef(k, c[1]) {
+				drop = c[1]
+			}
+			delete(picked, drop)
+		}
+	}
+	var chosen []int
+	for i := range db.IMPs {
+		if picked[i] {
+			chosen = append(chosen, i)
+		}
+	}
+	for kk := range db.Paths {
+		rg := in.required(kk)
+		if rg <= 0 {
+			continue
+		}
+		for _, i := range chosen {
+			rg -= in.pathCoef(kk, i)
+		}
+		if rg > 0 {
+			return nil
+		}
+	}
+	sel := in.compose(chosen, 0)
+	sel.Status = ilp.Feasible
+	return sel
+}

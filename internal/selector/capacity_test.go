@@ -1,0 +1,225 @@
+package selector
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"partita/internal/iface"
+	"partita/internal/ilp"
+	"partita/internal/imp"
+	"partita/internal/ip"
+)
+
+// The capacity bound feeds the racing portfolio's acceptability judge
+// as a *proven* floor, so its soundness is load-bearing: a bound above
+// the true optimum would make the portfolio deliver wrong answers (and,
+// installed as an area floor, cut the optimum out of the exact model).
+// These tests pin the bound below the proven optimum across a seeded
+// synthetic corpus and check the witness prices out exactly.
+
+func capIP(id string, area float64) *ip.IP {
+	return &ip.IP{ID: id, Name: id, Area: area}
+}
+
+// TestCapacityBoundNeverExceedsOptimum: across seeded random instances
+// and requirement levels, CapacityBound ≤ the exact optimal area, and a
+// +Inf bound only appears when the exact solver proves infeasibility.
+func TestCapacityBoundNeverExceedsOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	types := []iface.Type{iface.Type0, iface.Type1, iface.Type2, iface.Type3}
+	for c := 0; c < 25; c++ {
+		nSC := 2 + rng.Intn(4)
+		funcs := make([]string, nSC)
+		for i := range funcs {
+			funcs[i] = string(rune('a' + i))
+		}
+		nIP := 2 + rng.Intn(3)
+		ips := make([]*ip.IP, nIP)
+		for i := range ips {
+			ips[i] = capIP(string(rune('A'+i)), float64(1+rng.Intn(20)))
+		}
+		var specs []imp.SynthIMP
+		for sc := 1; sc <= nSC; sc++ {
+			for j := 0; j < 1+rng.Intn(3); j++ {
+				specs = append(specs, imp.SynthIMP{
+					SC:        sc,
+					IP:        ips[rng.Intn(nIP)],
+					Type:      types[rng.Intn(len(types))],
+					Gain:      int64(50 + rng.Intn(200)),
+					IfaceArea: float64(rng.Intn(5)),
+				})
+			}
+		}
+		db, err := imp.NewSyntheticDB(funcs, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		an := NewAnalysis(db)
+		for _, frac := range []int64{25, 60, 100} {
+			rg := an.MaxGain() * frac / 100
+			p := Problem{DB: db, Required: rg}
+			bound := an.CapacityBound(p)
+			ref, err := an.Solve(context.Background(), p)
+			if err != nil {
+				t.Fatalf("corpus %d rg=%d: %v", c, rg, err)
+			}
+			switch ref.Status {
+			case ilp.Optimal:
+				if bound > ref.Area+1e-9 {
+					t.Fatalf("corpus %d rg=%d: bound %.9f exceeds optimum %.9f", c, rg, bound, ref.Area)
+				}
+			case ilp.Infeasible:
+				// Any bound (including +Inf) is vacuously sound.
+			default:
+				t.Fatalf("corpus %d rg=%d: unexpected status %v", c, rg, ref.Status)
+			}
+		}
+	}
+}
+
+// TestCapacityWitnessFeasibleAndPriced: when a witness comes back it
+// meets every path requirement and its area is at least the bound (the
+// bound is a relaxation; the witness is a real selection).
+func TestCapacityWitnessFeasibleAndPriced(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	types := []iface.Type{iface.Type0, iface.Type1}
+	witnessed := 0
+	for c := 0; c < 25; c++ {
+		nSC := 2 + rng.Intn(3)
+		funcs := make([]string, nSC)
+		for i := range funcs {
+			funcs[i] = string(rune('a' + i))
+		}
+		ips := []*ip.IP{capIP("A", float64(2+rng.Intn(10))), capIP("B", float64(2+rng.Intn(10)))}
+		var specs []imp.SynthIMP
+		for sc := 1; sc <= nSC; sc++ {
+			specs = append(specs, imp.SynthIMP{
+				SC: sc, IP: ips[rng.Intn(2)], Type: types[rng.Intn(2)],
+				Gain: int64(50 + rng.Intn(100)), IfaceArea: float64(rng.Intn(3)),
+			})
+		}
+		db, err := imp.NewSyntheticDB(funcs, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		an := NewAnalysis(db)
+		rg := an.MaxGain() / 2
+		p := Problem{DB: db, Required: rg}
+		bound, w := an.CapacityWitness(p)
+		if w == nil {
+			continue
+		}
+		witnessed++
+		if w.Status != ilp.Feasible {
+			t.Fatalf("corpus %d: witness status %v", c, w.Status)
+		}
+		for k, g := range w.PathGains {
+			if g < rg {
+				t.Fatalf("corpus %d: witness path %d gain %d < required %d", c, k, g, rg)
+			}
+		}
+		if !math.IsInf(bound, 0) && w.Area < bound-1e-9 {
+			t.Fatalf("corpus %d: witness area %.9f below its own bound %.9f", c, w.Area, bound)
+		}
+	}
+	if witnessed == 0 {
+		t.Fatal("no corpus instance produced a witness; test is vacuous")
+	}
+}
+
+// TestCapacityBoundInfeasiblePath: a requirement beyond every IP's
+// combined capacity yields +Inf — the instant infeasibility signal.
+func TestCapacityBoundInfeasiblePath(t *testing.T) {
+	db, err := imp.NewSyntheticDB([]string{"a"}, []imp.SynthIMP{
+		{SC: 1, IP: capIP("A", 5), Type: iface.Type0, Gain: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := NewAnalysis(db)
+	if b := an.CapacityBound(Problem{DB: db, Required: an.MaxGain() + 1}); !math.IsInf(b, 1) {
+		t.Fatalf("bound = %v, want +Inf", b)
+	}
+	if b := an.CapacityBound(Problem{DB: db, Required: 0}); b != 0 {
+		t.Fatalf("zero requirement: bound = %v, want 0", b)
+	}
+}
+
+// TestEvaluateReprices: Evaluate re-prices a previous selection under
+// an edited analysis — fresh areas flow through, feasibility is
+// re-checked, and an edit that starves a path returns nil.
+func TestEvaluateReprices(t *testing.T) {
+	db, err := imp.NewSyntheticDB([]string{"a", "b"}, []imp.SynthIMP{
+		{SC: 1, IP: capIP("A", 10), Type: iface.Type0, Gain: 100},
+		{SC: 2, IP: capIP("B", 4), Type: iface.Type0, Gain: 80},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := NewAnalysis(db)
+	p := Problem{DB: db, Required: an.MaxGain()}
+	prev, err := an.Solve(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev.Status != ilp.Optimal {
+		t.Fatalf("setup solve: %v", prev.Status)
+	}
+
+	// Area edit: the re-priced selection carries the new area.
+	edited, err := an.Apply(Delta{IPArea: map[string]float64{"A": 13}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := edited.Evaluate(Problem{DB: edited.DB(), Required: p.Required}, prev)
+	if ev == nil {
+		t.Fatal("area edit broke evaluation")
+	}
+	if ev.Status != ilp.Feasible {
+		t.Fatalf("status = %v, want Feasible", ev.Status)
+	}
+	if want := prev.Area + 3; math.Abs(ev.Area-want) > 1e-9 {
+		t.Fatalf("re-priced area %.3f, want %.3f", ev.Area, want)
+	}
+
+	// Gain edit that starves a path: nil, never an infeasible answer.
+	starved, err := an.Apply(Delta{IMPGain: map[string]int64{db.IMPs[0].ID: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev := starved.Evaluate(Problem{DB: starved.DB(), Required: p.Required}, prev); ev != nil {
+		t.Fatalf("starved edit still evaluated: %+v", ev)
+	}
+
+	// Foreign selection: nil.
+	if ev := an.Evaluate(p, &Selection{Chosen: []*imp.IMP{{ID: "ghost"}}}); ev != nil {
+		t.Fatal("foreign chosen set evaluated")
+	}
+}
+
+// TestFloorShrink: area decreases accumulate into the shrink, area
+// increases don't, and any gain increase forfeits the floor.
+func TestFloorShrink(t *testing.T) {
+	db, err := imp.NewSyntheticDB([]string{"a"}, []imp.SynthIMP{
+		{SC: 1, IP: capIP("A", 10), Type: iface.Type0, Gain: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := NewAnalysis(db)
+
+	if s, ok := an.FloorShrink(Delta{IPArea: map[string]float64{"A": 12}}); !ok || s != 0 {
+		t.Fatalf("area increase: shrink=%v ok=%v, want 0 true", s, ok)
+	}
+	if s, ok := an.FloorShrink(Delta{IPArea: map[string]float64{"A": 7.5}}); !ok || math.Abs(s-2.5) > 1e-9 {
+		t.Fatalf("area decrease: shrink=%v ok=%v, want 2.5 true", s, ok)
+	}
+	if _, ok := an.FloorShrink(Delta{IMPGain: map[string]int64{db.IMPs[0].ID: 1000}}); ok {
+		t.Fatal("gain increase kept the floor")
+	}
+	if s, ok := an.FloorShrink(Delta{IMPGain: map[string]int64{db.IMPs[0].ID: 1}}); !ok || s != 0 {
+		t.Fatalf("gain decrease: shrink=%v ok=%v, want 0 true", s, ok)
+	}
+}

@@ -60,8 +60,18 @@ type Analysis struct {
 	ipArea  map[string]float64
 	// coef[k][m] is the gain coefficient of IMP m on path k: the
 	// site-frequency-weighted gain the method contributes to that path.
-	coef    [][]int64
-	maxGain int64
+	coef [][]int64
+	// freq[k][m] is the execution frequency of IMP m's sites on path k,
+	// so coef[k][m] = freq[k][m] · gainPerExec[m]. Kept so Apply can
+	// recompute coefficients for edited gains without re-walking the CDFG.
+	freq [][]int64
+	// gainPerExec and totalGain mirror the DB's per-IMP gains; a Delta
+	// edit produces a derived Analysis with these (and coef) rewritten,
+	// which is why every solver path reads gains through the Analysis
+	// rather than the DB.
+	gainPerExec []int64
+	totalGain   []int64
+	maxGain     int64
 }
 
 // NewAnalysis precomputes the shared artifact for db. The db must not
@@ -96,9 +106,17 @@ func NewAnalysis(db *imp.DB) *Analysis {
 	}
 	sort.Slice(a.groups, func(x, y int) bool { return groupLess(a.groups[x], a.groups[y]) })
 	sort.Strings(a.ipIDs)
+	a.gainPerExec = make([]int64, len(db.IMPs))
+	a.totalGain = make([]int64, len(db.IMPs))
+	for i, im := range db.IMPs {
+		a.gainPerExec[i] = im.GainPerExec
+		a.totalGain[i] = im.TotalGain
+	}
 	a.coef = make([][]int64, len(db.Paths))
+	a.freq = make([][]int64, len(db.Paths))
 	for k := range db.Paths {
 		a.coef[k] = make([]int64, len(db.IMPs))
+		a.freq[k] = make([]int64, len(db.IMPs))
 		for m, im := range db.IMPs {
 			var f int64
 			for _, site := range im.SC.Sites {
@@ -106,6 +124,7 @@ func NewAnalysis(db *imp.DB) *Analysis {
 					f += site.Freq
 				}
 			}
+			a.freq[k][m] = f
 			a.coef[k][m] = f * im.GainPerExec
 		}
 	}

@@ -57,6 +57,13 @@ type Problem struct {
 	// incumbent, in strictly decreasing Area order. The tie-break pass
 	// (which cannot change the area) emits no events.
 	OnIncumbent func(Incumbent)
+	// OnBound, when non-nil, observes the area-minimization pass's
+	// proven lower bound on the optimal area as the search raises it
+	// (strictly rising; same synchronous, be-fast contract as
+	// OnIncumbent). Bound rises are far more frequent than incumbent
+	// installs — this is the stream the racing portfolio judges
+	// candidate acceptability against.
+	OnBound func(bound float64)
 
 	// warmStart optionally seeds the area-minimization pass with a known
 	// feasible point over the pass-1 variable layout (see
@@ -71,8 +78,8 @@ type Problem struct {
 	// optimal area of a looser point: the optimum is non-decreasing in
 	// the required gain, so the cut cannot exclude any optimal solution —
 	// it only lifts the relaxation bound, so the search prunes the
-	// moment an incumbent matching the floor is found. Set only by the
-	// sweep pipeline.
+	// moment an incumbent matching the floor is found. Set by the sweep
+	// pipeline and (through SetAreaFloor) by incremental re-solves.
 	areaFloor float64
 }
 
@@ -88,6 +95,11 @@ type Incumbent struct {
 	Gap float64
 	// Nodes is the number of branch-and-bound nodes explored so far.
 	Nodes int
+	// Sel is the incumbent configuration itself, decoded (Status
+	// Feasible, Gap as above) so anytime consumers — the racing
+	// portfolio — can deliver it, not just report its area. Nil when the
+	// event carried no variable assignment.
+	Sel *Selection
 }
 
 // Selection is the solved result, with the columns of the paper's tables.
@@ -152,6 +164,19 @@ func groupLess(a, b group) bool {
 	}
 	return a.flattened < b.flattened
 }
+
+// SetAreaFloor installs a proven lower bound on the optimal area as a
+// valid cut of the area-minimization pass. The caller asserts the
+// proof: a floor above the true optimum makes the solve wrong, not
+// slow. Incremental re-solves derive it from the previous proven
+// optimum via Analysis.FloorShrink; the cut only lifts the relaxation
+// bound and never changes which solution is optimal, so a floored
+// solve stays byte-for-byte identical to an unfloored one.
+func (p *Problem) SetAreaFloor(floor float64) { p.areaFloor = floor }
+
+// AreaFloor reports the installed proven lower bound on the optimal
+// area, 0 when none.
+func (p Problem) AreaFloor() float64 { return p.areaFloor }
 
 func (in *instance) required(k int) int64 {
 	if k < len(in.p.PerPath) && in.p.PerPath[k] >= 0 {
@@ -264,7 +289,71 @@ func (in *instance) build(objX func(i int) float64, objZ func(area float64) floa
 			{Var: h.xs[c[1]], Coef: 1},
 		}, ilp.LE, 1)
 	}
+	// (3b) Aggregated fixed charge per (IP, s-call): an IP's members
+	// competing for one s-call can select at most one of themselves, so
+	// together they need only one unit of the IP indicator. Integrally
+	// implied by (1)+(3); fractionally strictly tighter than the
+	// per-method links — spreading an s-call's coverage across an IP's
+	// methods now costs the full fixed charge instead of the maximum
+	// fraction. Valid cuts never change the optimal value, only the
+	// relaxation bound, so solves with and without them return
+	// identical selections.
+	byIPSC := map[string][]ilp.Term{}
+	for i, im := range db.IMPs {
+		key := im.IP.ID + "\x00" + im.SC.Name()
+		byIPSC[key] = append(byIPSC[key], ilp.Term{Var: h.xs[i], Coef: 1})
+	}
+	for _, id := range in.ipIDs {
+		for _, sc := range db.SCalls {
+			terms := byIPSC[id+"\x00"+sc.Name()]
+			if len(terms) < 2 {
+				continue
+			}
+			terms = append(terms[:len(terms):len(terms)], ilp.Term{Var: h.zs[id], Coef: -1})
+			m.AddConstraint("fcs_"+id, terms, ilp.LE, 0)
+		}
+	}
+	// (2b) Per-path IP gain capacity: with (3b), the gain path k can
+	// draw from IP j is at most G_jk = Σ_sc max_{m ∈ j,sc} c_km per
+	// unit of z_j, so Σ_j G_jk z_j ≥ required(k) is a valid cut that
+	// makes fractional gain coverage pay area through the z variables —
+	// exactly where the plain relaxation is weakest, since the area
+	// objective lives on z. This typically lifts the root bound from a
+	// small fraction of the optimum to most of it, which is what the
+	// racing portfolio's acceptability judgment feeds on.
+	for k := range db.Paths {
+		rg := in.required(k)
+		if rg <= 0 {
+			continue
+		}
+		capacity := in.ipGainCapacity(k)
+		var terms []ilp.Term
+		for _, id := range in.ipIDs {
+			if g := capacity[id]; g > 0 {
+				terms = append(terms, ilp.Term{Var: h.zs[id], Coef: float64(g)})
+			}
+		}
+		if terms != nil {
+			m.AddConstraint(fmt.Sprintf("ipcap_%d", k), terms, ilp.GE, float64(rg))
+		}
+	}
 	return h
+}
+
+// ipGainCapacity is G_jk: the most gain path k can draw from each IP —
+// per s-call, the best of the IP's competing methods (constraint (1)
+// admits only one), summed over s-calls.
+func (in *instance) ipGainCapacity(k int) map[string]int64 {
+	capacity := map[string]int64{}
+	best := map[string]int64{}
+	for i, im := range in.db.IMPs {
+		key := im.IP.ID + "\x00" + im.SC.Name()
+		if c := in.pathCoef(k, i); c > best[key] {
+			capacity[im.IP.ID] += c - best[key]
+			best[key] = c
+		}
+	}
+	return capacity
 }
 
 // warmVector reconstructs the pass-1 model point of a solved selection
@@ -385,8 +474,18 @@ func solveBound(ctx context.Context, in *instance) (*Selection, error) {
 	}
 	if p.OnIncumbent != nil {
 		h1.m.OnIncumbent(func(pr ilp.Progress) {
-			p.OnIncumbent(Incumbent{Area: pr.Objective, Bound: pr.Bound, Gap: pr.Gap(), Nodes: pr.Nodes})
+			inc := Incumbent{Area: pr.Objective, Bound: pr.Bound, Gap: pr.Gap(), Nodes: pr.Nodes}
+			if pr.Values != nil {
+				sel := in.decode(h1, &ilp.Solution{Values: pr.Values}, pr.Nodes)
+				sel.Status = ilp.Feasible
+				sel.Gap = pr.Gap()
+				inc.Sel = sel
+			}
+			p.OnIncumbent(inc)
 		})
+	}
+	if p.OnBound != nil {
+		h1.m.OnBound(func(pr ilp.Progress) { p.OnBound(pr.Bound) })
 	}
 	s1, err := h1.m.SolveCtx(ctx, p.Budget)
 	if err != nil {
@@ -413,7 +512,7 @@ func solveBound(ctx context.Context, in *instance) (*Selection, error) {
 	// optimum.
 	n := float64(len(p.DB.IMPs) + len(in.groups) + 1)
 	h2 := in.build(
-		func(i int) float64 { return float64(p.DB.IMPs[i].TotalGain) + 0.25/n },
+		func(i int) float64 { return float64(in.totalGain[i]) + 0.25/n },
 		func(a float64) float64 { return 0 },
 		0.5/n, 0,
 	)
@@ -463,15 +562,26 @@ func degradeOrFail(in *instance, err error) (*Selection, error) {
 
 // decode converts the ILP solution into a Selection.
 func (in *instance) decode(h handles, sol *ilp.Solution, nodes int) *Selection {
+	var chosen []int
+	for i := range in.db.IMPs {
+		if sol.IsSet(h.xs[i]) {
+			chosen = append(chosen, i)
+		}
+	}
+	return in.compose(chosen, nodes)
+}
+
+// compose assembles the Selection of a chosen index set: areas with
+// fixed-charge sharing, total and per-path gains, merged S-instruction
+// counts.
+func (in *instance) compose(chosen []int, nodes int) *Selection {
 	sel := &Selection{Status: ilp.Optimal, Nodes: nodes}
 	usedIPs := map[string]bool{}
 	groupArea := map[group]float64{}
-	for i, im := range in.db.IMPs {
-		if !sol.IsSet(h.xs[i]) {
-			continue
-		}
+	for _, i := range chosen {
+		im := in.db.IMPs[i]
 		sel.Chosen = append(sel.Chosen, im)
-		sel.Gain += im.TotalGain
+		sel.Gain += in.totalGain[i]
 		sel.SCallsImplemented += len(im.SC.Sites)
 		usedIPs[im.IP.ID] = true
 		g := in.grpOf[i]
@@ -496,10 +606,8 @@ func (in *instance) decode(h handles, sol *ilp.Solution, nodes int) *Selection {
 	// Per-path achieved gains.
 	sel.PathGains = make([]int64, len(in.db.Paths))
 	for k := range in.db.Paths {
-		for i := range in.db.IMPs {
-			if sol.IsSet(h.xs[i]) {
-				sel.PathGains[k] += in.pathCoef(k, i)
-			}
+		for _, i := range chosen {
+			sel.PathGains[k] += in.pathCoef(k, i)
 		}
 	}
 	sort.Slice(sel.Chosen, func(a, b int) bool { return sel.Chosen[a].SC.Index < sel.Chosen[b].SC.Index })

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"strconv"
@@ -62,7 +63,36 @@ type JobSpec struct {
 	// MaxParallelism, so a job can never grab more cores than the
 	// operator allows on top of the job-level worker pool.
 	Parallelism int `json:"parallelism,omitempty"`
+	// Mode selects the solver strategy of a select job: "" runs the
+	// exact solver alone, ModePortfolio races the capacity-bound
+	// witness, greedy, LP-rounding, and the exact solver (plus the
+	// seeded previous answer on edits), surfacing the first acceptable
+	// answer and per-engine attribution on the result.
+	Mode string `json:"mode,omitempty"`
+	// Gap is the portfolio acceptability threshold (relative area gap);
+	// nil takes the server's configured default, 0 accepts only proven
+	// results. Portfolio mode only.
+	Gap *float64 `json:"gap,omitempty"`
+	// Edits is the interactive edit history folded into this job: each
+	// entry is one batch of IP-area / IMP-gain / required-gain changes,
+	// applied in order on top of the base program. Jobs created by
+	// POST /v1/jobs/{id}/edits carry the parent's history plus the new
+	// edit, so the spec stays self-contained and journal replay re-runs
+	// it without needing the parent's in-memory state.
+	Edits []partita.Delta `json:"edits,omitempty"`
+	// ParentKey is the result key of the job this spec was derived from
+	// by an edit; the solver warm-starts from the parent's cached
+	// selection when it is still available. Part of the content address
+	// (a warm seed can change anytime results under a budget).
+	ParentKey string `json:"parentKey,omitempty"`
 }
+
+// ModePortfolio is the racing-portfolio solver mode of a select job.
+const ModePortfolio = "portfolio"
+
+// EditDelta is one batch of interactive edits on the wire — IP area,
+// IMP gain, and required-gain replacements (partita.Delta's JSON form).
+type EditDelta = partita.Delta
 
 // maxSweepPoints caps the per-job sweep resolution.
 const maxSweepPoints = 50
@@ -109,6 +139,41 @@ func (s *JobSpec) Validate() error {
 	}
 	if len(s.PerPath) > 0 && s.Kind != KindSelect {
 		return fmt.Errorf("service: perPath applies only to select jobs")
+	}
+	switch s.Mode {
+	case "":
+		if s.Gap != nil || len(s.Edits) > 0 || s.ParentKey != "" {
+			return fmt.Errorf("service: gap, edits, and parentKey require mode %q", ModePortfolio)
+		}
+	case ModePortfolio:
+		if s.Kind != KindSelect {
+			return fmt.Errorf("service: mode %q applies only to select jobs", ModePortfolio)
+		}
+		if s.Gap != nil && (*s.Gap < 0 || *s.Gap >= 1 || math.IsNaN(*s.Gap)) {
+			return fmt.Errorf("service: gap must be in [0, 1)")
+		}
+		for i, e := range s.Edits {
+			if e.Required != nil && *e.Required < 0 {
+				return fmt.Errorf("service: edit %d sets negative required gain", i)
+			}
+			for k, v := range e.PathRequired {
+				if k < 0 || v < 0 {
+					return fmt.Errorf("service: edit %d has invalid path requirement %d:%d", i, k, v)
+				}
+			}
+			for id, a := range e.IPArea {
+				if a < 0 || math.IsNaN(a) || math.IsInf(a, 0) {
+					return fmt.Errorf("service: edit %d sets IP %q area to invalid %g", i, id, a)
+				}
+			}
+			for id, g := range e.IMPGain {
+				if g < 0 {
+					return fmt.Errorf("service: edit %d sets IMP %q gain to negative %d", i, id, g)
+				}
+			}
+		}
+	default:
+		return fmt.Errorf("service: unknown mode %q (only %q)", s.Mode, ModePortfolio)
 	}
 	return nil
 }
@@ -205,6 +270,27 @@ func (s *JobSpec) resultKey() (string, error) {
 		// part of the content address.
 		"parallelism:"+strconv.Itoa(s.Parallelism),
 	)
+	if s.Mode != "" {
+		gap := "default"
+		if s.Gap != nil {
+			gap = strconv.FormatFloat(*s.Gap, 'g', -1, 64)
+		}
+		// json.Marshal sorts map keys, so the edit encoding — and with it
+		// the content address — is deterministic.
+		edits, jerr := json.Marshal(s.Edits)
+		if jerr != nil {
+			return "", jerr
+		}
+		tags = append(tags,
+			"mode:"+s.Mode,
+			"gap:"+gap,
+			"edits:"+string(edits),
+			// The warm seed a parent provides cannot change a settled
+			// proof, but under a budget the anytime answer it reaches can
+			// differ — so the parent is part of the content address.
+			"parent:"+s.ParentKey,
+		)
+	}
 	return partita.CanonicalHash(source, root, cat, opt, tags...), nil
 }
 

@@ -48,16 +48,25 @@ type Metrics struct {
 	batchPointsIn    uint64
 	batchPoints      map[string]uint64 // by disposition
 	streamEvents     uint64
+
+	// Portfolio-mode counters: race wins by engine, and the
+	// time-to-first-acceptable histogram.
+	portfolioWins    map[string]uint64 // by engine: seed|capacity|greedy|lpround|exact
+	portfolioBucketN []uint64
+	portfolioSum     float64
+	portfolioN       uint64
 }
 
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		submitted:    map[string]uint64{},
-		completed:    map[string]uint64{},
-		batchPoints:  map[string]uint64{},
-		bucketN:      make([]uint64, len(solveBuckets)),
-		fsyncBucketN: make([]uint64, len(fsyncBuckets)),
+		submitted:        map[string]uint64{},
+		completed:        map[string]uint64{},
+		batchPoints:      map[string]uint64{},
+		portfolioWins:    map[string]uint64{},
+		bucketN:          make([]uint64, len(solveBuckets)),
+		fsyncBucketN:     make([]uint64, len(fsyncBuckets)),
+		portfolioBucketN: make([]uint64, len(solveBuckets)),
 	}
 }
 
@@ -133,6 +142,22 @@ func (m *Metrics) BatchCompleted(BatchSummary) {
 func (m *Metrics) EventDelivered() {
 	m.mu.Lock()
 	m.streamEvents++
+	m.mu.Unlock()
+}
+
+// PortfolioWin counts one race won (first acceptable answer delivered)
+// by the given engine, and records the time to that answer in the
+// first-acceptable latency histogram.
+func (m *Metrics) PortfolioWin(engine string, seconds float64) {
+	m.mu.Lock()
+	m.portfolioWins[engine]++
+	for i, ub := range solveBuckets {
+		if seconds <= ub {
+			m.portfolioBucketN[i]++
+		}
+	}
+	m.portfolioSum += seconds
+	m.portfolioN++
 	m.mu.Unlock()
 }
 
@@ -256,6 +281,15 @@ func (m *Metrics) WritePrometheus(w io.Writer, g Gauges, caches []cacheStat) {
 		draining = 1
 	}
 	fmt.Fprintf(w, "# HELP partitad_draining Whether the server is draining for shutdown.\n# TYPE partitad_draining gauge\npartitad_draining %d\n", draining)
+
+	writeMap("partitad_portfolio_wins_total", "Portfolio races won (first acceptable answer), by engine.", "engine", m.portfolioWins)
+	fmt.Fprintf(w, "# HELP partitad_portfolio_first_acceptable_seconds Time from portfolio race start to the first acceptable answer.\n# TYPE partitad_portfolio_first_acceptable_seconds histogram\n")
+	for i, ub := range solveBuckets {
+		fmt.Fprintf(w, "partitad_portfolio_first_acceptable_seconds_bucket{le=%q} %d\n", fmt.Sprintf("%g", ub), m.portfolioBucketN[i])
+	}
+	fmt.Fprintf(w, "partitad_portfolio_first_acceptable_seconds_bucket{le=\"+Inf\"} %d\n", m.portfolioN)
+	fmt.Fprintf(w, "partitad_portfolio_first_acceptable_seconds_sum %g\n", m.portfolioSum)
+	fmt.Fprintf(w, "partitad_portfolio_first_acceptable_seconds_count %d\n", m.portfolioN)
 
 	fmt.Fprintf(w, "# HELP partitad_solve_seconds Job solve wall time.\n# TYPE partitad_solve_seconds histogram\n")
 	for i, ub := range solveBuckets {

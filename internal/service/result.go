@@ -28,6 +28,70 @@ type SelectionResult struct {
 	Nodes             int         `json:"nodes"`
 	PathGains         []int64     `json:"pathGains,omitempty"`
 	Chosen            []ChosenIMP `json:"chosen,omitempty"`
+	// Portfolio carries the per-engine attribution of a portfolio-mode
+	// solve (nil for plain exact solves).
+	Portfolio *PortfolioInfo `json:"portfolio,omitempty"`
+}
+
+// PortfolioInfo is the per-engine attribution of a portfolio race: who
+// won the race to the first acceptable answer, who produced the settled
+// result, and whether the exact proof confirmed the fast answer.
+type PortfolioInfo struct {
+	// Engine produced the settled selection (seed, capacity, greedy,
+	// lpround, exact).
+	Engine string `json:"engine"`
+	// Gap is the settled proven relative area gap (0 when proven, -1
+	// when no finite bound is known).
+	Gap float64 `json:"gap"`
+	// FirstEngine/FirstArea/FirstGap describe the first acceptable
+	// answer delivered during the race.
+	FirstEngine string  `json:"firstEngine"`
+	FirstArea   float64 `json:"firstArea"`
+	FirstGap    float64 `json:"firstGap"`
+	// FirstMs and SettleMs are the times from race start to the first
+	// acceptable answer and to the settled result, in milliseconds.
+	FirstMs  float64 `json:"firstMs"`
+	SettleMs float64 `json:"settleMs"`
+	// Confirmed reports that the race settled with a proof agreeing
+	// with the first answer.
+	Confirmed bool `json:"confirmed"`
+	// Seeded reports a warm-started incremental re-solve.
+	Seeded bool `json:"seeded,omitempty"`
+}
+
+// NewPortfolioSelectionResult flattens a portfolio race outcome into
+// the wire schema: the settled selection plus per-engine attribution.
+func NewPortfolioSelectionResult(r *partita.PortfolioResult) *SelectionResult {
+	if r == nil {
+		return nil
+	}
+	out := NewSelectionResult(r.Sel)
+	if out == nil {
+		return nil
+	}
+	gap := r.Gap
+	if math.IsInf(gap, 0) || math.IsNaN(gap) {
+		gap = -1
+	}
+	firstGap := r.FirstGap
+	if math.IsInf(firstGap, 0) || math.IsNaN(firstGap) {
+		firstGap = -1
+	}
+	info := &PortfolioInfo{
+		Engine:      string(r.Engine),
+		Gap:         gap,
+		FirstEngine: string(r.FirstEngine),
+		FirstGap:    firstGap,
+		FirstMs:     float64(r.First.Microseconds()) / 1e3,
+		SettleMs:    float64(r.Settled.Microseconds()) / 1e3,
+		Confirmed:   r.Confirmed,
+		Seeded:      r.Seeded,
+	}
+	if r.FirstSel != nil {
+		info.FirstArea = r.FirstSel.Area
+	}
+	out.Portfolio = info
+	return out
 }
 
 // ChosenIMP is one selected implementation method.

@@ -40,6 +40,11 @@ type Config struct {
 	// request is a performance hint, and the operator's cap is what keeps
 	// Workers × Parallelism from oversubscribing the machine.
 	MaxParallelism int
+	// PortfolioGap is the acceptability threshold applied to portfolio
+	// jobs whose spec leaves Gap unset: a candidate within this proven
+	// relative area gap of optimal is delivered as the first answer
+	// while the exact proof keeps running (default 0.05).
+	PortfolioGap float64
 	// MaxBatchPoints caps how many points one POST /v1/batches may carry
 	// (default 4096); oversized batches are rejected with 413.
 	MaxBatchPoints int
@@ -106,6 +111,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxParallelism <= 0 {
 		c.MaxParallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.PortfolioGap <= 0 {
+		c.PortfolioGap = 0.05
 	}
 	if c.MaxBatchPoints <= 0 {
 		c.MaxBatchPoints = 4096
@@ -204,6 +212,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/edits", s.handleEdit)
 	s.mux.HandleFunc("POST /v1/batches", s.handleBatchSubmit)
 	s.mux.HandleFunc("GET /v1/batches", s.handleBatchList)
 	s.mux.HandleFunc("GET /v1/batches/{id}", s.handleBatchGet)
@@ -527,6 +536,9 @@ func (s *Server) execute(job *Job) (*JobResult, string, error) {
 
 	switch spec.Kind {
 	case KindSelect:
+		if spec.Mode == ModePortfolio {
+			return s.executePortfolio(ctx, job, design, bud)
+		}
 		var sel *partita.Selection
 		if len(spec.PerPath) > 0 {
 			sel, err = design.SelectPerPathCtx(ctx, spec.RequiredGain, spec.PerPath, bud)
@@ -560,6 +572,70 @@ func (s *Server) execute(job *Job) (*JobResult, string, error) {
 		return &JobResult{Kind: spec.Kind, Sweep: NewSweepResult(pts)}, outcome, nil
 	}
 	return nil, "", fmt.Errorf("service: unhandled job kind %q", spec.Kind)
+}
+
+// executePortfolio runs one portfolio-mode select job: fold the spec's
+// edit history into one delta, reconstruct the warm seed from the
+// parent's cached result when one is named and still available, and
+// race the engines. Correctness never depends on the seed: a missing or
+// stale parent result only costs warm-start pruning.
+func (s *Server) executePortfolio(ctx context.Context, job *Job, design *partita.Design, bud partita.Budget) (*JobResult, string, error) {
+	spec := job.Spec
+	gap := s.cfg.PortfolioGap
+	if spec.Gap != nil {
+		gap = *spec.Gap
+	}
+	opt := partita.PortfolioOptions{
+		Gap:     gap,
+		Budget:  bud,
+		PerPath: spec.PerPath,
+		Observe: s.observeJob(job),
+		Warm:    s.parentSeed(design, spec.ParentKey),
+	}
+	delta := partita.Delta{}
+	for _, e := range spec.Edits {
+		delta = delta.Merge(e)
+	}
+	if delta.Required == nil {
+		rq := spec.RequiredGain
+		delta.Required = &rq
+	}
+	res, err := design.Reselect(ctx, nil, delta, opt)
+	if err != nil {
+		return nil, "", err
+	}
+	s.metrics.PortfolioWin(string(res.FirstEngine), res.First.Seconds())
+	return &JobResult{Kind: spec.Kind, Selection: NewPortfolioSelectionResult(res)}, Outcome(res.Sel), nil
+}
+
+// parentSeed rebuilds a warm-start selection from the parent job's
+// cached result: its chosen IMP IDs resolved against this design's
+// database. Returns nil — no seed — when the parent's result is gone
+// from every cache or references methods this design does not have.
+func (s *Server) parentSeed(design *partita.Design, parentKey string) *partita.Selection {
+	if parentKey == "" {
+		return nil
+	}
+	res, ok := s.CachedResult(parentKey)
+	if !ok && s.cfg.RemoteLookup != nil {
+		res, ok = s.cfg.RemoteLookup(parentKey)
+	}
+	if !ok || res == nil || res.Selection == nil || len(res.Selection.Chosen) == 0 {
+		return nil
+	}
+	byID := make(map[string]*partita.IMP, len(design.DB.IMPs))
+	for _, m := range design.DB.IMPs {
+		byID[m.ID] = m
+	}
+	sel := &partita.Selection{Status: partita.Feasible}
+	for _, c := range res.Selection.Chosen {
+		m, ok := byID[c.ID]
+		if !ok {
+			return nil
+		}
+		sel.Chosen = append(sel.Chosen, m)
+	}
+	return sel
 }
 
 // observeJob folds solver incumbents into the job's poll snapshot and,
@@ -665,6 +741,91 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, job.View())
+}
+
+// EditRequest is the body of POST /v1/jobs/{id}/edits: the edits to
+// apply on top of the parent job's problem, plus optional overrides of
+// the derived job's portfolio gap and budgets.
+type EditRequest struct {
+	// Edits is applied in order after the parent's own edit history.
+	Edits []partita.Delta `json:"edits"`
+	// Gap overrides the portfolio acceptability threshold (nil keeps
+	// the parent's, or the server default).
+	Gap *float64 `json:"gap,omitempty"`
+	// TimeoutMs, MaxNodes, and Parallelism override the parent's
+	// budgets when non-nil.
+	TimeoutMs   *int64 `json:"timeoutMs,omitempty"`
+	MaxNodes    *int   `json:"maxNodes,omitempty"`
+	Parallelism *int   `json:"parallelism,omitempty"`
+}
+
+// handleEdit derives a new job from a finished select job by appending
+// edits to its spec. The derived spec is self-contained — the parent's
+// full edit history plus the new edits ride along — so it journals,
+// replays, and content-addresses like any other submission; the parent
+// link is only a warm-start hint (and part of the content address).
+func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
+	parent, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: no such job %q", r.PathValue("id")))
+		return
+	}
+	var req EditRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad edit request: %w", err))
+		return
+	}
+	if len(req.Edits) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: edit request carries no edits"))
+		return
+	}
+	if parent.Spec.Kind != KindSelect {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: job %s is a %s job; edits apply to select jobs", parent.ID, parent.Spec.Kind))
+		return
+	}
+	if !parent.Done() {
+		writeError(w, http.StatusConflict, fmt.Errorf("service: job %s has not finished; edit the settled result", parent.ID))
+		return
+	}
+
+	spec := parent.Spec
+	spec.Mode = ModePortfolio
+	spec.Edits = append(append([]partita.Delta(nil), parent.Spec.Edits...), req.Edits...)
+	spec.ParentKey = parent.Key
+	if req.Gap != nil {
+		spec.Gap = req.Gap
+	}
+	if req.TimeoutMs != nil {
+		spec.TimeoutMs = *req.TimeoutMs
+	}
+	if req.MaxNodes != nil {
+		spec.MaxNodes = *req.MaxNodes
+	}
+	if req.Parallelism != nil {
+		spec.Parallelism = *req.Parallelism
+	}
+
+	job, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	code := http.StatusAccepted
+	if job.Done() {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, job.View())
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

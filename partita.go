@@ -35,6 +35,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"partita/internal/budget"
 	"partita/internal/cdfg"
@@ -50,6 +51,7 @@ import (
 	"partita/internal/lower"
 	"partita/internal/mop"
 	mopopt "partita/internal/opt"
+	"partita/internal/portfolio"
 	"partita/internal/profile"
 	"partita/internal/sched"
 	"partita/internal/selector"
@@ -161,8 +163,9 @@ type Options struct {
 //
 // Concurrency: a Design is immutable after Analyze returns. The solver
 // entry points — Select, SelectCtx, SelectCtxObserve, SelectPerPath,
-// SelectPerPathCtx, GreedySelect, Sweep, and SweepCtx — only read the
-// Design and build their working state per call, so any number of them
+// SelectPerPathCtx, GreedySelect, SelectPortfolio, Reselect, Sweep, and
+// SweepCtx — only read the Design and build their working state per
+// call, so any number of them
 // may run concurrently on the same Design from different goroutines.
 // This is the contract the partitad service relies on to share one
 // analyzed Design across its whole worker pool. (Profile and Simulate
@@ -290,6 +293,187 @@ func (d *Design) SelectPerPathCtx(ctx context.Context, requiredGain int64, perPa
 // parallel execution, gain/area greedy).
 func (d *Design) GreedySelect(requiredGain int64) *Selection {
 	return d.selAnalysis().Greedy(selector.Problem{DB: d.DB, Required: requiredGain})
+}
+
+// Delta is one batch of interactive edits to a selection problem: IP
+// silicon-area replacements, per-execution IMP gain replacements, and
+// required-gain changes (uniform or per path). The zero value edits
+// nothing. Deltas drive Reselect, the incremental re-solve of an
+// interactive design loop.
+type Delta = selector.Delta
+
+// PortfolioEngine names one engine of the racing solver portfolio.
+type PortfolioEngine = portfolio.Engine
+
+// Portfolio engines, in cost order.
+const (
+	// EngineGreedy is the gain/area-ratio baseline: microseconds, no
+	// proof, no bound.
+	EngineGreedy = portfolio.Greedy
+	// EngineLPRound solves one LP relaxation and rounds to a feasible
+	// point: milliseconds, carries the LP lower bound, proves
+	// infeasibility.
+	EngineLPRound = portfolio.LPRound
+	// EngineExact is the parallel branch and bound — the only engine
+	// that proves optimality.
+	EngineExact = portfolio.Exact
+)
+
+// PortfolioAnswer is one delivered answer of a portfolio race: the
+// engine that produced it, the selection, the proven relative area gap
+// at delivery time, and the elapsed time since the race started.
+type PortfolioAnswer = portfolio.Answer
+
+// PortfolioOptions tunes SelectPortfolio and Reselect.
+type PortfolioOptions struct {
+	// Gap is the relative area gap at which a bounded candidate becomes
+	// the race's first acceptable answer: a candidate with area A is
+	// acceptable once the best proven lower bound L satisfies
+	// (A-L)/max(1,A) ≤ Gap. 0 accepts only proven results (the settled
+	// answer is then the exact solver's, byte for byte).
+	Gap float64
+	// Budget bounds each engine's work, like SelectCtx.
+	Budget Budget
+	// PerPath carries per-execution-path requirements (indexed like
+	// DB.Paths; entries < 0 fall back to the uniform requirement).
+	PerPath []int64
+	// Warm, when non-nil, seeds the LP and exact engines from a
+	// previous selection. Seeds are re-validated against the model and
+	// can only tighten pruning, never change the settled answer.
+	Warm *Selection
+	// Observe, when non-nil, streams the exact engine's anytime
+	// incumbents under the SelectCtxObserve contract.
+	Observe func(Incumbent)
+	// OnFirst, when non-nil, is invoked exactly once — synchronously,
+	// from the engine goroutine that crossed the threshold — when the
+	// first acceptable answer lands. The race continues behind it until
+	// the exact proof settles or the budget runs out.
+	OnFirst func(PortfolioAnswer)
+}
+
+// PortfolioResult is the settled outcome of a portfolio solve, with
+// per-engine attribution: which engine won the race to the first
+// acceptable answer, which produced the settled result, and whether the
+// final proof confirmed the fast answer.
+type PortfolioResult struct {
+	// Sel is the settled selection — the exact engine's result when it
+	// finished, otherwise the best bounded candidate.
+	Sel *Selection
+	// Engine produced Sel.
+	Engine PortfolioEngine
+	// Gap is the settled relative area gap (0 when proven).
+	Gap float64
+	// FirstEngine/FirstSel/FirstGap describe the race winner: the first
+	// acceptable answer delivered (also passed to OnFirst). When no
+	// engine crossed the threshold early, they repeat the settled
+	// answer.
+	FirstEngine PortfolioEngine
+	FirstSel    *Selection
+	FirstGap    float64
+	// First and Settled are the times from race start to the first
+	// acceptable answer and to the settled result.
+	First   time.Duration
+	Settled time.Duration
+	// Confirmed reports that the race settled with a proof agreeing
+	// with the first answer — the result a caller already acted on was
+	// right.
+	Confirmed bool
+	// Seeded reports that the engines were warm-started from a previous
+	// selection (an incremental re-solve).
+	Seeded bool
+
+	// Chaining state for Reselect: the (possibly Delta-derived)
+	// analysis this result was solved over and its requirements.
+	an       *selector.Analysis
+	required int64
+	perPath  []int64
+}
+
+func wrapPortfolio(r *portfolio.Result, an *selector.Analysis, p selector.Problem) *PortfolioResult {
+	return &PortfolioResult{
+		Sel:         r.Sel,
+		Engine:      r.Engine,
+		Gap:         r.Gap,
+		FirstEngine: r.First.Engine,
+		FirstSel:    r.First.Sel,
+		FirstGap:    r.First.Gap,
+		First:       r.First.Elapsed,
+		Settled:     r.Settled,
+		Confirmed:   r.Confirmed,
+		Seeded:      r.Seeded,
+		an:          an,
+		required:    p.Required,
+		perPath:     p.PerPath,
+	}
+}
+
+// SelectPortfolio races the greedy baseline, LP-relaxation + rounding,
+// and the exact parallel branch and bound over the Design's shared
+// analysis, delivering the first *acceptable* answer (feasible, with a
+// proven relative area gap ≤ opt.Gap) through opt.OnFirst while the
+// exact proof keeps running behind it. A proof — the exact optimum or
+// an infeasibility proof from either the LP relaxation or the exact
+// search — settles the race and cancels the remaining engines. With
+// Gap 0 the settled result is identical to SelectCtx's.
+func (d *Design) SelectPortfolio(ctx context.Context, requiredGain int64, opt PortfolioOptions) (res *PortfolioResult, err error) {
+	defer guard(&err)
+	an := d.selAnalysis()
+	p := selector.Problem{DB: d.DB, Required: requiredGain, PerPath: opt.PerPath, Budget: opt.Budget}
+	r, err := portfolio.Run(ctx, an, p, opt.Warm, portfolio.Config{
+		Gap: opt.Gap, OnIncumbent: opt.Observe, OnFirst: opt.OnFirst,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return wrapPortfolio(r, an, p), nil
+}
+
+// Reselect is the incremental re-solve of an interactive design loop:
+// apply delta to the problem prev was solved over (copy-on-write — the
+// shared analysis is never mutated and unchanged per-path coefficient
+// rows are reused by reference) and race the portfolio again, seeded
+// from prev's settled selection. Stale seeds the edit invalidated are
+// dropped automatically, so correctness never depends on the edit being
+// small. A nil prev solves the delta-edited base problem cold.
+// Results chain: each Reselect solves over the previous result's
+// derived analysis, so an edit session folds naturally.
+func (d *Design) Reselect(ctx context.Context, prev *PortfolioResult, delta Delta, opt PortfolioOptions) (res *PortfolioResult, err error) {
+	defer guard(&err)
+	an := d.selAnalysis()
+	var seed *Selection
+	p := selector.Problem{PerPath: opt.PerPath, Budget: opt.Budget}
+	if prev != nil {
+		if prev.an != nil {
+			an = prev.an
+		}
+		seed = prev.Sel
+		p.Required = prev.required
+		if p.PerPath == nil {
+			p.PerPath = prev.perPath
+		}
+	}
+	if opt.Warm != nil {
+		seed = opt.Warm
+	}
+	r, na, err := portfolio.Reselect(ctx, an, seed, delta, p, portfolio.Config{
+		Gap: opt.Gap, OnIncumbent: opt.Observe, OnFirst: opt.OnFirst,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p2 := p
+	if delta.Required != nil {
+		p2.Required = *delta.Required
+	}
+	out := wrapPortfolio(r, na, p2)
+	if len(delta.PathRequired) > 0 {
+		// The derived per-path vector lives in the problem Reselect
+		// built; recompute it for chaining.
+		if pp, perr := na.ApplyProblem(delta, p); perr == nil {
+			out.perPath = pp.PerPath
+		}
+	}
+	return out, nil
 }
 
 // Simulate validates a selection on the cycle-level system model over
