@@ -1,7 +1,7 @@
 # Convenience targets around the go toolchain; everything here is plain
 # `go test` underneath.
 
-.PHONY: build test race bench bench-ilp bench-portfolio bench-service bench-sweep integration chaos chaos-cluster
+.PHONY: build test race bench bench-ilp bench-portfolio bench-service bench-sweep bench-fanout integration chaos chaos-cluster chaos-batch
 
 build:
 	go build ./...
@@ -53,6 +53,12 @@ bench-service:
 bench-sweep:
 	go test -run NoTests -bench BenchmarkSweep -benchtime 1x ./internal/service
 
+# Fan-out sweep benchmark: the 64-point GSM sweep batch on one node
+# versus the same batch ring-routed across a 3-node in-process cluster.
+# Merges into BENCH_sweep.json (override with BENCH_SWEEP_OUT).
+bench-fanout:
+	go test -run NoTests -bench BenchmarkSweepFanout -benchtime 1x ./internal/cluster
+
 # End-to-end partitad test: builds the daemon, starts it on an
 # ephemeral port, and round-trips a GSM job over HTTP.
 integration:
@@ -73,3 +79,15 @@ chaos:
 # journals and per-node logs for artifact upload.
 chaos-cluster:
 	PARTITAD_CLUSTER_CHAOS=1 go test -race -run TestClusterKillChaos -v -timeout 10m ./client
+
+# Batch fan-out chaos test: boots a 3-node ring with -batch-fanout,
+# submits a 24-point sweep batch under injected dispatch faults,
+# SIGKILLs the peer owning the largest point group mid-batch, and
+# asserts every point terminal (zero lost, zero failed — the dead
+# owner's points requeue locally), then kills and restarts the
+# journaled coordinator and asserts the batch is restored terminal and
+# the identical resubmit solves zero points twice.
+# PARTITAD_CHAOS_SEED varies the fault seed; PARTITAD_CHAOS_DIR pins
+# journals and per-node logs for artifact upload.
+chaos-batch:
+	PARTITAD_BATCH_CHAOS=1 go test -race -run TestBatchFanoutChaos -v -timeout 10m ./client

@@ -121,6 +121,10 @@ func (c *Client) StreamBatch(ctx context.Context, id string, after uint64, fn fu
 			return after, fmt.Errorf("%w after %d attempts: stream %s: %w",
 				ErrRetriesExhausted, failures, id, lastErr)
 		}
+		// Jittered backoff before the reconnect: repeated no-progress
+		// failures back off exponentially toward the cap, and the first
+		// retry after a progress reset waits the base delay (backoffFor
+		// clamps the -1) instead of hammering a flapping node.
 		select {
 		case <-ctx.Done():
 			return after, ctx.Err()

@@ -1,0 +1,320 @@
+package client
+
+// Batch fan-out chaos test: three real partitad processes form a ring
+// with -batch-fanout, one node accepts a sweep batch and ring-routes
+// its points under injected dispatch faults (remote.point.5xx,
+// remote.point.timeout), and the peer owning the largest point group
+// is SIGKILLed mid-batch. The coordinator must then prove the ISSUE's
+// fan-out guarantees:
+//
+//  1. every point reaches a terminal disposition — zero points lost,
+//     zero points failed: dispatches to the dead peer exhaust their
+//     retry budget and requeue locally;
+//  2. the batch finishes even though a third of its owners died
+//     mid-flight (local fallback is always available);
+//  3. with a journal attached, killing and restarting the coordinator
+//     restores the finished batch and its memoized results — the
+//     identical batch resubmitted after the restart answers entirely
+//     from cache, with zero points solved twice.
+//
+// Gated behind PARTITAD_BATCH_CHAOS=1 because it builds, launches, and
+// kills daemons; run with `make chaos-batch` or:
+//
+//	PARTITAD_BATCH_CHAOS=1 go test -race -run TestBatchFanoutChaos ./client
+//
+// PARTITAD_CHAOS_SEED varies the fault seed (CI runs a small matrix);
+// PARTITAD_CHAOS_DIR pins journals and per-node logs for artifact
+// upload on failure.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// pointOwner asks a node's ring who owns one point key.
+func pointOwner(t *testing.T, base, key string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/cluster/owner/" + url.PathEscape(key))
+	if err != nil {
+		t.Fatalf("owner of %s: %v", key, err)
+	}
+	defer resp.Body.Close()
+	var v struct {
+		Owner string `json:"owner"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v.Owner
+}
+
+// scrapeOptionalMetric is scrapeMetric for counters that may not have
+// been rendered yet (e.g. a labeled series with no observations).
+func scrapeOptionalMetric(t *testing.T, base, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape %s: %v", base, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			var v float64
+			if _, err := fmt.Sscanf(rest, "%g", &v); err == nil {
+				return v
+			}
+		}
+	}
+	return 0
+}
+
+func terminalDisposition(d string) bool {
+	switch d {
+	case "cached", "coalesced", "reused", "solved", "remote", "duplicate", "failed":
+		return true
+	}
+	return false
+}
+
+func TestBatchFanoutChaos(t *testing.T) {
+	if os.Getenv("PARTITAD_BATCH_CHAOS") == "" {
+		t.Skip("set PARTITAD_BATCH_CHAOS=1 to run the batch fan-out chaos test")
+	}
+	seed := os.Getenv("PARTITAD_CHAOS_SEED")
+	if seed == "" {
+		seed = "1"
+	}
+	dir := os.Getenv("PARTITAD_CHAOS_DIR")
+	if dir == "" {
+		dir = t.TempDir()
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("batch fan-out chaos seed=%s artifacts=%s", seed, dir)
+
+	bin := filepath.Join(t.TempDir(), "partitad")
+	build := exec.Command("go", "build", "-o", bin, "partita/cmd/partitad")
+	build.Dir = repoRoot(t)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build partitad: %v\n%s", err, out)
+	}
+
+	const nodesN = 3
+	addrs := reservePorts(t, nodesN)
+	bases := make([]string, nodesN)
+	names := make([]string, nodesN)
+	for i, a := range addrs {
+		bases[i] = "http://" + a
+		names[i] = nodeNameOf(bases[i])
+	}
+	peerList := strings.Join(bases, ",")
+
+	// Solves stall 100ms so the SIGKILL lands mid-batch; remote point
+	// dispatches additionally fail ~40% of the time so the retry,
+	// backoff, and requeue paths run even before the kill.
+	faultSpec := fmt.Sprintf("seed=%s,solver.stall=1,solver.stall.delay=100ms,"+
+		"remote.point.5xx=0.25,remote.point.timeout=0.15,remote.point.timeout.delay=200ms", seed)
+	nodeArgs := func(i int) []string {
+		return []string{
+			"-addr", addrs[i],
+			"-workers", "2",
+			"-journal", filepath.Join(dir, fmt.Sprintf("node%d-seed%s.wal", i, seed)),
+			"-peers", peerList,
+			"-self", bases[i],
+			"-probe-interval", "50ms",
+			"-probe-timeout", "300ms",
+			"-peer-fail-after", "2",
+			"-batch-fanout",
+			"-batch-lease", "5s",
+			"-point-timeout", "2s",
+			"-point-retries", "2",
+			"-point-backoff", "50ms",
+			"-point-backoff-cap", "400ms",
+			"-breaker-fails", "3",
+			"-breaker-cooldown", "1s",
+			"-faults", faultSpec,
+		}
+	}
+	daemons := make([]*daemon, nodesN)
+	alive := map[int]bool{}
+	for i := range daemons {
+		daemons[i] = startClusterDaemon(t, bin,
+			filepath.Join(dir, fmt.Sprintf("node%d-seed%s.log", i, seed)), nodeArgs(i)...)
+		if daemons[i].base != bases[i] {
+			t.Fatalf("node %d listening on %s, reserved %s", i, daemons[i].base, bases[i])
+		}
+	}
+	for i := range daemons {
+		waitReady(t, bases[i])
+		alive[i] = true
+	}
+	defer func() {
+		for i, d := range daemons {
+			if alive[i] {
+				d.terminate(t)
+			}
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	c := New(bases[0], WithJitterSeed(1))
+
+	// One 24-point sweep batch, submitted to node 0: the coordinator
+	// fans the points out across the ring by key ownership.
+	const pointsN = 24
+	gains := make([]int64, pointsN)
+	for i := range gains {
+		gains[i] = int64(100 + 17*i)
+	}
+	spec := batchSpec(gains...)
+	v, err := c.SubmitBatch(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bv, err := c.Batch(ctx, v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bv.Points) != pointsN {
+		t.Fatalf("batch carries %d points, want %d", len(bv.Points), pointsN)
+	}
+
+	// The kill target is the remote peer owning the largest point group.
+	owned := map[string]int{}
+	for _, p := range bv.Points {
+		owned[pointOwner(t, bases[0], p.Key)]++
+	}
+	victim := 1
+	for i := 2; i < nodesN; i++ {
+		if owned[names[i]] > owned[names[victim]] {
+			victim = i
+		}
+	}
+	t.Logf("point ownership %v; killing node %d (%s) owning %d points",
+		owned, victim, names[victim], owned[names[victim]])
+	if owned[names[victim]] == 0 {
+		t.Fatal("no points hashed to a remote peer; fan-out premise broken")
+	}
+
+	// Let a few points finish, then SIGKILL the biggest owner mid-batch.
+	killAt := time.Now().Add(30 * time.Second)
+	for {
+		bv, err = c.Batch(ctx, v.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := bv.Total - bv.Remaining
+		if (done >= 2 && bv.Remaining > bv.Total/2) || time.Now().After(killAt) {
+			t.Logf("killing %s with %d/%d points done", names[victim], done, bv.Total)
+			break
+		}
+		if bv.Remaining == 0 {
+			t.Fatalf("batch finished before the kill; raise the stall (view %+v)", bv)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	daemons[victim].kill(t)
+	alive[victim] = false
+
+	// Guarantees 1+2: the batch still reaches its terminal summary, and
+	// every point lands on a terminal disposition — none lost to the
+	// dead peer, none failed (its points requeued and solved locally).
+	streamCtx, streamCancel := context.WithTimeout(ctx, 3*time.Minute)
+	if _, err := c.StreamBatch(streamCtx, v.ID, 0, func(BatchEvent) error { return nil }); err != nil {
+		t.Fatalf("batch did not finish after the owner kill: %v", err)
+	}
+	streamCancel()
+	bv, err = c.Batch(ctx, v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bv.Status != StatusDone || bv.Remaining != 0 || bv.Summary == nil {
+		t.Fatalf("batch not terminal after node kill: %+v", bv)
+	}
+	sum := *bv.Summary
+	if sum.Failed != 0 {
+		t.Errorf("%d points failed; every point must fall back locally: %+v", sum.Failed, sum)
+	}
+	if got := sum.Cached + sum.Coalesced + sum.Duplicates + sum.Reused + sum.Solved + sum.Remote + sum.Failed; got != pointsN {
+		t.Errorf("summary accounts for %d of %d points: %+v", got, pointsN, sum)
+	}
+	for _, p := range bv.Points {
+		if !p.Done || !terminalDisposition(p.Disposition) {
+			t.Errorf("point %d not terminal: %+v", p.Index, p)
+		}
+	}
+	// The injected faults plus the kill must have exercised the requeue
+	// path at least once.
+	requeued := scrapeOptionalMetric(t, bases[0],
+		`partitad_batch_remote_points_total{outcome="requeued"}`)
+	retries := scrapeOptionalMetric(t, bases[0], "partitad_batch_remote_retries_total")
+	t.Logf("coordinator requeued %v points, spent %v dispatch retries", requeued, retries)
+	if requeued < 1 {
+		t.Error("no point requeued locally despite a dead owner and injected dispatch faults")
+	}
+
+	// Guarantee 3: kill the coordinator too, restart it on the same
+	// journal, and the finished batch comes back terminal with its
+	// results memoized.
+	daemons[0].kill(t)
+	alive[0] = false
+	daemons[0] = startClusterDaemon(t, bin,
+		filepath.Join(dir, fmt.Sprintf("node0-seed%s-restarted.log", seed)), nodeArgs(0)...)
+	alive[0] = true
+	waitReady(t, bases[0])
+
+	rv, err := c.Batch(ctx, v.ID)
+	if err != nil {
+		t.Fatalf("batch lost across the coordinator restart: %v", err)
+	}
+	if rv.Status != StatusDone || rv.Remaining != 0 {
+		t.Fatalf("restored batch not terminal: %+v", rv)
+	}
+	if solves := scrapeMetric(t, bases[0], "partitad_solves_started_total"); solves != 0 {
+		t.Errorf("journal replay re-solved %v points", solves)
+	}
+
+	// No point solved twice: the identical batch resubmitted after the
+	// restart answers entirely from the replayed cache.
+	v2, err := c.SubmitBatch(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Status != StatusDone {
+		wctx, wcancel := context.WithTimeout(ctx, time.Minute)
+		_, err = c.StreamBatch(wctx, v2.ID, 0, func(BatchEvent) error { return nil })
+		wcancel()
+		if err != nil {
+			t.Fatalf("resubmitted batch: %v", err)
+		}
+	}
+	bv2, err := c.Batch(ctx, v2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bv2.Summary == nil || bv2.Summary.Cached != pointsN {
+		t.Errorf("resubmitted batch not fully cached: %+v", bv2.Summary)
+	}
+	if solves := scrapeMetric(t, bases[0], "partitad_solves_started_total"); solves != 0 {
+		t.Errorf("resubmitted batch solved %v points twice", solves)
+	}
+
+	if t.Failed() {
+		t.Logf("node logs and journals preserved for inspection: %s", dir)
+	}
+}

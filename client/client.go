@@ -446,7 +446,13 @@ func retryableStatus(code int) bool {
 }
 
 // backoffFor computes the jittered exponential wait for an attempt.
+// Negative attempts clamp to 0: a caller whose failure budget just
+// reset (stream progress, endpoint rotation) waits the base backoff,
+// not the cap that `backoff << -1` would otherwise overflow into.
 func (c *Client) backoffFor(attempt int) time.Duration {
+	if attempt < 0 {
+		attempt = 0
+	}
 	d := c.backoff << uint(attempt)
 	if d > c.backoffCap || d <= 0 {
 		d = c.backoffCap

@@ -1,0 +1,64 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestStreamBatchBackoffAndFinalError(t *testing.T) {
+	// A peer that 503s every reconnect: the stream must spend its
+	// failure budget with jittered exponential backoff between attempts
+	// and then surface the final HTTP error, wrapped so callers can both
+	// errors.Is the exhaustion and errors.As the status.
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	const base, cap = 10 * time.Millisecond, 80 * time.Millisecond
+	c := New(ts.URL, WithJitterSeed(6), WithMaxRetries(3), WithBackoff(base, cap))
+	start := time.Now()
+	_, err := c.StreamBatch(context.Background(), "b000123", 0,
+		func(BatchEvent) error { return nil })
+	elapsed := time.Since(start)
+
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("err = %v, want ErrRetriesExhausted", err)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("final HTTP error not surfaced: %v", err)
+	}
+	if got := hits.Load(); got != 4 {
+		t.Errorf("attempts = %d, want maxRetries+1 = 4", got)
+	}
+	// Three no-progress failures sleep backoffFor(0..2); the jitter
+	// floor is half of each delay, so 10+20+40ms back off to >= 35ms.
+	if elapsed < 35*time.Millisecond {
+		t.Errorf("retries not backed off: budget exhausted in %v", elapsed)
+	}
+}
+
+func TestBackoffForClampsNegativeAttempt(t *testing.T) {
+	// The first reconnect after a progress reset passes attempt -1; it
+	// must wait the jittered base delay, not `base << 63` wrapped to the
+	// cap (and never zero — that would hammer a flapping node).
+	c := New("http://127.0.0.1:9", WithJitterSeed(7),
+		WithBackoff(10*time.Millisecond, 5*time.Second))
+	for i := 0; i < 20; i++ {
+		d := c.backoffFor(-1)
+		if d < 5*time.Millisecond || d > 10*time.Millisecond {
+			t.Fatalf("backoffFor(-1) = %v, want jittered base in [5ms, 10ms]", d)
+		}
+	}
+	if d := c.backoffFor(1); d < 10*time.Millisecond || d > 20*time.Millisecond {
+		t.Errorf("backoffFor(1) = %v, want jittered 2*base in [10ms, 20ms]", d)
+	}
+}

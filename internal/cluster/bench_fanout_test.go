@@ -1,0 +1,222 @@
+package cluster
+
+// Fan-out sweep benchmark: a 64-point GSM sweep batch on one node
+// versus the same batch fanned out across a three-node ring with
+// -batch-fanout semantics (points ring-routed to their owners, results
+// flowing back into the coordinator's batch). Results merge into
+// BENCH_sweep.json at the repo root (override with BENCH_SWEEP_OUT)
+// under the "batch_fanout_vs_single_node_gsm" key:
+//
+//	go test -run NoTests -bench BenchmarkSweepFanout -benchtime 1x ./internal/cluster
+//
+// This is a smoke benchmark, not a speedup gate: remote points are
+// solved as independent jobs on their owners (no cross-node plateau
+// reuse yet), so the fan-out only wins once per-point solve time
+// dominates the dispatch overhead. The entry records both wall clocks
+// so the tradeoff is visible over time.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"partita/internal/service"
+)
+
+// fanoutBenchEntry mirrors the service package's sweepBenchEntry JSON
+// schema (both packages merge into the same BENCH_sweep.json).
+type fanoutBenchEntry struct {
+	Points      int     `json:"points"`
+	PerPointSec float64 `json:"perPointSec"`
+	PipelineSec float64 `json:"pipelineSec"`
+	Speedup     float64 `json:"speedup"`
+	BatchSolved int     `json:"batchSolved,omitempty"`
+	BatchReused int     `json:"batchReused,omitempty"`
+	BatchRemote int     `json:"batchRemote,omitempty"`
+}
+
+// benchOutPath locates BENCH_sweep.json: $BENCH_SWEEP_OUT if set, else
+// next to go.mod.
+func benchOutPath() (string, error) {
+	if p := os.Getenv("BENCH_SWEEP_OUT"); p != "" {
+		return p, nil
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return filepath.Join(dir, "BENCH_sweep.json"), nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// recordFanoutBench merges one entry into BENCH_sweep.json, preserving
+// entries written by other packages byte-for-byte.
+func recordFanoutBench(b *testing.B, name string, e fanoutBenchEntry) {
+	path, err := benchOutPath()
+	if err != nil {
+		b.Logf("bench output skipped: %v", err)
+		return
+	}
+	doc := map[string]json.RawMessage{}
+	if raw, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(raw, &doc)
+	}
+	raw, err := json.Marshal(e)
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc[name] = raw
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func waitJobTB(t testing.TB, j *service.Job) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		if st := j.View().Status; st == service.StatusDone || st == service.StatusFailed {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished: %+v", j.ID, j.View())
+}
+
+func waitBatchTB(t testing.TB, b *service.Batch) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Minute)
+	for time.Now().Before(deadline) {
+		if v := b.View(false); v.Status == service.StatusDone || v.Status == service.StatusFailed {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("batch %s never finished: %+v", b.ID, b.View(false))
+}
+
+func shutdownTB(t testing.TB, s *service.Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// gsmBatch builds the N-point GSM sweep batch spec over evenly spaced
+// gains up to the design's reachable maximum.
+func gsmBatch(t testing.TB, s *service.Server, points int) service.BatchSpec {
+	t.Helper()
+	probe, err := s.Submit(service.JobSpec{Kind: service.KindAnalyze, Workload: "gsm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJobTB(t, probe)
+	res := probe.Result()
+	if res == nil || res.Analyze == nil {
+		t.Fatalf("gsm analyze returned no result: %+v", probe.View())
+	}
+	spec := service.BatchSpec{Defaults: service.JobSpec{Workload: "gsm"}}
+	for i := 1; i <= points; i++ {
+		spec.Points = append(spec.Points, service.BatchPoint{
+			RequiredGain: res.Analyze.MaxReachableGain * int64(i) / int64(points),
+		})
+	}
+	return spec
+}
+
+// TestClusterBatchFanoutSpreadsPoints is the in-process integration
+// check behind the benchmark: a batch submitted to one ring member
+// really runs points on its peers, attributes them, and fails none.
+func TestClusterBatchFanoutSpreadsPoints(t *testing.T) {
+	nodes := startClusterOpts(t, 3, staticProbe(), nil, true)
+	spec := gsmBatch(t, nodes[0].srv, 12)
+	b, err := nodes[0].srv.SubmitBatch(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitBatchTB(t, b)
+
+	v := b.View(true)
+	sum := *v.Summary
+	if sum.Failed != 0 {
+		t.Fatalf("fanned-out batch failed points: %+v", sum)
+	}
+	if sum.Remote == 0 {
+		t.Fatalf("no point ran on a peer (12 points over 3 nodes): %+v", sum)
+	}
+	self := nodes[0].node.NodeName()
+	for _, p := range v.Points {
+		if p.Disposition == service.DispositionRemote && (p.Node == "" || p.Node == self) {
+			t.Errorf("remote point %d attributed to %q", p.Index, p.Node)
+		}
+	}
+}
+
+func BenchmarkSweepFanoutGSM(b *testing.B) {
+	const points = 64
+	var entry fanoutBenchEntry
+	entry.Points = points
+	for i := 0; i < b.N; i++ {
+		// Baseline: the same 64-point batch on one node, two workers —
+		// the shared-analysis local pipeline.
+		s1 := service.New(service.Config{Workers: 2, QueueDepth: 1024, ResultCacheSize: 1024})
+		s1.Start()
+		spec := gsmBatch(b, s1, points)
+		t0 := time.Now()
+		lb, err := s1.SubmitBatch(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		waitBatchTB(b, lb)
+		single := time.Since(t0)
+		if sum := lb.View(false).Summary; sum.Failed != 0 {
+			b.Fatalf("single-node batch: %+v", sum)
+		}
+		shutdownTB(b, s1)
+
+		// Fan-out: three ring members, two workers each, points routed
+		// to their owners over real HTTP.
+		nodes := startClusterOpts(b, 3, staticProbe(), nil, true)
+		warm := gsmBatch(b, nodes[0].srv, points) // analyze once before timing
+		t0 = time.Now()
+		fb, err := nodes[0].srv.SubmitBatch(warm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		waitBatchTB(b, fb)
+		fanned := time.Since(t0)
+		sum := *fb.View(false).Summary
+		if sum.Failed != 0 {
+			b.Fatalf("fanned-out batch: %+v", sum)
+		}
+
+		entry.PerPointSec = single.Seconds()
+		entry.PipelineSec = fanned.Seconds()
+		entry.Speedup = single.Seconds() / fanned.Seconds()
+		entry.BatchSolved = sum.Solved
+		entry.BatchReused = sum.Reused
+		entry.BatchRemote = sum.Remote
+	}
+	b.ReportMetric(entry.Speedup, "speedup_x")
+	b.ReportMetric(entry.PipelineSec, "fanout_sec")
+	b.ReportMetric(float64(entry.BatchRemote), "remote_points")
+	recordFanoutBench(b, "batch_fanout_vs_single_node_gsm", entry)
+}

@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a per-peer circuit breaker for the batch-point work
+// client. It exists to stop a flapping peer from eating every point's
+// retry budget: after Failures consecutive dispatch failures the
+// peer's circuit opens and dispatches fail fast for Cooldown, after
+// which a single probe dispatch is let through (half-open) — its
+// outcome re-opens or closes the circuit. The breaker is advisory
+// routing state only; the prober remains the authority on ring
+// membership, and every breaker-observed failure is also reported to
+// it.
+type breaker struct {
+	failures int
+	cooldown time.Duration
+	now      func() time.Time
+
+	mu sync.Mutex
+	st map[string]*breakerState
+}
+
+type breakerState struct {
+	fails     int
+	openUntil time.Time
+	probing   bool
+}
+
+func newBreaker(failures int, cooldown time.Duration) *breaker {
+	return &breaker{
+		failures: failures,
+		cooldown: cooldown,
+		now:      time.Now,
+		st:       map[string]*breakerState{},
+	}
+}
+
+// allow reports whether a dispatch to peer may proceed: true while the
+// circuit is closed, false while open, and true exactly once per
+// cooldown expiry as the half-open probe.
+func (b *breaker) allow(peer string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.state(peer)
+	if st.openUntil.IsZero() {
+		return true
+	}
+	if b.now().Before(st.openUntil) {
+		return false
+	}
+	if st.probing {
+		return false
+	}
+	st.probing = true
+	return true
+}
+
+// open reports whether the circuit is currently open (cooldown not yet
+// expired), for routing decisions that should skip the peer entirely.
+func (b *breaker) open(peer string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.state(peer)
+	return !st.openUntil.IsZero() && b.now().Before(st.openUntil)
+}
+
+// failure records one failed dispatch and reports whether it opened
+// (or re-opened) the circuit. A failed half-open probe re-opens
+// immediately; otherwise the failure counts toward the threshold.
+func (b *breaker) failure(peer string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.state(peer)
+	if st.probing || !st.openUntil.IsZero() && !b.now().Before(st.openUntil) {
+		st.probing = false
+		st.fails = 0
+		st.openUntil = b.now().Add(b.cooldown)
+		return true
+	}
+	st.fails++
+	if st.fails >= b.failures {
+		st.fails = 0
+		st.openUntil = b.now().Add(b.cooldown)
+		return true
+	}
+	return false
+}
+
+// success records one successful dispatch, closing the circuit.
+func (b *breaker) success(peer string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.state(peer)
+	st.fails = 0
+	st.openUntil = time.Time{}
+	st.probing = false
+}
+
+func (b *breaker) state(peer string) *breakerState {
+	st, ok := b.st[peer]
+	if !ok {
+		st = &breakerState{}
+		b.st[peer] = st
+	}
+	return st
+}

@@ -42,6 +42,23 @@ type Config struct {
 	// PeekTimeout bounds one peer result-cache peek across all peers
 	// (default 300ms — a peek must stay far cheaper than a solve).
 	PeekTimeout time.Duration
+	// PointTimeout bounds one remote batch-point dispatch attempt,
+	// submit plus polls (default 10s).
+	PointTimeout time.Duration
+	// PointRetries is how many times a failed point dispatch is retried
+	// against the same peer before the point requeues locally (default
+	// 2; negative disables retries).
+	PointRetries int
+	// PointBackoff is the base delay between point dispatch retries,
+	// doubled per attempt with jitter, capped at PointBackoffCap
+	// (defaults 100ms and 2s).
+	PointBackoff    time.Duration
+	PointBackoffCap time.Duration
+	// BreakerFailures is how many consecutive dispatch failures open a
+	// peer's work circuit (default 3); BreakerCooldown is how long the
+	// circuit stays open before a half-open probe (default 5s).
+	BreakerFailures int
+	BreakerCooldown time.Duration
 	// Faults is the optional fault injector shared with the service
 	// (peer.timeout, peer.5xx, peer.partition).
 	Faults *faults.Injector
@@ -55,6 +72,26 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PeekTimeout <= 0 {
 		c.PeekTimeout = 300 * time.Millisecond
+	}
+	if c.PointTimeout <= 0 {
+		c.PointTimeout = 10 * time.Second
+	}
+	if c.PointRetries == 0 {
+		c.PointRetries = 2
+	} else if c.PointRetries < 0 {
+		c.PointRetries = 0
+	}
+	if c.PointBackoff <= 0 {
+		c.PointBackoff = 100 * time.Millisecond
+	}
+	if c.PointBackoffCap <= 0 {
+		c.PointBackoffCap = 2 * time.Second
+	}
+	if c.BreakerFailures <= 0 {
+		c.BreakerFailures = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -71,10 +108,11 @@ type Node struct {
 	self   string
 	names  map[string]string // peer URL → short node name
 	urls   map[string]string // short node name → peer URL
-	ring   *Ring
-	prober *Prober
-	hc     *http.Client
-	inj    *faults.Injector
+	ring    *Ring
+	prober  *Prober
+	breaker *breaker
+	hc      *http.Client
+	inj     *faults.Injector
 
 	metrics *Metrics
 	mux     *http.ServeMux
@@ -108,6 +146,7 @@ func New(cfg Config) (*Node, error) {
 		names:   map[string]string{},
 		urls:    map[string]string{},
 		ring:    ring,
+		breaker: newBreaker(cfg.BreakerFailures, cfg.BreakerCooldown),
 		hc:      &http.Client{},
 		inj:     cfg.Faults,
 		metrics: &Metrics{},
@@ -251,7 +290,7 @@ func (n *Node) RemoteLookup(key string) (*service.JobResult, bool) {
 
 // peekPeer asks one peer's cache for the key; nil on miss or error.
 func (n *Node) peekPeer(ctx context.Context, peer, key string) *service.JobResult {
-	resp, err := n.peerDo(ctx, peer, http.MethodGet, "/v1/cluster/cache/"+url.PathEscape(key), nil)
+	resp, err := n.peerDo(ctx, peer, http.MethodGet, "/v1/cluster/cache/"+url.PathEscape(key), nil, nil)
 	if err != nil {
 		n.prober.ReportFailure(peer, err)
 		return nil
@@ -271,8 +310,9 @@ func (n *Node) peekPeer(ctx context.Context, peer, key string) *service.JobResul
 // peerDo performs one HTTP call to a peer, with the peer fault points
 // threaded through: peer.partition fails every call, peer.timeout
 // stalls until the context (or the configured delay) expires, peer.5xx
-// substitutes a 502.
-func (n *Node) peerDo(ctx context.Context, peer, method, pathAndQuery string, body []byte) (*http.Response, error) {
+// substitutes a 502. extra headers, when non-nil, are set on the
+// request (e.g. the propagated caller deadline).
+func (n *Node) peerDo(ctx context.Context, peer, method, pathAndQuery string, body []byte, extra map[string]string) (*http.Response, error) {
 	if n.inj.Fire(faults.PeerPartition) {
 		return nil, fmt.Errorf("cluster: %s unreachable: injected %s", peer, faults.PeerPartition)
 	}
@@ -295,6 +335,9 @@ func (n *Node) peerDo(ctx context.Context, peer, method, pathAndQuery string, bo
 	req.Header.Set(ForwardedHeader, n.names[n.self])
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, v := range extra {
+		req.Header.Set(k, v)
 	}
 	resp, err := n.hc.Do(req)
 	if err != nil {
@@ -346,8 +389,15 @@ func (n *Node) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			continue // dead owner: its range has failed over down-ring
 		}
 		n.metrics.forwardsSubmit.Add(1)
+		// A forwarded solve inherits the submitter's remaining budget: the
+		// caller's deadline header travels with the request so the target
+		// node clamps to it instead of running its own full default.
+		var extra map[string]string
+		if d := r.Header.Get(service.DeadlineHeader); d != "" {
+			extra = map[string]string{service.DeadlineHeader: d}
+		}
 		ctx, cancel := context.WithTimeout(r.Context(), n.cfg.ForwardTimeout)
-		resp, err := n.peerDo(ctx, peer, http.MethodPost, "/v1/jobs", body)
+		resp, err := n.peerDo(ctx, peer, http.MethodPost, "/v1/jobs", body, extra)
 		if err == nil && resp.StatusCode < 500 {
 			copyResponse(w, resp)
 			cancel()
@@ -402,7 +452,7 @@ func (n *Node) handleGet(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), n.cfg.ForwardTimeout)
-		resp, err := n.peerDo(ctx, peer, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil)
+		resp, err := n.peerDo(ctx, peer, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, nil)
 		found := false
 		if err == nil {
 			found = resp.StatusCode == http.StatusOK
@@ -423,7 +473,7 @@ func (n *Node) forwardPoll(w http.ResponseWriter, r *http.Request, peer, pathQ s
 	// The forward must outlive the service's 30s long-poll cap.
 	ctx, cancel := context.WithTimeout(r.Context(), n.cfg.ForwardTimeout+35*time.Second)
 	defer cancel()
-	resp, err := n.peerDo(ctx, peer, http.MethodGet, pathQ, nil)
+	resp, err := n.peerDo(ctx, peer, http.MethodGet, pathQ, nil, nil)
 	if err != nil {
 		n.forwardFailed(peer, nil, err)
 		return false
@@ -461,7 +511,7 @@ func (n *Node) handleList(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), n.cfg.ForwardTimeout)
-		resp, err := n.peerDo(ctx, peer, http.MethodGet, "/v1/jobs", nil)
+		resp, err := n.peerDo(ctx, peer, http.MethodGet, "/v1/jobs", nil, nil)
 		if err == nil && resp.StatusCode == http.StatusOK {
 			raw, _ := io.ReadAll(resp.Body)
 			collect(raw)

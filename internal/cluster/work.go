@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"partita/internal/faults"
+	"partita/internal/service"
+)
+
+// This file is the batch fan-out work client: the service core asks
+// RoutePoint where a point's ring owner lives and RemoteSolve to run it
+// there. The client owns the per-point failure policy — one timeout per
+// attempt, capped exponential backoff with jitter between attempts, a
+// retry budget per point, and a per-peer circuit breaker — and feeds
+// every observed failure into the health prober so batch traffic
+// detects dead peers as fast as forwarded submits do. The service never
+// sees any of that: a dispatch either returns a result or an error, and
+// on error the point requeues locally.
+
+// RoutePoint is the service.Config.RoutePoint hook: it names the live
+// ring peer a batch point should run on, walking the key's failover
+// order and skipping dead peers and open work circuits. ("", false)
+// means run the point locally — either this node is the first live
+// choice for the key, or no remote peer is usable.
+func (n *Node) RoutePoint(key string) (string, bool) {
+	for _, peer := range n.ring.Order(key) {
+		if peer == n.self {
+			return "", false
+		}
+		if !n.alive(peer) || n.breaker.open(peer) {
+			continue
+		}
+		return n.names[peer], true
+	}
+	return "", false
+}
+
+// RemoteSolve is the service.Config.RemoteSolve hook: it runs one batch
+// point on the named peer, returning the peer's result and how many
+// retry attempts were spent. The context carries the point's lease
+// deadline; every attempt is additionally bounded by PointTimeout. An
+// error (retry budget exhausted, lease expired, circuit open) means the
+// caller requeues the point locally.
+func (n *Node) RemoteSolve(ctx context.Context, peerName string, spec service.JobSpec) (*service.JobResult, int, error) {
+	peer, ok := n.urls[peerName]
+	if !ok {
+		return nil, 0, fmt.Errorf("cluster: unknown peer %q", peerName)
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, 0, err
+	}
+	retries := 0
+	var lastErr error
+	for attempt := 0; attempt <= n.cfg.PointRetries; attempt++ {
+		if attempt > 0 {
+			retries++
+			n.metrics.remoteRetries.Add(1)
+			select {
+			case <-time.After(n.pointBackoff(attempt)):
+			case <-ctx.Done():
+				return nil, retries, fmt.Errorf("cluster: point dispatch to %s: %w (last error: %v)", peerName, ctx.Err(), lastErr)
+			}
+		}
+		if !n.breaker.allow(peer) {
+			lastErr = fmt.Errorf("cluster: %s: work circuit open", peerName)
+			continue
+		}
+		n.metrics.remoteDispatches.Add(1)
+		res, err := n.solvePointOnce(ctx, peer, body)
+		if err == nil {
+			n.breaker.success(peer)
+			return res, retries, nil
+		}
+		lastErr = err
+		n.metrics.remoteDispatchFailures.Add(1)
+		if n.breaker.failure(peer) {
+			n.metrics.breakerOpens.Add(1)
+			n.cfg.Logf("cluster: work circuit to %s opened (%v)", peerName, err)
+		}
+		n.prober.ReportFailure(peer, err)
+		if ctx.Err() != nil {
+			return nil, retries, fmt.Errorf("cluster: point dispatch to %s: %w (last error: %v)", peerName, ctx.Err(), err)
+		}
+	}
+	return nil, retries, fmt.Errorf("cluster: point dispatch to %s failed after %d attempts: %w", peerName, n.cfg.PointRetries+1, lastErr)
+}
+
+// pointBackoff is the delay before retry attempt n (1-based): base
+// doubled per attempt, capped, then jittered into [d/2, d] so a burst
+// of failed points does not retry in lockstep against the same peer.
+func (n *Node) pointBackoff(attempt int) time.Duration {
+	d := n.cfg.PointBackoff << uint(attempt-1)
+	if d > n.cfg.PointBackoffCap || d <= 0 {
+		d = n.cfg.PointBackoffCap
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// solvePointOnce performs one dispatch attempt: submit the point's spec
+// to the peer (stamped with the remaining attempt budget as the
+// propagated caller deadline), then poll the job to completion. The
+// remote.point.* fault points fire here, per attempt, so the injected
+// failure rates exercise the retry and breaker paths exactly like real
+// peer failures would.
+func (n *Node) solvePointOnce(ctx context.Context, peer string, body []byte) (*service.JobResult, error) {
+	if n.inj.Fire(faults.RemotePoint5xx) {
+		return nil, fmt.Errorf("cluster: %s: injected %s (HTTP 502)", peer, faults.RemotePoint5xx)
+	}
+	if n.inj.Fire(faults.RemotePointTimeout) {
+		delay := n.inj.Duration(faults.RemotePointTimeoutDelay, 250*time.Millisecond)
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+		}
+		return nil, fmt.Errorf("cluster: %s: injected %s", peer, faults.RemotePointTimeout)
+	}
+	actx, cancel := context.WithTimeout(ctx, n.cfg.PointTimeout)
+	defer cancel()
+	extra := map[string]string{}
+	if dl, ok := actx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			extra[service.DeadlineHeader] = strconv.FormatInt(ms, 10)
+		}
+	}
+	resp, err := n.peerDo(actx, peer, http.MethodPost, "/v1/jobs", body, extra)
+	if err != nil {
+		return nil, err
+	}
+	var view service.JobView
+	if err := decodeResponse(resp, &view); err != nil {
+		return nil, err
+	}
+	for {
+		switch view.Status {
+		case service.StatusDone:
+			if view.Result == nil {
+				return nil, fmt.Errorf("cluster: %s: job %s done without result", peer, view.ID)
+			}
+			return view.Result, nil
+		case service.StatusFailed:
+			return nil, fmt.Errorf("cluster: %s: job %s failed: %s", peer, view.ID, view.Error)
+		}
+		resp, err := n.peerDo(actx, peer, http.MethodGet, "/v1/jobs/"+url.PathEscape(view.ID)+"?wait=5s", nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		if err := decodeResponse(resp, &view); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// decodeResponse consumes one peer response into v, mapping non-2xx
+// statuses to errors.
+func decodeResponse(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("cluster: peer answered HTTP %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

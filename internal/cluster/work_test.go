@@ -1,0 +1,299 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"partita/internal/faults"
+	"partita/internal/service"
+)
+
+func TestBreakerStateMachine(t *testing.T) {
+	clk := time.Unix(1000, 0)
+	b := newBreaker(3, time.Minute)
+	b.now = func() time.Time { return clk }
+
+	if !b.allow("p") || b.open("p") {
+		t.Fatal("fresh circuit must be closed")
+	}
+	if b.failure("p") || b.failure("p") {
+		t.Fatal("circuit opened below the failure threshold")
+	}
+	if !b.allow("p") {
+		t.Fatal("circuit must stay closed below the threshold")
+	}
+	if !b.failure("p") {
+		t.Fatal("third consecutive failure must open the circuit")
+	}
+	if b.allow("p") || !b.open("p") {
+		t.Fatal("open circuit must fail fast")
+	}
+
+	// Cooldown expiry: exactly one half-open probe gets through.
+	clk = clk.Add(time.Minute + time.Second)
+	if b.open("p") {
+		t.Fatal("cooldown expired, circuit must not report open")
+	}
+	if !b.allow("p") {
+		t.Fatal("first dispatch after cooldown must be allowed as the probe")
+	}
+	if b.allow("p") {
+		t.Fatal("only one half-open probe may proceed")
+	}
+
+	// A failed probe re-opens immediately, without a fresh threshold.
+	if !b.failure("p") {
+		t.Fatal("failed half-open probe must re-open the circuit")
+	}
+	if b.allow("p") {
+		t.Fatal("re-opened circuit must fail fast")
+	}
+
+	// A successful probe closes the circuit fully.
+	clk = clk.Add(time.Minute + time.Second)
+	if !b.allow("p") {
+		t.Fatal("probe after second cooldown must be allowed")
+	}
+	b.success("p")
+	for i := 0; i < 5; i++ {
+		if !b.allow("p") || b.open("p") {
+			t.Fatal("closed circuit must allow every dispatch")
+		}
+	}
+
+	// A failure observed after the cooldown lapsed while nothing probed
+	// (stale open state) re-opens rather than restarting the count.
+	b.failure("q")
+	b.failure("q")
+	b.failure("q") // open
+	clk = clk.Add(2 * time.Minute)
+	if !b.failure("q") {
+		t.Fatal("failure on a stale-open circuit must re-open it")
+	}
+	if b.allow("q") {
+		t.Fatal("re-opened circuit must fail fast")
+	}
+
+	// Peers are independent.
+	if !b.allow("r") {
+		t.Fatal("unrelated peer affected by another peer's circuit")
+	}
+}
+
+// workNode builds a Node whose peer list is [self, the given URLs...]
+// without starting the prober: liveness only changes when a test
+// reports failures. Self is a dummy address that is never dialed.
+func workNode(t *testing.T, cfg Config, peers ...string) *Node {
+	t.Helper()
+	cfg.Self = "http://127.0.0.1:9"
+	cfg.Peers = append([]string{cfg.Self}, peers...)
+	if cfg.Probe == (ProbeConfig{}) {
+		cfg.Probe = staticProbe()
+	}
+	cfg.Logf = t.Logf
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestRemoteSolveRetriesThenSucceeds(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerURL := "http://" + l.Addr().String()
+	var attempts atomic.Int32
+	var deadlineMs, forwarded atomic.Value
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) == 1 {
+			http.Error(w, "transient", http.StatusBadGateway)
+			return
+		}
+		deadlineMs.Store(r.Header.Get(service.DeadlineHeader))
+		forwarded.Store(r.Header.Get(ForwardedHeader))
+		var spec service.JobSpec
+		json.NewDecoder(r.Body).Decode(&spec)
+		json.NewEncoder(w).Encode(service.JobView{
+			ID: "peer-1", Status: service.StatusDone,
+			Result: &service.JobResult{Kind: service.KindSelect, Selection: &service.SelectionResult{
+				Status: "optimal", Gain: spec.RequiredGain, Area: 11,
+			}},
+		})
+	})
+	ts := &httptest.Server{Listener: l, Config: &http.Server{Handler: mux}}
+	ts.Start()
+	defer ts.Close()
+
+	n := workNode(t, Config{
+		PointRetries:    2,
+		PointBackoff:    time.Millisecond,
+		PointBackoffCap: 4 * time.Millisecond,
+	}, peerURL)
+	res, retries, err := n.RemoteSolve(context.Background(), n.names[peerURL], clusterSpec(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retries != 1 {
+		t.Errorf("retries = %d, want 1 (first attempt 502)", retries)
+	}
+	if res == nil || res.Selection == nil || res.Selection.Gain != 40 {
+		t.Fatalf("result: %+v", res)
+	}
+
+	// The dispatch stamps its attempt budget as the propagated caller
+	// deadline, and marks itself forwarded so the peer handles the point
+	// locally instead of ring-bouncing it.
+	dl, _ := deadlineMs.Load().(string)
+	ms, err := strconv.ParseInt(dl, 10, 64)
+	if err != nil || ms <= 0 || time.Duration(ms)*time.Millisecond > n.cfg.PointTimeout {
+		t.Errorf("propagated deadline header %q not within (0, %v]", dl, n.cfg.PointTimeout)
+	}
+	if fw, _ := forwarded.Load().(string); fw == "" {
+		t.Error("point dispatch missing the forwarded marker")
+	}
+
+	if got := n.metrics.remoteDispatches.Load(); got != 2 {
+		t.Errorf("dispatches = %d, want 2", got)
+	}
+	if got := n.metrics.remoteDispatchFailures.Load(); got != 1 {
+		t.Errorf("dispatch failures = %d, want 1", got)
+	}
+	if n.breaker.open(peerURL) {
+		t.Error("single failure followed by success must leave the circuit closed")
+	}
+}
+
+func TestRemoteSolvePollsQueuedJob(t *testing.T) {
+	// A peer that answers the submit with a queued view must be polled
+	// to completion within the same attempt.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerURL := "http://" + l.Addr().String()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(service.JobView{ID: "peer-7", Status: service.StatusQueued})
+	})
+	mux.HandleFunc("GET /v1/jobs/peer-7", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(service.JobView{
+			ID: "peer-7", Status: service.StatusDone,
+			Result: &service.JobResult{Kind: service.KindSelect, Selection: &service.SelectionResult{
+				Status: "optimal", Gain: 60,
+			}},
+		})
+	})
+	ts := &httptest.Server{Listener: l, Config: &http.Server{Handler: mux}}
+	ts.Start()
+	defer ts.Close()
+
+	n := workNode(t, Config{}, peerURL)
+	res, retries, err := n.RemoteSolve(context.Background(), n.names[peerURL], clusterSpec(60))
+	if err != nil || retries != 0 || res == nil || res.Selection == nil {
+		t.Fatalf("res=%+v retries=%d err=%v", res, retries, err)
+	}
+}
+
+func TestRemoteSolveFaultInjectionOpensBreaker(t *testing.T) {
+	inj, err := faults.Parse("seed=3,remote.point.5xx=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerURL := "http://127.0.0.1:10" // never dialed: the fault fires first
+	n := workNode(t, Config{
+		Faults:          inj,
+		PointRetries:    2,
+		PointBackoff:    time.Millisecond,
+		PointBackoffCap: 2 * time.Millisecond,
+		BreakerFailures: 3,
+	}, peerURL)
+
+	res, retries, err := n.RemoteSolve(context.Background(), n.names[peerURL], clusterSpec(70))
+	if err == nil || res != nil {
+		t.Fatalf("always-5xx dispatch succeeded: %+v", res)
+	}
+	if retries != 2 {
+		t.Errorf("retries = %d, want the full budget of 2", retries)
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Errorf("error does not surface the attempt count: %v", err)
+	}
+	// Three consecutive failures: the work circuit is open and the
+	// prober heard about every one of them.
+	if !n.breaker.open(peerURL) {
+		t.Error("breaker still closed after exhausting the failure threshold")
+	}
+	if got := n.metrics.breakerOpens.Load(); got != 1 {
+		t.Errorf("breaker opens = %d, want 1", got)
+	}
+	if got := n.metrics.remoteDispatchFailures.Load(); got != 3 {
+		t.Errorf("dispatch failures = %d, want 3", got)
+	}
+}
+
+func TestRemoteSolveUnknownPeer(t *testing.T) {
+	n := workNode(t, Config{}, "http://127.0.0.1:11")
+	if _, _, err := n.RemoteSolve(context.Background(), "no-such-node", clusterSpec(1)); err == nil {
+		t.Fatal("dispatch to an unknown peer name must fail")
+	}
+}
+
+func TestRoutePointSkipsSelfDeadAndOpenCircuits(t *testing.T) {
+	peers := []string{"http://127.0.0.1:21", "http://127.0.0.1:22"}
+	n := workNode(t, Config{
+		Probe: ProbeConfig{Interval: time.Hour, FailAfter: 1},
+	}, peers...)
+
+	// Find keys by their failover shape: one whose preference order
+	// starts at self, and one with both remote peers ahead of self.
+	var selfFirst, remotesFirst string
+	for i := 0; i < 10000 && (selfFirst == "" || remotesFirst == ""); i++ {
+		key := fmt.Sprintf("key-%d", i)
+		order := n.ring.Order(key)
+		switch {
+		case order[0] == n.self:
+			selfFirst = key
+		case order[0] != n.self && order[1] != n.self:
+			remotesFirst = key
+		}
+	}
+	if selfFirst == "" || remotesFirst == "" {
+		t.Fatal("no keys with the needed ring orders in 10000 tries")
+	}
+
+	if peer, ok := n.RoutePoint(selfFirst); ok {
+		t.Fatalf("self-owned key routed remotely to %q", peer)
+	}
+	order := n.ring.Order(remotesFirst)
+	if peer, ok := n.RoutePoint(remotesFirst); !ok || peer != n.names[order[0]] {
+		t.Fatalf("RoutePoint = %q,%v, want first live remote %q", peer, ok, n.names[order[0]])
+	}
+
+	// Open the preferred peer's work circuit: routing falls to the next.
+	for i := 0; i < n.cfg.BreakerFailures; i++ {
+		n.breaker.failure(order[0])
+	}
+	if peer, ok := n.RoutePoint(remotesFirst); !ok || peer != n.names[order[1]] {
+		t.Fatalf("RoutePoint with open circuit = %q,%v, want %q", peer, ok, n.names[order[1]])
+	}
+
+	// Kill the fallback too (FailAfter 1): self is next in order, so the
+	// point must run locally.
+	n.prober.ReportFailure(order[1], fmt.Errorf("boom"))
+	if peer, ok := n.RoutePoint(remotesFirst); ok {
+		t.Fatalf("key with no usable remote routed to %q", peer)
+	}
+}

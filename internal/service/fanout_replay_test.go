@@ -1,0 +1,260 @@
+package service
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"partita/internal/journal"
+)
+
+// splitRemote completes some gains instantly with a proven selection
+// and blocks the rest until released, so a test can snapshot the
+// journal with a mix of completed and leased points in it.
+type splitRemote struct {
+	complete map[int64]bool
+	release  chan struct{}
+
+	mu         sync.Mutex
+	dispatched int
+}
+
+func (f *splitRemote) route(key string) (string, bool) { return "peer1", true }
+
+func (f *splitRemote) solve(ctx context.Context, peer string, spec JobSpec) (*JobResult, int, error) {
+	f.mu.Lock()
+	f.dispatched++
+	f.mu.Unlock()
+	if !f.complete[spec.RequiredGain] {
+		select {
+		case <-ctx.Done():
+			return nil, 0, ctx.Err()
+		case <-f.release:
+			return nil, 0, context.Canceled // crash-side cleanup: requeue
+		}
+	}
+	return &JobResult{Kind: KindSelect, Selection: &SelectionResult{
+		Status: "optimal", Gain: spec.RequiredGain, Area: 3,
+	}}, 0, nil
+}
+
+func (f *splitRemote) count() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dispatched
+}
+
+// TestFanoutReplayPartialBatch is the journal-replay contract of a
+// distributed batch: a batch snapshot with some points completed
+// remotely, some under live leases, and some finished locally must
+// replay to the correct disposition set — journaled completions come
+// back done (and re-populate the cache, so nothing re-solves), leased
+// points come back pending and re-run.
+func TestFanoutReplayPartialBatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal")
+
+	f := &splitRemote{
+		complete: map[int64]bool{500: true, 1000: true},
+		release:  make(chan struct{}),
+	}
+	route := func(key string) (string, bool) { return f.route(key) }
+	s1, err := Open(Config{
+		Workers:     1,
+		JournalPath: path,
+		BatchFanout: true,
+		RemoteSolve: f.solve,
+		BatchLease:  time.Minute,
+		RoutePoint: func(key string) (string, bool) {
+			// The last point (gain 2500) runs locally so the snapshot also
+			// carries a journaled local completion.
+			if key == localKey {
+				return "", false
+			}
+			return route(key)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := batchSpec(500, 1000, 1500, 2000, 2500)
+	merged, err := spec.point(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if localKey, err = merged.resultKey(); err != nil {
+		t.Fatal(err)
+	}
+	s1.Start()
+	b, err := s1.SubmitBatch(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for the snapshot state: remote points 0 and 1 completed, the
+	// local point solved, and the two blocking points dispatched (their
+	// lease records land before RemoteSolve is invoked).
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		v := b.View(true)
+		done := 0
+		for _, p := range v.Points {
+			if p.Done {
+				done++
+			}
+		}
+		if done == 3 && f.count() == 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("snapshot state never reached: %+v (dispatched %d)", v, f.count())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// "SIGKILL": copy the journal as it stands — two remote leases still
+	// open — then let the first server finish cleanly.
+	crashed := filepath.Join(dir, "crashed")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(crashed, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	close(f.release)
+	waitBatch(t, b)
+	shutdownServer(t, s1)
+
+	// Replay the crash snapshot on a fresh server with no cluster hooks:
+	// the fanned-out batch must finish entirely locally.
+	s2, err := Open(Config{Workers: 1, JournalPath: crashed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Recovery().JobsRequeued != 1 {
+		t.Fatalf("requeued = %d, want 1", s2.Recovery().JobsRequeued)
+	}
+	rb, ok := s2.Batch(b.ID)
+	if !ok {
+		t.Fatalf("batch %s not restored", b.ID)
+	}
+	v := rb.View(true)
+	if v.Remaining != 2 {
+		t.Fatalf("restored remaining = %d, want 2 (leased points pending): %+v", v.Remaining, v)
+	}
+	for _, p := range v.Points[:2] {
+		if !p.Done || p.Disposition != DispositionRemote || p.Node != "peer1" {
+			t.Fatalf("replayed remote point %d: %+v", p.Index, p)
+		}
+	}
+	if p := v.Points[4]; !p.Done || (p.Disposition != DispositionSolved && p.Disposition != DispositionReused) {
+		t.Fatalf("replayed local point: %+v", p)
+	}
+	for _, p := range v.Points[2:4] {
+		if p.Done || p.Disposition != DispositionPending || p.Node != "" {
+			t.Fatalf("leased point %d did not replay as pending: %+v", p.Index, p)
+		}
+	}
+
+	s2.Start()
+	defer shutdownServer(t, s2)
+	waitBatch(t, rb)
+	sum := *rb.View(false).Summary
+	if sum.Failed != 0 || sum.Remote != 2 || sum.Solved+sum.Reused != 3 {
+		t.Fatalf("replayed batch summary: %+v", sum)
+	}
+
+	// No journaled completion may re-solve: resubmitting each completed
+	// point as a single job must hit the replayed cache.
+	before := solvesStarted(s2)
+	for _, rg := range []int64{500, 1000, 2500} {
+		job, err := s2.Submit(selectSpec(rg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, job)
+		if !job.View().Cached {
+			t.Errorf("journaled point rg=%d re-solved after replay", rg)
+		}
+	}
+	if after := solvesStarted(s2); after != before {
+		t.Errorf("resubmits after replay solved: %d -> %d", before, after)
+	}
+}
+
+// localKey routes one point of TestFanoutReplayPartialBatch locally; a
+// package var because the RoutePoint hook is built before the batch
+// spec's keys are computable.
+var localKey string
+
+// TestFanoutReplayAllPointsJournaled covers the finalize-on-replay
+// edge: a crash after every point's completion was journaled but before
+// the batch's done record landed. The replayed batch has nothing to
+// solve — runBatch must still finalize it to a terminal summary.
+func TestFanoutReplayAllPointsJournaled(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal")
+
+	spec := batchSpec(500, 1000)
+	jnl, _, err := journal.Open(path, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, len(spec.Points))
+	for i := range spec.Points {
+		merged, err := spec.point(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if keys[i], err = merged.resultKey(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := jnl.Append(recSubmit, "b000001", submitData{
+		ID: "b000001", Key: batchKey(keys), Batch: &spec,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, rg := range []int64{500, 1000} {
+		pkey := keys[i]
+		if _, err := jnl.Append(recPoint, "b000001", pointData{Result: BatchPointResult{
+			Index: i, RequiredGain: rg, Key: pkey, Disposition: DispositionRemote,
+			Selection: &SelectionResult{Status: "optimal", Gain: rg}, Memoized: true,
+			Node: "peer2",
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jnl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(Config{Workers: 1, JournalPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer shutdownServer(t, s)
+	rb, ok := s.Batch("b000001")
+	if !ok {
+		t.Fatal("batch not restored")
+	}
+	waitBatch(t, rb)
+	sum := *rb.View(false).Summary
+	if sum.Remote != 2 || sum.Failed != 0 || sum.Total != 2 {
+		t.Fatalf("summary: %+v", sum)
+	}
+	if solves := solvesStarted(s); solves != 0 {
+		t.Errorf("fully-journaled batch re-solved %d points", solves)
+	}
+	// The journaled memoizations are live again.
+	for i, pkey := range keys {
+		if _, ok := s.CachedResult(pkey); !ok {
+			t.Errorf("point %d not re-memoized from its journaled completion", i)
+		}
+	}
+}

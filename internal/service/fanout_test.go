@@ -1,0 +1,276 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"partita/internal/faults"
+)
+
+// fakeRemote is a stand-in for the cluster work client: it routes every
+// point to one named peer and answers with a canned proven selection.
+type fakeRemote struct {
+	mu     sync.Mutex
+	solved []string // keys dispatched to RemoteSolve
+	fail   atomic.Bool
+	block  atomic.Bool // block until the lease context expires
+}
+
+func (f *fakeRemote) route(key string) (string, bool) { return "peer1", true }
+
+func (f *fakeRemote) solve(ctx context.Context, peer string, spec JobSpec) (*JobResult, int, error) {
+	f.mu.Lock()
+	key, _ := spec.resultKey()
+	f.solved = append(f.solved, key)
+	f.mu.Unlock()
+	if f.block.Load() {
+		<-ctx.Done()
+		return nil, 0, ctx.Err()
+	}
+	if f.fail.Load() {
+		return nil, 2, context.DeadlineExceeded
+	}
+	return &JobResult{Kind: KindSelect, Selection: &SelectionResult{
+		Status: "optimal", Gain: spec.RequiredGain, Area: 7,
+	}}, 1, nil
+}
+
+func (f *fakeRemote) dispatched() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.solved)
+}
+
+func remoteMetrics(s *Server) (points map[string]uint64, retries, expired uint64) {
+	s.metrics.mu.Lock()
+	defer s.metrics.mu.Unlock()
+	points = map[string]uint64{}
+	for k, v := range s.metrics.remotePoints {
+		points[k] = v
+	}
+	return points, s.metrics.remoteRetries, s.metrics.leaseExpired
+}
+
+func TestBatchFanoutRemoteCompletion(t *testing.T) {
+	f := &fakeRemote{}
+	s := newTestServer(t, Config{
+		Workers:     1,
+		BatchFanout: true,
+		RoutePoint:  f.route,
+		RemoteSolve: f.solve,
+	})
+
+	gains := []int64{500, 1000, 1500}
+	b, err := s.SubmitBatch(batchSpec(gains...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitBatch(t, b)
+
+	v := b.View(true)
+	if v.Status != StatusDone || v.Remaining != 0 {
+		t.Fatalf("batch view: %+v", v)
+	}
+	sum := *v.Summary
+	if sum.Remote != len(gains) || sum.Failed != 0 {
+		t.Fatalf("summary: %+v, want %d remote", sum, len(gains))
+	}
+	for _, p := range v.Points {
+		if p.Disposition != DispositionRemote || p.Node != "peer1" {
+			t.Errorf("point %d: disposition=%q node=%q, want remote/peer1", p.Index, p.Disposition, p.Node)
+		}
+	}
+	if got := f.dispatched(); got != len(gains) {
+		t.Errorf("RemoteSolve dispatched %d points, want %d", got, len(gains))
+	}
+	points, retries, _ := remoteMetrics(s)
+	if points["completed"] != uint64(len(gains)) || points["requeued"] != 0 {
+		t.Errorf("remote point metrics: %v", points)
+	}
+	if retries != uint64(len(gains)) { // the fake reports 1 retry per point
+		t.Errorf("remote retries = %d, want %d", retries, len(gains))
+	}
+	if solves := solvesStarted(s); solves != 0 {
+		t.Errorf("local solves = %d, want 0 (every point went remote)", solves)
+	}
+
+	// Proven remote results are memoized under the point's own content
+	// address: a single submit of the same spec is a cache hit.
+	job, err := s.Submit(selectSpec(gains[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	if jv := job.View(); !jv.Cached {
+		t.Errorf("single submit after remote batch completion missed the cache: %+v", jv)
+	}
+}
+
+func TestBatchFanoutRequeuesFailedDispatchesLocally(t *testing.T) {
+	f := &fakeRemote{}
+	f.fail.Store(true)
+	s := newTestServer(t, Config{
+		Workers:     1,
+		BatchFanout: true,
+		RoutePoint:  f.route,
+		RemoteSolve: f.solve,
+	})
+
+	gains := []int64{400, 800}
+	b, err := s.SubmitBatch(batchSpec(gains...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitBatch(t, b)
+
+	sum := *b.View(false).Summary
+	if sum.Failed != 0 || sum.Remote != 0 {
+		t.Fatalf("summary after requeue: %+v", sum)
+	}
+	if sum.Solved+sum.Reused != len(gains) {
+		t.Fatalf("requeued points not solved locally: %+v", sum)
+	}
+	points, _, _ := remoteMetrics(s)
+	if points["requeued"] != uint64(len(gains)) || points["completed"] != 0 {
+		t.Errorf("remote point metrics: %v", points)
+	}
+	for _, p := range b.View(true).Points {
+		if p.Node != "" {
+			t.Errorf("requeued point %d still attributed to node %q", p.Index, p.Node)
+		}
+	}
+}
+
+func TestBatchFanoutLeaseExpiryRequeues(t *testing.T) {
+	f := &fakeRemote{}
+	f.block.Store(true)
+	s := newTestServer(t, Config{
+		Workers:     1,
+		BatchFanout: true,
+		RoutePoint:  f.route,
+		RemoteSolve: f.solve,
+		BatchLease:  20 * time.Millisecond,
+	})
+
+	b, err := s.SubmitBatch(batchSpec(600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitBatch(t, b)
+
+	sum := *b.View(false).Summary
+	if sum.Failed != 0 || sum.Solved+sum.Reused != 1 {
+		t.Fatalf("summary after lease expiry: %+v", sum)
+	}
+	points, _, expired := remoteMetrics(s)
+	if expired == 0 {
+		t.Error("lease expiry not counted")
+	}
+	if points["requeued"] != 1 {
+		t.Errorf("remote point metrics: %v", points)
+	}
+}
+
+func TestBatchFanoutDisabledWithoutHooks(t *testing.T) {
+	// The flag alone must not enable fan-out: without both hooks the
+	// batch runs entirely locally.
+	s := newTestServer(t, Config{Workers: 1, BatchFanout: true})
+	b, err := s.SubmitBatch(batchSpec(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitBatch(t, b)
+	sum := *b.View(false).Summary
+	if sum.Remote != 0 || sum.Solved+sum.Reused != 1 {
+		t.Fatalf("summary: %+v", sum)
+	}
+	points, _, _ := remoteMetrics(s)
+	if len(points) != 0 {
+		t.Errorf("remote metrics on a local batch: %v", points)
+	}
+}
+
+func TestDeadlineHeaderClampsMemoization(t *testing.T) {
+	// A solve clamped to a forwarded caller's deadline must not memoize
+	// an unproven outcome: the stall pushes the solve past the inherited
+	// 20ms budget, so the anytime result stays out of the cache and an
+	// unclamped resubmit really solves.
+	inj, err := faults.Parse("seed=7,solver.stall=1,solver.stall.delay=60ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{Workers: 1, Faults: inj})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := `{"kind":"select","source":` + strconv.Quote(testSource) +
+		`,"root":"process","requiredGain":700,"catalog":[{"id":"FIR8","name":"f","funcs":["fir"],"inPorts":2,"outPorts":2,"inRate":4,"outRate":4,"latency":8,"pipelined":true,"area":5}]}`
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(DeadlineHeader, "20")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	var accepted JobView
+	if err := json.NewDecoder(resp.Body).Decode(&accepted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	job, ok := s.Job(accepted.ID)
+	if !ok {
+		t.Fatalf("job %s not tracked", accepted.ID)
+	}
+	if got := job.Spec.inheritDeadline; got != 20*time.Millisecond {
+		t.Fatalf("inherited deadline = %v, want 20ms", got)
+	}
+	waitDone(t, job)
+	jv := job.View()
+	if jv.Status != StatusDone {
+		t.Fatalf("clamped job: %+v", jv)
+	}
+	if !job.deadlineClamped {
+		t.Fatal("20ms inherited deadline did not clamp the default budget")
+	}
+	// The memoize gate under a clamp: proven outcomes cache, unproven
+	// outcomes do not. Either way the cache must agree with the proof.
+	_, cached := s.CachedResult(job.Key)
+	if proven := provenSelection(jv.Result.Selection); cached != proven {
+		t.Fatalf("clamped solve memoized=%v but proven=%v (%+v)", cached, proven, jv.Result.Selection)
+	}
+}
+
+func TestProvenOutcome(t *testing.T) {
+	for outcome, want := range map[string]bool{
+		"optimal": true, "infeasible": true,
+		"feasible": false, "degraded": false, "error": false, "unbounded": false,
+	} {
+		if got := provenOutcome(outcome); got != want {
+			t.Errorf("provenOutcome(%q) = %v, want %v", outcome, got, want)
+		}
+	}
+	if provenSelection(nil) {
+		t.Error("nil selection must not be proven")
+	}
+	if provenSelection(&SelectionResult{Status: "optimal", Degraded: "deadline"}) {
+		t.Error("degraded selection must not be proven")
+	}
+	if !provenSelection(&SelectionResult{Status: "infeasible"}) {
+		t.Error("infeasible proof must be proven")
+	}
+}

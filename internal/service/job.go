@@ -85,6 +85,14 @@ type JobSpec struct {
 	// selection when it is still available. Part of the content address
 	// (a warm seed can change anytime results under a budget).
 	ParentKey string `json:"parentKey,omitempty"`
+
+	// inheritDeadline is the remaining budget a forwarded request
+	// carried in the DeadlineHeader. Deliberately unexported: it is a
+	// transport-level cap on this execution, not part of the problem, so
+	// it stays out of the content address (the key must match the
+	// original submitter's) and out of the journal (a replayed job
+	// re-runs under its own full budget).
+	inheritDeadline time.Duration
 }
 
 // ModePortfolio is the racing-portfolio solver mode of a select job.
@@ -366,6 +374,11 @@ type Job struct {
 	// handlers and clients wait on it.
 	doneCh chan struct{}
 
+	// deadlineClamped marks a solve whose timeout was shortened to a
+	// forwarded caller's inherited deadline. Written by execute and read
+	// by runJob on the same worker goroutine; never touched elsewhere.
+	deadlineClamped bool
+
 	mu        sync.Mutex
 	status    Status
 	cached    bool
@@ -508,19 +521,28 @@ func (j *Job) setRecord(typ string, rec journal.Record) {
 
 // liveRecords returns the journal records compaction must keep for this
 // job: its submit record, plus either the final state or the latest
-// checkpoint. Running records are never live — an unfinished job
-// re-runs from its spec after a crash.
+// checkpoint, plus — for an unfinished batch — every settled point's
+// record, so a crash mid-batch never re-solves completed points (a
+// finished batch's done record carries all points, retiring them).
+// Running and lease records are never live — an unfinished job re-runs
+// from its spec after a crash, and a leased point replays as pending.
 func (j *Job) liveRecords() []journal.Record {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.recSubmit == nil {
+		j.mu.Unlock()
 		return nil
 	}
 	out := []journal.Record{*j.recSubmit}
-	if j.recFinal != nil {
+	final := j.recFinal != nil
+	if final {
 		out = append(out, *j.recFinal)
 	} else if j.recCkpt != nil {
 		out = append(out, *j.recCkpt)
+	}
+	batch := j.batch
+	j.mu.Unlock()
+	if batch != nil && !final {
+		out = append(out, batch.pointRecords()...)
 	}
 	return out
 }

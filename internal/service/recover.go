@@ -21,6 +21,16 @@ const (
 	recCheckpoint = "checkpoint"
 	recDone       = "done"
 	recFailed     = "failed"
+	// recLease marks a batch point dispatched to a ring peer: point
+	// index, key, assignee, deadline. Leases are advisory — replay
+	// reconstructs a leased point as pending (the remote result, if any,
+	// never came back) and compaction drops them like running records.
+	recLease = "lease"
+	// recPoint is a batch point's terminal disposition, written before
+	// the point settles in memory (WAL order), so a crash mid-batch
+	// replays completed points as done instead of re-solving them. Point
+	// records stay live until the batch's done record lands.
+	recPoint = "point"
 )
 
 // submitData is the payload of a submit record: everything needed to
@@ -52,6 +62,23 @@ type doneData struct {
 // failedData is the payload of a failed record.
 type failedData struct {
 	Error string `json:"error"`
+}
+
+// leaseData is the payload of a lease record: which point went to which
+// peer, and until when. Replay does not act on it beyond logging — a
+// leased point replays as pending — but the journal tells an operator
+// exactly where every in-flight point was when the node died.
+type leaseData struct {
+	Index    int       `json:"index"`
+	Key      string    `json:"key"`
+	Peer     string    `json:"peer"`
+	Deadline time.Time `json:"deadline"`
+}
+
+// pointData is the payload of a point record: the point's terminal
+// wire-form result, exactly what the batch view will serve for it.
+type pointData struct {
+	Result BatchPointResult `json:"result"`
 }
 
 // RecoveryStats summarizes a journal replay for logs and /metrics.
@@ -120,6 +147,10 @@ type replayedJob struct {
 	final      *journal.Record
 	done       *doneData
 	failed     *failedData
+	// points holds journaled per-point completions of an unfinished
+	// batch, by point index, with their records for compaction.
+	points    map[int]*BatchPointResult
+	pointRecs map[int]journal.Record
 }
 
 // rebuild reconstructs the job table from a replay, re-enqueues
@@ -169,6 +200,23 @@ func (s *Server) rebuild(rep *journal.Replay) error {
 				rj.final = &rep.Records[i]
 				rj.failed = &d
 			}
+		case recPoint:
+			if rj, ok := byID[rec.Job]; ok && rj.final == nil {
+				var d pointData
+				if err := json.Unmarshal(rec.Data, &d); err != nil {
+					return fmt.Errorf("service: replay point %s: %w", rec.Job, err)
+				}
+				if rj.points == nil {
+					rj.points = map[int]*BatchPointResult{}
+					rj.pointRecs = map[int]journal.Record{}
+				}
+				pr := d.Result
+				rj.points[pr.Index] = &pr
+				rj.pointRecs[pr.Index] = rep.Records[i]
+			}
+		case recLease:
+			// Advisory: a leased point whose completion never journaled
+			// replays as pending and re-routes from scratch.
 		}
 	}
 
@@ -222,6 +270,19 @@ func (s *Server) rebuild(rep *journal.Replay) error {
 			live = append(live, *job.recSubmit)
 			if job.recCkpt != nil {
 				live = append(live, *job.recCkpt)
+			}
+			// An unfinished batch's journaled point completions stay live:
+			// they are what stops a replayed batch from re-solving work that
+			// already finished before the crash.
+			if len(rj.pointRecs) > 0 {
+				idxs := make([]int, 0, len(rj.pointRecs))
+				for idx := range rj.pointRecs {
+					idxs = append(idxs, idx)
+				}
+				sort.Ints(idxs)
+				for _, idx := range idxs {
+					live = append(live, rj.pointRecs[idx])
+				}
 			}
 		}
 		s.jobs[job.ID] = job
@@ -352,6 +413,61 @@ func (s *Server) restoreBatch(rj *replayedJob, job *Job) *Batch {
 				firstByKey[p.key] = i
 			}
 		}
+		// Apply journaled per-point completions: those points replay as
+		// done with their recorded dispositions (and re-populate the
+		// result cache when they were memoized) instead of re-solving.
+		// Their duplicates settle with them, exactly as they did live.
+		if len(rj.points) > 0 {
+			idxs := make([]int, 0, len(rj.points))
+			for idx := range rj.points {
+				idxs = append(idxs, idx)
+			}
+			sort.Ints(idxs)
+			for _, idx := range idxs {
+				if idx < 0 || idx >= len(b.points) {
+					continue
+				}
+				pr := rj.points[idx]
+				settle := func(i int, disp string, memoized bool) {
+					q := b.points[i]
+					if q.done {
+						return
+					}
+					q.done = true
+					q.disposition = disp
+					q.sel = pr.Selection
+					q.errMsg = pr.Error
+					q.memoized = memoized
+					q.node = pr.Node
+					b.remaining--
+					b.emitLocked(BatchEvent{
+						Type:         EventPoint,
+						Point:        i,
+						RequiredGain: q.spec.RequiredGain,
+						Result: &BatchPointResult{
+							Index:        i,
+							RequiredGain: q.spec.RequiredGain,
+							Key:          q.key,
+							Disposition:  disp,
+							Selection:    pr.Selection,
+							Error:        pr.Error,
+							Memoized:     memoized,
+							Node:         pr.Node,
+						},
+					})
+				}
+				settle(idx, pr.Disposition, pr.Memoized)
+				for j := idx + 1; j < len(b.points); j++ {
+					if b.points[j].dup == idx {
+						settle(j, DispositionDuplicate, false)
+					}
+				}
+				if pr.Memoized && pr.Selection != nil {
+					s.results.Put(pr.Key, &JobResult{Kind: KindSelect, Selection: pr.Selection})
+				}
+				b.setPointRecord(idx, rj.pointRecs[idx])
+			}
+		}
 	}
 	s.batches[b.ID] = b
 	s.batchOrder = append(s.batchOrder, b.ID)
@@ -430,6 +546,45 @@ func (s *Server) appendRecord(job *Job, typ string, data any) error {
 		return err
 	}
 	job.setRecord(typ, rec)
+	return nil
+}
+
+// journalAppendPoint is journalAppend for a batch point completion: the
+// record is remembered on the batch keyed by point index (not on the
+// job, whose record table holds one slot per type), so compaction keeps
+// every completed point of an unfinished batch. Same degraded-journal
+// retry policy as journalAppend.
+func (s *Server) journalAppendPoint(job *Job, idx int, data pointData) {
+	if s.jnl == nil || job.batch == nil {
+		return
+	}
+	if err := s.appendPointRecord(job, idx, data); err != nil {
+		s.metrics.JournalError()
+		if s.jnl.Degraded() {
+			s.compactJournal()
+			if !s.jnl.Degraded() {
+				if err := s.appendPointRecord(job, idx, data); err != nil {
+					s.metrics.JournalError()
+				}
+			}
+		}
+		return
+	}
+	if s.cfg.CompactEvery > 0 && s.jnl.AppendsSinceCompact() >= uint64(s.cfg.CompactEvery) {
+		s.compactJournal()
+	}
+}
+
+// appendPointRecord is appendRecord's batch-point twin, under the same
+// jmu ordering contract.
+func (s *Server) appendPointRecord(job *Job, idx int, data pointData) error {
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	rec, err := s.jnl.Append(recPoint, job.ID, data)
+	if err != nil {
+		return err
+	}
+	job.batch.setPointRecord(idx, rec)
 	return nil
 }
 

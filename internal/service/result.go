@@ -213,3 +213,19 @@ func NewSweepResult(pts []partita.SweepPoint) []SweepPointResult {
 func (r *SelectionResult) Solved() bool {
 	return r != nil && (r.Status == ilp.Optimal.String() || r.Status == ilp.Feasible.String())
 }
+
+// provenOutcome reports whether a completion outcome is a proof —
+// optimal or infeasible — rather than an anytime incumbent or a
+// degraded fallback. Only proven outcomes are safe to memoize from a
+// budget-clamped solve: the clamp shrinks the time the solver got, so
+// anything short of a proof may differ from what the full budget would
+// have produced under the same content address.
+func provenOutcome(outcome string) bool {
+	return outcome == ilp.Optimal.String() || outcome == ilp.Infeasible.String()
+}
+
+// provenSelection is provenOutcome over a wire-form selection: a
+// proven status with no degraded fallback.
+func provenSelection(sel *SelectionResult) bool {
+	return sel != nil && sel.Degraded == "" && provenOutcome(sel.Status)
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,6 +16,15 @@ import (
 	"partita/internal/faults"
 	"partita/internal/journal"
 )
+
+// DeadlineHeader carries the submitter's remaining deadline budget, in
+// integer milliseconds, on forwarded requests. A relative duration —
+// not an absolute instant — so it survives clock skew between nodes.
+// The receiving node clamps the forwarded solve to it, which keeps a
+// failover hop from silently inflating the caller's deadline to the
+// target node's default; results reached under such a clamp are
+// memoized only when proven (see runJob).
+const DeadlineHeader = "X-Partitad-Deadline"
 
 // Config tunes a Server. Zero fields take the documented defaults.
 type Config struct {
@@ -88,6 +98,28 @@ type Config struct {
 	// endpoints, and journaled with the submit record so a restarted
 	// node knows which jobs it accepted on another owner's behalf.
 	OwnerOf func(key string) *Ownership
+	// BatchFanout enables ring fan-out of pending batch points through
+	// the RoutePoint/RemoteSolve hooks. Without both hooks it has no
+	// effect: a single-node daemon always solves its batches locally.
+	BatchFanout bool
+	// RoutePoint, when set, names the remote peer that should execute
+	// the batch point with the given content address. ok=false keeps the
+	// point on the local pipeline (this node owns the key, or no live
+	// remote owner exists). The cluster layer wires this to the
+	// liveness- and breaker-filtered ring walk.
+	RoutePoint func(key string) (peer string, ok bool)
+	// RemoteSolve, when set, executes one batch point's spec on the
+	// named peer and reports the result plus how many retries the
+	// dispatch spent. It is called under the point's lease context:
+	// expiry (or any error) requeues the point on the local pipeline.
+	RemoteSolve func(ctx context.Context, peer string, spec JobSpec) (*JobResult, int, error)
+	// BatchLease bounds one remote point dispatch end to end — it is the
+	// journaled lease deadline after which the point is taken back and
+	// requeued locally (default 30s).
+	BatchLease time.Duration
+	// FanoutParallel caps concurrent remote point dispatches per batch
+	// (default 8).
+	FanoutParallel int
 }
 
 func (c Config) withDefaults() Config {
@@ -129,6 +161,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CompactEvery <= 0 {
 		c.CompactEvery = 4096
+	}
+	if c.BatchLease <= 0 {
+		c.BatchLease = 30 * time.Second
+	}
+	if c.FanoutParallel <= 0 {
+		c.FanoutParallel = 8
 	}
 	return c
 }
@@ -476,8 +514,12 @@ func (s *Server) runJob(job *Job) {
 	job.complete(res, false, s.now())
 	s.metrics.JobCompleted(outcome, elapsed)
 	// Results produced while draining may be artificially degraded by
-	// the shutdown deadline; never memoize those.
-	memoize := !s.draining.Load()
+	// the shutdown deadline; never memoize those. A solve clamped to a
+	// forwarded caller's inherited deadline memoizes only proven
+	// outcomes: an anytime incumbent reached under someone else's
+	// shrunken budget must not answer full-budget requests that share
+	// the content address.
+	memoize := !s.draining.Load() && (!job.deadlineClamped || provenOutcome(outcome))
 	if memoize {
 		s.results.Put(job.Key, res)
 	}
@@ -523,6 +565,10 @@ func (s *Server) execute(job *Job) (*JobResult, string, error) {
 	}
 	if s.cfg.MaxTimeout > 0 && (timeout <= 0 || timeout > s.cfg.MaxTimeout) {
 		timeout = s.cfg.MaxTimeout
+	}
+	if d := spec.inheritDeadline; d > 0 && (timeout <= 0 || d < timeout) {
+		timeout = d
+		job.deadlineClamped = true
 	}
 	if timeout > 0 {
 		var cancel context.CancelFunc
@@ -674,6 +720,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&spec); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad job spec: %w", err))
 		return
+	}
+	// A forwarded request may carry the submitter's remaining budget;
+	// the inherited deadline rides outside the content address (it is a
+	// cap, not part of the problem) and clamps the solve in execute.
+	if v := r.Header.Get(DeadlineHeader); v != "" {
+		if ms, err := strconv.ParseInt(v, 10, 64); err == nil && ms > 0 {
+			spec.inheritDeadline = time.Duration(ms) * time.Millisecond
+		}
 	}
 	job, err := s.Submit(spec)
 	switch {
