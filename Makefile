@@ -1,7 +1,7 @@
 # Convenience targets around the go toolchain; everything here is plain
 # `go test` underneath.
 
-.PHONY: build test race bench bench-ilp bench-portfolio bench-service bench-sweep bench-fanout integration chaos chaos-cluster chaos-batch
+.PHONY: build test race bench bench-ilp profile-ilp bench-portfolio bench-service bench-sweep bench-fanout integration chaos chaos-cluster chaos-batch
 
 build:
 	go build ./...
@@ -26,6 +26,20 @@ bench:
 BENCHTIME ?= 20x
 bench-ilp:
 	go test -run NoTests -bench BenchmarkILP -benchtime $(BENCHTIME) .
+
+# Profile a solver-heavy run: the bundled GSM demo swept 10..90% of
+# reachable gain (rg=0) with all CPUs inside each branch-and-bound.
+# Writes profile_ilp_cpu.pprof and profile_ilp_mem.pprof at the repo
+# root (override with PROFILE_DIR); inspect with
+# `go tool pprof profile_ilp_cpu.pprof`.
+PROFILE_DIR ?= .
+profile-ilp:
+	go build -o $(PROFILE_DIR)/partita-profile ./cmd/partita
+	$(PROFILE_DIR)/partita-profile -parallelism -1 \
+		-cpuprofile $(PROFILE_DIR)/profile_ilp_cpu.pprof \
+		-memprofile $(PROFILE_DIR)/profile_ilp_mem.pprof > /dev/null
+	rm -f $(PROFILE_DIR)/partita-profile
+	@echo "wrote $(PROFILE_DIR)/profile_ilp_cpu.pprof and $(PROFILE_DIR)/profile_ilp_mem.pprof"
 
 # Racing-portfolio benchmarks: time-to-first-acceptable at a 5% gap
 # versus a cold exact solve on the GSM/JPEG models, per-engine win

@@ -15,6 +15,13 @@ package partita
 // single-core runner the parallel entries measure coordination overhead
 // rather than speedup; the >= 2x acceptance number is for a 4+ core
 // machine.
+//
+// Beyond timing, each entry records the search internals that explain
+// a speedup change: total nodes, the cold/warm LP split
+// (coldLPs/warmLPs — scratch primal solves vs dual-simplex chain
+// re-solves), LP pivots per node, work-stealing traffic
+// (steals/stealScans), and lockWaitFrac — runtime mutex-wait seconds
+// over wall-clock, the scheduler-contention share of the run.
 
 import (
 	"context"
@@ -22,12 +29,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/metrics"
 	"sort"
 	"sync"
 	"testing"
 	"time"
 
 	"partita/internal/apps"
+	"partita/internal/ilp"
 	"partita/internal/imp"
 	"partita/internal/selector"
 )
@@ -47,6 +56,30 @@ type ilpBenchMetrics struct {
 	// filled for parallel entries when the serial entry already exists
 	// in the document.
 	SpeedupVsSerial float64 `json:"speedupVsSerial,omitempty"`
+	// The search-stats columns explain why a speedup number moved:
+	// ColdLPs/WarmLPs split relaxations between the two-phase primal
+	// and the dual-simplex warm path (a parallel entry with rising
+	// ColdLPs means the warm chain is bailing), Steals/StealScans show
+	// work distribution, LPPivotsPerNode is the simplex effort per
+	// branch-and-bound node (primal + dual pivots), and LockWaitFrac is
+	// the runtime's mutex-wait seconds over the run's wall-clock — the
+	// shared-structure contention the deque design is meant to avoid.
+	ColdLPs         int64   `json:"coldLPs"`
+	WarmLPs         int64   `json:"warmLPs"`
+	Steals          int64   `json:"steals"`
+	StealScans      int64   `json:"stealScans"`
+	LPPivotsPerNode float64 `json:"lpPivotsPerNode"`
+	LockWaitFrac    float64 `json:"lockWaitFrac"`
+}
+
+// mutexWaitSeconds reads the runtime's cumulative mutex wait clock.
+func mutexWaitSeconds() float64 {
+	sample := []metrics.Sample{{Name: "/sync/mutex/wait/total:seconds"}}
+	metrics.Read(sample)
+	if sample[0].Value.Kind() != metrics.KindFloat64 {
+		return 0
+	}
+	return sample[0].Value.Float64()
 }
 
 var ilpBenchMu sync.Mutex
@@ -134,8 +167,10 @@ func benchILPSelect(b *testing.B, name string, gen func() (*imp.DB, []apps.Table
 
 	durs := make([]time.Duration, 0, b.N)
 	var nodes int64
+	var search ilp.SearchStats
 	b.ResetTimer()
 	start := time.Now()
+	wait0 := mutexWaitSeconds()
 	for i := 0; i < b.N; i++ {
 		rg := max * fracs[i%len(fracs)] / 100
 		t0 := time.Now()
@@ -145,7 +180,9 @@ func benchILPSelect(b *testing.B, name string, gen func() (*imp.DB, []apps.Table
 		}
 		durs = append(durs, time.Since(t0))
 		nodes += int64(sel.Nodes)
+		search.Add(sel.Search)
 	}
+	waitSec := mutexWaitSeconds() - wait0
 	elapsed := time.Since(start)
 	b.StopTimer()
 
@@ -156,6 +193,16 @@ func benchILPSelect(b *testing.B, name string, gen func() (*imp.DB, []apps.Table
 		P50Ms:       ilpPercentileMs(durs, 0.50),
 		P99Ms:       ilpPercentileMs(durs, 0.99),
 		Solves:      b.N,
+		ColdLPs:     search.ColdLPs,
+		WarmLPs:     search.WarmLPs,
+		Steals:      search.Steals,
+		StealScans:  search.StealScans,
+	}
+	if nodes > 0 {
+		m.LPPivotsPerNode = float64(search.Pivots()) / float64(nodes)
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		m.LockWaitFrac = waitSec / sec
 	}
 	b.ReportMetric(m.NodesPerSec, "nodes/sec")
 	b.ReportMetric(m.P50Ms, "p50_ms")
@@ -190,8 +237,10 @@ func benchILPSweep(b *testing.B, par int) {
 
 	durs := make([]time.Duration, 0, b.N)
 	var nodes int64
+	var search ilp.SearchStats
 	b.ResetTimer()
 	start := time.Now()
+	wait0 := mutexWaitSeconds()
 	for i := 0; i < b.N; i++ {
 		t0 := time.Now()
 		pts, err := selector.SweepCtx(ctx, db, 16, bud)
@@ -201,8 +250,10 @@ func benchILPSweep(b *testing.B, par int) {
 		durs = append(durs, time.Since(t0))
 		for _, p := range pts {
 			nodes += int64(p.Sel.Nodes)
+			search.Add(p.Sel.Search)
 		}
 	}
+	waitSec := mutexWaitSeconds() - wait0
 	elapsed := time.Since(start)
 	b.StopTimer()
 
@@ -213,6 +264,16 @@ func benchILPSweep(b *testing.B, par int) {
 		P50Ms:       ilpPercentileMs(durs, 0.50),
 		P99Ms:       ilpPercentileMs(durs, 0.99),
 		Solves:      b.N,
+		ColdLPs:     search.ColdLPs,
+		WarmLPs:     search.WarmLPs,
+		Steals:      search.Steals,
+		StealScans:  search.StealScans,
+	}
+	if nodes > 0 {
+		m.LPPivotsPerNode = float64(search.Pivots()) / float64(nodes)
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		m.LockWaitFrac = waitSec / sec
 	}
 	b.ReportMetric(m.NodesPerSec, "nodes/sec")
 	b.ReportMetric(m.P50Ms, "sweep_p50_ms")

@@ -29,6 +29,13 @@
 // result schema as the partitad service, so CLI and service answers
 // are directly comparable.
 //
+// -cpuprofile and -memprofile write pprof profiles of the whole run
+// (the CPU profile covers compile through report; the heap profile is
+// taken at exit after a GC). `make profile-ilp` wraps them with a
+// solver-heavy sweep so an ILP perf regression can be pinned to a
+// function without ad-hoc patching. Profiles are only written on a
+// successful exit.
+//
 // Without -src it runs the bundled GSM-style encoder demo. The catalog
 // file is a JSON array of IP descriptors; without -catalog the demo
 // library is used.
@@ -40,6 +47,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"partita/internal/apps"
@@ -90,7 +99,34 @@ func main() {
 	usePortfolio := flag.Bool("portfolio", false, "race the capacity bound, greedy, LP-rounding, and the exact solver; report per-engine attribution")
 	portfolioGap := flag.Float64("portfolio-gap", 0, "relative area gap at which a portfolio candidate is acceptable (0 = proven only)")
 	jsonOut := flag.Bool("json", false, "emit one JSON document in the partitad service schema instead of tables")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken at exit) to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(fmt.Errorf("cpuprofile: %w", err))
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(fmt.Errorf("cpuprofile: %w", err))
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(fmt.Errorf("memprofile: %w", err))
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile reflects live data
+			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+				fatal(fmt.Errorf("memprofile: %w", err))
+			}
+		}()
+	}
 
 	bud := partita.Budget{MaxNodes: *maxNodes, Parallelism: *parallelism}
 	solveCtx := func() (context.Context, context.CancelFunc) {

@@ -53,7 +53,8 @@ func (m *Model) SolveCtx(ctx context.Context, bud budget.Budget) (*Solution, err
 		if r.err != nil {
 			return nil, r.err
 		}
-		return &Solution{Status: r.status, Objective: r.obj, Values: r.x, Nodes: 1, Bound: r.obj}, nil
+		return &Solution{Status: r.status, Objective: r.obj, Values: r.x, Nodes: 1, Bound: r.obj,
+			Stats: SearchStats{ColdLPs: 1, PrimalPivots: int64(r.pivots)}}, nil
 	}
 	if w := bud.Workers(); w > 1 {
 		return m.branchAndBoundParallel(ctx, bud, w)
@@ -212,6 +213,7 @@ func (m *Model) branchAndBound(ctx context.Context, bud budget.Budget) (*Solutio
 	incumbentObj := math.Inf(1)
 	var incumbentX []float64
 	nodes := 0
+	var stats SearchStats
 	if x, objMin, ok := m.warmIncumbent(); ok {
 		// Seeds carried in from a previous solve prune from node one but
 		// emit no OnIncumbent event: the callback stream reports this
@@ -271,7 +273,7 @@ func (m *Model) branchAndBound(ctx context.Context, bud budget.Budget) (*Solutio
 		}
 		return &Solution{
 			Status: Feasible, Objective: obj, Values: incumbentX,
-			Nodes: nodes, Bound: bound, Stopped: reason,
+			Nodes: nodes, Bound: bound, Stopped: reason, Stats: stats,
 		}, nil
 	}
 
@@ -309,6 +311,8 @@ func (m *Model) branchAndBound(ctx context.Context, bud budget.Budget) (*Solutio
 		nodes++
 		fx.load(len(m.vars), node)
 		r := m.solveRelaxation(fx, lim, ar)
+		stats.ColdLPs++
+		stats.PrimalPivots += int64(r.pivots)
 		if r.err != nil {
 			return stop(r.err, node.bound)
 		}
@@ -318,7 +322,7 @@ func (m *Model) branchAndBound(ctx context.Context, bud budget.Budget) (*Solutio
 		case Unbounded:
 			// A relaxation unbounded below with binaries still free can
 			// only come from continuous variables; the MILP is unbounded.
-			return &Solution{Status: Unbounded, Nodes: nodes, Bound: math.Inf(-1)}, nil
+			return &Solution{Status: Unbounded, Nodes: nodes, Bound: math.Inf(-1), Stats: stats}, nil
 		}
 		bound := toMin(r.obj)
 		if bound >= incumbentObj-1e-9 {
@@ -355,13 +359,13 @@ func (m *Model) branchAndBound(ctx context.Context, bud budget.Budget) (*Solutio
 		// infeasible or its every binary fixing is enumerated, so an
 		// LP-feasible region that contains no integral point is — as a
 		// 0-1 program — simply Infeasible.
-		return &Solution{Status: Infeasible, Nodes: nodes, Bound: math.Inf(1)}, nil
+		return &Solution{Status: Infeasible, Nodes: nodes, Bound: math.Inf(1), Stats: stats}, nil
 	}
 	obj := incumbentObj
 	if m.sense == Maximize {
 		obj = -obj
 	}
-	return &Solution{Status: Optimal, Objective: obj, Values: incumbentX, Nodes: nodes, Bound: obj}, nil
+	return &Solution{Status: Optimal, Objective: obj, Values: incumbentX, Nodes: nodes, Bound: obj, Stats: stats}, nil
 }
 
 // roundToFeasible snaps every integer variable of an LP point to its

@@ -1,8 +1,8 @@
 package ilp
 
 import (
-	"container/heap"
 	"context"
+	"errors"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -10,53 +10,81 @@ import (
 	"partita/internal/budget"
 )
 
-// Parallel branch and bound.
+// Parallel branch and bound: work-stealing deques + dual-simplex warm
+// starts.
 //
-// branchAndBoundParallel runs the same best-first search as the serial
-// branchAndBound with N workers pulling from one shared open heap:
+// branchAndBoundParallel proves the same Status and Objective as the
+// serial branchAndBound, but distributes the tree over N workers that
+// each own a local node deque:
 //
-//   - the heap, the per-worker in-flight bounds, and the termination
-//     bookkeeping live behind one mutex (parState.mu) with a sync.Cond
-//     for idle workers;
+//   - a worker expands depth-first from its own deque (LIFO pops keep
+//     the dive hot in cache and make consecutive nodes differ by one
+//     fixing — exactly what the dual-simplex warm start wants);
+//   - an empty worker steals the best-bound node from the first
+//     non-empty victim, scanning round-robin from its own id, so idle
+//     time goes to the most promising open subtree;
+//   - each worker carries a chainLP (see dual.go): the relaxation at a
+//     node is re-solved warm from the worker's previous node by a
+//     right-hand-side delta plus a few dual pivots, falling back to the
+//     cold two-phase primal on numerical trouble;
+//   - the shared structure is touched only for incumbent installs,
+//     progress callbacks, termination, and parking — there is no global
+//     node heap and no lock on the node hot path beyond the owner's
+//     uncontended deque mutex.
+//
+// Bookkeeping:
+//
+//   - work counts nodes that are alive anywhere (in a deque or being
+//     expanded). Popping moves a node from deque to in-flight without
+//     changing work; finishing a node adds (children − 1). The worker
+//     that drives work to zero declares the tree exhausted;
+//   - openCount counts deque-resident nodes only and exists so a
+//     parking worker can sleep exactly until something is stealable.
+//     Parkers register (parkedN) under mu before re-checking openCount,
+//     and pushers raise openCount before reading parkedN, so a wakeup
+//     can never be lost between the check and the wait;
 //   - the incumbent objective (minimization sense) is published as
-//     Float64bits in an atomic.Uint64 so the hot pruning path reads it
-//     without locking; installs are serialized behind parState.incMu,
-//     which also keeps the onIncumbent callback stream monotone;
-//   - the global proven bound is min(best open-node bound, best
-//     in-flight node bound): a node being expanded is no longer on the
-//     heap, so its bound must be tracked separately or an anytime stop
-//     could claim a tighter bound than was actually proven;
-//   - node counts are a shared atomic, checked against MaxNodes before
+//     Float64bits in an atomic so the pruning fast path never locks;
+//     installs serialize behind incMu, keeping the onIncumbent stream
+//     monotone;
+//   - the global proven bound is min over every deque node and every
+//     in-flight bound (inflight, atomic per worker); it is computed
+//     only for progress callbacks and anytime stops, never on the hot
+//     path;
+//   - node counts are a shared atomic checked against MaxNodes before
 //     each expansion (parallel runs may overshoot the limit by up to
-//     workers-1 nodes, the in-flight expansions that passed the check
+//     workers−1 nodes, the in-flight expansions that passed the check
 //     together).
 //
-// Lock order: incMu may be taken before mu (tryIncumbent reads the heap
-// while publishing), never the reverse.
-//
-// The parallel driver proves the same Status and Objective as the
-// serial one — pruning uses the same incumbent-vs-bound test, and a
-// worker only declares the tree exhausted when the heap is empty AND no
-// peer is still expanding (an expansion can push children). Node order,
-// node counts, and the incumbent trajectory are run-dependent; callers
-// that need reproducible traces use Parallelism <= 1.
+// Node order, node counts, and the incumbent trajectory are
+// run-dependent; callers that need reproducible traces use
+// Parallelism <= 1.
 type parState struct {
 	m        *Model
 	bud      budget.Budget
 	lim      limits
 	maximize bool
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	open     nodeHeap
-	inflight []float64 // bound of each worker's current node; +Inf when idle
-	busy     int       // workers currently expanding a node
-	done     bool
-	stopErr  error   // first budget-exhaustion reason observed
-	stopLow  float64 // min bound over nodes abandoned at stop time
-	unbound  bool
+	deques   []workerDeque
+	inflight []atomic.Uint64 // Float64bits of each worker's in-flight bound; +Inf idle
+	wstats   []SearchStats   // per-worker counters, folded after the join
 
-	nodes   atomic.Int64
+	work      atomic.Int64 // nodes alive: deque-resident + in-flight
+	openCount atomic.Int64 // deque-resident nodes
+	parkedN   atomic.Int32 // workers asleep on cond (updated under mu)
+	nodes     atomic.Int64
+	doneA     atomic.Bool
+	rampDone  atomic.Bool // first dive bottomed out; stealing enabled
+
+	proto *chainLP
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	done    bool
+	stopErr error   // first budget-exhaustion reason observed
+	stopLow float64 // min bound over nodes abandoned at stop time
+	unbound bool
+
 	incBits atomic.Uint64 // Float64bits of the incumbent objective (min sense)
 	incMu   sync.Mutex    // guards incX and serializes onIncumbent
 	incX    []float64
@@ -69,28 +97,62 @@ type parState struct {
 	panicV  any
 }
 
+// workerDeque is one worker's open-node pool. The owner pops its
+// best-bound node; thieves remove the best-bound node from anywhere.
+// min mirrors the best bound currently in nodes (Float64bits, +Inf
+// when empty) so other workers can ask "does this deque hold anything
+// better than what I'm about to expand?" with one atomic load, no
+// lock. The pad keeps neighbouring deques' mutexes off one cache line.
+type workerDeque struct {
+	mu    sync.Mutex
+	nodes []*bbNode
+	min   atomic.Uint64
+	_     [40]byte
+}
+
+// refreshMin recomputes min from nodes; callers hold dq.mu.
+func (dq *workerDeque) refreshMin() {
+	best := math.Inf(1)
+	for _, nd := range dq.nodes {
+		if nd.bound < best {
+			best = nd.bound
+		}
+	}
+	dq.min.Store(math.Float64bits(best))
+}
+
 func (s *parState) incObj() float64 { return math.Float64frombits(s.incBits.Load()) }
 
 func (m *Model) branchAndBoundParallel(ctx context.Context, bud budget.Budget, workers int) (*Solution, error) {
 	s := &parState{
-		m:        m,
-		bud:      bud,
-		lim:      limits{ctx: ctx, maxIter: bud.MaxSimplexIter},
+		m:         m,
+		bud:       bud,
+		lim:       limits{ctx: ctx, maxIter: bud.MaxSimplexIter},
 		maximize:  m.sense == Maximize,
-		inflight:  make([]float64, workers),
+		deques:    make([]workerDeque, workers),
+		inflight:  make([]atomic.Uint64, workers),
+		wstats:    make([]SearchStats, workers),
 		stopLow:   math.Inf(1),
 		lastBound: math.Inf(-1),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	idle := math.Float64bits(math.Inf(1))
 	for i := range s.inflight {
-		s.inflight[i] = math.Inf(1)
+		s.inflight[i].Store(idle)
+		s.deques[i].min.Store(idle)
 	}
 	s.incBits.Store(math.Float64bits(math.Inf(1)))
+	// Solve the root relaxation once and hand every worker a clone of
+	// the warm tableau; without this each worker pays its own root
+	// solve on the same model.
+	s.proto = newChainLP(m, s.lim, &s.wstats[0])
 	if x, objMin, ok := m.warmIncumbent(); ok {
 		s.incBits.Store(math.Float64bits(objMin))
 		s.incX = x
 	}
-	heap.Push(&s.open, &bbNode{v: -1, bound: math.Inf(-1)})
+	s.deques[0].nodes = append(s.deques[0].nodes, &bbNode{v: -1, bound: math.Inf(-1)})
+	s.work.Store(1)
+	s.openCount.Store(1)
 
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
@@ -122,136 +184,449 @@ func (m *Model) branchAndBoundParallel(ctx context.Context, bud budget.Budget, w
 	return s.result()
 }
 
-// run is one worker's loop: pop the globally best node, expand it
-// unlocked, fold the outcome back into the shared state. Termination:
-// heap empty and no peer mid-expansion, or a stop condition (budget
-// exhausted, unbounded relaxation, panic elsewhere).
-func (s *parState) run(id int) {
-	fx := &fixSet{}
-	ar := &arena{}
-	s.mu.Lock()
-	for {
-		if s.done || s.abort.Load() {
-			break
+// pop takes the best-bound node from the owner's deque, ties broken
+// LIFO (most recently pushed wins, keeping dives coherent when the
+// children tie with their siblings). The serial solver is best-first,
+// which expands the minimal tree — no node with a bound at or above
+// the final optimum, bar ties. A pure LIFO pop here was measured to
+// expand ~1.3x the serial node count at every parallelism level
+// (depth-first commits to subtrees best-first would defer and prune);
+// per-deque best-first brings the parallel tree back to near-serial
+// size, and the warm chain re-solves a jump between distant nodes in a
+// handful of extra dual pivots, so locality matters far less than tree
+// size.
+func (s *parState) pop(id int) *bbNode {
+	dq := &s.deques[id]
+	dq.mu.Lock()
+	n := len(dq.nodes)
+	if n == 0 {
+		dq.mu.Unlock()
+		return nil
+	}
+	bi := n - 1
+	for i := n - 2; i >= 0; i-- {
+		if dq.nodes[i].bound < dq.nodes[bi].bound {
+			bi = i
 		}
-		if len(s.open) == 0 {
-			if s.busy == 0 {
-				s.done = true
-				s.cond.Broadcast()
-				break
+	}
+	nd := dq.nodes[bi]
+	copy(dq.nodes[bi:], dq.nodes[bi+1:])
+	dq.nodes[n-1] = nil
+	dq.nodes = dq.nodes[:n-1]
+	dq.refreshMin()
+	dq.mu.Unlock()
+	s.openCount.Add(-1)
+	return nd
+}
+
+// push appends children to the owner's deque and wakes one parked
+// worker if any. Pushed in the order [0-child, 1-child] so an
+// equal-bound tie resolves to the val=1 branch first — on fixed-charge
+// instances turning an indicator ON reaches integral leaves fastest.
+func (s *parState) push(id int, nds ...*bbNode) {
+	dq := &s.deques[id]
+	dq.mu.Lock()
+	dq.nodes = append(dq.nodes, nds...)
+	best := dq.min.Load()
+	for _, nd := range nds {
+		if b := math.Float64bits(nd.bound); nd.bound < math.Float64frombits(best) {
+			best = b
+		}
+	}
+	dq.min.Store(best)
+	dq.mu.Unlock()
+	s.openCount.Add(int64(len(nds)))
+	if s.parkedN.Load() > 0 {
+		s.mu.Lock()
+		s.cond.Signal()
+		s.mu.Unlock()
+	}
+}
+
+// steal removes the globally best-bound node across every victim
+// deque. Two passes: a scan notes which victim currently holds the best
+// bound (locking one deque at a time), then that victim is re-locked
+// and its best node removed — by then another thief may have raced us
+// to it, in which case whatever best remains there is still a good
+// steal. Stealing the global best (not best-of-first-non-empty) keeps
+// idle workers on the most promising subtrees, which measurably curbs
+// the node inflation a bound-blind steal causes.
+func (s *parState) steal(id int, st *SearchStats) *bbNode {
+	// Ramp-up: no stealing until the first depth-first dive bottoms out.
+	// The serial solver's first dive is what turns the warm seed into a
+	// sharp incumbent; letting thieves tear it apart makes every worker
+	// speculate against a stale cutoff, and the tree measurably inflates
+	// versus serial. Parking the thieves for those first few nodes costs
+	// at most one dive of wall-clock and keeps the node count near the
+	// serial one.
+	if !s.rampDone.Load() {
+		return nil
+	}
+	w := len(s.deques)
+	best, bestBound := -1, math.Inf(1)
+	for k := 1; k < w; k++ {
+		vi := (id + k) % w
+		dq := &s.deques[vi]
+		dq.mu.Lock()
+		st.StealScans++
+		for _, nd := range dq.nodes {
+			if nd.bound < bestBound {
+				bestBound = nd.bound
+				best = vi
 			}
-			s.cond.Wait()
+		}
+		dq.mu.Unlock()
+	}
+	if best < 0 {
+		return nil
+	}
+	dq := &s.deques[best]
+	dq.mu.Lock()
+	n := len(dq.nodes)
+	if n == 0 {
+		dq.mu.Unlock()
+		return nil
+	}
+	bi := 0
+	for i := 1; i < n; i++ {
+		if dq.nodes[i].bound < dq.nodes[bi].bound {
+			bi = i
+		}
+	}
+	nd := dq.nodes[bi]
+	copy(dq.nodes[bi:], dq.nodes[bi+1:])
+	dq.nodes[n-1] = nil
+	dq.nodes = dq.nodes[:n-1]
+	dq.refreshMin()
+	dq.mu.Unlock()
+	s.openCount.Add(-1)
+	st.Steals++
+	return nd
+}
+
+// preferGlobal trades the node a worker just popped for a strictly
+// better one visible in another deque, approximating the serial
+// solver's global best-first order without a shared heap: the check is
+// w-1 atomic loads, and only a confirmed better bound pays for a
+// steal. Without this, each worker runs best-first over its own slice
+// of the tree, and the slices drift — a worker expands its local best
+// while the global best sits idle in a neighbour, inflating the total
+// tree a few percent past serial.
+func (s *parState) preferGlobal(id int, node *bbNode, st *SearchStats) *bbNode {
+	for i := range s.deques {
+		if i == id || math.Float64frombits(s.deques[i].min.Load()) >= node.bound-1e-9 {
 			continue
 		}
-		node := heap.Pop(&s.open).(*bbNode)
-		if node.bound >= s.incObj()-1e-9 {
-			continue // cannot improve on the incumbent
+		nd := s.steal(id, st)
+		if nd == nil {
+			return node
 		}
-		// The popped node is the best of the heap; the global proven
-		// bound is its minimum with every in-flight expansion.
-		lb := node.bound
-		for _, b := range s.inflight {
-			if b < lb {
-				lb = b
-			}
+		if nd.bound < node.bound {
+			s.push(id, node)
+			return nd
 		}
-		s.inflight[id] = node.bound
-		s.busy++
-		s.mu.Unlock()
-		s.emitBound(lb)
+		s.push(id, nd) // raced with another thief: keep the original
+		return node
+	}
+	return node
+}
 
-		stop, unbounded := s.expand(node, fx, ar)
+// park sleeps until something is stealable (which during ramp-up is
+// nothing) or the search is over; reports whether the worker should
+// exit.
+func (s *parState) park(st *SearchStats) bool {
+	s.mu.Lock()
+	s.parkedN.Add(1)
+	for !s.done && !s.abort.Load() && (s.openCount.Load() == 0 || !s.rampDone.Load()) {
+		st.Parks++
+		s.cond.Wait()
+	}
+	s.parkedN.Add(-1)
+	exit := s.done
+	s.mu.Unlock()
+	return exit || s.abort.Load()
+}
 
+// endRamp opens the steal phase after the first dive has bottomed out
+// (its leaf either installed an incumbent or proved a prune — either
+// way the cutoff is as sharp as the serial solver's at the same point).
+func (s *parState) endRamp() {
+	if s.rampDone.CompareAndSwap(false, true) {
 		s.mu.Lock()
-		s.inflight[id] = math.Inf(1)
-		s.busy--
-		switch {
-		case unbounded:
-			s.unbound = true
-			s.done = true
-			s.cond.Broadcast()
-		case stop != nil:
-			if s.stopErr == nil {
-				s.stopErr = stop
-			}
-			// The abandoned node's bound still counts toward the proven
-			// bound reported by the anytime result.
-			if node.bound < s.stopLow {
-				s.stopLow = node.bound
-			}
-			s.done = true
-			s.cond.Broadcast()
-		case s.busy == 0 && len(s.open) == 0:
-			s.done = true
-			s.cond.Broadcast()
-		case len(s.open) > 0:
-			s.cond.Signal()
-		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+// finishNode retires one node that produced k children; the worker that
+// drives the live count to zero ends the search.
+func (s *parState) finishNode(children int) {
+	if s.work.Add(int64(children-1)) == 0 {
+		s.setDone()
+	}
+}
+
+func (s *parState) setDone() {
+	s.mu.Lock()
+	s.done = true
+	s.doneA.Store(true)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// setStop records a budget-exhaustion reason (first wins) and the bound
+// of the node abandoned with it, then ends the search.
+func (s *parState) setStop(reason error, low float64) {
+	s.mu.Lock()
+	if s.stopErr == nil {
+		s.stopErr = reason
+	}
+	if low < s.stopLow {
+		s.stopLow = low
+	}
+	s.done = true
+	s.doneA.Store(true)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// foldAbandoned records the bound of a node a worker was holding when
+// it observed the stop, so the anytime result's proven bound stays
+// honest.
+func (s *parState) foldAbandoned(low float64) {
+	s.mu.Lock()
+	if low < s.stopLow {
+		s.stopLow = low
 	}
 	s.mu.Unlock()
 }
 
+// run is one worker's loop: pop locally, steal when dry, park when the
+// whole search is dry, expand otherwise.
+func (s *parState) run(id int) {
+	fx := &fixSet{}
+	ar := &arena{}
+	st := &s.wstats[id]
+	// Each worker owns a warm tableau chain, cloned from the shared
+	// root-solved prototype; models the chain form cannot represent
+	// leave it nil and every node goes cold.
+	var chain *chainLP
+	if s.proto != nil {
+		chain = s.proto.clone()
+	}
+	chainFails := 0
+
+	for {
+		if s.abort.Load() {
+			return
+		}
+		node := s.pop(id)
+		if node == nil {
+			node = s.steal(id, st)
+		} else if s.rampDone.Load() {
+			node = s.preferGlobal(id, node, st)
+		}
+		if node == nil {
+			if s.park(st) {
+				return
+			}
+			continue
+		}
+		if s.doneA.Load() {
+			// Stopped while we held a live node: its bound is part of the
+			// unproven remainder.
+			s.foldAbandoned(node.bound)
+			return
+		}
+		if node.bound >= s.incObj()-1e-9 {
+			s.finishNode(0) // pruned: cannot improve on the incumbent
+			s.endRamp()
+			continue
+		}
+		s.inflight[id].Store(math.Float64bits(node.bound))
+		children, stop, unbounded := s.expand(id, node, fx, ar, &chain, &chainFails, st)
+		s.inflight[id].Store(math.Float64bits(math.Inf(1)))
+		if children == 0 {
+			s.endRamp()
+		}
+		switch {
+		case unbounded:
+			s.mu.Lock()
+			s.unbound = true
+			s.done = true
+			s.doneA.Store(true)
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return
+		case stop != nil:
+			s.setStop(stop, node.bound)
+			return
+		default:
+			s.finishNode(children)
+		}
+	}
+}
+
+// globalLow is the best bound over every open and in-flight node — the
+// proven bound on everything not yet explored. Off the hot path: only
+// progress callbacks and incumbent installs call it.
+func (s *parState) globalLow() float64 {
+	lb := math.Inf(1)
+	for i := range s.inflight {
+		if b := math.Float64frombits(s.inflight[i].Load()); b < lb {
+			lb = b
+		}
+	}
+	for i := range s.deques {
+		dq := &s.deques[i]
+		dq.mu.Lock()
+		for _, nd := range dq.nodes {
+			if nd.bound < lb {
+				lb = nd.bound
+			}
+		}
+		dq.mu.Unlock()
+	}
+	return lb
+}
+
 // expand processes one node exactly as the serial loop does: budget
-// check, relaxation, prune/branch/incumbent. Called without mu held.
-func (s *parState) expand(node *bbNode, fx *fixSet, ar *arena) (stop error, unbounded bool) {
+// check, relaxation (warm when possible), prune/branch/incumbent.
+// Returns the number of children pushed.
+func (s *parState) expand(id int, node *bbNode, fx *fixSet, ar *arena, chain **chainLP, chainFails *int, st *SearchStats) (children int, stop error, unbounded bool) {
 	if err := budget.Check(s.lim.ctx); err != nil {
-		return err, false
+		return 0, err, false
 	}
 	if s.bud.MaxNodes > 0 && s.nodes.Load() >= int64(s.bud.MaxNodes) {
-		return budget.ErrNodeLimit, false
+		return 0, budget.ErrNodeLimit, false
 	}
 	s.nodes.Add(1)
 	fx.load(len(s.m.vars), node)
-	r := s.m.solveRelaxation(fx, s.lim, ar)
-	if r.err != nil {
-		return r.err, false
+
+	cold := func() lpResult {
+		r := s.m.solveRelaxation(fx, s.lim, ar)
+		st.ColdLPs++
+		st.PrimalPivots += int64(r.pivots)
+		return r
 	}
-	switch r.status {
-	case Infeasible:
-		return nil, false
-	case Unbounded:
-		return nil, true
-	}
-	bound := r.obj
-	if s.maximize {
-		bound = -bound
-	}
-	if bound >= s.incObj()-1e-9 {
-		return nil, false
-	}
-	branch := s.m.pickBranch(r.x, fx)
-	if branch < 0 {
-		s.tryIncumbent(s.m.roundExact(r.x), bound, bound)
-		return nil, false
-	}
-	if x, obj, ok := s.m.roundToFeasible(r.x); ok {
-		if s.maximize {
-			obj = -obj
+	var r lpResult
+	warm := false
+	if c := *chain; c != nil {
+		r = c.solveAt(fx, s.incObj()-1e-9, st)
+		if r.err != nil && errors.Is(r.err, errChainNumerics) {
+			if *chainFails++; *chainFails >= 3 {
+				*chain = nil // repeatedly unusable: stop paying rebuild attempts
+			}
+			r = cold()
+		} else if r.err == nil {
+			warm = true
+			*chainFails = 0
 		}
-		s.tryIncumbent(x, obj, bound)
+	} else {
+		r = cold()
 	}
-	s.mu.Lock()
-	for _, val := range [...]float64{1, 0} {
-		heap.Push(&s.open, &bbNode{
-			parent: node,
-			v:      branch,
-			val:    val,
-			bound:  bound,
-			depth:  node.depth + 1,
-		})
+	if r.err != nil {
+		return 0, r.err, false
 	}
-	s.cond.Signal()
-	s.mu.Unlock()
-	return nil, false
+	if s.m.onBound != nil {
+		s.emitBound(math.Min(node.bound, s.globalLow()))
+	}
+
+	// Interpret the relaxation. A warm result that looks wrong — a bound
+	// below the parent's (child relaxations can only tighten) or an
+	// "integral" vertex whose snapped point fails the constraints — is
+	// re-derived cold before any incumbent install or subtree decision:
+	// the serial solver can trust its vertices unconditionally, the
+	// delta-updated tableau cannot.
+	for {
+		switch r.status {
+		case Infeasible:
+			return 0, nil, false
+		case Unbounded:
+			return 0, nil, true
+		}
+		bound := r.obj
+		if s.maximize {
+			bound = -bound
+		}
+		if warm && bound < node.bound-1e-6 {
+			warm = false
+			r = cold()
+			if r.err != nil {
+				return 0, r.err, false
+			}
+			continue
+		}
+		if bound >= s.incObj()-1e-9 {
+			return 0, nil, false
+		}
+		branch := s.m.pickBranch(r.x, fx)
+		if branch < 0 {
+			x := s.m.roundExact(r.x)
+			if warm {
+				obj, ok := s.m.evalPoint(x)
+				if !ok {
+					warm = false
+					r = cold()
+					if r.err != nil {
+						return 0, r.err, false
+					}
+					continue
+				}
+				// Install the snapped point's exact objective, not the
+				// drift-prone warm LP value.
+				if s.maximize {
+					obj = -obj
+				}
+				s.tryIncumbent(x, obj, bound)
+				return 0, nil, false
+			}
+			s.tryIncumbent(x, bound, bound)
+			return 0, nil, false
+		}
+		if x, obj, ok := s.m.roundToFeasible(r.x); ok {
+			if s.maximize {
+				obj = -obj
+			}
+			s.tryIncumbent(x, obj, bound)
+		}
+		// Driebeek–Tomlin penalties: after a warm solve the dual tableau
+		// is sitting at this node's optimal basis, and one ratio test per
+		// direction lifts each child's inherited bound (or certifies the
+		// child infeasible outright). Serial search never sees these —
+		// its node count stays byte-for-byte — but the parallel tree gets
+		// strictly stronger pruning, which more than pays back the few
+		// nodes concurrency staleness costs it.
+		b0, b1 := bound, bound
+		if warm {
+			if c := *chain; c != nil {
+				d0, d1 := c.childPenalties(int(branch))
+				b0 += d0
+				b1 += d1
+			}
+		}
+		cut := s.incObj() - 1e-9
+		var kids [2]*bbNode
+		nk := 0
+		if b0 < cut {
+			kids[nk] = &bbNode{parent: node, v: branch, val: 0, bound: b0, depth: node.depth + 1}
+			nk++
+		}
+		if b1 < cut {
+			kids[nk] = &bbNode{parent: node, v: branch, val: 1, bound: b1, depth: node.depth + 1}
+			nk++
+		}
+		if nk > 0 {
+			s.push(id, kids[:nk]...)
+		}
+		return nk, nil, false
+	}
 }
 
 // emitBound publishes a proven-bound rise through Model.OnBound.
 // boundMu is held across the callback so concurrent workers' events
-// serialize into a strictly rising bound stream. Called without mu.
+// serialize into a strictly rising bound stream.
 func (s *parState) emitBound(lb float64) {
-	if s.m.onBound == nil {
-		return
-	}
 	obj := s.incObj()
 	lb = math.Min(lb, obj)
 	if math.IsInf(lb, 0) {
@@ -289,17 +664,7 @@ func (s *parState) tryIncumbent(x []float64, objMin, nodeBound float64) {
 	if s.m.onIncumbent == nil {
 		return
 	}
-	lb := nodeBound
-	s.mu.Lock()
-	if len(s.open) > 0 && s.open[0].bound < lb {
-		lb = s.open[0].bound
-	}
-	for _, b := range s.inflight {
-		if b < lb {
-			lb = b
-		}
-	}
-	s.mu.Unlock()
+	lb := math.Min(nodeBound, s.globalLow())
 	lb = math.Min(lb, objMin)
 	obj, bnd := objMin, lb
 	if s.maximize {
@@ -313,8 +678,12 @@ func (s *parState) tryIncumbent(x []float64, objMin, nodeBound float64) {
 // shared state is quiescent, so no locks are needed.
 func (s *parState) result() (*Solution, error) {
 	nodes := int(s.nodes.Load())
+	var stats SearchStats
+	for i := range s.wstats {
+		stats.Add(s.wstats[i])
+	}
 	if s.unbound {
-		return &Solution{Status: Unbounded, Nodes: nodes, Bound: math.Inf(-1)}, nil
+		return &Solution{Status: Unbounded, Nodes: nodes, Bound: math.Inf(-1), Stats: stats}, nil
 	}
 	objMin := s.incObj()
 	if s.stopErr != nil {
@@ -322,9 +691,11 @@ func (s *parState) result() (*Solution, error) {
 			return nil, s.stopErr
 		}
 		lb := math.Min(s.stopLow, objMin)
-		for _, nd := range s.open {
-			if nd.bound < lb {
-				lb = nd.bound
+		for i := range s.deques {
+			for _, nd := range s.deques[i].nodes {
+				if nd.bound < lb {
+					lb = nd.bound
+				}
 			}
 		}
 		obj, bound := objMin, lb
@@ -333,17 +704,17 @@ func (s *parState) result() (*Solution, error) {
 		}
 		return &Solution{
 			Status: Feasible, Objective: obj, Values: s.incX,
-			Nodes: nodes, Bound: bound, Stopped: s.stopErr,
+			Nodes: nodes, Bound: bound, Stopped: s.stopErr, Stats: stats,
 		}, nil
 	}
 	if s.incX == nil {
 		// Exhausted tree, no integral point: Infeasible as a 0-1 program
 		// (see the matching comment in branchAndBound).
-		return &Solution{Status: Infeasible, Nodes: nodes, Bound: math.Inf(1)}, nil
+		return &Solution{Status: Infeasible, Nodes: nodes, Bound: math.Inf(1), Stats: stats}, nil
 	}
 	obj := objMin
 	if s.maximize {
 		obj = -obj
 	}
-	return &Solution{Status: Optimal, Objective: obj, Values: s.incX, Nodes: nodes, Bound: obj}, nil
+	return &Solution{Status: Optimal, Objective: obj, Values: s.incX, Nodes: nodes, Bound: obj, Stats: stats}, nil
 }

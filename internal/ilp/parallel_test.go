@@ -13,8 +13,10 @@ import (
 
 // parallelLevels are the worker counts the equivalence suite exercises.
 // They intentionally exceed GOMAXPROCS on small runners: correctness
-// must not depend on the workers actually running simultaneously.
-var parallelLevels = []int{2, 4, 8}
+// must not depend on the workers actually running simultaneously, and
+// the 16-worker level puts most workers in the parked/stealing states
+// for the whole run on small trees.
+var parallelLevels = []int{2, 4, 8, 16}
 
 // TestParallelEquivalenceFuzzCorpus solves 20 seeded fuzz-corpus models
 // serially and at every parallel level and requires agreement on Status

@@ -36,6 +36,9 @@ type tableau struct {
 	// artificial[j] marks artificial columns, which may never re-enter
 	// the basis in phase 2.
 	artificial []bool
+	// pivots counts pivot applications since the last reset; solvers
+	// fold it into SearchStats.
+	pivots int
 }
 
 // lpResult is the outcome of one relaxation solve in model-variable space.
@@ -43,6 +46,7 @@ type lpResult struct {
 	status Status
 	obj    float64   // objective in the model's own sense
 	x      []float64 // one value per model variable (fixed vars included)
+	pivots int       // simplex pivots spent on this solve
 	// err is non-nil when the solve was interrupted by a resource budget
 	// (pivot limit or context deadline); status is then meaningless.
 	err error
@@ -358,27 +362,28 @@ func (m *Model) solveRelaxation(fx *fixSet, lim limits, ar *arena) lpResult {
 	}
 
 	// Phase 1.
+	t.pivots = 0
 	st, err := t.iterate(0, true, lim)
 	if err != nil {
-		return lpResult{err: err}
+		return lpResult{err: err, pivots: t.pivots}
 	}
 	if st == Unbounded {
 		// A phase-1 objective bounded below by zero can never be
 		// unbounded; treat as numerical failure → infeasible.
-		return lpResult{status: Infeasible}
+		return lpResult{status: Infeasible, pivots: t.pivots}
 	}
 	if t.obj[0] > feasEps {
-		return lpResult{status: Infeasible}
+		return lpResult{status: Infeasible, pivots: t.pivots}
 	}
 	t.driveOutArtificials()
 
 	// Phase 2.
 	st, err = t.iterate(1, false, lim)
 	if err != nil {
-		return lpResult{err: err}
+		return lpResult{err: err, pivots: t.pivots}
 	}
 	if st == Unbounded {
-		return lpResult{status: Unbounded}
+		return lpResult{status: Unbounded, pivots: t.pivots}
 	}
 
 	// Extract structural values and unshift. The result vector outlives
@@ -401,7 +406,7 @@ func (m *Model) solveRelaxation(fx *fixSet, lim limits, ar *arena) lpResult {
 	if m.sense == Maximize {
 		obj = -obj
 	}
-	return lpResult{status: Optimal, obj: obj, x: x}
+	return lpResult{status: Optimal, obj: obj, x: x, pivots: t.pivots}
 }
 
 // iterate runs simplex pivots on cost row k until optimal or unbounded.
@@ -475,6 +480,7 @@ func (t *tableau) iterate(k int, allowArt bool, lim limits) (Status, error) {
 
 // pivot brings column q into the basis at row r.
 func (t *tableau) pivot(r, q int) {
+	t.pivots++
 	piv := t.a[r][q]
 	inv := 1 / piv
 	row := t.a[r]

@@ -14,20 +14,24 @@ import (
 
 // degradeDB builds an instance whose pass-1 LP root is fractional in a
 // way nearest-integer rounding cannot repair: one s-call, a small
-// parallel-code method (gain 100, area 1) and a big plain method
-// (gain 200, area 10), requirement 150. The LP optimum mixes the two at
-// 1/2 each on the at-most-one row (area 5.5, versus 7.5 for 3/4 of the
-// big one alone), and rounding both halves up violates that row — so a
-// 1-node budget ends with no incumbent. The greedy baseline, which
-// never uses parallel-code methods, still succeeds with the big method
-// alone.
+// parallel-code method (gain 100, area 1) and two interchangeable big
+// plain methods on distinct IPs (gain 200, area 10 each), requirement
+// 150. The LP optimum mixes the cheap and one big method at 1/2 each on
+// the at-most-one row (area 5.5, versus 7.5 for 3/4 of a big one
+// alone), and rounding both halves up violates that row — so a 1-node
+// budget ends with no incumbent. Two big IPs keep the root-probing cut
+// from forcing either indicator (no single IP is essential), so the
+// root stays fractional. The greedy baseline, which never uses
+// parallel-code methods, still succeeds with one big method alone.
 func degradeDB(t *testing.T) *imp.DB {
 	t.Helper()
 	cheap := mkIP("IPC", 1)
 	big := mkIP("IPB", 10)
+	big2 := mkIP("IPD", 10)
 	db, err := imp.NewSyntheticDB([]string{"a"}, []imp.SynthIMP{
 		{SC: 1, IP: cheap, Type: iface.Type1, Gain: 100, IfaceArea: 0, UsesPC: true},
 		{SC: 1, IP: big, Type: iface.Type0, Gain: 200, IfaceArea: 0},
+		{SC: 1, IP: big2, Type: iface.Type0, Gain: 200, IfaceArea: 0},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -20,12 +20,16 @@ package selector
 //     one point proven infeasible makes every tighter point infeasible
 //     without another search.
 //
-//   - Warm starts. A point that must be solved is seeded with a known
-//     feasible selection (the greedy baseline at its own requirement,
-//     or — in the parallel tightest-first schedule — a finished tighter
-//     neighbor), installed through ilp.Model.SetWarmStart, which
-//     validates the seed and guarantees it can only tighten pruning,
-//     never change the answer.
+//   - Warm starts. A point that must be solved is seeded with the
+//     greedy baseline at its own requirement, installed through
+//     ilp.Model.SetWarmStart, which validates the seed and guarantees
+//     it can only tighten pruning, never change the answer. A
+//     multi-worker budget parallelizes *inside* each solve (the
+//     work-stealing branch-and-bound in internal/ilp), never across
+//     points, so the ascending reuse chain — which points are solved,
+//     reused, or propagated — is identical at every parallelism level;
+//     only the in-solve expansion order (and so the per-point node
+//     count, within a few percent) can move.
 //
 // Sweep, SweepCtx, and SweepCtxObserve are thin adapters over this
 // pipeline; the service's batch executor drives Pipeline.Next directly
@@ -36,8 +40,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"partita/internal/budget"
 	"partita/internal/cdfg"
@@ -243,11 +245,11 @@ type Pipeline struct {
 }
 
 // NewPipeline builds a lazy iterator over the given required gains.
-// bud applies per point with Parallelism pinned to 1 (points, not
-// nodes, are the unit of concurrency — SweepEach pools whole points);
-// observe, when non-nil, receives every incumbent of every solved
-// point, tagged with the point index. The gains slice is retained, not
-// copied.
+// bud applies per point with Parallelism pinned to 1 (the pipeline
+// itself is strictly sequential; SweepEach lifts the pin to put the
+// budget's workers inside each solve); observe, when non-nil, receives
+// every incumbent of every solved point, tagged with the point index.
+// The gains slice is retained, not copied.
 func (a *Analysis) NewPipeline(gains []int64, bud budget.Budget, observe func(int, Incumbent)) *Pipeline {
 	bud.Parallelism = 1
 	return &Pipeline{an: a, gains: gains, bud: bud, observe: observe, infeasAt: math.MaxInt64}
@@ -327,18 +329,23 @@ func (pl *Pipeline) record(rg int64, sel *Selection) {
 }
 
 // SweepEach runs the pipeline over explicit required gains, invoking
-// each(point) as every point completes: in gains order serially, in
-// completion order (tightest required gain first) when bud.Parallelism
-// >= 2 pools the points across workers. observe and each are never
-// invoked concurrently with themselves or each other. The serial path
-// aborts on the first solve error; the parallel path finishes its
-// in-flight points and reports the error the serial order would have
-// hit first.
+// each(point) as every point completes, always in gains order. A
+// multi-worker budget puts the workers *inside* each solve (the
+// work-stealing branch-and-bound) rather than across points: the sweep
+// stays the strictly ascending pipeline, so plateau reuse, donor
+// selection, and the monotonicity cut are identical at every
+// parallelism level — deterministic, and never solving a point the
+// serial sweep gets for free. (An earlier revision pooled whole points
+// tightest-first; donor selection then depended on completion order,
+// reuse never fired, and the parallel sweep expanded more nodes than
+// the serial one — the opposite of a speedup on a machine with cores
+// to spare.) observe and each are never invoked concurrently; the
+// sweep aborts on the first solve error.
 func (a *Analysis) SweepEach(ctx context.Context, gains []int64, bud budget.Budget, observe func(int, Incumbent), each func(Point)) error {
-	if w := bud.Workers(); w > 1 && len(gains) > 1 {
-		return a.sweepParallel(ctx, gains, bud, observe, each, w)
-	}
 	pl := a.NewPipeline(gains, bud, observe)
+	// NewPipeline pins per-point parallelism to 1 for external callers;
+	// the sweep is where the budget's workers belong inside the solves.
+	pl.bud.Parallelism = bud.Parallelism
 	for {
 		pt, ok, err := pl.Next(ctx)
 		if !ok {
@@ -376,103 +383,4 @@ func (a *Analysis) SweepPoints(ctx context.Context, points int, bud budget.Budge
 		return nil, err
 	}
 	return out, nil
-}
-
-// sweepParallel solves the pipeline's points on a bounded worker pool.
-// Semantics preserved from the serial pipeline: the curve values are
-// identical (each point gets its own per-point budget at solver
-// parallelism 1 — point-level concurrency already saturates the pool),
-// observe/each are serialized behind a mutex, and the error reported is
-// the one the serial order would have hit first (lowest point index).
-//
-// Points are scheduled from the tightest required gain downward so that
-// finished points can warm-start looser ones: a selection meeting a
-// tighter gain requirement is feasible at every looser requirement, so
-// its area seeds the looser solve as an initial upper bound and the
-// solver starts pruning from node one. Points with no finished tighter
-// neighbor (the tightest point always, early points generally) are
-// seeded with the greedy baseline at their own requirement instead.
-func (a *Analysis) sweepParallel(ctx context.Context, gains []int64, bud budget.Budget, observe func(int, Incumbent), each func(Point), workers int) error {
-	points := len(gains)
-	if workers > points {
-		workers = points
-	}
-	pointBud := bud
-	pointBud.Parallelism = 1
-
-	// Variable layout for warm-start vectors; depends only on the DB, so
-	// one instance serves every point.
-	layout := &instance{Analysis: a, p: Problem{DB: a.db}}
-
-	var emitMu sync.Mutex // serializes observe and each
-	obs := observe
-	if observe != nil {
-		obs = func(i int, inc Incumbent) {
-			emitMu.Lock()
-			defer emitMu.Unlock()
-			observe(i, inc)
-		}
-	}
-
-	errs := make([]error, points)
-	warm := make([][]float64, points)
-	var warmMu sync.Mutex
-
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				k := int(next.Add(1)) - 1
-				if k >= points {
-					return
-				}
-				i := points - 1 - k // tightest required gain first
-				rg := gains[i]
-				p := Problem{DB: a.db, Required: rg, Budget: pointBud}
-				if obs != nil {
-					cb, idx := obs, i
-					p.OnIncumbent = func(inc Incumbent) { cb(idx, inc) }
-				}
-				warmMu.Lock()
-				for j := i + 1; j < points; j++ {
-					// Nearest finished tighter point: its area is the
-					// tightest seed available for this one.
-					if warm[j] != nil {
-						p.warmStart = warm[j]
-						break
-					}
-				}
-				warmMu.Unlock()
-				if p.warmStart == nil {
-					p.warmStart = a.greedySeed(rg)
-				}
-				sel, err := a.Solve(ctx, p)
-				if err == nil && sel != nil && sel.Degraded == "" &&
-					(sel.Status == ilp.Optimal || sel.Status == ilp.Feasible) {
-					if v := layout.warmVector(sel); v != nil {
-						warmMu.Lock()
-						warm[i] = v
-						warmMu.Unlock()
-					}
-				}
-				errs[i] = err
-				if err == nil && each != nil {
-					emitMu.Lock()
-					each(Point{Index: i, Required: rg, Sel: sel})
-					emitMu.Unlock()
-				}
-			}
-		}()
-	}
-	wg.Wait()
-
-	for i := 0; i < points; i++ {
-		if errs[i] != nil {
-			return errs[i]
-		}
-	}
-	return nil
 }

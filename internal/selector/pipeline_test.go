@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"testing"
 
+	"partita/internal/apps"
 	"partita/internal/budget"
 	"partita/internal/ilp"
 )
@@ -240,5 +241,52 @@ func TestAnalysisSharedAcrossPipelines(t *testing.T) {
 		if err := <-done; err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// TestParallelSweepNodesMatchSerial is the regression guard for the
+// parallel sweep's node inflation: a multi-worker budget runs the same
+// ascending plateau-reuse pipeline with the workers inside each solve,
+// so the parallel sweep must produce the identical curve while
+// expanding no more nodes than the serial sweep plus a small
+// concurrency-staleness allowance. (An earlier revision pooled whole
+// points tightest-first with completion-order donor selection; it
+// solved points the serial sweep reuses for free, and its node totals
+// ran well past serial — the exact failure this test pins.)
+func TestParallelSweepNodesMatchSerial(t *testing.T) {
+	db, _, err := apps.GSMEncoderTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := NewAnalysis(db)
+	ctx := context.Background()
+	serial, err := an.SweepPoints(ctx, 16, budget.Budget{Parallelism: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := an.SweepPoints(ctx, 16, budget.Budget{Parallelism: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, pn := 0, 0
+	for i := range serial {
+		sn += serial[i].Sel.Nodes
+		pn += par[i].Sel.Nodes
+		// Area compares with a float tolerance: when two method sets
+		// tie at the optimum, parallel order may land on the other one,
+		// whose area can differ in the last ulp of the summation.
+		if serial[i].Required != par[i].Required ||
+			serial[i].Sel.Status != par[i].Sel.Status ||
+			math.Abs(serial[i].Sel.Area-par[i].Sel.Area) > 1e-9 ||
+			serial[i].Sel.Gain != par[i].Sel.Gain {
+			t.Errorf("point %d: parallel curve diverged: serial %+v, parallel %+v",
+				i, serial[i].Sel, par[i].Sel)
+		}
+	}
+	// The pipelines schedule identically; the only slack the parallel
+	// sweep gets is in-solve concurrency staleness, bounded at a couple
+	// percent. Driebeek child-bound lifts usually put it below serial.
+	if eps := sn/50 + 4; pn > sn+eps {
+		t.Errorf("parallel sweep expanded %d nodes, serial %d (+%d allowed)", pn, sn, eps)
 	}
 }

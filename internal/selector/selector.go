@@ -129,6 +129,9 @@ type Selection struct {
 	// budget expired before any incumbent existed, it names the
 	// exhausted budget and the selection comes from GreedyBaseline.
 	Degraded string
+	// Search accumulates the low-level ILP search counters (LP solves by
+	// kind, pivots, work-stealing traffic) across both passes.
+	Search ilp.SearchStats
 }
 
 // Exact reports whether the selection is provably optimal (neither an
@@ -337,7 +340,99 @@ func (in *instance) build(objX func(i int) float64, objZ func(area float64) floa
 			m.AddConstraint(fmt.Sprintf("ipcap_%d", k), terms, ilp.GE, float64(rg))
 		}
 	}
+	// (2c) Per-path cover (cardinality) cuts, in z- and x-space. For
+	// path k, sort the per-IP gain capacities G_jk descending: if even
+	// the κ−1 largest together fall short of the requirement, every
+	// feasible selection activates at least κ IPs that contribute to the
+	// path — Σ_j z_j ≥ κ over {j : G_jk > 0} is valid. The same argument
+	// over per-s-call best method gains (constraint (1) admits one
+	// method per s-call) yields Σ_i x_i ≥ λ over the path's contributing
+	// methods. Fractional points love paying for gain with slivers of
+	// many indicators; these cuts charge them whole indicators, which is
+	// where the area objective lives. Like (3b)/(2b) they are valid
+	// cuts: no integer-feasible point is removed, so the optimum — and
+	// the lexicographic tie-break — are untouched.
+	for k := range db.Paths {
+		rg := in.required(k)
+		if rg <= 0 {
+			continue
+		}
+		capacity := in.ipGainCapacity(k)
+		caps := make([]int64, 0, len(capacity))
+		for _, g := range capacity {
+			caps = append(caps, g)
+		}
+		if kappa := coverCount(caps, rg); kappa >= 2 {
+			var terms []ilp.Term
+			for _, id := range in.ipIDs {
+				if capacity[id] > 0 {
+					terms = append(terms, ilp.Term{Var: h.zs[id], Coef: 1})
+				}
+			}
+			m.AddConstraint(fmt.Sprintf("zcover_%d", k), terms, ilp.GE, float64(kappa))
+		}
+		bestSC := map[string]int64{}
+		for i, im := range db.IMPs {
+			if c := in.pathCoef(k, i); c > bestSC[im.SC.Name()] {
+				bestSC[im.SC.Name()] = c
+			}
+		}
+		best := make([]int64, 0, len(bestSC))
+		for _, g := range bestSC {
+			best = append(best, g)
+		}
+		if lambda := coverCount(best, rg); lambda >= 2 {
+			var terms []ilp.Term
+			for i := range db.IMPs {
+				if in.pathCoef(k, i) > 0 {
+					terms = append(terms, ilp.Term{Var: h.xs[i], Coef: 1})
+				}
+			}
+			m.AddConstraint(fmt.Sprintf("xcover_%d", k), terms, ilp.GE, float64(lambda))
+		}
+	}
+	// (3c) Fixed-charge bound tightening (root probing): if dropping IP
+	// j leaves some path short of its requirement even with every other
+	// IP at full capacity, z_j = 1 in every feasible selection. Forcing
+	// the indicator commits its area in the root relaxation, which
+	// lifts the bound before the search branches at all.
+	for k := range db.Paths {
+		rg := in.required(k)
+		if rg <= 0 {
+			continue
+		}
+		capacity := in.ipGainCapacity(k)
+		var total int64
+		for _, g := range capacity {
+			total += g
+		}
+		for _, id := range in.ipIDs {
+			if g := capacity[id]; g > 0 && total-g < rg {
+				m.AddConstraint("force_"+id, []ilp.Term{{Var: h.zs[id], Coef: 1}}, ilp.GE, 1)
+			}
+		}
+	}
 	return h
+}
+
+// coverCount is the cover-cut cardinality for a covering requirement:
+// the minimum number of the given capacities (sorted descending) whose
+// sum reaches need. Returns 0 when need ≤ 0 and len(caps)+1 when even
+// all of them fall short (the caller's constraint is then infeasible on
+// its own, which the LP discovers without the cut).
+func coverCount(caps []int64, need int64) int {
+	if need <= 0 {
+		return 0
+	}
+	sort.Slice(caps, func(a, b int) bool { return caps[a] > caps[b] })
+	var sum int64
+	for n, g := range caps {
+		sum += g
+		if sum >= need {
+			return n + 1
+		}
+	}
+	return len(caps) + 1
 }
 
 // ipGainCapacity is G_jk: the most gain path k can draw from each IP —
@@ -500,9 +595,10 @@ func solveBound(ctx context.Context, in *instance) (*Selection, error) {
 		sel := in.decode(h1, s1, s1.Nodes)
 		sel.Status = ilp.Feasible
 		sel.Gap = s1.Gap()
+		sel.Search = s1.Stats
 		return sel, nil
 	default:
-		return &Selection{Status: s1.Status, Nodes: s1.Nodes}, nil
+		return &Selection{Status: s1.Status, Nodes: s1.Nodes, Search: s1.Stats}, nil
 	}
 	bestArea := s1.Objective
 
@@ -525,15 +621,19 @@ func solveBound(ctx context.Context, in *instance) (*Selection, error) {
 			// discarding it. Only the tie-break is unproven.
 			sel := in.decode(h1, s1, s1.Nodes)
 			sel.Status = ilp.Feasible
+			sel.Search = s1.Stats
 			return sel, nil
 		}
 		return nil, err
 	}
+	search := s1.Stats
+	search.Add(s2.Stats)
 	if s2.Status != ilp.Optimal && s2.Status != ilp.Feasible {
 		// Should not happen (pass 1 was feasible); report defensively.
-		return &Selection{Status: s2.Status, Nodes: s1.Nodes + s2.Nodes}, nil
+		return &Selection{Status: s2.Status, Nodes: s1.Nodes + s2.Nodes, Search: search}, nil
 	}
 	sel := in.decode(h2, s2, s1.Nodes+s2.Nodes)
+	sel.Search = search
 	if s2.Status == ilp.Feasible {
 		// Area is still provably minimal; only the surplus tie-break is
 		// anytime, so the area gap stays zero.

@@ -149,7 +149,10 @@ func TestSubmitSelectAndCacheHit(t *testing.T) {
 
 func TestTightBudgetReturnsIncumbentNotError(t *testing.T) {
 	s := newTestServer(t, Config{Workers: 1})
-	spec := selectSpec(1000)
+	// 3200 needs both IPs and leaves the root LP fractional even after
+	// the root cuts (no single IP covers it), so a 1-node budget still
+	// exhausts before optimality is proven.
+	spec := selectSpec(3200)
 	spec.MaxNodes = 1 // deterministic exhaustion on the first node
 	job, err := s.Submit(spec)
 	if err != nil {
