@@ -35,9 +35,12 @@ import (
 // Bookkeeping:
 //
 //   - work counts nodes that are alive anywhere (in a deque or being
-//     expanded). Popping moves a node from deque to in-flight without
-//     changing work; finishing a node adds (children − 1). The worker
-//     that drives work to zero declares the tree exhausted;
+//     expanded). Children are credited to work BEFORE they are pushed
+//     (and so before any thief can see them), and each retired node
+//     subtracts exactly one, so work is at all times an upper bound on
+//     live nodes and can only hit zero when the tree is truly
+//     exhausted. The worker that drives it to zero declares the search
+//     over;
 //   - openCount counts deque-resident nodes only and exists so a
 //     parking worker can sleep exactly until something is stealable.
 //     Parkers register (parkedN) under mu before re-checking openCount,
@@ -214,6 +217,12 @@ func (s *parState) pop(id int) *bbNode {
 	dq.nodes[n-1] = nil
 	dq.nodes = dq.nodes[:n-1]
 	dq.refreshMin()
+	// Publish the node as in-flight before it leaves deque visibility
+	// (the mutex is still held): globalLow scans deques under their
+	// locks and inflight via atomics, so a node must appear in one or
+	// the other at every instant or a concurrent emitBound/tryIncumbent
+	// could report a "proven" bound tighter than what is proven.
+	s.inflight[id].Store(math.Float64bits(nd.bound))
 	dq.mu.Unlock()
 	s.openCount.Add(-1)
 	return nd
@@ -298,6 +307,14 @@ func (s *parState) steal(id int, st *SearchStats) *bbNode {
 	dq.nodes[n-1] = nil
 	dq.nodes = dq.nodes[:n-1]
 	dq.refreshMin()
+	// Keep the stolen node visible to globalLow before it leaves the
+	// victim's deque (see the matching publish in pop). A thief called
+	// from preferGlobal already holds a node, so fold the minimum of
+	// both into its single slot; only worker id writes inflight[id], so
+	// the load/store pair cannot race.
+	if cur := math.Float64frombits(s.inflight[id].Load()); nd.bound < cur {
+		s.inflight[id].Store(math.Float64bits(nd.bound))
+	}
 	dq.mu.Unlock()
 	s.openCount.Add(-1)
 	st.Steals++
@@ -321,11 +338,16 @@ func (s *parState) preferGlobal(id int, node *bbNode, st *SearchStats) *bbNode {
 		if nd == nil {
 			return node
 		}
+		// The slot briefly covered both held nodes with their minimum;
+		// push the loser back (deque-visible again) before re-publishing
+		// the keeper's exact bound, so neither node is ever hidden.
 		if nd.bound < node.bound {
 			s.push(id, node)
+			s.inflight[id].Store(math.Float64bits(nd.bound))
 			return nd
 		}
 		s.push(id, nd) // raced with another thief: keep the original
+		s.inflight[id].Store(math.Float64bits(node.bound))
 		return node
 	}
 	return node
@@ -358,10 +380,14 @@ func (s *parState) endRamp() {
 	}
 }
 
-// finishNode retires one node that produced k children; the worker that
-// drives the live count to zero ends the search.
-func (s *parState) finishNode(children int) {
-	if s.work.Add(int64(children-1)) == 0 {
+// finishNode retires one node; the worker that drives the live count to
+// zero ends the search. Children are credited to work inside expand,
+// before the push makes them stealable — crediting them here instead
+// would open a termination race: a thief could steal and retire a child
+// (work −1) before the parent's credit (+children) lands, driving work
+// to zero and declaring the tree exhausted with live nodes still open.
+func (s *parState) finishNode() {
+	if s.work.Add(-1) == 0 {
 		s.setDone()
 	}
 }
@@ -416,10 +442,15 @@ func (s *parState) run(id int) {
 	}
 	chainFails := 0
 
+	idle := math.Float64bits(math.Inf(1))
 	for {
 		if s.abort.Load() {
 			return
 		}
+		// pop/steal/preferGlobal publish the held node's bound in
+		// inflight[id] before removing it from deque visibility, so every
+		// live node is observable by globalLow at every instant; each
+		// retirement path below resets the slot to idle.
 		node := s.pop(id)
 		if node == nil {
 			node = s.steal(id, st)
@@ -436,16 +467,17 @@ func (s *parState) run(id int) {
 			// Stopped while we held a live node: its bound is part of the
 			// unproven remainder.
 			s.foldAbandoned(node.bound)
+			s.inflight[id].Store(idle)
 			return
 		}
 		if node.bound >= s.incObj()-1e-9 {
-			s.finishNode(0) // pruned: cannot improve on the incumbent
+			s.inflight[id].Store(idle)
+			s.finishNode() // pruned: cannot improve on the incumbent
 			s.endRamp()
 			continue
 		}
-		s.inflight[id].Store(math.Float64bits(node.bound))
 		children, stop, unbounded := s.expand(id, node, fx, ar, &chain, &chainFails, st)
-		s.inflight[id].Store(math.Float64bits(math.Inf(1)))
+		s.inflight[id].Store(idle)
 		if children == 0 {
 			s.endRamp()
 		}
@@ -462,7 +494,7 @@ func (s *parState) run(id int) {
 			s.setStop(stop, node.bound)
 			return
 		default:
-			s.finishNode(children)
+			s.finishNode()
 		}
 	}
 }
@@ -533,16 +565,43 @@ func (s *parState) expand(id int, node *bbNode, fx *fixSet, ar *arena, chain **c
 	}
 
 	// Interpret the relaxation. A warm result that looks wrong — a bound
-	// below the parent's (child relaxations can only tighten) or an
-	// "integral" vertex whose snapped point fails the constraints — is
-	// re-derived cold before any incumbent install or subtree decision:
-	// the serial solver can trust its vertices unconditionally, the
-	// delta-updated tableau cannot.
+	// below the parent's (child relaxations can only tighten), an
+	// "integral" vertex whose snapped point fails the constraints, or a
+	// subtree-killing verdict from a stale tableau — is re-derived cold
+	// before any incumbent install or subtree decision: the serial
+	// solver can trust its verdicts unconditionally, the delta-updated
+	// tableau cannot. In particular dualIterate declares Infeasible when
+	// no entering column passes the pivot tolerance, which on a drifted
+	// tableau can be numerically spurious — trusting it would silently
+	// cut off a feasible subtree. A fresh tableau (bounded pivots since
+	// its last refactorization, see chainTrustSolves) carries no more
+	// drift than one cold solve and is trusted to the same degree; on
+	// these models roughly a third of all nodes are infeasible leaves,
+	// so confirming every one cold would forfeit the warm path's entire
+	// advantage exactly where it matters most.
 	for {
 		switch r.status {
 		case Infeasible:
+			if warm && !(*chain).fresh() {
+				warm = false
+				r = cold()
+				if r.err != nil {
+					return 0, r.err, false
+				}
+				continue
+			}
 			return 0, nil, false
 		case Unbounded:
+			if warm {
+				// The bounded-variable dual simplex cannot certify
+				// unboundedness; a warm Unbounded is always re-derived.
+				warm = false
+				r = cold()
+				if r.err != nil {
+					return 0, r.err, false
+				}
+				continue
+			}
 			return 0, nil, true
 		}
 		bound := r.obj
@@ -598,14 +657,43 @@ func (s *parState) expand(id int, node *bbNode, fx *fixSet, ar *arena, chain **c
 		// strictly stronger pruning, which more than pays back the few
 		// nodes concurrency staleness costs it.
 		b0, b1 := bound, bound
+		trusted := false
 		if warm {
 			if c := *chain; c != nil {
 				d0, d1 := c.childPenalties(int(branch))
 				b0 += d0
 				b1 += d1
+				trusted = c.fresh()
 			}
 		}
 		cut := s.incObj() - 1e-9
+		// A penalty that claims a prune (the lifted bound crosses the
+		// cutoff, including +Inf "child infeasible") comes from the same
+		// drift-prone warm tableau as the guards above and gets the same
+		// standard: a freshly refactored tableau is trusted, but a stale
+		// claim must survive a cold child solve before the subtree is
+		// cut off.
+		// The cost lands only on stale claimed-pruned children, and a
+		// refuted claim leaves the child with its exact cold bound.
+		// bound < cut here (checked above), so any b >= cut is
+		// penalty-caused.
+		if !trusted {
+			if b0 >= cut {
+				cb, err := s.childBoundCold(fx, branch, 0, ar, st)
+				if err != nil {
+					return 0, err, false
+				}
+				b0 = math.Max(bound, cb)
+			}
+			if b1 >= cut {
+				cb, err := s.childBoundCold(fx, branch, 1, ar, st)
+				if err != nil {
+					return 0, err, false
+				}
+				b1 = math.Max(bound, cb)
+			}
+			cut = s.incObj() - 1e-9
+		}
 		var kids [2]*bbNode
 		nk := 0
 		if b0 < cut {
@@ -617,10 +705,46 @@ func (s *parState) expand(id int, node *bbNode, fx *fixSet, ar *arena, chain **c
 			nk++
 		}
 		if nk > 0 {
+			// Credit the children to the live-node count BEFORE the push
+			// makes them stealable; see finishNode for the termination
+			// race this ordering prevents.
+			s.work.Add(int64(nk))
 			s.push(id, kids[:nk]...)
 		}
 		return nk, nil, false
 	}
+}
+
+// childBoundCold solves the relaxation of the child (parent fixings in
+// fx, plus branch fixed to val) on the trusted cold path, returning its
+// bound in minimization sense: +Inf when the child is genuinely
+// infeasible, -Inf when unbounded (the parent loop's Unbounded handling
+// then sees the child cold, since -Inf never prunes). fx is restored to
+// the parent's fixing set before returning. branch is free in fx —
+// pickBranch never selects a fixed variable.
+func (s *parState) childBoundCold(fx *fixSet, branch VarID, val float64, ar *arena, st *SearchStats) (float64, error) {
+	fx.set[branch] = true
+	fx.val[branch] = val
+	fx.touched = append(fx.touched, branch)
+	r := s.m.solveRelaxation(fx, s.lim, ar)
+	fx.set[branch] = false
+	fx.touched = fx.touched[:len(fx.touched)-1]
+	st.ColdLPs++
+	st.PrimalPivots += int64(r.pivots)
+	if r.err != nil {
+		return 0, r.err
+	}
+	switch r.status {
+	case Infeasible:
+		return math.Inf(1), nil
+	case Unbounded:
+		return math.Inf(-1), nil
+	}
+	b := r.obj
+	if s.maximize {
+		b = -b
+	}
+	return b, nil
 }
 
 // emitBound publishes a proven-bound rise through Model.OnBound.

@@ -73,6 +73,25 @@ const dualPivotCap = 5000
 // and resets the drift.
 const chainRefresh = 512
 
+// chainTrustSolves bounds how stale a tableau may be (warm solves since
+// its last full rebuild) for its subtree-killing verdicts — an
+// Infeasible status or a Driebeek–Tomlin child penalty that crosses the
+// cutoff (including +Inf, via repairRate finding no eligible column
+// under the pivot tolerance) — to be acted on without confirmation.
+// The rationale: drift grows with pivots since the last
+// refactorization, and a tableau within ~chainTrustSolves solves (a few
+// hundred pivots) of a rebuild carries no more accumulated error than
+// the single un-refactored two-phase solve the cold path runs — whose
+// verdicts the serial solver trusts unconditionally. Past this, a
+// spurious verdict could silently cut off a feasible subtree, so the
+// claim must survive a cold re-derivation first.
+const chainTrustSolves = 64
+
+// fresh reports whether the tableau was refactored recently enough for
+// its pruning verdicts (Infeasible, penalty lifts past the cutoff) to
+// be trusted without a cold confirmation.
+func (c *chainLP) fresh() bool { return !c.broken && c.solves <= chainTrustSolves }
+
 type chainLP struct {
 	m   *Model
 	lim limits
